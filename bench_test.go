@@ -1,0 +1,210 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (§8). Each benchmark corresponds to one artifact:
+//
+//	BenchmarkFig8ExploitTable     — exploit prevention (Fig. 8)
+//	BenchmarkFig9AnnotationTable  — annotation effort (Fig. 9)
+//	BenchmarkFig10APIChurn        — kernel API churn series (Fig. 10)
+//	BenchmarkFig11*               — SFI microbenchmarks (Fig. 11)
+//	BenchmarkFig12*               — netperf paths (Fig. 12)
+//	BenchmarkFig13Guards          — guard cost breakdown (Fig. 13)
+//
+// The human-readable tables are printed by the cmd/lxfi-* tools; the
+// benchmarks here measure the same code paths and report the figure's
+// key metrics via b.ReportMetric.
+package lxfi_test
+
+import (
+	"testing"
+
+	"lxfi/internal/annotdb"
+	"lxfi/internal/apiscan"
+	"lxfi/internal/core"
+	"lxfi/internal/exploits"
+	"lxfi/internal/microbench"
+	"lxfi/internal/netperf"
+)
+
+// --- Figure 8 ---
+
+func BenchmarkFig8ExploitTable(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		stock := exploits.RunAll(core.Off)
+		lxfiRes := exploits.RunAll(core.Enforce)
+		for j := range stock {
+			if !stock[j].Escalated || lxfiRes[j].Escalated {
+				b.Fatalf("figure 8 outcome changed: %v / %v", stock[j], lxfiRes[j])
+			}
+		}
+	}
+}
+
+// --- Figure 9 ---
+
+func BenchmarkFig9AnnotationTable(b *testing.B) {
+	var total int
+	for i := 0; i < b.N; i++ {
+		sys, err := annotdb.BootAll(core.Enforce)
+		if err != nil {
+			b.Fatal(err)
+		}
+		t := annotdb.Build(sys)
+		total = t.TotalFuncs + t.TotalFptrs
+	}
+	b.ReportMetric(float64(total), "annotations")
+}
+
+// --- Figure 10 ---
+
+func BenchmarkFig10APIChurn(b *testing.B) {
+	var exports int
+	for i := 0; i < b.N; i++ {
+		series := apiscan.Series(apiscan.Corpus())
+		exports = series[len(series)-1].Exports
+	}
+	b.ReportMetric(float64(exports), "exports@2.6.39")
+}
+
+// --- Figure 11 ---
+
+func benchWorkload(b *testing.B, build func(core.Mode) (*microbench.Workload, error), mode core.Mode) {
+	w, err := build(mode)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Op(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig11HotlistStock(b *testing.B) { benchWorkload(b, microbench.NewHotlist, core.Off) }
+func BenchmarkFig11HotlistLXFI(b *testing.B)  { benchWorkload(b, microbench.NewHotlist, core.Enforce) }
+func BenchmarkFig11LldStock(b *testing.B)     { benchWorkload(b, microbench.NewLld, core.Off) }
+func BenchmarkFig11LldLXFI(b *testing.B)      { benchWorkload(b, microbench.NewLld, core.Enforce) }
+func BenchmarkFig11MD5Stock(b *testing.B)     { benchWorkload(b, microbench.NewMD5, core.Off) }
+func BenchmarkFig11MD5LXFI(b *testing.B)      { benchWorkload(b, microbench.NewMD5, core.Enforce) }
+
+// --- Figure 12 ---
+
+func benchTx(b *testing.B, mode core.Mode, payload uint64) {
+	rig, err := netperf.NewRig(mode)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := rig.TxPacket(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchRx(b *testing.B, mode core.Mode, frame int) {
+	rig, err := netperf.NewRig(mode)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	const burst = 32
+	for done := 0; done < b.N; done += burst {
+		if err := rig.RxBurst(frame, burst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig12TCPStreamTxStock(b *testing.B) { benchTx(b, core.Off, netperf.TCPPayload) }
+func BenchmarkFig12TCPStreamTxLXFI(b *testing.B)  { benchTx(b, core.Enforce, netperf.TCPPayload) }
+func BenchmarkFig12UDPStreamTxStock(b *testing.B) { benchTx(b, core.Off, netperf.UDPPayload) }
+func BenchmarkFig12UDPStreamTxLXFI(b *testing.B)  { benchTx(b, core.Enforce, netperf.UDPPayload) }
+func BenchmarkFig12UDPStreamRxStock(b *testing.B) { benchRx(b, core.Off, netperf.UDPPayload) }
+func BenchmarkFig12UDPStreamRxLXFI(b *testing.B)  { benchRx(b, core.Enforce, netperf.UDPPayload) }
+
+// BenchmarkFig12Table derives the full Fig. 12 table once per run and
+// reports the headline shape metrics.
+func BenchmarkFig12Table(b *testing.B) {
+	var udpRatio float64
+	for i := 0; i < b.N; i++ {
+		costs, err := netperf.MeasureCosts(500)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows := netperf.BuildTable(costs)
+		for _, r := range rows {
+			if r.Test == "UDP STREAM TX" {
+				udpRatio = r.LxfiTput / r.StockTput
+			}
+		}
+	}
+	b.ReportMetric(udpRatio, "udp-tx-tput-ratio")
+}
+
+// --- Figure 13 ---
+
+func BenchmarkFig13Guards(b *testing.B) {
+	var totalNs float64
+	for i := 0; i < b.N; i++ {
+		rows, err := netperf.GuardBreakdown(300)
+		if err != nil {
+			b.Fatal(err)
+		}
+		totalNs = 0
+		for _, r := range rows {
+			totalNs += r.NsPerPkt
+		}
+	}
+	b.ReportMetric(totalNs, "guard-ns/pkt")
+}
+
+// --- Ablations (design choices called out in DESIGN.md) ---
+
+// BenchmarkAblationWriterSet quantifies §4.1's writer-set tracking: the
+// same indirect-call-heavy transmit workload with the fast path enabled
+// vs disabled (every kernel indirect call takes the full capability
+// check).
+func BenchmarkAblationWriterSetOn(b *testing.B) {
+	rig, err := netperf.NewRig(core.Enforce)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := rig.TxPacket(netperf.UDPPayload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationWriterSetOff(b *testing.B) {
+	rig, err := netperf.NewRig(core.Enforce)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rig.K.Sys.Mon.DisableWriterSetOpt = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := rig.TxPacket(netperf.UDPPayload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationXmit compares the standard WRITE-granting
+// ndo_start_xmit interface against the Guideline-4 redesign
+// (REF(sk_buff fields) + field accessors) on the same workload.
+func BenchmarkAblationXmitStandard(b *testing.B) { benchTx(b, core.Enforce, netperf.UDPPayload) }
+
+func BenchmarkAblationXmitStrict(b *testing.B) {
+	rig, err := netperf.NewStrictRig(core.Enforce)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := rig.TxPacket(netperf.UDPPayload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,17 @@
+// Command lxfi-apiscan regenerates Figure 10: the kernel API churn
+// series for versions 2.6.20–2.6.39, by scanning the synthetic header
+// corpus the way the paper scans Linux trees with ctags.
+package main
+
+import (
+	"fmt"
+
+	"lxfi/internal/apiscan"
+)
+
+func main() {
+	fmt.Println("Figure 10 — rate of change of Linux kernel module APIs")
+	fmt.Println("(synthetic corpus calibrated to the paper's endpoints; see DESIGN.md)")
+	fmt.Println()
+	fmt.Print(apiscan.Format(apiscan.Series(apiscan.Corpus())))
+}

@@ -1,0 +1,26 @@
+// Command lxfi-microbench regenerates Figure 11: the SFI
+// microbenchmarks (hotlist, lld, MD5) run as isolated modules, with
+// measured slowdowns and statically-computed code-size deltas.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lxfi/internal/microbench"
+)
+
+func main() {
+	iters := flag.Int("iters", 5000, "operations per benchmark")
+	flag.Parse()
+
+	rs, err := microbench.RunAll(*iters)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "microbench failed:", err)
+		os.Exit(1)
+	}
+	fmt.Println("Figure 11 — SFI microbenchmarks under LXFI")
+	fmt.Println()
+	fmt.Print(microbench.Format(rs))
+}

@@ -1,0 +1,39 @@
+// Command lxfi-netperf regenerates Figure 12 (netperf throughput and
+// CPU utilization over the isolated e1000 driver) and, with -guards,
+// Figure 13 (the per-packet guard cost breakdown for UDP STREAM TX).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lxfi/internal/netperf"
+)
+
+func main() {
+	packets := flag.Int("packets", 2000, "packets per measurement")
+	guards := flag.Bool("guards", false, "also print the Figure 13 guard breakdown")
+	flag.Parse()
+
+	costs, err := netperf.MeasureCosts(*packets)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "measurement failed:", err)
+		os.Exit(1)
+	}
+	fmt.Println("Figure 12 — netperf with stock and LXFI-enabled e1000 driver")
+	fmt.Println()
+	fmt.Print(netperf.Format(netperf.BuildTable(costs)))
+
+	if *guards {
+		rows, err := netperf.GuardBreakdown(*packets)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "guard breakdown failed:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		fmt.Println("Figure 13 — guards per packet, UDP STREAM TX")
+		fmt.Println()
+		fmt.Print(netperf.FormatGuards(rows))
+	}
+}

@@ -1,0 +1,71 @@
+// Device-driver: run the isolated e1000 network driver end to end —
+// PCI probe (with principal aliasing), transmit through the qdisc and
+// the checked ndo_start_xmit indirect call, and NAPI receive — then
+// print the per-packet guard profile LXFI executed.
+//
+// Run with: go run ./examples/device-driver
+package main
+
+import (
+	"fmt"
+
+	"lxfi"
+	"lxfi/internal/modules/e1000sim"
+)
+
+func main() {
+	machine, err := lxfi.Boot(lxfi.Enforce)
+	if err != nil {
+		panic(err)
+	}
+	k, th := machine.Kernel, machine.Thread
+
+	machine.Bus.AddDevice(e1000sim.VendorIntel, e1000sim.Dev82540EM)
+	drv, err := e1000sim.Load(th, k, machine.Bus, machine.Net)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("e1000 probed: pci_dev=%#x net_device=%#x (aliased principals)\n",
+		uint64(drv.PciDev), uint64(drv.Dev))
+
+	// Wire the NIC back to itself: transmitted frames come right back.
+	drv.Nic.OnTx = func(frame []byte) { drv.Nic.InjectRx(frame) }
+
+	const packets = 100
+	before := k.Sys.Mon.Stats.Snapshot()
+	for i := 0; i < packets; i++ {
+		skb, err := machine.Net.AllocSkb(64)
+		if err != nil {
+			panic(err)
+		}
+		if err := k.Sys.AS.WriteU64(machine.Net.SkbField(skb, "len"), 64); err != nil {
+			panic(err)
+		}
+		if _, err := machine.Net.XmitSkb(th, drv.Dev, skb); err != nil {
+			panic(err)
+		}
+	}
+	// Drain the loopbacked frames through NAPI.
+	for drv.Nic.RxPending() > 0 {
+		if _, err := machine.Net.Poll(th, drv.Dev, 16); err != nil {
+			panic(err)
+		}
+	}
+	delta := k.Sys.Mon.Stats.Snapshot().Sub(before)
+
+	fmt.Printf("transmitted %d frames (%d bytes), received %d back\n",
+		drv.Nic.TxFrames, drv.Nic.TxBytes, machine.Net.RxDelivered)
+	fmt.Println("\nguards executed per packet (cf. Figure 13):")
+	per := func(v uint64) float64 { return float64(v) / packets }
+	fmt.Printf("  annotation actions: %5.1f\n", per(delta.AnnotationActions))
+	fmt.Printf("  function entries:   %5.1f\n", per(delta.FuncEntries))
+	fmt.Printf("  function exits:     %5.1f\n", per(delta.FuncExits))
+	fmt.Printf("  mem-write checks:   %5.1f\n", per(delta.MemWriteChecks))
+	fmt.Printf("  kernel ind-calls:   %5.1f (slow path: %.1f)\n",
+		per(delta.IndCallAll), per(delta.IndCallSlow))
+	if v := k.Sys.Mon.LastViolation(); v != nil {
+		fmt.Println("unexpected violation:", v)
+	} else {
+		fmt.Println("\nno violations — the driver stayed within its contract")
+	}
+}

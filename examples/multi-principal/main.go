@@ -1,0 +1,61 @@
+// Multi-principal: the paper's §3.1 econet example. Every socket the
+// econet module serves is its own principal; a compromise in the
+// context of one socket cannot write a sibling socket's state, while
+// the module's own cross-instance code (the global socket list) still
+// works by switching to the global principal.
+//
+// Run with: go run ./examples/multi-principal
+package main
+
+import (
+	"fmt"
+
+	"lxfi"
+	"lxfi/internal/modules/econet"
+)
+
+func main() {
+	machine, err := lxfi.Boot(lxfi.Enforce)
+	if err != nil {
+		panic(err)
+	}
+	k, th := machine.Kernel, machine.Thread
+
+	proto, err := econet.Load(th, k, machine.Net)
+	if err != nil {
+		panic(err)
+	}
+
+	// Two users, two sockets — two principals.
+	alice, _ := machine.Net.Socket(th, econet.Family)
+	bob, _ := machine.Net.Socket(th, econet.Family)
+	fmt.Printf("alice's socket: %#x\nbob's socket:   %#x\n", uint64(alice), uint64(bob))
+	fmt.Printf("module tracks %d sockets on its global list\n\n", proto.SocketCount())
+
+	user := k.Sys.User.Alloc(64, 8)
+	_, _ = machine.Net.Sendmsg(th, alice, user, 32, 0)
+	_, _ = machine.Net.Sendmsg(th, alice, user, 32, 0)
+	_, _ = machine.Net.Sendmsg(th, bob, user, 32, 0)
+	fmt.Printf("tx counts: alice=%d bob=%d\n\n", proto.TxCount(alice), proto.TxCount(bob))
+
+	// Show the isolation directly: bob's principal holds no WRITE
+	// capability for alice's per-socket state.
+	aliceSk := proto.Sk(alice)
+	pAlice, _ := proto.M.Set.Lookup(alice)
+	pBob, _ := proto.M.Set.Lookup(bob)
+	probe := lxfi.WriteCap(aliceSk, 8)
+	fmt.Printf("can %v write alice's state? %v\n", pAlice, k.Sys.Caps.Check(pAlice, probe))
+	fmt.Printf("can %v write alice's state? %v\n", pBob, k.Sys.Caps.Check(pBob, probe))
+	fmt.Printf("can %v write alice's state? %v (cross-instance code only)\n\n",
+		proto.M.Set.Global(), k.Sys.Caps.Check(proto.M.Set.Global(), probe))
+
+	// Cross-instance operation: closing a socket unlinks it from the
+	// module-wide list — the code path that needs the global principal.
+	_, _ = machine.Net.Release(th, alice)
+	fmt.Printf("after closing alice's socket, the list holds %d sockets\n", proto.SocketCount())
+	if v := k.Sys.Mon.LastViolation(); v != nil {
+		fmt.Println("unexpected violation:", v)
+	} else {
+		fmt.Println("no violations: legitimate cross-instance code ran under the global principal")
+	}
+}

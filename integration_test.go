@@ -1,0 +1,158 @@
+package lxfi_test
+
+// Whole-system integration test: boot one machine with several modules
+// (network driver, two protocol modules, an encrypted block device),
+// run real workloads over all of them, then compromise one module —
+// and verify the blast radius is exactly that module. This is the
+// paper's bottom-line claim: isolation turns a kernel-wide compromise
+// into a single-module failure.
+
+import (
+	"bytes"
+	"testing"
+
+	"lxfi"
+	"lxfi/internal/blockdev"
+	"lxfi/internal/core"
+	"lxfi/internal/modules/dmcrypt"
+	"lxfi/internal/modules/e1000sim"
+	"lxfi/internal/modules/econet"
+	"lxfi/internal/modules/rds"
+)
+
+func TestWholeSystemFaultContainment(t *testing.T) {
+	machine, err := lxfi.Boot(lxfi.Enforce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, th := machine.Kernel, machine.Thread
+	task := k.CreateTask("attacker", 1000)
+	k.SetCurrent(th, task)
+
+	// Load four modules onto the same kernel.
+	machine.Bus.AddDevice(e1000sim.VendorIntel, e1000sim.Dev82540EM)
+	drv, err := e1000sim.Load(th, k, machine.Bus, machine.Net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eco, err := econet.Load(th, k, machine.Net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rdsProto, err := rds.Load(th, k, machine.Net, rds.Config{WritableOps: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	machine.Block.AddDisk(1, 1024)
+	crypt, err := dmcrypt.Load(th, k, machine.Block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ti, err := machine.Block.CreateTarget(th, crypt.Ops(), 0xFEED, 0, 256, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Baseline workloads on every module.
+	netTx := func() error {
+		skb, err := machine.Net.AllocSkb(64)
+		if err != nil {
+			return err
+		}
+		_, err = machine.Net.XmitSkb(th, drv.Dev, skb)
+		return err
+	}
+	ecoSock, err := machine.Net.Socket(th, econet.Family)
+	if err != nil {
+		t.Fatal(err)
+	}
+	user := k.Sys.User.Alloc(64, 8)
+	ecoTx := func() error {
+		_, err := machine.Net.Sendmsg(th, ecoSock, user, 16, 0)
+		return err
+	}
+	diskIO := func() error {
+		bio, err := machine.Block.AllocBio(512)
+		if err != nil {
+			return err
+		}
+		data, _ := k.Sys.AS.ReadU64(machine.Block.BioField(bio, "data"))
+		if err := k.Sys.AS.Write(lxfi.Addr(data), bytes.Repeat([]byte{0x5A}, 512)); err != nil {
+			return err
+		}
+		if err := k.Sys.AS.WriteU64(machine.Block.BioField(bio, "rw"), blockdev.WriteBio); err != nil {
+			return err
+		}
+		return machine.Block.Submit(th, ti, bio)
+	}
+	for i := 0; i < 5; i++ {
+		if err := netTx(); err != nil {
+			t.Fatalf("e1000 baseline: %v", err)
+		}
+		if err := ecoTx(); err != nil {
+			t.Fatalf("econet baseline: %v", err)
+		}
+		if err := diskIO(); err != nil {
+			t.Fatalf("dm-crypt baseline: %v", err)
+		}
+	}
+
+	// Compromise rds with the CVE-2010-3904 primitive on this shared
+	// machine.
+	payload := k.Sys.RegisterUserFunc("payload", func(t *core.Thread, args []uint64) uint64 {
+		_, _ = t.CallKernel("commit_creds", 0)
+		return 0
+	})
+	rdsSock, err := machine.Net.Socket(th, rds.Family)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := k.Sys.User.Alloc(8, 8)
+	if err := k.Sys.AS.WriteU64(src, uint64(payload.Addr)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := machine.Net.Sendmsg(th, rdsSock, src, 8, 0); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = machine.Net.Recvmsg(th, rdsSock, rdsProto.IoctlSlot(), 8, 0)
+	_, _ = machine.Net.Ioctl(th, rdsSock, 0, 0)
+
+	// Blast radius: exactly rds.
+	if k.TaskUID(task) == 0 {
+		t.Fatal("attacker escalated to root on the shared machine")
+	}
+	if !rdsProto.M.Dead {
+		t.Fatal("rds should have been killed")
+	}
+	if len(k.Sys.Mon.Violations()) == 0 {
+		t.Fatal("no violation recorded")
+	}
+	for _, m := range []*core.Module{drv.M, eco.M, crypt.M} {
+		if m.Dead {
+			t.Fatalf("innocent module %s was killed", m.Name)
+		}
+	}
+
+	// Every other module keeps working.
+	for i := 0; i < 5; i++ {
+		if err := netTx(); err != nil {
+			t.Fatalf("e1000 after compromise: %v", err)
+		}
+		if err := ecoTx(); err != nil {
+			t.Fatalf("econet after compromise: %v", err)
+		}
+		if err := diskIO(); err != nil {
+			t.Fatalf("dm-crypt after compromise: %v", err)
+		}
+	}
+	if drv.Nic.TxFrames != 10 {
+		t.Fatalf("tx frames = %d", drv.Nic.TxFrames)
+	}
+	if eco.TxCount(ecoSock) != 10 {
+		t.Fatalf("econet tx = %d", eco.TxCount(ecoSock))
+	}
+	// rds itself is now unreachable — new sockets fail cleanly.
+	if _, err := machine.Net.Socket(th, rds.Family); err == nil {
+		t.Fatal("dead rds still accepts sockets")
+	}
+}

@@ -1,0 +1,275 @@
+package annot
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Expr is a parsed c-expr from the annotation grammar (Fig. 2). It can
+// reference the annotated function's arguments by name and, in post
+// annotations, the special identifier "return".
+type Expr struct {
+	// Exactly one of the following shapes is set:
+	Num   *int64 // literal
+	Ident string // argument name, "return", or a registered constant
+	Un    *Unary
+	Bin   *Binary
+}
+
+// Unary is a unary operation.
+type Unary struct {
+	Op string // "-", "!", "~"
+	X  *Expr
+}
+
+// Binary is a binary operation.
+type Binary struct {
+	Op   string // "||" "&&" "==" "!=" "<" "<=" ">" ">=" "+" "-" "*" "&" "|"
+	L, R *Expr
+}
+
+// Env supplies values for identifiers during evaluation. Arg returns the
+// value bound to a function argument or to the "return" identifier;
+// Const resolves symbolic constants such as NETDEV_TX_BUSY.
+type Env interface {
+	Arg(name string) (int64, bool)
+	Const(name string) (int64, bool)
+}
+
+// MapEnv is a simple Env backed by maps; used by tests and simple call
+// sites.
+type MapEnv struct {
+	Args   map[string]int64
+	Consts map[string]int64
+}
+
+// Arg implements Env.
+func (m MapEnv) Arg(name string) (int64, bool) {
+	v, ok := m.Args[name]
+	return v, ok
+}
+
+// Const implements Env.
+func (m MapEnv) Const(name string) (int64, bool) {
+	v, ok := m.Consts[name]
+	return v, ok
+}
+
+// Eval evaluates e in env. All arithmetic is signed 64-bit, matching the
+// paper's use of expressions like "return < 0".
+func (e *Expr) Eval(env Env) (int64, error) {
+	switch {
+	case e == nil:
+		return 0, fmt.Errorf("annot: nil expression")
+	case e.Num != nil:
+		return *e.Num, nil
+	case e.Ident != "":
+		if v, ok := env.Arg(e.Ident); ok {
+			return v, nil
+		}
+		if v, ok := env.Const(e.Ident); ok {
+			return v, nil
+		}
+		return 0, fmt.Errorf("annot: unbound identifier %q", e.Ident)
+	case e.Un != nil:
+		v, err := e.Un.X.Eval(env)
+		if err != nil {
+			return 0, err
+		}
+		switch e.Un.Op {
+		case "-":
+			return -v, nil
+		case "!":
+			if v == 0 {
+				return 1, nil
+			}
+			return 0, nil
+		case "~":
+			return ^v, nil
+		}
+		return 0, fmt.Errorf("annot: bad unary op %q", e.Un.Op)
+	case e.Bin != nil:
+		l, err := e.Bin.L.Eval(env)
+		if err != nil {
+			return 0, err
+		}
+		// Short-circuit logicals.
+		switch e.Bin.Op {
+		case "&&":
+			if l == 0 {
+				return 0, nil
+			}
+			r, err := e.Bin.R.Eval(env)
+			if err != nil {
+				return 0, err
+			}
+			return b2i(r != 0), nil
+		case "||":
+			if l != 0 {
+				return 1, nil
+			}
+			r, err := e.Bin.R.Eval(env)
+			if err != nil {
+				return 0, err
+			}
+			return b2i(r != 0), nil
+		}
+		r, err := e.Bin.R.Eval(env)
+		if err != nil {
+			return 0, err
+		}
+		switch e.Bin.Op {
+		case "==":
+			return b2i(l == r), nil
+		case "!=":
+			return b2i(l != r), nil
+		case "<":
+			return b2i(l < r), nil
+		case "<=":
+			return b2i(l <= r), nil
+		case ">":
+			return b2i(l > r), nil
+		case ">=":
+			return b2i(l >= r), nil
+		case "+":
+			return l + r, nil
+		case "-":
+			return l - r, nil
+		case "*":
+			return l * r, nil
+		case "&":
+			return l & r, nil
+		case "|":
+			return l | r, nil
+		}
+		return 0, fmt.Errorf("annot: bad binary op %q", e.Bin.Op)
+	}
+	return 0, fmt.Errorf("annot: empty expression")
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// String renders e canonically (fully parenthesized) so that equal
+// expressions hash equally.
+func (e *Expr) String() string {
+	switch {
+	case e == nil:
+		return "<nil>"
+	case e.Num != nil:
+		return strconv.FormatInt(*e.Num, 10)
+	case e.Ident != "":
+		return e.Ident
+	case e.Un != nil:
+		return e.Un.Op + e.Un.X.String()
+	case e.Bin != nil:
+		return "(" + e.Bin.L.String() + " " + e.Bin.Op + " " + e.Bin.R.String() + ")"
+	}
+	return "<empty>"
+}
+
+// Idents appends every identifier referenced by e to out; used to
+// validate annotations against a function's parameter list.
+func (e *Expr) Idents(out []string) []string {
+	switch {
+	case e == nil:
+		return out
+	case e.Ident != "":
+		return append(out, e.Ident)
+	case e.Un != nil:
+		return e.Un.X.Idents(out)
+	case e.Bin != nil:
+		return e.Bin.R.Idents(e.Bin.L.Idents(out))
+	}
+	return out
+}
+
+// --- expression parsing (precedence climbing) ---
+
+func (p *parser) parseExpr() (*Expr, error) { return p.parseBin(0) }
+
+var binPrec = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"|":  3,
+	"&":  4,
+	"==": 5, "!=": 5,
+	"<": 6, "<=": 6, ">": 6, ">=": 6,
+	"+": 7, "-": 7,
+	"*": 8,
+}
+
+func (p *parser) parseBin(minPrec int) (*Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op := p.peek()
+		prec, ok := binPrec[op.val]
+		if op.kind != tokOp || !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.next()
+		rhs, err := p.parseBin(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Expr{Bin: &Binary{Op: op.val, L: lhs, R: rhs}}
+	}
+}
+
+func (p *parser) parseUnary() (*Expr, error) {
+	t := p.peek()
+	if t.kind == tokOp && (t.val == "-" || t.val == "!" || t.val == "~") {
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		// Fold unary minus into literals for canonical form.
+		if t.val == "-" && x.Num != nil {
+			n := -*x.Num
+			return &Expr{Num: &n}, nil
+		}
+		return &Expr{Un: &Unary{Op: t.val, X: x}}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (*Expr, error) {
+	t := p.next()
+	switch t.kind {
+	case tokNum:
+		var v int64
+		var err error
+		if strings.HasPrefix(t.val, "0x") || strings.HasPrefix(t.val, "0X") {
+			var u uint64
+			u, err = strconv.ParseUint(t.val[2:], 16, 64)
+			v = int64(u)
+		} else {
+			v, err = strconv.ParseInt(t.val, 10, 64)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("annot: bad number %q: %v", t.val, err)
+		}
+		return &Expr{Num: &v}, nil
+	case tokIdent:
+		return &Expr{Ident: t.val}, nil
+	case tokLParen:
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokRParen, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, fmt.Errorf("annot: unexpected token %q in expression", t.val)
+}

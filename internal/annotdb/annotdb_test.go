@@ -1,0 +1,96 @@
+package annotdb_test
+
+import (
+	"strings"
+	"testing"
+
+	"lxfi/internal/annotdb"
+	"lxfi/internal/core"
+)
+
+func TestBootAllLoadsTenModules(t *testing.T) {
+	for _, mode := range []core.Mode{core.Off, core.Enforce} {
+		sys, err := annotdb.BootAll(mode)
+		if err != nil {
+			t.Fatalf("[%v] %v", mode, err)
+		}
+		if n := len(sys.Modules()); n != 10 {
+			t.Fatalf("[%v] loaded %d modules, want 10", mode, n)
+		}
+		for _, m := range sys.Modules() {
+			if m.Dead {
+				t.Fatalf("[%v] module %s died during boot: %v", mode, m.Name, m.KillReason)
+			}
+		}
+	}
+}
+
+func TestFig9TableShape(t *testing.T) {
+	sys, err := annotdb.BootAll(core.Enforce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := annotdb.Build(sys)
+	if len(tab.Rows) != 10 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	byName := map[string]annotdb.Row{}
+	for _, r := range tab.Rows {
+		if r.FuncsAll == 0 {
+			t.Errorf("%s imports no annotated functions", r.Module)
+		}
+		if r.FuncsUnique > r.FuncsAll || r.FptrsUnique > r.FptrsAll {
+			t.Errorf("%s: unique exceeds all: %+v", r.Module, r)
+		}
+		byName[r.Module] = r
+	}
+	// Shape checks mirroring the paper's observations:
+	// e1000 uses the most functions of the drivers;
+	if byName["e1000"].FuncsAll <= byName["dm-zero"].FuncsAll {
+		t.Error("e1000 should need more functions than dm-zero")
+	}
+	// dm-zero is the smallest module;
+	for _, r := range tab.Rows {
+		if r.Module != "dm-zero" && r.FuncsAll < byName["dm-zero"].FuncsAll {
+			t.Errorf("%s uses fewer functions than dm-zero", r.Module)
+		}
+	}
+	// can shares nearly everything with the other protocol modules: few
+	// unique functions ("supporting the can module only requires
+	// annotating 7 extra functions").
+	if byName["can"].FuncsUnique > 2 {
+		t.Errorf("can has %d unique functions; expected nearly all shared", byName["can"].FuncsUnique)
+	}
+	// The sound drivers share their fptr interface entirely.
+	if byName["snd-ens1370"].FptrsUnique != 0 {
+		t.Error("snd-ens1370 should share all its function pointers with snd-intel8x0")
+	}
+	if tab.TotalFuncs == 0 || tab.TotalFptrs == 0 {
+		t.Fatal("totals empty")
+	}
+}
+
+func TestFormatAndInventory(t *testing.T) {
+	sys, err := annotdb.BootAll(core.Off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := annotdb.Build(sys).Format()
+	for _, want := range []string{"e1000", "dm-snapshot", "Total"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	funcs := annotdb.AnnotatedKernelFuncs(sys)
+	if len(funcs) < 10 {
+		t.Fatalf("annotated kernel functions = %d", len(funcs))
+	}
+	// kmalloc must be among them; printk (empty annotation) must not.
+	found := map[string]bool{}
+	for _, f := range funcs {
+		found[f] = true
+	}
+	if !found["kmalloc"] || found["printk"] {
+		t.Fatalf("inventory wrong: %v", funcs)
+	}
+}

@@ -1,0 +1,263 @@
+// Package apiscan reproduces Figure 10: the rate of change of Linux
+// kernel module APIs across 20 major versions (2.6.20–2.6.39), counting
+// exported functions (EXPORT_SYMBOL) and function pointers appearing in
+// shared structs, "using ctags" — here, a small scanner over C header
+// text.
+//
+// Substitution note (see DESIGN.md): we cannot ship 20 Linux source
+// trees, so a deterministic generator synthesizes header corpora whose
+// totals and churn are calibrated to the paper's reported endpoints
+// (2.6.21: 5,583 exported functions, 272 changed; 3,725 struct function
+// pointers, 183 changed; steady growth thereafter). The scanner is real:
+// it parses the generated headers the way ctags would, and the series is
+// computed by diffing scans of consecutive versions, not by echoing the
+// generator's bookkeeping.
+package apiscan
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Tree is one kernel version's header corpus.
+type Tree struct {
+	Name    string
+	Headers []string
+}
+
+// Counts is one point of the Fig. 10 series.
+type Counts struct {
+	Version       string
+	Exports       int
+	ExportsChange int // new or signature-changed since previous version
+	Fptrs         int
+	FptrsChange   int
+}
+
+// prng is a small deterministic linear congruential generator so the
+// corpus is identical on every run.
+type prng struct{ s uint64 }
+
+func (p *prng) next() uint64 {
+	p.s = p.s*6364136223846793005 + 1442695040888963407
+	return p.s >> 17
+}
+
+func (p *prng) intn(n int) int { return int(p.next() % uint64(n)) }
+
+var cTypes = []string{"int", "void", "long", "unsigned int", "size_t", "ssize_t", "u32", "u64"}
+var cArgs = []string{
+	"struct sk_buff *skb", "struct net_device *dev", "void *data",
+	"unsigned long flags", "int index", "struct inode *inode",
+	"struct file *filp", "size_t len", "struct pci_dev *pdev", "gfp_t gfp",
+}
+
+type entry struct {
+	name string
+	sig  int // signature revision; bumping it models a changed prototype
+}
+
+// corpusState evolves the synthetic API from version to version.
+type corpusState struct {
+	rng     prng
+	exports []entry
+	fptrs   []entry
+	nextID  int
+}
+
+// Calibration: endpoints from the paper's Fig. 10.
+const (
+	baseExports     = 5400 // 2.6.20
+	baseFptrs       = 3620
+	exportGrowth    = 205 // net new exports per version
+	fptrGrowth      = 150
+	exportChangePer = 95 // existing prototypes changed per version
+	fptrChangePer   = 45
+)
+
+// Versions generated, matching the paper's range.
+func versionNames() []string {
+	var out []string
+	for v := 20; v <= 39; v++ {
+		out = append(out, fmt.Sprintf("2.6.%d", v))
+	}
+	return out
+}
+
+// Corpus generates the full 20-version corpus.
+func Corpus() []Tree {
+	st := &corpusState{rng: prng{s: 0x5FD1}}
+	for i := 0; i < baseExports; i++ {
+		st.exports = append(st.exports, entry{name: st.newName("ksym"), sig: 0})
+	}
+	for i := 0; i < baseFptrs; i++ {
+		st.fptrs = append(st.fptrs, entry{name: st.newName("op"), sig: 0})
+	}
+	var trees []Tree
+	for i, ver := range versionNames() {
+		if i > 0 {
+			st.evolve()
+		}
+		trees = append(trees, st.render(ver))
+	}
+	return trees
+}
+
+func (st *corpusState) newName(prefix string) string {
+	st.nextID++
+	return fmt.Sprintf("%s_%06d", prefix, st.nextID)
+}
+
+func (st *corpusState) evolve() {
+	// Change some existing prototypes...
+	for i := 0; i < exportChangePer; i++ {
+		st.exports[st.rng.intn(len(st.exports))].sig++
+	}
+	for i := 0; i < fptrChangePer; i++ {
+		st.fptrs[st.rng.intn(len(st.fptrs))].sig++
+	}
+	// ... and add new ones.
+	for i := 0; i < exportGrowth; i++ {
+		st.exports = append(st.exports, entry{name: st.newName("ksym")})
+	}
+	for i := 0; i < fptrGrowth; i++ {
+		st.fptrs = append(st.fptrs, entry{name: st.newName("op")})
+	}
+}
+
+// render emits C header text: prototypes + EXPORT_SYMBOL lines, and
+// structs of function-pointer members, split across several "files".
+func (st *corpusState) render(ver string) Tree {
+	const perFile = 800
+	var headers []string
+	var b strings.Builder
+
+	flush := func() {
+		if b.Len() > 0 {
+			headers = append(headers, b.String())
+			b.Reset()
+		}
+	}
+
+	for i, e := range st.exports {
+		typ := cTypes[(e.sig+i)%len(cTypes)]
+		arg1 := cArgs[(e.sig+i)%len(cArgs)]
+		arg2 := cArgs[(e.sig+i*7+3)%len(cArgs)]
+		fmt.Fprintf(&b, "%s %s(%s, %s);\nEXPORT_SYMBOL(%s);\n", typ, e.name, arg1, arg2, e.name)
+		if (i+1)%perFile == 0 {
+			flush()
+		}
+	}
+	flush()
+
+	// Function pointers grouped into ops structs of ~12 members.
+	for i := 0; i < len(st.fptrs); i += 12 {
+		fmt.Fprintf(&b, "struct gen_ops_%d {\n", i/12)
+		for j := i; j < i+12 && j < len(st.fptrs); j++ {
+			e := st.fptrs[j]
+			typ := cTypes[(e.sig+j)%len(cTypes)]
+			arg := cArgs[(e.sig+j*3)%len(cArgs)]
+			fmt.Fprintf(&b, "\t%s (*%s)(%s);\n", typ, e.name, arg)
+		}
+		b.WriteString("};\n")
+		if (i/12+1)%(perFile/12) == 0 {
+			flush()
+		}
+	}
+	flush()
+	return Tree{Name: ver, Headers: headers}
+}
+
+// Scan parses one version's headers ctags-style, returning
+// name -> full prototype for exported functions and for struct function
+// pointers.
+func Scan(t Tree) (exports, fptrs map[string]string) {
+	exports = make(map[string]string)
+	fptrs = make(map[string]string)
+	protos := make(map[string]string) // all seen prototypes by name
+	for _, h := range t.Headers {
+		inStruct := false
+		for _, line := range strings.Split(h, "\n") {
+			line = strings.TrimSpace(line)
+			switch {
+			case strings.HasPrefix(line, "struct ") && strings.HasSuffix(line, "{"):
+				inStruct = true
+			case line == "};":
+				inStruct = false
+			case inStruct && strings.Contains(line, "(*"):
+				// e.g. "int (*op_000012)(struct sk_buff *skb);"
+				open := strings.Index(line, "(*")
+				close := strings.Index(line[open:], ")")
+				if close < 0 {
+					continue
+				}
+				name := line[open+2 : open+close]
+				fptrs[name] = line
+			case strings.HasPrefix(line, "EXPORT_SYMBOL("):
+				name := strings.TrimSuffix(strings.TrimPrefix(line, "EXPORT_SYMBOL("), ");")
+				exports[name] = protos[name]
+			case strings.Contains(line, "(") && strings.HasSuffix(line, ");"):
+				// A prototype: "int ksym_000001(args...);"
+				paren := strings.Index(line, "(")
+				head := line[:paren]
+				sp := strings.LastIndex(head, " ")
+				if sp < 0 {
+					continue
+				}
+				protos[head[sp+1:]] = line
+			}
+		}
+	}
+	return exports, fptrs
+}
+
+// Series scans every version and diffs against the previous one.
+func Series(trees []Tree) []Counts {
+	var out []Counts
+	var prevExp, prevFptr map[string]string
+	for _, t := range trees {
+		exp, fptr := Scan(t)
+		c := Counts{Version: t.Name, Exports: len(exp), Fptrs: len(fptr)}
+		if prevExp != nil {
+			c.ExportsChange = diff(exp, prevExp)
+			c.FptrsChange = diff(fptr, prevFptr)
+		}
+		out = append(out, c)
+		prevExp, prevFptr = exp, fptr
+	}
+	return out
+}
+
+// diff counts entries of cur that are new or whose prototype changed.
+func diff(cur, prev map[string]string) int {
+	n := 0
+	for name, sig := range cur {
+		if old, ok := prev[name]; !ok || old != sig {
+			n++
+		}
+	}
+	return n
+}
+
+// Format renders the series as a Fig. 10-style table.
+func Format(series []Counts) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %10s %10s %10s %10s\n",
+		"version", "exports", "changed", "fptrs", "changed")
+	for _, c := range series {
+		fmt.Fprintf(&b, "%-8s %10d %10d %10d %10d\n",
+			c.Version, c.Exports, c.ExportsChange, c.Fptrs, c.FptrsChange)
+	}
+	return b.String()
+}
+
+// SortedNames is a test helper: deterministic ordering of a scan map.
+func SortedNames(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for n := range m {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

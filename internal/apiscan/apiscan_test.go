@@ -1,0 +1,95 @@
+package apiscan_test
+
+import (
+	"strings"
+	"testing"
+
+	"lxfi/internal/apiscan"
+)
+
+func TestScannerOnHandWrittenHeader(t *testing.T) {
+	tree := apiscan.Tree{Name: "test", Headers: []string{`
+int netif_rx(struct sk_buff *skb);
+EXPORT_SYMBOL(netif_rx);
+void *kmalloc(size_t len, gfp_t gfp);
+EXPORT_SYMBOL(kmalloc);
+static int internal_helper(void);
+struct net_device_ops {
+	int (*ndo_open)(struct net_device *dev);
+	int (*ndo_start_xmit)(struct sk_buff *skb);
+};
+`}}
+	exp, fptr := apiscan.Scan(tree)
+	if len(exp) != 2 {
+		t.Fatalf("exports = %v", apiscan.SortedNames(exp))
+	}
+	if _, ok := exp["netif_rx"]; !ok {
+		t.Fatal("netif_rx not found")
+	}
+	if len(fptr) != 2 {
+		t.Fatalf("fptrs = %v", apiscan.SortedNames(fptr))
+	}
+	if _, ok := fptr["ndo_start_xmit"]; !ok {
+		t.Fatal("ndo_start_xmit not found")
+	}
+}
+
+func TestCorpusDeterministic(t *testing.T) {
+	a := apiscan.Corpus()
+	b := apiscan.Corpus()
+	if len(a) != 20 || len(b) != 20 {
+		t.Fatalf("versions = %d/%d", len(a), len(b))
+	}
+	if a[5].Headers[0] != b[5].Headers[0] {
+		t.Fatal("corpus not deterministic")
+	}
+	if a[0].Name != "2.6.20" || a[19].Name != "2.6.39" {
+		t.Fatalf("version range: %s..%s", a[0].Name, a[19].Name)
+	}
+}
+
+func TestFig10SeriesShape(t *testing.T) {
+	series := apiscan.Series(apiscan.Corpus())
+	if len(series) != 20 {
+		t.Fatalf("series = %d", len(series))
+	}
+	// Calibration: 2.6.21 should be near the paper's 5,583 exports (272
+	// changed) and 3,725 fptrs (183 changed).
+	v21 := series[1]
+	if v21.Exports < 5400 || v21.Exports > 5800 {
+		t.Errorf("2.6.21 exports = %d, want ~5583", v21.Exports)
+	}
+	if v21.ExportsChange < 200 || v21.ExportsChange > 350 {
+		t.Errorf("2.6.21 changed exports = %d, want ~272", v21.ExportsChange)
+	}
+	if v21.Fptrs < 3600 || v21.Fptrs > 3900 {
+		t.Errorf("2.6.21 fptrs = %d, want ~3725", v21.Fptrs)
+	}
+	if v21.FptrsChange < 120 || v21.FptrsChange > 260 {
+		t.Errorf("2.6.21 changed fptrs = %d, want ~183", v21.FptrsChange)
+	}
+	// Monotonic growth, modest churn (the paper's observation: totals
+	// grow steadily; per-version change stays in the hundreds).
+	for i := 1; i < len(series); i++ {
+		if series[i].Exports <= series[i-1].Exports {
+			t.Errorf("%s: exports did not grow", series[i].Version)
+		}
+		if series[i].Fptrs <= series[i-1].Fptrs {
+			t.Errorf("%s: fptrs did not grow", series[i].Version)
+		}
+		if series[i].ExportsChange > 600 || series[i].ExportsChange < 100 {
+			t.Errorf("%s: export churn out of band: %d", series[i].Version, series[i].ExportsChange)
+		}
+	}
+	// Endpoint: meaningful growth over 20 versions (paper: ~5.5k -> ~9.5k).
+	if last := series[19]; last.Exports < 9000 || last.Exports > 10000 {
+		t.Errorf("2.6.39 exports = %d", last.Exports)
+	}
+}
+
+func TestFormat(t *testing.T) {
+	out := apiscan.Format(apiscan.Series(apiscan.Corpus()[:3]))
+	if !strings.Contains(out, "2.6.22") || !strings.Contains(out, "exports") {
+		t.Fatalf("format:\n%s", out)
+	}
+}

@@ -1,0 +1,361 @@
+// Package blockdev implements the simulated block layer and
+// device-mapper core: bios, a RAM-backed disk, and the annotated
+// dm_target_type interface that the dm-crypt / dm-zero / dm-snapshot
+// modules plug into.
+//
+// Device-mapper targets are the paper's second worked example of
+// multi-principal modules (§2.1): each layered block device a module
+// provides is its own principal, so compromising one dm-crypt volume
+// (e.g. via a malicious USB stick) must not grant write access to the
+// others.
+package blockdev
+
+import (
+	"fmt"
+
+	"lxfi/internal/caps"
+	"lxfi/internal/core"
+	"lxfi/internal/kernel"
+	"lxfi/internal/layout"
+	"lxfi/internal/mem"
+)
+
+// SectorSize is the logical sector size.
+const SectorSize = 512
+
+// Layout names.
+const (
+	Bio      = "struct bio"
+	DmTarget = "struct dm_target"
+	DmOps    = "struct dm_target_type"
+)
+
+// Function-pointer types.
+const (
+	DmCtr = "dm_target_type.ctr"
+	DmDtr = "dm_target_type.dtr"
+	DmMap = "dm_target_type.map"
+)
+
+// bio.rw values.
+const (
+	ReadBio  = 0
+	WriteBio = 1
+)
+
+// map return values.
+const (
+	// MapSubmitted: the target dispatched (or completed) the bio itself;
+	// bio ownership stays wherever the target sent it.
+	MapSubmitted = 0
+	// MapRemapped: the target only rewrote the bio; ownership returns to
+	// the caller, which submits it (the post(if (return == 1) ...)
+	// transfer in the map annotation).
+	MapRemapped = 1
+)
+
+// Layer is the simulated block layer.
+type Layer struct {
+	K *kernel.Kernel
+
+	bio  *layout.Struct
+	tgt  *layout.Struct
+	tops *layout.Struct
+
+	// disks maps a device id to its backing store.
+	disks map[uint64][]byte
+	// completed counts bio_endio calls.
+	completed uint64
+	// targets tracks live dm targets: target struct -> its type ops.
+	targets map[mem.Addr]mem.Addr
+}
+
+// Init builds the block layer.
+func Init(k *kernel.Kernel) *Layer {
+	l := &Layer{
+		K:       k,
+		disks:   make(map[uint64][]byte),
+		targets: make(map[mem.Addr]mem.Addr),
+	}
+	sys := k.Sys
+
+	l.bio = sys.Layouts.Define(Bio,
+		layout.F("sector", 8),
+		layout.F("data", 8),
+		layout.F("len", 8),
+		layout.F("rw", 8),
+		layout.F("dev", 8),
+		layout.F("truesize", 8),
+	)
+	l.tgt = sys.Layouts.Define(DmTarget,
+		layout.F("ops", 8),
+		layout.F("private", 8),
+		layout.F("begin", 8),
+		layout.F("len", 8),
+		layout.F("dev", 8),
+	)
+	l.tops = sys.Layouts.Define(DmOps,
+		layout.F("ctr", 8),
+		layout.F("dtr", 8),
+		layout.F("map", 8),
+	)
+
+	// bio_caps: the bio struct plus its payload.
+	sys.RegisterIterator("bio_caps", func(t *core.Thread, args []int64, emit func(caps.Cap) error) error {
+		bio := mem.Addr(uint64(args[0]))
+		if bio == 0 {
+			return nil
+		}
+		if err := emit(caps.WriteCap(bio, l.bio.Size)); err != nil {
+			return err
+		}
+		data, _ := sys.AS.ReadU64(bio + mem.Addr(l.bio.Off("data")))
+		size, _ := sys.AS.ReadU64(bio + mem.Addr(l.bio.Off("truesize")))
+		if data != 0 && size > 0 {
+			return emit(caps.WriteCap(mem.Addr(data), size))
+		}
+		return nil
+	})
+
+	sys.RegisterFPtrType(DmCtr,
+		[]core.Param{core.P("ti", "struct dm_target *"), core.P("arg", "u64")},
+		"principal(ti) pre(copy(write, ti))")
+	sys.RegisterFPtrType(DmDtr,
+		[]core.Param{core.P("ti", "struct dm_target *")},
+		"principal(ti)")
+	sys.RegisterFPtrType(DmMap,
+		[]core.Param{core.P("ti", "struct dm_target *"), core.P("bio", "struct bio *")},
+		"principal(ti) pre(transfer(bio_caps(bio))) "+
+			"post(if (return == 1) transfer(bio_caps(bio)))")
+
+	l.registerExports()
+	return l
+}
+
+func (l *Layer) registerExports() {
+	sys := l.K.Sys
+
+	// bio_alloc: ownership of the fresh bio goes to the allocator.
+	sys.RegisterKernelFunc("bio_alloc",
+		[]core.Param{core.P("size", "size_t")},
+		"post(if (return != 0) transfer(bio_caps(return)))",
+		func(t *core.Thread, args []uint64) uint64 {
+			bio, err := l.AllocBio(args[0])
+			if err != nil {
+				return 0
+			}
+			return uint64(bio)
+		})
+
+	sys.RegisterKernelFunc("bio_put",
+		[]core.Param{core.P("bio", "struct bio *")},
+		"pre(transfer(bio_caps(bio)))",
+		func(t *core.Thread, args []uint64) uint64 {
+			l.FreeBio(mem.Addr(args[0]))
+			return 0
+		})
+
+	// submit_bio performs the I/O against the backing disk. The caller
+	// gives up the bio (and payload) capabilities: once submitted, the
+	// module must not touch the data again.
+	sys.RegisterKernelFunc("submit_bio",
+		[]core.Param{core.P("bio", "struct bio *")},
+		"pre(transfer(bio_caps(bio)))",
+		func(t *core.Thread, args []uint64) uint64 {
+			if err := l.doIO(mem.Addr(args[0])); err != nil {
+				return kernel.Err(kernel.EFAULT)
+			}
+			l.completed++
+			return 0
+		})
+
+	// dm_read_sectors is the synchronous read API dm targets use to
+	// fetch data into their own buffers (dm-crypt reads ciphertext this
+	// way before decrypting in place). The destination must be memory
+	// the module owns.
+	sys.RegisterKernelFunc("dm_read_sectors",
+		[]core.Param{core.P("dev", "u64"), core.P("sector", "u64"),
+			core.P("buf", "void *"), core.P("n", "size_t")},
+		"pre(check(write, buf, n))",
+		func(t *core.Thread, args []uint64) uint64 {
+			disk, ok := l.disks[args[0]]
+			if !ok {
+				return kernel.Err(kernel.ENOENT)
+			}
+			off := args[1] * SectorSize
+			n := args[3]
+			if off+n > uint64(len(disk)) {
+				return kernel.Err(kernel.EINVAL)
+			}
+			if err := sys.AS.Write(mem.Addr(args[2]), disk[off:off+n]); err != nil {
+				return kernel.Err(kernel.EFAULT)
+			}
+			return 0
+		})
+
+	// bio_endio completes a bio without touching a disk (used by targets
+	// that synthesize data, like dm-zero).
+	sys.RegisterKernelFunc("bio_endio",
+		[]core.Param{core.P("bio", "struct bio *")},
+		"pre(transfer(bio_caps(bio)))",
+		func(t *core.Thread, args []uint64) uint64 {
+			l.completed++
+			return 0
+		})
+}
+
+// AllocBio allocates a bio plus payload buffer (trusted-side helper).
+func (l *Layer) AllocBio(size uint64) (mem.Addr, error) {
+	sys := l.K.Sys
+	bio, err := sys.Slab.Alloc(l.bio.Size)
+	if err != nil {
+		return 0, err
+	}
+	if size == 0 {
+		size = SectorSize
+	}
+	data, err := sys.Slab.Alloc(size)
+	if err != nil {
+		return 0, err
+	}
+	must(sys.AS.WriteU64(bio+mem.Addr(l.bio.Off("data")), uint64(data)))
+	must(sys.AS.WriteU64(bio+mem.Addr(l.bio.Off("truesize")), size))
+	must(sys.AS.WriteU64(bio+mem.Addr(l.bio.Off("len")), size))
+	return bio, nil
+}
+
+// FreeBio releases a bio and its payload.
+func (l *Layer) FreeBio(bio mem.Addr) {
+	if bio == 0 {
+		return
+	}
+	sys := l.K.Sys
+	data, _ := sys.AS.ReadU64(bio + mem.Addr(l.bio.Off("data")))
+	if data != 0 {
+		_ = sys.Slab.Free(mem.Addr(data))
+	}
+	_ = sys.Slab.Free(bio)
+}
+
+// BioField returns the address of a bio field.
+func (l *Layer) BioField(bio mem.Addr, f string) mem.Addr {
+	return bio + mem.Addr(l.bio.Off(f))
+}
+
+// TargetField returns the address of a dm_target field.
+func (l *Layer) TargetField(ti mem.Addr, f string) mem.Addr {
+	return ti + mem.Addr(l.tgt.Off(f))
+}
+
+// OpsSlot returns the address of a dm_target_type slot.
+func (l *Layer) OpsSlot(ops mem.Addr, f string) mem.Addr {
+	return ops + mem.Addr(l.tops.Off(f))
+}
+
+// AddDisk creates a RAM-backed disk of the given size.
+func (l *Layer) AddDisk(dev uint64, sectors uint64) {
+	l.disks[dev] = make([]byte, sectors*SectorSize)
+}
+
+// DiskBytes exposes a disk's backing store for test assertions.
+func (l *Layer) DiskBytes(dev uint64) []byte { return l.disks[dev] }
+
+// Completed returns the number of completed bios.
+func (l *Layer) Completed() uint64 { return l.completed }
+
+// doIO executes a bio against its device.
+func (l *Layer) doIO(bio mem.Addr) error {
+	as := l.K.Sys.AS
+	sector, _ := as.ReadU64(bio + mem.Addr(l.bio.Off("sector")))
+	data, _ := as.ReadU64(bio + mem.Addr(l.bio.Off("data")))
+	n, _ := as.ReadU64(bio + mem.Addr(l.bio.Off("len")))
+	rw, _ := as.ReadU64(bio + mem.Addr(l.bio.Off("rw")))
+	dev, _ := as.ReadU64(bio + mem.Addr(l.bio.Off("dev")))
+	disk, ok := l.disks[dev]
+	if !ok {
+		return fmt.Errorf("blockdev: no disk %d", dev)
+	}
+	off := sector * SectorSize
+	if off+n > uint64(len(disk)) {
+		return fmt.Errorf("blockdev: I/O past end of disk %d", dev)
+	}
+	buf := make([]byte, n)
+	if rw == WriteBio {
+		if err := as.Read(mem.Addr(data), buf); err != nil {
+			return err
+		}
+		copy(disk[off:], buf)
+		return nil
+	}
+	copy(buf, disk[off:off+n])
+	return as.Write(mem.Addr(data), buf)
+}
+
+// CreateTarget instantiates a dm target: it allocates the dm_target,
+// points it at the module's target-type ops table, and runs the
+// module's constructor through the annotated indirect call.
+func (l *Layer) CreateTarget(t *core.Thread, ops mem.Addr, arg, begin, length, dev uint64) (mem.Addr, error) {
+	sys := l.K.Sys
+	ti, err := sys.Slab.Alloc(l.tgt.Size)
+	if err != nil {
+		return 0, err
+	}
+	must(sys.AS.WriteU64(ti+mem.Addr(l.tgt.Off("ops")), uint64(ops)))
+	must(sys.AS.WriteU64(ti+mem.Addr(l.tgt.Off("begin")), begin))
+	must(sys.AS.WriteU64(ti+mem.Addr(l.tgt.Off("len")), length))
+	must(sys.AS.WriteU64(ti+mem.Addr(l.tgt.Off("dev")), dev))
+	ret, err := t.IndirectCall(l.OpsSlot(ops, "ctr"), DmCtr, uint64(ti), arg)
+	if err != nil {
+		return 0, err
+	}
+	if kernel.IsErr(ret) {
+		_ = sys.Slab.Free(ti)
+		return 0, fmt.Errorf("blockdev: ctr failed: errno %d", -int64(ret))
+	}
+	l.targets[ti] = ops
+	return ti, nil
+}
+
+// RemoveTarget runs the destructor and frees the target.
+func (l *Layer) RemoveTarget(t *core.Thread, ti mem.Addr) error {
+	ops, ok := l.targets[ti]
+	if !ok {
+		return fmt.Errorf("blockdev: unknown target %#x", uint64(ti))
+	}
+	if _, err := t.IndirectCall(l.OpsSlot(ops, "dtr"), DmDtr, uint64(ti)); err != nil {
+		return err
+	}
+	delete(l.targets, ti)
+	return l.K.Sys.Slab.Free(ti)
+}
+
+// Submit routes a bio through a dm target's map function; if the target
+// remaps (rather than submits), the layer performs the I/O itself.
+func (l *Layer) Submit(t *core.Thread, ti, bio mem.Addr) error {
+	ops, ok := l.targets[ti]
+	if !ok {
+		return fmt.Errorf("blockdev: unknown target %#x", uint64(ti))
+	}
+	ret, err := t.IndirectCall(l.OpsSlot(ops, "map"), DmMap, uint64(ti), uint64(bio))
+	if err != nil {
+		return err
+	}
+	switch ret {
+	case MapSubmitted:
+		return nil
+	case MapRemapped:
+		if err := l.doIO(bio); err != nil {
+			return err
+		}
+		l.completed++
+		return nil
+	default:
+		return fmt.Errorf("blockdev: map failed: errno %d", -int64(ret))
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,96 @@
+package blockdev_test
+
+import (
+	"bytes"
+	"testing"
+
+	"lxfi/internal/blockdev"
+	"lxfi/internal/core"
+	"lxfi/internal/kernel"
+	"lxfi/internal/mem"
+)
+
+func rig(t *testing.T) (*kernel.Kernel, *blockdev.Layer, *core.Thread) {
+	t.Helper()
+	k := kernel.New()
+	l := blockdev.Init(k)
+	l.AddDisk(1, 128)
+	return k, l, k.Sys.NewThread("blk")
+}
+
+func TestBioAllocFree(t *testing.T) {
+	k, l, _ := rig(t)
+	bio, err := l.AllocBio(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := k.Sys.AS.ReadU64(l.BioField(bio, "data"))
+	if !k.Sys.Slab.Owns(mem.Addr(data)) || !k.Sys.Slab.Owns(bio) {
+		t.Fatal("bio pieces not allocated")
+	}
+	l.FreeBio(bio)
+	if k.Sys.Slab.Owns(bio) || k.Sys.Slab.Owns(mem.Addr(data)) {
+		t.Fatal("bio pieces leaked")
+	}
+}
+
+func TestDirectIO(t *testing.T) {
+	k, l, th := rig(t)
+	payload := bytes.Repeat([]byte{0xD7}, blockdev.SectorSize)
+	bio, _ := l.AllocBio(blockdev.SectorSize)
+	data, _ := k.Sys.AS.ReadU64(l.BioField(bio, "data"))
+	must(t, k.Sys.AS.Write(mem.Addr(data), payload))
+	for f, v := range map[string]uint64{"sector": 5, "rw": blockdev.WriteBio, "dev": 1} {
+		must(t, k.Sys.AS.WriteU64(l.BioField(bio, f), v))
+	}
+	if ret, err := th.CallKernel("submit_bio", uint64(bio)); err != nil || kernel.IsErr(ret) {
+		t.Fatalf("submit: %d %v", int64(ret), err)
+	}
+	if !bytes.Equal(l.DiskBytes(1)[5*blockdev.SectorSize:6*blockdev.SectorSize], payload) {
+		t.Fatal("write did not reach the disk")
+	}
+	// Read it back through a fresh bio.
+	rb, _ := l.AllocBio(blockdev.SectorSize)
+	for f, v := range map[string]uint64{"sector": 5, "rw": blockdev.ReadBio, "dev": 1} {
+		must(t, k.Sys.AS.WriteU64(l.BioField(rb, f), v))
+	}
+	if ret, err := th.CallKernel("submit_bio", uint64(rb)); err != nil || kernel.IsErr(ret) {
+		t.Fatalf("read submit: %d %v", int64(ret), err)
+	}
+	rdata, _ := k.Sys.AS.ReadU64(l.BioField(rb, "data"))
+	got, _ := k.Sys.AS.ReadBytes(mem.Addr(rdata), blockdev.SectorSize)
+	if !bytes.Equal(got, payload) {
+		t.Fatal("read mismatch")
+	}
+	if l.Completed() != 2 {
+		t.Fatalf("completed = %d", l.Completed())
+	}
+}
+
+func TestIOPastEndOfDisk(t *testing.T) {
+	k, l, th := rig(t)
+	bio, _ := l.AllocBio(blockdev.SectorSize)
+	for f, v := range map[string]uint64{"sector": 1000, "rw": blockdev.WriteBio, "dev": 1} {
+		must(t, k.Sys.AS.WriteU64(l.BioField(bio, f), v))
+	}
+	if ret, err := th.CallKernel("submit_bio", uint64(bio)); err != nil || !kernel.IsErr(ret) {
+		t.Fatalf("out-of-range I/O accepted: %d %v", int64(ret), err)
+	}
+}
+
+func TestUnknownTargetRejected(t *testing.T) {
+	_, l, th := rig(t)
+	if err := l.Submit(th, 0xdead, 0xbeef); err == nil {
+		t.Fatal("unknown target accepted")
+	}
+	if err := l.RemoveTarget(th, 0xdead); err == nil {
+		t.Fatal("unknown target removed")
+	}
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,580 @@
+// Package caps implements LXFI's capability system (§3.2 of the paper).
+//
+// LXFI tracks three kinds of capabilities per module principal:
+//
+//   - WRITE(ptr, size): the principal may write any value into the
+//     kernel memory region [ptr, ptr+size).
+//   - REF(t, a): the principal may pass a as an argument to kernel
+//     functions requiring a REF capability of type t (object ownership
+//     without write access).
+//   - CALL(a): the principal may call or jump to address a.
+//
+// WRITE capabilities are indexed the way the paper describes: each
+// capability is inserted into every hash-table bucket its address range
+// covers, with bucket keys derived by masking the low 12 bits of the
+// address. Lookups therefore probe a single bucket, giving constant
+// expected time instead of the logarithmic time of a balanced tree.
+package caps
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"lxfi/internal/mem"
+)
+
+// Kind identifies a capability type.
+type Kind uint8
+
+// The three capability kinds of §3.2.
+const (
+	Write Kind = iota
+	Ref
+	Call
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Write:
+		return "WRITE"
+	case Ref:
+		return "REF"
+	case Call:
+		return "CALL"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Cap is a single capability.
+type Cap struct {
+	Kind    Kind
+	Addr    mem.Addr
+	Size    uint64 // WRITE only
+	RefType string // REF only
+}
+
+// WriteCap constructs a WRITE(addr, size) capability.
+func WriteCap(addr mem.Addr, size uint64) Cap { return Cap{Kind: Write, Addr: addr, Size: size} }
+
+// RefCap constructs a REF(typ, addr) capability.
+func RefCap(typ string, addr mem.Addr) Cap { return Cap{Kind: Ref, Addr: addr, RefType: typ} }
+
+// CallCap constructs a CALL(addr) capability.
+func CallCap(addr mem.Addr) Cap { return Cap{Kind: Call, Addr: addr} }
+
+func (c Cap) String() string {
+	switch c.Kind {
+	case Write:
+		return fmt.Sprintf("WRITE(%#x,%d)", uint64(c.Addr), c.Size)
+	case Ref:
+		return fmt.Sprintf("REF(%s,%#x)", c.RefType, uint64(c.Addr))
+	case Call:
+		return fmt.Sprintf("CALL(%#x)", uint64(c.Addr))
+	}
+	return "CAP(?)"
+}
+
+// bucketShift mirrors the paper's optimization: "LXFI reduces the number
+// of insertions by masking the least significant bits of the address
+// (the last 12 bits in practice) when calculating hash keys."
+const bucketShift = 12
+
+func bucketOf(a mem.Addr) mem.Addr { return a >> bucketShift }
+
+type writeEntry struct {
+	addr mem.Addr
+	size uint64
+}
+
+func (w writeEntry) covers(addr mem.Addr, size uint64) bool {
+	return w.addr <= addr && addr+mem.Addr(size) <= w.addr+mem.Addr(w.size)
+}
+
+func (w writeEntry) overlaps(addr mem.Addr, size uint64) bool {
+	return w.addr < addr+mem.Addr(size) && addr < w.addr+mem.Addr(w.size)
+}
+
+type refKey struct {
+	typ  string
+	addr mem.Addr
+}
+
+// PrincipalKind distinguishes instance principals from the two special
+// per-module principals of §3.1.
+type PrincipalKind uint8
+
+// Principal kinds.
+const (
+	// Instance principals correspond to one instance of the module's
+	// abstraction (one socket, one block device, ...). They are named by
+	// the address of the data structure representing the instance.
+	Instance PrincipalKind = iota
+	// Shared is the module's shared principal: capabilities stored here
+	// are implicitly accessible to every other principal in the module.
+	Shared
+	// Global is the module's global principal: it implicitly has access
+	// to the capabilities of all principals in the module.
+	Global
+)
+
+func (k PrincipalKind) String() string {
+	switch k {
+	case Instance:
+		return "instance"
+	case Shared:
+		return "shared"
+	case Global:
+		return "global"
+	}
+	return "?"
+}
+
+// Principal holds one principal's three capability tables.
+type Principal struct {
+	Module string
+	Name   mem.Addr // 0 for shared/global
+	Kind   PrincipalKind
+
+	set *ModuleSet // owning module's principal set (nil only for Trusted)
+
+	writes map[mem.Addr][]writeEntry
+	refs   map[refKey]struct{}
+	calls  map[mem.Addr]struct{}
+}
+
+func newPrincipal(set *ModuleSet, module string, name mem.Addr, kind PrincipalKind) *Principal {
+	return &Principal{
+		Module: module,
+		Name:   name,
+		Kind:   kind,
+		set:    set,
+		writes: make(map[mem.Addr][]writeEntry),
+		refs:   make(map[refKey]struct{}),
+		calls:  make(map[mem.Addr]struct{}),
+	}
+}
+
+// String renders the principal for diagnostics, e.g. "econet[#c0de]".
+func (p *Principal) String() string {
+	if p == nil {
+		return "<kernel>"
+	}
+	switch p.Kind {
+	case Shared:
+		return p.Module + "[shared]"
+	case Global:
+		return p.Module + "[global]"
+	}
+	return fmt.Sprintf("%s[%#x]", p.Module, uint64(p.Name))
+}
+
+// IsTrusted reports whether p is the fully-trusted core kernel principal.
+func (p *Principal) IsTrusted() bool { return p != nil && p.set == nil }
+
+func (p *Principal) grant(c Cap) {
+	switch c.Kind {
+	case Write:
+		if c.Size == 0 {
+			return
+		}
+		e := writeEntry{addr: c.Addr, size: c.Size}
+		first := bucketOf(c.Addr)
+		last := bucketOf(c.Addr + mem.Addr(c.Size) - 1)
+		for b := first; b <= last; b++ {
+			// Avoid exact duplicates in the bucket.
+			dup := false
+			for _, have := range p.writes[b] {
+				if have == e {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				p.writes[b] = append(p.writes[b], e)
+			}
+		}
+	case Ref:
+		p.refs[refKey{c.RefType, c.Addr}] = struct{}{}
+	case Call:
+		p.calls[c.Addr] = struct{}{}
+	}
+}
+
+// owns checks p's own tables only (no shared fallback, no global sweep).
+func (p *Principal) owns(c Cap) bool {
+	switch c.Kind {
+	case Write:
+		for _, e := range p.writes[bucketOf(c.Addr)] {
+			if e.covers(c.Addr, c.Size) {
+				return true
+			}
+		}
+		return false
+	case Ref:
+		_, ok := p.refs[refKey{c.RefType, c.Addr}]
+		return ok
+	case Call:
+		_, ok := p.calls[c.Addr]
+		return ok
+	}
+	return false
+}
+
+// revokeOverlap removes capabilities matching c from p's own tables.
+// For WRITE, any entry overlapping [c.Addr, c.Addr+c.Size) is removed
+// entirely (the conservative direction: revocation may strip more than
+// requested, never less).
+func (p *Principal) revokeOverlap(c Cap) bool {
+	removed := false
+	switch c.Kind {
+	case Write:
+		// An overlapping entry may be registered in buckets outside
+		// [c.Addr, c.Addr+c.Size); collect victims first, then purge them
+		// from every bucket they cover.
+		var victims []writeEntry
+		first := bucketOf(c.Addr)
+		last := bucketOf(c.Addr + mem.Addr(c.Size) - 1)
+		seen := map[writeEntry]bool{}
+		for b := first; b <= last; b++ {
+			for _, e := range p.writes[b] {
+				if e.overlaps(c.Addr, c.Size) && !seen[e] {
+					seen[e] = true
+					victims = append(victims, e)
+				}
+			}
+		}
+		for _, v := range victims {
+			removed = true
+			vf := bucketOf(v.addr)
+			vl := bucketOf(v.addr + mem.Addr(v.size) - 1)
+			for b := vf; b <= vl; b++ {
+				lst := p.writes[b]
+				out := lst[:0]
+				for _, e := range lst {
+					if e != v {
+						out = append(out, e)
+					}
+				}
+				if len(out) == 0 {
+					delete(p.writes, b)
+				} else {
+					p.writes[b] = out
+				}
+			}
+		}
+	case Ref:
+		k := refKey{c.RefType, c.Addr}
+		if _, ok := p.refs[k]; ok {
+			delete(p.refs, k)
+			removed = true
+		}
+	case Call:
+		if _, ok := p.calls[c.Addr]; ok {
+			delete(p.calls, c.Addr)
+			removed = true
+		}
+	}
+	return removed
+}
+
+// WriteRegions returns the distinct WRITE capability regions held
+// directly by p, sorted by address. Used by introspection and tests.
+func (p *Principal) WriteRegions() []Cap {
+	seen := map[writeEntry]bool{}
+	var out []Cap
+	for _, lst := range p.writes {
+		for _, e := range lst {
+			if !seen[e] {
+				seen[e] = true
+				out = append(out, WriteCap(e.addr, e.size))
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// CallTargets returns the CALL capability targets held directly by p.
+func (p *Principal) CallTargets() []mem.Addr {
+	out := make([]mem.Addr, 0, len(p.calls))
+	for a := range p.calls {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// RefCaps returns the REF capabilities held directly by p.
+func (p *Principal) RefCaps() []Cap {
+	out := make([]Cap, 0, len(p.refs))
+	for k := range p.refs {
+		out = append(out, RefCap(k.typ, k.addr))
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Addr != out[j].Addr {
+			return out[i].Addr < out[j].Addr
+		}
+		return out[i].RefType < out[j].RefType
+	})
+	return out
+}
+
+// ModuleSet holds all principals belonging to one loaded module.
+type ModuleSet struct {
+	Module string
+
+	shared    *Principal
+	global    *Principal
+	instances map[mem.Addr]*Principal
+	aliases   map[mem.Addr]*Principal // principal name -> canonical principal
+}
+
+// Shared returns the module's shared principal.
+func (ms *ModuleSet) Shared() *Principal { return ms.shared }
+
+// Global returns the module's global principal.
+func (ms *ModuleSet) Global() *Principal { return ms.global }
+
+// Instance returns the principal named by addr, creating it on first
+// use. Aliases established with Alias resolve to their canonical
+// principal.
+func (ms *ModuleSet) Instance(addr mem.Addr) *Principal {
+	if p, ok := ms.aliases[addr]; ok {
+		return p
+	}
+	p, ok := ms.instances[addr]
+	if !ok {
+		p = newPrincipal(ms, ms.Module, addr, Instance)
+		ms.instances[addr] = p
+		ms.aliases[addr] = p
+	}
+	return p
+}
+
+// Lookup returns the principal for addr without creating one.
+func (ms *ModuleSet) Lookup(addr mem.Addr) (*Principal, bool) {
+	p, ok := ms.aliases[addr]
+	return p, ok
+}
+
+// Alias makes alias a second name for the principal currently named by
+// existing (lxfi_princ_alias in the paper). The existing principal is
+// created if absent.
+func (ms *ModuleSet) Alias(existing, alias mem.Addr) error {
+	if alias == 0 {
+		return fmt.Errorf("caps: cannot alias the NULL name")
+	}
+	p := ms.Instance(existing)
+	if cur, ok := ms.aliases[alias]; ok && cur != p {
+		return fmt.Errorf("caps: name %#x already bound to %s", uint64(alias), cur)
+	}
+	ms.aliases[alias] = p
+	return nil
+}
+
+// DropInstance removes the principal named addr (and every alias of it)
+// along with all of its capabilities; called when the instance's backing
+// object is destroyed.
+func (ms *ModuleSet) DropInstance(addr mem.Addr) {
+	p, ok := ms.aliases[addr]
+	if !ok {
+		return
+	}
+	for name, q := range ms.aliases {
+		if q == p {
+			delete(ms.aliases, name)
+		}
+	}
+	delete(ms.instances, p.Name)
+}
+
+// Principals returns all principals of the module (shared, global, and
+// all instances), sorted for determinism.
+func (ms *ModuleSet) Principals() []*Principal {
+	out := []*Principal{ms.shared, ms.global}
+	var inst []*Principal
+	for _, p := range ms.instances {
+		inst = append(inst, p)
+	}
+	sort.Slice(inst, func(i, j int) bool { return inst[i].Name < inst[j].Name })
+	return append(out, inst...)
+}
+
+// System is the global capability state: every loaded module's principal
+// set. Transfer actions revoke from all principals system-wide, so the
+// system is the unit that owns revocation.
+type System struct {
+	mu      sync.Mutex
+	modules map[string]*ModuleSet
+
+	// Trusted is the core-kernel principal: all checks against it
+	// succeed and grants to it are no-ops (the kernel is fully trusted,
+	// §2.3).
+	Trusted *Principal
+}
+
+// NewSystem returns an empty capability system.
+func NewSystem() *System {
+	return &System{
+		modules: make(map[string]*ModuleSet),
+		Trusted: &Principal{Module: "kernel", Kind: Shared},
+	}
+}
+
+// LoadModule creates (or returns) the principal set for module name.
+func (s *System) LoadModule(name string) *ModuleSet {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ms, ok := s.modules[name]; ok {
+		return ms
+	}
+	ms := &ModuleSet{
+		Module:    name,
+		instances: make(map[mem.Addr]*Principal),
+		aliases:   make(map[mem.Addr]*Principal),
+	}
+	ms.shared = newPrincipal(ms, name, 0, Shared)
+	ms.global = newPrincipal(ms, name, 0, Global)
+	s.modules[name] = ms
+	return ms
+}
+
+// UnloadModule discards all principals and capabilities of module name.
+func (s *System) UnloadModule(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.modules, name)
+}
+
+// Module returns the principal set for a loaded module.
+func (s *System) Module(name string) (*ModuleSet, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ms, ok := s.modules[name]
+	return ms, ok
+}
+
+// Modules returns the names of all loaded modules, sorted.
+func (s *System) Modules() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.modules))
+	for n := range s.modules {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Grant gives capability c to principal p. Granting to the trusted
+// kernel principal is a no-op: the kernel implicitly owns everything.
+func (s *System) Grant(p *Principal, c Cap) {
+	if p == nil || p.IsTrusted() {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p.grant(c)
+}
+
+// Check reports whether principal p holds capability c, honoring the
+// implicit-access rules of §3.1:
+//
+//   - every principal implicitly has the shared principal's capabilities;
+//   - the global principal implicitly has every principal's capabilities;
+//   - the trusted kernel principal holds everything.
+//
+// A nil principal means "running as the core kernel" and also passes.
+func (s *System) Check(p *Principal, c Cap) bool {
+	if p == nil || p.IsTrusted() {
+		return true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ms := p.set
+	switch p.Kind {
+	case Global:
+		for _, q := range ms.instances {
+			if q.owns(c) {
+				return true
+			}
+		}
+		return ms.shared.owns(c) || ms.global.owns(c)
+	case Shared:
+		return ms.shared.owns(c)
+	default:
+		return p.owns(c) || ms.shared.owns(c)
+	}
+}
+
+// OwnsDirectly reports whether p's own table holds c, with no implicit
+// fallback. Used by tests and by transfer bookkeeping.
+func (s *System) OwnsDirectly(p *Principal, c Cap) bool {
+	if p == nil || p.IsTrusted() {
+		return true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return p.owns(c)
+}
+
+// Revoke removes capability c from principal p only.
+func (s *System) Revoke(p *Principal, c Cap) {
+	if p == nil || p.IsTrusted() {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p.revokeOverlap(c)
+}
+
+// RevokeAll removes capability c from every principal of every module in
+// the system. This implements the transfer semantics of §3.3: "Transfer
+// actions revoke the transferred capability from all principals in the
+// system, rather than just from the immediate source", so that no copies
+// remain and the referenced object can be reused safely.
+func (s *System) RevokeAll(c Cap) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, ms := range s.modules {
+		if ms.shared.revokeOverlap(c) {
+			n++
+		}
+		if ms.global.revokeOverlap(c) {
+			n++
+		}
+		for _, p := range ms.instances {
+			if p.revokeOverlap(c) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// WriteGrantees returns every principal that directly holds a WRITE
+// capability covering addr. This is the slow path of writer-set
+// tracking: "the actual contents of non-empty writer sets is computed by
+// traversing a global list of principals" (§5).
+func (s *System) WriteGrantees(addr mem.Addr) []*Principal {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []*Principal
+	probe := WriteCap(addr, 1)
+	var names []string
+	for n := range s.modules {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		ms := s.modules[n]
+		for _, p := range ms.Principals() {
+			if p.owns(probe) {
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}

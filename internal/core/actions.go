@@ -1,0 +1,224 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"lxfi/internal/annot"
+	"lxfi/internal/caps"
+	"lxfi/internal/mem"
+)
+
+// argEnv binds a call's arguments (and, for post actions, its return
+// value) to the identifiers used in annotation expressions.
+type argEnv struct {
+	sys    *System
+	params []Param
+	args   []uint64
+	ret    uint64
+	hasRet bool
+}
+
+// Arg implements annot.Env.
+func (e *argEnv) Arg(name string) (int64, bool) {
+	if name == "return" {
+		if !e.hasRet {
+			return 0, false
+		}
+		return int64(e.ret), true
+	}
+	for i, p := range e.params {
+		if p.Name == name && i < len(e.args) {
+			return int64(e.args[i]), true
+		}
+	}
+	return 0, false
+}
+
+// Const implements annot.Env.
+func (e *argEnv) Const(name string) (int64, bool) {
+	v, ok := e.sys.consts[name]
+	return v, ok
+}
+
+// sizeofType resolves "sizeof(*ptr)" for a parameter's declared C type:
+// "struct sk_buff *" -> size of struct sk_buff in the layout registry.
+func (s *System) sizeofType(typ string) (uint64, bool) {
+	typ = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(typ), "*"))
+	return s.Layouts.Sizeof(typ)
+}
+
+// resolveCaps materializes the capability list of one action.
+func (t *Thread) resolveCaps(cl *annot.CapList, env *argEnv) ([]caps.Cap, error) {
+	if cl.IsIterator() {
+		iter, ok := t.Sys.iterators[cl.Iter]
+		if !ok {
+			return nil, fmt.Errorf("core: unknown capability iterator %q", cl.Iter)
+		}
+		iargs := make([]int64, len(cl.IterArgs))
+		for i, e := range cl.IterArgs {
+			v, err := e.Eval(env)
+			if err != nil {
+				return nil, err
+			}
+			iargs[i] = v
+		}
+		var out []caps.Cap
+		err := iter(t, iargs, func(c caps.Cap) error {
+			out = append(out, c)
+			return nil
+		})
+		return out, err
+	}
+
+	ptr, err := cl.Ptr.Eval(env)
+	if err != nil {
+		return nil, err
+	}
+	addr := mem.Addr(uint64(ptr))
+	switch cl.Kind {
+	case annot.CapCall:
+		return []caps.Cap{caps.CallCap(addr)}, nil
+	case annot.CapRef:
+		return []caps.Cap{caps.RefCap(cl.RefType, addr)}, nil
+	case annot.CapWrite:
+		var size uint64
+		if cl.Size != nil {
+			v, err := cl.Size.Eval(env)
+			if err != nil {
+				return nil, err
+			}
+			if v < 0 {
+				v = 0
+			}
+			size = uint64(v)
+		} else {
+			// sizeof(*ptr): look up the declared type of the parameter
+			// the pointer expression names.
+			ok := false
+			if cl.Ptr.Ident != "" {
+				for _, p := range env.params {
+					if p.Name == cl.Ptr.Ident {
+						size, ok = t.Sys.sizeofType(p.Type)
+						break
+					}
+				}
+			}
+			if !ok {
+				return nil, fmt.Errorf("core: cannot resolve sizeof for %q", cl.Ptr)
+			}
+		}
+		return []caps.Cap{caps.WriteCap(addr, size)}, nil
+	}
+	return nil, fmt.Errorf("core: bad caplist")
+}
+
+// grant gives c to principal p, updating writer sets when a WRITE
+// capability lands in module hands.
+func (t *Thread) grant(p *caps.Principal, c caps.Cap) {
+	t.Sys.Mon.Stats.CapGrants.Add(1)
+	if p == nil || p.IsTrusted() {
+		return
+	}
+	t.Sys.Caps.Grant(p, c)
+	if c.Kind == caps.Write {
+		t.Sys.WST.MarkRange(c.Addr, c.Size)
+	}
+}
+
+// runActions executes one pre or post action list. Ownership checks are
+// made against from (the side that must already hold the capability per
+// Fig. 3); copies and transfers then move capabilities from from to to.
+// blame identifies the untrusted side to kill on a contract violation.
+func (t *Thread) runActions(what string, actions []*annot.Action, env *argEnv,
+	from, to *caps.Principal, blame *Module) error {
+	for _, a := range actions {
+		if err := t.runAction(what, a, env, from, to, blame); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (t *Thread) runAction(what string, a *annot.Action, env *argEnv,
+	from, to *caps.Principal, blame *Module) error {
+	if a.Op == annot.If {
+		v, err := a.Cond.Eval(env)
+		if err != nil {
+			return t.violationAt(blame, from, "annotation", 0,
+				fmt.Sprintf("%s: bad condition %q: %v", what, a.Cond, err))
+		}
+		if v == 0 {
+			return nil
+		}
+		return t.runAction(what, a.Then, env, from, to, blame)
+	}
+
+	capsList, err := t.resolveCaps(a.Caps, env)
+	if err != nil {
+		return t.violationAt(blame, from, "annotation", 0, fmt.Sprintf("%s: %v", what, err))
+	}
+	mon := &t.Sys.Mon.Stats
+	for _, c := range capsList {
+		mon.AnnotationActions.Add(1)
+		// All three operators first verify ownership on the from side
+		// ("Both copy and transfer ensure that the capability is owned in
+		// the first place before granting it", §3.3).
+		mon.CapChecks.Add(1)
+		if !t.Sys.Caps.Check(from, c) {
+			return t.violationAt(blame, from, "annotation", c.Addr,
+				fmt.Sprintf("%s: %s action: %s does not own %s", what, a.Op, from, c))
+		}
+		switch a.Op {
+		case annot.Check:
+			// ownership verified above
+		case annot.Copy:
+			t.grant(to, c)
+		case annot.Transfer:
+			// Transfers revoke from *all* principals in the system so no
+			// stale copies remain (§3.3), then grant to the destination.
+			mon.CapRevokes.Add(1)
+			t.Sys.Caps.RevokeAll(c)
+			t.grant(to, c)
+		}
+	}
+	return nil
+}
+
+// violationAt records a violation attributed to a specific module and
+// principal (used when the violating side is not the thread's current
+// principal, e.g. a caller failing a pre-action ownership check).
+func (t *Thread) violationAt(m *Module, p *caps.Principal, op string, addr mem.Addr, detail string) error {
+	v := &Violation{
+		Module:    moduleName(m),
+		Principal: p.String(),
+		Op:        op,
+		Addr:      addr,
+		Detail:    detail,
+	}
+	err := t.Sys.Mon.record(v)
+	if t.Sys.Mon.KillOnViolation && m != nil {
+		t.Sys.killModule(m, v)
+	}
+	return err
+}
+
+// resolvePrincipal evaluates the principal annotation of a module
+// function to the principal the function must run as (§3.1, §3.3).
+func (t *Thread) resolvePrincipal(m *Module, set *annot.Set, env *argEnv) (*caps.Principal, error) {
+	switch set.Principal.Kind {
+	case annot.PrincipalGlobal:
+		return m.Set.Global(), nil
+	case annot.PrincipalShared, annot.PrincipalDefault:
+		// "in the absence of this annotation, LXFI uses the module's
+		// shared principal" (Fig. 3).
+		return m.Set.Shared(), nil
+	case annot.PrincipalExpr:
+		v, err := set.Principal.Expr.Eval(env)
+		if err != nil {
+			return nil, fmt.Errorf("core: principal expression %q: %v", set.Principal.Expr, err)
+		}
+		return m.Set.Instance(mem.Addr(uint64(v))), nil
+	}
+	return nil, fmt.Errorf("core: bad principal annotation")
+}

@@ -1,0 +1,280 @@
+package core
+
+import (
+	"fmt"
+
+	"lxfi/internal/caps"
+	"lxfi/internal/mem"
+)
+
+// CallKernel invokes a core-kernel export on behalf of the current
+// context. In module context this is the function-wrapper path of §4.2:
+// the wrapper checks the CALL capability, runs pre actions, switches to
+// trusted kernel context, invokes the function, runs post actions, and
+// validates the shadow stack on the way out.
+//
+// In kernel context (t.cur == nil) the call is direct: "Since LXFI
+// assumes that the core kernel is fully trusted, it can omit most checks
+// for performance" (§4).
+func (t *Thread) CallKernel(name string, args ...uint64) (uint64, error) {
+	fn, ok := t.Sys.funcsByName[name]
+	if !ok || !fn.IsKernel() {
+		return 0, fmt.Errorf("core: no such kernel function %q", name)
+	}
+	return t.callKernelDecl(fn, args)
+}
+
+func (t *Thread) callKernelDecl(fn *FuncDecl, args []uint64) (uint64, error) {
+	mediated := t.cur != nil && t.Sys.Mon.Enforcing()
+	callerMod := t.curMod
+	callerPrin := t.cur
+	var env *argEnv
+
+	if mediated {
+		t.Sys.Mon.Stats.FuncEntries.Add(1)
+		// Safe default (§2.2): a kernel function with no annotations
+		// cannot be accessed by a kernel module at all.
+		if fn.Annot == nil {
+			return 0, t.violation("call", fn.Addr,
+				fmt.Sprintf("call to unannotated kernel function %s", fn.Name))
+		}
+		// The module may only call functions it holds CALL capabilities
+		// for (granted for its imports at load time).
+		t.Sys.Mon.Stats.CapChecks.Add(1)
+		if !t.Sys.Caps.Check(t.cur, caps.CallCap(fn.Addr)) {
+			return 0, t.violation("call", fn.Addr,
+				fmt.Sprintf("no CALL capability for %s", fn.Name))
+		}
+		env = &argEnv{sys: t.Sys, params: fn.Params, args: args}
+		// pre: ownership checked on the caller (module); grants flow
+		// caller -> callee (kernel).
+		if err := t.runActions("pre "+fn.Name, fn.Annot.Pre, env, callerPrin, t.Sys.Caps.Trusted, callerMod); err != nil {
+			return 0, err
+		}
+	}
+
+	tok := t.pushFrame(fn)
+	t.cur, t.curMod = nil, nil // kernel code runs trusted
+	ret := fn.Impl(t, args)
+	if err := t.popFrame(tok); err != nil {
+		return ret, err
+	}
+
+	if mediated {
+		t.Sys.Mon.Stats.FuncExits.Add(1)
+		if callerMod != nil && callerMod.Dead {
+			return ret, ErrModuleDead
+		}
+		env.ret, env.hasRet = ret, true
+		// post: ownership checked on the callee (kernel, trivially true);
+		// grants flow callee -> caller.
+		if err := t.runActions("post "+fn.Name, fn.Annot.Post, env, t.Sys.Caps.Trusted, callerPrin, callerMod); err != nil {
+			return ret, err
+		}
+	}
+	return ret, nil
+}
+
+// CallModule invokes a module function by name from the current context
+// (normally the core kernel, e.g. a driver probe or an ops callback
+// reached through a checked indirect call).
+func (t *Thread) CallModule(m *Module, fname string, args ...uint64) (uint64, error) {
+	fn, ok := m.Funcs[fname]
+	if !ok {
+		return 0, fmt.Errorf("core: module %s has no function %q", m.Name, fname)
+	}
+	return t.callModuleDecl(m, fn, args)
+}
+
+func (t *Thread) callModuleDecl(m *Module, fn *FuncDecl, args []uint64) (uint64, error) {
+	if m.Dead {
+		return 0, fmt.Errorf("%w (%s)", ErrModuleDead, m.Name)
+	}
+	enforcing := t.Sys.Mon.Enforcing()
+	callerPrin := t.cur
+
+	var env *argEnv
+	var callee *caps.Principal
+	if enforcing {
+		t.Sys.Mon.Stats.FuncEntries.Add(1)
+		env = &argEnv{sys: t.Sys, params: fn.Params, args: args}
+		var err error
+		// The wrapper "sets the appropriate principal" (§4.2) from the
+		// principal(...) annotation before running the module function.
+		callee, err = t.resolvePrincipal(m, fn.Annot, env)
+		if err != nil {
+			return 0, t.violationAt(m, m.Set.Shared(), "annotation", fn.Addr, err.Error())
+		}
+		t.Sys.Mon.Stats.PrincipalSwitches.Add(1)
+		// pre: ownership checked on the caller; grants flow caller ->
+		// callee principal.
+		if err := t.runActions("pre "+fn.Name, fn.Annot.Pre, env, callerPrin, callee, t.curMod); err != nil {
+			return 0, err
+		}
+	}
+
+	tok := t.pushFrame(fn)
+	t.cur, t.curMod = callee, m // callee == nil when enforcement is off
+	ret := fn.Impl(t, args)
+	if err := t.popFrame(tok); err != nil {
+		return ret, err
+	}
+
+	if enforcing {
+		t.Sys.Mon.Stats.FuncExits.Add(1)
+		if m.Dead {
+			return ret, fmt.Errorf("%w (%s)", ErrModuleDead, m.Name)
+		}
+		env.ret, env.hasRet = ret, true
+		// post: ownership checked on the callee (module); grants flow
+		// callee -> caller.
+		if err := t.runActions("post "+fn.Name, fn.Annot.Post, env, callee, callerPrin, m); err != nil {
+			return ret, err
+		}
+	}
+	return ret, nil
+}
+
+// IndirectCall performs a core-kernel indirect call through the function
+// pointer stored at slot, whose declared type is the registered FPtrType
+// typeName. This is the lxfi_check_indcall path of §4.1: the kernel
+// rewriter has replaced `(*slot)(args...)` with a checked call that
+// passes the *address of the original function pointer* (Fig. 5), so the
+// runtime can consult the writer set for that slot.
+func (t *Thread) IndirectCall(slot mem.Addr, typeName string, args ...uint64) (uint64, error) {
+	ft, ok := t.Sys.fptrTypes[typeName]
+	if !ok {
+		panic("core: indirect call through unregistered fptr type " + typeName)
+	}
+	target, err := t.Sys.AS.ReadU64(slot)
+	if err != nil {
+		return 0, fmt.Errorf("core: indirect call: cannot load pointer at %#x: %v", uint64(slot), err)
+	}
+	taddr := mem.Addr(target)
+
+	if t.Sys.Mon.Enforcing() {
+		t.Sys.Mon.Stats.IndCallAll.Add(1)
+		// Fast path: if no principal was ever granted WRITE access to the
+		// slot since it was last zeroed, no module can have supplied the
+		// pointer and the expensive check is skipped (§4.1 writer-set
+		// tracking). The ablation flag forces the slow path everywhere.
+		if t.Sys.Mon.DisableWriterSetOpt || !t.Sys.WST.Empty(slot) {
+			t.Sys.Mon.Stats.IndCallSlow.Add(1)
+			if err := t.checkIndCallSlow(slot, taddr, ft); err != nil {
+				return 0, err
+			}
+		}
+	}
+
+	return t.dispatch(taddr, ft, args)
+}
+
+// checkIndCallSlow validates a module-writable function-pointer slot:
+// every principal that could have written the slot must hold a CALL
+// capability for the target, and the target's annotations must match the
+// slot type's annotations.
+func (t *Thread) checkIndCallSlow(slot, target mem.Addr, ft *FPtrType) error {
+	writers := t.Sys.Caps.WriteGrantees(slot)
+	if len(writers) == 0 {
+		// Conservative bitmap said non-empty but no live grantee; treat
+		// as kernel-written and allow.
+		return nil
+	}
+	fn, known := t.Sys.funcsByAddr[target]
+	for _, w := range writers {
+		blame, _ := t.Sys.modules[w.Module]
+		if !known {
+			return t.violationAt(blame, w, "indcall", target,
+				fmt.Sprintf("module-writable slot %#x points to non-function address %#x",
+					uint64(slot), uint64(target)))
+		}
+		t.Sys.Mon.Stats.CapChecks.Add(1)
+		if !t.Sys.Caps.Check(w, caps.CallCap(target)) {
+			return t.violationAt(blame, w, "indcall", target,
+				fmt.Sprintf("writer %s lacks CALL capability for target %s of slot %#x",
+					w, fn, uint64(slot)))
+		}
+		// Annotation-hash match (§4.1): the module must not launder a
+		// function through a pointer type with different annotations.
+		// Per §7, the check applies when the target has annotations.
+		if fn.Annot != nil && fn.Annot.Hash() != ft.Annot.Hash() {
+			return t.violationAt(blame, w, "indcall", target,
+				fmt.Sprintf("annotation mismatch: %s has %q but slot type %s has %q",
+					fn, fn.Annot, ft.Name, ft.Annot))
+		}
+	}
+	return nil
+}
+
+// dispatch transfers control to the function at target.
+func (t *Thread) dispatch(target mem.Addr, ft *FPtrType, args []uint64) (uint64, error) {
+	fn, ok := t.Sys.funcsByAddr[target]
+	if !ok {
+		// A wild pointer: in the real kernel this is an oops (or, if the
+		// attacker mapped the page, arbitrary code execution — modeled by
+		// RegisterUserFuncAt).
+		return 0, fmt.Errorf("core: kernel oops: indirect call to invalid address %#x", uint64(target))
+	}
+	switch {
+	case fn.IsUser():
+		// The kernel jumping to user-mapped code: the exploit payload runs
+		// with full kernel privilege. (Under Enforce this is unreachable
+		// for module-supplied pointers; the slow-path check rejects it.)
+		tok := t.pushFrame(fn)
+		saved, savedMod := t.cur, t.curMod
+		t.cur, t.curMod = nil, nil
+		ret := fn.Impl(t, args)
+		if err := t.popFrame(tok); err != nil {
+			return ret, err
+		}
+		t.cur, t.curMod = saved, savedMod
+		return ret, nil
+	case fn.IsKernel():
+		return t.callKernelDecl(fn, args)
+	default:
+		m, ok := t.Sys.modules[fn.Module]
+		if !ok {
+			return 0, fmt.Errorf("core: function %s belongs to unloaded module", fn)
+		}
+		// Apply the *slot type's* parameter names if the function carries
+		// none (annotation propagation already guaranteed hash equality).
+		if len(fn.Params) == 0 {
+			fn.Params = ft.Params
+		}
+		return t.callModuleDecl(m, fn, args)
+	}
+}
+
+// CallAddr is the module-side indirect call: module code invoking a
+// function pointer (e.g. a kernel-provided callback) of declared type
+// typeName. The module rewriter instruments these sites so the runtime
+// can verify the CALL capability and annotation match before the jump.
+func (t *Thread) CallAddr(target mem.Addr, typeName string, args ...uint64) (uint64, error) {
+	ft, ok := t.Sys.fptrTypes[typeName]
+	if !ok {
+		panic("core: indirect call through unregistered fptr type " + typeName)
+	}
+	fn, known := t.Sys.funcsByAddr[target]
+
+	if t.cur != nil && t.Sys.Mon.Enforcing() {
+		t.Sys.Mon.Stats.CapChecks.Add(1)
+		if !t.Sys.Caps.Check(t.cur, caps.CallCap(target)) {
+			return 0, t.violation("call", target,
+				fmt.Sprintf("module indirect call: no CALL capability for %#x", uint64(target)))
+		}
+		if known && fn.Annot != nil && fn.Annot.Hash() != ft.Annot.Hash() {
+			return 0, t.violation("call", target,
+				fmt.Sprintf("module indirect call: annotation mismatch for %s via %s", fn, ft.Name))
+		}
+	}
+	if !known {
+		return 0, fmt.Errorf("core: kernel oops: indirect call to invalid address %#x", uint64(target))
+	}
+	if fn.IsKernel() {
+		return t.callKernelDecl(fn, args)
+	}
+	if m, ok := t.Sys.modules[fn.Module]; ok {
+		return t.callModuleDecl(m, fn, args)
+	}
+	return 0, fmt.Errorf("core: cannot dispatch %s", fn)
+}

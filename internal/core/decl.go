@@ -1,0 +1,135 @@
+// Package core implements the LXFI runtime: the reference monitor that
+// mediates every control-flow transfer and every memory write between
+// the simulated core kernel and kernel modules (§4 and §5 of the paper).
+//
+// In the original system a compiler plugin rewrites module code to call
+// into the runtime at function entries/exits, memory writes, and
+// indirect calls. In this reproduction the "rewriter" is the module
+// loader plus the mediated Thread API: module code is written against
+// Thread (its only handle on kernel memory and kernel functions), which
+// places exactly the same guards at exactly the same points.
+package core
+
+import (
+	"fmt"
+
+	"lxfi/internal/annot"
+	"lxfi/internal/caps"
+	"lxfi/internal/mem"
+)
+
+// Param describes one parameter of a function or function-pointer type.
+// Type is the C type name ("struct sk_buff *"); it is used to resolve
+// the sizeof(*ptr) default in annotations.
+type Param struct {
+	Name string
+	Type string
+}
+
+// P is shorthand for constructing a Param.
+func P(name, typ string) Param { return Param{Name: name, Type: typ} }
+
+// Impl is the body of a simulated function. Simulated functions take and
+// return machine words (addresses or integers), mirroring the uniform
+// x86-64 calling convention the real LXFI interposes on.
+type Impl func(t *Thread, args []uint64) uint64
+
+// FuncDecl is a function known to the runtime: a core-kernel export, a
+// module function, or attacker-controlled user code.
+type FuncDecl struct {
+	Name   string
+	Module string // "" for core kernel; "user" for user-space code
+	Params []Param
+	// Annot is the function's annotation set. nil means *unannotated*:
+	// per §2.2 the safe default is that modules cannot invoke it at all.
+	// A non-nil empty set means "annotated as requiring nothing".
+	Annot *annot.Set
+	Impl  Impl
+	Addr  mem.Addr
+}
+
+// IsKernel reports whether the function belongs to the core kernel.
+func (f *FuncDecl) IsKernel() bool { return f.Module == "" }
+
+// IsUser reports whether the function is user-space code.
+func (f *FuncDecl) IsUser() bool { return f.Module == "user" }
+
+func (f *FuncDecl) String() string {
+	if f == nil {
+		return "<nil func>"
+	}
+	where := f.Module
+	if where == "" {
+		where = "kernel"
+	}
+	return fmt.Sprintf("%s:%s@%#x", where, f.Name, uint64(f.Addr))
+}
+
+// FPtrType is a function-pointer type with annotations, e.g. the
+// ndo_start_xmit member of struct net_device_ops in Fig. 4. Indirect
+// calls are checked against the annotation hash of the slot's declared
+// type (§4.1).
+type FPtrType struct {
+	Name   string
+	Params []Param
+	Annot  *annot.Set
+}
+
+// FuncSpec describes one module function for loading.
+type FuncSpec struct {
+	Name   string
+	Params []Param
+	// Annot is an explicit annotation source, or "".
+	Annot string
+	// Type names an FPtrType to propagate annotations from (the loader
+	// implements §4.2 "annotation propagation"). If both Annot and Type
+	// are given, they must agree exactly.
+	Type string
+	Impl Impl
+}
+
+// ModuleSpec describes a module to be loaded.
+type ModuleSpec struct {
+	Name string
+	// Imports lists the kernel exports in the module's symbol table. The
+	// loader grants the module's shared principal CALL capabilities for
+	// (the wrappers of) exactly these functions (§4.2).
+	Imports []string
+	Funcs   []FuncSpec
+	// DataSize is the size of the module's writable sections (.data +
+	// .bss). The loader grants a WRITE capability and registers the
+	// module's shared principal in the writer set for this region (§5).
+	DataSize uint64
+	// RODataSize is the size of the module's read-only data. No WRITE
+	// capability is granted for it — this is what blocks the primary RDS
+	// exploit vector ("LXFI does not grant WRITE capabilities for a
+	// module's read-only section", §8.1).
+	RODataSize uint64
+}
+
+// Module is a loaded module.
+type Module struct {
+	Name    string
+	Set     *caps.ModuleSet
+	Funcs   map[string]*FuncDecl
+	Imports []string
+	// FuncTypes maps module function names to the function-pointer type
+	// they instantiate (annotation propagation source), for annotation
+	// accounting (Fig. 9).
+	FuncTypes map[string]string
+
+	// Data andROData are the module's section base addresses.
+	Data   mem.Addr
+	ROData mem.Addr
+
+	DataSize   uint64
+	RODataSize uint64
+
+	// Dead is set when the module commits an isolation violation; every
+	// subsequent interaction with it fails (the simulated analogue of
+	// "the kernel panics" / the module being killed).
+	Dead       bool
+	KillReason *Violation
+}
+
+func (m *Module) String() string { return "module " + m.Name }

@@ -1,0 +1,5 @@
+package core
+
+// TamperShadow corrupts the top shadow-stack frame; test-only hook used
+// to demonstrate return-address CFI.
+func (t *Thread) TamperShadow() { t.tamperShadow() }

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"lxfi/internal/mem"
+)
+
+// Mode selects whether LXFI enforcement is active.
+type Mode uint8
+
+// Enforcement modes.
+const (
+	// Off runs modules with no isolation — the "stock" kernel baseline
+	// used throughout §8.
+	Off Mode = iota
+	// Enforce runs all LXFI guards.
+	Enforce
+)
+
+func (m Mode) String() string {
+	if m == Enforce {
+		return "lxfi"
+	}
+	return "stock"
+}
+
+// Violation describes one failed LXFI check.
+type Violation struct {
+	Module    string
+	Principal string
+	Op        string // "memwrite", "call", "indcall", "annotation", "cfi", ...
+	Addr      mem.Addr
+	Detail    string
+}
+
+func (v *Violation) Error() string {
+	return fmt.Sprintf("lxfi violation [%s, principal %s]: %s at %#x: %s",
+		v.Module, v.Principal, v.Op, uint64(v.Addr), v.Detail)
+}
+
+// ErrViolation is wrapped by every violation error.
+var ErrViolation = errors.New("lxfi violation")
+
+// ErrModuleDead is returned when calling into a killed module.
+var ErrModuleDead = errors.New("lxfi: module has been killed after a violation")
+
+// Stats counts executed guards by type, matching the guard taxonomy of
+// Figure 13. Counters are atomic so benchmark harnesses may sample them
+// concurrently.
+type Stats struct {
+	AnnotationActions atomic.Uint64 // capability grant/revoke/check from annotations
+	FuncEntries       atomic.Uint64 // wrapper entries
+	FuncExits         atomic.Uint64 // wrapper exits
+	MemWriteChecks    atomic.Uint64 // guards before module memory writes
+	IndCallAll        atomic.Uint64 // kernel indirect-call guards executed
+	IndCallSlow       atomic.Uint64 // ... that took the slow (non-empty writer set) path
+	PrincipalSwitches atomic.Uint64
+	CapGrants         atomic.Uint64
+	CapRevokes        atomic.Uint64
+	CapChecks         atomic.Uint64
+}
+
+// Snapshot is a point-in-time copy of Stats.
+type Snapshot struct {
+	AnnotationActions uint64
+	FuncEntries       uint64
+	FuncExits         uint64
+	MemWriteChecks    uint64
+	IndCallAll        uint64
+	IndCallSlow       uint64
+	PrincipalSwitches uint64
+	CapGrants         uint64
+	CapRevokes        uint64
+	CapChecks         uint64
+}
+
+// Snapshot returns a copy of all counters.
+func (s *Stats) Snapshot() Snapshot {
+	return Snapshot{
+		AnnotationActions: s.AnnotationActions.Load(),
+		FuncEntries:       s.FuncEntries.Load(),
+		FuncExits:         s.FuncExits.Load(),
+		MemWriteChecks:    s.MemWriteChecks.Load(),
+		IndCallAll:        s.IndCallAll.Load(),
+		IndCallSlow:       s.IndCallSlow.Load(),
+		PrincipalSwitches: s.PrincipalSwitches.Load(),
+		CapGrants:         s.CapGrants.Load(),
+		CapRevokes:        s.CapRevokes.Load(),
+		CapChecks:         s.CapChecks.Load(),
+	}
+}
+
+// Sub returns s - o, field-wise.
+func (s Snapshot) Sub(o Snapshot) Snapshot {
+	return Snapshot{
+		AnnotationActions: s.AnnotationActions - o.AnnotationActions,
+		FuncEntries:       s.FuncEntries - o.FuncEntries,
+		FuncExits:         s.FuncExits - o.FuncExits,
+		MemWriteChecks:    s.MemWriteChecks - o.MemWriteChecks,
+		IndCallAll:        s.IndCallAll - o.IndCallAll,
+		IndCallSlow:       s.IndCallSlow - o.IndCallSlow,
+		PrincipalSwitches: s.PrincipalSwitches - o.PrincipalSwitches,
+		CapGrants:         s.CapGrants - o.CapGrants,
+		CapRevokes:        s.CapRevokes - o.CapRevokes,
+		CapChecks:         s.CapChecks - o.CapChecks,
+	}
+}
+
+// Monitor holds the runtime's enforcement configuration and violation
+// log.
+type Monitor struct {
+	mode       Mode
+	Stats      Stats
+	violations []*Violation
+
+	// KillOnViolation controls whether a violating module is killed
+	// (default true). The paper's runtime panics the kernel; killing the
+	// module keeps the simulation testable while preserving "the
+	// operation does not happen".
+	KillOnViolation bool
+
+	// OnViolation, if set, is called for every violation (e.g. to log).
+	OnViolation func(*Violation)
+
+	// DisableWriterSetOpt turns off the writer-set fast path of §4.1 so
+	// every kernel indirect call takes the full capability check. It
+	// exists for the ablation benchmarks: correctness is unchanged, only
+	// cost.
+	DisableWriterSetOpt bool
+}
+
+// NewMonitor returns a monitor in Off mode.
+func NewMonitor() *Monitor {
+	return &Monitor{KillOnViolation: true}
+}
+
+// Mode returns the current enforcement mode.
+func (m *Monitor) Mode() Mode { return m.mode }
+
+// SetMode switches enforcement on or off.
+func (m *Monitor) SetMode(mode Mode) { m.mode = mode }
+
+// Enforcing reports whether guards are active.
+func (m *Monitor) Enforcing() bool { return m.mode == Enforce }
+
+// Violations returns all recorded violations.
+func (m *Monitor) Violations() []*Violation { return m.violations }
+
+// LastViolation returns the most recent violation, or nil.
+func (m *Monitor) LastViolation() *Violation {
+	if len(m.violations) == 0 {
+		return nil
+	}
+	return m.violations[len(m.violations)-1]
+}
+
+// ResetViolations clears the violation log.
+func (m *Monitor) ResetViolations() { m.violations = nil }
+
+func (m *Monitor) record(v *Violation) error {
+	m.violations = append(m.violations, v)
+	if m.OnViolation != nil {
+		m.OnViolation(v)
+	}
+	return fmt.Errorf("%w: %s", ErrViolation, v.Error())
+}

@@ -1,0 +1,280 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"lxfi/internal/caps"
+	"lxfi/internal/mem"
+)
+
+// Thread is one simulated kernel thread. It carries the LXFI per-thread
+// context of §5: the current principal and the shadow stack that saves
+// principals and return addresses across wrapper entries/exits and
+// interrupts.
+//
+// Thread is also the only interface through which module code touches
+// kernel memory or kernel functions — the role the compile-time rewriter
+// plays in the original system.
+type Thread struct {
+	Sys  *System
+	Name string
+
+	// cur is the currently executing principal; nil means the core
+	// kernel (fully trusted).
+	cur    *caps.Principal
+	curMod *Module
+
+	shadow []frame
+
+	// KernelDS models set_fs(KERNEL_DS): when true, uaccess routines
+	// skip the user-pointer check — the kernel bug (CVE-2010-4258) that
+	// the Econet exploit chains with.
+	KernelDS bool
+
+	// Task is the address of the current task_struct; maintained by the
+	// kernel package.
+	Task mem.Addr
+}
+
+type frame struct {
+	fn       *FuncDecl
+	savedCur *caps.Principal
+	savedMod *Module
+	retToken uint64
+}
+
+// CurrentPrincipal returns the principal the thread runs as (nil for
+// the core kernel).
+func (t *Thread) CurrentPrincipal() *caps.Principal { return t.cur }
+
+// CurrentModule returns the module the thread is executing, if any.
+func (t *Thread) CurrentModule() *Module { return t.curMod }
+
+// InKernel reports whether the thread runs in trusted kernel context.
+func (t *Thread) InKernel() bool { return t.cur == nil }
+
+// ShadowDepth returns the current shadow-stack depth.
+func (t *Thread) ShadowDepth() int { return len(t.shadow) }
+
+func (t *Thread) violation(op string, addr mem.Addr, detail string) error {
+	v := &Violation{
+		Module:    moduleName(t.curMod),
+		Principal: t.cur.String(),
+		Op:        op,
+		Addr:      addr,
+		Detail:    detail,
+	}
+	err := t.Sys.Mon.record(v)
+	if t.Sys.Mon.KillOnViolation && t.curMod != nil {
+		t.Sys.killModule(t.curMod, v)
+	}
+	return err
+}
+
+func moduleName(m *Module) string {
+	if m == nil {
+		return "kernel"
+	}
+	return m.Name
+}
+
+// --- mediated memory access ---
+
+// checkWrite is the guard the rewriter inserts before every module
+// memory write (§4.2 "Memory writes").
+func (t *Thread) checkWrite(addr mem.Addr, size uint64) error {
+	if t.cur == nil || !t.Sys.Mon.Enforcing() {
+		return nil
+	}
+	t.Sys.Mon.Stats.MemWriteChecks.Add(1)
+	t.Sys.Mon.Stats.CapChecks.Add(1)
+	if t.Sys.Caps.Check(t.cur, caps.WriteCap(addr, size)) {
+		return nil
+	}
+	return t.violation("memwrite", addr,
+		fmt.Sprintf("no WRITE capability for [%#x,%#x)", uint64(addr), uint64(addr)+size))
+}
+
+// Write stores data at addr on behalf of the current principal.
+func (t *Thread) Write(addr mem.Addr, data []byte) error {
+	if err := t.checkWrite(addr, uint64(len(data))); err != nil {
+		return err
+	}
+	return t.Sys.AS.Write(addr, data)
+}
+
+// WriteU64 stores a 64-bit little-endian value.
+func (t *Thread) WriteU64(addr mem.Addr, v uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return t.Write(addr, b[:])
+}
+
+// WriteU32 stores a 32-bit little-endian value.
+func (t *Thread) WriteU32(addr mem.Addr, v uint32) error {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	return t.Write(addr, b[:])
+}
+
+// WriteU16 stores a 16-bit little-endian value.
+func (t *Thread) WriteU16(addr mem.Addr, v uint16) error {
+	var b [2]byte
+	binary.LittleEndian.PutUint16(b[:], v)
+	return t.Write(addr, b[:])
+}
+
+// WriteU8 stores one byte.
+func (t *Thread) WriteU8(addr mem.Addr, v uint8) error {
+	return t.Write(addr, []byte{v})
+}
+
+// Zero clears [addr, addr+size) on behalf of the current principal.
+func (t *Thread) Zero(addr mem.Addr, size uint64) error {
+	if err := t.checkWrite(addr, size); err != nil {
+		return err
+	}
+	return t.Sys.AS.Zero(addr, size)
+}
+
+// Reads are not instrumented: LXFI targets integrity, not secrecy (§2).
+
+// Read copies memory into buf.
+func (t *Thread) Read(addr mem.Addr, buf []byte) error { return t.Sys.AS.Read(addr, buf) }
+
+// ReadU64 loads a 64-bit value.
+func (t *Thread) ReadU64(addr mem.Addr) (uint64, error) { return t.Sys.AS.ReadU64(addr) }
+
+// ReadU32 loads a 32-bit value.
+func (t *Thread) ReadU32(addr mem.Addr) (uint32, error) { return t.Sys.AS.ReadU32(addr) }
+
+// ReadU16 loads a 16-bit value.
+func (t *Thread) ReadU16(addr mem.Addr) (uint16, error) { return t.Sys.AS.ReadU16(addr) }
+
+// ReadU8 loads one byte.
+func (t *Thread) ReadU8(addr mem.Addr) (uint8, error) { return t.Sys.AS.ReadU8(addr) }
+
+// ReadBytes loads size bytes into a fresh slice.
+func (t *Thread) ReadBytes(addr mem.Addr, size uint64) ([]byte, error) {
+	return t.Sys.AS.ReadBytes(addr, size)
+}
+
+// --- privileged runtime entry points used by (modified) module code ---
+
+// LxfiCheck is lxfi_check from Fig. 4: an explicit check a module
+// developer inserts before a privileged operation (Guideline 6).
+func (t *Thread) LxfiCheck(c caps.Cap) error {
+	if t.cur == nil || !t.Sys.Mon.Enforcing() {
+		return nil
+	}
+	t.Sys.Mon.Stats.CapChecks.Add(1)
+	if t.Sys.Caps.Check(t.cur, c) {
+		return nil
+	}
+	return t.violation("check", c.Addr, "lxfi_check failed for "+c.String())
+}
+
+// PrincAlias is lxfi_princ_alias from §3.3: it makes alias a second
+// name for the principal currently named existing. Only module code may
+// call it, and (mirroring the paper's static-call requirement) callers
+// must precede it with an adequate LxfiCheck.
+func (t *Thread) PrincAlias(existing, alias mem.Addr) error {
+	if t.curMod == nil {
+		return fmt.Errorf("core: lxfi_princ_alias called outside module context")
+	}
+	if !t.Sys.Mon.Enforcing() {
+		return nil
+	}
+	return t.curMod.Set.Alias(existing, alias)
+}
+
+// SwitchGlobal switches the thread to the module's global principal for
+// cross-instance operations (Guideline 6); the returned function
+// restores the previous principal. The module developer must guard
+// callers with adequate checks — LXFI's CFI guarantees (here: Go's
+// static call graph) prevent an adversary from jumping into the middle
+// of such a function.
+func (t *Thread) SwitchGlobal() (restore func(), err error) {
+	if t.curMod == nil {
+		return nil, fmt.Errorf("core: SwitchGlobal outside module context")
+	}
+	prev := t.cur
+	t.cur = t.curMod.Set.Global()
+	t.Sys.Mon.Stats.PrincipalSwitches.Add(1)
+	return func() { t.cur = prev }, nil
+}
+
+// SwitchInstance switches the thread to the instance principal named by
+// addr within the current module; used by module-internal privilege
+// management.
+func (t *Thread) SwitchInstance(addr mem.Addr) (restore func(), err error) {
+	if t.curMod == nil {
+		return nil, fmt.Errorf("core: SwitchInstance outside module context")
+	}
+	prev := t.cur
+	t.cur = t.curMod.Set.Instance(addr)
+	t.Sys.Mon.Stats.PrincipalSwitches.Add(1)
+	return func() { t.cur = prev }, nil
+}
+
+// DropPrincipal removes the instance principal named addr (object
+// destroyed). Kernel context only.
+func (t *Thread) DropPrincipal(m *Module, addr mem.Addr) {
+	m.Set.DropInstance(addr)
+}
+
+// Interrupt runs handler in trusted kernel context, saving the current
+// principal on the shadow stack and restoring it afterwards — "if an
+// interrupt comes in while a module is executing, the module's
+// privileges are saved before handling the interrupt, and restored on
+// interrupt exit" (§3.1).
+func (t *Thread) Interrupt(handler func(*Thread)) {
+	t.shadow = append(t.shadow, frame{savedCur: t.cur, savedMod: t.curMod, retToken: t.token()})
+	savedDepth := len(t.shadow)
+	t.cur, t.curMod = nil, nil
+	handler(t)
+	if len(t.shadow) != savedDepth {
+		// Unbalanced shadow stack: control-flow integrity violation.
+		_ = t.violation("cfi", 0, "unbalanced shadow stack across interrupt")
+	}
+	f := t.shadow[len(t.shadow)-1]
+	t.shadow = t.shadow[:len(t.shadow)-1]
+	t.cur, t.curMod = f.savedCur, f.savedMod
+}
+
+func (t *Thread) token() uint64 {
+	t.Sys.nextToken++
+	return t.Sys.nextToken
+}
+
+// pushFrame records a wrapper entry on the shadow stack and returns the
+// frame's return token.
+func (t *Thread) pushFrame(fn *FuncDecl) uint64 {
+	tok := t.token()
+	t.shadow = append(t.shadow, frame{fn: fn, savedCur: t.cur, savedMod: t.curMod, retToken: tok})
+	return tok
+}
+
+// popFrame validates the return token (return-address CFI, §5 "Shadow
+// stack") and restores the saved principal.
+func (t *Thread) popFrame(tok uint64) error {
+	if len(t.shadow) == 0 {
+		return t.violation("cfi", 0, "shadow stack underflow")
+	}
+	f := t.shadow[len(t.shadow)-1]
+	t.shadow = t.shadow[:len(t.shadow)-1]
+	if f.retToken != tok {
+		return t.violation("cfi", 0, "return address corrupted (shadow stack mismatch)")
+	}
+	t.cur, t.curMod = f.savedCur, f.savedMod
+	return nil
+}
+
+// tamperShadow corrupts the top shadow-stack token; used only by tests
+// to demonstrate return-CFI enforcement.
+func (t *Thread) tamperShadow() {
+	if len(t.shadow) > 0 {
+		t.shadow[len(t.shadow)-1].retToken ^= 0xdead
+	}
+}

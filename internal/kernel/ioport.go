@@ -1,0 +1,68 @@
+package kernel
+
+// I/O port support, implementing Guideline 3 of §6: "If the module is
+// required to pass a certain fixed value into a kernel API (e.g. ... an
+// integer I/O port number to inb and outb I/O functions), grant a REF
+// capability for that fixed value with a special type, and annotate the
+// function in question to require a REF capability of that special type
+// for its argument."
+//
+// Port numbers are not memory, so WRITE capabilities cannot express
+// ownership of them; the REF type "io port" does.
+
+import (
+	"lxfi/internal/caps"
+	"lxfi/internal/core"
+	"lxfi/internal/mem"
+)
+
+// IOPortRefType is the special REF type for I/O port ownership.
+const IOPortRefType = "io port"
+
+// IOPortInit registers the simulated port space and the inb/outb
+// exports. Call once after New when port I/O is needed.
+func (k *Kernel) IOPortInit() {
+	if k.ports != nil {
+		return
+	}
+	k.ports = make(map[uint64]uint8)
+	sys := k.Sys
+
+	sys.RegisterKernelFunc("inb",
+		[]core.Param{core.P("port", "u16")},
+		"pre(check(ref(io port), port))",
+		func(t *core.Thread, args []uint64) uint64 {
+			return uint64(k.ports[args[0]&0xffff])
+		})
+
+	sys.RegisterKernelFunc("outb",
+		[]core.Param{core.P("port", "u16"), core.P("val", "u8")},
+		"pre(check(ref(io port), port))",
+		func(t *core.Thread, args []uint64) uint64 {
+			k.ports[args[0]&0xffff] = uint8(args[1])
+			return 0
+		})
+}
+
+// GrantIOPortRange gives a module's shared principal REF capabilities
+// for a device's port window; the bus/firmware layer calls this when a
+// device is assigned to a driver (the analogue of request_region).
+func (k *Kernel) GrantIOPortRange(m *core.Module, base, n uint16) {
+	for p := uint64(base); p < uint64(base)+uint64(n); p++ {
+		k.Sys.Caps.Grant(m.Set.Shared(), caps.RefCap(IOPortRefType, mem.Addr(p)))
+	}
+}
+
+// Port reads the simulated port space directly (trusted-side test
+// helper).
+func (k *Kernel) Port(port uint16) uint8 {
+	return k.ports[uint64(port)]
+}
+
+// SetPort writes the simulated port space directly (trusted side).
+func (k *Kernel) SetPort(port uint16, v uint8) {
+	if k.ports == nil {
+		k.ports = make(map[uint64]uint8)
+	}
+	k.ports[uint64(port)] = v
+}

@@ -1,0 +1,96 @@
+package kernel_test
+
+import (
+	"testing"
+
+	"lxfi/internal/core"
+	"lxfi/internal/kernel"
+)
+
+// ioRig loads a module that drives a device behind an I/O port window.
+func ioRig(t *testing.T, mode core.Mode) (*kernel.Kernel, *core.Thread, *core.Module) {
+	t.Helper()
+	k := kernel.New()
+	k.Sys.Mon.SetMode(mode)
+	k.IOPortInit()
+	th := k.Sys.NewThread("io")
+	m, err := k.Sys.LoadModule(core.ModuleSpec{
+		Name:     "uart",
+		Imports:  []string{"inb", "outb"},
+		DataSize: 4096,
+		Funcs: []core.FuncSpec{
+			{
+				Name: "write_reg", Params: []core.Param{core.P("port", "u16"), core.P("val", "u8")},
+				Impl: func(th *core.Thread, args []uint64) uint64 {
+					if _, err := th.CallKernel("outb", args[0], args[1]); err != nil {
+						return 1
+					}
+					return 0
+				},
+			},
+			{
+				Name: "read_reg", Params: []core.Param{core.P("port", "u16")},
+				Impl: func(th *core.Thread, args []uint64) uint64 {
+					v, err := th.CallKernel("inb", args[0])
+					if err != nil {
+						return ^uint64(0)
+					}
+					return v
+				},
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, th, m
+}
+
+func TestIOPortOwnWindow(t *testing.T) {
+	// Guideline 3: the driver owns ports 0x3F8-0x3FF and may use them.
+	k, th, m := ioRig(t, core.Enforce)
+	k.GrantIOPortRange(m, 0x3F8, 8)
+	if ret, err := th.CallModule(m, "write_reg", 0x3F8, 0x55); err != nil || ret != 0 {
+		t.Fatalf("write_reg: ret=%d err=%v", ret, err)
+	}
+	if k.Port(0x3F8) != 0x55 {
+		t.Fatalf("port = %#x", k.Port(0x3F8))
+	}
+	v, err := th.CallModule(m, "read_reg", 0x3F8)
+	if err != nil || v != 0x55 {
+		t.Fatalf("read_reg = %#x, %v", v, err)
+	}
+}
+
+func TestIOPortOutsideWindowBlocked(t *testing.T) {
+	// The same module may not poke another device's ports (say, the
+	// PIC at 0x20) — the fixed-value REF capability is missing.
+	k, th, m := ioRig(t, core.Enforce)
+	k.GrantIOPortRange(m, 0x3F8, 8)
+	k.SetPort(0x20, 0x11)
+	ret, _ := th.CallModule(m, "write_reg", 0x20, 0xFF)
+	if ret != 1 {
+		t.Fatal("module wrote a port outside its window")
+	}
+	if k.Port(0x20) != 0x11 {
+		t.Fatal("foreign port was modified")
+	}
+	// Stock kernel: anything goes.
+	k2, th2, m2 := ioRig(t, core.Off)
+	if ret, err := th2.CallModule(m2, "write_reg", 0x20, 0xFF); err != nil || ret != 0 {
+		t.Fatalf("stock port write failed: %d %v", ret, err)
+	}
+	if k2.Port(0x20) != 0xFF {
+		t.Fatal("stock kernel should allow it")
+	}
+}
+
+func TestIOPortInitIdempotent(t *testing.T) {
+	k := kernel.New()
+	k.IOPortInit()
+	k.IOPortInit() // must not panic on duplicate registration
+	k.SetPort(1, 2)
+	if k.Port(1) != 2 {
+		t.Fatal("port space broken")
+	}
+}

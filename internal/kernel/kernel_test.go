@@ -1,0 +1,228 @@
+package kernel
+
+import (
+	"strings"
+	"testing"
+
+	"lxfi/internal/mem"
+)
+
+func TestTaskLifecycle(t *testing.T) {
+	k := New()
+	task := k.CreateTask("sshd", 1000)
+	if k.TaskPID(task) != 1 {
+		t.Fatalf("pid = %d", k.TaskPID(task))
+	}
+	if k.TaskUID(task) != 1000 {
+		t.Fatalf("uid = %d", k.TaskUID(task))
+	}
+	if k.LookupPid(1) != task {
+		t.Fatal("pid hash lookup failed")
+	}
+	k.SetTaskUID(task, 0)
+	if k.TaskUID(task) != 0 {
+		t.Fatal("setuid failed")
+	}
+}
+
+func TestPidHashChainsAndDetach(t *testing.T) {
+	k := New()
+	var tasks []mem.Addr
+	// Force chain collisions: pids 1..33 share buckets mod 16.
+	for i := 0; i < 33; i++ {
+		tasks = append(tasks, k.CreateTask("p", 1000))
+	}
+	for i, task := range tasks {
+		if k.LookupPid(uint64(i+1)) != task {
+			t.Fatalf("pid %d not found", i+1)
+		}
+	}
+	// Detach one in the middle of a chain (pid 17 collides with 1, 33).
+	k.DetachPid(tasks[16])
+	if k.LookupPid(17) != 0 {
+		t.Fatal("detached pid still visible")
+	}
+	if k.LookupPid(1) != tasks[0] || k.LookupPid(33) != tasks[32] {
+		t.Fatal("detach corrupted the chain")
+	}
+	// Detach a chain head.
+	k.DetachPid(tasks[32])
+	if k.LookupPid(33) != 0 || k.LookupPid(1) != tasks[0] {
+		t.Fatal("head detach broken")
+	}
+	// Detach of an unlinked task is harmless.
+	k.DetachPid(tasks[32])
+}
+
+func TestAccessOK(t *testing.T) {
+	k := New()
+	th := k.Sys.NewThread("t")
+	if !k.AccessOK(th, mem.UserHeap, 8) {
+		t.Fatal("user pointer rejected")
+	}
+	if k.AccessOK(th, mem.KernelHeap, 8) {
+		t.Fatal("kernel pointer accepted without KERNEL_DS")
+	}
+	th.KernelDS = true
+	if !k.AccessOK(th, mem.KernelHeap, 8) {
+		t.Fatal("KERNEL_DS should disable the check")
+	}
+}
+
+func TestCopyToFromUser(t *testing.T) {
+	k := New()
+	th := k.Sys.NewThread("t")
+	user := k.Sys.User.Alloc(64, 8)
+	kern := k.Sys.Statics.Alloc(64, 8)
+	must(k.Sys.AS.WriteCString(user, "hello"))
+
+	// Kernel context: copy_from_user into kernel buffer.
+	ret, err := th.CallKernel("copy_from_user", uint64(kern), uint64(user), 6)
+	if err != nil || IsErr(ret) {
+		t.Fatalf("copy_from_user: ret=%d err=%v", int64(ret), err)
+	}
+	s, _ := k.Sys.AS.ReadCString(kern, 16)
+	if s != "hello" {
+		t.Fatalf("copied %q", s)
+	}
+
+	// copy_to_user rejects kernel destinations.
+	ret, err = th.CallKernel("copy_to_user", uint64(kern), uint64(user), 6)
+	if err != nil || !IsErr(ret) {
+		t.Fatalf("copy_to_user to kernel address should EFAULT: ret=%d err=%v", int64(ret), err)
+	}
+	ret, err = th.CallKernel("copy_to_user", uint64(user+32), uint64(kern), 6)
+	if err != nil || IsErr(ret) {
+		t.Fatalf("copy_to_user: ret=%d err=%v", int64(ret), err)
+	}
+}
+
+func TestDoExitKernelDSWritesZero(t *testing.T) {
+	// The CVE-2010-4258 primitive: with KERNEL_DS left set, do_exit
+	// writes a 32-bit zero through an attacker-controlled pointer.
+	k := New()
+	th := k.Sys.NewThread("t")
+	task := k.CreateTask("victim", 1000)
+	k.SetCurrent(th, task)
+
+	target := k.Sys.Statics.Alloc(8, 8)
+	must(k.Sys.AS.WriteU64(target, 0xffffffffa1b2c3d4))
+	k.SetClearChildTid(task, target+4) // zero the high half
+
+	// Without KERNEL_DS the kernel-address write is suppressed.
+	k.DoExit(th)
+	v, _ := k.Sys.AS.ReadU64(target)
+	if v != 0xffffffffa1b2c3d4 {
+		t.Fatal("write happened without KERNEL_DS")
+	}
+
+	th.KernelDS = true
+	k.Oops(th, "test")
+	v, _ = k.Sys.AS.ReadU64(target)
+	if v != 0x00000000a1b2c3d4 {
+		t.Fatalf("high half not zeroed: %#x", v)
+	}
+	if len(k.Log()) == 0 || !strings.Contains(k.Log()[0], "NULL pointer dereference") {
+		t.Fatal("oops not logged")
+	}
+}
+
+func TestCapableAndCommitCreds(t *testing.T) {
+	k := New()
+	th := k.Sys.NewThread("t")
+	task := k.CreateTask("user", 1000)
+	k.SetCurrent(th, task)
+	ret, err := th.CallKernel("capable", 12)
+	if err != nil || ret != 0 {
+		t.Fatalf("capable for uid 1000 = %d, %v", ret, err)
+	}
+	if _, err := th.CallKernel("commit_creds", 0); err != nil {
+		t.Fatal(err)
+	}
+	ret, _ = th.CallKernel("capable", 12)
+	if ret != 1 {
+		t.Fatal("capable after commit_creds should be true")
+	}
+}
+
+func TestPrintk(t *testing.T) {
+	k := New()
+	th := k.Sys.NewThread("t")
+	msg := k.Sys.Statics.Alloc(32, 8)
+	must(k.Sys.AS.WriteCString(msg, "module loaded"))
+	if _, err := th.CallKernel("printk", uint64(msg)); err != nil {
+		t.Fatal(err)
+	}
+	if len(k.Log()) != 1 || k.Log()[0] != "module loaded" {
+		t.Fatalf("log = %v", k.Log())
+	}
+}
+
+func TestShmSegmentAndCtl(t *testing.T) {
+	k := New()
+	k.ShmInit()
+	th := k.Sys.NewThread("t")
+	shm, err := k.NewShmSegment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sz, ok := k.Sys.Slab.ObjectSize(shm); !ok || sz != 16 {
+		t.Fatalf("shmid_kernel size class = %d (want 16, for slab adjacency)", sz)
+	}
+	ret, err := k.ShmCtl(th, shm, 0)
+	if err != nil || ret != 0 {
+		t.Fatalf("shmctl: ret=%d err=%v", ret, err)
+	}
+}
+
+func TestErrHelpers(t *testing.T) {
+	if !IsErr(Err(EINVAL)) {
+		t.Fatal("Err/IsErr broken")
+	}
+	if IsErr(0) || IsErr(42) {
+		t.Fatal("false positive")
+	}
+	if int64(Err(EFAULT)) != -EFAULT {
+		t.Fatal("Err encoding")
+	}
+}
+
+func TestModeSwitches(t *testing.T) {
+	k := New()
+	if k.Sys.Mon.Enforcing() {
+		t.Fatal("should boot stock")
+	}
+	k.Enforce()
+	if !k.Sys.Mon.Enforcing() {
+		t.Fatal("Enforce failed")
+	}
+	k.Stock()
+	if k.Sys.Mon.Enforcing() {
+		t.Fatal("Stock failed")
+	}
+}
+
+func TestKfreeOfNULLIsNoop(t *testing.T) {
+	k := New()
+	th := k.Sys.NewThread("t")
+	if ret, err := th.CallKernel("kfree", 0); err != nil || ret != 0 {
+		t.Fatalf("kfree(NULL): %d, %v", ret, err)
+	}
+}
+
+func TestSpinlockOps(t *testing.T) {
+	k := New()
+	th := k.Sys.NewThread("t")
+	lock := k.Sys.Statics.Alloc(8, 8)
+	for _, step := range []struct {
+		fn   string
+		want uint64
+	}{{"spin_lock_init", 0}, {"spin_lock", 1}, {"spin_unlock", 0}} {
+		if _, err := th.CallKernel(step.fn, uint64(lock)); err != nil {
+			t.Fatal(err)
+		}
+		if v, _ := k.Sys.AS.ReadU64(lock); v != step.want {
+			t.Fatalf("%s: lock = %d want %d", step.fn, v, step.want)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package kernel_test
+
+import (
+	"testing"
+
+	"lxfi/internal/core"
+	"lxfi/internal/kernel"
+)
+
+func timerRig(t *testing.T, mode core.Mode) (*kernel.Kernel, *core.Thread, *core.Module, *int) {
+	t.Helper()
+	k := kernel.New()
+	k.Sys.Mon.SetMode(mode)
+	k.TimerInit()
+	th := k.Sys.NewThread("timer")
+	fired := 0
+	m, err := k.Sys.LoadModule(core.ModuleSpec{
+		Name:     "watchdog",
+		Imports:  []string{"mod_timer", "del_timer"},
+		DataSize: 4096,
+		Funcs: []core.FuncSpec{
+			{
+				Name: "tick", Type: kernel.TimerFnType,
+				Impl: func(th *core.Thread, args []uint64) uint64 {
+					fired += int(args[0])
+					return 0
+				},
+			},
+			{
+				Name: "arm", Params: []core.Param{core.P("expires", "u64"), core.P("fn", "u64")},
+				Impl: func(th *core.Thread, args []uint64) uint64 {
+					id, err := th.CallKernel("mod_timer", args[0], args[1], 1)
+					if err != nil {
+						return 0
+					}
+					return id
+				},
+			},
+			{
+				Name: "disarm", Params: []core.Param{core.P("id", "u64")},
+				Impl: func(th *core.Thread, args []uint64) uint64 {
+					ret, err := th.CallKernel("del_timer", args[0])
+					if err != nil {
+						return ^uint64(0)
+					}
+					return ret
+				},
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, th, m, &fired
+}
+
+func TestTimerArmFireCancel(t *testing.T) {
+	for _, mode := range []core.Mode{core.Off, core.Enforce} {
+		k, th, m, fired := timerRig(t, mode)
+		tick := m.Funcs["tick"].Addr
+		id1, err := th.CallModule(m, "arm", 100, uint64(tick))
+		if err != nil || id1 == 0 {
+			t.Fatalf("[%v] arm: %d %v", mode, id1, err)
+		}
+		id2, _ := th.CallModule(m, "arm", 200, uint64(tick))
+		if k.PendingTimers() != 2 {
+			t.Fatalf("[%v] pending = %d", mode, k.PendingTimers())
+		}
+		// Cancel the second, advance past both deadlines.
+		if ret, err := th.CallModule(m, "disarm", id2); err != nil || ret != 1 {
+			t.Fatalf("[%v] disarm: %d %v", mode, ret, err)
+		}
+		if n := k.AdvanceTime(th, 500); n != 1 {
+			t.Fatalf("[%v] fired %d timers, want 1", mode, n)
+		}
+		if *fired != 1 {
+			t.Fatalf("[%v] callback ran %d times", mode, *fired)
+		}
+		if k.PendingTimers() != 0 {
+			t.Fatalf("[%v] timers left over", mode)
+		}
+	}
+}
+
+func TestTimerRejectsForeignCallback(t *testing.T) {
+	// §2.2: the module may only register callbacks it could call itself.
+	k, th, m, fired := timerRig(t, core.Enforce)
+	// detach_pid is a kernel function the module has no CALL cap for.
+	detach, _ := k.Sys.FuncByName("detach_pid")
+	ret, _ := th.CallModule(m, "arm", 10, uint64(detach.Addr))
+	if ret != 0 {
+		t.Fatal("module armed a timer pointing at an unauthorized function")
+	}
+	if k.PendingTimers() != 0 {
+		t.Fatal("timer registered despite failed check")
+	}
+	k.AdvanceTime(th, 100)
+	if *fired != 0 {
+		t.Fatal("callback fired")
+	}
+}
+
+func TestTimerCallbackRunsUnderModulePrincipal(t *testing.T) {
+	// The expiry dispatch goes through the module wrapper: a violation
+	// in the callback kills the module like any other entry point.
+	k := kernel.New()
+	k.Enforce()
+	k.TimerInit()
+	th := k.Sys.NewThread("t")
+	victim := k.Sys.Statics.Alloc(8, 8)
+	m, err := k.Sys.LoadModule(core.ModuleSpec{
+		Name:     "eviltimer",
+		Imports:  []string{"mod_timer"},
+		DataSize: 4096,
+		Funcs: []core.FuncSpec{
+			{
+				Name: "tick", Type: kernel.TimerFnType,
+				Impl: func(th *core.Thread, args []uint64) uint64 {
+					_ = th.WriteU64(victim, 0) // isolated even on the timer path
+					return 0
+				},
+			},
+			{
+				Name: "arm",
+				Impl: func(th *core.Thread, args []uint64) uint64 {
+					mod := th.CurrentModule()
+					_, _ = th.CallKernel("mod_timer", 1, uint64(mod.Funcs["tick"].Addr), 0)
+					return 0
+				},
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Sys.AS.WriteU64(victim, 7); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = th.CallModule(m, "arm")
+	k.AdvanceTime(th, 10)
+	if v, _ := k.Sys.AS.ReadU64(victim); v != 7 {
+		t.Fatal("timer callback escaped isolation")
+	}
+	if !m.Dead {
+		t.Fatal("module not killed for the violation")
+	}
+}

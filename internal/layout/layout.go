@@ -1,0 +1,144 @@
+// Package layout defines struct layouts for kernel objects that live in
+// the simulated address space.
+//
+// The original LXFI operates on real C structs; annotations default
+// capability sizes to sizeof(*ptr). Here, kernel objects (task_struct,
+// sk_buff, net_device, ...) are laid out explicitly in simulated memory,
+// and this registry is the single source of truth for field offsets and
+// for the sizeof() resolution used by annotation actions.
+package layout
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Field describes one struct member.
+type Field struct {
+	Name string
+	Off  uint64
+	Size uint64
+}
+
+// Struct is a named layout.
+type Struct struct {
+	Name   string
+	Size   uint64
+	fields map[string]Field
+	order  []string
+}
+
+// Off returns the offset of the named field; it panics on unknown
+// fields, which indicates a programming error in the simulated kernel.
+func (s *Struct) Off(field string) uint64 {
+	f, ok := s.fields[field]
+	if !ok {
+		panic(fmt.Sprintf("layout: %s has no field %q", s.Name, field))
+	}
+	return f.Off
+}
+
+// Field returns the named field.
+func (s *Struct) Field(name string) (Field, bool) {
+	f, ok := s.fields[name]
+	return f, ok
+}
+
+// Fields returns all fields in declaration order.
+func (s *Struct) Fields() []Field {
+	out := make([]Field, 0, len(s.order))
+	for _, n := range s.order {
+		out = append(out, s.fields[n])
+	}
+	return out
+}
+
+// Registry holds all struct layouts of the simulated kernel.
+type Registry struct {
+	m map[string]*Struct
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{m: make(map[string]*Struct)} }
+
+// Define registers a layout whose fields are packed sequentially:
+// each (name, size) pair is placed at the next 8-byte-aligned offset for
+// sizes >= 8 and at natural alignment otherwise. It returns the struct.
+// Defining the same name twice panics.
+func (r *Registry) Define(name string, fields ...Field) *Struct {
+	if _, dup := r.m[name]; dup {
+		panic("layout: duplicate struct " + name)
+	}
+	s := &Struct{Name: name, fields: make(map[string]Field)}
+	var off uint64
+	for _, f := range fields {
+		align := f.Size
+		if align > 8 || align == 0 {
+			align = 8
+		}
+		off = (off + align - 1) &^ (align - 1)
+		f.Off = off
+		off += f.Size
+		if _, dup := s.fields[f.Name]; dup {
+			panic(fmt.Sprintf("layout: duplicate field %s.%s", name, f.Name))
+		}
+		s.fields[f.Name] = f
+		s.order = append(s.order, f.Name)
+	}
+	s.Size = (off + 7) &^ 7
+	r.m[name] = s
+	return s
+}
+
+// DefineRaw registers a layout with explicit offsets and total size.
+func (r *Registry) DefineRaw(name string, size uint64, fields ...Field) *Struct {
+	if _, dup := r.m[name]; dup {
+		panic("layout: duplicate struct " + name)
+	}
+	s := &Struct{Name: name, Size: size, fields: make(map[string]Field)}
+	for _, f := range fields {
+		s.fields[f.Name] = f
+		s.order = append(s.order, f.Name)
+	}
+	r.m[name] = s
+	return s
+}
+
+// Get returns the named layout.
+func (r *Registry) Get(name string) (*Struct, bool) {
+	s, ok := r.m[name]
+	return s, ok
+}
+
+// MustGet returns the named layout or panics.
+func (r *Registry) MustGet(name string) *Struct {
+	s, ok := r.m[name]
+	if !ok {
+		panic("layout: unknown struct " + name)
+	}
+	return s
+}
+
+// Sizeof returns the size of the named struct, implementing the
+// "defaults to sizeof(*ptr)" rule of the annotation grammar. Unknown
+// names report ok=false.
+func (r *Registry) Sizeof(name string) (uint64, bool) {
+	s, ok := r.m[name]
+	if !ok {
+		return 0, false
+	}
+	return s.Size, true
+}
+
+// Names returns all registered struct names, sorted.
+func (r *Registry) Names() []string {
+	out := make([]string, 0, len(r.m))
+	for n := range r.m {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// F is shorthand for constructing a Field with a size.
+func F(name string, size uint64) Field { return Field{Name: name, Size: size} }

@@ -1,0 +1,91 @@
+package layout
+
+import "testing"
+
+func TestDefineSequential(t *testing.T) {
+	r := NewRegistry()
+	s := r.Define("struct task_struct",
+		F("pid", 8), F("uid", 8), F("flags", 4), F("state", 4), F("comm", 16))
+	if s.Off("pid") != 0 || s.Off("uid") != 8 || s.Off("flags") != 16 || s.Off("state") != 20 {
+		t.Fatalf("offsets: pid=%d uid=%d flags=%d state=%d",
+			s.Off("pid"), s.Off("uid"), s.Off("flags"), s.Off("state"))
+	}
+	// comm (size 16) aligns to 8 -> offset 24, total 40.
+	if s.Off("comm") != 24 {
+		t.Fatalf("comm off = %d", s.Off("comm"))
+	}
+	if s.Size != 40 {
+		t.Fatalf("size = %d", s.Size)
+	}
+}
+
+func TestAlignmentPadding(t *testing.T) {
+	r := NewRegistry()
+	s := r.Define("s", F("a", 1), F("b", 8), F("c", 2), F("d", 4))
+	if s.Off("a") != 0 || s.Off("b") != 8 || s.Off("c") != 16 || s.Off("d") != 20 {
+		t.Fatalf("offsets: %d %d %d %d", s.Off("a"), s.Off("b"), s.Off("c"), s.Off("d"))
+	}
+	if s.Size != 24 { // rounded to 8
+		t.Fatalf("size = %d", s.Size)
+	}
+}
+
+func TestDefineRaw(t *testing.T) {
+	r := NewRegistry()
+	s := r.DefineRaw("raw", 128, Field{Name: "x", Off: 100, Size: 8})
+	if s.Size != 128 || s.Off("x") != 100 {
+		t.Fatal("raw layout broken")
+	}
+}
+
+func TestSizeofAndLookup(t *testing.T) {
+	r := NewRegistry()
+	r.Define("struct sk_buff", F("data", 8), F("len", 8))
+	if sz, ok := r.Sizeof("struct sk_buff"); !ok || sz != 16 {
+		t.Fatalf("sizeof = %d, %v", sz, ok)
+	}
+	if _, ok := r.Sizeof("struct nope"); ok {
+		t.Fatal("unknown struct resolved")
+	}
+	if _, ok := r.Get("struct sk_buff"); !ok {
+		t.Fatal("Get failed")
+	}
+	if names := r.Names(); len(names) != 1 || names[0] != "struct sk_buff" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestFieldsOrderAndLookup(t *testing.T) {
+	r := NewRegistry()
+	s := r.Define("s", F("z", 8), F("a", 8))
+	fs := s.Fields()
+	if len(fs) != 2 || fs[0].Name != "z" || fs[1].Name != "a" {
+		t.Fatalf("fields = %v", fs)
+	}
+	if _, ok := s.Field("a"); !ok {
+		t.Fatal("Field lookup failed")
+	}
+	if _, ok := s.Field("q"); ok {
+		t.Fatal("ghost field")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Define("dup", F("x", 8))
+	assertPanics(t, "duplicate struct", func() { r.Define("dup") })
+	assertPanics(t, "duplicate field", func() { r.Define("s2", F("x", 8), F("x", 8)) })
+	assertPanics(t, "unknown struct", func() { r.MustGet("ghost") })
+	s := r.MustGet("dup")
+	assertPanics(t, "unknown field", func() { s.Off("ghost") })
+}
+
+func assertPanics(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}

@@ -1,0 +1,284 @@
+// Package mem implements the simulated kernel address space that the rest
+// of the LXFI reproduction is built on.
+//
+// The original LXFI system interposes on raw x86-64 stores performed by
+// kernel modules. In this reproduction, kernel objects live inside a
+// simulated sparse 64-bit address space, and modules reach that space only
+// through mediated accessors (see internal/core). The address space uses
+// the familiar Linux x86-64 split: low addresses are user space, high
+// canonical addresses are kernel space.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Addr is a virtual address in the simulated address space.
+type Addr uint64
+
+// Fundamental constants of the simulated machine.
+const (
+	PageShift = 12
+	PageSize  = 1 << PageShift
+	PageMask  = PageSize - 1
+)
+
+// Region boundaries, mirroring the Linux x86-64 memory map.
+const (
+	// UserText is where the (attacker-controlled) user process maps its
+	// executable code in several exploits.
+	UserText Addr = 0x0000_0000_1000_0000
+	// UserHeap is the default base for user data allocations.
+	UserHeap Addr = 0x0000_0000_4000_0000
+	// UserTop is the first non-user address (TASK_SIZE).
+	UserTop Addr = 0x0000_7fff_ffff_f000
+	// KernelHeap is the base of the direct-mapped kernel heap (slab pages).
+	KernelHeap Addr = 0xffff_8800_0000_0000
+	// KernelText is the base of core-kernel code addresses.
+	KernelText Addr = 0xffff_ffff_8100_0000
+	// ModuleText is the base of module code addresses.
+	ModuleText Addr = 0xffff_ffff_a000_0000
+)
+
+// IsUser reports whether a is a user-space address (below TASK_SIZE).
+// The NULL page is considered user space, as on Linux.
+func IsUser(a Addr) bool { return a < UserTop }
+
+// IsKernel reports whether a is a kernel-space address.
+func IsKernel(a Addr) bool { return a >= UserTop }
+
+// PageBase returns the base address of the page containing a.
+func PageBase(a Addr) Addr { return a &^ PageMask }
+
+// AccessError describes a fault in the simulated address space.
+type AccessError struct {
+	Op   string // "read", "write", "map"
+	Addr Addr
+	Size uint64
+}
+
+func (e *AccessError) Error() string {
+	return fmt.Sprintf("mem: %s fault at %#x (size %d): page not mapped", e.Op, uint64(e.Addr), e.Size)
+}
+
+// AddressSpace is a sparse, page-granular simulated address space.
+// It is not safe for concurrent use; callers (the simulated kernel)
+// serialize access, mirroring the single-core evaluation setup of the
+// paper (§7: "a single-core x86 64 system").
+type AddressSpace struct {
+	pages map[Addr][]byte // keyed by page base address
+
+	// faults counts page faults (accesses to unmapped pages); exploits
+	// and tests use this to observe oopses.
+	faults uint64
+}
+
+// NewAddressSpace returns an empty address space.
+func NewAddressSpace() *AddressSpace {
+	return &AddressSpace{pages: make(map[Addr][]byte)}
+}
+
+// Map ensures that all pages covering [addr, addr+size) are present and
+// zero-filled if new. Mapping an already-mapped page is a no-op.
+func (as *AddressSpace) Map(addr Addr, size uint64) {
+	if size == 0 {
+		return
+	}
+	first := PageBase(addr)
+	last := PageBase(addr + Addr(size) - 1)
+	for p := first; ; p += PageSize {
+		if _, ok := as.pages[p]; !ok {
+			as.pages[p] = make([]byte, PageSize)
+		}
+		if p == last {
+			break
+		}
+	}
+}
+
+// Unmap removes all pages fully covered by [addr, addr+size).
+func (as *AddressSpace) Unmap(addr Addr, size uint64) {
+	if size == 0 {
+		return
+	}
+	first := PageBase(addr)
+	last := PageBase(addr + Addr(size) - 1)
+	for p := first; ; p += PageSize {
+		delete(as.pages, p)
+		if p == last {
+			break
+		}
+	}
+}
+
+// Mapped reports whether every page covering [addr, addr+size) is mapped.
+func (as *AddressSpace) Mapped(addr Addr, size uint64) bool {
+	if size == 0 {
+		return true
+	}
+	first := PageBase(addr)
+	last := PageBase(addr + Addr(size) - 1)
+	for p := first; ; p += PageSize {
+		if _, ok := as.pages[p]; !ok {
+			return false
+		}
+		if p == last {
+			break
+		}
+	}
+	return true
+}
+
+// Faults returns the number of page faults taken so far.
+func (as *AddressSpace) Faults() uint64 { return as.faults }
+
+// Read copies len(buf) bytes starting at addr into buf.
+func (as *AddressSpace) Read(addr Addr, buf []byte) error {
+	return as.access("read", addr, buf, false)
+}
+
+// Write copies data into the address space starting at addr.
+func (as *AddressSpace) Write(addr Addr, data []byte) error {
+	return as.access("write", addr, data, true)
+}
+
+func (as *AddressSpace) access(op string, addr Addr, buf []byte, write bool) error {
+	n := uint64(len(buf))
+	if n == 0 {
+		return nil
+	}
+	off := 0
+	a := addr
+	for off < len(buf) {
+		page, ok := as.pages[PageBase(a)]
+		if !ok {
+			as.faults++
+			return &AccessError{Op: op, Addr: a, Size: n}
+		}
+		po := int(a & PageMask)
+		chunk := PageSize - po
+		if rem := len(buf) - off; chunk > rem {
+			chunk = rem
+		}
+		if write {
+			copy(page[po:po+chunk], buf[off:off+chunk])
+		} else {
+			copy(buf[off:off+chunk], page[po:po+chunk])
+		}
+		off += chunk
+		a += Addr(chunk)
+	}
+	return nil
+}
+
+// Zero fills [addr, addr+size) with zero bytes.
+func (as *AddressSpace) Zero(addr Addr, size uint64) error {
+	var zeros [PageSize]byte
+	for size > 0 {
+		chunk := uint64(PageSize)
+		if size < chunk {
+			chunk = size
+		}
+		if err := as.Write(addr, zeros[:chunk]); err != nil {
+			return err
+		}
+		addr += Addr(chunk)
+		size -= chunk
+	}
+	return nil
+}
+
+// ReadU64 reads a little-endian 64-bit value at addr.
+func (as *AddressSpace) ReadU64(addr Addr) (uint64, error) {
+	var b [8]byte
+	if err := as.Read(addr, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+// WriteU64 writes a little-endian 64-bit value at addr.
+func (as *AddressSpace) WriteU64(addr Addr, v uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return as.Write(addr, b[:])
+}
+
+// ReadU32 reads a little-endian 32-bit value at addr.
+func (as *AddressSpace) ReadU32(addr Addr) (uint32, error) {
+	var b [4]byte
+	if err := as.Read(addr, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+// WriteU32 writes a little-endian 32-bit value at addr.
+func (as *AddressSpace) WriteU32(addr Addr, v uint32) error {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	return as.Write(addr, b[:])
+}
+
+// ReadU16 reads a little-endian 16-bit value at addr.
+func (as *AddressSpace) ReadU16(addr Addr) (uint16, error) {
+	var b [2]byte
+	if err := as.Read(addr, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint16(b[:]), nil
+}
+
+// WriteU16 writes a little-endian 16-bit value at addr.
+func (as *AddressSpace) WriteU16(addr Addr, v uint16) error {
+	var b [2]byte
+	binary.LittleEndian.PutUint16(b[:], v)
+	return as.Write(addr, b[:])
+}
+
+// ReadU8 reads a byte at addr.
+func (as *AddressSpace) ReadU8(addr Addr) (uint8, error) {
+	var b [1]byte
+	if err := as.Read(addr, b[:]); err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+// WriteU8 writes a byte at addr.
+func (as *AddressSpace) WriteU8(addr Addr, v uint8) error {
+	return as.Write(addr, []byte{v})
+}
+
+// ReadBytes is a convenience wrapper returning a fresh slice.
+func (as *AddressSpace) ReadBytes(addr Addr, size uint64) ([]byte, error) {
+	buf := make([]byte, size)
+	if err := as.Read(addr, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// ReadCString reads a NUL-terminated string of at most max bytes.
+func (as *AddressSpace) ReadCString(addr Addr, max int) (string, error) {
+	out := make([]byte, 0, 16)
+	for i := 0; i < max; i++ {
+		b, err := as.ReadU8(addr + Addr(i))
+		if err != nil {
+			return "", err
+		}
+		if b == 0 {
+			break
+		}
+		out = append(out, b)
+	}
+	return string(out), nil
+}
+
+// WriteCString writes s followed by a NUL byte.
+func (as *AddressSpace) WriteCString(addr Addr, s string) error {
+	buf := make([]byte, len(s)+1)
+	copy(buf, s)
+	return as.Write(addr, buf)
+}

@@ -1,0 +1,122 @@
+package microbench_test
+
+import (
+	"testing"
+
+	"lxfi/internal/core"
+	"lxfi/internal/microbench"
+)
+
+func TestWorkloadsRunBothModes(t *testing.T) {
+	for name, build := range map[string]func(core.Mode) (*microbench.Workload, error){
+		"hotlist": microbench.NewHotlist,
+		"lld":     microbench.NewLld,
+		"MD5":     microbench.NewMD5,
+	} {
+		for _, mode := range []core.Mode{core.Off, core.Enforce} {
+			w, err := build(mode)
+			if err != nil {
+				t.Fatalf("%s[%v]: %v", name, mode, err)
+			}
+			for i := 0; i < 10; i++ {
+				if err := w.Op(); err != nil {
+					t.Fatalf("%s[%v] op %d: %v", name, mode, i, err)
+				}
+			}
+			if mode == core.Enforce && w.K.Sys.Mon.LastViolation() != nil {
+				t.Fatalf("%s: violation: %v", name, w.K.Sys.Mon.LastViolation())
+			}
+		}
+	}
+}
+
+func TestGuardCountsMatchWorkloadShape(t *testing.T) {
+	// hotlist's search loop is loads-only; LXFI must execute zero
+	// memory-write guards per search.
+	w, err := microbench.NewHotlist(core.Enforce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := w.K.Sys.Mon.Stats.Snapshot()
+	if err := w.Op(); err != nil {
+		t.Fatal(err)
+	}
+	d := w.K.Sys.Mon.Stats.Snapshot().Sub(before)
+	if d.MemWriteChecks != 0 {
+		t.Fatalf("hotlist search ran %d write guards; loads must be uninstrumented", d.MemWriteChecks)
+	}
+
+	// lld's request path is store-heavy: 64 block stores + 2 metadata.
+	lld, err := microbench.NewLld(core.Enforce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before = lld.K.Sys.Mon.Stats.Snapshot()
+	if err := lld.Op(); err != nil {
+		t.Fatal(err)
+	}
+	d = lld.K.Sys.Mon.Stats.Snapshot().Sub(before)
+	if d.MemWriteChecks != 66 {
+		t.Fatalf("lld write guards = %d, want 66", d.MemWriteChecks)
+	}
+
+	// MD5 commits exactly one guarded store per digest.
+	md5w, err := microbench.NewMD5(core.Enforce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before = md5w.K.Sys.Mon.Stats.Snapshot()
+	if err := md5w.Op(); err != nil {
+		t.Fatal(err)
+	}
+	d = md5w.K.Sys.Mon.Stats.Snapshot().Sub(before)
+	if d.MemWriteChecks != 1 {
+		t.Fatalf("MD5 write guards = %d, want 1", d.MemWriteChecks)
+	}
+}
+
+func TestStaticCodeSizeAnalysis(t *testing.T) {
+	for _, name := range []string{"hotlist", "lld", "MD5"} {
+		stmts, guards := microbench.GuardSites(name)
+		if stmts == 0 || guards == 0 {
+			t.Fatalf("%s: static analysis found stmts=%d guards=%d", name, stmts, guards)
+		}
+		delta := microbench.CodeSizeDelta(name)
+		if delta <= 1.0 || delta > 2.0 {
+			t.Fatalf("%s: Δ code size = %.2f, expect (1.0, 2.0]", name, delta)
+		}
+	}
+	if microbench.CodeSizeDelta("nosuch") != 1 {
+		t.Fatal("unknown workload should report 1.0")
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	rs, err := microbench.RunAll(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 {
+		t.Fatalf("results = %d", len(rs))
+	}
+	byName := map[string]microbench.Result{}
+	for _, r := range rs {
+		byName[r.Name] = r
+	}
+	// Shape (Fig. 11): hotlist ≈ 0, lld the largest. Timing jitter makes
+	// absolute thresholds flaky, so assert the ordering with margin:
+	// lld must slow down substantially more than hotlist.
+	if h, l := byName["hotlist"].Slowdown, byName["lld"].Slowdown; l < h+0.05 {
+		t.Errorf("lld (%.1f%%) should slow down clearly more than hotlist (%.1f%%)", l*100, h*100)
+	}
+	if byName["lld"].Slowdown < 0.02 {
+		t.Errorf("lld slowdown = %.1f%%, expected measurable overhead", byName["lld"].Slowdown*100)
+	}
+	out := microbench.Format(rs)
+	if out == "" {
+		t.Fatal("empty format")
+	}
+}

@@ -1,0 +1,88 @@
+package can_test
+
+import (
+	"bytes"
+	"testing"
+
+	"lxfi/internal/core"
+	"lxfi/internal/kernel"
+	"lxfi/internal/modules/can"
+	"lxfi/internal/netstack"
+)
+
+func rig(t *testing.T, mode core.Mode) (*kernel.Kernel, *netstack.Stack, *core.Thread) {
+	t.Helper()
+	k := kernel.New()
+	k.Sys.Mon.SetMode(mode)
+	st := netstack.Init(k)
+	th := k.Sys.NewThread("can")
+	if _, err := can.Load(th, k, st); err != nil {
+		t.Fatal(err)
+	}
+	return k, st, th
+}
+
+func TestLoopback(t *testing.T) {
+	for _, mode := range []core.Mode{core.Off, core.Enforce} {
+		k, st, th := rig(t, mode)
+		s, err := st.Socket(th, can.Family)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ret, err := st.Bind(th, s, 3, 8); err != nil || kernel.IsErr(ret) {
+			t.Fatalf("[%v] bind: %d %v", mode, int64(ret), err)
+		}
+		src := k.Sys.User.Alloc(16, 8)
+		dst := k.Sys.User.Alloc(16, 8)
+		frame := []byte{0x12, 0x34, 0x56, 0x78}
+		if err := k.Sys.AS.Write(src, frame); err != nil {
+			t.Fatal(err)
+		}
+		if n, err := st.Sendmsg(th, s, src, 4, 0); err != nil || n != 4 {
+			t.Fatalf("[%v] sendmsg: %d %v", mode, int64(n), err)
+		}
+		if n, err := st.Recvmsg(th, s, dst, 4, 0); err != nil || n != 4 {
+			t.Fatalf("[%v] recvmsg: %d %v", mode, int64(n), err)
+		}
+		got, _ := k.Sys.AS.ReadBytes(dst, 4)
+		if !bytes.Equal(got, frame) {
+			t.Fatalf("[%v] frame = %v", mode, got)
+		}
+		if mode == core.Enforce && k.Sys.Mon.LastViolation() != nil {
+			t.Fatalf("[%v] violation on legit usage: %v", mode, k.Sys.Mon.LastViolation())
+		}
+		if ret, err := st.Release(th, s); err != nil || kernel.IsErr(ret) {
+			t.Fatalf("[%v] release: %d %v", mode, int64(ret), err)
+		}
+	}
+}
+
+func TestRecvmsgToKernelAddressFailsEvenStock(t *testing.T) {
+	// can uses checked copy_to_user, so a kernel destination EFAULTs on
+	// the stock kernel already (contrast with rds).
+	k, st, th := rig(t, core.Off)
+	s, _ := st.Socket(th, can.Family)
+	src := k.Sys.User.Alloc(16, 8)
+	_, _ = st.Sendmsg(th, s, src, 4, 0)
+	victim := k.Sys.Statics.Alloc(8, 8)
+	ret, err := st.Recvmsg(th, s, victim, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !kernel.IsErr(ret) {
+		t.Fatalf("kernel destination should EFAULT: %d", int64(ret))
+	}
+}
+
+func TestOversizeFrameRejected(t *testing.T) {
+	k, st, th := rig(t, core.Enforce)
+	s, _ := st.Socket(th, can.Family)
+	src := k.Sys.User.Alloc(256, 8)
+	ret, err := st.Sendmsg(th, s, src, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !kernel.IsErr(ret) {
+		t.Fatal("oversize frame accepted")
+	}
+}

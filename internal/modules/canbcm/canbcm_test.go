@@ -1,0 +1,141 @@
+package canbcm_test
+
+import (
+	"testing"
+
+	"lxfi/internal/core"
+	"lxfi/internal/kernel"
+	"lxfi/internal/mem"
+	"lxfi/internal/modules/canbcm"
+	"lxfi/internal/netstack"
+)
+
+func rig(t *testing.T, mode core.Mode) (*kernel.Kernel, *netstack.Stack, *core.Thread, *canbcm.Proto) {
+	t.Helper()
+	k := kernel.New()
+	k.Sys.Mon.SetMode(mode)
+	st := netstack.Init(k)
+	th := k.Sys.NewThread("bcm")
+	p, err := canbcm.Load(th, k, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, st, th, p
+}
+
+func sendHead(t *testing.T, k *kernel.Kernel, st *netstack.Stack, th *core.Thread,
+	sock mem.Addr, op, nframes, idx, val uint64) uint64 {
+	t.Helper()
+	buf := k.Sys.User.Alloc(64, 8)
+	if err := k.Sys.AS.Write(buf, canbcm.MsgHead(op, nframes, idx, val)); err != nil {
+		t.Fatal(err)
+	}
+	ret, err := st.Sendmsg(th, sock, buf, 32, 0)
+	if err != nil {
+		return ^uint64(0)
+	}
+	return ret
+}
+
+func TestNormalRxSetupAndWrite(t *testing.T) {
+	for _, mode := range []core.Mode{core.Off, core.Enforce} {
+		k, st, th, p := rig(t, mode)
+		s, err := st.Socket(th, canbcm.Family)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ret := sendHead(t, k, st, th, s, canbcm.OpRxSetup, 4, 0, 0); kernel.IsErr(ret) {
+			t.Fatalf("[%v] rx_setup: %d", mode, int64(ret))
+		}
+		for i := uint64(0); i < 4; i++ {
+			if ret := sendHead(t, k, st, th, s, canbcm.OpSetFrame, 4, i, 0x1000+i); kernel.IsErr(ret) {
+				t.Fatalf("[%v] set_frame %d: %d", mode, i, int64(ret))
+			}
+		}
+		frames := p.Frames(s)
+		v, _ := k.Sys.AS.ReadU64(frames + 3*canbcm.FrameSize)
+		if v != 0x1003 {
+			t.Fatalf("[%v] frame 3 = %#x", mode, v)
+		}
+		if mode == core.Enforce && k.Sys.Mon.LastViolation() != nil {
+			t.Fatalf("[%v] violation on legit usage: %v", mode, k.Sys.Mon.LastViolation())
+		}
+	}
+}
+
+func TestIntegerOverflowUndersizesAllocation(t *testing.T) {
+	// nframes = 0x10000001 -> 32-bit alloc size 16 bytes.
+	k, st, th, p := rig(t, core.Off)
+	s, _ := st.Socket(th, canbcm.Family)
+	if ret := sendHead(t, k, st, th, s, canbcm.OpRxSetup, 0x10000001, 0, 0); kernel.IsErr(ret) {
+		t.Fatalf("rx_setup: %d", int64(ret))
+	}
+	frames := p.Frames(s)
+	size, ok := k.Sys.Slab.ObjectSize(frames)
+	if !ok || size != 16 {
+		t.Fatalf("allocation size = %d (want truncated 16)", size)
+	}
+}
+
+func TestOverflowWriteCorruptsNeighbourStock(t *testing.T) {
+	k, st, th, p := rig(t, core.Off)
+	s, _ := st.Socket(th, canbcm.Family)
+	sendHead(t, k, st, th, s, canbcm.OpRxSetup, 0x10000001, 0, 0)
+	frames := p.Frames(s)
+	// Place a victim object adjacent in the same slab (size class 16).
+	victim, err := k.Sys.Slab.Alloc(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if victim != frames+16 {
+		t.Fatalf("victim not adjacent: %#x vs %#x+16", uint64(victim), uint64(frames))
+	}
+	must(t, k.Sys.AS.WriteU64(victim, 0x1111))
+	// Frame index 1 lands exactly on the victim.
+	if ret := sendHead(t, k, st, th, s, canbcm.OpSetFrame, 0, 1, 0xBAD); kernel.IsErr(ret) {
+		t.Fatalf("set_frame: %d", int64(ret))
+	}
+	v, _ := k.Sys.AS.ReadU64(victim)
+	if v != 0xBAD {
+		t.Fatalf("stock kernel should corrupt the neighbour; got %#x", v)
+	}
+}
+
+func TestOverflowWriteBlockedByLXFI(t *testing.T) {
+	k, st, th, p := rig(t, core.Enforce)
+	s, _ := st.Socket(th, canbcm.Family)
+	sendHead(t, k, st, th, s, canbcm.OpRxSetup, 0x10000001, 0, 0)
+	frames := p.Frames(s)
+	victim, _ := k.Sys.Slab.Alloc(16)
+	must(t, k.Sys.AS.WriteU64(victim, 0x1111))
+
+	// In-bounds frame 0 is fine (the capability covers 16 bytes).
+	if ret := sendHead(t, k, st, th, s, canbcm.OpSetFrame, 0, 0, 0x5); kernel.IsErr(ret) {
+		t.Fatalf("in-bounds write rejected: %d", int64(ret))
+	}
+	if v, _ := k.Sys.AS.ReadU64(frames); v != 0x5 {
+		t.Fatalf("in-bounds write lost: %#x", v)
+	}
+	// Out-of-bounds frame 1: blocked, module killed.
+	ret := sendHead(t, k, st, th, s, canbcm.OpSetFrame, 0, 1, 0xBAD)
+	if !kernel.IsErr(ret) && ret != ^uint64(0) {
+		t.Fatalf("overflow write not rejected: %d", int64(ret))
+	}
+	v, _ := k.Sys.AS.ReadU64(victim)
+	if v != 0x1111 {
+		t.Fatalf("victim corrupted under LXFI: %#x", v)
+	}
+	if k.Sys.Mon.LastViolation() == nil {
+		t.Fatal("no violation recorded")
+	}
+	if !p.M.Dead {
+		t.Fatal("module should be killed")
+	}
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,131 @@
+package dmsnapshot_test
+
+import (
+	"bytes"
+	"testing"
+
+	"lxfi/internal/blockdev"
+	"lxfi/internal/core"
+	"lxfi/internal/kernel"
+	"lxfi/internal/mem"
+	"lxfi/internal/modules/dmsnapshot"
+)
+
+const snapBase = 512 // snapshot area starts at sector 512
+
+func rig(t *testing.T, mode core.Mode) (*kernel.Kernel, *blockdev.Layer, *core.Thread, mem.Addr, *dmsnapshot.Target) {
+	t.Helper()
+	k := kernel.New()
+	k.Sys.Mon.SetMode(mode)
+	l := blockdev.Init(k)
+	l.AddDisk(1, 1024)
+	th := k.Sys.NewThread("dm")
+	tg, err := dmsnapshot.Load(th, k, l, snapBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ti, err := l.CreateTarget(th, tg.Ops(), 0, 0, 512, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, l, th, ti, tg
+}
+
+func bio(t *testing.T, k *kernel.Kernel, l *blockdev.Layer, sector, rw uint64, payload []byte) mem.Addr {
+	t.Helper()
+	b, err := l.AllocBio(uint64(len(payload)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := k.Sys.AS.ReadU64(l.BioField(b, "data"))
+	if rw == blockdev.WriteBio {
+		if err := k.Sys.AS.Write(mem.Addr(data), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for f, v := range map[string]uint64{"sector": sector, "rw": rw, "len": uint64(len(payload))} {
+		if err := k.Sys.AS.WriteU64(l.BioField(b, f), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b
+}
+
+func TestCopyOnWriteRedirects(t *testing.T) {
+	for _, mode := range []core.Mode{core.Off, core.Enforce} {
+		k, l, th, ti, _ := rig(t, mode)
+		// Seed the origin sector directly on disk.
+		orig := bytes.Repeat([]byte{0xAA}, blockdev.SectorSize)
+		copy(l.DiskBytes(1)[7*blockdev.SectorSize:], orig)
+
+		// Write through the snapshot: must land in the snapshot area, not
+		// on the origin.
+		payload := bytes.Repeat([]byte{0xBB}, blockdev.SectorSize)
+		if err := l.Submit(th, ti, bio(t, k, l, 7, blockdev.WriteBio, payload)); err != nil {
+			t.Fatalf("[%v] write: %v", mode, err)
+		}
+		if !bytes.Equal(l.DiskBytes(1)[7*blockdev.SectorSize:8*blockdev.SectorSize], orig) {
+			t.Fatalf("[%v] origin sector modified", mode)
+		}
+		if !bytes.Equal(l.DiskBytes(1)[snapBase*blockdev.SectorSize:(snapBase+1)*blockdev.SectorSize], payload) {
+			t.Fatalf("[%v] snapshot area not written", mode)
+		}
+
+		// Read through the snapshot: sees the new data.
+		rb := bio(t, k, l, 7, blockdev.ReadBio, make([]byte, blockdev.SectorSize))
+		if err := l.Submit(th, ti, rb); err != nil {
+			t.Fatalf("[%v] read: %v", mode, err)
+		}
+		data, _ := k.Sys.AS.ReadU64(l.BioField(rb, "data"))
+		got, _ := k.Sys.AS.ReadBytes(mem.Addr(data), blockdev.SectorSize)
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("[%v] snapshot read returned wrong data", mode)
+		}
+
+		// Reading an untouched sector falls through to the origin.
+		rb2 := bio(t, k, l, 9, blockdev.ReadBio, make([]byte, blockdev.SectorSize))
+		copy(l.DiskBytes(1)[9*blockdev.SectorSize:], bytes.Repeat([]byte{0xCC}, blockdev.SectorSize))
+		if err := l.Submit(th, ti, rb2); err != nil {
+			t.Fatalf("[%v] origin read: %v", mode, err)
+		}
+		data2, _ := k.Sys.AS.ReadU64(l.BioField(rb2, "data"))
+		got2, _ := k.Sys.AS.ReadBytes(mem.Addr(data2), blockdev.SectorSize)
+		if got2[0] != 0xCC {
+			t.Fatalf("[%v] origin fall-through broken", mode)
+		}
+		if mode == core.Enforce && k.Sys.Mon.LastViolation() != nil {
+			t.Fatalf("[%v] violation on legit I/O: %v", mode, k.Sys.Mon.LastViolation())
+		}
+	}
+}
+
+func TestRepeatedWriteReusesException(t *testing.T) {
+	k, l, th, ti, _ := rig(t, core.Enforce)
+	p1 := bytes.Repeat([]byte{1}, blockdev.SectorSize)
+	p2 := bytes.Repeat([]byte{2}, blockdev.SectorSize)
+	if err := l.Submit(th, ti, bio(t, k, l, 3, blockdev.WriteBio, p1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Submit(th, ti, bio(t, k, l, 3, blockdev.WriteBio, p2)); err != nil {
+		t.Fatal(err)
+	}
+	// Both writes target the same snapshot chunk.
+	if !bytes.Equal(l.DiskBytes(1)[snapBase*blockdev.SectorSize:(snapBase+1)*blockdev.SectorSize], p2) {
+		t.Fatal("second write did not reuse the exception")
+	}
+	if !bytes.Equal(l.DiskBytes(1)[(snapBase+1)*blockdev.SectorSize:(snapBase+2)*blockdev.SectorSize],
+		make([]byte, blockdev.SectorSize)) {
+		t.Fatal("second write consumed a new chunk")
+	}
+}
+
+func TestDtrFreesTable(t *testing.T) {
+	k, l, th, ti, _ := rig(t, core.Enforce)
+	table, _ := k.Sys.AS.ReadU64(l.TargetField(ti, "private"))
+	if err := l.RemoveTarget(th, ti); err != nil {
+		t.Fatal(err)
+	}
+	if k.Sys.Slab.Owns(mem.Addr(table)) {
+		t.Fatal("exception table leaked")
+	}
+}

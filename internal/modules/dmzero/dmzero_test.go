@@ -1,0 +1,69 @@
+package dmzero_test
+
+import (
+	"bytes"
+	"testing"
+
+	"lxfi/internal/blockdev"
+	"lxfi/internal/core"
+	"lxfi/internal/kernel"
+	"lxfi/internal/mem"
+	"lxfi/internal/modules/dmzero"
+)
+
+func rig(t *testing.T, mode core.Mode) (*kernel.Kernel, *blockdev.Layer, *core.Thread, *dmzero.Target) {
+	t.Helper()
+	k := kernel.New()
+	k.Sys.Mon.SetMode(mode)
+	l := blockdev.Init(k)
+	th := k.Sys.NewThread("dm")
+	tg, err := dmzero.Load(th, k, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, l, th, tg
+}
+
+func TestReadsReturnZeroes(t *testing.T) {
+	for _, mode := range []core.Mode{core.Off, core.Enforce} {
+		k, l, th, tg := rig(t, mode)
+		ti, err := l.CreateTarget(th, tg.Ops(), 0, 0, 64, 0)
+		if err != nil {
+			t.Fatalf("[%v] ctr: %v", mode, err)
+		}
+		bio, _ := l.AllocBio(256)
+		data, _ := k.Sys.AS.ReadU64(l.BioField(bio, "data"))
+		// Dirty the buffer first.
+		if err := k.Sys.AS.Write(mem.Addr(data), bytes.Repeat([]byte{0xFF}, 256)); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Submit(th, ti, bio); err != nil {
+			t.Fatalf("[%v] submit: %v", mode, err)
+		}
+		got, _ := k.Sys.AS.ReadBytes(mem.Addr(data), 256)
+		if !bytes.Equal(got, make([]byte, 256)) {
+			t.Fatalf("[%v] read did not zero the payload", mode)
+		}
+		if l.Completed() != 1 {
+			t.Fatalf("[%v] completed = %d", mode, l.Completed())
+		}
+	}
+}
+
+func TestWritesDiscarded(t *testing.T) {
+	k, l, th, tg := rig(t, core.Enforce)
+	ti, _ := l.CreateTarget(th, tg.Ops(), 0, 0, 64, 0)
+	bio, _ := l.AllocBio(64)
+	if err := k.Sys.AS.WriteU64(l.BioField(bio, "rw"), blockdev.WriteBio); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Submit(th, ti, bio); err != nil {
+		t.Fatal(err)
+	}
+	if l.Completed() != 1 {
+		t.Fatal("write not completed")
+	}
+	if k.Sys.Mon.LastViolation() != nil {
+		t.Fatalf("violation: %v", k.Sys.Mon.LastViolation())
+	}
+}

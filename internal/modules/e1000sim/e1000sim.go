@@ -1,0 +1,269 @@
+// Package e1000sim is the simulated e1000 PCI gigabit network driver —
+// the module the paper isolates for its netperf evaluation (§8.4).
+//
+// It exercises every annotated interface of the running example in
+// Figures 1 and 4: pci_driver.probe (with principal aliasing between the
+// pci_dev and net_device names), pci_enable_device, netif_napi_add,
+// ndo_start_xmit with skb capability transfers, and netif_rx.
+//
+// The "hardware" is a Nic object: a TX descriptor ring in module-owned
+// simulated memory that the driver fills with instrumented writes, and
+// Go-side frame queues standing in for the PHY.
+package e1000sim
+
+import (
+	"fmt"
+
+	"lxfi/internal/caps"
+	"lxfi/internal/core"
+	"lxfi/internal/kernel"
+	"lxfi/internal/mem"
+	"lxfi/internal/netstack"
+	"lxfi/internal/pci"
+)
+
+// Intel 82540EM, as in the paper's test machine.
+const (
+	VendorIntel = 0x8086
+	Dev82540EM  = 0x100E
+)
+
+// TxRingEntries is the size of the TX descriptor ring.
+const TxRingEntries = 64
+
+// descSize is one TX descriptor: payload address (8) + length (8).
+const descSize = 16
+
+// Nic is the simulated hardware behind the driver.
+type Nic struct {
+	// TxFrames are frames the NIC has put on the wire.
+	TxFrames uint64
+	TxBytes  uint64
+	// OnTx, if set, receives each transmitted frame (the test harness
+	// wire).
+	OnTx func(frame []byte)
+	// rxq holds frames waiting to be delivered by the poll handler.
+	rxq [][]byte
+	// IRQs counts raised interrupts.
+	IRQs uint64
+}
+
+// InjectRx queues a frame for reception.
+func (n *Nic) InjectRx(frame []byte) { n.rxq = append(n.rxq, append([]byte(nil), frame...)) }
+
+// RxPending returns the number of frames waiting.
+func (n *Nic) RxPending() int { return len(n.rxq) }
+
+// Driver is a loaded e1000sim module instance.
+type Driver struct {
+	M     *core.Module
+	Bus   *pci.Bus
+	Stack *netstack.Stack
+	K     *kernel.Kernel
+
+	Nic *Nic
+
+	// Dev is the net_device address after a successful probe.
+	Dev mem.Addr
+	// PciDev is the bound PCI device.
+	PciDev mem.Addr
+
+	ring   mem.Addr // TX descriptor ring (kmalloc'd, module-owned)
+	txHead uint64
+	opened bool
+}
+
+// Imports is the kernel symbol table of the module; the loader grants a
+// CALL capability for exactly these (§4.2 module initialization).
+var Imports = []string{
+	"alloc_etherdev", "free_netdev", "register_netdev",
+	"alloc_skb", "kfree_skb", "netif_rx", "netif_napi_add",
+	"pci_enable_device", "pci_disable_device", "request_irq",
+	"kmalloc", "kfree", "printk",
+	"spin_lock_init", "spin_lock", "spin_unlock",
+}
+
+// Load loads the e1000sim module and registers its PCI driver; any
+// matching devices on the bus are probed immediately.
+func Load(t *core.Thread, k *kernel.Kernel, bus *pci.Bus, stack *netstack.Stack) (*Driver, error) {
+	d := &Driver{Bus: bus, Stack: stack, K: k, Nic: &Nic{}}
+
+	m, err := k.Sys.LoadModule(core.ModuleSpec{
+		Name:     "e1000",
+		Imports:  Imports,
+		DataSize: 4096,
+		Funcs: []core.FuncSpec{
+			{Name: "probe", Type: pci.ProbeType, Impl: d.probe},
+			{Name: "xmit", Type: netstack.NdoStartXmit, Impl: d.xmit},
+			{Name: "open", Type: netstack.NdoOpen, Impl: d.open},
+			{Name: "stop", Type: netstack.NdoStop, Impl: d.stop},
+			{Name: "poll", Type: netstack.NapiPollType, Impl: d.poll},
+			{Name: "irq", Type: "irq_handler", Impl: d.irq},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	d.M = m
+	if err := bus.RegisterDriver(t, m, "probe", VendorIntel, Dev82540EM); err != nil {
+		return nil, err
+	}
+	if d.Dev == 0 {
+		return nil, fmt.Errorf("e1000sim: no device bound")
+	}
+	return d, nil
+}
+
+// probe is module_pci_probe from Fig. 4: it allocates the net_device,
+// aliases the two principal names (pci_dev and net_device) after the
+// mandatory lxfi_check, enables the device, installs the ops table, and
+// registers with the network and NAPI layers.
+func (d *Driver) probe(t *core.Thread, args []uint64) uint64 {
+	pcidev := mem.Addr(args[0])
+
+	ndev, err := t.CallKernel("alloc_etherdev")
+	if err != nil || ndev == 0 {
+		return kernel.Err(kernel.ENOMEM)
+	}
+
+	// Fig. 4 lines 72-73: the check makes the alias unforgeable — an
+	// adversary cannot reach this code with a pci_dev it does not own.
+	if err := t.LxfiCheck(caps.RefCap(pci.PciDev, pcidev)); err != nil {
+		return kernel.Err(kernel.EPERM)
+	}
+	if err := t.PrincAlias(pcidev, mem.Addr(ndev)); err != nil {
+		return kernel.Err(kernel.EINVAL)
+	}
+
+	if ret, err := t.CallKernel("pci_enable_device", uint64(pcidev)); err != nil || kernel.IsErr(ret) {
+		return kernel.Err(kernel.EPERM)
+	}
+
+	// Install the ops table in the module's data section and point the
+	// net_device at it (Fig. 1 line 36).
+	mod := t.CurrentModule()
+	ops := mod.Data
+	st := d.Stack
+	if err := t.WriteU64(st.OpsSlot(ops, "ndo_start_xmit"), uint64(mod.Funcs["xmit"].Addr)); err != nil {
+		return kernel.Err(kernel.EFAULT)
+	}
+	if err := t.WriteU64(st.OpsSlot(ops, "ndo_open"), uint64(mod.Funcs["open"].Addr)); err != nil {
+		return kernel.Err(kernel.EFAULT)
+	}
+	if err := t.WriteU64(st.OpsSlot(ops, "ndo_stop"), uint64(mod.Funcs["stop"].Addr)); err != nil {
+		return kernel.Err(kernel.EFAULT)
+	}
+	if err := t.WriteU64(st.DevField(mem.Addr(ndev), "ops"), uint64(ops)); err != nil {
+		return kernel.Err(kernel.EFAULT)
+	}
+
+	// TX descriptor ring (device-owned memory, Guideline 2).
+	ring, err := t.CallKernel("kmalloc", TxRingEntries*descSize)
+	if err != nil || ring == 0 {
+		return kernel.Err(kernel.ENOMEM)
+	}
+	d.ring = mem.Addr(ring)
+
+	if ret, err := t.CallKernel("register_netdev", ndev); err != nil || kernel.IsErr(ret) {
+		return kernel.Err(kernel.EINVAL)
+	}
+	// Fig. 1 line 37: netif_napi_add(ndev, napi, my_poll_cb).
+	if ret, err := t.CallKernel("netif_napi_add", ndev, uint64(mod.Funcs["poll"].Addr)); err != nil || kernel.IsErr(ret) {
+		return kernel.Err(kernel.EINVAL)
+	}
+	if ret, err := t.CallKernel("request_irq", uint64(pcidev), uint64(mod.Funcs["irq"].Addr)); err != nil || kernel.IsErr(ret) {
+		return kernel.Err(kernel.EINVAL)
+	}
+
+	d.Dev = mem.Addr(ndev)
+	d.PciDev = pcidev
+	return 0
+}
+
+// xmit is ndo_start_xmit: by the time it runs, the transfer annotation
+// has moved the skb capabilities to this device's principal. The driver
+// writes a TX descriptor (instrumented stores into its ring), lets the
+// "hardware" DMA the payload onto the wire, and frees the skb.
+func (d *Driver) xmit(t *core.Thread, args []uint64) uint64 {
+	skb := mem.Addr(args[0])
+	st := d.Stack
+
+	data, _ := t.ReadU64(st.SkbField(skb, "data"))
+	length, _ := t.ReadU64(st.SkbField(skb, "len"))
+
+	// Write the descriptor through the capability system.
+	slot := d.ring + mem.Addr((d.txHead%TxRingEntries)*descSize)
+	if err := t.WriteU64(slot, data); err != nil {
+		return ^uint64(0)
+	}
+	if err := t.WriteU64(slot+8, length); err != nil {
+		return ^uint64(0)
+	}
+	d.txHead++
+
+	// "DMA": the NIC reads the payload and puts the frame on the wire.
+	frame, err := t.ReadBytes(mem.Addr(data), length)
+	if err != nil {
+		return ^uint64(0)
+	}
+	d.Nic.TxFrames++
+	d.Nic.TxBytes += length
+	if d.Nic.OnTx != nil {
+		d.Nic.OnTx(frame)
+	}
+
+	if _, err := t.CallKernel("kfree_skb", uint64(skb)); err != nil {
+		return ^uint64(0)
+	}
+	return 0
+}
+
+// poll is the NAPI poll callback: it delivers up to budget received
+// frames to the kernel via alloc_skb + netif_rx.
+func (d *Driver) poll(t *core.Thread, args []uint64) uint64 {
+	budget := args[1]
+	st := d.Stack
+	var done uint64
+	for done < budget && len(d.Nic.rxq) > 0 {
+		frame := d.Nic.rxq[0]
+		d.Nic.rxq = d.Nic.rxq[1:]
+
+		skb, err := t.CallKernel("alloc_skb", uint64(len(frame)))
+		if err != nil || skb == 0 {
+			return done
+		}
+		data, _ := t.ReadU64(st.SkbField(mem.Addr(skb), "head"))
+		if err := t.Write(mem.Addr(data), frame); err != nil {
+			return done
+		}
+		if err := t.WriteU64(st.SkbField(mem.Addr(skb), "len"), uint64(len(frame))); err != nil {
+			return done
+		}
+		if err := t.WriteU64(st.SkbField(mem.Addr(skb), "dev"), uint64(d.Dev)); err != nil {
+			return done
+		}
+		if ret, err := t.CallKernel("netif_rx", skb); err != nil || kernel.IsErr(ret) {
+			return done
+		}
+		done++
+	}
+	return done
+}
+
+func (d *Driver) open(t *core.Thread, args []uint64) uint64 {
+	d.opened = true
+	return 0
+}
+
+func (d *Driver) stop(t *core.Thread, args []uint64) uint64 {
+	d.opened = false
+	return 0
+}
+
+func (d *Driver) irq(t *core.Thread, args []uint64) uint64 {
+	d.Nic.IRQs++
+	return 0
+}
+
+// Opened reports whether ndo_open has run.
+func (d *Driver) Opened() bool { return d.opened }

@@ -1,0 +1,131 @@
+package econet_test
+
+import (
+	"testing"
+
+	"lxfi/internal/caps"
+	"lxfi/internal/core"
+	"lxfi/internal/kernel"
+	"lxfi/internal/mem"
+	"lxfi/internal/modules/econet"
+	"lxfi/internal/netstack"
+)
+
+func rig(t *testing.T, mode core.Mode) (*kernel.Kernel, *netstack.Stack, *core.Thread, *econet.Proto) {
+	t.Helper()
+	k := kernel.New()
+	k.Sys.Mon.SetMode(mode)
+	st := netstack.Init(k)
+	th := k.Sys.NewThread("econet")
+	p, err := econet.Load(th, k, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, st, th, p
+}
+
+func TestSocketCreateAndList(t *testing.T) {
+	for _, mode := range []core.Mode{core.Off, core.Enforce} {
+		_, st, th, p := rig(t, mode)
+		s1, err := st.Socket(th, econet.Family)
+		if err != nil {
+			t.Fatalf("[%v] socket 1: %v", mode, err)
+		}
+		s2, err := st.Socket(th, econet.Family)
+		if err != nil {
+			t.Fatalf("[%v] socket 2: %v", mode, err)
+		}
+		if p.SocketCount() != 2 {
+			t.Fatalf("[%v] socket list = %d", mode, p.SocketCount())
+		}
+		if ret, err := st.Release(th, s1); err != nil || kernel.IsErr(ret) {
+			t.Fatalf("[%v] release mid: ret=%d err=%v", mode, int64(ret), err)
+		}
+		if p.SocketCount() != 1 {
+			t.Fatalf("[%v] after release = %d", mode, p.SocketCount())
+		}
+		if ret, err := st.Release(th, s2); err != nil || kernel.IsErr(ret) {
+			t.Fatalf("[%v] release head: ret=%d err=%v", mode, int64(ret), err)
+		}
+		if p.SocketCount() != 0 {
+			t.Fatalf("[%v] after all released = %d", mode, p.SocketCount())
+		}
+	}
+}
+
+func TestSendmsgCountsPerSocket(t *testing.T) {
+	_, st, th, p := rig(t, core.Enforce)
+	s1, _ := st.Socket(th, econet.Family)
+	s2, _ := st.Socket(th, econet.Family)
+	user := st.K.Sys.User.Alloc(64, 8)
+	for i := 0; i < 3; i++ {
+		if n, err := st.Sendmsg(th, s1, user, 10, 0); err != nil || n != 10 {
+			t.Fatalf("sendmsg: n=%d err=%v", n, err)
+		}
+	}
+	if _, err := st.Sendmsg(th, s2, user, 10, 0); err != nil {
+		t.Fatal(err)
+	}
+	if p.TxCount(s1) != 3 || p.TxCount(s2) != 1 {
+		t.Fatalf("txcounts = %d/%d", p.TxCount(s1), p.TxCount(s2))
+	}
+}
+
+func TestInstanceIsolationBetweenSockets(t *testing.T) {
+	// Each socket is a separate principal: socket 2's principal must not
+	// hold WRITE capabilities for socket 1's private state.
+	k, st, th, p := rig(t, core.Enforce)
+	s1, _ := st.Socket(th, econet.Family)
+	s2, _ := st.Socket(th, econet.Family)
+	sk1 := p.Sk(s1)
+
+	p1, ok := p.M.Set.Lookup(s1)
+	if !ok {
+		t.Fatal("socket 1 principal missing")
+	}
+	p2, ok := p.M.Set.Lookup(s2)
+	if !ok {
+		t.Fatal("socket 2 principal missing")
+	}
+	probe := writeCap(sk1)
+	if !k.Sys.Caps.Check(p1, probe) {
+		t.Fatal("socket 1 cannot write its own state")
+	}
+	if k.Sys.Caps.Check(p2, probe) {
+		t.Fatal("socket 2 can write socket 1's state: principals not isolated")
+	}
+	// The global principal spans both.
+	if !k.Sys.Caps.Check(p.M.Set.Global(), probe) {
+		t.Fatal("global principal should span instances")
+	}
+}
+
+func TestNullDerefSendmsg(t *testing.T) {
+	// CVE-2010-3849: NULL destination faults inside the module.
+	_, st, th, p := rig(t, core.Enforce)
+	s, _ := st.Socket(th, econet.Family)
+	ret, err := st.Sendmsg(th, s, 0, 10, 0)
+	if err != nil {
+		t.Fatalf("sendmsg transport error: %v", err)
+	}
+	if !kernel.IsErr(ret) || !p.LastOops {
+		t.Fatalf("NULL deref not taken: ret=%d oops=%v", int64(ret), p.LastOops)
+	}
+}
+
+func TestMissingPrivilegeCheckIoctl(t *testing.T) {
+	// CVE-2010-3850: SIOCSIFADDR works for unprivileged callers.
+	k, st, th, p := rig(t, core.Enforce)
+	task := k.CreateTask("nobody", 1000)
+	k.SetCurrent(th, task)
+	s, _ := st.Socket(th, econet.Family)
+	ret, err := st.Ioctl(th, s, econet.SIOCSIFADDR, 0x42)
+	if err != nil || kernel.IsErr(ret) {
+		t.Fatalf("ioctl: ret=%d err=%v", int64(ret), err)
+	}
+	if len(p.Stations) != 1 || p.Stations[0] != 0x42 {
+		t.Fatalf("stations = %v (the missing-capable bug should let this through)", p.Stations)
+	}
+}
+
+func writeCap(a mem.Addr) caps.Cap { return caps.WriteCap(a, 8) }

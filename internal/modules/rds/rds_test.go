@@ -1,0 +1,137 @@
+package rds_test
+
+import (
+	"bytes"
+	"testing"
+
+	"lxfi/internal/caps"
+	"lxfi/internal/core"
+	"lxfi/internal/kernel"
+	"lxfi/internal/mem"
+	"lxfi/internal/modules/rds"
+	"lxfi/internal/netstack"
+)
+
+func rig(t *testing.T, mode core.Mode, cfg rds.Config) (*kernel.Kernel, *netstack.Stack, *core.Thread, *rds.Proto) {
+	t.Helper()
+	k := kernel.New()
+	k.Sys.Mon.SetMode(mode)
+	st := netstack.Init(k)
+	th := k.Sys.NewThread("rds")
+	p, err := rds.Load(th, k, st, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, st, th, p
+}
+
+func TestLegitimateSendRecv(t *testing.T) {
+	for _, mode := range []core.Mode{core.Off, core.Enforce} {
+		k, st, th, _ := rig(t, mode, rds.Config{})
+		s, err := st.Socket(th, rds.Family)
+		if err != nil {
+			t.Fatalf("[%v] socket: %v", mode, err)
+		}
+		src := k.Sys.User.Alloc(64, 8)
+		dst := k.Sys.User.Alloc(64, 8)
+		msg := []byte("rds ping")
+		if err := k.Sys.AS.Write(src, msg); err != nil {
+			t.Fatal(err)
+		}
+		if n, err := st.Sendmsg(th, s, src, uint64(len(msg)), 0); err != nil || n != uint64(len(msg)) {
+			t.Fatalf("[%v] sendmsg: n=%d err=%v", mode, int64(n), err)
+		}
+		n, err := st.Recvmsg(th, s, dst, uint64(len(msg)), 0)
+		if err != nil || n != uint64(len(msg)) {
+			t.Fatalf("[%v] recvmsg: n=%d err=%v", mode, int64(n), err)
+		}
+		got, _ := k.Sys.AS.ReadBytes(dst, uint64(len(msg)))
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("[%v] payload = %q", mode, got)
+		}
+		// Legitimate traffic must not trip enforcement.
+		if mode == core.Enforce && k.Sys.Mon.LastViolation() != nil {
+			t.Fatalf("[%v] violation on legit traffic: %v", mode, k.Sys.Mon.LastViolation())
+		}
+	}
+}
+
+func TestArbitraryKernelWriteStock(t *testing.T) {
+	// The CVE primitive: recvmsg to a kernel address succeeds on stock.
+	k, st, th, _ := rig(t, core.Off, rds.Config{})
+	s, _ := st.Socket(th, rds.Family)
+	victim := k.Sys.Statics.Alloc(8, 8)
+	must(t, k.Sys.AS.WriteU64(victim, 0x1111111111111111))
+
+	src := k.Sys.User.Alloc(8, 8)
+	must(t, k.Sys.AS.WriteU64(src, 0x4242424242424242))
+	if n, err := st.Sendmsg(th, s, src, 8, 0); err != nil || n != 8 {
+		t.Fatalf("sendmsg: %d %v", int64(n), err)
+	}
+	n, err := st.Recvmsg(th, s, victim, 8, 0)
+	if err != nil || n != 8 {
+		t.Fatalf("recvmsg: %d %v", int64(n), err)
+	}
+	v, _ := k.Sys.AS.ReadU64(victim)
+	if v != 0x4242424242424242 {
+		t.Fatalf("stock kernel should allow the arbitrary write; victim=%#x", v)
+	}
+}
+
+func TestArbitraryKernelWriteBlockedByLXFI(t *testing.T) {
+	k, st, th, _ := rig(t, core.Enforce, rds.Config{})
+	s, _ := st.Socket(th, rds.Family)
+	victim := k.Sys.Statics.Alloc(8, 8)
+	must(t, k.Sys.AS.WriteU64(victim, 0x1111111111111111))
+	src := k.Sys.User.Alloc(8, 8)
+	must(t, k.Sys.AS.WriteU64(src, 0x4242424242424242))
+	_, _ = st.Sendmsg(th, s, src, 8, 0)
+	_, err := st.Recvmsg(th, s, victim, 8, 0)
+	if err == nil {
+		t.Fatal("recvmsg to kernel address should fail under LXFI")
+	}
+	v, _ := k.Sys.AS.ReadU64(victim)
+	if v != 0x1111111111111111 {
+		t.Fatalf("victim was corrupted: %#x", v)
+	}
+	if k.Sys.Mon.LastViolation() == nil {
+		t.Fatal("no violation recorded")
+	}
+}
+
+func TestOpsTablePlacement(t *testing.T) {
+	_, _, _, pRO := rig(t, core.Enforce, rds.Config{})
+	if pRO.OpsTable() != pRO.M.ROData {
+		t.Fatal("default config should place ops in .rodata")
+	}
+	_, _, _, pRW := rig(t, core.Enforce, rds.Config{WritableOps: true})
+	if pRW.OpsTable() != pRW.M.Data {
+		t.Fatal("WritableOps should place ops in .data")
+	}
+}
+
+func TestRodataOpsNotWritableByModule(t *testing.T) {
+	// Even the module itself cannot write its read-only ops table under
+	// LXFI ("LXFI does not grant WRITE capabilities for a module's
+	// read-only section", §8.1).
+	k, _, _, p := rig(t, core.Enforce, rds.Config{})
+	shared := p.M.Set.Shared()
+	if k.Sys.Caps.Check(shared, writeCap(p.IoctlSlot())) {
+		t.Fatal("module holds WRITE capability for .rodata")
+	}
+	pw, _, _, pcfg := func() (*kernel.Kernel, *netstack.Stack, *core.Thread, *rds.Proto) {
+		return rig(t, core.Enforce, rds.Config{WritableOps: true})
+	}()
+	if !pw.Sys.Caps.Check(pcfg.M.Set.Shared(), writeCap(pcfg.IoctlSlot())) {
+		t.Fatal("writable-ops config should grant the capability")
+	}
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func writeCap(a mem.Addr) caps.Cap { return caps.WriteCap(a, 8) }

@@ -1,0 +1,74 @@
+package sndens1370_test
+
+import (
+	"bytes"
+	"testing"
+
+	"lxfi/internal/core"
+	"lxfi/internal/kernel"
+	"lxfi/internal/mem"
+	"lxfi/internal/modules/sndens1370"
+	"lxfi/internal/sound"
+)
+
+func rig(t *testing.T, mode core.Mode) (*kernel.Kernel, *sound.Sound, *core.Thread, *sndens1370.Driver) {
+	t.Helper()
+	k := kernel.New()
+	k.Sys.Mon.SetMode(mode)
+	s := sound.Init(k)
+	th := k.Sys.NewThread("snd")
+	d, err := sndens1370.Load(th, k, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, s, th, d
+}
+
+func TestPlaybackAndRegisters(t *testing.T) {
+	for _, mode := range []core.Mode{core.Off, core.Enforce} {
+		k, s, th, d := rig(t, mode)
+		card, err := s.NewCard(th, d.Ops())
+		if err != nil {
+			t.Fatalf("[%v] open: %v", mode, err)
+		}
+		if d.Rate(card) != sndens1370.DefaultRate {
+			t.Fatalf("[%v] DAC rate = %d", mode, d.Rate(card))
+		}
+		if err := s.Playback(th, card, bytes.Repeat([]byte{1}, 256)); err != nil {
+			t.Fatalf("[%v] playback: %v", mode, err)
+		}
+		pos, err := s.Pointer(th, card)
+		if err != nil || pos != sndens1370.BufferSize {
+			t.Fatalf("[%v] pointer = %d, %v", mode, pos, err)
+		}
+		if err := s.Close(th, card); err != nil {
+			t.Fatalf("[%v] close: %v", mode, err)
+		}
+		if mode == core.Enforce && k.Sys.Mon.LastViolation() != nil {
+			t.Fatalf("[%v] violation on legit playback: %v", mode, k.Sys.Mon.LastViolation())
+		}
+	}
+}
+
+func TestOversizePlaybackRejected(t *testing.T) {
+	_, s, th, d := rig(t, core.Enforce)
+	card, _ := s.NewCard(th, d.Ops())
+	if err := s.Playback(th, card, make([]byte, sndens1370.BufferSize+1)); err == nil {
+		t.Fatal("oversize playback accepted")
+	}
+}
+
+func TestRegisterBlockFreedOnClose(t *testing.T) {
+	k, s, th, d := rig(t, core.Enforce)
+	card, _ := s.NewCard(th, d.Ops())
+	buf, _ := k.Sys.AS.ReadU64(s.CardField(card, "buf"))
+	if err := s.Close(th, card); err != nil {
+		t.Fatal(err)
+	}
+	if k.Sys.Slab.Owns(mem.Addr(buf)) {
+		t.Fatal("DMA buffer leaked")
+	}
+	if d.Rate(card) != 0 {
+		t.Fatal("register block survived close")
+	}
+}

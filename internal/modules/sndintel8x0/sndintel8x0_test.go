@@ -1,0 +1,87 @@
+package sndintel8x0_test
+
+import (
+	"bytes"
+	"testing"
+
+	"lxfi/internal/caps"
+	"lxfi/internal/core"
+	"lxfi/internal/kernel"
+	"lxfi/internal/mem"
+	"lxfi/internal/modules/sndintel8x0"
+	"lxfi/internal/sound"
+)
+
+func rig(t *testing.T, mode core.Mode) (*kernel.Kernel, *sound.Sound, *core.Thread, *sndintel8x0.Driver) {
+	t.Helper()
+	k := kernel.New()
+	k.Sys.Mon.SetMode(mode)
+	s := sound.Init(k)
+	th := k.Sys.NewThread("snd")
+	d, err := sndintel8x0.Load(th, k, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, s, th, d
+}
+
+func TestPlaybackLifecycle(t *testing.T) {
+	for _, mode := range []core.Mode{core.Off, core.Enforce} {
+		k, s, th, d := rig(t, mode)
+		card, err := s.NewCard(th, d.Ops())
+		if err != nil {
+			t.Fatalf("[%v] open: %v", mode, err)
+		}
+		samples := bytes.Repeat([]byte{0x5A}, 512)
+		if err := s.Playback(th, card, samples); err != nil {
+			t.Fatalf("[%v] playback: %v", mode, err)
+		}
+		pos, err := s.Pointer(th, card)
+		if err != nil || pos != sndintel8x0.BufferSize {
+			t.Fatalf("[%v] pointer = %d, %v", mode, pos, err)
+		}
+		if d.Played != sndintel8x0.BufferSize {
+			t.Fatalf("[%v] played = %d", mode, d.Played)
+		}
+		if err := s.Close(th, card); err != nil {
+			t.Fatalf("[%v] close: %v", mode, err)
+		}
+		if mode == core.Enforce && k.Sys.Mon.LastViolation() != nil {
+			t.Fatalf("[%v] violation on legit playback: %v", mode, k.Sys.Mon.LastViolation())
+		}
+	}
+}
+
+func TestCardsAreSeparatePrincipals(t *testing.T) {
+	k, s, th, d := rig(t, core.Enforce)
+	c1, err := s.NewCard(th, d.Ops())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := s.NewCard(th, d.Ops())
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf1, _ := k.Sys.AS.ReadU64(s.CardField(c1, "buf"))
+	p1, _ := d.M.Set.Lookup(c1)
+	p2, _ := d.M.Set.Lookup(c2)
+	probe := caps.WriteCap(mem.Addr(buf1), 8)
+	if !k.Sys.Caps.Check(p1, probe) {
+		t.Fatal("card 1 cannot write its own DMA buffer")
+	}
+	if k.Sys.Caps.Check(p2, probe) {
+		t.Fatal("card 2 can write card 1's DMA buffer")
+	}
+}
+
+func TestDMABufferFreedOnClose(t *testing.T) {
+	k, s, th, d := rig(t, core.Enforce)
+	card, _ := s.NewCard(th, d.Ops())
+	buf, _ := k.Sys.AS.ReadU64(s.CardField(card, "buf"))
+	if err := s.Close(th, card); err != nil {
+		t.Fatal(err)
+	}
+	if k.Sys.Slab.Owns(mem.Addr(buf)) {
+		t.Fatal("DMA buffer leaked")
+	}
+}

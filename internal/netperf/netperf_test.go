@@ -1,0 +1,172 @@
+package netperf_test
+
+import (
+	"testing"
+
+	"lxfi/internal/core"
+	"lxfi/internal/netperf"
+)
+
+func TestRigTxRx(t *testing.T) {
+	for _, mode := range []core.Mode{core.Off, core.Enforce} {
+		rig, err := netperf.NewRig(mode)
+		if err != nil {
+			t.Fatalf("[%v] %v", mode, err)
+		}
+		for i := 0; i < 50; i++ {
+			if err := rig.TxPacket(netperf.UDPPayload); err != nil {
+				t.Fatalf("[%v] tx %d: %v", mode, i, err)
+			}
+		}
+		if rig.Drv.Nic.TxFrames != 50 {
+			t.Fatalf("[%v] tx frames = %d", mode, rig.Drv.Nic.TxFrames)
+		}
+		if err := rig.RxBurst(64, 40); err != nil {
+			t.Fatalf("[%v] rx: %v", mode, err)
+		}
+		if rig.Stack.RxDelivered != 40 {
+			t.Fatalf("[%v] rx delivered = %d", mode, rig.Stack.RxDelivered)
+		}
+		if mode == core.Enforce && rig.K.Sys.Mon.LastViolation() != nil {
+			t.Fatalf("violation during netperf: %v", rig.K.Sys.Mon.LastViolation())
+		}
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	costs, err := netperf.MeasureCosts(400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enforcement must cost more per packet on every path.
+	for name, pair := range map[string]map[core.Mode]float64{
+		"TxTCP": costs.TxTCP, "TxUDP": costs.TxUDP, "RxUDP": costs.RxUDP,
+	} {
+		if pair[core.Enforce] <= pair[core.Off] {
+			t.Errorf("%s: lxfi %.0fns <= stock %.0fns", name, pair[core.Enforce], pair[core.Off])
+		}
+	}
+
+	rows := netperf.BuildTable(costs)
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byTest := map[string]netperf.Row{}
+	for _, r := range rows {
+		byTest[r.Test] = r
+	}
+
+	// TCP STREAM TX: same throughput (wire-limited), higher CPU.
+	tcp := byTest["TCP STREAM TX"]
+	if ratio := tcp.LxfiTput / tcp.StockTput; ratio < 0.99 || ratio > 1.01 {
+		t.Errorf("TCP TX throughput changed: %.2f", ratio)
+	}
+	if tcp.LxfiCPU <= tcp.StockCPU {
+		t.Errorf("TCP TX CPU did not increase: %v", tcp)
+	}
+
+	// UDP STREAM TX: throughput drops (CPU-limited), CPU pinned at 100.
+	udp := byTest["UDP STREAM TX"]
+	if ratio := udp.LxfiTput / udp.StockTput; ratio >= 0.95 {
+		t.Errorf("UDP TX throughput should drop: ratio %.2f", ratio)
+	}
+	if udp.LxfiCPU < 99 {
+		t.Errorf("UDP TX lxfi CPU should be saturated: %.0f", udp.LxfiCPU)
+	}
+
+	// UDP STREAM RX: same throughput, CPU near 100 under LXFI.
+	udpRx := byTest["UDP STREAM RX"]
+	if ratio := udpRx.LxfiTput / udpRx.StockTput; ratio < 0.99 || ratio > 1.01 {
+		t.Errorf("UDP RX throughput changed: %.2f", ratio)
+	}
+	if udpRx.LxfiCPU < 90 || udpRx.StockCPU > udpRx.LxfiCPU {
+		t.Errorf("UDP RX CPU shape wrong: %+v", udpRx)
+	}
+
+	// RR: the 1-switch (low latency) configuration shows a larger
+	// relative slowdown than the multi-switch one (§8.4).
+	rrMulti := byTest["UDP RR"]
+	rrOne := byTest["UDP RR (1-switch)"]
+	dropMulti := 1 - rrMulti.LxfiTput/rrMulti.StockTput
+	dropOne := 1 - rrOne.LxfiTput/rrOne.StockTput
+	if dropOne <= dropMulti {
+		t.Errorf("1-switch RR drop (%.2f) should exceed multi-switch drop (%.2f)", dropOne, dropMulti)
+	}
+	// And 1-switch absolute rates are higher in both modes.
+	if rrOne.StockTput <= rrMulti.StockTput {
+		t.Error("1-switch stock RR should be faster than multi-switch")
+	}
+
+	if netperf.Format(rows) == "" {
+		t.Fatal("empty table")
+	}
+}
+
+func TestFig13GuardBreakdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	rows, err := netperf.GuardBreakdown(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]netperf.GuardRow{}
+	for _, r := range rows {
+		byName[r.Guard] = r
+	}
+	// Structural expectations mirroring Fig. 13:
+	// entries == exits;
+	if byName["Function entry"].PerPacket != byName["Function exit"].PerPacket {
+		t.Error("entry and exit guard counts must match")
+	}
+	// several annotation actions and memory-write checks per packet;
+	if byName["Annotation action"].PerPacket < 2 {
+		t.Errorf("annotation actions/pkt = %.1f", byName["Annotation action"].PerPacket)
+	}
+	if byName["Mem-write check"].PerPacket < 2 {
+		t.Errorf("mem-write checks/pkt = %.1f", byName["Mem-write check"].PerPacket)
+	}
+	// writer-set tracking eliminates some slow-path indirect-call checks:
+	// slow <= all, with at least one checked driver call per packet.
+	all, slow := byName["Kernel ind-call all"].PerPacket, byName["Kernel ind-call e1000"].PerPacket
+	if slow > all {
+		t.Errorf("slow ind-calls (%.1f) exceed total (%.1f)", slow, all)
+	}
+	if slow < 1 {
+		t.Errorf("expected at least one checked driver ind-call per packet, got %.1f", slow)
+	}
+	if all < 3 {
+		t.Errorf("expected ~3 kernel ind-calls per packet (enqueue, dequeue, xmit), got %.1f", all)
+	}
+	if netperf.FormatGuards(rows) == "" {
+		t.Fatal("empty table")
+	}
+}
+
+func TestGuardCostsNonNegative(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	c, err := netperf.GuardCosts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, v := range map[string]float64{
+		"annotation": c.AnnotationNs, "entry": c.EntryNs, "exit": c.ExitNs,
+		"memwrite": c.MemWriteNs, "indfast": c.IndCallFastNs, "indslow": c.IndCallSlowNs,
+	} {
+		if v < 0 {
+			t.Errorf("%s cost negative: %f", name, v)
+		}
+	}
+	// The slow indirect-call path must cost more than the fast path.
+	if c.IndCallSlowNs <= c.IndCallFastNs {
+		t.Errorf("slow path (%.0fns) should exceed fast path (%.0fns)", c.IndCallSlowNs, c.IndCallFastNs)
+	}
+}

@@ -1,0 +1,548 @@
+// Package netstack implements the simulated Linux network substrate:
+// sk_buffs, net_devices with their ops tables, NAPI, a pfifo packet
+// scheduler (qdisc), and the annotated kernel exports network modules
+// use (alloc_skb, netif_rx, netif_napi_add, ...).
+//
+// The interfaces and their annotations follow Figures 1 and 4 of the
+// paper; the TX path mirrors dev_queue_xmit (enqueue on the device's
+// qdisc, dequeue, then an indirect call through the module-writable
+// ndo_start_xmit slot — the per-packet "Kernel ind-call e1000" guard of
+// Figure 13).
+package netstack
+
+import (
+	"fmt"
+
+	"lxfi/internal/caps"
+	"lxfi/internal/core"
+	"lxfi/internal/kernel"
+	"lxfi/internal/layout"
+	"lxfi/internal/mem"
+)
+
+// Layout names.
+const (
+	SkBuff    = "struct sk_buff"
+	NetDevice = "struct net_device"
+	NetDevOps = "struct net_device_ops"
+	Socket    = "struct socket"
+	ProtoOps  = "struct proto_ops"
+	QdiscT    = "struct Qdisc"
+)
+
+// Function-pointer types (annotated interfaces).
+const (
+	NdoStartXmit = "net_device_ops.ndo_start_xmit"
+	NdoOpen      = "net_device_ops.ndo_open"
+	NdoStop      = "net_device_ops.ndo_stop"
+	NapiPollType = "napi.poll"
+	QdiscEnq     = "Qdisc.enqueue"
+	QdiscDeq     = "Qdisc.dequeue"
+	FamilyCreate = "net_proto_family.create"
+	OpsRelease   = "proto_ops.release"
+	OpsBind      = "proto_ops.bind"
+	OpsSendmsg   = "proto_ops.sendmsg"
+	OpsRecvmsg   = "proto_ops.recvmsg"
+	OpsIoctl     = "proto_ops.ioctl"
+)
+
+// NetdevTxBusy is NETDEV_TX_BUSY: the driver could not take the packet
+// and ownership of the skb returns to the caller (Fig. 4).
+const NetdevTxBusy = 0x10
+
+// Stack is the simulated network stack.
+type Stack struct {
+	K *kernel.Kernel
+
+	skb   *layout.Struct
+	ndev  *layout.Struct
+	nops  *layout.Struct
+	sock  *layout.Struct
+	pops  *layout.Struct
+	qdisc *layout.Struct
+
+	families map[uint64]*family
+	devices  []mem.Addr
+	napiPoll map[mem.Addr]mem.Addr // dev -> kernel slot holding poll fn ptr
+	queues   map[mem.Addr][]uint64 // qdisc -> queued skb addrs
+
+	backlog []mem.Addr // skbs handed to the kernel by netif_rx
+
+	// RxDelivered counts packets that reached the kernel via netif_rx.
+	RxDelivered uint64
+}
+
+type family struct {
+	module     *core.Module
+	createSlot mem.Addr // kernel slot holding the create fn pointer
+}
+
+// Init builds the stack on a booted kernel, registering layouts, fptr
+// types, and exports.
+func Init(k *kernel.Kernel) *Stack {
+	s := &Stack{
+		K:        k,
+		families: make(map[uint64]*family),
+		napiPoll: make(map[mem.Addr]mem.Addr),
+		queues:   make(map[mem.Addr][]uint64),
+	}
+	sys := k.Sys
+
+	s.skb = sys.Layouts.Define(SkBuff,
+		layout.F("data", 8),
+		layout.F("len", 8),
+		layout.F("head", 8),
+		layout.F("truesize", 8),
+		layout.F("dev", 8),
+		layout.F("protocol", 8),
+	)
+	s.ndev = sys.Layouts.Define(NetDevice,
+		layout.F("ops", 8),
+		layout.F("qdisc", 8),
+		layout.F("flags", 8),
+		layout.F("name", 16),
+	)
+	s.nops = sys.Layouts.Define(NetDevOps,
+		layout.F("ndo_open", 8),
+		layout.F("ndo_stop", 8),
+		layout.F("ndo_start_xmit", 8),
+	)
+	s.sock = sys.Layouts.Define(Socket,
+		layout.F("ops", 8),
+		layout.F("sk", 8),
+		layout.F("type", 8),
+		layout.F("state", 8),
+	)
+	s.pops = sys.Layouts.Define(ProtoOps,
+		layout.F("release", 8),
+		layout.F("bind", 8),
+		layout.F("connect", 8),
+		layout.F("sendmsg", 8),
+		layout.F("recvmsg", 8),
+		layout.F("ioctl", 8),
+	)
+	s.qdisc = sys.Layouts.Define(QdiscT,
+		layout.F("enqueue", 8),
+		layout.F("dequeue", 8),
+	)
+
+	sys.RegisterConst("NETDEV_TX_BUSY", NetdevTxBusy)
+
+	// skb_caps (Fig. 4 lines 51-54): the capabilities that make up an
+	// sk_buff — the struct itself plus its payload buffer.
+	sys.RegisterIterator("skb_caps", func(t *core.Thread, args []int64, emit func(caps.Cap) error) error {
+		skb := mem.Addr(uint64(args[0]))
+		if skb == 0 {
+			return nil
+		}
+		if err := emit(caps.WriteCap(skb, s.skb.Size)); err != nil {
+			return err
+		}
+		data, _ := sys.AS.ReadU64(skb + mem.Addr(s.skb.Off("head")))
+		size, _ := sys.AS.ReadU64(skb + mem.Addr(s.skb.Off("truesize")))
+		if data != 0 && size > 0 {
+			return emit(caps.WriteCap(mem.Addr(data), size))
+		}
+		return nil
+	})
+
+	s.registerFPtrTypes()
+	s.registerExports()
+	return s
+}
+
+func (s *Stack) registerFPtrTypes() {
+	sys := s.K.Sys
+	sys.RegisterFPtrType(NdoStartXmit,
+		[]core.Param{core.P("skb", "struct sk_buff *"), core.P("dev", "struct net_device *")},
+		"principal(dev) pre(transfer(skb_caps(skb))) "+
+			"post(if (return == NETDEV_TX_BUSY) transfer(skb_caps(skb)))")
+	sys.RegisterFPtrType(NdoOpen,
+		[]core.Param{core.P("dev", "struct net_device *")}, "principal(dev)")
+	sys.RegisterFPtrType(NdoStop,
+		[]core.Param{core.P("dev", "struct net_device *")}, "principal(dev)")
+	sys.RegisterFPtrType(NapiPollType,
+		[]core.Param{core.P("dev", "struct net_device *"), core.P("budget", "int")},
+		"principal(dev)")
+	sys.RegisterFPtrType(QdiscEnq,
+		[]core.Param{core.P("qdisc", "struct Qdisc *"), core.P("skb", "struct sk_buff *")}, "")
+	sys.RegisterFPtrType(QdiscDeq,
+		[]core.Param{core.P("qdisc", "struct Qdisc *")}, "")
+	sys.RegisterFPtrType(FamilyCreate,
+		[]core.Param{core.P("sock", "struct socket *")},
+		"principal(sock) pre(copy(write, sock))")
+	sys.RegisterFPtrType(OpsRelease,
+		[]core.Param{core.P("sock", "struct socket *")}, "principal(sock)")
+	sys.RegisterFPtrType(OpsBind,
+		[]core.Param{core.P("sock", "struct socket *"), core.P("addr", "const void *"), core.P("len", "int")},
+		"principal(sock)")
+	sys.RegisterFPtrType(OpsSendmsg,
+		[]core.Param{core.P("sock", "struct socket *"), core.P("buf", "const void *"),
+			core.P("len", "size_t"), core.P("flags", "int")},
+		"principal(sock)")
+	sys.RegisterFPtrType(OpsRecvmsg,
+		[]core.Param{core.P("sock", "struct socket *"), core.P("buf", "void *"),
+			core.P("len", "size_t"), core.P("flags", "int")},
+		"principal(sock)")
+	sys.RegisterFPtrType(OpsIoctl,
+		[]core.Param{core.P("sock", "struct socket *"), core.P("cmd", "int"), core.P("arg", "u64")},
+		"principal(sock)")
+}
+
+func (s *Stack) registerExports() {
+	sys := s.K.Sys
+
+	// alloc_etherdev: the module receives WRITE access to the fresh
+	// net_device (it must fill in ops etc.) — Guideline 2.
+	sys.RegisterKernelFunc("alloc_etherdev", nil,
+		"post(if (return != 0) transfer(alloc_caps(return)))",
+		func(t *core.Thread, args []uint64) uint64 {
+			dev, err := sys.Slab.Alloc(s.ndev.Size)
+			if err != nil {
+				return 0
+			}
+			return uint64(dev)
+		})
+
+	sys.RegisterKernelFunc("free_netdev",
+		[]core.Param{core.P("dev", "struct net_device *")},
+		"pre(transfer(alloc_caps(dev)))",
+		func(t *core.Thread, args []uint64) uint64 {
+			_ = sys.Slab.Free(mem.Addr(args[0]))
+			return 0
+		})
+
+	// register_netdev: the caller must own the device it registers.
+	// The kernel attaches the default pfifo qdisc (Guideline 7: the
+	// kernel assigns packet schedulers by writing a pointer into the
+	// net_device).
+	sys.RegisterKernelFunc("register_netdev",
+		[]core.Param{core.P("dev", "struct net_device *")},
+		"pre(check(alloc_caps(dev)))",
+		func(t *core.Thread, args []uint64) uint64 {
+			dev := mem.Addr(args[0])
+			q := s.newPfifo()
+			if err := sys.AS.WriteU64(dev+mem.Addr(s.ndev.Off("qdisc")), uint64(q)); err != nil {
+				return kernel.Err(kernel.EFAULT)
+			}
+			s.devices = append(s.devices, dev)
+			return 0
+		})
+
+	// alloc_skb: WRITE capabilities for the skb struct and its payload
+	// transfer to the allocating module.
+	sys.RegisterKernelFunc("alloc_skb",
+		[]core.Param{core.P("size", "size_t")},
+		"post(if (return != 0) transfer(skb_caps(return)))",
+		func(t *core.Thread, args []uint64) uint64 {
+			skb, err := s.AllocSkb(args[0])
+			if err != nil {
+				return 0
+			}
+			return uint64(skb)
+		})
+
+	sys.RegisterKernelFunc("kfree_skb",
+		[]core.Param{core.P("skb", "struct sk_buff *")},
+		"pre(transfer(skb_caps(skb)))",
+		func(t *core.Thread, args []uint64) uint64 {
+			s.FreeSkb(mem.Addr(args[0]))
+			return 0
+		})
+
+	// netif_rx (Fig. 1 line 42): the driver hands a packet to the
+	// kernel. The transfer annotation revokes the driver's (and any
+	// other module's) write access so the packet cannot be modified
+	// after the kernel accepted it (§3.3).
+	sys.RegisterKernelFunc("netif_rx",
+		[]core.Param{core.P("skb", "struct sk_buff *")},
+		"pre(transfer(skb_caps(skb)))",
+		func(t *core.Thread, args []uint64) uint64 {
+			s.backlog = append(s.backlog, mem.Addr(args[0]))
+			s.RxDelivered++
+			return 0
+		})
+
+	// netif_napi_add (Fig. 1 line 23): the module registers its poll
+	// callback. It must own the device and must itself be allowed to
+	// call the function it supplies.
+	sys.RegisterKernelFunc("netif_napi_add",
+		[]core.Param{core.P("dev", "struct net_device *"), core.P("poll", "napi_poll_t")},
+		"pre(check(alloc_caps(dev))) pre(check(call, poll))",
+		func(t *core.Thread, args []uint64) uint64 {
+			dev, poll := mem.Addr(args[0]), args[1]
+			slot := sys.Statics.Alloc(8, 8) // kernel-owned slot: fast path
+			if err := sys.AS.WriteU64(slot, poll); err != nil {
+				return kernel.Err(kernel.EFAULT)
+			}
+			s.napiPoll[dev] = slot
+			return 0
+		})
+
+	// sock_register: a protocol module registers its family create
+	// function (af_econet, af_rds, af_can do this on init).
+	sys.RegisterKernelFunc("sock_register",
+		[]core.Param{core.P("fam", "int"), core.P("create", "create_fn_t")},
+		"pre(check(call, create))",
+		func(t *core.Thread, args []uint64) uint64 {
+			m := t.CurrentModule()
+			slot := sys.Statics.Alloc(8, 8)
+			if err := sys.AS.WriteU64(slot, args[1]); err != nil {
+				return kernel.Err(kernel.EFAULT)
+			}
+			s.families[args[0]] = &family{module: m, createSlot: slot}
+			return 0
+		})
+}
+
+// --- sk_buff management (trusted-side helpers) ---
+
+// AllocSkb allocates an sk_buff and its payload buffer in kernel
+// context.
+func (s *Stack) AllocSkb(size uint64) (mem.Addr, error) {
+	sys := s.K.Sys
+	skb, err := sys.Slab.Alloc(s.skb.Size)
+	if err != nil {
+		return 0, err
+	}
+	if size == 0 {
+		size = 1
+	}
+	data, err := sys.Slab.Alloc(size)
+	if err != nil {
+		return 0, err
+	}
+	must(sys.AS.WriteU64(skb+mem.Addr(s.skb.Off("data")), uint64(data)))
+	must(sys.AS.WriteU64(skb+mem.Addr(s.skb.Off("head")), uint64(data)))
+	must(sys.AS.WriteU64(skb+mem.Addr(s.skb.Off("truesize")), size))
+	must(sys.AS.WriteU64(skb+mem.Addr(s.skb.Off("len")), 0))
+	return skb, nil
+}
+
+// FreeSkb releases an sk_buff and its payload.
+func (s *Stack) FreeSkb(skb mem.Addr) {
+	if skb == 0 {
+		return
+	}
+	sys := s.K.Sys
+	data, _ := sys.AS.ReadU64(skb + mem.Addr(s.skb.Off("head")))
+	if data != 0 {
+		_ = sys.Slab.Free(mem.Addr(data))
+	}
+	_ = sys.Slab.Free(skb)
+}
+
+// SkbField returns the address of an sk_buff field.
+func (s *Stack) SkbField(skb mem.Addr, field string) mem.Addr {
+	return skb + mem.Addr(s.skb.Off(field))
+}
+
+// DevField returns the address of a net_device field.
+func (s *Stack) DevField(dev mem.Addr, field string) mem.Addr {
+	return dev + mem.Addr(s.ndev.Off(field))
+}
+
+// OpsSlot returns the address of a net_device_ops slot.
+func (s *Stack) OpsSlot(ops mem.Addr, field string) mem.Addr {
+	return ops + mem.Addr(s.nops.Off(field))
+}
+
+// SockField returns the address of a socket field.
+func (s *Stack) SockField(sock mem.Addr, field string) mem.Addr {
+	return sock + mem.Addr(s.sock.Off(field))
+}
+
+// ProtoOpsSlot returns the address of a proto_ops slot.
+func (s *Stack) ProtoOpsSlot(ops mem.Addr, field string) mem.Addr {
+	return ops + mem.Addr(s.pops.Off(field))
+}
+
+// --- qdisc (pfifo) ---
+
+func (s *Stack) newPfifo() mem.Addr {
+	sys := s.K.Sys
+	q := sys.Statics.Alloc(s.qdisc.Size, 8)
+	enq, _ := sys.FuncByName("pfifo_enqueue")
+	deq, _ := sys.FuncByName("pfifo_dequeue")
+	if enq == nil {
+		enq = sys.RegisterKernelFunc("pfifo_enqueue",
+			[]core.Param{core.P("qdisc", "struct Qdisc *"), core.P("skb", "struct sk_buff *")}, "",
+			func(t *core.Thread, args []uint64) uint64 {
+				s.queues[mem.Addr(args[0])] = append(s.queues[mem.Addr(args[0])], args[1])
+				return 0
+			})
+		deq = sys.RegisterKernelFunc("pfifo_dequeue",
+			[]core.Param{core.P("qdisc", "struct Qdisc *")}, "",
+			func(t *core.Thread, args []uint64) uint64 {
+				q := mem.Addr(args[0])
+				lst := s.queues[q]
+				if len(lst) == 0 {
+					return 0
+				}
+				skb := lst[0]
+				s.queues[q] = lst[1:]
+				return skb
+			})
+	}
+	must(sys.AS.WriteU64(q+mem.Addr(s.qdisc.Off("enqueue")), uint64(enq.Addr)))
+	must(sys.AS.WriteU64(q+mem.Addr(s.qdisc.Off("dequeue")), uint64(deq.Addr)))
+	return q
+}
+
+// --- kernel-side paths (syscalls and dev_queue_xmit) ---
+
+// XmitSkb is dev_queue_xmit: enqueue on the device's qdisc, dequeue, and
+// hand the packet to the driver through the module-writable
+// ndo_start_xmit slot.
+func (s *Stack) XmitSkb(t *core.Thread, dev, skb mem.Addr) (uint64, error) {
+	sys := s.K.Sys
+	q, err := sys.AS.ReadU64(dev + mem.Addr(s.ndev.Off("qdisc")))
+	if err != nil || q == 0 {
+		return 0, fmt.Errorf("netstack: device %#x has no qdisc", uint64(dev))
+	}
+	qd := mem.Addr(q)
+	if _, err := t.IndirectCall(qd+mem.Addr(s.qdisc.Off("enqueue")), QdiscEnq, uint64(qd), uint64(skb)); err != nil {
+		return 0, err
+	}
+	out, err := t.IndirectCall(qd+mem.Addr(s.qdisc.Off("dequeue")), QdiscDeq, uint64(qd))
+	if err != nil || out == 0 {
+		return 0, err
+	}
+	ops, err := sys.AS.ReadU64(dev + mem.Addr(s.ndev.Off("ops")))
+	if err != nil || ops == 0 {
+		return 0, fmt.Errorf("netstack: device %#x has no ops", uint64(dev))
+	}
+	slot := mem.Addr(ops) + mem.Addr(s.nops.Off("ndo_start_xmit"))
+	return t.IndirectCall(slot, NdoStartXmit, out, uint64(dev))
+}
+
+// Poll invokes the device's registered NAPI poll callback with a budget,
+// as the kernel's softirq loop does (Fig. 1 line 28).
+func (s *Stack) Poll(t *core.Thread, dev mem.Addr, budget uint64) (uint64, error) {
+	slot, ok := s.napiPoll[dev]
+	if !ok {
+		return 0, fmt.Errorf("netstack: no NAPI context for device %#x", uint64(dev))
+	}
+	return t.IndirectCall(slot, NapiPollType, uint64(dev), budget)
+}
+
+// PopRx removes and returns the oldest packet delivered via netif_rx
+// (0 if none) — the protocol-layer consumption point.
+func (s *Stack) PopRx() mem.Addr {
+	if len(s.backlog) == 0 {
+		return 0
+	}
+	skb := s.backlog[0]
+	s.backlog = s.backlog[1:]
+	return skb
+}
+
+// BacklogLen returns the number of undelivered rx packets.
+func (s *Stack) BacklogLen() int { return len(s.backlog) }
+
+// --- socket syscalls ---
+
+// SockSize is exported for modules granting write access to sockets.
+func (s *Stack) SockSize() uint64 { return s.sock.Size }
+
+// Socket implements socket(2): allocates the socket object and calls the
+// family's create function (which the module registered) through a
+// checked indirect call.
+func (s *Stack) Socket(t *core.Thread, familyID uint64) (mem.Addr, error) {
+	fam, ok := s.families[familyID]
+	if !ok {
+		return 0, fmt.Errorf("netstack: unknown protocol family %d", familyID)
+	}
+	if fam.module != nil && fam.module.Dead {
+		return 0, core.ErrModuleDead
+	}
+	sock, err := s.K.Sys.Slab.Alloc(s.sock.Size)
+	if err != nil {
+		return 0, err
+	}
+	ret, err := t.IndirectCall(fam.createSlot, FamilyCreate, uint64(sock))
+	if err != nil {
+		return 0, err
+	}
+	if kernel.IsErr(ret) {
+		_ = s.K.Sys.Slab.Free(sock)
+		return 0, fmt.Errorf("netstack: create failed: errno %d", -int64(ret))
+	}
+	return sock, nil
+}
+
+// sockOpSlot loads sock->ops and returns the address of the named slot.
+func (s *Stack) sockOpSlot(sock mem.Addr, op string) (mem.Addr, error) {
+	ops, err := s.K.Sys.AS.ReadU64(sock + mem.Addr(s.sock.Off("ops")))
+	if err != nil || ops == 0 {
+		return 0, fmt.Errorf("netstack: socket %#x has no ops", uint64(sock))
+	}
+	return mem.Addr(ops) + mem.Addr(s.pops.Off(op)), nil
+}
+
+// Sendmsg implements sendmsg(2) for a module socket.
+func (s *Stack) Sendmsg(t *core.Thread, sock, buf mem.Addr, n, flags uint64) (uint64, error) {
+	slot, err := s.sockOpSlot(sock, "sendmsg")
+	if err != nil {
+		return 0, err
+	}
+	return t.IndirectCall(slot, OpsSendmsg, uint64(sock), uint64(buf), n, flags)
+}
+
+// Recvmsg implements recvmsg(2).
+func (s *Stack) Recvmsg(t *core.Thread, sock, buf mem.Addr, n, flags uint64) (uint64, error) {
+	slot, err := s.sockOpSlot(sock, "recvmsg")
+	if err != nil {
+		return 0, err
+	}
+	return t.IndirectCall(slot, OpsRecvmsg, uint64(sock), uint64(buf), n, flags)
+}
+
+// Bind implements bind(2).
+func (s *Stack) Bind(t *core.Thread, sock, addr mem.Addr, n uint64) (uint64, error) {
+	slot, err := s.sockOpSlot(sock, "bind")
+	if err != nil {
+		return 0, err
+	}
+	return t.IndirectCall(slot, OpsBind, uint64(sock), uint64(addr), n)
+}
+
+// Ioctl implements ioctl(2) on a socket — the kernel path both the RDS
+// and Econet exploits redirect.
+func (s *Stack) Ioctl(t *core.Thread, sock mem.Addr, cmd, arg uint64) (uint64, error) {
+	slot, err := s.sockOpSlot(sock, "ioctl")
+	if err != nil {
+		return 0, err
+	}
+	return t.IndirectCall(slot, OpsIoctl, uint64(sock), cmd, arg)
+}
+
+// Release implements close(2). After the module's release callback
+// runs, the socket's instance principal is discarded along with the
+// socket object, so a recycled address cannot inherit stale privileges.
+func (s *Stack) Release(t *core.Thread, sock mem.Addr) (uint64, error) {
+	slot, err := s.sockOpSlot(sock, "release")
+	if err != nil {
+		return 0, err
+	}
+	ret, err := t.IndirectCall(slot, OpsRelease, uint64(sock))
+	if err != nil {
+		return ret, err
+	}
+	for _, fam := range s.families {
+		if fam.module != nil {
+			fam.module.Set.DropInstance(sock)
+		}
+	}
+	_ = s.K.Sys.Slab.Free(sock)
+	return ret, nil
+}
+
+// Devices returns all registered net devices.
+func (s *Stack) Devices() []mem.Addr { return s.devices }
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,168 @@
+package netstack_test
+
+import (
+	"testing"
+
+	"lxfi/internal/caps"
+	"lxfi/internal/core"
+	"lxfi/internal/kernel"
+	"lxfi/internal/mem"
+	"lxfi/internal/netstack"
+)
+
+// strictDriver is a Guideline-4 driver: it never holds WRITE access to
+// sk_buff headers, only REF(sk_buff fields) plus payload WRITE.
+type strictDriver struct {
+	m    *core.Module
+	dev  mem.Addr
+	sent int
+	// corrupt makes xmit attempt a direct header store (the attack the
+	// strict interface exists to prevent).
+	corrupt bool
+}
+
+func loadStrictDriver(t *testing.T, k *kernel.Kernel, s *netstack.Stack) *strictDriver {
+	t.Helper()
+	s.StrictInit()
+	d := &strictDriver{}
+	imports := append([]string{"alloc_etherdev", "register_netdev"}, netstack.StrictImports...)
+	m, err := k.Sys.LoadModule(core.ModuleSpec{
+		Name:     "strictnet",
+		Imports:  imports,
+		DataSize: 4096,
+		Funcs: []core.FuncSpec{
+			{
+				Name: "xmit", Type: netstack.NdoStartXmitStrict,
+				Impl: func(th *core.Thread, args []uint64) uint64 {
+					skb := mem.Addr(args[0])
+					if d.corrupt {
+						// Attack: rewrite the header's data pointer
+						// directly. Must fail: no WRITE capability for
+						// the header under the strict interface.
+						if err := th.WriteU64(s.SkbField(skb, "data"), 0xdead); err != nil {
+							return ^uint64(0)
+						}
+						return 0
+					}
+					// Legitimate: touch the payload (WRITE granted)...
+					data, _ := th.ReadU64(s.SkbField(skb, "head"))
+					if err := th.WriteU8(mem.Addr(data), 0xAA); err != nil {
+						return ^uint64(0)
+					}
+					// ...and update a header field through the accessor.
+					if ret, err := th.CallKernel("skb_set_len", uint64(skb), 60); err != nil || kernel.IsErr(ret) {
+						return ^uint64(0)
+					}
+					d.sent++
+					return 0
+				},
+			},
+			{
+				Name: "setup",
+				Impl: func(th *core.Thread, args []uint64) uint64 {
+					dev, err := th.CallKernel("alloc_etherdev")
+					if err != nil || dev == 0 {
+						return 1
+					}
+					d.dev = mem.Addr(dev)
+					mod := th.CurrentModule()
+					if err := th.WriteU64(s.OpsSlot(mod.Data, "ndo_start_xmit"), uint64(mod.Funcs["xmit"].Addr)); err != nil {
+						return 2
+					}
+					if err := th.WriteU64(s.DevField(d.dev, "ops"), uint64(mod.Data)); err != nil {
+						return 3
+					}
+					if ret, err := th.CallKernel("register_netdev", dev); err != nil || kernel.IsErr(ret) {
+						return 4
+					}
+					return 0
+				},
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.m = m
+	return d
+}
+
+func TestStrictDriverLegitimatePath(t *testing.T) {
+	k, s, th := newStack(t, core.Enforce)
+	d := loadStrictDriver(t, k, s)
+	if ret, err := th.CallModule(d.m, "setup", 0); err != nil || ret != 0 {
+		t.Fatalf("setup: ret=%d err=%v", ret, err)
+	}
+	skb, _ := s.AllocSkb(128)
+	ret, err := s.XmitSkbStrict(th, d.dev, skb)
+	if err != nil || ret != 0 {
+		t.Fatalf("strict xmit: ret=%d err=%v", int64(ret), err)
+	}
+	if d.sent != 1 {
+		t.Fatal("xmit did not run")
+	}
+	// The accessor performed the header store on the module's behalf.
+	n, _ := k.Sys.AS.ReadU64(s.SkbField(skb, "len"))
+	if n != 60 {
+		t.Fatalf("len = %d", n)
+	}
+	if v := k.Sys.Mon.LastViolation(); v != nil {
+		t.Fatalf("violation on legit strict path: %v", v)
+	}
+}
+
+func TestStrictDriverCannotCorruptHeader(t *testing.T) {
+	// The Guideline-4 payoff: a compromised strict driver cannot rewrite
+	// the sk_buff header (e.g. its data pointer), because it holds only
+	// a REF capability for the header.
+	k, s, th := newStack(t, core.Enforce)
+	d := loadStrictDriver(t, k, s)
+	_, _ = th.CallModule(d.m, "setup", 0)
+	d.corrupt = true
+	skb, _ := s.AllocSkb(128)
+	origData, _ := k.Sys.AS.ReadU64(s.SkbField(skb, "data"))
+	_, _ = s.XmitSkbStrict(th, d.dev, skb)
+	now, _ := k.Sys.AS.ReadU64(s.SkbField(skb, "data"))
+	if now != origData {
+		t.Fatalf("header corrupted: data %#x -> %#x", origData, now)
+	}
+	if k.Sys.Mon.LastViolation() == nil {
+		t.Fatal("no violation recorded for the header store")
+	}
+	// Contrast: the standard (WRITE-granting) interface from
+	// netstack_test.go does allow header stores — that asymmetry is the
+	// design choice under ablation.
+	p, _ := d.m.Set.Lookup(d.dev)
+	if k.Sys.Caps.Check(p, caps.WriteCap(skb, 8)) {
+		t.Fatal("strict driver holds header WRITE capability")
+	}
+}
+
+func TestStrictAccessorRequiresRef(t *testing.T) {
+	// A module calling skb_set_len on an skb it was never handed fails
+	// the REF check.
+	k, s, th := newStack(t, core.Enforce)
+	s.StrictInit()
+	m, err := k.Sys.LoadModule(core.ModuleSpec{
+		Name:     "freeloader",
+		Imports:  netstack.StrictImports,
+		DataSize: 4096,
+		Funcs: []core.FuncSpec{{
+			Name: "poke", Params: []core.Param{core.P("skb", "struct sk_buff *")},
+			Impl: func(th *core.Thread, args []uint64) uint64 {
+				if _, err := th.CallKernel("skb_set_len", args[0], 9999); err != nil {
+					return 1
+				}
+				return 0
+			},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	skb, _ := s.AllocSkb(64)
+	ret, _ := th.CallModule(m, "poke", uint64(skb))
+	if ret != 1 {
+		t.Fatal("accessor worked without a REF capability")
+	}
+}

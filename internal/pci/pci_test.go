@@ -1,0 +1,87 @@
+package pci_test
+
+import (
+	"testing"
+
+	"lxfi/internal/core"
+	"lxfi/internal/kernel"
+	"lxfi/internal/pci"
+)
+
+func TestEnableRequiresRefCapability(t *testing.T) {
+	// A module without a REF capability for the pci_dev cannot enable
+	// it — the Fig. 4 check annotation.
+	k := kernel.New()
+	k.Enforce()
+	bus := pci.Init(k)
+	dev := bus.AddDevice(0x10EC, 0x8168)
+	th := k.Sys.NewThread("t")
+
+	m, err := k.Sys.LoadModule(core.ModuleSpec{
+		Name:     "rogue",
+		Imports:  []string{"pci_enable_device"},
+		DataSize: 4096,
+		Funcs: []core.FuncSpec{{
+			Name: "attack", Params: []core.Param{core.P("pcidev", "struct pci_dev *")},
+			Impl: func(th *core.Thread, args []uint64) uint64 {
+				if _, err := th.CallKernel("pci_enable_device", args[0]); err != nil {
+					return 1
+				}
+				return 0
+			},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret, _ := th.CallModule(m, "attack", uint64(dev.Addr))
+	if ret != 1 {
+		t.Fatal("module enabled a device it does not own")
+	}
+	if bus.Enabled(dev) {
+		t.Fatal("device got enabled")
+	}
+}
+
+func TestProbeRequiresMatchingAnnotations(t *testing.T) {
+	k := kernel.New()
+	bus := pci.Init(k)
+	bus.AddDevice(1, 2)
+	th := k.Sys.NewThread("t")
+	m, err := k.Sys.LoadModule(core.ModuleSpec{
+		Name: "baddrv",
+		Funcs: []core.FuncSpec{{
+			Name:   "probe",
+			Params: []core.Param{core.P("pcidev", "struct pci_dev *")},
+			Annot:  "principal(pcidev)", // wrong: not the probe contract
+			Impl:   func(th *core.Thread, args []uint64) uint64 { return 0 },
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bus.RegisterDriver(th, m, "probe", 1, 2); err == nil {
+		t.Fatal("driver with mismatched probe annotations accepted")
+	}
+}
+
+func TestUnmatchedDeviceNotProbed(t *testing.T) {
+	k := kernel.New()
+	bus := pci.Init(k)
+	d := bus.AddDevice(7, 7)
+	th := k.Sys.NewThread("t")
+	probed := false
+	m, _ := k.Sys.LoadModule(core.ModuleSpec{
+		Name: "drv",
+		Funcs: []core.FuncSpec{{
+			Name: "probe", Type: pci.ProbeType,
+			Impl: func(th *core.Thread, args []uint64) uint64 { probed = true; return 0 },
+		}},
+	})
+	if err := bus.RegisterDriver(th, m, "probe", 8, 8); err != nil {
+		t.Fatal(err)
+	}
+	if probed || d.Module != "" {
+		t.Fatal("driver bound to non-matching device")
+	}
+}

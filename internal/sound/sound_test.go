@@ -1,0 +1,74 @@
+package sound_test
+
+import (
+	"testing"
+
+	"lxfi/internal/core"
+	"lxfi/internal/kernel"
+	"lxfi/internal/mem"
+	"lxfi/internal/sound"
+)
+
+func TestPlaybackBufferBounds(t *testing.T) {
+	k := kernel.New()
+	s := sound.Init(k)
+	th := k.Sys.NewThread("t")
+	// A card with no ops table cannot be created; build a toy driver.
+	m, err := k.Sys.LoadModule(core.ModuleSpec{
+		Name:     "toysnd",
+		Imports:  []string{"kmalloc"},
+		DataSize: 4096,
+		Funcs: []core.FuncSpec{
+			{Name: "open", Type: sound.PcmOpen,
+				Impl: func(th *core.Thread, args []uint64) uint64 {
+					card := args[0]
+					buf, _ := th.CallKernel("kmalloc", 128)
+					_ = th.WriteU64(s.CardField(toAddr(card), "buf"), buf)
+					_ = th.WriteU64(s.CardField(toAddr(card), "buflen"), 128)
+					return 0
+				}},
+			{Name: "trigger", Type: sound.PcmTrigger,
+				Impl: func(th *core.Thread, args []uint64) uint64 { return 0 }},
+			{Name: "pointer", Type: sound.PcmPointer,
+				Impl: func(th *core.Thread, args []uint64) uint64 { return 11 }},
+			{Name: "close", Type: sound.PcmClose,
+				Impl: func(th *core.Thread, args []uint64) uint64 { return 0 }},
+			{Name: "init", Impl: func(th *core.Thread, args []uint64) uint64 {
+				mod := th.CurrentModule()
+				for slot, fn := range map[string]string{
+					"open": "open", "close": "close", "trigger": "trigger", "pointer": "pointer",
+				} {
+					if err := th.WriteU64(s.OpsSlot(mod.Data, slot), uint64(mod.Funcs[fn].Addr)); err != nil {
+						return 1
+					}
+				}
+				return 0
+			}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret, err := th.CallModule(m, "init"); err != nil || ret != 0 {
+		t.Fatalf("init: %d %v", ret, err)
+	}
+	card, err := s.NewCard(th, m.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Playback(th, card, make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Playback(th, card, make([]byte, 256)); err == nil {
+		t.Fatal("oversize playback accepted")
+	}
+	pos, err := s.Pointer(th, card)
+	if err != nil || pos != 11 {
+		t.Fatalf("pointer = %d, %v", pos, err)
+	}
+	if err := s.Close(th, card); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func toAddr(v uint64) mem.Addr { return mem.Addr(v) }

@@ -1,0 +1,124 @@
+// Package wst implements LXFI's writer-set tracking optimization (§4.1,
+// §5 of the paper).
+//
+// To make core-kernel indirect calls cheap, LXFI keeps, per memory
+// segment, a flag saying whether any module principal has been granted a
+// WRITE capability covering that segment since it was last zeroed. At an
+// indirect call site, if the flag is clear the expensive capability check
+// is skipped entirely ("the runtime can bypass the relatively expensive
+// capability check for the function pointer"). The actual contents of
+// non-empty writer sets are computed on the slow path by traversing the
+// global list of principals (caps.System.WriteGrantees).
+//
+// The structure mirrors the paper's "data structure similar to a page
+// table": a map from page base to a 64-bit bitmap whose bits cover
+// 64-byte segments of the page.
+package wst
+
+import "lxfi/internal/mem"
+
+// SegmentSize is the granularity of writer-set emptiness tracking.
+const SegmentSize = 64
+
+const segsPerPage = mem.PageSize / SegmentSize // 64 — fits one uint64 bitmap
+
+// Tracker records, per 64-byte segment, whether the writer set is
+// non-empty.
+type Tracker struct {
+	pages map[mem.Addr]uint64 // page base -> segment bitmap
+
+	marks  uint64 // MarkRange calls
+	probes uint64 // Empty probes
+	hits   uint64 // probes that found an empty writer set (fast path)
+}
+
+// New returns an empty tracker.
+func New() *Tracker {
+	return &Tracker{pages: make(map[mem.Addr]uint64)}
+}
+
+func segBit(a mem.Addr) (page mem.Addr, bit uint) {
+	return mem.PageBase(a), uint((a & mem.PageMask) / SegmentSize)
+}
+
+// MarkRange records that some principal was granted WRITE access to
+// [addr, addr+size).
+func (t *Tracker) MarkRange(addr mem.Addr, size uint64) {
+	if size == 0 {
+		return
+	}
+	t.marks++
+	first := addr / SegmentSize
+	last := (addr + mem.Addr(size) - 1) / SegmentSize
+	for s := first; s <= last; s++ {
+		a := s * SegmentSize
+		page, bit := segBit(a)
+		t.pages[page] |= 1 << bit
+	}
+}
+
+// ClearRange marks [addr, addr+size) as having an empty writer set
+// again; called when memory is zeroed/freed and all WRITE capabilities
+// for it have been revoked. Partial segments at the edges stay marked
+// (conservative).
+func (t *Tracker) ClearRange(addr mem.Addr, size uint64) {
+	if size == 0 {
+		return
+	}
+	end := addr + mem.Addr(size)
+	// Only fully-covered segments may be cleared.
+	first := (addr + SegmentSize - 1) / SegmentSize
+	last := end / SegmentSize // exclusive
+	for s := first; s < last; s++ {
+		a := s * SegmentSize
+		page, bit := segBit(a)
+		if m, ok := t.pages[page]; ok {
+			m &^= 1 << bit
+			if m == 0 {
+				delete(t.pages, page)
+			} else {
+				t.pages[page] = m
+			}
+		}
+	}
+}
+
+// Empty reports whether the writer set for the segment containing addr
+// is empty. This is the constant-time fast-path test.
+func (t *Tracker) Empty(addr mem.Addr) bool {
+	t.probes++
+	page, bit := segBit(addr)
+	m, ok := t.pages[page]
+	empty := !ok || m&(1<<bit) == 0
+	if empty {
+		t.hits++
+	}
+	return empty
+}
+
+// EmptyRange reports whether every segment covering [addr, addr+size)
+// has an empty writer set.
+func (t *Tracker) EmptyRange(addr mem.Addr, size uint64) bool {
+	if size == 0 {
+		return true
+	}
+	first := addr / SegmentSize
+	last := (addr + mem.Addr(size) - 1) / SegmentSize
+	for s := first; s <= last; s++ {
+		if !t.Empty(s * SegmentSize) {
+			return false
+		}
+	}
+	return true
+}
+
+// Stats returns (marks, probes, fast-path hits).
+func (t *Tracker) Stats() (marks, probes, hits uint64) {
+	return t.marks, t.probes, t.hits
+}
+
+// Reset clears all tracking state and counters.
+func (t *Tracker) Reset() {
+	t.pages = make(map[mem.Addr]uint64)
+	t.marks, t.probes, t.hits = 0, 0, 0
+}

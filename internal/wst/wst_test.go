@@ -1,0 +1,122 @@
+package wst
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lxfi/internal/mem"
+)
+
+const base = mem.Addr(0xffff880000010000)
+
+func TestMarkAndProbe(t *testing.T) {
+	tr := New()
+	if !tr.Empty(base) {
+		t.Fatal("fresh tracker must be empty")
+	}
+	tr.MarkRange(base+10, 4)
+	if tr.Empty(base + 10) {
+		t.Fatal("marked segment reported empty")
+	}
+	// Same 64-byte segment.
+	if tr.Empty(base) || tr.Empty(base+63) {
+		t.Fatal("segment granularity: whole 64-byte segment should be marked")
+	}
+	// Next segment untouched.
+	if !tr.Empty(base + 64) {
+		t.Fatal("next segment should be empty")
+	}
+}
+
+func TestMarkRangeSpanningSegmentsAndPages(t *testing.T) {
+	tr := New()
+	start := base + mem.PageSize - 100
+	tr.MarkRange(start, 200) // crosses a page boundary
+	for a := start; a < start+200; a += 16 {
+		if tr.Empty(a) {
+			t.Fatalf("addr %#x should be marked", uint64(a))
+		}
+	}
+	if !tr.EmptyRange(base, 64) {
+		t.Fatal("unrelated range marked")
+	}
+	if tr.EmptyRange(start, 200) {
+		t.Fatal("EmptyRange over marked range")
+	}
+}
+
+func TestClearRange(t *testing.T) {
+	tr := New()
+	tr.MarkRange(base, 256)
+	// Clearing a partially-covered segment must be conservative.
+	tr.ClearRange(base+1, 255)
+	if tr.Empty(base) {
+		t.Fatal("partially cleared first segment must stay marked")
+	}
+	for a := base + 64; a < base+256; a += 64 {
+		if !tr.Empty(a) {
+			t.Fatalf("segment %#x should be cleared", uint64(a))
+		}
+	}
+	// Full clear.
+	tr.MarkRange(base, 256)
+	tr.ClearRange(base, 256)
+	if !tr.EmptyRange(base, 256) {
+		t.Fatal("full clear failed")
+	}
+}
+
+func TestZeroSize(t *testing.T) {
+	tr := New()
+	tr.MarkRange(base, 0)
+	if !tr.Empty(base) {
+		t.Fatal("zero-size mark must be a no-op")
+	}
+	tr.ClearRange(base, 0)
+	if !tr.EmptyRange(base, 0) {
+		t.Fatal("zero-size range is trivially empty")
+	}
+}
+
+func TestStats(t *testing.T) {
+	tr := New()
+	tr.MarkRange(base, 8)
+	tr.Empty(base)      // slow path
+	tr.Empty(base + 64) // fast path (empty)
+	marks, probes, hits := tr.Stats()
+	if marks != 1 || probes != 2 || hits != 1 {
+		t.Fatalf("stats = %d/%d/%d", marks, probes, hits)
+	}
+	tr.Reset()
+	marks, probes, hits = tr.Stats()
+	if marks != 0 || probes != 0 || hits != 0 {
+		t.Fatal("reset failed")
+	}
+	if !tr.Empty(base) {
+		t.Fatal("reset should clear marks")
+	}
+}
+
+// Property: every address inside a marked range probes non-empty, and a
+// mark never affects addresses more than a segment away from the range.
+func TestMarkProperty(t *testing.T) {
+	f := func(off uint16, size uint16, probe uint16) bool {
+		tr := New()
+		sz := uint64(size%5000) + 1
+		start := base + mem.Addr(off)
+		tr.MarkRange(start, sz)
+		// Inside: never empty.
+		in := start + mem.Addr(uint64(probe)%sz)
+		if tr.Empty(in) {
+			return false
+		}
+		// Far outside: always empty.
+		if !tr.Empty(start + mem.Addr(sz) + 2*SegmentSize) {
+			return false
+		}
+		return tr.Empty(start - 2*SegmentSize)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,117 @@
+// Package lxfi is the public API of the LXFI reproduction: software
+// fault isolation with API integrity and multi-principal modules
+// (Mao et al., SOSP 2011), built on a simulated Linux-like kernel.
+//
+// The package re-exports the core types and provides one-call boot
+// helpers. The heavy lifting lives in the internal packages:
+//
+//	internal/core     — the LXFI reference monitor (capabilities,
+//	                    principals, annotations, wrappers, writer sets)
+//	internal/kernel   — the simulated core kernel
+//	internal/netstack, internal/blockdev, internal/pci, internal/sound
+//	                  — subsystem substrates
+//	internal/modules  — the ten isolated modules of the paper's Fig. 9
+//	internal/exploits — the CVE exploits of Fig. 8
+//
+// Quick start:
+//
+//	machine, err := lxfi.Boot(lxfi.Enforce)
+//	...
+//	mod, err := machine.Kernel.Sys.LoadModule(lxfi.ModuleSpec{...})
+package lxfi
+
+import (
+	"lxfi/internal/blockdev"
+	"lxfi/internal/caps"
+	"lxfi/internal/core"
+	"lxfi/internal/kernel"
+	"lxfi/internal/mem"
+	"lxfi/internal/netstack"
+	"lxfi/internal/pci"
+	"lxfi/internal/sound"
+)
+
+// Core types, re-exported for library users.
+type (
+	// System is the simulated machine plus the LXFI runtime.
+	System = core.System
+	// Thread is one simulated kernel thread; modules touch kernel state
+	// only through it.
+	Thread = core.Thread
+	// Module is a loaded, isolated kernel module.
+	Module = core.Module
+	// ModuleSpec describes a module to load.
+	ModuleSpec = core.ModuleSpec
+	// FuncSpec describes one module function.
+	FuncSpec = core.FuncSpec
+	// Param is a function parameter (name + C type).
+	Param = core.Param
+	// Impl is a simulated function body.
+	Impl = core.Impl
+	// Mode selects stock or enforced execution.
+	Mode = core.Mode
+	// Violation describes a failed LXFI check.
+	Violation = core.Violation
+	// Cap is a WRITE/REF/CALL capability.
+	Cap = caps.Cap
+	// Addr is a simulated virtual address.
+	Addr = mem.Addr
+	// Kernel is the simulated core kernel.
+	Kernel = kernel.Kernel
+)
+
+// Enforcement modes.
+const (
+	// Off runs modules without isolation (the stock-kernel baseline).
+	Off = core.Off
+	// Enforce runs all LXFI guards.
+	Enforce = core.Enforce
+)
+
+// Capability constructors.
+var (
+	// WriteCap builds a WRITE(ptr, size) capability.
+	WriteCap = caps.WriteCap
+	// RefCap builds a REF(type, addr) capability.
+	RefCap = caps.RefCap
+	// CallCap builds a CALL(addr) capability.
+	CallCap = caps.CallCap
+)
+
+// P builds a Param.
+func P(name, typ string) Param { return core.P(name, typ) }
+
+// Machine is a fully booted simulated machine with every subsystem
+// substrate initialized.
+type Machine struct {
+	Kernel *kernel.Kernel
+	Bus    *pci.Bus
+	Net    *netstack.Stack
+	Block  *blockdev.Layer
+	Sound  *sound.Sound
+	Thread *core.Thread
+}
+
+// Boot creates a machine with all substrates under the given mode.
+func Boot(mode Mode) (*Machine, error) {
+	k := kernel.New()
+	k.Sys.Mon.SetMode(mode)
+	k.ShmInit()
+	m := &Machine{
+		Kernel: k,
+		Bus:    pci.Init(k),
+		Net:    netstack.Init(k),
+		Block:  blockdev.Init(k),
+		Sound:  sound.Init(k),
+	}
+	m.Thread = k.Sys.NewThread("main")
+	return m, nil
+}
+
+// NewKernel boots just the core kernel (no subsystem substrates) for
+// minimal uses.
+func NewKernel(mode Mode) *kernel.Kernel {
+	k := kernel.New()
+	k.Sys.Mon.SetMode(mode)
+	return k
+}

@@ -1,0 +1,65 @@
+package lxfi_test
+
+import (
+	"testing"
+
+	"lxfi"
+)
+
+func TestBootAndLoadModule(t *testing.T) {
+	m, err := lxfi.Boot(lxfi.Enforce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := m.Kernel.Sys.LoadModule(lxfi.ModuleSpec{
+		Name:     "hello",
+		Imports:  []string{"printk", "kmalloc"},
+		DataSize: 4096,
+		Funcs: []lxfi.FuncSpec{{
+			Name:   "greet",
+			Params: []lxfi.Param{lxfi.P("n", "u64")},
+			Impl: func(th *lxfi.Thread, args []uint64) uint64 {
+				buf, err := th.CallKernel("kmalloc", 64)
+				if err != nil || buf == 0 {
+					return 1
+				}
+				if err := th.WriteU64(lxfi.Addr(buf), args[0]*2); err != nil {
+					return 2
+				}
+				return buf
+			},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret, err := m.Thread.CallModule(mod, "greet", 21)
+	if err != nil || ret < 4096 {
+		t.Fatalf("greet: ret=%d err=%v", ret, err)
+	}
+	v, _ := m.Kernel.Sys.AS.ReadU64(lxfi.Addr(ret))
+	if v != 42 {
+		t.Fatalf("stored value = %d", v)
+	}
+}
+
+func TestFacadeCapabilityHelpers(t *testing.T) {
+	k := lxfi.NewKernel(lxfi.Enforce)
+	ms := k.Sys.Caps.LoadModule("m")
+	k.Sys.Caps.Grant(ms.Shared(), lxfi.WriteCap(0xffff880000000000, 64))
+	if !k.Sys.Caps.Check(ms.Shared(), lxfi.WriteCap(0xffff880000000010, 8)) {
+		t.Fatal("facade capability helpers broken")
+	}
+	_ = lxfi.RefCap("struct x", 1)
+	_ = lxfi.CallCap(2)
+}
+
+func TestModesExported(t *testing.T) {
+	if lxfi.Off == lxfi.Enforce {
+		t.Fatal("modes collide")
+	}
+	m, _ := lxfi.Boot(lxfi.Off)
+	if m.Kernel.Sys.Mon.Enforcing() {
+		t.Fatal("Off mode should not enforce")
+	}
+}
