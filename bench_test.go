@@ -20,6 +20,7 @@ import (
 	"lxfi/internal/apiscan"
 	"lxfi/internal/core"
 	"lxfi/internal/exploits"
+	"lxfi/internal/fsperf"
 	"lxfi/internal/microbench"
 	"lxfi/internal/netperf"
 )
@@ -156,6 +157,49 @@ func BenchmarkFig13Guards(b *testing.B) {
 		}
 	}
 	b.ReportMetric(totalNs, "guard-ns/pkt")
+}
+
+// --- fsperf (the filesystem counterpart of Fig. 12, over internal/vfs) ---
+
+// benchFsperf runs one full file lifetime per iteration — create, write,
+// sync (writepage REF crossings), read, stat, unlink — over an isolated
+// filesystem module.
+func benchFsperf(b *testing.B, kind fsperf.Kind, mode core.Mode) {
+	rig, err := fsperf.NewRig(mode, kind)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, fsperf.DefaultFileSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := rig.OpCycle(i, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFsperfTmpfsOff(b *testing.B)     { benchFsperf(b, fsperf.Tmpfs, core.Off) }
+func BenchmarkFsperfTmpfsEnforce(b *testing.B) { benchFsperf(b, fsperf.Tmpfs, core.Enforce) }
+func BenchmarkFsperfMinixOff(b *testing.B)     { benchFsperf(b, fsperf.Minix, core.Off) }
+func BenchmarkFsperfMinixEnforce(b *testing.B) { benchFsperf(b, fsperf.Minix, core.Enforce) }
+
+// BenchmarkFsperfTable derives the full per-op table once per run and
+// reports the headline metric: LXFI overhead on the cold-read path (the
+// page-cache WRITE-transfer crossings).
+func BenchmarkFsperfTable(b *testing.B) {
+	var coldRatio float64
+	for i := 0; i < b.N; i++ {
+		costs, err := fsperf.MeasureCosts(fsperf.Minix, 32, fsperf.DefaultFileSize)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range fsperf.BuildTable(costs) {
+			if r.Op == "read cold" && r.StockNs > 0 {
+				coldRatio = r.LxfiNs / r.StockNs
+			}
+		}
+	}
+	b.ReportMetric(coldRatio, "cold-read-cost-ratio")
 }
 
 // --- Ablations (design choices called out in DESIGN.md) ---

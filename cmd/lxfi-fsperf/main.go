@@ -1,0 +1,41 @@
+// Command lxfi-fsperf measures filesystem overhead under LXFI: the
+// create/write/read/stat/unlink mix over the isolated tmpfssim and
+// minixsim modules, stock vs enforced — the filesystem counterpart of
+// lxfi-netperf's Figure 12.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lxfi/internal/fsperf"
+	"lxfi/internal/mem"
+	"lxfi/internal/modules/minixsim"
+)
+
+func main() {
+	files := flag.Int("files", 64, "files per measurement")
+	size := flag.Uint64("size", fsperf.DefaultFileSize, "file size in bytes")
+	flag.Parse()
+	if *files < 1 {
+		fmt.Fprintln(os.Stderr, "-files must be at least 1")
+		os.Exit(2)
+	}
+	if max := uint64(minixsim.MaxFilePages * mem.PageSize); *size < 1 || *size > max {
+		fmt.Fprintf(os.Stderr, "-size must be between 1 and %d (the minixsim per-file extent cap)\n", max)
+		os.Exit(2)
+	}
+
+	fmt.Println("fsperf — filesystem workloads with stock and LXFI-enabled modules")
+	fmt.Printf("(%d files, %d bytes each; ns/op, best of several rounds)\n\n", *files, *size)
+	for _, kind := range []fsperf.Kind{fsperf.Tmpfs, fsperf.Minix} {
+		costs, err := fsperf.MeasureCosts(kind, *files, *size)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s measurement failed: %v\n", kind, err)
+			os.Exit(1)
+		}
+		fmt.Print(fsperf.Format(costs))
+		fmt.Println()
+	}
+}

@@ -1,0 +1,78 @@
+// Filesystem: mount an isolated tmpfs-style module, do real file I/O
+// through the VFS substrate, then watch a stray cross-principal write
+// from a compromised mount bounce off LXFI.
+//
+// Two mounts of the same module run as two instance principals. Mount B
+// holds a "secret" file whose page sits in the kernel's page cache —
+// ownership of that page was transferred back to the kernel when the
+// module finished filling it. Mount A's compromised ioctl then aims an
+// arbitrary write at that page: on the stock kernel the file is silently
+// corrupted; under lxfi.Enforce the write is a violation and only the
+// offending module dies.
+//
+// Run with: go run ./examples/filesystem
+package main
+
+import (
+	"fmt"
+
+	"lxfi"
+	"lxfi/internal/modules/tmpfssim"
+)
+
+func main() {
+	for _, mode := range []lxfi.Mode{lxfi.Off, lxfi.Enforce} {
+		fmt.Printf("=== %s kernel ===\n", mode)
+		run(mode)
+		fmt.Println()
+	}
+}
+
+func run(mode lxfi.Mode) {
+	machine, err := lxfi.Boot(mode)
+	if err != nil {
+		panic(err)
+	}
+	k, th, v := machine.Kernel, machine.Thread, machine.FS
+
+	if _, err := tmpfssim.Load(th, k, v); err != nil {
+		panic(err)
+	}
+	sbA, err := v.Mount(th, tmpfssim.FsID, 0)
+	if err != nil {
+		panic(err)
+	}
+	sbB, err := v.Mount(th, tmpfssim.FsID, 0)
+	if err != nil {
+		panic(err)
+	}
+
+	// Normal file I/O on mount B: create, write, read back, stat.
+	secret := []byte("the treasure is buried at 48.8584 N")
+	ino, err := v.Create(th, sbB, "/secret")
+	if err != nil {
+		panic(err)
+	}
+	if _, err := v.Write(th, sbB, "/secret", 0, secret); err != nil {
+		panic(err)
+	}
+	got, err := v.Read(th, sbB, "/secret", 0, uint64(len(secret)))
+	if err != nil {
+		panic(err)
+	}
+	size, _, _ := v.Stat(th, sbB, "/secret")
+	fmt.Printf("  mount B: wrote and read back %q (size %d)\n", got, size)
+
+	// The attack: mount A's compromised ioctl pokes B's cached page.
+	page, _ := v.PageAddr(ino, 0)
+	_, pokeErr := v.Ioctl(th, sbA, tmpfssim.CmdPoke, uint64(page))
+
+	after, _ := v.Read(th, sbB, "/secret", 0, uint64(len(secret)))
+	if string(after) != string(secret) {
+		fmt.Printf("  mount A scribbled on B's page cache: %q\n", after)
+		fmt.Println("  -> DATA CORRUPTION across principals")
+		return
+	}
+	fmt.Printf("  mount A's stray write failed: %v\n", pokeErr)
+	fmt.Println("  -> blocked:", k.Sys.Mon.LastViolation())
+}

@@ -1,0 +1,3 @@
+module lxfi
+
+go 1.22

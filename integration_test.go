@@ -13,11 +13,13 @@ import (
 
 	"lxfi"
 	"lxfi/internal/blockdev"
+	"lxfi/internal/caps"
 	"lxfi/internal/core"
 	"lxfi/internal/modules/dmcrypt"
 	"lxfi/internal/modules/e1000sim"
 	"lxfi/internal/modules/econet"
 	"lxfi/internal/modules/rds"
+	"lxfi/internal/modules/tmpfssim"
 )
 
 func TestWholeSystemFaultContainment(t *testing.T) {
@@ -154,5 +156,118 @@ func TestWholeSystemFaultContainment(t *testing.T) {
 	// rds itself is now unreachable — new sockets fail cleanly.
 	if _, err := machine.Net.Socket(th, rds.Family); err == nil {
 		t.Fatal("dead rds still accepts sockets")
+	}
+}
+
+// TestCrossSubsystemPrincipalIsolation runs a filesystem module and a
+// network module on one machine as distinct principals and verifies that
+// neither can touch the other's writer set: capability probes in both
+// directions come back empty, and a live cross-subsystem write attempt
+// from the filesystem module is a violation whose blast radius excludes
+// the network module.
+func TestCrossSubsystemPrincipalIsolation(t *testing.T) {
+	machine, err := lxfi.Boot(lxfi.Enforce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, th := machine.Kernel, machine.Thread
+
+	eco, err := econet.Load(th, k, machine.Net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpfs, err := tmpfssim.Load(th, k, machine.FS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := machine.FS.Mount(th, tmpfssim.FsID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Baseline traffic on both subsystems.
+	ecoSock, err := machine.Net.Socket(th, econet.Family)
+	if err != nil {
+		t.Fatal(err)
+	}
+	user := k.Sys.User.Alloc(64, 8)
+	if _, err := machine.Net.Sendmsg(th, ecoSock, user, 16, 0); err != nil {
+		t.Fatal(err)
+	}
+	ino, err := machine.FS.Create(th, sb, "/file")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := machine.FS.Write(th, sb, "/file", 0, []byte("fs data")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Writer sets are disjoint in both directions: the fs mount holds no
+	// WRITE capability into econet's world and vice versa.
+	fsPrin, _ := tmpfs.M.Set.Lookup(sb)
+	if fsPrin == nil {
+		t.Fatal("no principal for the tmpfs mount")
+	}
+	ecoSk := eco.Sk(ecoSock)
+	for what, addr := range map[string]lxfi.Addr{
+		"econet data section": eco.M.Data,
+		"econet socket state": ecoSk,
+		"econet ioctl slot":   eco.IoctlSlot(),
+	} {
+		if k.Sys.Caps.Check(fsPrin, caps.WriteCap(addr, 8)) {
+			t.Errorf("tmpfs mount can write the %s", what)
+		}
+	}
+	// Probe every principal econet code actually runs as: shared, global,
+	// and the per-socket instance principal of the live socket.
+	ecoPrins := []*caps.Principal{eco.M.Set.Shared(), eco.M.Set.Global()}
+	if p, ok := eco.M.Set.Lookup(ecoSock); ok {
+		ecoPrins = append(ecoPrins, p)
+	} else {
+		t.Fatal("no instance principal for the econet socket")
+	}
+	for what, addr := range map[string]lxfi.Addr{
+		"tmpfs data section": tmpfs.M.Data,
+		"tmpfs superblock":   sb,
+		"tmpfs inode":        ino,
+	} {
+		for _, prin := range ecoPrins {
+			if k.Sys.Caps.Check(prin, caps.WriteCap(addr, 8)) {
+				t.Errorf("econet (%s) can write the %s", prin, what)
+			}
+		}
+	}
+	// The cross-check through the writer-set slow path: nobody outside
+	// econet appears among the grantees of its ioctl slot.
+	for _, p := range k.Sys.Caps.WriteGrantees(eco.IoctlSlot()) {
+		if p.Module != "econet" {
+			t.Errorf("foreign principal %s holds WRITE on econet's ioctl slot", p)
+		}
+	}
+
+	// A live cross-subsystem write: the compromised tmpfs ioctl aims at
+	// econet's ioctl slot. It must be a violation that kills only tmpfs.
+	if _, err := machine.FS.Ioctl(th, sb, tmpfssim.CmdPoke, uint64(eco.IoctlSlot())); err == nil {
+		t.Fatal("cross-subsystem write succeeded")
+	}
+	if len(k.Sys.Mon.Violations()) == 0 {
+		t.Fatal("no violation recorded")
+	}
+	if !tmpfs.M.Dead {
+		t.Fatal("violating tmpfs module was not killed")
+	}
+	if eco.M.Dead {
+		t.Fatal("innocent econet module was killed")
+	}
+	// The network module keeps working; its slot was not redirected.
+	if _, err := machine.Net.Sendmsg(th, ecoSock, user, 16, 0); err != nil {
+		t.Fatalf("econet after fs compromise: %v", err)
+	}
+	if eco.TxCount(ecoSock) != 2 {
+		t.Fatalf("econet tx = %d", eco.TxCount(ecoSock))
+	}
+	// The dead filesystem is unreachable for new mounts.
+	if _, err := machine.FS.Mount(th, tmpfssim.FsID, 0); err == nil {
+		t.Fatal("dead tmpfssim still accepts mounts")
 	}
 }

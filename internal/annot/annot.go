@@ -3,7 +3,7 @@
 //
 //	annotation ::= pre(action) | post(action) | principal(c-expr)
 //	action     ::= copy(caplist) | transfer(caplist) | check(caplist)
-//	             | if (c-expr) action
+//	             | revoke(caplist) | if (c-expr) action
 //	caplist    ::= (c, ptr, [size]) | iterator-func(c-expr)
 //
 // where c is one of write, call, or ref(<type>). The special principal
@@ -32,6 +32,13 @@ const (
 	Transfer
 	Check
 	If
+	// Revoke strips the listed capabilities from every principal in the
+	// system without granting them anywhere. It is the failure-path
+	// counterpart of transfer: when a callee was handed a capability and
+	// the call did not complete its contract (e.g. readpage returning an
+	// error), revoke ensures no module retains access to an object the
+	// kernel is about to recycle.
+	Revoke
 )
 
 func (o Op) String() string {
@@ -44,6 +51,8 @@ func (o Op) String() string {
 		return "check"
 	case If:
 		return "if"
+	case Revoke:
+		return "revoke"
 	}
 	return "?"
 }
@@ -429,8 +438,8 @@ func (p *parser) parseAction() (*Action, error) {
 		return nil, fmt.Errorf("annot: expected action at offset %d, got %q", t.pos, t.val)
 	}
 	switch t.val {
-	case "copy", "transfer", "check":
-		op := map[string]Op{"copy": Copy, "transfer": Transfer, "check": Check}[t.val]
+	case "copy", "transfer", "check", "revoke":
+		op := map[string]Op{"copy": Copy, "transfer": Transfer, "check": Check, "revoke": Revoke}[t.val]
 		if err := p.expect(tokLParen, "("); err != nil {
 			return nil, err
 		}

@@ -91,6 +91,26 @@ func TestSetStructure(t *testing.T) {
 	}
 }
 
+func TestParseRevoke(t *testing.T) {
+	s := MustParse("pre(transfer(page_caps(page))) " +
+		"post(if (return == 0) transfer(page_caps(page))) " +
+		"post(if (return != 0) revoke(page_caps(page)))")
+	if len(s.Post) != 2 {
+		t.Fatalf("post actions = %d", len(s.Post))
+	}
+	fail := s.Post[1]
+	if fail.Op != If || fail.Then.Op != Revoke {
+		t.Fatalf("failure post = %v", fail)
+	}
+	if got := fail.Then.String(); got != "revoke(page_caps(page))" {
+		t.Fatalf("String() = %q", got)
+	}
+	// revoke must round-trip through the canonical form (hash stability).
+	if _, err := Parse(s.String()); err != nil {
+		t.Fatalf("reparse %q: %v", s.String(), err)
+	}
+}
+
 func TestRefTypeMultiWord(t *testing.T) {
 	s := MustParse("pre(check(ref(struct pci_dev), pcidev))")
 	cl := s.Pre[0].Caps

@@ -182,8 +182,13 @@ func (l *Layer) registerExports() {
 			if !ok {
 				return kernel.Err(kernel.ENOENT)
 			}
-			off := args[1] * SectorSize
+			// Sector and length are module-controlled; bound them before
+			// the offset arithmetic can overflow past the check below.
 			n := args[3]
+			if args[1] > uint64(len(disk))/SectorSize || n > uint64(len(disk)) {
+				return kernel.Err(kernel.EINVAL)
+			}
+			off := args[1] * SectorSize
 			if off+n > uint64(len(disk)) {
 				return kernel.Err(kernel.EINVAL)
 			}

@@ -554,27 +554,39 @@ func (s *System) RevokeAll(c Cap) int {
 	return n
 }
 
-// WriteGrantees returns every principal that directly holds a WRITE
-// capability covering addr. This is the slow path of writer-set
-// tracking: "the actual contents of non-empty writer sets is computed by
-// traversing a global list of principals" (§5).
-func (s *System) WriteGrantees(addr mem.Addr) []*Principal {
+// grantees traverses every principal of every module (in stable order)
+// and collects those whose own table holds probe.
+func (s *System) grantees(probe Cap) []*Principal {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	var out []*Principal
-	probe := WriteCap(addr, 1)
 	var names []string
 	for n := range s.modules {
 		names = append(names, n)
 	}
 	sort.Strings(names)
+	var out []*Principal
 	for _, n := range names {
-		ms := s.modules[n]
-		for _, p := range ms.Principals() {
+		for _, p := range s.modules[n].Principals() {
 			if p.owns(probe) {
 				out = append(out, p)
 			}
 		}
 	}
 	return out
+}
+
+// RefGrantees returns every principal that directly holds a REF(typ, addr)
+// capability. Introspection for tests and audits: after a transfer-based
+// REF handoff returns (e.g. the VFS writepage path), no module principal
+// should appear here for the page.
+func (s *System) RefGrantees(typ string, addr mem.Addr) []*Principal {
+	return s.grantees(RefCap(typ, addr))
+}
+
+// WriteGrantees returns every principal that directly holds a WRITE
+// capability covering addr. This is the slow path of writer-set
+// tracking: "the actual contents of non-empty writer sets is computed by
+// traversing a global list of principals" (§5).
+func (s *System) WriteGrantees(addr mem.Addr) []*Principal {
+	return s.grantees(WriteCap(addr, 1))
 }

@@ -161,7 +161,16 @@ func (t *Thread) runAction(what string, a *annot.Action, env *argEnv,
 	mon := &t.Sys.Mon.Stats
 	for _, c := range capsList {
 		mon.AnnotationActions.Add(1)
-		// All three operators first verify ownership on the from side
+		// Revoke needs no ownership check: stripping a capability from
+		// every principal can only remove rights, never add them, and the
+		// failure paths that use it (e.g. readpage errors) run exactly when
+		// the contract that would have justified ownership fell through.
+		if a.Op == annot.Revoke {
+			mon.CapRevokes.Add(1)
+			t.Sys.Caps.RevokeAll(c)
+			continue
+		}
+		// The other three operators first verify ownership on the from side
 		// ("Both copy and transfer ensure that the capability is owned in
 		// the first place before granting it", §3.3).
 		mon.CapChecks.Add(1)

@@ -1,0 +1,99 @@
+package fsperf_test
+
+import (
+	"testing"
+
+	"lxfi/internal/core"
+	"lxfi/internal/fsperf"
+	"lxfi/internal/mem"
+)
+
+func TestOpCycleBothModesBothFilesystems(t *testing.T) {
+	payload := make([]byte, fsperf.DefaultFileSize)
+	for _, kind := range []fsperf.Kind{fsperf.Tmpfs, fsperf.Minix} {
+		for _, mode := range []core.Mode{core.Off, core.Enforce} {
+			rig, err := fsperf.NewRig(mode, kind)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", kind, mode, err)
+			}
+			for i := 0; i < 20; i++ {
+				if err := rig.OpCycle(i, payload); err != nil {
+					t.Fatalf("%s/%s cycle %d: %v", kind, mode, i, err)
+				}
+			}
+			if n := len(rig.K.Sys.Mon.Violations()); n != 0 {
+				t.Fatalf("%s/%s: %d violations: %v", kind, mode, n, rig.K.Sys.Mon.LastViolation())
+			}
+			// Nothing left behind: the cycle unlinks its file each time.
+			if rig.V.PageCount() != 0 {
+				t.Fatalf("%s/%s: %d pages leaked", kind, mode, rig.V.PageCount())
+			}
+		}
+	}
+}
+
+func TestMeasureCostsProducesAllOps(t *testing.T) {
+	c, err := fsperf.MeasureCosts(fsperf.Minix, 8, mem.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := fsperf.BuildTable(c)
+	if len(rows) != len(fsperf.Ops) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(fsperf.Ops))
+	}
+	for _, r := range rows {
+		if r.StockNs <= 0 || r.LxfiNs <= 0 {
+			t.Fatalf("op %s has a zero cost: %+v", r.Op, r)
+		}
+	}
+	if out := fsperf.Format(c); out == "" {
+		t.Fatal("empty table")
+	}
+
+	// Memory-only mounts have no cold-read path, so the row is omitted
+	// rather than mislabeled.
+	c, err = fsperf.MeasureCosts(fsperf.Tmpfs, 8, mem.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range fsperf.BuildTable(c) {
+		if r.Op == "read cold" {
+			t.Fatal("tmpfs reported a cold-read row despite being memory-only")
+		}
+	}
+}
+
+// TestEnforcedCrossingsAreCounted sanity-checks the workload shape: the
+// cold-read path must cross into the module once per page, the warm-read
+// path not at all.
+func TestEnforcedCrossingsAreCounted(t *testing.T) {
+	rig, err := fsperf.NewRig(core.Enforce, fsperf.Minix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, th, sb := rig.V, rig.Th, rig.SB
+	if _, err := v.Create(th, sb, "/f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Write(th, sb, "/f", 0, make([]byte, 2*mem.PageSize)); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Sync(th, sb); err != nil {
+		t.Fatal(err)
+	}
+	v.DropCaches(sb)
+	fills := v.Stats.PageFills
+	if _, err := v.Read(th, sb, "/f", 0, 2*mem.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if got := v.Stats.PageFills - fills; got != 2 {
+		t.Fatalf("cold read crossed %d times, want 2", got)
+	}
+	fills = v.Stats.PageFills
+	if _, err := v.Read(th, sb, "/f", 0, 2*mem.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if got := v.Stats.PageFills - fills; got != 0 {
+		t.Fatalf("warm read crossed %d times, want 0", got)
+	}
+}

@@ -21,10 +21,14 @@ import (
 const (
 	EPERM  = 1
 	ENOENT = 2
+	EIO    = 5
+	ENOMEM = 12
 	EFAULT = 14
 	EBUSY  = 16
+	EEXIST = 17
 	EINVAL = 22
-	ENOMEM = 12
+	EFBIG  = 27
+	ENOSPC = 28
 )
 
 // Err encodes -errno as a uint64 return value.
@@ -90,10 +94,14 @@ func New() *Kernel {
 
 	sys.RegisterConst("EPERM", EPERM)
 	sys.RegisterConst("ENOENT", ENOENT)
+	sys.RegisterConst("EIO", EIO)
+	sys.RegisterConst("ENOMEM", ENOMEM)
 	sys.RegisterConst("EFAULT", EFAULT)
 	sys.RegisterConst("EBUSY", EBUSY)
+	sys.RegisterConst("EEXIST", EEXIST)
 	sys.RegisterConst("EINVAL", EINVAL)
-	sys.RegisterConst("ENOMEM", ENOMEM)
+	sys.RegisterConst("EFBIG", EFBIG)
+	sys.RegisterConst("ENOSPC", ENOSPC)
 
 	k.registerExports()
 	return k

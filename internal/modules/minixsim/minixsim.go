@@ -1,0 +1,401 @@
+// Package minixsim is a simulated minix-style block-backed filesystem
+// module: file data is persisted to a RAM disk of the blockdev substrate
+// in fixed per-inode extents. readpage pulls sectors into the page cache
+// with dm_read_sectors (which checks WRITE ownership of the destination
+// page — held precisely while the VFS has transferred it), and writepage
+// persists clean pages through pc_writeback, proving ownership with the
+// REF(struct page) capability the writepage contract hands it.
+//
+// Directory entries live in module memory (this simulation does not
+// persist the namespace); the data path is what exercises the
+// cross-substrate story: an isolated filesystem module mounted on the
+// isolated block layer.
+package minixsim
+
+import (
+	"bytes"
+
+	"lxfi/internal/blockdev"
+	"lxfi/internal/core"
+	"lxfi/internal/kernel"
+	"lxfi/internal/layout"
+	"lxfi/internal/mem"
+	"lxfi/internal/vfs"
+)
+
+// FsID is the filesystem id minixsim registers.
+const FsID = 2
+
+// On-disk geometry: every inode owns a fixed extent of MaxFilePages
+// pages; extent slots are handed out round-robin per mount.
+const (
+	SectorsPerPage = mem.PageSize / blockdev.SectorSize
+	MaxFilePages   = 4
+	SectorsPerFile = MaxFilePages * SectorsPerPage
+	MaxSlots       = 1024
+	// DiskSectors is the disk size a mount expects.
+	DiskSectors = MaxSlots * SectorsPerFile
+)
+
+// Layout names.
+const (
+	Dirent = "struct minix_dirent"
+	SbInfo = "struct minix_sb_info"
+)
+
+// FS is the loaded minixsim module.
+type FS struct {
+	M *core.Module
+	K *kernel.Kernel
+	V *vfs.VFS
+
+	deLay   *layout.Struct
+	privLay *layout.Struct
+}
+
+// Load loads the module and runs its init function. The kernel must
+// have both the vfs and blockdev substrates initialized.
+func Load(t *core.Thread, k *kernel.Kernel, v *vfs.VFS) (*FS, error) {
+	fs := &FS{K: k, V: v}
+	fs.deLay = defineOnce(k, Dirent,
+		layout.F("next", 8),
+		layout.F("dir", 8),
+		layout.F("inode", 8),
+		layout.F("name", vfs.NameMax+1),
+	)
+	fs.privLay = defineOnce(k, SbInfo,
+		layout.F("head", 8),
+		layout.F("root", 8),
+		layout.F("nextslot", 8),
+		layout.F("freestack", 8), // array of reusable extent slots
+		layout.F("freecount", 8),
+	)
+
+	m, err := k.Sys.LoadModule(core.ModuleSpec{
+		Name: "minixsim",
+		Imports: []string{"register_filesystem", "iget", "iput", "kmalloc", "kfree",
+			"dm_read_sectors", "pc_writeback", "printk"},
+		DataSize: 4096,
+		Funcs: []core.FuncSpec{
+			{Name: "mount", Type: vfs.FsMount, Impl: fs.mount},
+			{Name: "kill_sb", Type: vfs.FsKillSB, Impl: fs.killSB},
+			{Name: "create", Type: vfs.FsCreate, Impl: fs.createFn},
+			{Name: "lookup", Type: vfs.FsLookup, Impl: fs.lookup},
+			{Name: "unlink", Type: vfs.FsUnlink, Impl: fs.unlink},
+			{Name: "readpage", Type: vfs.FsReadPage, Impl: fs.readpage},
+			{Name: "writepage", Type: vfs.FsWritePage, Impl: fs.writepage},
+			{Name: "ioctl", Type: vfs.FsIoctl, Impl: fs.ioctl},
+			{Name: "init", Impl: fs.init},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	fs.M = m
+	if ret, err := t.CallModule(m, "init"); err != nil || ret != 0 {
+		return nil, &initError{err}
+	}
+	return fs, nil
+}
+
+func defineOnce(k *kernel.Kernel, name string, fields ...layout.Field) *layout.Struct {
+	if s, ok := k.Sys.Layouts.Get(name); ok {
+		return s
+	}
+	return k.Sys.Layouts.Define(name, fields...)
+}
+
+type initError struct{ err error }
+
+func (e *initError) Error() string { return "minixsim: init failed" }
+func (e *initError) Unwrap() error { return e.err }
+
+// Ops returns the module's fs_operations table address.
+func (fs *FS) Ops() mem.Addr { return fs.M.Data }
+
+func (fs *FS) init(t *core.Thread, args []uint64) uint64 {
+	mod := t.CurrentModule()
+	for _, slot := range []string{"mount", "kill_sb", "create", "lookup", "unlink", "readpage", "writepage", "ioctl"} {
+		if err := t.WriteU64(fs.V.OpsSlot(fs.Ops(), slot), uint64(mod.Funcs[slot].Addr)); err != nil {
+			return 1
+		}
+	}
+	if ret, err := t.CallKernel("register_filesystem", FsID, uint64(fs.Ops())); err != nil || kernel.IsErr(ret) {
+		return 2
+	}
+	return 0
+}
+
+func (fs *FS) deField(de mem.Addr, f string) mem.Addr { return de + mem.Addr(fs.deLay.Off(f)) }
+func (fs *FS) pvField(pv mem.Addr, f string) mem.Addr { return pv + mem.Addr(fs.privLay.Off(f)) }
+func (fs *FS) priv(t *core.Thread, sb mem.Addr) mem.Addr {
+	p, _ := t.ReadU64(fs.V.SBField(sb, "private"))
+	return mem.Addr(p)
+}
+
+func (fs *FS) mount(t *core.Thread, args []uint64) uint64 {
+	sb := mem.Addr(args[0])
+	priv, err := t.CallKernel("kmalloc", fs.privLay.Size)
+	if err != nil || priv == 0 {
+		return 0
+	}
+	stack, err := t.CallKernel("kmalloc", 8*MaxSlots)
+	if err != nil || stack == 0 {
+		_, _ = t.CallKernel("kfree", priv)
+		return 0
+	}
+	root, err := t.CallKernel("iget", uint64(sb))
+	if err != nil || root == 0 {
+		_, _ = t.CallKernel("kfree", stack)
+		_, _ = t.CallKernel("kfree", priv)
+		return 0
+	}
+	if t.WriteU64(fs.V.InodeField(mem.Addr(root), "mode"), vfs.ModeDir) != nil ||
+		t.WriteU64(fs.V.InodeField(mem.Addr(root), "nlink"), 2) != nil ||
+		t.WriteU64(fs.pvField(mem.Addr(priv), "head"), 0) != nil ||
+		t.WriteU64(fs.pvField(mem.Addr(priv), "root"), root) != nil ||
+		t.WriteU64(fs.pvField(mem.Addr(priv), "nextslot"), 0) != nil ||
+		t.WriteU64(fs.pvField(mem.Addr(priv), "freestack"), stack) != nil ||
+		t.WriteU64(fs.pvField(mem.Addr(priv), "freecount"), 0) != nil ||
+		t.WriteU64(fs.V.SBField(sb, "private"), priv) != nil ||
+		// Declare the per-file capacity so the VFS rejects oversized
+		// writes up front instead of caching pages that can never be
+		// persisted.
+		t.WriteU64(fs.V.SBField(sb, "maxbytes"), MaxFilePages*mem.PageSize) != nil {
+		_, _ = t.CallKernel("iput", root)
+		_, _ = t.CallKernel("kfree", stack)
+		_, _ = t.CallKernel("kfree", priv)
+		return 0
+	}
+	return root
+}
+
+func (fs *FS) killSB(t *core.Thread, args []uint64) uint64 {
+	sb := mem.Addr(args[0])
+	priv := fs.priv(t, sb)
+	if priv == 0 {
+		return 0
+	}
+	cur, _ := t.ReadU64(fs.pvField(priv, "head"))
+	for cur != 0 {
+		next, _ := t.ReadU64(fs.deField(mem.Addr(cur), "next"))
+		ino, _ := t.ReadU64(fs.deField(mem.Addr(cur), "inode"))
+		_, _ = t.CallKernel("iput", ino)
+		_, _ = t.CallKernel("kfree", cur)
+		cur = next
+	}
+	root, _ := t.ReadU64(fs.pvField(priv, "root"))
+	stack, _ := t.ReadU64(fs.pvField(priv, "freestack"))
+	_, _ = t.CallKernel("iput", root)
+	_, _ = t.CallKernel("kfree", stack)
+	_, _ = t.CallKernel("kfree", uint64(priv))
+	return 0
+}
+
+// allocSlot hands out an extent slot: a previously freed one if any,
+// else the next never-used one. Returns MaxSlots when the disk is full —
+// slots are never aliased while their file is alive.
+func (fs *FS) allocSlot(t *core.Thread, priv mem.Addr) uint64 {
+	fc, _ := t.ReadU64(fs.pvField(priv, "freecount"))
+	if fc > 0 {
+		stack, _ := t.ReadU64(fs.pvField(priv, "freestack"))
+		slot, _ := t.ReadU64(mem.Addr(stack) + mem.Addr(8*(fc-1)))
+		if t.WriteU64(fs.pvField(priv, "freecount"), fc-1) != nil {
+			return MaxSlots
+		}
+		return slot
+	}
+	next, _ := t.ReadU64(fs.pvField(priv, "nextslot"))
+	if next >= MaxSlots {
+		return MaxSlots
+	}
+	if t.WriteU64(fs.pvField(priv, "nextslot"), next+1) != nil {
+		return MaxSlots
+	}
+	return next
+}
+
+// freeSlot returns an extent slot to the free stack on unlink.
+func (fs *FS) freeSlot(t *core.Thread, priv mem.Addr, slot uint64) {
+	fc, _ := t.ReadU64(fs.pvField(priv, "freecount"))
+	stack, _ := t.ReadU64(fs.pvField(priv, "freestack"))
+	if fc >= MaxSlots {
+		return
+	}
+	if t.WriteU64(mem.Addr(stack)+mem.Addr(8*fc), slot) == nil {
+		_ = t.WriteU64(fs.pvField(priv, "freecount"), fc+1)
+	}
+}
+
+func (fs *FS) createFn(t *core.Thread, args []uint64) uint64 {
+	sb, dir, name, nlen, mode := mem.Addr(args[0]), args[1], mem.Addr(args[2]), args[3], args[4]
+	if nlen > vfs.NameMax {
+		return 0
+	}
+	priv := fs.priv(t, sb)
+	slot := fs.allocSlot(t, priv)
+	if slot >= MaxSlots {
+		return 0 // out of extent slots: ENOSPC
+	}
+	ino, err := t.CallKernel("iget", uint64(sb))
+	if err != nil || ino == 0 {
+		fs.freeSlot(t, priv, slot)
+		return 0
+	}
+	nlink := uint64(1)
+	if mode == vfs.ModeDir {
+		nlink = 2
+	}
+	if t.WriteU64(fs.V.InodeField(mem.Addr(ino), "mode"), mode) != nil ||
+		t.WriteU64(fs.V.InodeField(mem.Addr(ino), "nlink"), nlink) != nil ||
+		t.WriteU64(fs.V.InodeField(mem.Addr(ino), "private"), slot) != nil {
+		fs.freeSlot(t, priv, slot)
+		_, _ = t.CallKernel("iput", ino)
+		return 0
+	}
+	de, err := t.CallKernel("kmalloc", fs.deLay.Size)
+	if err != nil || de == 0 {
+		fs.freeSlot(t, priv, slot)
+		_, _ = t.CallKernel("iput", ino)
+		return 0
+	}
+	head, _ := t.ReadU64(fs.pvField(priv, "head"))
+	nameBytes, err := t.ReadBytes(name, nlen)
+	if err != nil ||
+		t.WriteU64(fs.deField(mem.Addr(de), "next"), head) != nil ||
+		t.WriteU64(fs.deField(mem.Addr(de), "dir"), dir) != nil ||
+		t.WriteU64(fs.deField(mem.Addr(de), "inode"), ino) != nil ||
+		t.Write(fs.deField(mem.Addr(de), "name"), append(nameBytes, 0)) != nil ||
+		t.WriteU64(fs.pvField(priv, "head"), de) != nil {
+		fs.freeSlot(t, priv, slot)
+		_, _ = t.CallKernel("kfree", de)
+		_, _ = t.CallKernel("iput", ino)
+		return 0
+	}
+	return ino
+}
+
+func (fs *FS) findEntry(t *core.Thread, sb mem.Addr, dir uint64, name []byte, inode uint64) (entry, prev mem.Addr) {
+	priv := fs.priv(t, sb)
+	cur, _ := t.ReadU64(fs.pvField(priv, "head"))
+	for cur != 0 {
+		d, _ := t.ReadU64(fs.deField(mem.Addr(cur), "dir"))
+		if d == dir {
+			if name != nil {
+				got, err := t.ReadBytes(fs.deField(mem.Addr(cur), "name"), uint64(len(name)+1))
+				if err == nil && bytes.Equal(got[:len(name)], name) && got[len(name)] == 0 {
+					return mem.Addr(cur), prev
+				}
+			} else {
+				ino, _ := t.ReadU64(fs.deField(mem.Addr(cur), "inode"))
+				if ino == inode {
+					return mem.Addr(cur), prev
+				}
+			}
+		}
+		prev = mem.Addr(cur)
+		cur, _ = t.ReadU64(fs.deField(mem.Addr(cur), "next"))
+	}
+	return 0, 0
+}
+
+func (fs *FS) lookup(t *core.Thread, args []uint64) uint64 {
+	sb, dir, name, nlen := mem.Addr(args[0]), args[1], mem.Addr(args[2]), args[3]
+	if nlen > vfs.NameMax {
+		return 0
+	}
+	nameBytes, err := t.ReadBytes(name, nlen)
+	if err != nil {
+		return 0
+	}
+	de, _ := fs.findEntry(t, sb, dir, nameBytes, 0)
+	if de == 0 {
+		return 0
+	}
+	ino, _ := t.ReadU64(fs.deField(de, "inode"))
+	return ino
+}
+
+func (fs *FS) unlink(t *core.Thread, args []uint64) uint64 {
+	sb, dir, inode := mem.Addr(args[0]), args[1], args[2]
+	priv := fs.priv(t, sb)
+	de, prev := fs.findEntry(t, sb, dir, nil, inode)
+	if de == 0 {
+		return kernel.Err(kernel.ENOENT)
+	}
+	next, _ := t.ReadU64(fs.deField(de, "next"))
+	if prev == 0 {
+		if err := t.WriteU64(fs.pvField(priv, "head"), next); err != nil {
+			return kernel.Err(kernel.EFAULT)
+		}
+	} else if err := t.WriteU64(fs.deField(prev, "next"), next); err != nil {
+		return kernel.Err(kernel.EFAULT)
+	}
+	// Reclaim the extent slot before the inode goes away.
+	slot, _ := t.ReadU64(fs.V.InodeField(mem.Addr(inode), "private"))
+	fs.freeSlot(t, priv, slot)
+	if _, err := t.CallKernel("kfree", uint64(de)); err != nil {
+		return kernel.Err(kernel.EFAULT)
+	}
+	if _, err := t.CallKernel("iput", inode); err != nil {
+		return kernel.Err(kernel.EFAULT)
+	}
+	return 0
+}
+
+// extent returns the first sector of (inode, page idx).
+func (fs *FS) extent(t *core.Thread, ino mem.Addr, idx uint64) uint64 {
+	slot, _ := t.ReadU64(fs.V.InodeField(ino, "private"))
+	return slot*SectorsPerFile + idx*SectorsPerPage
+}
+
+// readpage pulls the page's sectors from the backing disk. The
+// destination is the page-cache page whose WRITE capability the VFS
+// transferred for exactly this call. Bytes beyond the inode's logical
+// size are zeroed rather than read: extent slots are recycled across
+// file lifetimes, and a new file must never see a dead file's sectors.
+func (fs *FS) readpage(t *core.Thread, args []uint64) uint64 {
+	sb, ino, idx, page := mem.Addr(args[0]), mem.Addr(args[1]), args[2], args[3]
+	if idx >= MaxFilePages {
+		return kernel.Err(kernel.ENOSPC)
+	}
+	size, _ := t.ReadU64(fs.V.InodeField(ino, "size"))
+	start := idx * mem.PageSize
+	if start >= size {
+		// Wholly past EOF: a hole, not a disk read.
+		if err := t.Zero(mem.Addr(page), mem.PageSize); err != nil {
+			return kernel.Err(kernel.EFAULT)
+		}
+		return 0
+	}
+	dev, _ := t.ReadU64(fs.V.SBField(sb, "dev"))
+	ret, err := t.CallKernel("dm_read_sectors", dev, fs.extent(t, ino, idx), page, mem.PageSize)
+	if err != nil || kernel.IsErr(ret) {
+		return kernel.Err(kernel.EIO)
+	}
+	if valid := size - start; valid < mem.PageSize {
+		if err := t.Zero(mem.Addr(page)+mem.Addr(valid), mem.PageSize-valid); err != nil {
+			return kernel.Err(kernel.EFAULT)
+		}
+	}
+	return 0
+}
+
+// writepage persists the clean page; the REF(struct page) capability
+// received from the writepage contract is what pc_writeback checks.
+func (fs *FS) writepage(t *core.Thread, args []uint64) uint64 {
+	sb, ino, idx, page := mem.Addr(args[0]), mem.Addr(args[1]), args[2], args[3]
+	if idx >= MaxFilePages {
+		return kernel.Err(kernel.ENOSPC)
+	}
+	dev, _ := t.ReadU64(fs.V.SBField(sb, "dev"))
+	ret, err := t.CallKernel("pc_writeback", dev, fs.extent(t, ino, idx), page)
+	if err != nil || kernel.IsErr(ret) {
+		return kernel.Err(kernel.EIO)
+	}
+	return 0
+}
+
+func (fs *FS) ioctl(t *core.Thread, args []uint64) uint64 {
+	return kernel.Err(kernel.EINVAL)
+}

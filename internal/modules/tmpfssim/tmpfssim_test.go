@@ -1,0 +1,154 @@
+package tmpfssim_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"lxfi/internal/core"
+	"lxfi/internal/kernel"
+	"lxfi/internal/mem"
+	"lxfi/internal/modules/tmpfssim"
+	"lxfi/internal/vfs"
+)
+
+func boot(t *testing.T, mode core.Mode) (*kernel.Kernel, *vfs.VFS, *core.Thread, *tmpfssim.FS) {
+	t.Helper()
+	k := kernel.New()
+	k.Sys.Mon.SetMode(mode)
+	v := vfs.Init(k, nil)
+	th := k.Sys.NewThread("test")
+	fs, err := tmpfssim.Load(th, k, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, v, th, fs
+}
+
+func TestDirectoryList(t *testing.T) {
+	_, v, th, _ := boot(t, core.Enforce)
+	sb, err := v.Mount(th, tmpfssim.FsID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inos []mem.Addr
+	for i := 0; i < 8; i++ {
+		ino, err := v.Create(th, sb, fmt.Sprintf("/f%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		inos = append(inos, ino)
+	}
+	// Unlink one in the middle; the rest must still resolve through the
+	// module's lookup even after the dentry cache is bypassed.
+	if err := v.Unlink(th, sb, "/f3"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		got, err := v.Lookup(th, sb, fmt.Sprintf("/f%d", i))
+		if i == 3 {
+			if err == nil {
+				t.Fatal("unlinked file still resolves")
+			}
+			continue
+		}
+		if err != nil || got != inos[i] {
+			t.Fatalf("f%d: got %#x, %v", i, uint64(got), err)
+		}
+	}
+}
+
+func TestLookupScopedToDirectory(t *testing.T) {
+	_, v, th, _ := boot(t, core.Enforce)
+	sb, err := v.Mount(th, tmpfssim.FsID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Mkdir(th, sb, "/d1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Mkdir(th, sb, "/d2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Create(th, sb, "/d1/x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Lookup(th, sb, "/d2/x"); err == nil {
+		t.Fatal("name leaked into a sibling directory")
+	}
+	if _, err := v.Lookup(th, sb, "/d1/x"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadpageZeroFills(t *testing.T) {
+	_, v, th, _ := boot(t, core.Enforce)
+	sb, err := v.Mount(th, tmpfssim.FsID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Create(th, sb, "/sparse"); err != nil {
+		t.Fatal(err)
+	}
+	// Writing only the second page leaves page 0 a hole.
+	if _, err := v.Write(th, sb, "/sparse", mem.PageSize, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := v.Read(th, sb, "/sparse", 0, mem.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, make([]byte, mem.PageSize)) {
+		t.Fatal("hole page not zero-filled")
+	}
+}
+
+// TestDropCachesCannotEvictTmpfs: the page cache is tmpfs's only copy,
+// so sync + drop_caches must not destroy file contents (the mount is
+// flagged SBMemOnly).
+func TestDropCachesCannotEvictTmpfs(t *testing.T) {
+	_, v, th, _ := boot(t, core.Enforce)
+	sb, err := v.Mount(th, tmpfssim.FsID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Create(th, sb, "/only-copy"); err != nil {
+		t.Fatal(err)
+	}
+	secret := []byte("nowhere else")
+	if _, err := v.Write(th, sb, "/only-copy", 0, secret); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Sync(th, sb); err != nil {
+		t.Fatal(err)
+	}
+	if n := v.DropCaches(sb); n != 0 {
+		t.Fatalf("DropCaches evicted %d tmpfs pages", n)
+	}
+	got, err := v.Read(th, sb, "/only-copy", 0, uint64(len(secret)))
+	if err != nil || !bytes.Equal(got, secret) {
+		t.Fatalf("tmpfs data lost: %q, %v", got, err)
+	}
+}
+
+// TestPokeSucceedsOnStock pins the stock-kernel behavior the exploit
+// scenario relies on: without LXFI the compromised ioctl corrupts
+// arbitrary kernel memory.
+func TestPokeSucceedsOnStock(t *testing.T) {
+	k, v, th, _ := boot(t, core.Off)
+	sb, err := v.Mount(th, tmpfssim.FsID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := k.Sys.Statics.Alloc(8, 8)
+	if _, err := v.Ioctl(th, sb, tmpfssim.CmdPoke, uint64(victim)); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := k.Sys.AS.ReadU64(victim)
+	if got != tmpfssim.PokeValue {
+		t.Fatalf("poke did not land: %#x", got)
+	}
+	if len(k.Sys.Mon.Violations()) != 0 {
+		t.Fatal("stock kernel recorded a violation")
+	}
+}

@@ -1,0 +1,226 @@
+package vfs
+
+import (
+	"fmt"
+
+	"lxfi/internal/core"
+	"lxfi/internal/kernel"
+	"lxfi/internal/mem"
+)
+
+// dnode is the kernel-private view of one cached dentry. The children
+// map keyed by path component makes the dentry cache an M-way trie:
+// resolution walks one node per component and only crosses into the
+// filesystem module on a miss.
+type dnode struct {
+	dentry mem.Addr
+	inode  mem.Addr
+	parent mem.Addr // parent dentry, 0 for a mount root
+	name   string
+	isDir  bool
+	child  map[string]mem.Addr
+}
+
+// newDentry allocates the in-memory dentry object and its trie node.
+func (v *VFS) newDentry(parent mem.Addr, name string, inode mem.Addr) (mem.Addr, error) {
+	sys := v.K.Sys
+	d, err := sys.Slab.Alloc(v.dentLay.Size)
+	if err != nil {
+		return 0, err
+	}
+	must(sys.AS.Zero(d, v.dentLay.Size))
+	must(sys.AS.WriteU64(d+mem.Addr(v.dentLay.Off("inode")), uint64(inode)))
+	must(sys.AS.WriteU64(d+mem.Addr(v.dentLay.Off("parent")), uint64(parent)))
+	must(sys.AS.WriteCString(d+mem.Addr(v.dentLay.Off("name")), name))
+	mode, _ := sys.AS.ReadU64(v.InodeField(inode, "mode"))
+	n := &dnode{
+		dentry: d,
+		inode:  inode,
+		parent: parent,
+		name:   name,
+		isDir:  mode == ModeDir || parent == 0,
+		child:  make(map[string]mem.Addr),
+	}
+	v.dentries[d] = n
+	if p, ok := v.dentries[parent]; ok {
+		p.child[name] = d
+	}
+	return d, nil
+}
+
+// dropDentry removes a leaf dentry from the trie and frees it.
+func (v *VFS) dropDentry(d mem.Addr) {
+	n, ok := v.dentries[d]
+	if !ok {
+		return
+	}
+	if p, ok := v.dentries[n.parent]; ok {
+		delete(p.child, n.name)
+	}
+	delete(v.dentries, d)
+	_ = v.K.Sys.Slab.Free(d)
+}
+
+// forEachDentry visits the subtree rooted at d bottom-up.
+func (v *VFS) forEachDentry(d mem.Addr, fn func(mem.Addr, *dnode)) {
+	n, ok := v.dentries[d]
+	if !ok {
+		return
+	}
+	for _, c := range n.child {
+		v.forEachDentry(c, fn)
+	}
+	fn(d, n)
+}
+
+// pushName copies one path component into the kernel scratch buffer the
+// module-facing calls pass names through.
+func (v *VFS) pushName(name string) error {
+	if len(name) > NameMax {
+		return fmt.Errorf("vfs: name %q too long", name)
+	}
+	return v.K.Sys.AS.WriteCString(v.nameBuf, name)
+}
+
+// walk resolves path under sb through the dentry cache, calling the
+// module's lookup on each miss. The final component's dnode is returned.
+func (v *VFS) walk(t *core.Thread, sb mem.Addr, path string) (*dnode, error) {
+	mnt, ok := v.mounts[sb]
+	if !ok {
+		return nil, fmt.Errorf("vfs: not a mounted superblock: %#x", uint64(sb))
+	}
+	cur := v.dentries[mnt.root]
+	for _, comp := range splitPath(path) {
+		if !cur.isDir {
+			return nil, fmt.Errorf("vfs: %q: not a directory", cur.name)
+		}
+		if c, ok := cur.child[comp]; ok {
+			v.Stats.DcacheHits++
+			cur = v.dentries[c]
+			continue
+		}
+		v.Stats.DcacheMiss++
+		if err := v.pushName(comp); err != nil {
+			return nil, err
+		}
+		ret, err := t.IndirectCall(v.OpsSlot(mnt.fs.ops, "lookup"), FsLookup,
+			uint64(sb), uint64(cur.inode), uint64(v.nameBuf), uint64(len(comp)))
+		if err != nil {
+			return nil, err
+		}
+		if ret == 0 {
+			return nil, fmt.Errorf("vfs: %s: errno %d", comp, kernel.ENOENT)
+		}
+		d, err := v.newDentry(cur.dentry, comp, mem.Addr(ret))
+		if err != nil {
+			return nil, err
+		}
+		cur = v.dentries[d]
+	}
+	return cur, nil
+}
+
+// Lookup resolves path to its inode address.
+func (v *VFS) Lookup(t *core.Thread, sb mem.Addr, path string) (mem.Addr, error) {
+	n, err := v.walk(t, sb, path)
+	if err != nil {
+		return 0, err
+	}
+	return n.inode, nil
+}
+
+// create is the shared implementation of Create and Mkdir.
+func (v *VFS) create(t *core.Thread, sb mem.Addr, path string, mode uint64) (mem.Addr, error) {
+	mnt, ok := v.mounts[sb]
+	if !ok {
+		return 0, fmt.Errorf("vfs: not a mounted superblock: %#x", uint64(sb))
+	}
+	comps := splitPath(path)
+	if len(comps) == 0 {
+		return 0, fmt.Errorf("vfs: cannot create %q", path)
+	}
+	dirPath := ""
+	for _, c := range comps[:len(comps)-1] {
+		dirPath += "/" + c
+	}
+	dir, err := v.walk(t, sb, dirPath)
+	if err != nil {
+		return 0, err
+	}
+	name := comps[len(comps)-1]
+	if _, exists := dir.child[name]; exists {
+		return 0, fmt.Errorf("vfs: %s: errno %d", name, kernel.EEXIST)
+	}
+	if err := v.pushName(name); err != nil {
+		return 0, err
+	}
+	ret, err := t.IndirectCall(v.OpsSlot(mnt.fs.ops, "create"), FsCreate,
+		uint64(sb), uint64(dir.inode), uint64(v.nameBuf), uint64(len(name)), mode)
+	if err != nil {
+		return 0, err
+	}
+	if ret == 0 {
+		return 0, fmt.Errorf("vfs: create %s failed", name)
+	}
+	if _, err := v.newDentry(dir.dentry, name, mem.Addr(ret)); err != nil {
+		return 0, err
+	}
+	v.Stats.Creates++
+	return mem.Addr(ret), nil
+}
+
+// Create makes a regular file and returns its inode address.
+func (v *VFS) Create(t *core.Thread, sb mem.Addr, path string) (mem.Addr, error) {
+	return v.create(t, sb, path, ModeFile)
+}
+
+// Mkdir makes a directory and returns its inode address.
+func (v *VFS) Mkdir(t *core.Thread, sb mem.Addr, path string) (mem.Addr, error) {
+	return v.create(t, sb, path, ModeDir)
+}
+
+// Unlink removes a file: the module's unlink callback releases the inode
+// (via iput, dropping its page-cache pages), then the kernel drops the
+// dentry.
+func (v *VFS) Unlink(t *core.Thread, sb mem.Addr, path string) error {
+	mnt := v.mounts[sb]
+	n, err := v.walk(t, sb, path)
+	if err != nil {
+		return err
+	}
+	if n.parent == 0 {
+		return fmt.Errorf("vfs: cannot unlink the root")
+	}
+	if len(n.child) > 0 {
+		return fmt.Errorf("vfs: %s: directory not empty", n.name)
+	}
+	parent := v.dentries[n.parent]
+	ret, err := t.IndirectCall(v.OpsSlot(mnt.fs.ops, "unlink"), FsUnlink,
+		uint64(sb), uint64(parent.inode), uint64(n.inode))
+	if err != nil {
+		return err
+	}
+	if kernel.IsErr(ret) {
+		return fmt.Errorf("vfs: unlink %s: errno %d", n.name, -int64(ret))
+	}
+	v.dropDentry(n.dentry)
+	v.Stats.Unlinks++
+	return nil
+}
+
+// Stat returns a file's size and link count from the inode cache — a
+// pure kernel-side path, no module crossing (as in Linux, where a cached
+// stat never enters the filesystem).
+func (v *VFS) Stat(t *core.Thread, sb mem.Addr, path string) (size, nlink uint64, err error) {
+	n, err := v.walk(t, sb, path)
+	if err != nil {
+		return 0, 0, err
+	}
+	as := v.K.Sys.AS
+	size, _ = as.ReadU64(v.InodeField(n.inode, "size"))
+	nlink, _ = as.ReadU64(v.InodeField(n.inode, "nlink"))
+	return size, nlink, nil
+}
+
+// DcacheLen returns the number of cached dentries.
+func (v *VFS) DcacheLen() int { return len(v.dentries) }

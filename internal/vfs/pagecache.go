@@ -1,0 +1,248 @@
+package vfs
+
+import (
+	"fmt"
+	"sort"
+
+	"lxfi/internal/caps"
+	"lxfi/internal/core"
+	"lxfi/internal/kernel"
+	"lxfi/internal/mem"
+)
+
+type pageKey struct {
+	ino mem.Addr
+	idx uint64
+}
+
+// getPage returns the cached page for (inode, idx), filling a fresh one
+// through the module's readpage callback on a miss. Ownership of the
+// page travels with the call: WRITE transfers to the mount's principal
+// on entry and back to the kernel on successful return.
+func (v *VFS) getPage(t *core.Thread, mnt *mount, ino mem.Addr, idx uint64) (mem.Addr, error) {
+	key := pageKey{ino, idx}
+	if pg, ok := v.pages[key]; ok {
+		return pg, nil
+	}
+	sys := v.K.Sys
+	pg, err := sys.Slab.Alloc(mem.PageSize)
+	if err != nil {
+		return 0, err
+	}
+	v.Stats.PageFills++
+	ret, err := t.IndirectCall(v.OpsSlot(mnt.fs.ops, "readpage"), FsReadPage,
+		uint64(mnt.sb), uint64(ino), idx, uint64(pg))
+	if err != nil || ret != 0 {
+		// The revoke post-action (or the aborted call) already stripped
+		// the module's WRITE; make sure no grant survives an interrupted
+		// annotation run, then recycle the page.
+		sys.Caps.RevokeAll(caps.WriteCap(pg, mem.PageSize))
+		_ = sys.Slab.Free(pg)
+		if err == nil {
+			err = fmt.Errorf("vfs: readpage(%#x, %d): errno %d", uint64(ino), idx, -int64(ret))
+		}
+		return 0, err
+	}
+	v.pages[key] = pg
+	return pg, nil
+}
+
+// allocPage returns the cached page for (inode, idx), or installs a
+// fresh zeroed one without consulting the module — for writes that
+// cover the entire page.
+func (v *VFS) allocPage(ino mem.Addr, idx uint64) (mem.Addr, error) {
+	key := pageKey{ino, idx}
+	if pg, ok := v.pages[key]; ok {
+		return pg, nil
+	}
+	pg, err := v.K.Sys.Slab.Alloc(mem.PageSize)
+	if err != nil {
+		return 0, err
+	}
+	must(v.K.Sys.AS.Zero(pg, mem.PageSize))
+	v.pages[key] = pg
+	return pg, nil
+}
+
+// Read copies n bytes starting at off out of the file's page cache,
+// bounded by the inode size. Cold pages are filled by the module;
+// everything else is a trusted kernel-side copy.
+func (v *VFS) Read(t *core.Thread, sb mem.Addr, path string, off, n uint64) ([]byte, error) {
+	d, err := v.walk(t, sb, path)
+	if err != nil {
+		return nil, err
+	}
+	mnt := v.mounts[sb]
+	as := v.K.Sys.AS
+	size, _ := as.ReadU64(v.InodeField(d.inode, "size"))
+	if off >= size {
+		return nil, nil
+	}
+	if off+n > size {
+		n = size - off
+	}
+	out := make([]byte, n)
+	for done := uint64(0); done < n; {
+		pos := off + done
+		idx := pos / mem.PageSize
+		po := pos % mem.PageSize
+		chunk := mem.PageSize - po
+		if rem := n - done; chunk > rem {
+			chunk = rem
+		}
+		pg, err := v.getPage(t, mnt, d.inode, idx)
+		if err != nil {
+			return nil, err
+		}
+		if err := as.Read(pg+mem.Addr(po), out[done:done+chunk]); err != nil {
+			return nil, err
+		}
+		done += chunk
+	}
+	v.Stats.BytesRead += n
+	return out, nil
+}
+
+// Write copies data into the page cache at off, marking the touched
+// pages dirty and growing the inode size. Partially covered cold pages
+// are read-modify-write (the module fills them first via readpage);
+// fully covered cold pages skip the readpage round-trip — their old
+// contents are dead on arrival, so reading them back would only leak
+// stale bytes and pay a pointless module crossing.
+func (v *VFS) Write(t *core.Thread, sb mem.Addr, path string, off uint64, data []byte) (uint64, error) {
+	d, err := v.walk(t, sb, path)
+	if err != nil {
+		return 0, err
+	}
+	mnt := v.mounts[sb]
+	as := v.K.Sys.AS
+	n := uint64(len(data))
+	// s_maxbytes: the module declares its per-file capacity at mount
+	// time (0 = unlimited); writes past it are rejected before any page
+	// is dirtied, so an unpersistable page can never wedge Sync.
+	if maxb, _ := as.ReadU64(v.SBField(sb, "maxbytes")); maxb != 0 && off+n > maxb {
+		return 0, fmt.Errorf("vfs: %s: errno %d", path, kernel.EFBIG)
+	}
+	for done := uint64(0); done < n; {
+		pos := off + done
+		idx := pos / mem.PageSize
+		po := pos % mem.PageSize
+		chunk := mem.PageSize - po
+		if rem := n - done; chunk > rem {
+			chunk = rem
+		}
+		var pg mem.Addr
+		if chunk == mem.PageSize {
+			pg, err = v.allocPage(d.inode, idx)
+		} else {
+			pg, err = v.getPage(t, mnt, d.inode, idx)
+		}
+		if err != nil {
+			return done, err
+		}
+		if err := as.Write(pg+mem.Addr(po), data[done:done+chunk]); err != nil {
+			return done, err
+		}
+		v.dirty[pageKey{d.inode, idx}] = true
+		done += chunk
+	}
+	if size, _ := as.ReadU64(v.InodeField(d.inode, "size")); off+n > size {
+		must(as.WriteU64(v.InodeField(d.inode, "size"), off+n))
+	}
+	v.Stats.BytesWrited += n
+	return n, nil
+}
+
+// Sync writes every dirty page of the mount back through the module's
+// writepage callback (REF handoff: the module proves ownership to
+// pc_writeback but cannot modify the clean page).
+func (v *VFS) Sync(t *core.Thread, sb mem.Addr) error {
+	mnt, ok := v.mounts[sb]
+	if !ok {
+		return fmt.Errorf("vfs: not a mounted superblock: %#x", uint64(sb))
+	}
+	as := v.K.Sys.AS
+	var keys []pageKey
+	for key := range v.dirty {
+		if owner, _ := as.ReadU64(v.InodeField(key.ino, "sb")); mem.Addr(owner) == sb {
+			keys = append(keys, key)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].ino != keys[j].ino {
+			return keys[i].ino < keys[j].ino
+		}
+		return keys[i].idx < keys[j].idx
+	})
+	// A page that fails writeback stays dirty, but the pass continues:
+	// one bad page must not block the persistence of every page sorting
+	// after it. The first error is reported.
+	var firstErr error
+	for _, key := range keys {
+		pg := v.pages[key]
+		v.Stats.PageWrites++
+		ret, err := t.IndirectCall(v.OpsSlot(mnt.fs.ops, "writepage"), FsWritePage,
+			uint64(sb), uint64(key.ino), key.idx, uint64(pg))
+		if err == nil && ret != 0 {
+			err = fmt.Errorf("vfs: writepage(%#x, %d): errno %d", uint64(key.ino), key.idx, -int64(ret))
+		}
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		delete(v.dirty, key)
+	}
+	return firstErr
+}
+
+// DropCaches evicts every clean page of the mount (sync first to evict
+// everything), so the next read refills from the module — the cold-read
+// path fsperf measures. Memory-only mounts (SBMemOnly) are never
+// evicted: their page cache is the only copy of the data, and a no-op
+// writepage having cleared the dirty bit does not change that.
+func (v *VFS) DropCaches(sb mem.Addr) int {
+	as := v.K.Sys.AS
+	if flags, _ := as.ReadU64(v.SBField(sb, "flags")); flags&SBMemOnly != 0 {
+		return 0
+	}
+	dropped := 0
+	for key, pg := range v.pages {
+		if v.dirty[key] {
+			continue
+		}
+		if owner, _ := as.ReadU64(v.InodeField(key.ino, "sb")); mem.Addr(owner) != sb {
+			continue
+		}
+		_ = v.K.Sys.Slab.Free(pg)
+		delete(v.pages, key)
+		dropped++
+	}
+	return dropped
+}
+
+// dropPagesOf evicts every page (dirty or not) of a dying inode.
+func (v *VFS) dropPagesOf(ino mem.Addr) {
+	for key, pg := range v.pages {
+		if key.ino != ino {
+			continue
+		}
+		_ = v.K.Sys.Slab.Free(pg)
+		delete(v.pages, key)
+		delete(v.dirty, key)
+	}
+}
+
+// PageAddr exposes the cached page address for (inode, idx); tests and
+// the exploit harness use it to locate victim pages.
+func (v *VFS) PageAddr(ino mem.Addr, idx uint64) (mem.Addr, bool) {
+	pg, ok := v.pages[pageKey{ino, idx}]
+	return pg, ok
+}
+
+// PageCount returns the number of cached pages.
+func (v *VFS) PageCount() int { return len(v.pages) }
+
+// DirtyCount returns the number of dirty cached pages.
+func (v *VFS) DirtyCount() int { return len(v.dirty) }

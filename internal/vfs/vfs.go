@@ -1,0 +1,456 @@
+// Package vfs implements the simulated virtual filesystem substrate:
+// superblocks and mounts, a dentry cache organized as a path-component
+// trie, inodes, and a page cache backed by internal/mem — plus the
+// annotated interface filesystem modules plug into.
+//
+// The substrate mirrors how netstack and blockdev wire modules in:
+// filesystem modules register an fs_operations table with
+// register_filesystem, and the kernel reaches them only through checked
+// indirect calls on the module-writable slots of that table. Every
+// mounted superblock is its own LXFI instance principal (principal(sb)),
+// so two mounts of the same module cannot touch each other's inodes or
+// cached pages.
+//
+// Page-cache pages move between kernel and module by capability
+// transfer, in both directions:
+//
+//   - readpage receives a WRITE capability for the page it must fill
+//     (pre(transfer(page_caps(page)))) and gives it back on success
+//     (post(if (return == 0) transfer(...))). On failure the revoke
+//     action strips the capability from every principal, so a failing
+//     module cannot retain write access to a page the kernel recycles.
+//   - writepage receives only a REF(struct page) capability: writeback
+//     must prove it was handed the page by the VFS (pc_writeback checks
+//     the REF) but must not be able to modify a clean page.
+package vfs
+
+import (
+	"fmt"
+	"strings"
+
+	"lxfi/internal/blockdev"
+	"lxfi/internal/caps"
+	"lxfi/internal/core"
+	"lxfi/internal/kernel"
+	"lxfi/internal/layout"
+	"lxfi/internal/mem"
+)
+
+// Layout names.
+const (
+	SuperBlock = "struct super_block"
+	Inode      = "struct inode"
+	DentryT    = "struct dentry"
+	FsOps      = "struct fs_operations"
+)
+
+// PageRef is the REF capability type for page-cache pages.
+const PageRef = "struct page"
+
+// Function-pointer types (the annotated filesystem interface).
+const (
+	FsMount     = "fs_operations.mount"
+	FsKillSB    = "fs_operations.kill_sb"
+	FsCreate    = "fs_operations.create"
+	FsLookup    = "fs_operations.lookup"
+	FsUnlink    = "fs_operations.unlink"
+	FsReadPage  = "fs_operations.readpage"
+	FsWritePage = "fs_operations.writepage"
+	FsIoctl     = "fs_operations.ioctl"
+)
+
+// Inode modes (stored in the inode's mode field).
+const (
+	ModeFile = 0
+	ModeDir  = 1
+)
+
+// Superblock flags (stored in the superblock's flags field).
+const (
+	// SBMemOnly marks a mount whose page cache is the only copy of the
+	// data (tmpfs-style). DropCaches never evicts such mounts — the
+	// "clean" bit after a no-op writepage does not mean the data is
+	// anywhere else.
+	SBMemOnly = 1 << 0
+)
+
+// NameMax is the longest path component the substrate accepts.
+const NameMax = 55
+
+// Stats counts VFS activity for tests and the fsperf reports.
+type Stats struct {
+	Mounts      uint64
+	Creates     uint64
+	Unlinks     uint64
+	DcacheHits  uint64
+	DcacheMiss  uint64
+	PageFills   uint64 // readpage crossings
+	PageWrites  uint64 // writepage crossings
+	BytesRead   uint64
+	BytesWrited uint64
+}
+
+type fstype struct {
+	module *core.Module
+	ops    mem.Addr
+}
+
+type mount struct {
+	fs   *fstype
+	sb   mem.Addr
+	dev  uint64
+	root mem.Addr // root dentry
+}
+
+// VFS is the simulated virtual filesystem layer.
+type VFS struct {
+	K *kernel.Kernel
+	// Block is the block layer pc_writeback persists pages to; nil for
+	// machines without one (pc_writeback then fails with -ENOENT).
+	Block *blockdev.Layer
+
+	sbLay   *layout.Struct
+	inoLay  *layout.Struct
+	dentLay *layout.Struct
+	fopsLay *layout.Struct
+
+	filesystems map[uint64]*fstype
+	mounts      map[mem.Addr]*mount
+
+	// dentries is the dentry cache: one dnode per cached dentry, with
+	// children keyed by path component (the M-way-trie shape).
+	dentries map[mem.Addr]*dnode
+
+	// pages is the page cache: (inode, page index) -> page base address.
+	pages map[pageKey]mem.Addr
+	dirty map[pageKey]bool
+
+	nextIno uint64
+	nameBuf mem.Addr // kernel scratch buffer for passing names to modules
+
+	Stats Stats
+}
+
+// Init builds the VFS on a booted kernel, registering layouts, the
+// annotated function-pointer interface, and the kernel exports
+// filesystem modules import. bl may be nil on machines without a block
+// layer.
+func Init(k *kernel.Kernel, bl *blockdev.Layer) *VFS {
+	v := &VFS{
+		K:           k,
+		Block:       bl,
+		filesystems: make(map[uint64]*fstype),
+		mounts:      make(map[mem.Addr]*mount),
+		dentries:    make(map[mem.Addr]*dnode),
+		pages:       make(map[pageKey]mem.Addr),
+		dirty:       make(map[pageKey]bool),
+		nextIno:     1,
+	}
+	sys := k.Sys
+
+	v.sbLay = sys.Layouts.Define(SuperBlock,
+		layout.F("ops", 8),
+		layout.F("dev", 8),
+		layout.F("root", 8),
+		layout.F("private", 8),
+		layout.F("flags", 8),
+		layout.F("maxbytes", 8),
+	)
+	v.inoLay = sys.Layouts.Define(Inode,
+		layout.F("sb", 8),
+		layout.F("ino", 8),
+		layout.F("size", 8),
+		layout.F("nlink", 8),
+		layout.F("mode", 8),
+		layout.F("private", 8),
+	)
+	v.dentLay = sys.Layouts.Define(DentryT,
+		layout.F("inode", 8),
+		layout.F("parent", 8),
+		layout.F("name", NameMax+1),
+	)
+	v.fopsLay = sys.Layouts.Define(FsOps,
+		layout.F("mount", 8),
+		layout.F("kill_sb", 8),
+		layout.F("create", 8),
+		layout.F("lookup", 8),
+		layout.F("unlink", 8),
+		layout.F("readpage", 8),
+		layout.F("writepage", 8),
+		layout.F("ioctl", 8),
+	)
+
+	v.nameBuf = sys.Statics.Alloc(NameMax+1, 8)
+
+	// page_caps: the single WRITE capability that makes up a page-cache
+	// page (pages are raw PageSize buffers, no header struct).
+	sys.RegisterIterator("page_caps", func(t *core.Thread, args []int64, emit func(caps.Cap) error) error {
+		page := mem.Addr(uint64(args[0]))
+		if page == 0 {
+			return nil
+		}
+		return emit(caps.WriteCap(page, mem.PageSize))
+	})
+
+	v.registerFPtrTypes()
+	v.registerExports()
+	return v
+}
+
+func (v *VFS) registerFPtrTypes() {
+	sys := v.K.Sys
+	sbP := core.P("sb", "struct super_block *")
+	dirP := core.P("dir", "struct inode *")
+	nameP := core.P("name", "const char *")
+	lenP := core.P("len", "size_t")
+
+	// mount fills in the superblock, so the module's instance principal
+	// (named by the superblock itself) gets write access to it.
+	sys.RegisterFPtrType(FsMount,
+		[]core.Param{sbP},
+		"principal(sb) pre(copy(write, sb))")
+	sys.RegisterFPtrType(FsKillSB,
+		[]core.Param{sbP}, "principal(sb)")
+	sys.RegisterFPtrType(FsCreate,
+		[]core.Param{sbP, dirP, nameP, lenP, core.P("mode", "int")},
+		"principal(sb)")
+	sys.RegisterFPtrType(FsLookup,
+		[]core.Param{sbP, dirP, nameP, lenP},
+		"principal(sb)")
+	sys.RegisterFPtrType(FsUnlink,
+		[]core.Param{sbP, dirP, core.P("inode", "struct inode *")},
+		"principal(sb)")
+	// readpage: WRITE ownership of the page travels kernel -> module ->
+	// kernel; a failing module keeps nothing (revoke).
+	sys.RegisterFPtrType(FsReadPage,
+		[]core.Param{sbP, core.P("inode", "struct inode *"), core.P("idx", "u64"), core.P("page", "void *")},
+		"principal(sb) pre(transfer(page_caps(page))) "+
+			"post(if (return == 0) transfer(page_caps(page))) "+
+			"post(if (return != 0) revoke(page_caps(page)))")
+	// writepage: the module proves page ownership with a REF capability
+	// but cannot modify the clean page it is persisting.
+	sys.RegisterFPtrType(FsWritePage,
+		[]core.Param{sbP, core.P("inode", "struct inode *"), core.P("idx", "u64"), core.P("page", "void *")},
+		"principal(sb) pre(transfer(ref(struct page), page)) "+
+			"post(transfer(ref(struct page), page))")
+	sys.RegisterFPtrType(FsIoctl,
+		[]core.Param{sbP, core.P("cmd", "int"), core.P("arg", "u64")},
+		"principal(sb)")
+}
+
+func (v *VFS) registerExports() {
+	sys := v.K.Sys
+
+	// register_filesystem: the module must own the ops table it hands the
+	// kernel (the table stays module-writable, so every mount-time and
+	// per-page indirect call through it takes the slow writer-set path,
+	// like the e1000 ndo_start_xmit slot).
+	sys.RegisterKernelFunc("register_filesystem",
+		[]core.Param{core.P("fsid", "u64"), core.P("ops", "struct fs_operations *")},
+		"pre(check(write, ops))",
+		func(t *core.Thread, args []uint64) uint64 {
+			if _, dup := v.filesystems[args[0]]; dup {
+				return kernel.Err(kernel.EBUSY)
+			}
+			v.filesystems[args[0]] = &fstype{module: t.CurrentModule(), ops: mem.Addr(args[1])}
+			return 0
+		})
+
+	// iget allocates a fresh inode; WRITE ownership transfers to the
+	// allocating principal (the mount's instance principal), which must
+	// fill in size/nlink/mode.
+	sys.RegisterKernelFunc("iget",
+		[]core.Param{core.P("sb", "struct super_block *")},
+		"post(if (return != 0) transfer(alloc_caps(return)))",
+		func(t *core.Thread, args []uint64) uint64 {
+			ino, err := sys.Slab.Alloc(v.inoLay.Size)
+			if err != nil {
+				return 0
+			}
+			must(sys.AS.Zero(ino, v.inoLay.Size))
+			must(sys.AS.WriteU64(v.InodeField(ino, "sb"), args[0]))
+			must(sys.AS.WriteU64(v.InodeField(ino, "ino"), v.nextIno))
+			must(sys.AS.WriteU64(v.InodeField(ino, "nlink"), 1))
+			v.nextIno++
+			return uint64(ino)
+		})
+
+	// iput releases an inode: the caller gives up ownership, and the
+	// kernel drops every page-cache page of the dying inode so stale
+	// data cannot resurface under a recycled address.
+	sys.RegisterKernelFunc("iput",
+		[]core.Param{core.P("inode", "struct inode *")},
+		"pre(transfer(alloc_caps(inode)))",
+		func(t *core.Thread, args []uint64) uint64 {
+			ino := mem.Addr(args[0])
+			if ino == 0 {
+				return 0
+			}
+			v.dropPagesOf(ino)
+			_ = sys.Slab.Free(ino)
+			return 0
+		})
+
+	// pc_writeback persists one page-cache page to a block device. The
+	// REF check is the whole point: only a module that was handed this
+	// page by the VFS writepage path may persist it.
+	sys.RegisterKernelFunc("pc_writeback",
+		[]core.Param{core.P("dev", "u64"), core.P("sector", "u64"), core.P("page", "void *")},
+		"pre(check(ref(struct page), page))",
+		func(t *core.Thread, args []uint64) uint64 {
+			if v.Block == nil {
+				return kernel.Err(kernel.ENOENT)
+			}
+			disk := v.Block.DiskBytes(args[0])
+			if disk == nil {
+				return kernel.Err(kernel.ENOENT)
+			}
+			// Bound the sector count before multiplying: args[1] is
+			// module-controlled, and a huge value would overflow the
+			// byte-offset arithmetic past the bounds check.
+			if args[1] > uint64(len(disk))/blockdev.SectorSize {
+				return kernel.Err(kernel.EINVAL)
+			}
+			off := args[1] * blockdev.SectorSize
+			if off+mem.PageSize > uint64(len(disk)) {
+				return kernel.Err(kernel.EINVAL)
+			}
+			buf, err := sys.AS.ReadBytes(mem.Addr(args[2]), mem.PageSize)
+			if err != nil {
+				return kernel.Err(kernel.EFAULT)
+			}
+			copy(disk[off:], buf)
+			return 0
+		})
+}
+
+// --- field helpers ---
+
+// SBField returns the address of a super_block field.
+func (v *VFS) SBField(sb mem.Addr, f string) mem.Addr { return sb + mem.Addr(v.sbLay.Off(f)) }
+
+// InodeField returns the address of an inode field.
+func (v *VFS) InodeField(ino mem.Addr, f string) mem.Addr { return ino + mem.Addr(v.inoLay.Off(f)) }
+
+// OpsSlot returns the address of an fs_operations slot.
+func (v *VFS) OpsSlot(ops mem.Addr, f string) mem.Addr { return ops + mem.Addr(v.fopsLay.Off(f)) }
+
+// --- mount lifecycle ---
+
+// Mount instantiates a registered filesystem on a device: it allocates
+// the superblock, runs the module's mount callback as the new mount's
+// instance principal, and roots the dentry cache at the inode the module
+// returns.
+func (v *VFS) Mount(t *core.Thread, fsid, dev uint64) (mem.Addr, error) {
+	ft, ok := v.filesystems[fsid]
+	if !ok {
+		return 0, fmt.Errorf("vfs: unknown filesystem %d", fsid)
+	}
+	if ft.module != nil && ft.module.Dead {
+		return 0, core.ErrModuleDead
+	}
+	sys := v.K.Sys
+	sb, err := sys.Slab.Alloc(v.sbLay.Size)
+	if err != nil {
+		return 0, err
+	}
+	must(sys.AS.Zero(sb, v.sbLay.Size))
+	must(sys.AS.WriteU64(v.SBField(sb, "ops"), uint64(ft.ops)))
+	must(sys.AS.WriteU64(v.SBField(sb, "dev"), dev))
+
+	// On any failure the instance principal created for sb must go away
+	// with the superblock: FsMount's pre(copy(write, sb)) has already
+	// granted it WRITE over the address the slab is about to recycle.
+	fail := func(err error) (mem.Addr, error) {
+		if ft.module != nil {
+			ft.module.Set.DropInstance(sb)
+		}
+		_ = sys.Slab.Free(sb)
+		return 0, err
+	}
+	ret, err := t.IndirectCall(v.OpsSlot(ft.ops, "mount"), FsMount, uint64(sb))
+	if err != nil {
+		return fail(err)
+	}
+	if ret == 0 {
+		return fail(fmt.Errorf("vfs: mount of filesystem %d failed", fsid))
+	}
+	root, err := v.newDentry(0, "/", mem.Addr(ret))
+	if err != nil {
+		// The module's mount already succeeded: give it kill_sb so its
+		// private allocations and root inode are released before the
+		// principal goes away.
+		_, _ = t.IndirectCall(v.OpsSlot(ft.ops, "kill_sb"), FsKillSB, uint64(sb))
+		return fail(err)
+	}
+	must(sys.AS.WriteU64(v.SBField(sb, "root"), uint64(root)))
+	v.mounts[sb] = &mount{fs: ft, sb: sb, dev: dev, root: root}
+	v.Stats.Mounts++
+	return sb, nil
+}
+
+// Unmount runs the module's kill_sb, then reclaims every dentry, inode,
+// and page of the mount and discards the mount's instance principal so a
+// recycled superblock address cannot inherit stale privileges.
+func (v *VFS) Unmount(t *core.Thread, sb mem.Addr) error {
+	mnt, ok := v.mounts[sb]
+	if !ok {
+		return fmt.Errorf("vfs: not a mounted superblock: %#x", uint64(sb))
+	}
+	if _, err := t.IndirectCall(v.OpsSlot(mnt.fs.ops, "kill_sb"), FsKillSB, uint64(sb)); err != nil {
+		return err
+	}
+	sys := v.K.Sys
+	// Reclaim whatever the module did not release itself. Inodes it
+	// already iput are gone from the slab; the double free is ignored.
+	v.forEachDentry(mnt.root, func(d mem.Addr, n *dnode) {
+		if n.inode != 0 {
+			v.dropPagesOf(n.inode)
+			_ = sys.Slab.Free(n.inode)
+		}
+		_ = sys.Slab.Free(d)
+		delete(v.dentries, d)
+	})
+	if mnt.fs.module != nil {
+		mnt.fs.module.Set.DropInstance(sb)
+	}
+	_ = sys.Slab.Free(sb)
+	delete(v.mounts, sb)
+	return nil
+}
+
+// Ioctl dispatches a filesystem-specific control operation through the
+// module-writable ioctl slot.
+func (v *VFS) Ioctl(t *core.Thread, sb mem.Addr, cmd, arg uint64) (uint64, error) {
+	mnt, ok := v.mounts[sb]
+	if !ok {
+		return 0, fmt.Errorf("vfs: not a mounted superblock: %#x", uint64(sb))
+	}
+	return t.IndirectCall(v.OpsSlot(mnt.fs.ops, "ioctl"), FsIoctl, uint64(sb), cmd, arg)
+}
+
+// Filesystems returns the ids of all registered filesystems.
+func (v *VFS) Filesystems() []uint64 {
+	out := make([]uint64, 0, len(v.filesystems))
+	for id := range v.filesystems {
+		out = append(out, id)
+	}
+	return out
+}
+
+// splitPath normalizes a path into components.
+func splitPath(path string) []string {
+	var out []string
+	for _, c := range strings.Split(path, "/") {
+		if c != "" && c != "." {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

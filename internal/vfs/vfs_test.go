@@ -1,0 +1,303 @@
+package vfs_test
+
+import (
+	"bytes"
+	"testing"
+
+	"lxfi/internal/blockdev"
+	"lxfi/internal/caps"
+	"lxfi/internal/core"
+	"lxfi/internal/kernel"
+	"lxfi/internal/mem"
+	"lxfi/internal/modules/minixsim"
+	"lxfi/internal/modules/tmpfssim"
+	"lxfi/internal/vfs"
+)
+
+type rig struct {
+	k  *kernel.Kernel
+	bl *blockdev.Layer
+	v  *vfs.VFS
+	th *core.Thread
+}
+
+func newRig(t *testing.T, mode core.Mode) *rig {
+	t.Helper()
+	k := kernel.New()
+	k.Sys.Mon.SetMode(mode)
+	bl := blockdev.Init(k)
+	v := vfs.Init(k, bl)
+	return &rig{k: k, bl: bl, v: v, th: k.Sys.NewThread("test")}
+}
+
+func (r *rig) noViolations(t *testing.T) {
+	t.Helper()
+	if n := len(r.k.Sys.Mon.Violations()); n != 0 {
+		t.Fatalf("unexpected violations: %v", r.k.Sys.Mon.LastViolation())
+	}
+}
+
+func TestTmpfsRoundtrip(t *testing.T) {
+	for _, mode := range []core.Mode{core.Off, core.Enforce} {
+		t.Run(mode.String(), func(t *testing.T) {
+			r := newRig(t, mode)
+			if _, err := tmpfssim.Load(r.th, r.k, r.v); err != nil {
+				t.Fatal(err)
+			}
+			sb, err := r.v.Mount(r.th, tmpfssim.FsID, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := r.v.Mkdir(r.th, sb, "/etc"); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := r.v.Create(r.th, sb, "/etc/motd"); err != nil {
+				t.Fatal(err)
+			}
+			msg := []byte("hello from the page cache")
+			if _, err := r.v.Write(r.th, sb, "/etc/motd", 0, msg); err != nil {
+				t.Fatal(err)
+			}
+			got, err := r.v.Read(r.th, sb, "/etc/motd", 0, 4096)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, msg) {
+				t.Fatalf("read back %q, want %q", got, msg)
+			}
+			size, nlink, err := r.v.Stat(r.th, sb, "/etc/motd")
+			if err != nil || size != uint64(len(msg)) || nlink != 1 {
+				t.Fatalf("stat = (%d, %d, %v)", size, nlink, err)
+			}
+			// Sparse read: offsets past a hole come back zeroed.
+			if _, err := r.v.Write(r.th, sb, "/etc/motd", 2*mem.PageSize, []byte{7}); err != nil {
+				t.Fatal(err)
+			}
+			hole, err := r.v.Read(r.th, sb, "/etc/motd", mem.PageSize, 16)
+			if err != nil || !bytes.Equal(hole, make([]byte, 16)) {
+				t.Fatalf("hole read = %x, %v", hole, err)
+			}
+			if err := r.v.Unlink(r.th, sb, "/etc/motd"); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := r.v.Lookup(r.th, sb, "/etc/motd"); err == nil {
+				t.Fatal("lookup after unlink succeeded")
+			}
+			r.noViolations(t)
+		})
+	}
+}
+
+func TestMinixPersistsToDisk(t *testing.T) {
+	r := newRig(t, core.Enforce)
+	r.bl.AddDisk(1, minixsim.DiskSectors)
+	if _, err := minixsim.Load(r.th, r.k, r.v); err != nil {
+		t.Fatal(err)
+	}
+	sb, err := r.v.Mount(r.th, minixsim.FsID, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.v.Create(r.th, sb, "/data"); err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{0xAB}, 3*mem.PageSize)
+	if _, err := r.v.Write(r.th, sb, "/data", 0, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.v.Sync(r.th, sb); err != nil {
+		t.Fatal(err)
+	}
+	if r.v.DirtyCount() != 0 {
+		t.Fatalf("dirty pages after sync: %d", r.v.DirtyCount())
+	}
+	// The bytes must be on the simulated disk, not just in the cache.
+	if !bytes.Contains(r.bl.DiskBytes(1), payload[:mem.PageSize]) {
+		t.Fatal("payload not written to the backing disk")
+	}
+	// Evict the cache; the next read must refill from disk via readpage.
+	fills := r.v.Stats.PageFills
+	if n := r.v.DropCaches(sb); n == 0 {
+		t.Fatal("DropCaches evicted nothing")
+	}
+	got, err := r.v.Read(r.th, sb, "/data", 0, uint64(len(payload)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("data did not survive cache eviction")
+	}
+	if r.v.Stats.PageFills == fills {
+		t.Fatal("cold read did not cross into the module")
+	}
+	r.noViolations(t)
+}
+
+// TestPageOwnershipReturns verifies the capability story of the page
+// cache: after read and writeback complete, the mount's principal holds
+// neither WRITE nor REF for the cached page.
+func TestPageOwnershipReturns(t *testing.T) {
+	r := newRig(t, core.Enforce)
+	fs, err := tmpfssim.Load(r.th, r.k, r.v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := r.v.Mount(r.th, tmpfssim.FsID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ino, err := r.v.Create(r.th, sb, "/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.v.Write(r.th, sb, "/f", 0, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.v.Sync(r.th, sb); err != nil {
+		t.Fatal(err)
+	}
+	pg, ok := r.v.PageAddr(ino, 0)
+	if !ok {
+		t.Fatal("page not cached")
+	}
+	prin, ok := fs.M.Set.Lookup(sb)
+	if !ok {
+		t.Fatal("no instance principal for the mount")
+	}
+	if r.k.Sys.Caps.OwnsDirectly(prin, caps.WriteCap(pg, mem.PageSize)) {
+		t.Fatal("mount principal retained WRITE on a clean page-cache page")
+	}
+	if got := r.k.Sys.Caps.WriteGrantees(pg); len(got) != 0 {
+		t.Fatalf("page still write-granted to %v", got)
+	}
+	if got := r.k.Sys.Caps.RefGrantees(vfs.PageRef, pg); len(got) != 0 {
+		t.Fatalf("page still REF-granted to %v", got)
+	}
+	// The inode, in contrast, stays with the mount that allocated it.
+	if !r.k.Sys.Caps.Check(prin, caps.WriteCap(ino, 8)) {
+		t.Fatal("mount principal lost its inode")
+	}
+}
+
+// TestMountsAreDistinctPrincipals: two mounts of one module must not
+// share capabilities — the dm-crypt two-volume argument of §2.1, on the
+// filesystem substrate.
+func TestMountsAreDistinctPrincipals(t *testing.T) {
+	r := newRig(t, core.Enforce)
+	fs, err := tmpfssim.Load(r.th, r.k, r.v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sbA, err := r.v.Mount(r.th, tmpfssim.FsID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sbB, err := r.v.Mount(r.th, tmpfssim.FsID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inoB, err := r.v.Create(r.th, sbB, "/secret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prinA, _ := fs.M.Set.Lookup(sbA)
+	if prinA == nil {
+		t.Fatal("no principal for mount A")
+	}
+	if r.k.Sys.Caps.Check(prinA, caps.WriteCap(sbB, 8)) {
+		t.Fatal("mount A can write mount B's superblock")
+	}
+	if r.k.Sys.Caps.Check(prinA, caps.WriteCap(inoB, 8)) {
+		t.Fatal("mount A can write mount B's inode")
+	}
+}
+
+func TestUnmountReclaims(t *testing.T) {
+	r := newRig(t, core.Enforce)
+	fs, err := tmpfssim.Load(r.th, r.k, r.v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := r.v.Mount(r.th, tmpfssim.FsID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.v.Create(r.th, sb, "/a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.v.Write(r.th, sb, "/a", 0, []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.v.Unmount(r.th, sb); err != nil {
+		t.Fatal(err)
+	}
+	if n := r.v.PageCount(); n != 0 {
+		t.Fatalf("pages leaked across unmount: %d", n)
+	}
+	if n := r.v.DcacheLen(); n != 0 {
+		t.Fatalf("dentries leaked across unmount: %d", n)
+	}
+	if fs.M.Dead {
+		t.Fatal("module died during a clean unmount")
+	}
+	// The filesystem can be mounted again.
+	if _, err := r.v.Mount(r.th, tmpfssim.FsID, 0); err != nil {
+		t.Fatal(err)
+	}
+	r.noViolations(t)
+}
+
+// TestPokeConfinedToOwnPrincipal: the compromised ioctl can scribble on
+// memory its own mount owns, but a write aimed at another mount's cached
+// page is a violation that kills the module.
+func TestPokeConfinedToOwnPrincipal(t *testing.T) {
+	r := newRig(t, core.Enforce)
+	fs, err := tmpfssim.Load(r.th, r.k, r.v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sbA, err := r.v.Mount(r.th, tmpfssim.FsID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sbB, err := r.v.Mount(r.th, tmpfssim.FsID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inoB, err := r.v.Create(r.th, sbB, "/victim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	secret := []byte("precious bytes")
+	if _, err := r.v.Write(r.th, sbB, "/victim", 0, secret); err != nil {
+		t.Fatal(err)
+	}
+	pg, ok := r.v.PageAddr(inoB, 0)
+	if !ok {
+		t.Fatal("victim page not cached")
+	}
+
+	// A poke at the module's own inode (owned by mount A) is allowed.
+	inoA, err := r.v.Create(r.th, sbA, "/own")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.v.Ioctl(r.th, sbA, tmpfssim.CmdPoke, uint64(r.v.InodeField(inoA, "private"))); err != nil {
+		t.Fatalf("poke at own memory rejected: %v", err)
+	}
+
+	// The cross-principal page-cache write is blocked.
+	if _, err := r.v.Ioctl(r.th, sbA, tmpfssim.CmdPoke, uint64(pg)); err == nil {
+		t.Fatal("cross-principal page write succeeded under Enforce")
+	}
+	if len(r.k.Sys.Mon.Violations()) == 0 {
+		t.Fatal("no violation recorded")
+	}
+	got, err := r.v.Read(r.th, sbB, "/victim", 0, uint64(len(secret)))
+	if err != nil || !bytes.Equal(got, secret) {
+		t.Fatalf("victim data corrupted: %q, %v", got, err)
+	}
+	if !fs.M.Dead {
+		t.Fatal("violating module was not killed")
+	}
+}

@@ -8,10 +8,14 @@
 //	internal/core     — the LXFI reference monitor (capabilities,
 //	                    principals, annotations, wrappers, writer sets)
 //	internal/kernel   — the simulated core kernel
-//	internal/netstack, internal/blockdev, internal/pci, internal/sound
-//	                  — subsystem substrates
-//	internal/modules  — the ten isolated modules of the paper's Fig. 9
-//	internal/exploits — the CVE exploits of Fig. 8
+//	internal/netstack, internal/blockdev, internal/pci, internal/sound,
+//	internal/vfs      — subsystem substrates (network, block, PCI,
+//	                    sound, and the virtual filesystem layer with its
+//	                    dentry and page caches)
+//	internal/modules  — the ten isolated modules of the paper's Fig. 9,
+//	                    plus the tmpfssim/minixsim filesystem modules
+//	internal/exploits — the CVE exploits of Fig. 8 and the page-cache
+//	                    scribble scenario
 //
 // Quick start:
 //
@@ -29,6 +33,7 @@ import (
 	"lxfi/internal/netstack"
 	"lxfi/internal/pci"
 	"lxfi/internal/sound"
+	"lxfi/internal/vfs"
 )
 
 // Core types, re-exported for library users.
@@ -89,6 +94,7 @@ type Machine struct {
 	Net    *netstack.Stack
 	Block  *blockdev.Layer
 	Sound  *sound.Sound
+	FS     *vfs.VFS
 	Thread *core.Thread
 }
 
@@ -104,6 +110,7 @@ func Boot(mode Mode) (*Machine, error) {
 		Block:  blockdev.Init(k),
 		Sound:  sound.Init(k),
 	}
+	m.FS = vfs.Init(k, m.Block)
 	m.Thread = k.Sys.NewThread("main")
 	return m, nil
 }
