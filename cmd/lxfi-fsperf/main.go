@@ -17,6 +17,7 @@ import (
 func main() {
 	files := flag.Int("files", 64, "files per measurement")
 	size := flag.Uint64("size", fsperf.DefaultFileSize, "file size in bytes")
+	asJSON := flag.Bool("json", false, "emit a machine-readable JSON report (the CI bench artifact)")
 	flag.Parse()
 	if *files < 1 {
 		fmt.Fprintln(os.Stderr, "-files must be at least 1")
@@ -27,15 +28,29 @@ func main() {
 		os.Exit(2)
 	}
 
-	fmt.Println("fsperf — filesystem workloads with stock and LXFI-enabled modules")
-	fmt.Printf("(%d files, %d bytes each; ns/op, best of several rounds)\n\n", *files, *size)
+	var all []*fsperf.Costs
+	if !*asJSON {
+		fmt.Println("fsperf — filesystem workloads with stock and LXFI-enabled modules")
+		fmt.Printf("(%d files, %d bytes each; ns/op, best of several rounds)\n\n", *files, *size)
+	}
 	for _, kind := range []fsperf.Kind{fsperf.Tmpfs, fsperf.Minix} {
 		costs, err := fsperf.MeasureCosts(kind, *files, *size)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s measurement failed: %v\n", kind, err)
 			os.Exit(1)
 		}
-		fmt.Print(fsperf.Format(costs))
-		fmt.Println()
+		all = append(all, costs)
+		if !*asJSON {
+			fmt.Print(fsperf.Format(costs))
+			fmt.Println()
+		}
+	}
+	if *asJSON {
+		out, err := fsperf.JSON(all, *files, *size)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "encoding report: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(out))
 	}
 }

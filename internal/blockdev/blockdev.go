@@ -23,6 +23,14 @@ import (
 // SectorSize is the logical sector size.
 const SectorSize = 512
 
+// DevRef is the REF capability type for block devices: holding
+// REF("block device", dev) is the proof a principal was granted access
+// to that disk (the VFS grants it to a mount's instance principal for
+// the mount's own device). The sector-write exports demand it, so a
+// compromised module cannot aim dm_write_sectors at another mount's
+// disk.
+const DevRef = "block device"
+
 // Layout names.
 const (
 	Bio      = "struct bio"
@@ -198,6 +206,38 @@ func (l *Layer) registerExports() {
 			return 0
 		})
 
+	// dm_write_sectors is the synchronous write mirror of
+	// dm_read_sectors: modules persist their own metadata (e.g. the
+	// minixsim directory table) from buffers they own. Two proofs are
+	// demanded: WRITE on the source buffer (it is the module's own
+	// memory, not another principal's laundered bytes) and REF on the
+	// device (this disk was granted to the caller — a compromised
+	// module cannot overwrite another mount's disk).
+	sys.RegisterKernelFunc("dm_write_sectors",
+		[]core.Param{core.P("dev", "u64"), core.P("sector", "u64"),
+			core.P("buf", "void *"), core.P("n", "size_t")},
+		"pre(check(write, buf, n)) pre(check(ref(block device), dev))",
+		func(t *core.Thread, args []uint64) uint64 {
+			disk, ok := l.disks[args[0]]
+			if !ok {
+				return kernel.Err(kernel.ENOENT)
+			}
+			n := args[3]
+			if args[1] > uint64(len(disk))/SectorSize || n > uint64(len(disk)) {
+				return kernel.Err(kernel.EINVAL)
+			}
+			off := args[1] * SectorSize
+			if off+n > uint64(len(disk)) {
+				return kernel.Err(kernel.EINVAL)
+			}
+			buf, err := sys.AS.ReadBytes(mem.Addr(args[2]), n)
+			if err != nil {
+				return kernel.Err(kernel.EFAULT)
+			}
+			copy(disk[off:], buf)
+			return 0
+		})
+
 	// bio_endio completes a bio without touching a disk (used by targets
 	// that synthesize data, like dm-zero).
 	sys.RegisterKernelFunc("bio_endio",
@@ -264,6 +304,10 @@ func (l *Layer) AddDisk(dev uint64, sectors uint64) {
 
 // DiskBytes exposes a disk's backing store for test assertions.
 func (l *Layer) DiskBytes(dev uint64) []byte { return l.disks[dev] }
+
+// RemoveDisk detaches a disk (a yanked device): subsequent I/O on dev
+// fails with ENOENT. The sector data is discarded.
+func (l *Layer) RemoveDisk(dev uint64) { delete(l.disks, dev) }
 
 // Completed returns the number of completed bios.
 func (l *Layer) Completed() uint64 { return l.completed }

@@ -243,6 +243,18 @@ func (t *Thread) Interrupt(handler func(*Thread)) {
 	t.cur, t.curMod = f.savedCur, f.savedMod
 }
 
+// CallerModule returns the module that entered the currently-running
+// kernel function (the saved module of the innermost shadow frame), or
+// nil when the kernel was not entered from module code. Kernel-function
+// bodies run trusted (CurrentModule is nil there), so exports that need
+// to remember who registered something use this instead.
+func (t *Thread) CallerModule() *Module {
+	if len(t.shadow) == 0 {
+		return nil
+	}
+	return t.shadow[len(t.shadow)-1].savedMod
+}
+
 func (t *Thread) token() uint64 {
 	t.Sys.nextToken++
 	return t.Sys.nextToken

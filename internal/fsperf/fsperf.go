@@ -11,6 +11,7 @@
 package fsperf
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 	"time"
@@ -45,6 +46,8 @@ type Rig struct {
 	Th   *core.Thread
 	SB   mem.Addr
 	Kind Kind
+	FsID uint64 // registered filesystem id (for remounting)
+	Dev  uint64 // backing device id
 }
 
 // NewRig boots a kernel + blockdev + vfs with the chosen filesystem
@@ -62,13 +65,15 @@ func NewRig(mode core.Mode, kind Kind) (*Rig, error) {
 		if _, err = tmpfssim.Load(th, k, v); err != nil {
 			return nil, err
 		}
-		r.SB, err = v.Mount(th, tmpfssim.FsID, 0)
+		r.FsID, r.Dev = tmpfssim.FsID, 0
+		r.SB, err = v.Mount(th, r.FsID, r.Dev)
 	case Minix:
 		bl.AddDisk(1, minixsim.DiskSectors)
 		if _, err = minixsim.Load(th, k, v); err != nil {
 			return nil, err
 		}
-		r.SB, err = v.Mount(th, minixsim.FsID, 1)
+		r.FsID, r.Dev = minixsim.FsID, 1
+		r.SB, err = v.Mount(th, r.FsID, r.Dev)
 	default:
 		return nil, fmt.Errorf("fsperf: unknown filesystem kind %q", kind)
 	}
@@ -105,8 +110,11 @@ func (r *Rig) OpCycle(seq int, payload []byte) error {
 // suppresses scheduler noise.
 const measureRounds = 3
 
-// Ops is the measured operation list, in report order.
-var Ops = []string{"create", "write+sync", "read cold", "read warm", "stat", "unlink"}
+// Ops is the measured operation list, in report order. "read cold" and
+// "remount" only apply to disk-backed filesystems; memory-only mounts
+// omit those rows rather than mislabel a warm path.
+var Ops = []string{"create", "write+sync", "read cold", "read warm", "stat",
+	"readdir", "rename", "cache pressure", "remount", "unlink"}
 
 // Costs holds measured per-operation CPU costs (ns/op) for one
 // filesystem under both builds.
@@ -246,6 +254,106 @@ func measureMode(kind Kind, mode core.Mode, files int, fileSize uint64, c *Costs
 	}
 	set("stat", ns)
 
+	// readdir: one full enumeration of the root per op — one checked
+	// module crossing per entry, with the name-buffer WRITE transfer
+	// out and back on each.
+	ns, err = best(measureRounds, files, nil, func(i int) error {
+		ents, err := v.Readdir(th, sb, "/")
+		if err != nil {
+			return err
+		}
+		if len(ents) < files {
+			return fmt.Errorf("fsperf: readdir saw %d entries, want >= %d", len(ents), files)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	set("readdir", ns)
+
+	// rename: timed moves to fresh names, untimed moves back between
+	// rounds (and afterwards, so later phases see the standing names).
+	alt := func(i int) string { return fmt.Sprintf("/r%05d", i) }
+	renameBack := func() error {
+		for i := 0; i < files; i++ {
+			if _, err := v.Lookup(th, sb, alt(i)); err == nil {
+				if err := v.Rename(th, sb, alt(i), sb, path(i)); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	ns, err = best(measureRounds, files, renameBack, func(i int) error {
+		return v.Rename(th, sb, path(i), sb, alt(i))
+	})
+	if err != nil {
+		return err
+	}
+	if err := renameBack(); err != nil {
+		return err
+	}
+	set("rename", ns)
+
+	// cache pressure: dirtying writes under a page budget smaller than
+	// the working set, so every insert runs the LRU policy and dirty
+	// victims are forced through the module's writepage (memory-only
+	// mounts cannot evict, so their row isolates the policy's bookkeeping
+	// cost).
+	chunk := fileSize
+	if chunk > mem.PageSize {
+		chunk = mem.PageSize
+	}
+	budget := files / 2
+	if budget < 1 {
+		budget = 1
+	}
+	v.SetPageBudget(budget)
+	ns, err = best(measureRounds, files, func() error {
+		v.ShrinkToBudget(th)
+		return nil
+	}, func(i int) error {
+		_, err := v.Write(th, sb, path(i), 0, payload[:chunk])
+		return err
+	})
+	v.SetPageBudget(0)
+	if err != nil {
+		return err
+	}
+	if err := v.Sync(th, sb); err != nil {
+		return err
+	}
+	set("cache pressure", ns)
+
+	// remount: the durability round-trip — sync, unmount, mount, and one
+	// recovered-namespace stat. Only meaningful when a disk holds the
+	// namespace.
+	if flags, _ := rig.K.Sys.AS.ReadU64(v.SBField(sb, "flags")); flags&vfs.SBMemOnly == 0 {
+		const remounts = 4
+		ns, err = best(measureRounds, remounts, nil, func(i int) error {
+			if err := v.Sync(th, sb); err != nil {
+				return err
+			}
+			if err := v.Unmount(th, sb); err != nil {
+				return err
+			}
+			nsb, err := v.Mount(th, rig.FsID, rig.Dev)
+			if err != nil {
+				return err
+			}
+			sb = nsb
+			if _, _, err := v.Stat(th, sb, path(0)); err != nil {
+				return err
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		set("remount", ns)
+	}
+
 	// unlink: timed removal, untimed recreation between rounds.
 	ns, err = best(measureRounds, files, func() error {
 		for i := 0; i < files; i++ {
@@ -306,9 +414,44 @@ func BuildTable(c *Costs) []Row {
 // Format renders the table for one filesystem.
 func Format(c *Costs) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-12s %14s %14s %10s\n", c.Kind, "Stock ns/op", "LXFI ns/op", "overhead")
+	fmt.Fprintf(&b, "%-14s %14s %14s %10s\n", c.Kind, "Stock ns/op", "LXFI ns/op", "overhead")
 	for _, r := range BuildTable(c) {
-		fmt.Fprintf(&b, "%-12s %14.0f %14.0f %9.0f%%\n", r.Op, r.StockNs, r.LxfiNs, r.Overhead)
+		fmt.Fprintf(&b, "%-14s %14.0f %14.0f %9.0f%%\n", r.Op, r.StockNs, r.LxfiNs, r.Overhead)
 	}
 	return b.String()
+}
+
+// jsonRow mirrors Row with stable snake_case keys for the CI artifact.
+type jsonRow struct {
+	Op          string  `json:"op"`
+	StockNs     float64 `json:"stock_ns"`
+	LxfiNs      float64 `json:"lxfi_ns"`
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
+type jsonFS struct {
+	FS   string    `json:"fs"`
+	Rows []jsonRow `json:"rows"`
+}
+
+type jsonDoc struct {
+	Bench    string   `json:"bench"`
+	Files    int      `json:"files"`
+	FileSize uint64   `json:"file_size"`
+	Results  []jsonFS `json:"results"`
+}
+
+// JSON serializes measured costs as the machine-readable report CI
+// archives as BENCH_fsperf.json, so the perf trajectory of every op is
+// tracked run over run.
+func JSON(cs []*Costs, files int, fileSize uint64) ([]byte, error) {
+	doc := jsonDoc{Bench: "fsperf", Files: files, FileSize: fileSize}
+	for _, c := range cs {
+		f := jsonFS{FS: string(c.Kind), Rows: []jsonRow{}}
+		for _, r := range BuildTable(c) {
+			f.Rows = append(f.Rows, jsonRow{Op: r.Op, StockNs: r.StockNs, LxfiNs: r.LxfiNs, OverheadPct: r.Overhead})
+		}
+		doc.Results = append(doc.Results, f)
+	}
+	return json.MarshalIndent(doc, "", "  ")
 }

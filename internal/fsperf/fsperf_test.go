@@ -1,6 +1,7 @@
 package fsperf_test
 
 import (
+	"encoding/json"
 	"testing"
 
 	"lxfi/internal/core"
@@ -50,15 +51,71 @@ func TestMeasureCostsProducesAllOps(t *testing.T) {
 		t.Fatal("empty table")
 	}
 
-	// Memory-only mounts have no cold-read path, so the row is omitted
-	// rather than mislabeled.
+	// Memory-only mounts have no cold-read path and nothing durable to
+	// remount, so those rows are omitted rather than mislabeled — but
+	// the new workload phases must be present for both filesystems.
 	c, err = fsperf.MeasureCosts(fsperf.Tmpfs, 8, mem.PageSize)
 	if err != nil {
 		t.Fatal(err)
 	}
+	seen := make(map[string]bool)
 	for _, r := range fsperf.BuildTable(c) {
 		if r.Op == "read cold" {
 			t.Fatal("tmpfs reported a cold-read row despite being memory-only")
+		}
+		if r.Op == "remount" {
+			t.Fatal("tmpfs reported a remount row despite being memory-only")
+		}
+		seen[r.Op] = true
+	}
+	for _, op := range []string{"readdir", "rename", "cache pressure"} {
+		if !seen[op] {
+			t.Fatalf("tmpfs table is missing the %q phase", op)
+		}
+	}
+}
+
+// TestJSONReportShape: the CI artifact must carry both filesystems and
+// every measured op with nonzero costs under both builds.
+func TestJSONReportShape(t *testing.T) {
+	var all []*fsperf.Costs
+	for _, kind := range []fsperf.Kind{fsperf.Tmpfs, fsperf.Minix} {
+		c, err := fsperf.MeasureCosts(kind, 4, mem.PageSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, c)
+	}
+	out, err := fsperf.JSON(all, 4, mem.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Bench   string `json:"bench"`
+		Files   int    `json:"files"`
+		Results []struct {
+			FS   string `json:"fs"`
+			Rows []struct {
+				Op      string  `json:"op"`
+				StockNs float64 `json:"stock_ns"`
+				LxfiNs  float64 `json:"lxfi_ns"`
+			} `json:"rows"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if doc.Bench != "fsperf" || doc.Files != 4 || len(doc.Results) != 2 {
+		t.Fatalf("bad document shape: %s", out)
+	}
+	for _, res := range doc.Results {
+		if len(res.Rows) == 0 {
+			t.Fatalf("%s has no rows", res.FS)
+		}
+		for _, row := range res.Rows {
+			if row.StockNs <= 0 || row.LxfiNs <= 0 {
+				t.Fatalf("%s/%s has a zero cost", res.FS, row.Op)
+			}
 		}
 	}
 }

@@ -19,16 +19,19 @@ import (
 
 // Errno values (returned as negative numbers in the usual kernel style).
 const (
-	EPERM  = 1
-	ENOENT = 2
-	EIO    = 5
-	ENOMEM = 12
-	EFAULT = 14
-	EBUSY  = 16
-	EEXIST = 17
-	EINVAL = 22
-	EFBIG  = 27
-	ENOSPC = 28
+	EPERM   = 1
+	ENOENT  = 2
+	EIO     = 5
+	ENOMEM  = 12
+	EFAULT  = 14
+	EBUSY   = 16
+	EEXIST  = 17
+	EXDEV   = 18
+	ENOTDIR = 20
+	EISDIR  = 21
+	EINVAL  = 22
+	EFBIG   = 27
+	ENOSPC  = 28
 )
 
 // Err encodes -errno as a uint64 return value.
@@ -99,6 +102,9 @@ func New() *Kernel {
 	sys.RegisterConst("EFAULT", EFAULT)
 	sys.RegisterConst("EBUSY", EBUSY)
 	sys.RegisterConst("EEXIST", EEXIST)
+	sys.RegisterConst("EXDEV", EXDEV)
+	sys.RegisterConst("ENOTDIR", ENOTDIR)
+	sys.RegisterConst("EISDIR", EISDIR)
 	sys.RegisterConst("EINVAL", EINVAL)
 	sys.RegisterConst("EFBIG", EFBIG)
 	sys.RegisterConst("ENOSPC", ENOSPC)

@@ -6,14 +6,25 @@
 // persists clean pages through pc_writeback, proving ownership with the
 // REF(struct page) capability the writepage contract hands it.
 //
-// Directory entries live in module memory (this simulation does not
-// persist the namespace); the data path is what exercises the
-// cross-substrate story: an isolated filesystem module mounted on the
-// isolated block layer.
+// The namespace is durable too: every extent slot has a one-sector
+// directory-table record after the data region (name, parent slot, mode,
+// size), written through dm_write_sectors from a module-owned record
+// buffer. mount scans the table and rebuilds the full directory tree, so
+// a remount recovers everything from the disk alone — the in-memory
+// dirent list is just the mounted-state cache of the table.
+//
+// Like tmpfssim, the module ships a deliberate compromise vector: the
+// CmdTamper ioctl arms a corrupted writepage that scribbles on the page
+// it is asked to persist. writepage only ever receives a REF capability,
+// so under LXFI the scribble is a violation; on the stock kernel the
+// tampered bytes reach the disk — and because LRU eviction of a dirty
+// page forces writepage, an attacker can trigger the corruption with
+// nothing but memory pressure.
 package minixsim
 
 import (
 	"bytes"
+	"fmt"
 
 	"lxfi/internal/blockdev"
 	"lxfi/internal/core"
@@ -26,15 +37,49 @@ import (
 // FsID is the filesystem id minixsim registers.
 const FsID = 2
 
+// CmdTamper arms the compromised writepage: every page persisted from
+// then on has its first 8 bytes overwritten with TamperValue first.
+const CmdTamper = 0x7101
+
+// CmdPokeDisk is a second compromise vector: write one record-sized
+// burst of module memory to sector 0 of the device given in arg. Aimed
+// at a foreign device it is a cross-principal disk write —
+// dm_write_sectors' REF(block device) check stops it under LXFI.
+const CmdPokeDisk = 0x7102
+
+// TamperValue is the marker the corrupted writepage plants.
+const TamperValue = 0x4242424242424242
+
 // On-disk geometry: every inode owns a fixed extent of MaxFilePages
-// pages; extent slots are handed out round-robin per mount.
+// pages; extent slots are handed out round-robin per mount. After the
+// data extents sits the directory table: one sector-sized record per
+// slot, so the namespace survives a remount.
 const (
 	SectorsPerPage = mem.PageSize / blockdev.SectorSize
 	MaxFilePages   = 4
 	SectorsPerFile = MaxFilePages * SectorsPerPage
 	MaxSlots       = 1024
+	// DataSectors is the extent region; the directory table follows it.
+	DataSectors   = MaxSlots * SectorsPerFile
+	DirTabStart   = DataSectors
+	DirTabSectors = MaxSlots
 	// DiskSectors is the disk size a mount expects.
-	DiskSectors = MaxSlots * SectorsPerFile
+	DiskSectors = DataSectors + DirTabSectors
+	// RecSize is the size of one directory-table record (one sector, so
+	// a record is always sector-addressable).
+	RecSize = blockdev.SectorSize
+	// RootSlot is the parent value of records living directly under the
+	// mount root (the root inode itself has no extent slot).
+	RootSlot = MaxSlots
+)
+
+// Directory-table record field offsets.
+const (
+	recUsed   = 0  // u64: 1 = live
+	recParent = 8  // u64: parent's extent slot, RootSlot for the root
+	recMode   = 16 // u64: vfs.ModeFile / vfs.ModeDir
+	recSize   = 24 // u64: logical file size in bytes
+	recName   = 32 // NUL-terminated, at most vfs.NameMax bytes + NUL
 )
 
 // Layout names.
@@ -61,6 +106,7 @@ func Load(t *core.Thread, k *kernel.Kernel, v *vfs.VFS) (*FS, error) {
 		layout.F("next", 8),
 		layout.F("dir", 8),
 		layout.F("inode", 8),
+		layout.F("recsize", 8), // size last persisted to the on-disk record
 		layout.F("name", vfs.NameMax+1),
 	)
 	fs.privLay = defineOnce(k, SbInfo,
@@ -69,12 +115,14 @@ func Load(t *core.Thread, k *kernel.Kernel, v *vfs.VFS) (*FS, error) {
 		layout.F("nextslot", 8),
 		layout.F("freestack", 8), // array of reusable extent slots
 		layout.F("freecount", 8),
+		layout.F("recbuf", 8), // module-owned directory-record buffer
+		layout.F("tamper", 8), // nonzero once CmdTamper armed the compromise
 	)
 
 	m, err := k.Sys.LoadModule(core.ModuleSpec{
 		Name: "minixsim",
 		Imports: []string{"register_filesystem", "iget", "iput", "kmalloc", "kfree",
-			"dm_read_sectors", "pc_writeback", "printk"},
+			"dm_read_sectors", "dm_write_sectors", "pc_writeback", "printk"},
 		DataSize: 4096,
 		Funcs: []core.FuncSpec{
 			{Name: "mount", Type: vfs.FsMount, Impl: fs.mount},
@@ -82,6 +130,8 @@ func Load(t *core.Thread, k *kernel.Kernel, v *vfs.VFS) (*FS, error) {
 			{Name: "create", Type: vfs.FsCreate, Impl: fs.createFn},
 			{Name: "lookup", Type: vfs.FsLookup, Impl: fs.lookup},
 			{Name: "unlink", Type: vfs.FsUnlink, Impl: fs.unlink},
+			{Name: "readdir", Type: vfs.FsReaddir, Impl: fs.readdir},
+			{Name: "rename", Type: vfs.FsRename, Impl: fs.rename},
 			{Name: "readpage", Type: vfs.FsReadPage, Impl: fs.readpage},
 			{Name: "writepage", Type: vfs.FsWritePage, Impl: fs.writepage},
 			{Name: "ioctl", Type: vfs.FsIoctl, Impl: fs.ioctl},
@@ -115,7 +165,7 @@ func (fs *FS) Ops() mem.Addr { return fs.M.Data }
 
 func (fs *FS) init(t *core.Thread, args []uint64) uint64 {
 	mod := t.CurrentModule()
-	for _, slot := range []string{"mount", "kill_sb", "create", "lookup", "unlink", "readpage", "writepage", "ioctl"} {
+	for _, slot := range []string{"mount", "kill_sb", "create", "lookup", "unlink", "readdir", "rename", "readpage", "writepage", "ioctl"} {
 		if err := t.WriteU64(fs.V.OpsSlot(fs.Ops(), slot), uint64(mod.Funcs[slot].Addr)); err != nil {
 			return 1
 		}
@@ -133,6 +183,67 @@ func (fs *FS) priv(t *core.Thread, sb mem.Addr) mem.Addr {
 	return mem.Addr(p)
 }
 
+// parentSlot maps a directory inode to the slot value stored in a
+// directory-table record: the directory's own extent slot, or RootSlot
+// when the directory is the mount root.
+func (fs *FS) parentSlot(t *core.Thread, priv mem.Addr, dir uint64) uint64 {
+	root, _ := t.ReadU64(fs.pvField(priv, "root"))
+	if dir == root {
+		return RootSlot
+	}
+	slot, _ := t.ReadU64(fs.V.InodeField(mem.Addr(dir), "private"))
+	return slot
+}
+
+// writeRec persists one directory-table record from the mount's own
+// record buffer through dm_write_sectors (which checks the module owns
+// the buffer it is persisting).
+func (fs *FS) writeRec(t *core.Thread, sb, priv mem.Addr, slot, used, parent, mode, size uint64, name []byte) bool {
+	buf, _ := t.ReadU64(fs.pvField(priv, "recbuf"))
+	rb := mem.Addr(buf)
+	rec := make([]byte, RecSize)
+	putU64 := func(off int, v uint64) {
+		for i := 0; i < 8; i++ {
+			rec[off+i] = byte(v >> (8 * i))
+		}
+	}
+	putU64(recUsed, used)
+	putU64(recParent, parent)
+	putU64(recMode, mode)
+	putU64(recSize, size)
+	if len(name) > vfs.NameMax {
+		return false
+	}
+	copy(rec[recName:], name)
+	if t.Write(rb, rec) != nil {
+		return false
+	}
+	dev, _ := t.ReadU64(fs.V.SBField(sb, "dev"))
+	ret, err := t.CallKernel("dm_write_sectors", dev, DirTabStart+slot, uint64(rb), RecSize)
+	return err == nil && !kernel.IsErr(ret)
+}
+
+// addDirent links one in-memory directory entry; returns 0 on failure.
+// recsize caches the size stored in the slot's on-disk record, so
+// writepage only rewrites the record when the size actually changed.
+func (fs *FS) addDirent(t *core.Thread, priv mem.Addr, dir, ino uint64, name []byte, recsize uint64) uint64 {
+	de, err := t.CallKernel("kmalloc", fs.deLay.Size)
+	if err != nil || de == 0 {
+		return 0
+	}
+	head, _ := t.ReadU64(fs.pvField(priv, "head"))
+	if t.WriteU64(fs.deField(mem.Addr(de), "next"), head) != nil ||
+		t.WriteU64(fs.deField(mem.Addr(de), "dir"), dir) != nil ||
+		t.WriteU64(fs.deField(mem.Addr(de), "inode"), ino) != nil ||
+		t.WriteU64(fs.deField(mem.Addr(de), "recsize"), recsize) != nil ||
+		t.Write(fs.deField(mem.Addr(de), "name"), append(append([]byte{}, name...), 0)) != nil ||
+		t.WriteU64(fs.pvField(priv, "head"), de) != nil {
+		_, _ = t.CallKernel("kfree", de)
+		return 0
+	}
+	return de
+}
+
 func (fs *FS) mount(t *core.Thread, args []uint64) uint64 {
 	sb := mem.Addr(args[0])
 	priv, err := t.CallKernel("kmalloc", fs.privLay.Size)
@@ -144,8 +255,15 @@ func (fs *FS) mount(t *core.Thread, args []uint64) uint64 {
 		_, _ = t.CallKernel("kfree", priv)
 		return 0
 	}
+	recbuf, err := t.CallKernel("kmalloc", RecSize)
+	if err != nil || recbuf == 0 {
+		_, _ = t.CallKernel("kfree", stack)
+		_, _ = t.CallKernel("kfree", priv)
+		return 0
+	}
 	root, err := t.CallKernel("iget", uint64(sb))
 	if err != nil || root == 0 {
+		_, _ = t.CallKernel("kfree", recbuf)
 		_, _ = t.CallKernel("kfree", stack)
 		_, _ = t.CallKernel("kfree", priv)
 		return 0
@@ -157,17 +275,186 @@ func (fs *FS) mount(t *core.Thread, args []uint64) uint64 {
 		t.WriteU64(fs.pvField(mem.Addr(priv), "nextslot"), 0) != nil ||
 		t.WriteU64(fs.pvField(mem.Addr(priv), "freestack"), stack) != nil ||
 		t.WriteU64(fs.pvField(mem.Addr(priv), "freecount"), 0) != nil ||
+		t.WriteU64(fs.pvField(mem.Addr(priv), "recbuf"), recbuf) != nil ||
+		t.WriteU64(fs.pvField(mem.Addr(priv), "tamper"), 0) != nil ||
 		t.WriteU64(fs.V.SBField(sb, "private"), priv) != nil ||
 		// Declare the per-file capacity so the VFS rejects oversized
 		// writes up front instead of caching pages that can never be
 		// persisted.
 		t.WriteU64(fs.V.SBField(sb, "maxbytes"), MaxFilePages*mem.PageSize) != nil {
 		_, _ = t.CallKernel("iput", root)
+		_, _ = t.CallKernel("kfree", recbuf)
+		_, _ = t.CallKernel("kfree", stack)
+		_, _ = t.CallKernel("kfree", priv)
+		return 0
+	}
+	if !fs.recoverNamespace(t, sb, mem.Addr(priv)) {
+		_, _ = t.CallKernel("iput", root)
+		_, _ = t.CallKernel("kfree", recbuf)
 		_, _ = t.CallKernel("kfree", stack)
 		_, _ = t.CallKernel("kfree", priv)
 		return 0
 	}
 	return root
+}
+
+// recoverNamespace rebuilds the directory tree from the on-disk
+// directory table: one inode per live record, then one in-memory dirent
+// per record once every parent inode exists. The free-slot bookkeeping
+// is reconstructed from the used bits, so slot allocation continues
+// where the previous mount stopped.
+func (fs *FS) recoverNamespace(t *core.Thread, sb, priv mem.Addr) bool {
+	dev, _ := t.ReadU64(fs.V.SBField(sb, "dev"))
+	buf, _ := t.ReadU64(fs.pvField(priv, "recbuf"))
+	root, _ := t.ReadU64(fs.pvField(priv, "root"))
+
+	type rec struct {
+		parent, mode, size uint64
+		name               []byte
+		ino                uint64
+	}
+	recs := make(map[uint64]*rec)
+	for slot := uint64(0); slot < MaxSlots; slot++ {
+		ret, err := t.CallKernel("dm_read_sectors", dev, DirTabStart+slot, buf, RecSize)
+		if err != nil || kernel.IsErr(ret) {
+			return false
+		}
+		raw, err := t.ReadBytes(mem.Addr(buf), RecSize)
+		if err != nil {
+			return false
+		}
+		getU64 := func(off int) uint64 {
+			v := uint64(0)
+			for i := 0; i < 8; i++ {
+				v |= uint64(raw[off+i]) << (8 * i)
+			}
+			return v
+		}
+		if getU64(recUsed) != 1 {
+			continue
+		}
+		name := raw[recName : recName+vfs.NameMax+1]
+		if i := bytes.IndexByte(name, 0); i >= 0 {
+			name = name[:i]
+		}
+		recs[slot] = &rec{parent: getU64(recParent), mode: getU64(recMode), size: getU64(recSize),
+			name: append([]byte{}, name...)}
+	}
+
+	// Deduplicate (parent, name) collisions — a crash between a rename's
+	// record write and the replaced target's record kill can leave two
+	// live records under one name. The lowest slot wins; the loser is
+	// treated like an orphan (dropped, slot reusable, record overwritten
+	// on reuse).
+	byName := make(map[string]uint64)
+	for slot := uint64(0); slot < MaxSlots; slot++ {
+		r, ok := recs[slot]
+		if !ok {
+			continue
+		}
+		key := fmt.Sprintf("%d/%s", r.parent, r.name)
+		if _, dup := byName[key]; dup {
+			delete(recs, slot)
+			continue
+		}
+		byName[key] = slot
+	}
+
+	// Reachability from the root, BFS over parent links: a record whose
+	// parent chain is broken (parent record gone or not a directory) or
+	// cyclic — possible on a crashed or corrupted table — is an orphan.
+	// Orphans are dropped entirely: no inode, no dirent, and their slots
+	// become reusable, so the dead records are overwritten on reuse
+	// rather than resurrected as ghosts on every future mount.
+	children := make(map[uint64][]uint64)
+	for slot, r := range recs {
+		children[r.parent] = append(children[r.parent], slot)
+	}
+	reachable := make(map[uint64]bool)
+	queue := append([]uint64{}, children[RootSlot]...)
+	for len(queue) > 0 {
+		slot := queue[0]
+		queue = queue[1:]
+		if reachable[slot] {
+			continue
+		}
+		reachable[slot] = true
+		if recs[slot].mode == vfs.ModeDir {
+			queue = append(queue, children[slot]...)
+		}
+	}
+
+	// bail releases everything a partial recovery allocated: the dirent
+	// list is unlinked and freed, every inode created so far is iput.
+	// mount's own error branch then frees priv/stack/recbuf/root.
+	bail := func() bool {
+		cur, _ := t.ReadU64(fs.pvField(priv, "head"))
+		for cur != 0 {
+			next, _ := t.ReadU64(fs.deField(mem.Addr(cur), "next"))
+			_, _ = t.CallKernel("kfree", cur)
+			cur = next
+		}
+		_ = t.WriteU64(fs.pvField(priv, "head"), 0)
+		for _, r := range recs {
+			if r.ino != 0 {
+				_, _ = t.CallKernel("iput", r.ino)
+			}
+		}
+		return false
+	}
+
+	// Pass 1: an inode per reachable record.
+	maxUsed := int64(-1)
+	for slot, r := range recs {
+		if !reachable[slot] {
+			continue
+		}
+		ino, err := t.CallKernel("iget", uint64(sb))
+		if err != nil || ino == 0 {
+			return bail()
+		}
+		r.ino = ino
+		nlink := uint64(1)
+		if r.mode == vfs.ModeDir {
+			nlink = 2
+		}
+		if t.WriteU64(fs.V.InodeField(mem.Addr(ino), "mode"), r.mode) != nil ||
+			t.WriteU64(fs.V.InodeField(mem.Addr(ino), "nlink"), nlink) != nil ||
+			t.WriteU64(fs.V.InodeField(mem.Addr(ino), "size"), r.size) != nil ||
+			t.WriteU64(fs.V.InodeField(mem.Addr(ino), "private"), slot) != nil {
+			return bail()
+		}
+		if int64(slot) > maxUsed {
+			maxUsed = int64(slot)
+		}
+	}
+
+	// Pass 2: the directory entries, now that every parent inode exists.
+	for slot, r := range recs {
+		if !reachable[slot] {
+			continue
+		}
+		parent := root
+		if r.parent != RootSlot {
+			parent = recs[r.parent].ino
+		}
+		if fs.addDirent(t, priv, parent, r.ino, r.name, r.size) == 0 {
+			return bail()
+		}
+	}
+
+	// Slot bookkeeping: allocation resumes after the highest reachable
+	// slot; every other slot below it is reusable.
+	next := uint64(maxUsed + 1)
+	if t.WriteU64(fs.pvField(priv, "nextslot"), next) != nil {
+		return false
+	}
+	for slot := uint64(0); slot < next; slot++ {
+		if !reachable[slot] {
+			fs.freeSlot(t, priv, slot)
+		}
+	}
+	return true
 }
 
 func (fs *FS) killSB(t *core.Thread, args []uint64) uint64 {
@@ -186,8 +473,10 @@ func (fs *FS) killSB(t *core.Thread, args []uint64) uint64 {
 	}
 	root, _ := t.ReadU64(fs.pvField(priv, "root"))
 	stack, _ := t.ReadU64(fs.pvField(priv, "freestack"))
+	recbuf, _ := t.ReadU64(fs.pvField(priv, "recbuf"))
 	_, _ = t.CallKernel("iput", root)
 	_, _ = t.CallKernel("kfree", stack)
+	_, _ = t.CallKernel("kfree", recbuf)
 	_, _ = t.CallKernel("kfree", uint64(priv))
 	return 0
 }
@@ -246,41 +535,40 @@ func (fs *FS) createFn(t *core.Thread, args []uint64) uint64 {
 	if mode == vfs.ModeDir {
 		nlink = 2
 	}
-	if t.WriteU64(fs.V.InodeField(mem.Addr(ino), "mode"), mode) != nil ||
+	nameBytes, err := t.ReadBytes(name, nlen)
+	if err != nil ||
+		t.WriteU64(fs.V.InodeField(mem.Addr(ino), "mode"), mode) != nil ||
 		t.WriteU64(fs.V.InodeField(mem.Addr(ino), "nlink"), nlink) != nil ||
 		t.WriteU64(fs.V.InodeField(mem.Addr(ino), "private"), slot) != nil {
 		fs.freeSlot(t, priv, slot)
 		_, _ = t.CallKernel("iput", ino)
 		return 0
 	}
-	de, err := t.CallKernel("kmalloc", fs.deLay.Size)
-	if err != nil || de == 0 {
+	// Persist the record before linking the entry: a crash between the
+	// two leaves a record a future mount recovers, never a file that
+	// silently vanishes.
+	if !fs.writeRec(t, sb, priv, slot, 1, fs.parentSlot(t, priv, dir), mode, 0, nameBytes) {
 		fs.freeSlot(t, priv, slot)
 		_, _ = t.CallKernel("iput", ino)
 		return 0
 	}
-	head, _ := t.ReadU64(fs.pvField(priv, "head"))
-	nameBytes, err := t.ReadBytes(name, nlen)
-	if err != nil ||
-		t.WriteU64(fs.deField(mem.Addr(de), "next"), head) != nil ||
-		t.WriteU64(fs.deField(mem.Addr(de), "dir"), dir) != nil ||
-		t.WriteU64(fs.deField(mem.Addr(de), "inode"), ino) != nil ||
-		t.Write(fs.deField(mem.Addr(de), "name"), append(nameBytes, 0)) != nil ||
-		t.WriteU64(fs.pvField(priv, "head"), de) != nil {
+	if fs.addDirent(t, priv, dir, ino, nameBytes, 0) == 0 {
+		_ = fs.writeRec(t, sb, priv, slot, 0, 0, 0, 0, nil)
 		fs.freeSlot(t, priv, slot)
-		_, _ = t.CallKernel("kfree", de)
 		_, _ = t.CallKernel("iput", ino)
 		return 0
 	}
 	return ino
 }
 
+// findEntry walks the directory list for (dir, name); name == nil
+// matches on inode instead. dir == 0 matches any directory.
 func (fs *FS) findEntry(t *core.Thread, sb mem.Addr, dir uint64, name []byte, inode uint64) (entry, prev mem.Addr) {
 	priv := fs.priv(t, sb)
 	cur, _ := t.ReadU64(fs.pvField(priv, "head"))
 	for cur != 0 {
 		d, _ := t.ReadU64(fs.deField(mem.Addr(cur), "dir"))
-		if d == dir {
+		if d == dir || dir == 0 {
 			if name != nil {
 				got, err := t.ReadBytes(fs.deField(mem.Addr(cur), "name"), uint64(len(name)+1))
 				if err == nil && bytes.Equal(got[:len(name)], name) && got[len(name)] == 0 {
@@ -316,12 +604,74 @@ func (fs *FS) lookup(t *core.Thread, args []uint64) uint64 {
 	return ino
 }
 
+// readdir returns the pos-th entry of dir (its inode address), writing
+// the name into the kernel's lent buffer.
+func (fs *FS) readdir(t *core.Thread, args []uint64) uint64 {
+	sb, dir, pos, buf := mem.Addr(args[0]), args[1], args[2], mem.Addr(args[3])
+	priv := fs.priv(t, sb)
+	cur, _ := t.ReadU64(fs.pvField(priv, "head"))
+	seen := uint64(0)
+	for cur != 0 {
+		d, _ := t.ReadU64(fs.deField(mem.Addr(cur), "dir"))
+		if d == dir {
+			if seen == pos {
+				name, err := t.ReadBytes(fs.deField(mem.Addr(cur), "name"), vfs.NameMax+1)
+				if err != nil || t.Write(buf, name) != nil {
+					return 0
+				}
+				ino, _ := t.ReadU64(fs.deField(mem.Addr(cur), "inode"))
+				return ino
+			}
+			seen++
+		}
+		cur, _ = t.ReadU64(fs.deField(mem.Addr(cur), "next"))
+	}
+	return 0
+}
+
+// rename relinks the entry in memory and rewrites its directory-table
+// record (new parent, new name) — record first, so the disk is never
+// behind the namespace a crash would recover.
+func (fs *FS) rename(t *core.Thread, args []uint64) uint64 {
+	sb, olddir, inode, newdir, name, nlen := mem.Addr(args[0]), args[1], args[2], args[3], mem.Addr(args[4]), args[5]
+	if nlen > vfs.NameMax {
+		return kernel.Err(kernel.EINVAL)
+	}
+	priv := fs.priv(t, sb)
+	de, _ := fs.findEntry(t, sb, olddir, nil, inode)
+	if de == 0 {
+		return kernel.Err(kernel.ENOENT)
+	}
+	nameBytes, err := t.ReadBytes(name, nlen)
+	if err != nil {
+		return kernel.Err(kernel.EFAULT)
+	}
+	slot, _ := t.ReadU64(fs.V.InodeField(mem.Addr(inode), "private"))
+	mode, _ := t.ReadU64(fs.V.InodeField(mem.Addr(inode), "mode"))
+	size, _ := t.ReadU64(fs.V.InodeField(mem.Addr(inode), "size"))
+	if !fs.writeRec(t, sb, priv, slot, 1, fs.parentSlot(t, priv, newdir), mode, size, nameBytes) {
+		return kernel.Err(kernel.EIO)
+	}
+	if t.WriteU64(fs.deField(de, "dir"), newdir) != nil ||
+		t.WriteU64(fs.deField(de, "recsize"), size) != nil ||
+		t.Write(fs.deField(de, "name"), append(nameBytes, 0)) != nil {
+		return kernel.Err(kernel.EFAULT)
+	}
+	return 0
+}
+
 func (fs *FS) unlink(t *core.Thread, args []uint64) uint64 {
 	sb, dir, inode := mem.Addr(args[0]), args[1], args[2]
 	priv := fs.priv(t, sb)
 	de, prev := fs.findEntry(t, sb, dir, nil, inode)
 	if de == 0 {
 		return kernel.Err(kernel.ENOENT)
+	}
+	// Kill the record first: better a crash that forgets an unlink was
+	// in flight than one that resurrects a half-removed file.
+	slot, _ := t.ReadU64(fs.V.InodeField(mem.Addr(inode), "private"))
+	if !fs.writeRec(t, sb, priv, slot, 0, 0, 0, 0, nil) {
+		return kernel.Err(kernel.EIO)
 	}
 	next, _ := t.ReadU64(fs.deField(de, "next"))
 	if prev == 0 {
@@ -332,7 +682,6 @@ func (fs *FS) unlink(t *core.Thread, args []uint64) uint64 {
 		return kernel.Err(kernel.EFAULT)
 	}
 	// Reclaim the extent slot before the inode goes away.
-	slot, _ := t.ReadU64(fs.V.InodeField(mem.Addr(inode), "private"))
 	fs.freeSlot(t, priv, slot)
 	if _, err := t.CallKernel("kfree", uint64(de)); err != nil {
 		return kernel.Err(kernel.EFAULT)
@@ -382,20 +731,76 @@ func (fs *FS) readpage(t *core.Thread, args []uint64) uint64 {
 }
 
 // writepage persists the clean page; the REF(struct page) capability
-// received from the writepage contract is what pc_writeback checks.
+// received from the writepage contract is what pc_writeback checks. The
+// inode's current size is folded into the directory-table record so a
+// remount recovers it. When CmdTamper has armed the compromise, the
+// module first scribbles on the page it was asked to persist — a write
+// its REF capability does not permit, so LXFI stops it; the stock
+// kernel lets the corruption reach the disk.
 func (fs *FS) writepage(t *core.Thread, args []uint64) uint64 {
 	sb, ino, idx, page := mem.Addr(args[0]), mem.Addr(args[1]), args[2], args[3]
 	if idx >= MaxFilePages {
 		return kernel.Err(kernel.ENOSPC)
+	}
+	priv := fs.priv(t, sb)
+	if tamper, _ := t.ReadU64(fs.pvField(priv, "tamper")); tamper != 0 {
+		if err := t.WriteU64(mem.Addr(page), TamperValue); err != nil {
+			return kernel.Err(kernel.EFAULT)
+		}
 	}
 	dev, _ := t.ReadU64(fs.V.SBField(sb, "dev"))
 	ret, err := t.CallKernel("pc_writeback", dev, fs.extent(t, ino, idx), page)
 	if err != nil || kernel.IsErr(ret) {
 		return kernel.Err(kernel.EIO)
 	}
+	// Fold the size into the record — but only when it changed since the
+	// last record write (the dirent caches the persisted size), so a
+	// multi-page sync rewrites the record once, not once per page. The
+	// entry gives us parent and name; a missing entry (concurrent
+	// unlink) just skips the update.
+	if de, _ := fs.findEntry(t, sb, 0, nil, uint64(ino)); de != 0 {
+		size, _ := t.ReadU64(fs.V.InodeField(ino, "size"))
+		if cached, _ := t.ReadU64(fs.deField(de, "recsize")); cached != size {
+			dir, _ := t.ReadU64(fs.deField(de, "dir"))
+			name, err := t.ReadBytes(fs.deField(de, "name"), vfs.NameMax+1)
+			if err == nil {
+				if i := bytes.IndexByte(name, 0); i >= 0 {
+					name = name[:i]
+				}
+				slot, _ := t.ReadU64(fs.V.InodeField(ino, "private"))
+				mode, _ := t.ReadU64(fs.V.InodeField(ino, "mode"))
+				if fs.writeRec(t, sb, priv, slot, 1, fs.parentSlot(t, priv, dir), mode, size, name) {
+					_ = t.WriteU64(fs.deField(de, "recsize"), size)
+				}
+			}
+		}
+	}
 	return 0
 }
 
+// ioctl carries the deliberate compromise vectors: CmdTamper arms the
+// corrupted writepage, CmdPokeDisk aims a raw sector write at an
+// attacker-chosen device.
 func (fs *FS) ioctl(t *core.Thread, args []uint64) uint64 {
+	sb, cmd, arg := mem.Addr(args[0]), args[1], args[2]
+	switch cmd {
+	case CmdTamper:
+		priv := fs.priv(t, sb)
+		if err := t.WriteU64(fs.pvField(priv, "tamper"), 1); err != nil {
+			return kernel.Err(kernel.EFAULT)
+		}
+		return 0
+	case CmdPokeDisk:
+		priv := fs.priv(t, sb)
+		buf, _ := t.ReadU64(fs.pvField(priv, "recbuf"))
+		if err := t.WriteU64(mem.Addr(buf), TamperValue); err != nil {
+			return kernel.Err(kernel.EFAULT)
+		}
+		ret, err := t.CallKernel("dm_write_sectors", arg, 0, buf, RecSize)
+		if err != nil || kernel.IsErr(ret) {
+			return kernel.Err(kernel.EIO)
+		}
+		return 0
+	}
 	return kernel.Err(kernel.EINVAL)
 }

@@ -77,6 +77,8 @@ func Load(t *core.Thread, k *kernel.Kernel, v *vfs.VFS) (*FS, error) {
 			{Name: "create", Type: vfs.FsCreate, Impl: fs.createFn},
 			{Name: "lookup", Type: vfs.FsLookup, Impl: fs.lookup},
 			{Name: "unlink", Type: vfs.FsUnlink, Impl: fs.unlink},
+			{Name: "readdir", Type: vfs.FsReaddir, Impl: fs.readdir},
+			{Name: "rename", Type: vfs.FsRename, Impl: fs.rename},
 			{Name: "readpage", Type: vfs.FsReadPage, Impl: fs.readpage},
 			{Name: "writepage", Type: vfs.FsWritePage, Impl: fs.writepage},
 			{Name: "ioctl", Type: vfs.FsIoctl, Impl: fs.ioctl},
@@ -110,7 +112,7 @@ func (fs *FS) Ops() mem.Addr { return fs.M.Data }
 
 func (fs *FS) init(t *core.Thread, args []uint64) uint64 {
 	mod := t.CurrentModule()
-	for _, slot := range []string{"mount", "kill_sb", "create", "lookup", "unlink", "readpage", "writepage", "ioctl"} {
+	for _, slot := range []string{"mount", "kill_sb", "create", "lookup", "unlink", "readdir", "rename", "readpage", "writepage", "ioctl"} {
 		if err := t.WriteU64(fs.V.OpsSlot(fs.Ops(), slot), uint64(mod.Funcs[slot].Addr)); err != nil {
 			return 1
 		}
@@ -257,6 +259,52 @@ func (fs *FS) lookup(t *core.Thread, args []uint64) uint64 {
 	}
 	ino, _ := t.ReadU64(fs.deField(de, "inode"))
 	return ino
+}
+
+// readdir returns the pos-th entry of dir: the entry's inode address,
+// with its name written into the kernel's lent buffer (the module holds
+// WRITE on it for exactly this call). Returns 0 past the end.
+func (fs *FS) readdir(t *core.Thread, args []uint64) uint64 {
+	sb, dir, pos, buf := mem.Addr(args[0]), args[1], args[2], mem.Addr(args[3])
+	priv := fs.priv(t, sb)
+	cur, _ := t.ReadU64(fs.pvField(priv, "head"))
+	seen := uint64(0)
+	for cur != 0 {
+		d, _ := t.ReadU64(fs.deField(mem.Addr(cur), "dir"))
+		if d == dir {
+			if seen == pos {
+				name, err := t.ReadBytes(fs.deField(mem.Addr(cur), "name"), vfs.NameMax+1)
+				if err != nil || t.Write(buf, name) != nil {
+					return 0
+				}
+				ino, _ := t.ReadU64(fs.deField(mem.Addr(cur), "inode"))
+				return ino
+			}
+			seen++
+		}
+		cur, _ = t.ReadU64(fs.deField(mem.Addr(cur), "next"))
+	}
+	return 0
+}
+
+// rename relinks the directory entry of inode from olddir to newdir
+// under a new name; the entry object itself stays where it is.
+func (fs *FS) rename(t *core.Thread, args []uint64) uint64 {
+	sb, olddir, inode, newdir, name, nlen := mem.Addr(args[0]), args[1], args[2], args[3], mem.Addr(args[4]), args[5]
+	if nlen > vfs.NameMax {
+		return kernel.Err(kernel.EINVAL)
+	}
+	de, _ := fs.findEntry(t, sb, olddir, nil, inode)
+	if de == 0 {
+		return kernel.Err(kernel.ENOENT)
+	}
+	nameBytes, err := t.ReadBytes(name, nlen)
+	if err != nil ||
+		t.WriteU64(fs.deField(de, "dir"), newdir) != nil ||
+		t.Write(fs.deField(de, "name"), append(nameBytes, 0)) != nil {
+		return kernel.Err(kernel.EFAULT)
+	}
+	return 0
 }
 
 func (fs *FS) unlink(t *core.Thread, args []uint64) uint64 {

@@ -3,6 +3,7 @@ package vfs
 import (
 	"fmt"
 
+	"lxfi/internal/caps"
 	"lxfi/internal/core"
 	"lxfi/internal/kernel"
 	"lxfi/internal/mem"
@@ -82,6 +83,35 @@ func (v *VFS) pushName(name string) error {
 	return v.K.Sys.AS.WriteCString(v.nameBuf, name)
 }
 
+// childOf resolves one path component under cur: dentry cache first,
+// module lookup on a miss. Returns nil (and no error) when the entry
+// does not exist — the one authoritative "does this name exist" probe,
+// so existence decisions never trust the cache alone (after a remount
+// the cache is cold while the module's table is not).
+func (v *VFS) childOf(t *core.Thread, mnt *mount, cur *dnode, comp string) (*dnode, error) {
+	if c, ok := cur.child[comp]; ok {
+		v.Stats.DcacheHits++
+		return v.dentries[c], nil
+	}
+	v.Stats.DcacheMiss++
+	if err := v.pushName(comp); err != nil {
+		return nil, err
+	}
+	ret, err := t.IndirectCall(v.OpsSlot(mnt.fs.ops, "lookup"), FsLookup,
+		uint64(mnt.sb), uint64(cur.inode), uint64(v.nameBuf), uint64(len(comp)))
+	if err != nil {
+		return nil, err
+	}
+	if ret == 0 {
+		return nil, nil
+	}
+	d, err := v.newDentry(cur.dentry, comp, mem.Addr(ret))
+	if err != nil {
+		return nil, err
+	}
+	return v.dentries[d], nil
+}
+
 // walk resolves path under sb through the dentry cache, calling the
 // module's lookup on each miss. The final component's dnode is returned.
 func (v *VFS) walk(t *core.Thread, sb mem.Addr, path string) (*dnode, error) {
@@ -94,30 +124,43 @@ func (v *VFS) walk(t *core.Thread, sb mem.Addr, path string) (*dnode, error) {
 		if !cur.isDir {
 			return nil, fmt.Errorf("vfs: %q: not a directory", cur.name)
 		}
-		if c, ok := cur.child[comp]; ok {
-			v.Stats.DcacheHits++
-			cur = v.dentries[c]
-			continue
-		}
-		v.Stats.DcacheMiss++
-		if err := v.pushName(comp); err != nil {
-			return nil, err
-		}
-		ret, err := t.IndirectCall(v.OpsSlot(mnt.fs.ops, "lookup"), FsLookup,
-			uint64(sb), uint64(cur.inode), uint64(v.nameBuf), uint64(len(comp)))
+		next, err := v.childOf(t, mnt, cur, comp)
 		if err != nil {
 			return nil, err
 		}
-		if ret == 0 {
+		if next == nil {
 			return nil, fmt.Errorf("vfs: %s: errno %d", comp, kernel.ENOENT)
 		}
-		d, err := v.newDentry(cur.dentry, comp, mem.Addr(ret))
-		if err != nil {
-			return nil, err
-		}
-		cur = v.dentries[d]
+		cur = next
 	}
 	return cur, nil
+}
+
+// splitParent splits a path into its parent directory path and final
+// component.
+func splitParent(path string) (dir, name string, ok bool) {
+	comps := splitPath(path)
+	if len(comps) == 0 {
+		return "", "", false
+	}
+	for _, c := range comps[:len(comps)-1] {
+		dir += "/" + c
+	}
+	return dir, comps[len(comps)-1], true
+}
+
+// dirNotEmpty reports whether a directory holds any entry — cached
+// children first, then the module's table (which is authoritative: a
+// recovered directory's children may never have been looked up).
+func (v *VFS) dirNotEmpty(t *core.Thread, mnt *mount, n *dnode) (bool, error) {
+	if len(n.child) > 0 {
+		return true, nil
+	}
+	if !n.isDir {
+		return false, nil
+	}
+	empty, err := v.dirEmpty(t, mnt, n.inode)
+	return !empty, err
 }
 
 // Lookup resolves path to its inode address.
@@ -135,20 +178,17 @@ func (v *VFS) create(t *core.Thread, sb mem.Addr, path string, mode uint64) (mem
 	if !ok {
 		return 0, fmt.Errorf("vfs: not a mounted superblock: %#x", uint64(sb))
 	}
-	comps := splitPath(path)
-	if len(comps) == 0 {
+	dirPath, name, ok := splitParent(path)
+	if !ok {
 		return 0, fmt.Errorf("vfs: cannot create %q", path)
-	}
-	dirPath := ""
-	for _, c := range comps[:len(comps)-1] {
-		dirPath += "/" + c
 	}
 	dir, err := v.walk(t, sb, dirPath)
 	if err != nil {
 		return 0, err
 	}
-	name := comps[len(comps)-1]
-	if _, exists := dir.child[name]; exists {
+	if existing, err := v.childOf(t, mnt, dir, name); err != nil {
+		return 0, err
+	} else if existing != nil {
 		return 0, fmt.Errorf("vfs: %s: errno %d", name, kernel.EEXIST)
 	}
 	if err := v.pushName(name); err != nil {
@@ -191,7 +231,9 @@ func (v *VFS) Unlink(t *core.Thread, sb mem.Addr, path string) error {
 	if n.parent == 0 {
 		return fmt.Errorf("vfs: cannot unlink the root")
 	}
-	if len(n.child) > 0 {
+	if notEmpty, err := v.dirNotEmpty(t, mnt, n); err != nil {
+		return err
+	} else if notEmpty {
 		return fmt.Errorf("vfs: %s: directory not empty", n.name)
 	}
 	parent := v.dentries[n.parent]
@@ -206,6 +248,214 @@ func (v *VFS) Unlink(t *core.Thread, sb mem.Addr, path string) error {
 	v.dropDentry(n.dentry)
 	v.Stats.Unlinks++
 	return nil
+}
+
+// DirEntry is one readdir result.
+type DirEntry struct {
+	Name string
+	Ino  uint64 // inode number (the "ino" field, not the address)
+	Mode uint64
+}
+
+// MaxDirEntries bounds a single directory enumeration. The module's
+// readdir cursor is module-controlled; without a ceiling a compromised
+// module that never returns "end" would spin the kernel thread forever.
+const MaxDirEntries = 1 << 20
+
+// dirEmpty asks the module whether dir has any entry at all (a readdir
+// probe at position 0). The dentry cache cannot answer "empty": it only
+// holds entries that were already looked up, and after a remount a
+// recovered directory's children exist only in the module's table.
+func (v *VFS) dirEmpty(t *core.Thread, mnt *mount, dir mem.Addr) (bool, error) {
+	ret, err := t.IndirectCall(v.OpsSlot(mnt.fs.ops, "readdir"), FsReaddir,
+		uint64(mnt.sb), uint64(dir), 0, uint64(v.dirBuf))
+	if err != nil {
+		v.K.Sys.Caps.RevokeAll(caps.WriteCap(v.dirBuf, NameMax+1))
+		return false, err
+	}
+	return ret == 0, nil
+}
+
+// Readdir enumerates a directory through the module's readdir callback:
+// one checked crossing per entry, dir_context-style, with the kernel's
+// name buffer lent to the module (WRITE transfer out and back) for each.
+// The dentry cache cannot answer this — it only holds what was already
+// looked up — so enumeration always reflects the module's own table.
+func (v *VFS) Readdir(t *core.Thread, sb mem.Addr, path string) ([]DirEntry, error) {
+	mnt, ok := v.mounts[sb]
+	if !ok {
+		return nil, fmt.Errorf("vfs: not a mounted superblock: %#x", uint64(sb))
+	}
+	n, err := v.walk(t, sb, path)
+	if err != nil {
+		return nil, err
+	}
+	if !n.isDir {
+		return nil, fmt.Errorf("vfs: %q: not a directory", n.name)
+	}
+	as := v.K.Sys.AS
+	var out []DirEntry
+	for pos := uint64(0); ; pos++ {
+		if pos >= MaxDirEntries {
+			return nil, fmt.Errorf("vfs: readdir %s: module never ended the listing (errno %d)", path, kernel.EIO)
+		}
+		ret, err := t.IndirectCall(v.OpsSlot(mnt.fs.ops, "readdir"), FsReaddir,
+			uint64(sb), uint64(n.inode), pos, uint64(v.dirBuf))
+		if err != nil {
+			// Mirror the readpage failure path: an aborted crossing must
+			// not leave the module holding WRITE on the kernel's buffer.
+			v.K.Sys.Caps.RevokeAll(caps.WriteCap(v.dirBuf, NameMax+1))
+			return nil, err
+		}
+		if ret == 0 {
+			return out, nil
+		}
+		v.Stats.Readdirs++
+		name, err := as.ReadCString(v.dirBuf, NameMax+1)
+		if err != nil {
+			return nil, err
+		}
+		ino, _ := as.ReadU64(v.InodeField(mem.Addr(ret), "ino"))
+		mode, _ := as.ReadU64(v.InodeField(mem.Addr(ret), "mode"))
+		out = append(out, DirEntry{Name: name, Ino: ino, Mode: mode})
+	}
+}
+
+// Rename moves srcPath on srcSB to dstPath on dstSB. Both paths must be
+// on the same mount (a cross-mount rename is EXDEV, as in Linux — the
+// two superblocks are different principals and an inode cannot change
+// owners by renaming). An existing target of the same kind is replaced,
+// directories only when empty. The module relinks its directory entry;
+// the kernel then moves the dentry-trie subtree, so cached children of a
+// renamed directory stay resolvable under the new path.
+func (v *VFS) Rename(t *core.Thread, srcSB mem.Addr, srcPath string, dstSB mem.Addr, dstPath string) error {
+	mnt, ok := v.mounts[srcSB]
+	if !ok {
+		return fmt.Errorf("vfs: not a mounted superblock: %#x", uint64(srcSB))
+	}
+	if _, ok := v.mounts[dstSB]; !ok {
+		return fmt.Errorf("vfs: not a mounted superblock: %#x", uint64(dstSB))
+	}
+	if srcSB != dstSB {
+		return fmt.Errorf("vfs: rename %s -> %s: errno %d (cross-mount)", srcPath, dstPath, kernel.EXDEV)
+	}
+	sb := srcSB
+	n, err := v.walk(t, sb, srcPath)
+	if err != nil {
+		return err
+	}
+	if n.parent == 0 {
+		return fmt.Errorf("vfs: cannot rename the root")
+	}
+	dstDirPath, newName, ok := splitParent(dstPath)
+	if !ok {
+		return fmt.Errorf("vfs: cannot rename to %q", dstPath)
+	}
+	dstDir, err := v.walk(t, sb, dstDirPath)
+	if err != nil {
+		return err
+	}
+	if !dstDir.isDir {
+		return fmt.Errorf("vfs: %q: not a directory", dstDir.name)
+	}
+	// Renaming a directory under itself would detach the subtree.
+	for p := dstDir; p != nil; p = v.dentries[p.parent] {
+		if p == n {
+			return fmt.Errorf("vfs: rename %s -> %s: errno %d (into own subtree)", srcPath, dstPath, kernel.EINVAL)
+		}
+	}
+	// The per-mount capability re-check: the mount's instance principal
+	// must own the inode being moved and both directory inodes. Under
+	// enforcement a stale or foreign inode address fails here, before
+	// any module state changes.
+	oldDir := v.dentries[n.parent]
+	if mnt.fs.module != nil && v.K.Sys.Mon.Enforcing() {
+		prin, ok := mnt.fs.module.Set.Lookup(sb)
+		if !ok {
+			return fmt.Errorf("vfs: no instance principal for mount %#x", uint64(sb))
+		}
+		for _, ino := range []mem.Addr{n.inode, oldDir.inode, dstDir.inode} {
+			if !v.K.Sys.Caps.Check(prin, caps.WriteCap(ino, 1)) {
+				return fmt.Errorf("vfs: rename %s: mount principal does not own inode %#x", srcPath, uint64(ino))
+			}
+		}
+	}
+	// Rename over an existing target: same-kind targets are replaced
+	// (directories only when empty), mismatched kinds are rejected. The
+	// existence probe goes through childOf — the module's table, not
+	// just the cache, decides whether the name is taken.
+	tgt, err := v.childOf(t, mnt, dstDir, newName)
+	if err != nil {
+		return err
+	}
+	if tgt != nil {
+		if tgt == n {
+			return nil // rename to itself
+		}
+		if tgt.isDir != n.isDir {
+			errno := kernel.EISDIR
+			if !tgt.isDir {
+				errno = kernel.ENOTDIR
+			}
+			return fmt.Errorf("vfs: rename %s -> %s: errno %d", srcPath, dstPath, errno)
+		}
+		if notEmpty, err := v.dirNotEmpty(t, mnt, tgt); err != nil {
+			return err
+		} else if notEmpty {
+			return fmt.Errorf("vfs: %s: directory not empty", tgt.name)
+		}
+	}
+	if err := v.pushName(newName); err != nil {
+		return err
+	}
+	// The module relinks the source first, the replaced target is
+	// unlinked second: a rename that fails in the module must never
+	// have destroyed the destination (the rename(2) contract). The
+	// unlink-by-inode afterwards is unambiguous even while both entries
+	// momentarily carry the same name.
+	ret, err := t.IndirectCall(v.OpsSlot(mnt.fs.ops, "rename"), FsRename,
+		uint64(sb), uint64(oldDir.inode), uint64(n.inode), uint64(dstDir.inode),
+		uint64(v.nameBuf), uint64(len(newName)))
+	if err != nil {
+		return err
+	}
+	if kernel.IsErr(ret) {
+		return fmt.Errorf("vfs: rename %s -> %s: errno %d", srcPath, dstPath, -int64(ret))
+	}
+	var replaceErr error
+	if tgt != nil {
+		ret, err := t.IndirectCall(v.OpsSlot(mnt.fs.ops, "unlink"), FsUnlink,
+			uint64(sb), uint64(dstDir.inode), uint64(tgt.inode))
+		switch {
+		case err != nil:
+			replaceErr = err
+		case kernel.IsErr(ret):
+			replaceErr = fmt.Errorf("vfs: rename: unlink target %s: errno %d", newName, -int64(ret))
+		default:
+			v.Stats.Unlinks++
+		}
+		// Either way the name now belongs to the source; the target's
+		// dentry goes, and a module-side failure is reported after the
+		// kernel view is consistent.
+		v.dropDentry(tgt.dentry)
+	}
+	v.moveDentry(n, dstDir, newName)
+	v.Stats.Renames++
+	return replaceErr
+}
+
+// moveDentry relinks a dnode (and implicitly its whole subtree) under a
+// new parent and name, keeping the simulated dentry object in sync.
+func (v *VFS) moveDentry(n *dnode, newParent *dnode, newName string) {
+	if p, ok := v.dentries[n.parent]; ok {
+		delete(p.child, n.name)
+	}
+	n.parent = newParent.dentry
+	n.name = newName
+	newParent.child[newName] = n.dentry
+	as := v.K.Sys.AS
+	must(as.WriteU64(n.dentry+mem.Addr(v.dentLay.Off("parent")), uint64(n.parent)))
+	must(as.WriteCString(n.dentry+mem.Addr(v.dentLay.Off("name")), newName))
 }
 
 // Stat returns a file's size and link count from the inode cache — a

@@ -15,6 +15,102 @@ type pageKey struct {
 	idx uint64
 }
 
+// SetPageBudget caps the number of cached pages (0 = unlimited).
+// Inserting a page past the budget evicts least-recently-used pages;
+// a dirty victim is first written back through the owning module's
+// writepage — memory pressure, not just an explicit Sync, now drives
+// pages through the module's REF-checked writeback path.
+func (v *VFS) SetPageBudget(n int) { v.pageBudget = n }
+
+// PageBudget returns the configured page-cache budget (0 = unlimited).
+func (v *VFS) PageBudget() int { return v.pageBudget }
+
+// ShrinkToBudget applies the page budget to the cache as it stands —
+// the explicit memory-pressure edge of the policy that otherwise runs
+// on every insert. Dirty victims go through writeback, so the caller's
+// thread crosses into the owning modules.
+func (v *VFS) ShrinkToBudget(t *core.Thread) { v.evictForBudget(t) }
+
+// touchPage marks a page most-recently used.
+func (v *VFS) touchPage(key pageKey) {
+	if e, ok := v.lruPos[key]; ok {
+		v.lru.MoveToBack(e)
+	}
+}
+
+// insertPage records a fresh page in the cache and the LRU list, then
+// applies the budget.
+func (v *VFS) insertPage(t *core.Thread, key pageKey, pg mem.Addr) {
+	v.pages[key] = pg
+	v.lruPos[key] = v.lru.PushBack(key)
+	v.evictForBudget(t)
+}
+
+// removePage frees a cached page and drops every index entry for it.
+func (v *VFS) removePage(key pageKey) {
+	pg, ok := v.pages[key]
+	if !ok {
+		return
+	}
+	_ = v.K.Sys.Slab.Free(pg)
+	delete(v.pages, key)
+	delete(v.dirty, key)
+	if e, ok := v.lruPos[key]; ok {
+		v.lru.Remove(e)
+		delete(v.lruPos, key)
+	}
+}
+
+// evictForBudget walks the LRU end of the cache until it fits the
+// budget. The most-recently inserted page is never a victim — the
+// caller is still using it. Unevictable pages (memory-only mounts,
+// failed writebacks) are skipped, so the cache can exceed the budget
+// when nothing else remains.
+func (v *VFS) evictForBudget(t *core.Thread) {
+	if v.pageBudget <= 0 {
+		return
+	}
+	for e := v.lru.Front(); e != nil && len(v.pages) > v.pageBudget; {
+		next := e.Next()
+		if next == nil {
+			break // never evict the MRU page mid-operation
+		}
+		v.evictPage(t, e.Value.(pageKey))
+		e = next
+	}
+}
+
+// evictPage tries to reclaim one page: dirty victims are forced through
+// the owning module's writepage first (the REF-capability crossing), so
+// eviction under enforcement exercises the same contract as Sync.
+// Returns false if the page must stay (memory-only mount, dead module,
+// failed writeback).
+func (v *VFS) evictPage(t *core.Thread, key pageKey) bool {
+	as := v.K.Sys.AS
+	owner, _ := as.ReadU64(v.InodeField(key.ino, "sb"))
+	sb := mem.Addr(owner)
+	if flags, _ := as.ReadU64(v.SBField(sb, "flags")); flags&SBMemOnly != 0 {
+		return false
+	}
+	if v.dirty[key] {
+		mnt, ok := v.mounts[sb]
+		if !ok {
+			return false
+		}
+		v.Stats.EvictWrites++
+		v.Stats.PageWrites++
+		ret, err := t.IndirectCall(v.OpsSlot(mnt.fs.ops, "writepage"), FsWritePage,
+			uint64(sb), uint64(key.ino), key.idx, uint64(v.pages[key]))
+		if err != nil || ret != 0 {
+			return false // stays dirty; Sync (or a later pass) retries
+		}
+		delete(v.dirty, key)
+	}
+	v.removePage(key)
+	v.Stats.Evictions++
+	return true
+}
+
 // getPage returns the cached page for (inode, idx), filling a fresh one
 // through the module's readpage callback on a miss. Ownership of the
 // page travels with the call: WRITE transfers to the mount's principal
@@ -22,6 +118,7 @@ type pageKey struct {
 func (v *VFS) getPage(t *core.Thread, mnt *mount, ino mem.Addr, idx uint64) (mem.Addr, error) {
 	key := pageKey{ino, idx}
 	if pg, ok := v.pages[key]; ok {
+		v.touchPage(key)
 		return pg, nil
 	}
 	sys := v.K.Sys
@@ -43,16 +140,17 @@ func (v *VFS) getPage(t *core.Thread, mnt *mount, ino mem.Addr, idx uint64) (mem
 		}
 		return 0, err
 	}
-	v.pages[key] = pg
+	v.insertPage(t, key, pg)
 	return pg, nil
 }
 
 // allocPage returns the cached page for (inode, idx), or installs a
 // fresh zeroed one without consulting the module — for writes that
 // cover the entire page.
-func (v *VFS) allocPage(ino mem.Addr, idx uint64) (mem.Addr, error) {
+func (v *VFS) allocPage(t *core.Thread, ino mem.Addr, idx uint64) (mem.Addr, error) {
 	key := pageKey{ino, idx}
 	if pg, ok := v.pages[key]; ok {
+		v.touchPage(key)
 		return pg, nil
 	}
 	pg, err := v.K.Sys.Slab.Alloc(mem.PageSize)
@@ -60,7 +158,7 @@ func (v *VFS) allocPage(ino mem.Addr, idx uint64) (mem.Addr, error) {
 		return 0, err
 	}
 	must(v.K.Sys.AS.Zero(pg, mem.PageSize))
-	v.pages[key] = pg
+	v.insertPage(t, key, pg)
 	return pg, nil
 }
 
@@ -133,7 +231,7 @@ func (v *VFS) Write(t *core.Thread, sb mem.Addr, path string, off uint64, data [
 		}
 		var pg mem.Addr
 		if chunk == mem.PageSize {
-			pg, err = v.allocPage(d.inode, idx)
+			pg, err = v.allocPage(t, d.inode, idx)
 		} else {
 			pg, err = v.getPage(t, mnt, d.inode, idx)
 		}
@@ -208,15 +306,14 @@ func (v *VFS) DropCaches(sb mem.Addr) int {
 		return 0
 	}
 	dropped := 0
-	for key, pg := range v.pages {
+	for key := range v.pages {
 		if v.dirty[key] {
 			continue
 		}
 		if owner, _ := as.ReadU64(v.InodeField(key.ino, "sb")); mem.Addr(owner) != sb {
 			continue
 		}
-		_ = v.K.Sys.Slab.Free(pg)
-		delete(v.pages, key)
+		v.removePage(key)
 		dropped++
 	}
 	return dropped
@@ -224,13 +321,10 @@ func (v *VFS) DropCaches(sb mem.Addr) int {
 
 // dropPagesOf evicts every page (dirty or not) of a dying inode.
 func (v *VFS) dropPagesOf(ino mem.Addr) {
-	for key, pg := range v.pages {
-		if key.ino != ino {
-			continue
+	for key := range v.pages {
+		if key.ino == ino {
+			v.removePage(key)
 		}
-		_ = v.K.Sys.Slab.Free(pg)
-		delete(v.pages, key)
-		delete(v.dirty, key)
 	}
 }
 

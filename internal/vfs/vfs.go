@@ -25,6 +25,7 @@
 package vfs
 
 import (
+	"container/list"
 	"fmt"
 	"strings"
 
@@ -54,6 +55,8 @@ const (
 	FsCreate    = "fs_operations.create"
 	FsLookup    = "fs_operations.lookup"
 	FsUnlink    = "fs_operations.unlink"
+	FsReaddir   = "fs_operations.readdir"
+	FsRename    = "fs_operations.rename"
 	FsReadPage  = "fs_operations.readpage"
 	FsWritePage = "fs_operations.writepage"
 	FsIoctl     = "fs_operations.ioctl"
@@ -82,10 +85,14 @@ type Stats struct {
 	Mounts      uint64
 	Creates     uint64
 	Unlinks     uint64
+	Renames     uint64
+	Readdirs    uint64 // readdir crossings (one per enumerated entry)
 	DcacheHits  uint64
 	DcacheMiss  uint64
 	PageFills   uint64 // readpage crossings
 	PageWrites  uint64 // writepage crossings
+	Evictions   uint64 // pages reclaimed by the LRU budget policy
+	EvictWrites uint64 // writepage crossings forced by evicting a dirty page
 	BytesRead   uint64
 	BytesWrited uint64
 }
@@ -125,8 +132,17 @@ type VFS struct {
 	pages map[pageKey]mem.Addr
 	dirty map[pageKey]bool
 
+	// lru orders the cached pages least- to most-recently used; lruPos
+	// indexes the list elements by page key. pageBudget caps the cache
+	// size (0 = unlimited): inserting past the budget evicts from the
+	// LRU end, forcing writeback for dirty victims.
+	lru        *list.List
+	lruPos     map[pageKey]*list.Element
+	pageBudget int
+
 	nextIno uint64
 	nameBuf mem.Addr // kernel scratch buffer for passing names to modules
+	dirBuf  mem.Addr // kernel scratch buffer readdir hands to modules
 
 	Stats Stats
 }
@@ -144,6 +160,8 @@ func Init(k *kernel.Kernel, bl *blockdev.Layer) *VFS {
 		dentries:    make(map[mem.Addr]*dnode),
 		pages:       make(map[pageKey]mem.Addr),
 		dirty:       make(map[pageKey]bool),
+		lru:         list.New(),
+		lruPos:      make(map[pageKey]*list.Element),
 		nextIno:     1,
 	}
 	sys := k.Sys
@@ -175,12 +193,15 @@ func Init(k *kernel.Kernel, bl *blockdev.Layer) *VFS {
 		layout.F("create", 8),
 		layout.F("lookup", 8),
 		layout.F("unlink", 8),
+		layout.F("readdir", 8),
+		layout.F("rename", 8),
 		layout.F("readpage", 8),
 		layout.F("writepage", 8),
 		layout.F("ioctl", 8),
 	)
 
 	v.nameBuf = sys.Statics.Alloc(NameMax+1, 8)
+	v.dirBuf = sys.Statics.Alloc(NameMax+1, 8)
 
 	// page_caps: the single WRITE capability that makes up a page-cache
 	// page (pages are raw PageSize buffers, no header struct).
@@ -190,6 +211,16 @@ func Init(k *kernel.Kernel, bl *blockdev.Layer) *VFS {
 			return nil
 		}
 		return emit(caps.WriteCap(page, mem.PageSize))
+	})
+
+	// name_caps: the WRITE capability for a NameMax-sized name buffer —
+	// the scratch the kernel lends a module for one readdir entry.
+	sys.RegisterIterator("name_caps", func(t *core.Thread, args []int64, emit func(caps.Cap) error) error {
+		buf := mem.Addr(uint64(args[0]))
+		if buf == 0 {
+			return nil
+		}
+		return emit(caps.WriteCap(buf, NameMax+1))
 	})
 
 	v.registerFPtrTypes()
@@ -220,6 +251,24 @@ func (v *VFS) registerFPtrTypes() {
 	sys.RegisterFPtrType(FsUnlink,
 		[]core.Param{sbP, dirP, core.P("inode", "struct inode *")},
 		"principal(sb)")
+	// readdir: the module fills the kernel's name buffer with one entry
+	// per call (a dir_context-style cursor). WRITE on the buffer travels
+	// kernel -> module -> kernel, exactly like a page through readpage.
+	sys.RegisterFPtrType(FsReaddir,
+		[]core.Param{sbP, dirP, core.P("pos", "u64"), core.P("buf", "void *")},
+		"principal(sb) pre(transfer(name_caps(buf))) "+
+			"post(transfer(name_caps(buf)))")
+	// rename: on success the mount's instance principal must still own
+	// the moved inode and both directory inodes — the per-mount
+	// capability re-check that makes a cross-mount rename smuggled past
+	// the kernel checks a contract violation, not a silent corruption.
+	sys.RegisterFPtrType(FsRename,
+		[]core.Param{sbP, core.P("olddir", "struct inode *"),
+			core.P("inode", "struct inode *"), core.P("newdir", "struct inode *"),
+			nameP, lenP},
+		"principal(sb) post(if (return == 0) check(write, olddir)) "+
+			"post(if (return == 0) check(write, newdir)) "+
+			"post(if (return == 0) check(write, inode))")
 	// readpage: WRITE ownership of the page travels kernel -> module ->
 	// kernel; a failing module keeps nothing (revoke).
 	sys.RegisterFPtrType(FsReadPage,
@@ -252,7 +301,9 @@ func (v *VFS) registerExports() {
 			if _, dup := v.filesystems[args[0]]; dup {
 				return kernel.Err(kernel.EBUSY)
 			}
-			v.filesystems[args[0]] = &fstype{module: t.CurrentModule(), ops: mem.Addr(args[1])}
+			// CallerModule, not CurrentModule: this body runs trusted,
+			// so the registering module is on the shadow stack.
+			v.filesystems[args[0]] = &fstype{module: t.CallerModule(), ops: mem.Addr(args[1])}
 			return 0
 		})
 
@@ -292,11 +343,13 @@ func (v *VFS) registerExports() {
 		})
 
 	// pc_writeback persists one page-cache page to a block device. The
-	// REF check is the whole point: only a module that was handed this
-	// page by the VFS writepage path may persist it.
+	// page REF check is the whole point: only a module that was handed
+	// this page by the VFS writepage path may persist it. The device
+	// REF check pins the destination: the caller can only write back to
+	// a disk its mount was granted.
 	sys.RegisterKernelFunc("pc_writeback",
 		[]core.Param{core.P("dev", "u64"), core.P("sector", "u64"), core.P("page", "void *")},
-		"pre(check(ref(struct page), page))",
+		"pre(check(ref(struct page), page)) pre(check(ref(block device), dev))",
 		func(t *core.Thread, args []uint64) uint64 {
 			if v.Block == nil {
 				return kernel.Err(kernel.ENOENT)
@@ -384,6 +437,13 @@ func (v *VFS) Mount(t *core.Thread, fsid, dev uint64) (mem.Addr, error) {
 		return fail(err)
 	}
 	must(sys.AS.WriteU64(v.SBField(sb, "root"), uint64(root)))
+	// The mount's instance principal is granted REF on its backing
+	// device: the proof pc_writeback and dm_write_sectors demand before
+	// persisting anything. The capability dies with the principal at
+	// unmount (DropInstance), so it cannot outlive the mount.
+	if ft.module != nil {
+		sys.Caps.Grant(ft.module.Set.Instance(sb), caps.RefCap(blockdev.DevRef, mem.Addr(dev)))
+	}
 	v.mounts[sb] = &mount{fs: ft, sb: sb, dev: dev, root: root}
 	v.Stats.Mounts++
 	return sb, nil
