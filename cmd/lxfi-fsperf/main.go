@@ -45,8 +45,16 @@ func main() {
 			fmt.Println()
 		}
 	}
+	conc, err := fsperf.MeasureConcurrency(*files, *size)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "concurrency measurement failed: %v\n", err)
+		os.Exit(1)
+	}
+	if !*asJSON {
+		fmt.Print(fsperf.FormatConcurrency(conc))
+	}
 	if *asJSON {
-		out, err := fsperf.JSON(all, *files, *size)
+		out, err := fsperf.JSON(all, conc, *files, *size)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "encoding report: %v\n", err)
 			os.Exit(1)

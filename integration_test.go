@@ -123,14 +123,14 @@ func TestWholeSystemFaultContainment(t *testing.T) {
 	if k.TaskUID(task) == 0 {
 		t.Fatal("attacker escalated to root on the shared machine")
 	}
-	if !rdsProto.M.Dead {
+	if !rdsProto.M.Dead() {
 		t.Fatal("rds should have been killed")
 	}
 	if len(k.Sys.Mon.Violations()) == 0 {
 		t.Fatal("no violation recorded")
 	}
 	for _, m := range []*core.Module{drv.M, eco.M, crypt.M} {
-		if m.Dead {
+		if m.Dead() {
 			t.Fatalf("innocent module %s was killed", m.Name)
 		}
 	}
@@ -253,10 +253,10 @@ func TestCrossSubsystemPrincipalIsolation(t *testing.T) {
 	if len(k.Sys.Mon.Violations()) == 0 {
 		t.Fatal("no violation recorded")
 	}
-	if !tmpfs.M.Dead {
+	if !tmpfs.M.Dead() {
 		t.Fatal("violating tmpfs module was not killed")
 	}
-	if eco.M.Dead {
+	if eco.M.Dead() {
 		t.Fatal("innocent econet module was killed")
 	}
 	// The network module keeps working; its slot was not redirected.

@@ -18,8 +18,8 @@ func TestBootAllLoadsTenModules(t *testing.T) {
 			t.Fatalf("[%v] loaded %d modules, want 10", mode, n)
 		}
 		for _, m := range sys.Modules() {
-			if m.Dead {
-				t.Fatalf("[%v] module %s died during boot: %v", mode, m.Name, m.KillReason)
+			if m.Dead() {
+				t.Fatalf("[%v] module %s died during boot: %v", mode, m.Name, m.KillReason())
 			}
 		}
 	}

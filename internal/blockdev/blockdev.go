@@ -12,6 +12,8 @@ package blockdev
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"lxfi/internal/caps"
 	"lxfi/internal/core"
@@ -63,6 +65,11 @@ const (
 )
 
 // Layer is the simulated block layer.
+//
+// mu guards the disk and target directories (attach/detach vs. I/O
+// lookup); sector contents are raw bytes, racing writes to the same
+// sectors are the modules' own data race. The I/O counters are atomic so
+// concurrent mounts and the writeback flusher can be profiled.
 type Layer struct {
 	K *kernel.Kernel
 
@@ -70,12 +77,19 @@ type Layer struct {
 	tgt  *layout.Struct
 	tops *layout.Struct
 
+	mu sync.Mutex
 	// disks maps a device id to its backing store.
 	disks map[uint64][]byte
-	// completed counts bio_endio calls.
-	completed uint64
 	// targets tracks live dm targets: target struct -> its type ops.
 	targets map[mem.Addr]mem.Addr
+
+	// completed counts bio_endio calls.
+	completed atomic.Uint64
+	// sectorReads / sectorWrites count dm_read_sectors and
+	// dm_write_sectors calls — the probes the O(live) mount-recovery
+	// test uses to prove a remount no longer scans the whole table.
+	sectorReads  atomic.Uint64
+	sectorWrites atomic.Uint64
 }
 
 // Init builds the block layer.
@@ -173,7 +187,7 @@ func (l *Layer) registerExports() {
 			if err := l.doIO(mem.Addr(args[0])); err != nil {
 				return kernel.Err(kernel.EFAULT)
 			}
-			l.completed++
+			l.completed.Add(1)
 			return 0
 		})
 
@@ -186,8 +200,9 @@ func (l *Layer) registerExports() {
 			core.P("buf", "void *"), core.P("n", "size_t")},
 		"pre(check(write, buf, n))",
 		func(t *core.Thread, args []uint64) uint64 {
-			disk, ok := l.disks[args[0]]
-			if !ok {
+			l.sectorReads.Add(1)
+			disk := l.DiskBytes(args[0])
+			if disk == nil {
 				return kernel.Err(kernel.ENOENT)
 			}
 			// Sector and length are module-controlled; bound them before
@@ -218,8 +233,9 @@ func (l *Layer) registerExports() {
 			core.P("buf", "void *"), core.P("n", "size_t")},
 		"pre(check(write, buf, n)) pre(check(ref(block device), dev))",
 		func(t *core.Thread, args []uint64) uint64 {
-			disk, ok := l.disks[args[0]]
-			if !ok {
+			l.sectorWrites.Add(1)
+			disk := l.DiskBytes(args[0])
+			if disk == nil {
 				return kernel.Err(kernel.ENOENT)
 			}
 			n := args[3]
@@ -244,7 +260,7 @@ func (l *Layer) registerExports() {
 		[]core.Param{core.P("bio", "struct bio *")},
 		"pre(transfer(bio_caps(bio)))",
 		func(t *core.Thread, args []uint64) uint64 {
-			l.completed++
+			l.completed.Add(1)
 			return 0
 		})
 }
@@ -299,18 +315,36 @@ func (l *Layer) OpsSlot(ops mem.Addr, f string) mem.Addr {
 
 // AddDisk creates a RAM-backed disk of the given size.
 func (l *Layer) AddDisk(dev uint64, sectors uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	l.disks[dev] = make([]byte, sectors*SectorSize)
 }
 
-// DiskBytes exposes a disk's backing store for test assertions.
-func (l *Layer) DiskBytes(dev uint64) []byte { return l.disks[dev] }
+// DiskBytes exposes a disk's backing store (nil when the disk does not
+// exist). The slice is the live store — concurrent sector writes target
+// disjoint ranges unless the simulated kernel itself is racing.
+func (l *Layer) DiskBytes(dev uint64) []byte {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.disks[dev]
+}
 
 // RemoveDisk detaches a disk (a yanked device): subsequent I/O on dev
 // fails with ENOENT. The sector data is discarded.
-func (l *Layer) RemoveDisk(dev uint64) { delete(l.disks, dev) }
+func (l *Layer) RemoveDisk(dev uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	delete(l.disks, dev)
+}
 
 // Completed returns the number of completed bios.
-func (l *Layer) Completed() uint64 { return l.completed }
+func (l *Layer) Completed() uint64 { return l.completed.Load() }
+
+// SectorIO returns the cumulative dm_read_sectors / dm_write_sectors
+// call counts.
+func (l *Layer) SectorIO() (reads, writes uint64) {
+	return l.sectorReads.Load(), l.sectorWrites.Load()
+}
 
 // doIO executes a bio against its device.
 func (l *Layer) doIO(bio mem.Addr) error {
@@ -320,8 +354,8 @@ func (l *Layer) doIO(bio mem.Addr) error {
 	n, _ := as.ReadU64(bio + mem.Addr(l.bio.Off("len")))
 	rw, _ := as.ReadU64(bio + mem.Addr(l.bio.Off("rw")))
 	dev, _ := as.ReadU64(bio + mem.Addr(l.bio.Off("dev")))
-	disk, ok := l.disks[dev]
-	if !ok {
+	disk := l.DiskBytes(dev)
+	if disk == nil {
 		return fmt.Errorf("blockdev: no disk %d", dev)
 	}
 	off := sector * SectorSize
@@ -361,27 +395,35 @@ func (l *Layer) CreateTarget(t *core.Thread, ops mem.Addr, arg, begin, length, d
 		_ = sys.Slab.Free(ti)
 		return 0, fmt.Errorf("blockdev: ctr failed: errno %d", -int64(ret))
 	}
+	l.mu.Lock()
 	l.targets[ti] = ops
+	l.mu.Unlock()
 	return ti, nil
 }
 
 // RemoveTarget runs the destructor and frees the target.
 func (l *Layer) RemoveTarget(t *core.Thread, ti mem.Addr) error {
+	l.mu.Lock()
 	ops, ok := l.targets[ti]
+	l.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("blockdev: unknown target %#x", uint64(ti))
 	}
 	if _, err := t.IndirectCall(l.OpsSlot(ops, "dtr"), DmDtr, uint64(ti)); err != nil {
 		return err
 	}
+	l.mu.Lock()
 	delete(l.targets, ti)
+	l.mu.Unlock()
 	return l.K.Sys.Slab.Free(ti)
 }
 
 // Submit routes a bio through a dm target's map function; if the target
 // remaps (rather than submits), the layer performs the I/O itself.
 func (l *Layer) Submit(t *core.Thread, ti, bio mem.Addr) error {
+	l.mu.Lock()
 	ops, ok := l.targets[ti]
+	l.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("blockdev: unknown target %#x", uint64(ti))
 	}
@@ -396,7 +438,7 @@ func (l *Layer) Submit(t *core.Thread, ti, bio mem.Addr) error {
 		if err := l.doIO(bio); err != nil {
 			return err
 		}
-		l.completed++
+		l.completed.Add(1)
 		return nil
 	default:
 		return fmt.Errorf("blockdev: map failed: errno %d", -int64(ret))

@@ -14,6 +14,20 @@
 // covers, with bucket keys derived by masking the low 12 bits of the
 // address. Lookups therefore probe a single bucket, giving constant
 // expected time instead of the logarithmic time of a balanced tree.
+//
+// Concurrency: simulated kernel threads run on their own goroutines, so
+// the capability state is shared monitor state. Two locks guard it, in a
+// fixed order:
+//
+//  1. System.mu (RWMutex) — every principal's capability tables. Checks
+//     take the read lock (the hot path); grant/revoke/transfer take the
+//     write lock.
+//  2. ModuleSet.mu — a module's principal directory (the instances and
+//     aliases maps).
+//
+// System.mu is always acquired before ModuleSet.mu; ModuleSet.mu may
+// also be taken alone. No callback ever runs under either lock, so the
+// order cannot invert.
 package caps
 
 import (
@@ -278,9 +292,22 @@ func (p *Principal) revokeOverlap(c Cap) bool {
 	return removed
 }
 
+// lockTables takes the owning system's read lock so introspection can
+// walk p's tables while other threads grant and revoke. The trusted
+// principal (and test-built bare principals) have no owning system and
+// need no lock.
+func (p *Principal) lockTables() func() {
+	if p == nil || p.set == nil || p.set.sys == nil {
+		return func() {}
+	}
+	p.set.sys.mu.RLock()
+	return p.set.sys.mu.RUnlock
+}
+
 // WriteRegions returns the distinct WRITE capability regions held
 // directly by p, sorted by address. Used by introspection and tests.
 func (p *Principal) WriteRegions() []Cap {
+	defer p.lockTables()()
 	seen := map[writeEntry]bool{}
 	var out []Cap
 	for _, lst := range p.writes {
@@ -297,6 +324,7 @@ func (p *Principal) WriteRegions() []Cap {
 
 // CallTargets returns the CALL capability targets held directly by p.
 func (p *Principal) CallTargets() []mem.Addr {
+	defer p.lockTables()()
 	out := make([]mem.Addr, 0, len(p.calls))
 	for a := range p.calls {
 		out = append(out, a)
@@ -307,6 +335,7 @@ func (p *Principal) CallTargets() []mem.Addr {
 
 // RefCaps returns the REF capabilities held directly by p.
 func (p *Principal) RefCaps() []Cap {
+	defer p.lockTables()()
 	out := make([]Cap, 0, len(p.refs))
 	for k := range p.refs {
 		out = append(out, RefCap(k.typ, k.addr))
@@ -324,6 +353,9 @@ func (p *Principal) RefCaps() []Cap {
 type ModuleSet struct {
 	Module string
 
+	sys *System // owning system (for introspection locking)
+
+	mu        sync.Mutex // guards instances and aliases (lock order: after System.mu)
 	shared    *Principal
 	global    *Principal
 	instances map[mem.Addr]*Principal
@@ -340,6 +372,12 @@ func (ms *ModuleSet) Global() *Principal { return ms.global }
 // use. Aliases established with Alias resolve to their canonical
 // principal.
 func (ms *ModuleSet) Instance(addr mem.Addr) *Principal {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	return ms.instanceLocked(addr)
+}
+
+func (ms *ModuleSet) instanceLocked(addr mem.Addr) *Principal {
 	if p, ok := ms.aliases[addr]; ok {
 		return p
 	}
@@ -354,6 +392,8 @@ func (ms *ModuleSet) Instance(addr mem.Addr) *Principal {
 
 // Lookup returns the principal for addr without creating one.
 func (ms *ModuleSet) Lookup(addr mem.Addr) (*Principal, bool) {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
 	p, ok := ms.aliases[addr]
 	return p, ok
 }
@@ -365,7 +405,9 @@ func (ms *ModuleSet) Alias(existing, alias mem.Addr) error {
 	if alias == 0 {
 		return fmt.Errorf("caps: cannot alias the NULL name")
 	}
-	p := ms.Instance(existing)
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	p := ms.instanceLocked(existing)
 	if cur, ok := ms.aliases[alias]; ok && cur != p {
 		return fmt.Errorf("caps: name %#x already bound to %s", uint64(alias), cur)
 	}
@@ -377,6 +419,8 @@ func (ms *ModuleSet) Alias(existing, alias mem.Addr) error {
 // along with all of its capabilities; called when the instance's backing
 // object is destroyed.
 func (ms *ModuleSet) DropInstance(addr mem.Addr) {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
 	p, ok := ms.aliases[addr]
 	if !ok {
 		return
@@ -392,6 +436,12 @@ func (ms *ModuleSet) DropInstance(addr mem.Addr) {
 // Principals returns all principals of the module (shared, global, and
 // all instances), sorted for determinism.
 func (ms *ModuleSet) Principals() []*Principal {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	return ms.principalsLocked()
+}
+
+func (ms *ModuleSet) principalsLocked() []*Principal {
 	out := []*Principal{ms.shared, ms.global}
 	var inst []*Principal
 	for _, p := range ms.instances {
@@ -405,7 +455,7 @@ func (ms *ModuleSet) Principals() []*Principal {
 // set. Transfer actions revoke from all principals system-wide, so the
 // system is the unit that owns revocation.
 type System struct {
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	modules map[string]*ModuleSet
 
 	// Trusted is the core-kernel principal: all checks against it
@@ -431,6 +481,7 @@ func (s *System) LoadModule(name string) *ModuleSet {
 	}
 	ms := &ModuleSet{
 		Module:    name,
+		sys:       s,
 		instances: make(map[mem.Addr]*Principal),
 		aliases:   make(map[mem.Addr]*Principal),
 	}
@@ -449,16 +500,16 @@ func (s *System) UnloadModule(name string) {
 
 // Module returns the principal set for a loaded module.
 func (s *System) Module(name string) (*ModuleSet, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	ms, ok := s.modules[name]
 	return ms, ok
 }
 
 // Modules returns the names of all loaded modules, sorted.
 func (s *System) Modules() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make([]string, 0, len(s.modules))
 	for n := range s.modules {
 		out = append(out, n)
@@ -490,16 +541,19 @@ func (s *System) Check(p *Principal, c Cap) bool {
 	if p == nil || p.IsTrusted() {
 		return true
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	ms := p.set
 	switch p.Kind {
 	case Global:
+		ms.mu.Lock()
 		for _, q := range ms.instances {
 			if q.owns(c) {
+				ms.mu.Unlock()
 				return true
 			}
 		}
+		ms.mu.Unlock()
 		return ms.shared.owns(c) || ms.global.owns(c)
 	case Shared:
 		return ms.shared.owns(c)
@@ -514,8 +568,8 @@ func (s *System) OwnsDirectly(p *Principal, c Cap) bool {
 	if p == nil || p.IsTrusted() {
 		return true
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return p.owns(c)
 }
 
@@ -545,11 +599,13 @@ func (s *System) RevokeAll(c Cap) int {
 		if ms.global.revokeOverlap(c) {
 			n++
 		}
+		ms.mu.Lock()
 		for _, p := range ms.instances {
 			if p.revokeOverlap(c) {
 				n++
 			}
 		}
+		ms.mu.Unlock()
 	}
 	return n
 }
@@ -557,8 +613,8 @@ func (s *System) RevokeAll(c Cap) int {
 // grantees traverses every principal of every module (in stable order)
 // and collects those whose own table holds probe.
 func (s *System) grantees(probe Cap) []*Principal {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	var names []string
 	for n := range s.modules {
 		names = append(names, n)
@@ -566,7 +622,11 @@ func (s *System) grantees(probe Cap) []*Principal {
 	sort.Strings(names)
 	var out []*Principal
 	for _, n := range names {
-		for _, p := range s.modules[n].Principals() {
+		ms := s.modules[n]
+		ms.mu.Lock()
+		ps := ms.principalsLocked()
+		ms.mu.Unlock()
+		for _, p := range ps {
 			if p.owns(probe) {
 				out = append(out, p)
 			}

@@ -37,8 +37,7 @@ func (e *argEnv) Arg(name string) (int64, bool) {
 
 // Const implements annot.Env.
 func (e *argEnv) Const(name string) (int64, bool) {
-	v, ok := e.sys.consts[name]
-	return v, ok
+	return e.sys.Const(name)
 }
 
 // sizeofType resolves "sizeof(*ptr)" for a parameter's declared C type:
@@ -51,7 +50,7 @@ func (s *System) sizeofType(typ string) (uint64, bool) {
 // resolveCaps materializes the capability list of one action.
 func (t *Thread) resolveCaps(cl *annot.CapList, env *argEnv) ([]caps.Cap, error) {
 	if cl.IsIterator() {
-		iter, ok := t.Sys.iterators[cl.Iter]
+		iter, ok := t.Sys.iterator(cl.Iter)
 		if !ok {
 			return nil, fmt.Errorf("core: unknown capability iterator %q", cl.Iter)
 		}

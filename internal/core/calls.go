@@ -17,7 +17,7 @@ import (
 // assumes that the core kernel is fully trusted, it can omit most checks
 // for performance" (§4).
 func (t *Thread) CallKernel(name string, args ...uint64) (uint64, error) {
-	fn, ok := t.Sys.funcsByName[name]
+	fn, ok := t.Sys.FuncByName(name)
 	if !ok || !fn.IsKernel() {
 		return 0, fmt.Errorf("core: no such kernel function %q", name)
 	}
@@ -62,7 +62,7 @@ func (t *Thread) callKernelDecl(fn *FuncDecl, args []uint64) (uint64, error) {
 
 	if mediated {
 		t.Sys.Mon.Stats.FuncExits.Add(1)
-		if callerMod != nil && callerMod.Dead {
+		if callerMod != nil && callerMod.Dead() {
 			return ret, ErrModuleDead
 		}
 		env.ret, env.hasRet = ret, true
@@ -87,7 +87,14 @@ func (t *Thread) CallModule(m *Module, fname string, args ...uint64) (uint64, er
 }
 
 func (t *Thread) callModuleDecl(m *Module, fn *FuncDecl, args []uint64) (uint64, error) {
-	if m.Dead {
+	return t.callModuleDeclParams(m, fn, fn.Params, args)
+}
+
+// callModuleDeclParams is callModuleDecl with the effective parameter
+// list supplied by the caller (an indirect call substitutes the slot
+// type's parameters when the function declaration carries none).
+func (t *Thread) callModuleDeclParams(m *Module, fn *FuncDecl, params []Param, args []uint64) (uint64, error) {
+	if m.Dead() {
 		return 0, fmt.Errorf("%w (%s)", ErrModuleDead, m.Name)
 	}
 	enforcing := t.Sys.Mon.Enforcing()
@@ -97,7 +104,7 @@ func (t *Thread) callModuleDecl(m *Module, fn *FuncDecl, args []uint64) (uint64,
 	var callee *caps.Principal
 	if enforcing {
 		t.Sys.Mon.Stats.FuncEntries.Add(1)
-		env = &argEnv{sys: t.Sys, params: fn.Params, args: args}
+		env = &argEnv{sys: t.Sys, params: params, args: args}
 		var err error
 		// The wrapper "sets the appropriate principal" (§4.2) from the
 		// principal(...) annotation before running the module function.
@@ -122,7 +129,7 @@ func (t *Thread) callModuleDecl(m *Module, fn *FuncDecl, args []uint64) (uint64,
 
 	if enforcing {
 		t.Sys.Mon.Stats.FuncExits.Add(1)
-		if m.Dead {
+		if m.Dead() {
 			return ret, fmt.Errorf("%w (%s)", ErrModuleDead, m.Name)
 		}
 		env.ret, env.hasRet = ret, true
@@ -142,7 +149,7 @@ func (t *Thread) callModuleDecl(m *Module, fn *FuncDecl, args []uint64) (uint64,
 // passes the *address of the original function pointer* (Fig. 5), so the
 // runtime can consult the writer set for that slot.
 func (t *Thread) IndirectCall(slot mem.Addr, typeName string, args ...uint64) (uint64, error) {
-	ft, ok := t.Sys.fptrTypes[typeName]
+	ft, ok := t.Sys.FPtrType(typeName)
 	if !ok {
 		panic("core: indirect call through unregistered fptr type " + typeName)
 	}
@@ -180,9 +187,9 @@ func (t *Thread) checkIndCallSlow(slot, target mem.Addr, ft *FPtrType) error {
 		// as kernel-written and allow.
 		return nil
 	}
-	fn, known := t.Sys.funcsByAddr[target]
+	fn, known := t.Sys.FuncByAddr(target)
 	for _, w := range writers {
-		blame, _ := t.Sys.modules[w.Module]
+		blame, _ := t.Sys.Module(w.Module)
 		if !known {
 			return t.violationAt(blame, w, "indcall", target,
 				fmt.Sprintf("module-writable slot %#x points to non-function address %#x",
@@ -208,7 +215,7 @@ func (t *Thread) checkIndCallSlow(slot, target mem.Addr, ft *FPtrType) error {
 
 // dispatch transfers control to the function at target.
 func (t *Thread) dispatch(target mem.Addr, ft *FPtrType, args []uint64) (uint64, error) {
-	fn, ok := t.Sys.funcsByAddr[target]
+	fn, ok := t.Sys.FuncByAddr(target)
 	if !ok {
 		// A wild pointer: in the real kernel this is an oops (or, if the
 		// attacker mapped the page, arbitrary code execution — modeled by
@@ -232,16 +239,19 @@ func (t *Thread) dispatch(target mem.Addr, ft *FPtrType, args []uint64) (uint64,
 	case fn.IsKernel():
 		return t.callKernelDecl(fn, args)
 	default:
-		m, ok := t.Sys.modules[fn.Module]
+		m, ok := t.Sys.Module(fn.Module)
 		if !ok {
 			return 0, fmt.Errorf("core: function %s belongs to unloaded module", fn)
 		}
 		// Apply the *slot type's* parameter names if the function carries
 		// none (annotation propagation already guaranteed hash equality).
-		if len(fn.Params) == 0 {
-			fn.Params = ft.Params
+		// The declaration itself is shared between threads, so the
+		// substitution is made per call rather than written back into it.
+		params := fn.Params
+		if len(params) == 0 {
+			params = ft.Params
 		}
-		return t.callModuleDecl(m, fn, args)
+		return t.callModuleDeclParams(m, fn, params, args)
 	}
 }
 
@@ -250,11 +260,11 @@ func (t *Thread) dispatch(target mem.Addr, ft *FPtrType, args []uint64) (uint64,
 // typeName. The module rewriter instruments these sites so the runtime
 // can verify the CALL capability and annotation match before the jump.
 func (t *Thread) CallAddr(target mem.Addr, typeName string, args ...uint64) (uint64, error) {
-	ft, ok := t.Sys.fptrTypes[typeName]
+	ft, ok := t.Sys.FPtrType(typeName)
 	if !ok {
 		panic("core: indirect call through unregistered fptr type " + typeName)
 	}
-	fn, known := t.Sys.funcsByAddr[target]
+	fn, known := t.Sys.FuncByAddr(target)
 
 	if t.cur != nil && t.Sys.Mon.Enforcing() {
 		t.Sys.Mon.Stats.CapChecks.Add(1)
@@ -273,7 +283,7 @@ func (t *Thread) CallAddr(target mem.Addr, typeName string, args ...uint64) (uin
 	if fn.IsKernel() {
 		return t.callKernelDecl(fn, args)
 	}
-	if m, ok := t.Sys.modules[fn.Module]; ok {
+	if m, ok := t.Sys.Module(fn.Module); ok {
 		return t.callModuleDecl(m, fn, args)
 	}
 	return 0, fmt.Errorf("core: cannot dispatch %s", fn)

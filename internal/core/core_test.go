@@ -136,7 +136,7 @@ func TestModuleWriteOutsideDataBlocked(t *testing.T) {
 	if v, _ := f.sys.AS.ReadU64(f.victim); v != 1000 {
 		t.Fatalf("victim corrupted: %d", v)
 	}
-	if !m.Dead {
+	if !m.Dead() {
 		t.Fatal("module should be killed after violation")
 	}
 	if f.sys.Mon.LastViolation().Op != "memwrite" {
@@ -561,7 +561,7 @@ func TestIndirectCallModulePointerChecked(t *testing.T) {
 	if _, err := f.t.IndirectCall(slot, "ops.handler", uint64(f.victim), 0); !errors.Is(err, core.ErrViolation) {
 		t.Fatalf("indirect call to unauthorized target not blocked: %v", err)
 	}
-	if !m.Dead {
+	if !m.Dead() {
 		t.Fatal("module should be killed")
 	}
 }

@@ -12,6 +12,8 @@ package core
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"lxfi/internal/annot"
 	"lxfi/internal/caps"
@@ -125,11 +127,35 @@ type Module struct {
 	DataSize   uint64
 	RODataSize uint64
 
-	// Dead is set when the module commits an isolation violation; every
+	// dead is set when the module commits an isolation violation; every
 	// subsequent interaction with it fails (the simulated analogue of
-	// "the kernel panics" / the module being killed).
-	Dead       bool
-	KillReason *Violation
+	// "the kernel panics" / the module being killed). It is atomic
+	// because any thread's violation can kill a module other threads are
+	// about to enter.
+	dead       atomic.Bool
+	killMu     sync.Mutex
+	killReason *Violation
+}
+
+// Dead reports whether the module has been killed after a violation.
+func (m *Module) Dead() bool { return m.dead.Load() }
+
+// KillReason returns the violation that killed the module, or nil.
+func (m *Module) KillReason() *Violation {
+	m.killMu.Lock()
+	defer m.killMu.Unlock()
+	return m.killReason
+}
+
+// kill marks the module dead; the first violation wins.
+func (m *Module) kill(v *Violation) {
+	m.killMu.Lock()
+	defer m.killMu.Unlock()
+	if m.dead.Load() {
+		return
+	}
+	m.killReason = v
+	m.dead.Store(true)
 }
 
 func (m *Module) String() string { return "module " + m.Name }

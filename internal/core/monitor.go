@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"lxfi/internal/mem"
@@ -110,10 +111,14 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 }
 
 // Monitor holds the runtime's enforcement configuration and violation
-// log.
+// log. The mode is atomic (it is consulted on every guard from every
+// thread) and the violation log has its own mutex, a leaf lock that is
+// never held while calling out.
 type Monitor struct {
-	mode       Mode
-	Stats      Stats
+	mode  atomic.Uint32
+	Stats Stats
+
+	vmu        sync.Mutex
 	violations []*Violation
 
 	// KillOnViolation controls whether a violating module is killed
@@ -138,19 +143,25 @@ func NewMonitor() *Monitor {
 }
 
 // Mode returns the current enforcement mode.
-func (m *Monitor) Mode() Mode { return m.mode }
+func (m *Monitor) Mode() Mode { return Mode(m.mode.Load()) }
 
 // SetMode switches enforcement on or off.
-func (m *Monitor) SetMode(mode Mode) { m.mode = mode }
+func (m *Monitor) SetMode(mode Mode) { m.mode.Store(uint32(mode)) }
 
 // Enforcing reports whether guards are active.
-func (m *Monitor) Enforcing() bool { return m.mode == Enforce }
+func (m *Monitor) Enforcing() bool { return Mode(m.mode.Load()) == Enforce }
 
-// Violations returns all recorded violations.
-func (m *Monitor) Violations() []*Violation { return m.violations }
+// Violations returns a snapshot of all recorded violations.
+func (m *Monitor) Violations() []*Violation {
+	m.vmu.Lock()
+	defer m.vmu.Unlock()
+	return append([]*Violation(nil), m.violations...)
+}
 
 // LastViolation returns the most recent violation, or nil.
 func (m *Monitor) LastViolation() *Violation {
+	m.vmu.Lock()
+	defer m.vmu.Unlock()
 	if len(m.violations) == 0 {
 		return nil
 	}
@@ -158,10 +169,16 @@ func (m *Monitor) LastViolation() *Violation {
 }
 
 // ResetViolations clears the violation log.
-func (m *Monitor) ResetViolations() { m.violations = nil }
+func (m *Monitor) ResetViolations() {
+	m.vmu.Lock()
+	defer m.vmu.Unlock()
+	m.violations = nil
+}
 
 func (m *Monitor) record(v *Violation) error {
+	m.vmu.Lock()
 	m.violations = append(m.violations, v)
+	m.vmu.Unlock()
 	if m.OnViolation != nil {
 		m.OnViolation(v)
 	}

@@ -241,7 +241,7 @@ func TestViolationKillSwitchOff(t *testing.T) {
 	if err != nil || ret != 5 {
 		t.Fatalf("ret=%d err=%v", ret, err)
 	}
-	if m.Dead {
+	if m.Dead() {
 		t.Fatal("module killed despite KillOnViolation=false")
 	}
 	if len(f.sys.Mon.Violations()) == 0 {

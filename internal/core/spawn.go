@@ -1,0 +1,42 @@
+package core
+
+// Goroutine-backed kernel threads.
+//
+// The original LXFI runs on a multi-core kernel: every CPU carries its
+// own thread context and per-thread shadow stack (§5), and the monitor's
+// shared state — capability tables, module registries, writer sets — is
+// what the per-CPU contexts synchronize on. This file gives the
+// simulation the same shape: each spawned Thread runs on its own
+// goroutine, keeping its principal and shadow stack private, while every
+// shared structure it touches is internally locked (see the lock-order
+// notes on System and in internal/caps).
+//
+// A Thread remains confined to one goroutine at a time: the shadow
+// stack, current principal, and KernelDS flag are deliberately
+// unsynchronized, exactly like a real per-CPU context.
+
+// ThreadHandle tracks one spawned kernel thread until it exits.
+type ThreadHandle struct {
+	// T is the thread the spawned goroutine runs on. It must not be used
+	// by other goroutines until Join returns.
+	T    *Thread
+	done chan struct{}
+}
+
+// Spawn runs fn on a fresh kernel thread backed by its own goroutine and
+// returns a handle to join it. The thread starts in trusted kernel
+// context, like a kthread.
+func (s *System) Spawn(name string, fn func(*Thread)) *ThreadHandle {
+	h := &ThreadHandle{T: s.NewThread(name), done: make(chan struct{})}
+	go func() {
+		defer close(h.done)
+		fn(h.T)
+	}()
+	return h
+}
+
+// Join blocks until the spawned thread's function returns.
+func (h *ThreadHandle) Join() { <-h.done }
+
+// Done exposes the completion channel for select-based waiters.
+func (h *ThreadHandle) Done() <-chan struct{} { return h.done }

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"lxfi/internal/annot"
 	"lxfi/internal/caps"
@@ -20,6 +22,14 @@ type IterFunc func(t *Thread, args []int64, emit func(caps.Cap) error) error
 
 // System is the whole simulated machine: address space, allocators,
 // capability state, function registry, and the LXFI monitor.
+//
+// Concurrency: threads created with NewThread/Spawn run on their own
+// goroutines. The registries below (functions, fptr types, iterators,
+// constants, modules) are guarded by mu — registration mostly happens at
+// boot and module load, lookups happen on every mediated call. mu is
+// never held across a call into module or kernel function bodies, nor
+// across the caps/wst/mem locks (see the lock-order note in
+// internal/caps).
 type System struct {
 	AS      *mem.AddressSpace
 	Slab    *mem.Slab
@@ -30,6 +40,7 @@ type System struct {
 	Layouts *layout.Registry
 	Mon     *Monitor
 
+	mu          sync.RWMutex // guards the registries below
 	funcsByAddr map[mem.Addr]*FuncDecl
 	funcsByName map[string]*FuncDecl // kernel exports and user functions
 	fptrTypes   map[string]*FPtrType
@@ -41,7 +52,7 @@ type System struct {
 	moduleArea *mem.Bump
 	userText   *mem.Bump
 
-	nextToken uint64 // shadow-stack return tokens
+	nextToken atomic.Uint64 // shadow-stack return tokens
 }
 
 // NewSystem boots an empty simulated machine with LXFI off.
@@ -76,7 +87,9 @@ const funcSlotSize = 16
 
 func (s *System) registerFunc(f *FuncDecl, text *mem.Bump) *FuncDecl {
 	f.Addr = text.Alloc(funcSlotSize, funcSlotSize)
+	s.mu.Lock()
 	s.funcsByAddr[f.Addr] = f
+	s.mu.Unlock()
 	return f
 }
 
@@ -90,10 +103,12 @@ func (s *System) RegisterKernelFunc(name string, params []Param, annotSrc string
 	}
 	s.validateAnnot(name, params, set)
 	f := &FuncDecl{Name: name, Params: params, Annot: set, Impl: impl}
+	s.registerFunc(f, s.kernelText)
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if _, dup := s.funcsByName[name]; dup {
 		panic("core: duplicate kernel function " + name)
 	}
-	s.registerFunc(f, s.kernelText)
 	s.funcsByName[name] = f
 	return f
 }
@@ -103,10 +118,12 @@ func (s *System) RegisterKernelFunc(name string, params []Param, annotSrc string
 // invoke it even if they somehow obtain a CALL capability.
 func (s *System) RegisterUnannotatedKernelFunc(name string, params []Param, impl Impl) *FuncDecl {
 	f := &FuncDecl{Name: name, Params: params, Annot: nil, Impl: impl}
+	s.registerFunc(f, s.kernelText)
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if _, dup := s.funcsByName[name]; dup {
 		panic("core: duplicate kernel function " + name)
 	}
-	s.registerFunc(f, s.kernelText)
 	s.funcsByName[name] = f
 	return f
 }
@@ -119,6 +136,8 @@ func (s *System) RegisterUnannotatedKernelFunc(name string, params []Param, impl
 func (s *System) RegisterUserFunc(name string, impl Impl) *FuncDecl {
 	f := &FuncDecl{Name: name, Module: "user", Impl: impl}
 	s.registerFunc(f, s.userText)
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.funcsByName[name] = f
 	return f
 }
@@ -128,6 +147,8 @@ func (s *System) RegisterUserFunc(name string, impl Impl) *FuncDecl {
 func (s *System) RegisterUserFuncAt(name string, addr mem.Addr, impl Impl) *FuncDecl {
 	f := &FuncDecl{Name: name, Module: "user", Impl: impl, Addr: addr}
 	s.AS.Map(addr, funcSlotSize)
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.funcsByAddr[addr] = f
 	s.funcsByName[name] = f
 	return f
@@ -141,6 +162,8 @@ func (s *System) RegisterFPtrType(name string, params []Param, annotSrc string) 
 	}
 	s.validateAnnot(name, params, set)
 	ft := &FPtrType{Name: name, Params: params, Annot: set}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if _, dup := s.fptrTypes[name]; dup {
 		panic("core: duplicate fptr type " + name)
 	}
@@ -151,6 +174,8 @@ func (s *System) RegisterFPtrType(name string, params []Param, annotSrc string) 
 // RegisterIterator registers a capability iterator under the name used
 // in annotation sources.
 func (s *System) RegisterIterator(name string, fn IterFunc) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if _, dup := s.iterators[name]; dup {
 		panic("core: duplicate iterator " + name)
 	}
@@ -159,10 +184,16 @@ func (s *System) RegisterIterator(name string, fn IterFunc) {
 
 // RegisterConst makes a symbolic constant (e.g. NETDEV_TX_BUSY)
 // available to annotation expressions.
-func (s *System) RegisterConst(name string, v int64) { s.consts[name] = v }
+func (s *System) RegisterConst(name string, v int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.consts[name] = v
+}
 
 // Const returns a registered constant.
 func (s *System) Const(name string) (int64, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	v, ok := s.consts[name]
 	return v, ok
 }
@@ -195,27 +226,51 @@ func (s *System) validateAnnot(what string, params []Param, set *annot.Set) {
 
 // FuncByName returns a registered kernel or user function.
 func (s *System) FuncByName(name string) (*FuncDecl, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	f, ok := s.funcsByName[name]
 	return f, ok
 }
 
 // FuncByAddr returns the function at a text address.
 func (s *System) FuncByAddr(addr mem.Addr) (*FuncDecl, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	f, ok := s.funcsByAddr[addr]
 	return f, ok
 }
 
+// iterator returns a registered capability iterator.
+func (s *System) iterator(name string) (IterFunc, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	fn, ok := s.iterators[name]
+	return fn, ok
+}
+
 // FPtrType returns a registered function-pointer type.
 func (s *System) FPtrType(name string) (*FPtrType, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	t, ok := s.fptrTypes[name]
 	return t, ok
 }
 
-// FPtrTypes returns all registered function-pointer types.
-func (s *System) FPtrTypes() map[string]*FPtrType { return s.fptrTypes }
+// FPtrTypes returns a snapshot of all registered function-pointer types.
+func (s *System) FPtrTypes() map[string]*FPtrType {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string]*FPtrType, len(s.fptrTypes))
+	for n, t := range s.fptrTypes {
+		out[n] = t
+	}
+	return out
+}
 
 // KernelFuncs returns all registered core-kernel functions by name.
 func (s *System) KernelFuncs() map[string]*FuncDecl {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make(map[string]*FuncDecl)
 	for n, f := range s.funcsByName {
 		if f.IsKernel() {
@@ -225,14 +280,27 @@ func (s *System) KernelFuncs() map[string]*FuncDecl {
 	return out
 }
 
-// Module returns a loaded module.
+// Module returns a loaded module. A name mid-load (reserved but not
+// yet published) reads as absent.
 func (s *System) Module(name string) (*Module, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	m, ok := s.modules[name]
-	return m, ok
+	return m, ok && m != nil
 }
 
-// Modules returns all loaded modules.
-func (s *System) Modules() map[string]*Module { return s.modules }
+// Modules returns a snapshot of all loaded modules.
+func (s *System) Modules() map[string]*Module {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string]*Module, len(s.modules))
+	for n, m := range s.modules {
+		if m != nil {
+			out[n] = m
+		}
+	}
+	return out
+}
 
 // --- module loading (§4.2 "Module initialization") ---
 
@@ -242,8 +310,21 @@ func (s *System) Modules() map[string]*Module { return s.modules }
 // capability for the writable sections, all to the module's shared
 // principal.
 func (s *System) LoadModule(spec ModuleSpec) (*Module, error) {
+	// Reserve the name atomically: two concurrent loads of one name must
+	// not both pass the duplicate check and then fight over the registry
+	// slot. The nil placeholder is invisible to lookups (Module treats it
+	// as absent) and is replaced or deleted before LoadModule returns.
+	s.mu.Lock()
 	if _, dup := s.modules[spec.Name]; dup {
+		s.mu.Unlock()
 		return nil, fmt.Errorf("core: module %s already loaded", spec.Name)
+	}
+	s.modules[spec.Name] = nil
+	s.mu.Unlock()
+	unreserve := func() {
+		s.mu.Lock()
+		delete(s.modules, spec.Name)
+		s.mu.Unlock()
 	}
 	m := &Module{
 		Name:       spec.Name,
@@ -262,8 +343,9 @@ func (s *System) LoadModule(spec ModuleSpec) (*Module, error) {
 	for _, fs := range spec.Funcs {
 		var set *annot.Set
 		if fs.Type != "" {
-			ft, ok := s.fptrTypes[fs.Type]
+			ft, ok := s.FPtrType(fs.Type)
 			if !ok {
+				unreserve()
 				return nil, fmt.Errorf("core: module %s: function %s references unknown fptr type %q",
 					spec.Name, fs.Name, fs.Type)
 			}
@@ -271,9 +353,11 @@ func (s *System) LoadModule(spec ModuleSpec) (*Module, error) {
 			if fs.Annot != "" {
 				own, err := annot.Parse(fs.Annot)
 				if err != nil {
+					unreserve()
 					return nil, fmt.Errorf("core: module %s: %s: %v", spec.Name, fs.Name, err)
 				}
 				if own.Hash() != set.Hash() {
+					unreserve()
 					return nil, fmt.Errorf(
 						"core: module %s: %s: conflicting annotations (explicit %q vs type %s %q)",
 						spec.Name, fs.Name, own, fs.Type, set)
@@ -286,6 +370,7 @@ func (s *System) LoadModule(spec ModuleSpec) (*Module, error) {
 			var err error
 			set, err = annot.Parse(fs.Annot)
 			if err != nil {
+				unreserve()
 				return nil, fmt.Errorf("core: module %s: %s: %v", spec.Name, fs.Name, err)
 			}
 		}
@@ -318,8 +403,9 @@ func (s *System) LoadModule(spec ModuleSpec) (*Module, error) {
 	// paper these name the functions' wrappers; here wrapping is implicit
 	// in call mediation, so the capability names the function address.)
 	for _, imp := range spec.Imports {
-		f, ok := s.funcsByName[imp]
+		f, ok := s.FuncByName(imp)
 		if !ok || !f.IsKernel() {
+			unreserve()
 			return nil, fmt.Errorf("core: module %s imports unknown kernel symbol %q", spec.Name, imp)
 		}
 		s.Caps.Grant(shared, caps.CallCap(f.Addr))
@@ -331,30 +417,37 @@ func (s *System) LoadModule(spec ModuleSpec) (*Module, error) {
 		s.Caps.Grant(shared, caps.CallCap(f.Addr))
 	}
 
+	s.mu.Lock()
 	s.modules[spec.Name] = m
+	s.mu.Unlock()
 	return m, nil
 }
 
-// UnloadModule removes a module and revokes all its capabilities.
+// UnloadModule removes a module and revokes all its capabilities. The
+// capability teardown happens inside the registry critical section so a
+// concurrent LoadModule of the same name cannot slip between the two
+// and have its fresh principal set discarded (lock order: core.System.mu
+// before caps.System.mu, same as the grants in LoadModule's callees).
 func (s *System) UnloadModule(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	m, ok := s.modules[name]
-	if !ok {
+	if !ok || m == nil {
 		return
 	}
 	for _, f := range m.Funcs {
 		delete(s.funcsByAddr, f.Addr)
 	}
-	s.Caps.UnloadModule(name)
 	delete(s.modules, name)
+	s.Caps.UnloadModule(name)
 }
 
 // killModule marks a module dead after a violation.
 func (s *System) killModule(m *Module, v *Violation) {
-	if m == nil || m.Dead {
+	if m == nil {
 		return
 	}
-	m.Dead = true
-	m.KillReason = v
+	m.kill(v)
 }
 
 // NewThread creates an execution context (one simulated kernel thread

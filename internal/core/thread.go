@@ -16,6 +16,10 @@ import (
 // Thread is also the only interface through which module code touches
 // kernel memory or kernel functions — the role the compile-time rewriter
 // plays in the original system.
+//
+// A Thread is confined to one goroutine at a time (use System.Spawn to
+// run threads concurrently): its fields mirror a per-CPU context and are
+// not synchronized. Everything a Thread reaches through Sys is.
 type Thread struct {
 	Sys  *System
 	Name string
@@ -256,8 +260,7 @@ func (t *Thread) CallerModule() *Module {
 }
 
 func (t *Thread) token() uint64 {
-	t.Sys.nextToken++
-	return t.Sys.nextToken
+	return t.Sys.nextToken.Add(1)
 }
 
 // pushFrame records a wrapper entry on the shadow stack and returns the

@@ -17,6 +17,7 @@ func TestOpCycleBothModesBothFilesystems(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s/%s: %v", kind, mode, err)
 			}
+			defer rig.Close()
 			for i := 0; i < 20; i++ {
 				if err := rig.OpCycle(i, payload); err != nil {
 					t.Fatalf("%s/%s cycle %d: %v", kind, mode, i, err)
@@ -86,7 +87,11 @@ func TestJSONReportShape(t *testing.T) {
 		}
 		all = append(all, c)
 	}
-	out, err := fsperf.JSON(all, 4, mem.PageSize)
+	conc, err := fsperf.MeasureConcurrency(4, mem.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := fsperf.JSON(all, conc, 4, mem.PageSize)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,6 +106,12 @@ func TestJSONReportShape(t *testing.T) {
 				LxfiNs  float64 `json:"lxfi_ns"`
 			} `json:"rows"`
 		} `json:"results"`
+		Concurrency *struct {
+			Workers int      `json:"workers"`
+			Mounts  []string `json:"mounts"`
+			StockNs float64  `json:"stock_ns"`
+			LxfiNs  float64  `json:"lxfi_ns"`
+		} `json:"concurrency"`
 	}
 	if err := json.Unmarshal(out, &doc); err != nil {
 		t.Fatalf("artifact is not valid JSON: %v", err)
@@ -118,6 +129,37 @@ func TestJSONReportShape(t *testing.T) {
 			}
 		}
 	}
+	if doc.Concurrency == nil {
+		t.Fatal("artifact is missing the multi-mount concurrency phase")
+	}
+	if doc.Concurrency.Workers < 2 || len(doc.Concurrency.Mounts) < 2 {
+		t.Fatalf("concurrency phase used %d workers on %v, want >= 2 simultaneous mounts",
+			doc.Concurrency.Workers, doc.Concurrency.Mounts)
+	}
+	if doc.Concurrency.StockNs <= 0 || doc.Concurrency.LxfiNs <= 0 {
+		t.Fatalf("concurrency phase has a zero cost: %+v", *doc.Concurrency)
+	}
+}
+
+// TestConcurrencyPhaseRunsWorkersSimultaneously: the multi-mount phase
+// must be produced by worker threads whose busy intervals genuinely
+// overlap — one worker per mount, tmpfssim and minixsim at once.
+func TestConcurrencyPhaseRunsWorkersSimultaneously(t *testing.T) {
+	conc, err := fsperf.MeasureConcurrency(8, mem.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conc.Workers != 2 {
+		t.Fatalf("workers = %d, want 2", conc.Workers)
+	}
+	if !conc.Overlapped {
+		t.Fatal("worker busy intervals never overlapped; the phase ran serialized")
+	}
+	for _, mode := range []core.Mode{core.Off, core.Enforce} {
+		if conc.Ns[mode] <= 0 {
+			t.Fatalf("mode %s has zero cost", mode)
+		}
+	}
 }
 
 // TestEnforcedCrossingsAreCounted sanity-checks the workload shape: the
@@ -128,6 +170,7 @@ func TestEnforcedCrossingsAreCounted(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer rig.Close()
 	v, th, sb := rig.V, rig.Th, rig.SB
 	if _, err := v.Create(th, sb, "/f"); err != nil {
 		t.Fatal(err)
@@ -139,18 +182,18 @@ func TestEnforcedCrossingsAreCounted(t *testing.T) {
 		t.Fatal(err)
 	}
 	v.DropCaches(sb)
-	fills := v.Stats.PageFills
+	fills := v.Stats.PageFills.Load()
 	if _, err := v.Read(th, sb, "/f", 0, 2*mem.PageSize); err != nil {
 		t.Fatal(err)
 	}
-	if got := v.Stats.PageFills - fills; got != 2 {
+	if got := v.Stats.PageFills.Load() - fills; got != 2 {
 		t.Fatalf("cold read crossed %d times, want 2", got)
 	}
-	fills = v.Stats.PageFills
+	fills = v.Stats.PageFills.Load()
 	if _, err := v.Read(th, sb, "/f", 0, 2*mem.PageSize); err != nil {
 		t.Fatal(err)
 	}
-	if got := v.Stats.PageFills - fills; got != 0 {
+	if got := v.Stats.PageFills.Load() - fills; got != 0 {
 		t.Fatalf("warm read crossed %d times, want 0", got)
 	}
 }

@@ -32,6 +32,8 @@ func (k *Kernel) IOPortInit() {
 		[]core.Param{core.P("port", "u16")},
 		"pre(check(ref(io port), port))",
 		func(t *core.Thread, args []uint64) uint64 {
+			k.mu.Lock()
+			defer k.mu.Unlock()
 			return uint64(k.ports[args[0]&0xffff])
 		})
 
@@ -39,7 +41,9 @@ func (k *Kernel) IOPortInit() {
 		[]core.Param{core.P("port", "u16"), core.P("val", "u8")},
 		"pre(check(ref(io port), port))",
 		func(t *core.Thread, args []uint64) uint64 {
+			k.mu.Lock()
 			k.ports[args[0]&0xffff] = uint8(args[1])
+			k.mu.Unlock()
 			return 0
 		})
 }
@@ -56,11 +60,15 @@ func (k *Kernel) GrantIOPortRange(m *core.Module, base, n uint16) {
 // Port reads the simulated port space directly (trusted-side test
 // helper).
 func (k *Kernel) Port(port uint16) uint8 {
+	k.mu.Lock()
+	defer k.mu.Unlock()
 	return k.ports[uint64(port)]
 }
 
 // SetPort writes the simulated port space directly (trusted side).
 func (k *Kernel) SetPort(port uint16, v uint8) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
 	if k.ports == nil {
 		k.ports = make(map[uint64]uint8)
 	}

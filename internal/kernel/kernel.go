@@ -10,6 +10,7 @@ package kernel
 
 import (
 	"fmt"
+	"sync"
 
 	"lxfi/internal/caps"
 	"lxfi/internal/core"
@@ -44,9 +45,14 @@ func IsErr(v uint64) bool { return int64(v) < 0 }
 const PidHashBuckets = 16
 
 // Kernel is the simulated core kernel.
+//
+// mu guards the small mutable kernel tables (pid counter, timer wheel,
+// port space, printk log, daemon list); it is a leaf lock, never held
+// across a call into module code.
 type Kernel struct {
 	Sys *core.System
 
+	mu      sync.Mutex
 	pidHash mem.Addr // array of PidHashBuckets u64 chain heads
 	nextPid uint64
 
@@ -63,6 +69,42 @@ type Kernel struct {
 	now         uint64
 
 	logs []string
+
+	// daemons are background kernel threads (goroutine-backed), e.g. the
+	// VFS writeback flusher. Shutdown stops and joins them.
+	daemons []*daemon
+}
+
+// daemon is one background kernel thread.
+type daemon struct {
+	name string
+	stop chan struct{}
+	h    *core.ThreadHandle
+}
+
+// SpawnDaemon starts a background kernel thread (a kthread): run
+// executes on its own goroutine-backed Thread and should return when the
+// stop channel closes. Subsystems register daemons at boot — the VFS
+// writeback flusher is spawned this way from vfs.Init.
+func (k *Kernel) SpawnDaemon(name string, run func(t *core.Thread, stop <-chan struct{})) {
+	d := &daemon{name: name, stop: make(chan struct{})}
+	d.h = k.Sys.Spawn(name, func(t *core.Thread) { run(t, d.stop) })
+	k.mu.Lock()
+	k.daemons = append(k.daemons, d)
+	k.mu.Unlock()
+}
+
+// Shutdown stops every background daemon and waits for it to exit. Safe
+// to call more than once.
+func (k *Kernel) Shutdown() {
+	k.mu.Lock()
+	ds := k.daemons
+	k.daemons = nil
+	k.mu.Unlock()
+	for _, d := range ds {
+		close(d.stop)
+		d.h.Join()
+	}
 }
 
 // Layout names registered by this package.
@@ -119,12 +161,19 @@ func (k *Kernel) Enforce() { k.Sys.Mon.SetMode(core.Enforce) }
 // Stock switches LXFI off (baseline kernel).
 func (k *Kernel) Stock() { k.Sys.Mon.SetMode(core.Off) }
 
-// Log returns the printk log.
-func (k *Kernel) Log() []string { return k.logs }
+// Log returns a snapshot of the printk log.
+func (k *Kernel) Log() []string {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return append([]string(nil), k.logs...)
+}
 
 // Printk appends to the kernel log (trusted-side helper).
 func (k *Kernel) Printk(format string, args ...any) {
-	k.logs = append(k.logs, fmt.Sprintf(format, args...))
+	msg := fmt.Sprintf(format, args...)
+	k.mu.Lock()
+	k.logs = append(k.logs, msg)
+	k.mu.Unlock()
 }
 
 // --- exported kernel API (the functions modules import) ---
@@ -204,7 +253,9 @@ func (k *Kernel) registerExports() {
 			if err != nil {
 				return Err(EFAULT)
 			}
+			k.mu.Lock()
 			k.logs = append(k.logs, s)
+			k.mu.Unlock()
 			return 0
 		})
 
@@ -354,6 +405,8 @@ func (k *Kernel) TaskField(task mem.Addr, field string) mem.Addr {
 // the pid hash, and returns its address.
 func (k *Kernel) CreateTask(comm string, uid uint64) mem.Addr {
 	task := k.Sys.Statics.Alloc(k.taskLayout.Size, 8)
+	k.mu.Lock()
+	defer k.mu.Unlock()
 	pid := k.nextPid
 	k.nextPid++
 	as := k.Sys.AS

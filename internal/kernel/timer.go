@@ -43,6 +43,8 @@ func (k *Kernel) TimerInit() {
 		[]core.Param{core.P("expires", "u64"), core.P("fn", "timer_fn_t"), core.P("arg", "u64")},
 		"pre(check(call, fn))",
 		func(t *core.Thread, args []uint64) uint64 {
+			k.mu.Lock()
+			defer k.mu.Unlock()
 			k.nextTimerID++
 			k.timers = append(k.timers, timer{
 				id:      k.nextTimerID,
@@ -57,6 +59,8 @@ func (k *Kernel) TimerInit() {
 		[]core.Param{core.P("id", "u64")},
 		"",
 		func(t *core.Thread, args []uint64) uint64 {
+			k.mu.Lock()
+			defer k.mu.Unlock()
 			for i, tm := range k.timers {
 				if tm.id == args[0] {
 					k.timers = append(k.timers[:i], k.timers[i+1:]...)
@@ -73,6 +77,7 @@ func (k *Kernel) TimerInit() {
 // compromised still cannot be redirected afterwards (the function
 // address was pinned at mod_timer time).
 func (k *Kernel) AdvanceTime(t *core.Thread, now uint64) (fired int) {
+	k.mu.Lock()
 	k.now = now
 	var due []timer
 	rest := k.timers[:0]
@@ -84,6 +89,7 @@ func (k *Kernel) AdvanceTime(t *core.Thread, now uint64) (fired int) {
 		}
 	}
 	k.timers = rest
+	k.mu.Unlock()
 	sort.Slice(due, func(i, j int) bool { return due[i].expires < due[j].expires })
 	for _, tm := range due {
 		// Dispatch from kernel context through the slot-less checked
@@ -100,7 +106,15 @@ func (k *Kernel) AdvanceTime(t *core.Thread, now uint64) (fired int) {
 }
 
 // PendingTimers returns the number of armed timers.
-func (k *Kernel) PendingTimers() int { return len(k.timers) }
+func (k *Kernel) PendingTimers() int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return len(k.timers)
+}
 
 // Now returns the simulated clock.
-func (k *Kernel) Now() uint64 { return k.now }
+func (k *Kernel) Now() uint64 {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.now
+}

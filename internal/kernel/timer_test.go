@@ -141,7 +141,7 @@ func TestTimerCallbackRunsUnderModulePrincipal(t *testing.T) {
 	if v, _ := k.Sys.AS.ReadU64(victim); v != 7 {
 		t.Fatal("timer callback escaped isolation")
 	}
-	if !m.Dead {
+	if !m.Dead() {
 		t.Fatal("module not killed for the violation")
 	}
 }

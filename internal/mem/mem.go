@@ -12,6 +12,8 @@ package mem
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
+	"sync/atomic"
 )
 
 // Addr is a virtual address in the simulated address space.
@@ -63,15 +65,21 @@ func (e *AccessError) Error() string {
 }
 
 // AddressSpace is a sparse, page-granular simulated address space.
-// It is not safe for concurrent use; callers (the simulated kernel)
-// serialize access, mirroring the single-core evaluation setup of the
-// paper (§7: "a single-core x86 64 system").
+//
+// The page table (the map from page base to backing bytes) is safe for
+// concurrent use: simulated kernel threads now run on their own
+// goroutines, so mapping and access may race. Byte-level access to the
+// *contents* of a page is deliberately not serialized — overlapping
+// unsynchronized writes from two simulated threads are a data race in
+// the simulated kernel exactly as they would be on real hardware, and
+// the race detector will report them as such.
 type AddressSpace struct {
+	mu    sync.RWMutex
 	pages map[Addr][]byte // keyed by page base address
 
 	// faults counts page faults (accesses to unmapped pages); exploits
 	// and tests use this to observe oopses.
-	faults uint64
+	faults atomic.Uint64
 }
 
 // NewAddressSpace returns an empty address space.
@@ -85,6 +93,8 @@ func (as *AddressSpace) Map(addr Addr, size uint64) {
 	if size == 0 {
 		return
 	}
+	as.mu.Lock()
+	defer as.mu.Unlock()
 	first := PageBase(addr)
 	last := PageBase(addr + Addr(size) - 1)
 	for p := first; ; p += PageSize {
@@ -102,6 +112,8 @@ func (as *AddressSpace) Unmap(addr Addr, size uint64) {
 	if size == 0 {
 		return
 	}
+	as.mu.Lock()
+	defer as.mu.Unlock()
 	first := PageBase(addr)
 	last := PageBase(addr + Addr(size) - 1)
 	for p := first; ; p += PageSize {
@@ -117,6 +129,8 @@ func (as *AddressSpace) Mapped(addr Addr, size uint64) bool {
 	if size == 0 {
 		return true
 	}
+	as.mu.RLock()
+	defer as.mu.RUnlock()
 	first := PageBase(addr)
 	last := PageBase(addr + Addr(size) - 1)
 	for p := first; ; p += PageSize {
@@ -131,7 +145,7 @@ func (as *AddressSpace) Mapped(addr Addr, size uint64) bool {
 }
 
 // Faults returns the number of page faults taken so far.
-func (as *AddressSpace) Faults() uint64 { return as.faults }
+func (as *AddressSpace) Faults() uint64 { return as.faults.Load() }
 
 // Read copies len(buf) bytes starting at addr into buf.
 func (as *AddressSpace) Read(addr Addr, buf []byte) error {
@@ -148,12 +162,16 @@ func (as *AddressSpace) access(op string, addr Addr, buf []byte, write bool) err
 	if n == 0 {
 		return nil
 	}
+	// The read lock pins the page table (no Unmap mid-copy); page
+	// contents are intentionally unserialized, see the type comment.
+	as.mu.RLock()
+	defer as.mu.RUnlock()
 	off := 0
 	a := addr
 	for off < len(buf) {
 		page, ok := as.pages[PageBase(a)]
 		if !ok {
-			as.faults++
+			as.faults.Add(1)
 			return &AccessError{Op: op, Addr: a, Size: n}
 		}
 		po := int(a & PageMask)

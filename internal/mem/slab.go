@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Slab is a SLUB-like slab allocator over an AddressSpace.
@@ -14,6 +15,7 @@ import (
 // (CVE-2010-2959) depends on an undersized buffer sitting directly next
 // to a victim shmid_kernel object in the same slab.
 type Slab struct {
+	mu       sync.Mutex // guards all allocator state (lock order: Slab.mu before AddressSpace.mu)
 	as       *AddressSpace
 	heapNext Addr // next fresh page to carve (bump allocated)
 
@@ -81,6 +83,8 @@ func (s *Slab) Alloc(size uint64) (Addr, error) {
 	if size == 0 {
 		return 0, ErrZeroAlloc
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	class := SizeClassFor(size)
 	s.allocs++
 	if class > 4096 {
@@ -124,6 +128,8 @@ func (s *Slab) Alloc(size uint64) (Addr, error) {
 // The object's memory is poisoned (0x6b, like SLUB poisoning) so that
 // use-after-free is observable in tests.
 func (s *Slab) Free(addr Addr) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	info, ok := s.objects[addr]
 	if !ok {
 		return fmt.Errorf("%w: %#x", ErrBadFree, uint64(addr))
@@ -149,6 +155,8 @@ func (s *Slab) Free(addr Addr) error {
 
 // ObjectSize returns the usable size of the live object based at addr.
 func (s *Slab) ObjectSize(addr Addr) (uint64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	info, ok := s.objects[addr]
 	if !ok {
 		return 0, false
@@ -158,6 +166,8 @@ func (s *Slab) ObjectSize(addr Addr) (uint64, bool) {
 
 // RequestedSize returns the originally requested size of the live object.
 func (s *Slab) RequestedSize(addr Addr) (uint64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	info, ok := s.objects[addr]
 	if !ok {
 		return 0, false
@@ -169,6 +179,8 @@ func (s *Slab) RequestedSize(addr Addr) (uint64, bool) {
 // the object at addr within the same slab page, if any. Exploit code and
 // tests use this to reason about slab adjacency.
 func (s *Slab) NextObject(addr Addr) (Addr, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	info, ok := s.objects[addr]
 	if !ok || info.class > 4096 {
 		return 0, false
@@ -182,19 +194,31 @@ func (s *Slab) NextObject(addr Addr) (Addr, bool) {
 
 // Owns reports whether addr is the base of a live allocation.
 func (s *Slab) Owns(addr Addr) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	_, ok := s.objects[addr]
 	return ok
 }
 
 // Live returns the number of live objects.
-func (s *Slab) Live() int { return len(s.objects) }
+func (s *Slab) Live() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.objects)
+}
 
 // Stats returns cumulative allocation and free counts.
-func (s *Slab) Stats() (allocs, frees uint64) { return s.allocs, s.frees }
+func (s *Slab) Stats() (allocs, frees uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.allocs, s.frees
+}
 
 // LiveObjects returns the base addresses of all live objects in sorted
 // order; used by introspection tooling and tests.
 func (s *Slab) LiveObjects() []Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	out := make([]Addr, 0, len(s.objects))
 	for a := range s.objects {
 		out = append(out, a)
@@ -206,6 +230,7 @@ func (s *Slab) LiveObjects() []Addr {
 // Bump is a trivial monotonic allocator for regions that are never freed
 // (module data sections, static kernel objects, user mappings).
 type Bump struct {
+	mu   sync.Mutex
 	as   *AddressSpace
 	next Addr
 }
@@ -221,6 +246,8 @@ func (b *Bump) Alloc(size, align uint64) Addr {
 	if align < 8 {
 		align = 8
 	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	b.next = Addr((uint64(b.next) + align - 1) &^ (align - 1))
 	addr := b.next
 	b.as.Map(addr, size)
@@ -229,4 +256,8 @@ func (b *Bump) Alloc(size, align uint64) Addr {
 }
 
 // Next returns the next address the allocator would hand out (unaligned).
-func (b *Bump) Next() Addr { return b.next }
+func (b *Bump) Next() Addr {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.next
+}

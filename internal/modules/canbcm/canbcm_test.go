@@ -128,7 +128,7 @@ func TestOverflowWriteBlockedByLXFI(t *testing.T) {
 	if k.Sys.Mon.LastViolation() == nil {
 		t.Fatal("no violation recorded")
 	}
-	if !p.M.Dead {
+	if !p.M.Dead() {
 		t.Fatal("module should be killed")
 	}
 }

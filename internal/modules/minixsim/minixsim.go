@@ -53,7 +53,10 @@ const TamperValue = 0x4242424242424242
 // On-disk geometry: every inode owns a fixed extent of MaxFilePages
 // pages; extent slots are handed out round-robin per mount. After the
 // data extents sits the directory table: one sector-sized record per
-// slot, so the namespace survives a remount.
+// slot, so the namespace survives a remount. After the table sits the
+// used-slot bitmap: one bit per slot, kept in sync by every record
+// write, so mount-time recovery reads only the records the bitmap marks
+// live — O(live records) instead of a MaxSlots scan.
 const (
 	SectorsPerPage = mem.PageSize / blockdev.SectorSize
 	MaxFilePages   = 4
@@ -63,8 +66,12 @@ const (
 	DataSectors   = MaxSlots * SectorsPerFile
 	DirTabStart   = DataSectors
 	DirTabSectors = MaxSlots
+	// BitmapStart is the used-slot bitmap sector: MaxSlots bits (128
+	// bytes), well inside one sector.
+	BitmapStart   = DirTabStart + DirTabSectors
+	BitmapSectors = 1
 	// DiskSectors is the disk size a mount expects.
-	DiskSectors = DataSectors + DirTabSectors
+	DiskSectors = DataSectors + DirTabSectors + BitmapSectors
 	// RecSize is the size of one directory-table record (one sector, so
 	// a record is always sector-addressable).
 	RecSize = blockdev.SectorSize
@@ -116,6 +123,7 @@ func Load(t *core.Thread, k *kernel.Kernel, v *vfs.VFS) (*FS, error) {
 		layout.F("freestack", 8), // array of reusable extent slots
 		layout.F("freecount", 8),
 		layout.F("recbuf", 8), // module-owned directory-record buffer
+		layout.F("bmbuf", 8),  // module-owned used-slot bitmap buffer
 		layout.F("tamper", 8), // nonzero once CmdTamper armed the compromise
 	)
 
@@ -195,9 +203,40 @@ func (fs *FS) parentSlot(t *core.Thread, priv mem.Addr, dir uint64) uint64 {
 	return slot
 }
 
+// setUsedBit flips the slot's bit in the module's bitmap buffer and, if
+// it changed, persists the bitmap sector. Steady-state record rewrites
+// (size folds, renames) leave the bit untouched and skip the extra
+// sector write.
+func (fs *FS) setUsedBit(t *core.Thread, sb, priv mem.Addr, slot, used uint64) bool {
+	buf, _ := t.ReadU64(fs.pvField(priv, "bmbuf"))
+	bb := mem.Addr(buf) + mem.Addr(slot/8)
+	cur, err := t.ReadU8(bb)
+	if err != nil {
+		return false
+	}
+	bit := uint8(1) << (slot % 8)
+	next := cur &^ bit
+	if used != 0 {
+		next = cur | bit
+	}
+	if next == cur {
+		return true
+	}
+	if t.WriteU8(bb, next) != nil {
+		return false
+	}
+	dev, _ := t.ReadU64(fs.V.SBField(sb, "dev"))
+	ret, err := t.CallKernel("dm_write_sectors", dev, BitmapStart, buf, blockdev.SectorSize)
+	return err == nil && !kernel.IsErr(ret)
+}
+
 // writeRec persists one directory-table record from the mount's own
 // record buffer through dm_write_sectors (which checks the module owns
-// the buffer it is persisting).
+// the buffer it is persisting), keeping the used-slot bitmap in sync.
+// Ordering makes the record the commit point: a live bit is set before
+// its record is written (a crash in between leaves a bit whose dead
+// record mount-time recovery skips and frees), and cleared only after
+// the record is killed.
 func (fs *FS) writeRec(t *core.Thread, sb, priv mem.Addr, slot, used, parent, mode, size uint64, name []byte) bool {
 	buf, _ := t.ReadU64(fs.pvField(priv, "recbuf"))
 	rb := mem.Addr(buf)
@@ -215,12 +254,21 @@ func (fs *FS) writeRec(t *core.Thread, sb, priv mem.Addr, slot, used, parent, mo
 		return false
 	}
 	copy(rec[recName:], name)
+	if used != 0 && !fs.setUsedBit(t, sb, priv, slot, 1) {
+		return false
+	}
 	if t.Write(rb, rec) != nil {
 		return false
 	}
 	dev, _ := t.ReadU64(fs.V.SBField(sb, "dev"))
 	ret, err := t.CallKernel("dm_write_sectors", dev, DirTabStart+slot, uint64(rb), RecSize)
-	return err == nil && !kernel.IsErr(ret)
+	if err != nil || kernel.IsErr(ret) {
+		return false
+	}
+	if used == 0 && !fs.setUsedBit(t, sb, priv, slot, 0) {
+		return false
+	}
+	return true
 }
 
 // addDirent links one in-memory directory entry; returns 0 on failure.
@@ -261,8 +309,16 @@ func (fs *FS) mount(t *core.Thread, args []uint64) uint64 {
 		_, _ = t.CallKernel("kfree", priv)
 		return 0
 	}
+	bmbuf, err := t.CallKernel("kmalloc", blockdev.SectorSize)
+	if err != nil || bmbuf == 0 {
+		_, _ = t.CallKernel("kfree", recbuf)
+		_, _ = t.CallKernel("kfree", stack)
+		_, _ = t.CallKernel("kfree", priv)
+		return 0
+	}
 	root, err := t.CallKernel("iget", uint64(sb))
 	if err != nil || root == 0 {
+		_, _ = t.CallKernel("kfree", bmbuf)
 		_, _ = t.CallKernel("kfree", recbuf)
 		_, _ = t.CallKernel("kfree", stack)
 		_, _ = t.CallKernel("kfree", priv)
@@ -276,6 +332,7 @@ func (fs *FS) mount(t *core.Thread, args []uint64) uint64 {
 		t.WriteU64(fs.pvField(mem.Addr(priv), "freestack"), stack) != nil ||
 		t.WriteU64(fs.pvField(mem.Addr(priv), "freecount"), 0) != nil ||
 		t.WriteU64(fs.pvField(mem.Addr(priv), "recbuf"), recbuf) != nil ||
+		t.WriteU64(fs.pvField(mem.Addr(priv), "bmbuf"), bmbuf) != nil ||
 		t.WriteU64(fs.pvField(mem.Addr(priv), "tamper"), 0) != nil ||
 		t.WriteU64(fs.V.SBField(sb, "private"), priv) != nil ||
 		// Declare the per-file capacity so the VFS rejects oversized
@@ -283,6 +340,7 @@ func (fs *FS) mount(t *core.Thread, args []uint64) uint64 {
 		// persisted.
 		t.WriteU64(fs.V.SBField(sb, "maxbytes"), MaxFilePages*mem.PageSize) != nil {
 		_, _ = t.CallKernel("iput", root)
+		_, _ = t.CallKernel("kfree", bmbuf)
 		_, _ = t.CallKernel("kfree", recbuf)
 		_, _ = t.CallKernel("kfree", stack)
 		_, _ = t.CallKernel("kfree", priv)
@@ -290,6 +348,7 @@ func (fs *FS) mount(t *core.Thread, args []uint64) uint64 {
 	}
 	if !fs.recoverNamespace(t, sb, mem.Addr(priv)) {
 		_, _ = t.CallKernel("iput", root)
+		_, _ = t.CallKernel("kfree", bmbuf)
 		_, _ = t.CallKernel("kfree", recbuf)
 		_, _ = t.CallKernel("kfree", stack)
 		_, _ = t.CallKernel("kfree", priv)
@@ -303,10 +362,24 @@ func (fs *FS) mount(t *core.Thread, args []uint64) uint64 {
 // per record once every parent inode exists. The free-slot bookkeeping
 // is reconstructed from the used bits, so slot allocation continues
 // where the previous mount stopped.
+//
+// Only slots the used-slot bitmap marks live are read — recovery costs
+// O(live records), not O(MaxSlots). A set bit whose record is dead (the
+// crash window between bitmap and record writes) is skipped and the
+// slot freed; the record write remains the commit point.
 func (fs *FS) recoverNamespace(t *core.Thread, sb, priv mem.Addr) bool {
 	dev, _ := t.ReadU64(fs.V.SBField(sb, "dev"))
 	buf, _ := t.ReadU64(fs.pvField(priv, "recbuf"))
+	bmbuf, _ := t.ReadU64(fs.pvField(priv, "bmbuf"))
 	root, _ := t.ReadU64(fs.pvField(priv, "root"))
+
+	if ret, err := t.CallKernel("dm_read_sectors", dev, BitmapStart, bmbuf, blockdev.SectorSize); err != nil || kernel.IsErr(ret) {
+		return false
+	}
+	bitmap, err := t.ReadBytes(mem.Addr(bmbuf), MaxSlots/8)
+	if err != nil {
+		return false
+	}
 
 	type rec struct {
 		parent, mode, size uint64
@@ -315,6 +388,9 @@ func (fs *FS) recoverNamespace(t *core.Thread, sb, priv mem.Addr) bool {
 	}
 	recs := make(map[uint64]*rec)
 	for slot := uint64(0); slot < MaxSlots; slot++ {
+		if bitmap[slot/8]&(1<<(slot%8)) == 0 {
+			continue
+		}
 		ret, err := t.CallKernel("dm_read_sectors", dev, DirTabStart+slot, buf, RecSize)
 		if err != nil || kernel.IsErr(ret) {
 			return false
@@ -331,6 +407,10 @@ func (fs *FS) recoverNamespace(t *core.Thread, sb, priv mem.Addr) bool {
 			return v
 		}
 		if getU64(recUsed) != 1 {
+			// Crash window: bit set, record never committed. The slot is
+			// free (it is below nextslot only if some reachable record
+			// sits above it, in which case the post-recovery free pass
+			// reclaims it).
 			continue
 		}
 		name := raw[recName : recName+vfs.NameMax+1]
@@ -365,7 +445,11 @@ func (fs *FS) recoverNamespace(t *core.Thread, sb, priv mem.Addr) bool {
 	// cyclic — possible on a crashed or corrupted table — is an orphan.
 	// Orphans are dropped entirely: no inode, no dirent, and their slots
 	// become reusable, so the dead records are overwritten on reuse
-	// rather than resurrected as ghosts on every future mount.
+	// rather than resurrected as ghosts on every future mount. (Their
+	// bitmap bits stay set until reuse — mount cannot write the disk,
+	// dm_write_sectors demands the device REF the VFS only grants once
+	// the mount callback has returned — so a dropped record costs one
+	// extra sector read per mount until its slot is recycled.)
 	children := make(map[uint64][]uint64)
 	for slot, r := range recs {
 		children[r.parent] = append(children[r.parent], slot)
@@ -474,9 +558,11 @@ func (fs *FS) killSB(t *core.Thread, args []uint64) uint64 {
 	root, _ := t.ReadU64(fs.pvField(priv, "root"))
 	stack, _ := t.ReadU64(fs.pvField(priv, "freestack"))
 	recbuf, _ := t.ReadU64(fs.pvField(priv, "recbuf"))
+	bmbuf, _ := t.ReadU64(fs.pvField(priv, "bmbuf"))
 	_, _ = t.CallKernel("iput", root)
 	_, _ = t.CallKernel("kfree", stack)
 	_, _ = t.CallKernel("kfree", recbuf)
+	_, _ = t.CallKernel("kfree", bmbuf)
 	_, _ = t.CallKernel("kfree", uint64(priv))
 	return 0
 }

@@ -1,0 +1,277 @@
+package minixsim_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"lxfi/internal/blockdev"
+	"lxfi/internal/core"
+	"lxfi/internal/mem"
+	"lxfi/internal/modules/minixsim"
+	"lxfi/internal/vfs"
+)
+
+// --- raw-disk helpers for corruption injection -------------------------
+
+// rawRec reads the raw directory-table record of slot from the disk.
+func rawRec(disk []byte, slot uint64) []byte {
+	off := (minixsim.DirTabStart + slot) * blockdev.SectorSize
+	return disk[off : off+minixsim.RecSize]
+}
+
+// injectRec writes a raw record for slot directly to the disk bytes and
+// sets the slot's used-slot bitmap bit, simulating a crashed or
+// corrupted table the next mount has to recover from.
+func injectRec(disk []byte, slot, parent, mode, size uint64, name string) {
+	rec := make([]byte, minixsim.RecSize)
+	binary.LittleEndian.PutUint64(rec[0:], 1) // used
+	binary.LittleEndian.PutUint64(rec[8:], parent)
+	binary.LittleEndian.PutUint64(rec[16:], mode)
+	binary.LittleEndian.PutUint64(rec[24:], size)
+	copy(rec[32:], name)
+	copy(rawRec(disk, slot), rec)
+	setBit(disk, slot)
+}
+
+// setBit marks slot used in the on-disk bitmap.
+func setBit(disk []byte, slot uint64) {
+	off := minixsim.BitmapStart*blockdev.SectorSize + slot/8
+	disk[off] |= 1 << (slot % 8)
+}
+
+// slotOf resolves a path's extent slot through its inode.
+func slotOf(t *testing.T, v *vfs.VFS, th *core.Thread, sb mem.Addr, path string) uint64 {
+	t.Helper()
+	ino, err := v.Lookup(th, sb, path)
+	if err != nil {
+		t.Fatalf("lookup %s: %v", path, err)
+	}
+	slot, _ := v.K.Sys.AS.ReadU64(v.InodeField(ino, "private"))
+	return slot
+}
+
+// namesOf returns the name set of a directory listing.
+func namesOf(t *testing.T, v *vfs.VFS, th *core.Thread, sb mem.Addr, dir string) map[string]bool {
+	t.Helper()
+	ents, err := v.Readdir(th, sb, dir)
+	if err != nil {
+		t.Fatalf("readdir %s: %v", dir, err)
+	}
+	out := make(map[string]bool, len(ents))
+	for _, e := range ents {
+		out[e.Name] = true
+	}
+	return out
+}
+
+// TestRemountNamespaceUnchangedWithBitmap: the used-slot bitmap is pure
+// bookkeeping — a remount must recover exactly the namespace (names,
+// tree shape, sizes) the previous mount left behind.
+func TestRemountNamespaceUnchangedWithBitmap(t *testing.T) {
+	_, bl, v, th := boot(t, core.Enforce)
+	bl.AddDisk(1, minixsim.DiskSectors)
+	sb, err := v.Mount(th, minixsim.FsID, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Mkdir(th, sb, "/dir"); err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{0x5a}, 3*mem.PageSize)
+	for _, p := range []string{"/top", "/dir/nested", "/dir/other"} {
+		if _, err := v.Create(th, sb, p); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := v.Write(th, sb, p, 0, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// An unlinked file must stay gone after remount (its bit clears).
+	if _, err := v.Create(th, sb, "/doomed"); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Unlink(th, sb, "/doomed"); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Sync(th, sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Unmount(th, sb); err != nil {
+		t.Fatal(err)
+	}
+
+	sb, err = v.Mount(th, minixsim.FsID, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := namesOf(t, v, th, sb, "/")
+	if !root["top"] || !root["dir"] || root["doomed"] || len(root) != 2 {
+		t.Fatalf("recovered root = %v", root)
+	}
+	sub := namesOf(t, v, th, sb, "/dir")
+	if !sub["nested"] || !sub["other"] || len(sub) != 2 {
+		t.Fatalf("recovered /dir = %v", sub)
+	}
+	for _, p := range []string{"/top", "/dir/nested", "/dir/other"} {
+		size, _, err := v.Stat(th, sb, p)
+		if err != nil || size != uint64(len(payload)) {
+			t.Fatalf("%s: size %d after remount (err %v), want %d", p, size, err, len(payload))
+		}
+		got, err := v.Read(th, sb, p, 0, uint64(len(payload)))
+		if err != nil || !bytes.Equal(got, payload) {
+			t.Fatalf("%s: data did not survive remount: %v", p, err)
+		}
+	}
+}
+
+// TestMountRecoveryIsOLive: with the bitmap, a remount reads the bitmap
+// sector plus one record per live file — nowhere near the MaxSlots
+// full-table scan the pre-bitmap code paid.
+func TestMountRecoveryIsOLive(t *testing.T) {
+	_, bl, v, th := boot(t, core.Enforce)
+	bl.AddDisk(1, minixsim.DiskSectors)
+	sb, err := v.Mount(th, minixsim.FsID, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const live = 3
+	for i := 0; i < live; i++ {
+		if _, err := v.Create(th, sb, fmt.Sprintf("/f%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := v.Sync(th, sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Unmount(th, sb); err != nil {
+		t.Fatal(err)
+	}
+
+	readsBefore, _ := bl.SectorIO()
+	if _, err := v.Mount(th, minixsim.FsID, 1); err != nil {
+		t.Fatal(err)
+	}
+	readsAfter, _ := bl.SectorIO()
+	reads := readsAfter - readsBefore
+	// 1 bitmap read + one record read per live file; leave headroom for
+	// a few incidental reads but stay an order of magnitude under the
+	// 1024-sector full scan.
+	if reads < live+1 {
+		t.Fatalf("mount read only %d sectors; bitmap or records not consulted", reads)
+	}
+	if reads > live+8 {
+		t.Fatalf("mount read %d sectors for %d live records; recovery is not O(live)", reads, live)
+	}
+}
+
+// TestRemountDedupesDuplicateRecords: a crash between a rename's record
+// write and the replaced target's record kill leaves two live records
+// with the same (parent, name). Cold-cache recovery must keep exactly
+// one (the lowest slot) and treat the loser as a reusable orphan.
+func TestRemountDedupesDuplicateRecords(t *testing.T) {
+	_, bl, v, th := boot(t, core.Enforce)
+	bl.AddDisk(1, minixsim.DiskSectors)
+	sb, err := v.Mount(th, minixsim.FsID, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Create(th, sb, "/victim"); err != nil {
+		t.Fatal(err)
+	}
+	seed := []byte("the canonical copy")
+	if _, err := v.Write(th, sb, "/victim", 0, seed); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Sync(th, sb); err != nil {
+		t.Fatal(err)
+	}
+	slot := slotOf(t, v, th, sb, "/victim")
+	if err := v.Unmount(th, sb); err != nil {
+		t.Fatal(err)
+	}
+
+	// Inject the duplicate: a second live record, same parent and name,
+	// in a higher never-used slot — exactly what the torn rename leaves.
+	disk := bl.DiskBytes(1)
+	dupSlot := slot + 7
+	copy(rawRec(disk, dupSlot), rawRec(disk, slot))
+	setBit(disk, dupSlot)
+
+	sb, err = v.Mount(th, minixsim.FsID, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := namesOf(t, v, th, sb, "/")
+	if !names["victim"] || len(names) != 1 {
+		t.Fatalf("recovered root after dup injection = %v, want exactly {victim}", names)
+	}
+	// The lowest slot must have won: the survivor still reads the
+	// canonical data from the original extent.
+	if got := slotOf(t, v, th, sb, "/victim"); got != slot {
+		t.Fatalf("survivor sits in slot %d, want lowest slot %d", got, slot)
+	}
+	data, err := v.Read(th, sb, "/victim", 0, uint64(len(seed)))
+	if err != nil || !bytes.Equal(data, seed) {
+		t.Fatalf("survivor data = %q, %v", data, err)
+	}
+	// The duplicate's slot must be reusable: creating new files until
+	// the allocator hands the slot out again must not resurrect the
+	// ghost or collide.
+	reused := false
+	for i := 0; i < 16 && !reused; i++ {
+		p := fmt.Sprintf("/fill%d", i)
+		if _, err := v.Create(th, sb, p); err != nil {
+			t.Fatal(err)
+		}
+		reused = slotOf(t, v, th, sb, p) == dupSlot
+	}
+	if !reused {
+		t.Fatalf("duplicate slot %d never handed out again", dupSlot)
+	}
+}
+
+// TestRemountDropsOrphanRecords: a record whose parent chain is broken
+// (its parent slot holds no live directory) must not resurface after a
+// cold-cache remount, and its slot must be reusable.
+func TestRemountDropsOrphanRecords(t *testing.T) {
+	_, bl, v, th := boot(t, core.Enforce)
+	bl.AddDisk(1, minixsim.DiskSectors)
+	sb, err := v.Mount(th, minixsim.FsID, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Create(th, sb, "/real"); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Sync(th, sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Unmount(th, sb); err != nil {
+		t.Fatal(err)
+	}
+
+	disk := bl.DiskBytes(1)
+	// Orphan 1: parent slot 500 holds no record at all.
+	injectRec(disk, 3, 500, vfs.ModeFile, 0, "ghost")
+	// Orphan 2: a two-record cycle (each is the other's parent).
+	injectRec(disk, 10, 11, vfs.ModeDir, 0, "loop-a")
+	injectRec(disk, 11, 10, vfs.ModeDir, 0, "loop-b")
+	// Stale bit: marked used, but the record was never committed.
+	setBit(disk, 20)
+
+	sb, err = v.Mount(th, minixsim.FsID, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := namesOf(t, v, th, sb, "/")
+	if !names["real"] || len(names) != 1 {
+		t.Fatalf("recovered root after orphan injection = %v, want exactly {real}", names)
+	}
+	for _, ghost := range []string{"/ghost", "/loop-a", "/loop-b"} {
+		if _, err := v.Lookup(th, sb, ghost); err == nil {
+			t.Fatalf("orphan %s resurrected by recovery", ghost)
+		}
+	}
+}

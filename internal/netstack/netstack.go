@@ -453,7 +453,7 @@ func (s *Stack) Socket(t *core.Thread, familyID uint64) (mem.Addr, error) {
 	if !ok {
 		return 0, fmt.Errorf("netstack: unknown protocol family %d", familyID)
 	}
-	if fam.module != nil && fam.module.Dead {
+	if fam.module != nil && fam.module.Dead() {
 		return 0, core.ErrModuleDead
 	}
 	sock, err := s.K.Sys.Slab.Alloc(s.sock.Size)

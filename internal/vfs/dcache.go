@@ -13,6 +13,9 @@ import (
 // map keyed by path component makes the dentry cache an M-way trie:
 // resolution walks one node per component and only crosses into the
 // filesystem module on a miss.
+//
+// dnodes live in their mount's private dentry map and are only touched
+// under that mount's lock.
 type dnode struct {
 	dentry mem.Addr
 	inode  mem.Addr
@@ -23,7 +26,8 @@ type dnode struct {
 }
 
 // newDentry allocates the in-memory dentry object and its trie node.
-func (v *VFS) newDentry(parent mem.Addr, name string, inode mem.Addr) (mem.Addr, error) {
+// Caller holds mnt.mu (or exclusively owns a not-yet-published mount).
+func (v *VFS) newDentry(mnt *mount, parent mem.Addr, name string, inode mem.Addr) (mem.Addr, error) {
 	sys := v.K.Sys
 	d, err := sys.Slab.Alloc(v.dentLay.Size)
 	if err != nil {
@@ -42,45 +46,35 @@ func (v *VFS) newDentry(parent mem.Addr, name string, inode mem.Addr) (mem.Addr,
 		isDir:  mode == ModeDir || parent == 0,
 		child:  make(map[string]mem.Addr),
 	}
-	v.dentries[d] = n
-	if p, ok := v.dentries[parent]; ok {
+	mnt.dentries[d] = n
+	if p, ok := mnt.dentries[parent]; ok {
 		p.child[name] = d
 	}
 	return d, nil
 }
 
 // dropDentry removes a leaf dentry from the trie and frees it.
-func (v *VFS) dropDentry(d mem.Addr) {
-	n, ok := v.dentries[d]
+func (v *VFS) dropDentry(mnt *mount, d mem.Addr) {
+	n, ok := mnt.dentries[d]
 	if !ok {
 		return
 	}
-	if p, ok := v.dentries[n.parent]; ok {
+	if p, ok := mnt.dentries[n.parent]; ok {
 		delete(p.child, n.name)
 	}
-	delete(v.dentries, d)
+	delete(mnt.dentries, d)
 	_ = v.K.Sys.Slab.Free(d)
 }
 
-// forEachDentry visits the subtree rooted at d bottom-up.
-func (v *VFS) forEachDentry(d mem.Addr, fn func(mem.Addr, *dnode)) {
-	n, ok := v.dentries[d]
-	if !ok {
-		return
-	}
-	for _, c := range n.child {
-		v.forEachDentry(c, fn)
-	}
-	fn(d, n)
-}
-
-// pushName copies one path component into the kernel scratch buffer the
-// module-facing calls pass names through.
-func (v *VFS) pushName(name string) error {
+// pushName copies one path component into the mount's kernel scratch
+// buffer the module-facing calls pass names through. Each mount has its
+// own buffer so concurrent lookups on different mounts cannot clobber
+// each other's component mid-crossing.
+func (v *VFS) pushName(mnt *mount, name string) error {
 	if len(name) > NameMax {
 		return fmt.Errorf("vfs: name %q too long", name)
 	}
-	return v.K.Sys.AS.WriteCString(v.nameBuf, name)
+	return v.K.Sys.AS.WriteCString(mnt.nameBuf, name)
 }
 
 // childOf resolves one path component under cur: dentry cache first,
@@ -90,36 +84,33 @@ func (v *VFS) pushName(name string) error {
 // the cache is cold while the module's table is not).
 func (v *VFS) childOf(t *core.Thread, mnt *mount, cur *dnode, comp string) (*dnode, error) {
 	if c, ok := cur.child[comp]; ok {
-		v.Stats.DcacheHits++
-		return v.dentries[c], nil
+		v.Stats.DcacheHits.Add(1)
+		return mnt.dentries[c], nil
 	}
-	v.Stats.DcacheMiss++
-	if err := v.pushName(comp); err != nil {
+	v.Stats.DcacheMiss.Add(1)
+	if err := v.pushName(mnt, comp); err != nil {
 		return nil, err
 	}
 	ret, err := t.IndirectCall(v.OpsSlot(mnt.fs.ops, "lookup"), FsLookup,
-		uint64(mnt.sb), uint64(cur.inode), uint64(v.nameBuf), uint64(len(comp)))
+		uint64(mnt.sb), uint64(cur.inode), uint64(mnt.nameBuf), uint64(len(comp)))
 	if err != nil {
 		return nil, err
 	}
 	if ret == 0 {
 		return nil, nil
 	}
-	d, err := v.newDentry(cur.dentry, comp, mem.Addr(ret))
+	d, err := v.newDentry(mnt, cur.dentry, comp, mem.Addr(ret))
 	if err != nil {
 		return nil, err
 	}
-	return v.dentries[d], nil
+	return mnt.dentries[d], nil
 }
 
-// walk resolves path under sb through the dentry cache, calling the
+// walk resolves path on mnt through the dentry cache, calling the
 // module's lookup on each miss. The final component's dnode is returned.
-func (v *VFS) walk(t *core.Thread, sb mem.Addr, path string) (*dnode, error) {
-	mnt, ok := v.mounts[sb]
-	if !ok {
-		return nil, fmt.Errorf("vfs: not a mounted superblock: %#x", uint64(sb))
-	}
-	cur := v.dentries[mnt.root]
+// Caller holds mnt.mu.
+func (v *VFS) walk(t *core.Thread, mnt *mount, path string) (*dnode, error) {
+	cur := mnt.dentries[mnt.root]
 	for _, comp := range splitPath(path) {
 		if !cur.isDir {
 			return nil, fmt.Errorf("vfs: %q: not a directory", cur.name)
@@ -165,7 +156,12 @@ func (v *VFS) dirNotEmpty(t *core.Thread, mnt *mount, n *dnode) (bool, error) {
 
 // Lookup resolves path to its inode address.
 func (v *VFS) Lookup(t *core.Thread, sb mem.Addr, path string) (mem.Addr, error) {
-	n, err := v.walk(t, sb, path)
+	mnt, err := v.lockMount(sb)
+	if err != nil {
+		return 0, err
+	}
+	defer mnt.mu.Unlock()
+	n, err := v.walk(t, mnt, path)
 	if err != nil {
 		return 0, err
 	}
@@ -174,15 +170,16 @@ func (v *VFS) Lookup(t *core.Thread, sb mem.Addr, path string) (mem.Addr, error)
 
 // create is the shared implementation of Create and Mkdir.
 func (v *VFS) create(t *core.Thread, sb mem.Addr, path string, mode uint64) (mem.Addr, error) {
-	mnt, ok := v.mounts[sb]
-	if !ok {
-		return 0, fmt.Errorf("vfs: not a mounted superblock: %#x", uint64(sb))
+	mnt, err := v.lockMount(sb)
+	if err != nil {
+		return 0, err
 	}
+	defer mnt.mu.Unlock()
 	dirPath, name, ok := splitParent(path)
 	if !ok {
 		return 0, fmt.Errorf("vfs: cannot create %q", path)
 	}
-	dir, err := v.walk(t, sb, dirPath)
+	dir, err := v.walk(t, mnt, dirPath)
 	if err != nil {
 		return 0, err
 	}
@@ -191,21 +188,21 @@ func (v *VFS) create(t *core.Thread, sb mem.Addr, path string, mode uint64) (mem
 	} else if existing != nil {
 		return 0, fmt.Errorf("vfs: %s: errno %d", name, kernel.EEXIST)
 	}
-	if err := v.pushName(name); err != nil {
+	if err := v.pushName(mnt, name); err != nil {
 		return 0, err
 	}
 	ret, err := t.IndirectCall(v.OpsSlot(mnt.fs.ops, "create"), FsCreate,
-		uint64(sb), uint64(dir.inode), uint64(v.nameBuf), uint64(len(name)), mode)
+		uint64(sb), uint64(dir.inode), uint64(mnt.nameBuf), uint64(len(name)), mode)
 	if err != nil {
 		return 0, err
 	}
 	if ret == 0 {
 		return 0, fmt.Errorf("vfs: create %s failed", name)
 	}
-	if _, err := v.newDentry(dir.dentry, name, mem.Addr(ret)); err != nil {
+	if _, err := v.newDentry(mnt, dir.dentry, name, mem.Addr(ret)); err != nil {
 		return 0, err
 	}
-	v.Stats.Creates++
+	v.Stats.Creates.Add(1)
 	return mem.Addr(ret), nil
 }
 
@@ -223,8 +220,12 @@ func (v *VFS) Mkdir(t *core.Thread, sb mem.Addr, path string) (mem.Addr, error) 
 // (via iput, dropping its page-cache pages), then the kernel drops the
 // dentry.
 func (v *VFS) Unlink(t *core.Thread, sb mem.Addr, path string) error {
-	mnt := v.mounts[sb]
-	n, err := v.walk(t, sb, path)
+	mnt, err := v.lockMount(sb)
+	if err != nil {
+		return err
+	}
+	defer mnt.mu.Unlock()
+	n, err := v.walk(t, mnt, path)
 	if err != nil {
 		return err
 	}
@@ -236,7 +237,7 @@ func (v *VFS) Unlink(t *core.Thread, sb mem.Addr, path string) error {
 	} else if notEmpty {
 		return fmt.Errorf("vfs: %s: directory not empty", n.name)
 	}
-	parent := v.dentries[n.parent]
+	parent := mnt.dentries[n.parent]
 	ret, err := t.IndirectCall(v.OpsSlot(mnt.fs.ops, "unlink"), FsUnlink,
 		uint64(sb), uint64(parent.inode), uint64(n.inode))
 	if err != nil {
@@ -245,8 +246,8 @@ func (v *VFS) Unlink(t *core.Thread, sb mem.Addr, path string) error {
 	if kernel.IsErr(ret) {
 		return fmt.Errorf("vfs: unlink %s: errno %d", n.name, -int64(ret))
 	}
-	v.dropDentry(n.dentry)
-	v.Stats.Unlinks++
+	v.dropDentry(mnt, n.dentry)
+	v.Stats.Unlinks.Add(1)
 	return nil
 }
 
@@ -268,25 +269,26 @@ const MaxDirEntries = 1 << 20
 // recovered directory's children exist only in the module's table.
 func (v *VFS) dirEmpty(t *core.Thread, mnt *mount, dir mem.Addr) (bool, error) {
 	ret, err := t.IndirectCall(v.OpsSlot(mnt.fs.ops, "readdir"), FsReaddir,
-		uint64(mnt.sb), uint64(dir), 0, uint64(v.dirBuf))
+		uint64(mnt.sb), uint64(dir), 0, uint64(mnt.dirBuf))
 	if err != nil {
-		v.K.Sys.Caps.RevokeAll(caps.WriteCap(v.dirBuf, NameMax+1))
+		v.K.Sys.Caps.RevokeAll(caps.WriteCap(mnt.dirBuf, NameMax+1))
 		return false, err
 	}
 	return ret == 0, nil
 }
 
 // Readdir enumerates a directory through the module's readdir callback:
-// one checked crossing per entry, dir_context-style, with the kernel's
+// one checked crossing per entry, dir_context-style, with the mount's
 // name buffer lent to the module (WRITE transfer out and back) for each.
 // The dentry cache cannot answer this — it only holds what was already
 // looked up — so enumeration always reflects the module's own table.
 func (v *VFS) Readdir(t *core.Thread, sb mem.Addr, path string) ([]DirEntry, error) {
-	mnt, ok := v.mounts[sb]
-	if !ok {
-		return nil, fmt.Errorf("vfs: not a mounted superblock: %#x", uint64(sb))
+	mnt, err := v.lockMount(sb)
+	if err != nil {
+		return nil, err
 	}
-	n, err := v.walk(t, sb, path)
+	defer mnt.mu.Unlock()
+	n, err := v.walk(t, mnt, path)
 	if err != nil {
 		return nil, err
 	}
@@ -300,18 +302,18 @@ func (v *VFS) Readdir(t *core.Thread, sb mem.Addr, path string) ([]DirEntry, err
 			return nil, fmt.Errorf("vfs: readdir %s: module never ended the listing (errno %d)", path, kernel.EIO)
 		}
 		ret, err := t.IndirectCall(v.OpsSlot(mnt.fs.ops, "readdir"), FsReaddir,
-			uint64(sb), uint64(n.inode), pos, uint64(v.dirBuf))
+			uint64(sb), uint64(n.inode), pos, uint64(mnt.dirBuf))
 		if err != nil {
 			// Mirror the readpage failure path: an aborted crossing must
 			// not leave the module holding WRITE on the kernel's buffer.
-			v.K.Sys.Caps.RevokeAll(caps.WriteCap(v.dirBuf, NameMax+1))
+			v.K.Sys.Caps.RevokeAll(caps.WriteCap(mnt.dirBuf, NameMax+1))
 			return nil, err
 		}
 		if ret == 0 {
 			return out, nil
 		}
-		v.Stats.Readdirs++
-		name, err := as.ReadCString(v.dirBuf, NameMax+1)
+		v.Stats.Readdirs.Add(1)
+		name, err := as.ReadCString(mnt.dirBuf, NameMax+1)
 		if err != nil {
 			return nil, err
 		}
@@ -328,19 +330,26 @@ func (v *VFS) Readdir(t *core.Thread, sb mem.Addr, path string) ([]DirEntry, err
 // directories only when empty. The module relinks its directory entry;
 // the kernel then moves the dentry-trie subtree, so cached children of a
 // renamed directory stay resolvable under the new path.
+//
+// Because cross-mount renames are rejected before any lock is taken,
+// Rename only ever holds one mount lock — no two-mount ordering issue.
 func (v *VFS) Rename(t *core.Thread, srcSB mem.Addr, srcPath string, dstSB mem.Addr, dstPath string) error {
-	mnt, ok := v.mounts[srcSB]
-	if !ok {
+	if v.mountOf(srcSB) == nil {
 		return fmt.Errorf("vfs: not a mounted superblock: %#x", uint64(srcSB))
 	}
-	if _, ok := v.mounts[dstSB]; !ok {
+	if v.mountOf(dstSB) == nil {
 		return fmt.Errorf("vfs: not a mounted superblock: %#x", uint64(dstSB))
 	}
 	if srcSB != dstSB {
 		return fmt.Errorf("vfs: rename %s -> %s: errno %d (cross-mount)", srcPath, dstPath, kernel.EXDEV)
 	}
 	sb := srcSB
-	n, err := v.walk(t, sb, srcPath)
+	mnt, err := v.lockMount(sb)
+	if err != nil {
+		return err
+	}
+	defer mnt.mu.Unlock()
+	n, err := v.walk(t, mnt, srcPath)
 	if err != nil {
 		return err
 	}
@@ -351,7 +360,7 @@ func (v *VFS) Rename(t *core.Thread, srcSB mem.Addr, srcPath string, dstSB mem.A
 	if !ok {
 		return fmt.Errorf("vfs: cannot rename to %q", dstPath)
 	}
-	dstDir, err := v.walk(t, sb, dstDirPath)
+	dstDir, err := v.walk(t, mnt, dstDirPath)
 	if err != nil {
 		return err
 	}
@@ -359,7 +368,7 @@ func (v *VFS) Rename(t *core.Thread, srcSB mem.Addr, srcPath string, dstSB mem.A
 		return fmt.Errorf("vfs: %q: not a directory", dstDir.name)
 	}
 	// Renaming a directory under itself would detach the subtree.
-	for p := dstDir; p != nil; p = v.dentries[p.parent] {
+	for p := dstDir; p != nil; p = mnt.dentries[p.parent] {
 		if p == n {
 			return fmt.Errorf("vfs: rename %s -> %s: errno %d (into own subtree)", srcPath, dstPath, kernel.EINVAL)
 		}
@@ -368,7 +377,7 @@ func (v *VFS) Rename(t *core.Thread, srcSB mem.Addr, srcPath string, dstSB mem.A
 	// must own the inode being moved and both directory inodes. Under
 	// enforcement a stale or foreign inode address fails here, before
 	// any module state changes.
-	oldDir := v.dentries[n.parent]
+	oldDir := mnt.dentries[n.parent]
 	if mnt.fs.module != nil && v.K.Sys.Mon.Enforcing() {
 		prin, ok := mnt.fs.module.Set.Lookup(sb)
 		if !ok {
@@ -405,7 +414,7 @@ func (v *VFS) Rename(t *core.Thread, srcSB mem.Addr, srcPath string, dstSB mem.A
 			return fmt.Errorf("vfs: %s: directory not empty", tgt.name)
 		}
 	}
-	if err := v.pushName(newName); err != nil {
+	if err := v.pushName(mnt, newName); err != nil {
 		return err
 	}
 	// The module relinks the source first, the replaced target is
@@ -415,7 +424,7 @@ func (v *VFS) Rename(t *core.Thread, srcSB mem.Addr, srcPath string, dstSB mem.A
 	// momentarily carry the same name.
 	ret, err := t.IndirectCall(v.OpsSlot(mnt.fs.ops, "rename"), FsRename,
 		uint64(sb), uint64(oldDir.inode), uint64(n.inode), uint64(dstDir.inode),
-		uint64(v.nameBuf), uint64(len(newName)))
+		uint64(mnt.nameBuf), uint64(len(newName)))
 	if err != nil {
 		return err
 	}
@@ -432,22 +441,22 @@ func (v *VFS) Rename(t *core.Thread, srcSB mem.Addr, srcPath string, dstSB mem.A
 		case kernel.IsErr(ret):
 			replaceErr = fmt.Errorf("vfs: rename: unlink target %s: errno %d", newName, -int64(ret))
 		default:
-			v.Stats.Unlinks++
+			v.Stats.Unlinks.Add(1)
 		}
 		// Either way the name now belongs to the source; the target's
 		// dentry goes, and a module-side failure is reported after the
 		// kernel view is consistent.
-		v.dropDentry(tgt.dentry)
+		v.dropDentry(mnt, tgt.dentry)
 	}
-	v.moveDentry(n, dstDir, newName)
-	v.Stats.Renames++
+	v.moveDentry(mnt, n, dstDir, newName)
+	v.Stats.Renames.Add(1)
 	return replaceErr
 }
 
 // moveDentry relinks a dnode (and implicitly its whole subtree) under a
 // new parent and name, keeping the simulated dentry object in sync.
-func (v *VFS) moveDentry(n *dnode, newParent *dnode, newName string) {
-	if p, ok := v.dentries[n.parent]; ok {
+func (v *VFS) moveDentry(mnt *mount, n *dnode, newParent *dnode, newName string) {
+	if p, ok := mnt.dentries[n.parent]; ok {
 		delete(p.child, n.name)
 	}
 	n.parent = newParent.dentry
@@ -462,7 +471,12 @@ func (v *VFS) moveDentry(n *dnode, newParent *dnode, newName string) {
 // pure kernel-side path, no module crossing (as in Linux, where a cached
 // stat never enters the filesystem).
 func (v *VFS) Stat(t *core.Thread, sb mem.Addr, path string) (size, nlink uint64, err error) {
-	n, err := v.walk(t, sb, path)
+	mnt, err := v.lockMount(sb)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer mnt.mu.Unlock()
+	n, err := v.walk(t, mnt, path)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -472,5 +486,13 @@ func (v *VFS) Stat(t *core.Thread, sb mem.Addr, path string) (size, nlink uint64
 	return size, nlink, nil
 }
 
-// DcacheLen returns the number of cached dentries.
-func (v *VFS) DcacheLen() int { return len(v.dentries) }
+// DcacheLen returns the number of cached dentries across all mounts.
+func (v *VFS) DcacheLen() int {
+	total := 0
+	for _, mnt := range v.mountList() {
+		mnt.mu.Lock()
+		total += len(mnt.dentries)
+		mnt.mu.Unlock()
+	}
+	return total
+}

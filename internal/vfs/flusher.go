@@ -1,0 +1,93 @@
+package vfs
+
+import (
+	"time"
+
+	"lxfi/internal/core"
+)
+
+// Background writeback: a kflushd-style kernel thread that ages dirty
+// pages out through the owning module's REF-checked writepage, so
+// foreground eviction under memory pressure finds clean victims and
+// stops paying the writepage crossing itself.
+//
+// The daemon is spawned at boot (vfs.Init registers it with the kernel)
+// but parks until EnableWriteback hands it an interval. Aging is
+// tick-based: a page dirtied during tick T is written back by the first
+// flush pass of tick T+1 or later, so pages redirtied continuously are
+// still flushed at interval granularity, while a page the foreground is
+// actively writing is never stolen mid-burst within the same tick.
+
+// EnableWriteback starts periodic background writeback with the given
+// interval. Safe to call at any time; a second call retunes the
+// interval.
+func (v *VFS) EnableWriteback(interval time.Duration) {
+	if interval <= 0 {
+		v.DisableWriteback()
+		return
+	}
+	v.flushInterval.Store(int64(interval))
+	select {
+	case v.flushKick <- struct{}{}:
+	default:
+	}
+}
+
+// DisableWriteback parks the flusher again.
+func (v *VFS) DisableWriteback() {
+	v.flushInterval.Store(0)
+	select {
+	case v.flushKick <- struct{}{}:
+	default:
+	}
+}
+
+// flusherLoop is the daemon body; it runs on its own goroutine-backed
+// kernel thread until the kernel shuts down.
+func (v *VFS) flusherLoop(t *core.Thread, stop <-chan struct{}) {
+	for {
+		var tc <-chan time.Time
+		if iv := time.Duration(v.flushInterval.Load()); iv > 0 {
+			tc = time.After(iv)
+		}
+		select {
+		case <-stop:
+			return
+		case <-v.flushKick:
+			// Interval changed; re-arm.
+		case <-tc:
+			v.FlushAged(t)
+		}
+	}
+}
+
+// FlushAged runs one flusher pass: it advances the aging tick and
+// writes back every dirty page that was dirtied before this tick began,
+// mount by mount. Exported so tests (and synchronous callers) can drive
+// the flusher deterministically without the timer.
+//
+// The flusher takes each mount's lock in turn — it is an ordinary
+// foreground-equivalent writer, so module writepage contracts see the
+// usual one-operation-per-mount serialization.
+func (v *VFS) FlushAged(t *core.Thread) {
+	tick := v.flushTick.Add(1)
+	for _, mnt := range v.mountList() {
+		mnt.mu.Lock()
+		if mnt.dead {
+			mnt.mu.Unlock()
+			continue
+		}
+		keys := v.dirtyKeysOf(mnt.sb, true, tick)
+		if len(keys) > 0 {
+			v.Stats.FlushWrites.Add(uint64(len(keys)))
+			// Errors stay dirty and will be retried next pass; a module
+			// killed for a writeback violation surfaces through the
+			// monitor's violation log, not through the flusher.
+			_ = v.syncLocked(t, mnt, keys)
+		}
+		mnt.mu.Unlock()
+	}
+}
+
+// FlushTick returns the current aging tick (diagnostics and tests).
+func (v *VFS) FlushTick() uint64 { return v.flushTick.Load() }

@@ -1,0 +1,123 @@
+package vfs_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"lxfi/internal/core"
+	"lxfi/internal/modules/minixsim"
+	"lxfi/internal/modules/tmpfssim"
+)
+
+// TestRenameOverTargetSurvivesModuleFailure: the rename(2) contract —
+// a rename that fails must not have destroyed the existing target. The
+// kernel relinks the source in the module *before* unlinking the
+// replaced target, so a module-side failure (here: the backing disk
+// yanked out from under the directory-table write) leaves both names
+// resolvable and the target's data intact.
+func TestRenameOverTargetSurvivesModuleFailure(t *testing.T) {
+	r := newRig(t, core.Enforce)
+	defer r.k.Shutdown()
+	r.bl.AddDisk(1, minixsim.DiskSectors)
+	fs, err := minixsim.Load(r.th, r.k, r.v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := r.v.Mount(r.th, minixsim.FsID, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcData := []byte("the replacement")
+	tgtData := []byte("the incumbent, which must survive")
+	for _, f := range []struct {
+		path string
+		data []byte
+	}{{"/src", srcData}, {"/tgt", tgtData}} {
+		if _, err := r.v.Create(r.th, sb, f.path); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.v.Write(r.th, sb, f.path, 0, f.data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.v.Sync(r.th, sb); err != nil {
+		t.Fatal(err)
+	}
+
+	// Yank the disk: the module's rename cannot persist its record and
+	// must fail *before* the kernel would unlink the target.
+	unlinksBefore := r.v.Stats.Unlinks.Load()
+	r.bl.RemoveDisk(1)
+	err = r.v.Rename(r.th, sb, "/src", sb, "/tgt")
+	if err == nil {
+		t.Fatal("rename succeeded with no backing disk")
+	}
+
+	// The target was not destroyed: still resolvable, data intact (warm
+	// page cache — the disk is gone, which is the point), no unlink
+	// crossing ever happened.
+	if got := r.v.Stats.Unlinks.Load(); got != unlinksBefore {
+		t.Fatalf("failed rename destroyed the target: unlinks %d -> %d", unlinksBefore, got)
+	}
+	got, err := r.v.Read(r.th, sb, "/tgt", 0, uint64(len(tgtData)))
+	if err != nil || !bytes.Equal(got, tgtData) {
+		t.Fatalf("target data after failed rename = %q, %v", got, err)
+	}
+	// And the source is still where it was, under its old name.
+	if _, err := r.v.Lookup(r.th, sb, "/src"); err != nil {
+		t.Fatalf("source vanished after failed rename: %v", err)
+	}
+	// A module-side errno is a failed operation, not a contract breach:
+	// nothing recorded, nobody killed.
+	r.noViolations(t)
+	if fs.M.Dead() {
+		t.Fatal("module killed by a failed rename")
+	}
+}
+
+// TestRenameCrossFilesystemEXDEV: a rename between mounts of two
+// *different* filesystem modules (tmpfssim -> minixsim) must fail with
+// EXDEV (errno 18) before any module is entered — the inode's owning
+// principal cannot change by rename.
+func TestRenameCrossFilesystemEXDEV(t *testing.T) {
+	r := newRig(t, core.Enforce)
+	defer r.k.Shutdown()
+	r.bl.AddDisk(1, minixsim.DiskSectors)
+	if _, err := tmpfssim.Load(r.th, r.k, r.v); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := minixsim.Load(r.th, r.k, r.v); err != nil {
+		t.Fatal(err)
+	}
+	sbT, err := r.v.Mount(r.th, tmpfssim.FsID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sbM, err := r.v.Mount(r.th, minixsim.FsID, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.v.Create(r.th, sbT, "/hostage"); err != nil {
+		t.Fatal(err)
+	}
+	renamesBefore := r.v.Stats.Renames.Load()
+	err = r.v.Rename(r.th, sbT, "/hostage", sbM, "/smuggled")
+	if err == nil {
+		t.Fatal("cross-filesystem rename succeeded")
+	}
+	if !strings.Contains(err.Error(), "errno 18") {
+		t.Fatalf("want EXDEV (errno 18), got: %v", err)
+	}
+	if got := r.v.Stats.Renames.Load(); got != renamesBefore {
+		t.Fatal("EXDEV rename was counted as a rename")
+	}
+	// Source stays put; destination never appears.
+	if _, err := r.v.Lookup(r.th, sbT, "/hostage"); err != nil {
+		t.Fatalf("source vanished: %v", err)
+	}
+	if _, err := r.v.Lookup(r.th, sbM, "/smuggled"); err == nil {
+		t.Fatal("destination materialized on the other filesystem")
+	}
+	r.noViolations(t)
+}

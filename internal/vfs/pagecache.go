@@ -20,18 +20,27 @@ type pageKey struct {
 // a dirty victim is first written back through the owning module's
 // writepage — memory pressure, not just an explicit Sync, now drives
 // pages through the module's REF-checked writeback path.
-func (v *VFS) SetPageBudget(n int) { v.pageBudget = n }
+func (v *VFS) SetPageBudget(n int) {
+	v.pageMu.Lock()
+	defer v.pageMu.Unlock()
+	v.pageBudget = n
+}
 
 // PageBudget returns the configured page-cache budget (0 = unlimited).
-func (v *VFS) PageBudget() int { return v.pageBudget }
+func (v *VFS) PageBudget() int {
+	v.pageMu.Lock()
+	defer v.pageMu.Unlock()
+	return v.pageBudget
+}
 
 // ShrinkToBudget applies the page budget to the cache as it stands —
 // the explicit memory-pressure edge of the policy that otherwise runs
 // on every insert. Dirty victims go through writeback, so the caller's
-// thread crosses into the owning modules.
-func (v *VFS) ShrinkToBudget(t *core.Thread) { v.evictForBudget(t) }
+// thread crosses into the owning modules. The caller must hold no mount
+// lock (victim mounts are locked as needed).
+func (v *VFS) ShrinkToBudget(t *core.Thread) { v.evictForBudget(t, nil) }
 
-// touchPage marks a page most-recently used.
+// touchPage marks a page most-recently used. Caller holds pageMu.
 func (v *VFS) touchPage(key pageKey) {
 	if e, ok := v.lruPos[key]; ok {
 		v.lru.MoveToBack(e)
@@ -39,15 +48,18 @@ func (v *VFS) touchPage(key pageKey) {
 }
 
 // insertPage records a fresh page in the cache and the LRU list, then
-// applies the budget.
-func (v *VFS) insertPage(t *core.Thread, key pageKey, pg mem.Addr) {
+// applies the budget. Caller holds holder.mu but not pageMu.
+func (v *VFS) insertPage(t *core.Thread, holder *mount, key pageKey, pg mem.Addr) {
+	v.pageMu.Lock()
 	v.pages[key] = pg
 	v.lruPos[key] = v.lru.PushBack(key)
-	v.evictForBudget(t)
+	v.pageMu.Unlock()
+	v.evictForBudget(t, holder)
 }
 
-// removePage frees a cached page and drops every index entry for it.
-func (v *VFS) removePage(key pageKey) {
+// removePageLocked frees a cached page and drops every index entry for
+// it. Caller holds pageMu.
+func (v *VFS) removePageLocked(key pageKey) {
 	pg, ok := v.pages[key]
 	if !ok {
 		return
@@ -55,6 +67,7 @@ func (v *VFS) removePage(key pageKey) {
 	_ = v.K.Sys.Slab.Free(pg)
 	delete(v.pages, key)
 	delete(v.dirty, key)
+	delete(v.dirtyTick, key)
 	if e, ok := v.lruPos[key]; ok {
 		v.lru.Remove(e)
 		delete(v.lruPos, key)
@@ -64,19 +77,39 @@ func (v *VFS) removePage(key pageKey) {
 // evictForBudget walks the LRU end of the cache until it fits the
 // budget. The most-recently inserted page is never a victim — the
 // caller is still using it. Unevictable pages (memory-only mounts,
-// failed writebacks) are skipped, so the cache can exceed the budget
-// when nothing else remains.
-func (v *VFS) evictForBudget(t *core.Thread) {
-	if v.pageBudget <= 0 {
-		return
-	}
-	for e := v.lru.Front(); e != nil && len(v.pages) > v.pageBudget; {
-		next := e.Next()
-		if next == nil {
-			break // never evict the MRU page mid-operation
+// failed writebacks, mounts whose lock another thread holds) are
+// skipped, so the cache can exceed the budget when nothing else
+// remains. holder is the mount whose lock the calling thread already
+// holds (nil when none).
+func (v *VFS) evictForBudget(t *core.Thread, holder *mount) {
+	// skip remembers victims that refused eviction this pass; allocated
+	// lazily so the common unlimited-budget insert pays nothing extra.
+	var skip map[pageKey]bool
+	for {
+		v.pageMu.Lock()
+		if v.pageBudget <= 0 || len(v.pages) <= v.pageBudget {
+			v.pageMu.Unlock()
+			return
 		}
-		v.evictPage(t, e.Value.(pageKey))
-		e = next
+		var victim pageKey
+		found := false
+		for e := v.lru.Front(); e != nil && e.Next() != nil; e = e.Next() {
+			key := e.Value.(pageKey)
+			if !skip[key] {
+				victim, found = key, true
+				break
+			}
+		}
+		v.pageMu.Unlock()
+		if !found {
+			return // nothing evictable remains
+		}
+		if !v.evictPage(t, holder, victim) {
+			if skip == nil {
+				skip = make(map[pageKey]bool)
+			}
+			skip[victim] = true
+		}
 	}
 }
 
@@ -84,49 +117,95 @@ func (v *VFS) evictForBudget(t *core.Thread) {
 // the owning module's writepage first (the REF-capability crossing), so
 // eviction under enforcement exercises the same contract as Sync.
 // Returns false if the page must stay (memory-only mount, dead module,
-// failed writeback).
-func (v *VFS) evictPage(t *core.Thread, key pageKey) bool {
+// failed writeback, or the owning mount is busy on another thread).
+// Caller holds holder.mu (when holder != nil) and not pageMu.
+func (v *VFS) evictPage(t *core.Thread, holder *mount, key pageKey) bool {
 	as := v.K.Sys.AS
 	owner, _ := as.ReadU64(v.InodeField(key.ino, "sb"))
 	sb := mem.Addr(owner)
 	if flags, _ := as.ReadU64(v.SBField(sb, "flags")); flags&SBMemOnly != 0 {
 		return false
 	}
-	if v.dirty[key] {
-		mnt, ok := v.mounts[sb]
-		if !ok {
+	mnt := v.mountOf(sb)
+	if mnt == nil {
+		return false
+	}
+	// Evicting another mount's page needs that mount's lock. TryLock
+	// keeps the lock order acyclic: a thread never *blocks* on a second
+	// mount lock, so two mounts evicting each other's pages cannot
+	// deadlock — one of them just skips the victim.
+	if mnt != holder {
+		if !mnt.mu.TryLock() {
 			return false
 		}
-		v.Stats.EvictWrites++
-		v.Stats.PageWrites++
-		ret, err := t.IndirectCall(v.OpsSlot(mnt.fs.ops, "writepage"), FsWritePage,
-			uint64(sb), uint64(key.ino), key.idx, uint64(v.pages[key]))
-		if err != nil || ret != 0 {
+		defer mnt.mu.Unlock()
+	}
+	v.pageMu.Lock()
+	pg, cached := v.pages[key]
+	dirty := v.dirty[key]
+	v.pageMu.Unlock()
+	if !cached {
+		return true // already gone
+	}
+	if dirty {
+		if ok, _ := v.writeBackPage(t, mnt, key, pg); !ok {
 			return false // stays dirty; Sync (or a later pass) retries
 		}
-		delete(v.dirty, key)
+		v.Stats.EvictWrites.Add(1)
 	}
-	v.removePage(key)
-	v.Stats.Evictions++
+	v.pageMu.Lock()
+	defer v.pageMu.Unlock()
+	if cur, ok := v.pages[key]; !ok || cur != pg || v.dirty[key] {
+		// Redirtied or replaced while we crossed; not our victim anymore.
+		return false
+	}
+	v.removePageLocked(key)
+	v.Stats.Evictions.Add(1)
 	return true
+}
+
+// writeBackPage pushes one dirty page through the owning module's
+// writepage and clears the dirty bit on success. Caller holds mnt.mu
+// but not pageMu.
+func (v *VFS) writeBackPage(t *core.Thread, mnt *mount, key pageKey, pg mem.Addr) (bool, error) {
+	v.Stats.PageWrites.Add(1)
+	ret, err := t.IndirectCall(v.OpsSlot(mnt.fs.ops, "writepage"), FsWritePage,
+		uint64(mnt.sb), uint64(key.ino), key.idx, uint64(pg))
+	if err == nil && ret != 0 {
+		err = fmt.Errorf("vfs: writepage(%#x, %d): errno %d", uint64(key.ino), key.idx, -int64(ret))
+	}
+	if err != nil {
+		return false, err
+	}
+	v.pageMu.Lock()
+	if cur, ok := v.pages[key]; ok && cur == pg {
+		delete(v.dirty, key)
+		delete(v.dirtyTick, key)
+	}
+	v.pageMu.Unlock()
+	return true, nil
 }
 
 // getPage returns the cached page for (inode, idx), filling a fresh one
 // through the module's readpage callback on a miss. Ownership of the
 // page travels with the call: WRITE transfers to the mount's principal
-// on entry and back to the kernel on successful return.
+// on entry and back to the kernel on successful return. Caller holds
+// mnt.mu, which is what keeps two fills of the same page from racing.
 func (v *VFS) getPage(t *core.Thread, mnt *mount, ino mem.Addr, idx uint64) (mem.Addr, error) {
 	key := pageKey{ino, idx}
+	v.pageMu.Lock()
 	if pg, ok := v.pages[key]; ok {
 		v.touchPage(key)
+		v.pageMu.Unlock()
 		return pg, nil
 	}
+	v.pageMu.Unlock()
 	sys := v.K.Sys
 	pg, err := sys.Slab.Alloc(mem.PageSize)
 	if err != nil {
 		return 0, err
 	}
-	v.Stats.PageFills++
+	v.Stats.PageFills.Add(1)
 	ret, err := t.IndirectCall(v.OpsSlot(mnt.fs.ops, "readpage"), FsReadPage,
 		uint64(mnt.sb), uint64(ino), idx, uint64(pg))
 	if err != nil || ret != 0 {
@@ -140,25 +219,28 @@ func (v *VFS) getPage(t *core.Thread, mnt *mount, ino mem.Addr, idx uint64) (mem
 		}
 		return 0, err
 	}
-	v.insertPage(t, key, pg)
+	v.insertPage(t, mnt, key, pg)
 	return pg, nil
 }
 
 // allocPage returns the cached page for (inode, idx), or installs a
 // fresh zeroed one without consulting the module — for writes that
-// cover the entire page.
-func (v *VFS) allocPage(t *core.Thread, ino mem.Addr, idx uint64) (mem.Addr, error) {
+// cover the entire page. Caller holds mnt.mu.
+func (v *VFS) allocPage(t *core.Thread, mnt *mount, ino mem.Addr, idx uint64) (mem.Addr, error) {
 	key := pageKey{ino, idx}
+	v.pageMu.Lock()
 	if pg, ok := v.pages[key]; ok {
 		v.touchPage(key)
+		v.pageMu.Unlock()
 		return pg, nil
 	}
+	v.pageMu.Unlock()
 	pg, err := v.K.Sys.Slab.Alloc(mem.PageSize)
 	if err != nil {
 		return 0, err
 	}
 	must(v.K.Sys.AS.Zero(pg, mem.PageSize))
-	v.insertPage(t, key, pg)
+	v.insertPage(t, mnt, key, pg)
 	return pg, nil
 }
 
@@ -166,11 +248,15 @@ func (v *VFS) allocPage(t *core.Thread, ino mem.Addr, idx uint64) (mem.Addr, err
 // bounded by the inode size. Cold pages are filled by the module;
 // everything else is a trusted kernel-side copy.
 func (v *VFS) Read(t *core.Thread, sb mem.Addr, path string, off, n uint64) ([]byte, error) {
-	d, err := v.walk(t, sb, path)
+	mnt, err := v.lockMount(sb)
 	if err != nil {
 		return nil, err
 	}
-	mnt := v.mounts[sb]
+	defer mnt.mu.Unlock()
+	d, err := v.walk(t, mnt, path)
+	if err != nil {
+		return nil, err
+	}
 	as := v.K.Sys.AS
 	size, _ := as.ReadU64(v.InodeField(d.inode, "size"))
 	if off >= size {
@@ -197,7 +283,7 @@ func (v *VFS) Read(t *core.Thread, sb mem.Addr, path string, off, n uint64) ([]b
 		}
 		done += chunk
 	}
-	v.Stats.BytesRead += n
+	v.Stats.BytesRead.Add(n)
 	return out, nil
 }
 
@@ -208,11 +294,15 @@ func (v *VFS) Read(t *core.Thread, sb mem.Addr, path string, off, n uint64) ([]b
 // contents are dead on arrival, so reading them back would only leak
 // stale bytes and pay a pointless module crossing.
 func (v *VFS) Write(t *core.Thread, sb mem.Addr, path string, off uint64, data []byte) (uint64, error) {
-	d, err := v.walk(t, sb, path)
+	mnt, err := v.lockMount(sb)
 	if err != nil {
 		return 0, err
 	}
-	mnt := v.mounts[sb]
+	defer mnt.mu.Unlock()
+	d, err := v.walk(t, mnt, path)
+	if err != nil {
+		return 0, err
+	}
 	as := v.K.Sys.AS
 	n := uint64(len(data))
 	// s_maxbytes: the module declares its per-file capacity at mount
@@ -231,7 +321,7 @@ func (v *VFS) Write(t *core.Thread, sb mem.Addr, path string, off uint64, data [
 		}
 		var pg mem.Addr
 		if chunk == mem.PageSize {
-			pg, err = v.allocPage(t, d.inode, idx)
+			pg, err = v.allocPage(t, mnt, d.inode, idx)
 		} else {
 			pg, err = v.getPage(t, mnt, d.inode, idx)
 		}
@@ -241,58 +331,75 @@ func (v *VFS) Write(t *core.Thread, sb mem.Addr, path string, off uint64, data [
 		if err := as.Write(pg+mem.Addr(po), data[done:done+chunk]); err != nil {
 			return done, err
 		}
+		v.pageMu.Lock()
 		v.dirty[pageKey{d.inode, idx}] = true
+		v.dirtyTick[pageKey{d.inode, idx}] = v.flushTick.Load()
+		v.pageMu.Unlock()
 		done += chunk
 	}
 	if size, _ := as.ReadU64(v.InodeField(d.inode, "size")); off+n > size {
 		must(as.WriteU64(v.InodeField(d.inode, "size"), off+n))
 	}
-	v.Stats.BytesWrited += n
+	v.Stats.BytesWrited.Add(n)
 	return n, nil
 }
 
-// Sync writes every dirty page of the mount back through the module's
-// writepage callback (REF handoff: the module proves ownership to
-// pc_writeback but cannot modify the clean page).
-func (v *VFS) Sync(t *core.Thread, sb mem.Addr) error {
-	mnt, ok := v.mounts[sb]
-	if !ok {
-		return fmt.Errorf("vfs: not a mounted superblock: %#x", uint64(sb))
-	}
+// dirtyKeysOf collects the mount's dirty pages, sorted for stable
+// writeback order.
+func (v *VFS) dirtyKeysOf(sb mem.Addr, aged bool, tick uint64) []pageKey {
 	as := v.K.Sys.AS
+	v.pageMu.Lock()
 	var keys []pageKey
 	for key := range v.dirty {
+		if aged && v.dirtyTick[key] >= tick {
+			continue
+		}
 		if owner, _ := as.ReadU64(v.InodeField(key.ino, "sb")); mem.Addr(owner) == sb {
 			keys = append(keys, key)
 		}
 	}
+	v.pageMu.Unlock()
 	sort.Slice(keys, func(i, j int) bool {
 		if keys[i].ino != keys[j].ino {
 			return keys[i].ino < keys[j].ino
 		}
 		return keys[i].idx < keys[j].idx
 	})
-	// A page that fails writeback stays dirty, but the pass continues:
-	// one bad page must not block the persistence of every page sorting
-	// after it. The first error is reported.
+	return keys
+}
+
+// syncLocked writes the given dirty pages back through the module's
+// writepage. Caller holds mnt.mu. A page that fails writeback stays
+// dirty, but the pass continues: one bad page must not block the
+// persistence of every page sorting after it. The first error is
+// reported.
+func (v *VFS) syncLocked(t *core.Thread, mnt *mount, keys []pageKey) error {
 	var firstErr error
 	for _, key := range keys {
-		pg := v.pages[key]
-		v.Stats.PageWrites++
-		ret, err := t.IndirectCall(v.OpsSlot(mnt.fs.ops, "writepage"), FsWritePage,
-			uint64(sb), uint64(key.ino), key.idx, uint64(pg))
-		if err == nil && ret != 0 {
-			err = fmt.Errorf("vfs: writepage(%#x, %d): errno %d", uint64(key.ino), key.idx, -int64(ret))
+		v.pageMu.Lock()
+		pg, ok := v.pages[key]
+		dirty := v.dirty[key]
+		v.pageMu.Unlock()
+		if !ok || !dirty {
+			continue // evicted or cleaned while we flushed its neighbors
 		}
-		if err != nil {
-			if firstErr == nil {
-				firstErr = err
-			}
-			continue
+		if _, err := v.writeBackPage(t, mnt, key, pg); err != nil && firstErr == nil {
+			firstErr = err
 		}
-		delete(v.dirty, key)
 	}
 	return firstErr
+}
+
+// Sync writes every dirty page of the mount back through the module's
+// writepage callback (REF handoff: the module proves ownership to
+// pc_writeback but cannot modify the clean page).
+func (v *VFS) Sync(t *core.Thread, sb mem.Addr) error {
+	mnt, err := v.lockMount(sb)
+	if err != nil {
+		return err
+	}
+	defer mnt.mu.Unlock()
+	return v.syncLocked(t, mnt, v.dirtyKeysOf(sb, false, 0))
 }
 
 // DropCaches evicts every clean page of the mount (sync first to evict
@@ -301,10 +408,17 @@ func (v *VFS) Sync(t *core.Thread, sb mem.Addr) error {
 // evicted: their page cache is the only copy of the data, and a no-op
 // writepage having cleared the dirty bit does not change that.
 func (v *VFS) DropCaches(sb mem.Addr) int {
+	mnt, err := v.lockMount(sb)
+	if err != nil {
+		return 0
+	}
+	defer mnt.mu.Unlock()
 	as := v.K.Sys.AS
 	if flags, _ := as.ReadU64(v.SBField(sb, "flags")); flags&SBMemOnly != 0 {
 		return 0
 	}
+	v.pageMu.Lock()
+	defer v.pageMu.Unlock()
 	dropped := 0
 	for key := range v.pages {
 		if v.dirty[key] {
@@ -313,7 +427,7 @@ func (v *VFS) DropCaches(sb mem.Addr) int {
 		if owner, _ := as.ReadU64(v.InodeField(key.ino, "sb")); mem.Addr(owner) != sb {
 			continue
 		}
-		v.removePage(key)
+		v.removePageLocked(key)
 		dropped++
 	}
 	return dropped
@@ -321,9 +435,11 @@ func (v *VFS) DropCaches(sb mem.Addr) int {
 
 // dropPagesOf evicts every page (dirty or not) of a dying inode.
 func (v *VFS) dropPagesOf(ino mem.Addr) {
+	v.pageMu.Lock()
+	defer v.pageMu.Unlock()
 	for key := range v.pages {
 		if key.ino == ino {
-			v.removePage(key)
+			v.removePageLocked(key)
 		}
 	}
 }
@@ -331,12 +447,22 @@ func (v *VFS) dropPagesOf(ino mem.Addr) {
 // PageAddr exposes the cached page address for (inode, idx); tests and
 // the exploit harness use it to locate victim pages.
 func (v *VFS) PageAddr(ino mem.Addr, idx uint64) (mem.Addr, bool) {
+	v.pageMu.Lock()
+	defer v.pageMu.Unlock()
 	pg, ok := v.pages[pageKey{ino, idx}]
 	return pg, ok
 }
 
 // PageCount returns the number of cached pages.
-func (v *VFS) PageCount() int { return len(v.pages) }
+func (v *VFS) PageCount() int {
+	v.pageMu.Lock()
+	defer v.pageMu.Unlock()
+	return len(v.pages)
+}
 
 // DirtyCount returns the number of dirty cached pages.
-func (v *VFS) DirtyCount() int { return len(v.dirty) }
+func (v *VFS) DirtyCount() int {
+	v.pageMu.Lock()
+	defer v.pageMu.Unlock()
+	return len(v.dirty)
+}

@@ -28,6 +28,8 @@ import (
 	"container/list"
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"lxfi/internal/blockdev"
 	"lxfi/internal/caps"
@@ -80,21 +82,24 @@ const (
 // NameMax is the longest path component the substrate accepts.
 const NameMax = 55
 
-// Stats counts VFS activity for tests and the fsperf reports.
+// Stats counts VFS activity for tests and the fsperf reports. The
+// counters are atomic: worker threads and the writeback flusher bump
+// them concurrently.
 type Stats struct {
-	Mounts      uint64
-	Creates     uint64
-	Unlinks     uint64
-	Renames     uint64
-	Readdirs    uint64 // readdir crossings (one per enumerated entry)
-	DcacheHits  uint64
-	DcacheMiss  uint64
-	PageFills   uint64 // readpage crossings
-	PageWrites  uint64 // writepage crossings
-	Evictions   uint64 // pages reclaimed by the LRU budget policy
-	EvictWrites uint64 // writepage crossings forced by evicting a dirty page
-	BytesRead   uint64
-	BytesWrited uint64
+	Mounts      atomic.Uint64
+	Creates     atomic.Uint64
+	Unlinks     atomic.Uint64
+	Renames     atomic.Uint64
+	Readdirs    atomic.Uint64 // readdir crossings (one per enumerated entry)
+	DcacheHits  atomic.Uint64
+	DcacheMiss  atomic.Uint64
+	PageFills   atomic.Uint64 // readpage crossings
+	PageWrites  atomic.Uint64 // writepage crossings
+	FlushWrites atomic.Uint64 // writepage crossings made by the background flusher
+	Evictions   atomic.Uint64 // pages reclaimed by the LRU budget policy
+	EvictWrites atomic.Uint64 // writepage crossings forced by evicting a dirty page
+	BytesRead   atomic.Uint64
+	BytesWrited atomic.Uint64
 }
 
 type fstype struct {
@@ -102,14 +107,44 @@ type fstype struct {
 	ops    mem.Addr
 }
 
+// mount is one mounted superblock. mu is the per-mount operation lock:
+// it serializes every namespace and data operation on the mount,
+// including all crossings into the owning module, so the module's
+// per-mount state (dirent lists, extent bookkeeping) sees one operation
+// at a time — different mounts run genuinely in parallel.
 type mount struct {
 	fs   *fstype
 	sb   mem.Addr
 	dev  uint64
 	root mem.Addr // root dentry
+
+	mu   sync.Mutex
+	dead bool // set by Unmount; operations that lost the race fail
+
+	// dentries is this mount's dentry cache: one dnode per cached
+	// dentry, with children keyed by path component (the M-way-trie
+	// shape). Guarded by mu.
+	dentries map[mem.Addr]*dnode
+
+	// nameBuf and dirBuf are this mount's kernel scratch buffers for
+	// passing path components to (and readdir names from) the module.
+	// Per-mount so concurrent crossings on different mounts cannot
+	// clobber each other's component.
+	nameBuf mem.Addr
+	dirBuf  mem.Addr
 }
 
 // VFS is the simulated virtual filesystem layer.
+//
+// Lock order (outermost first):
+//
+//	mount.mu  →  VFS.mu  →  VFS.pageMu  →  (caps/core/mem internal locks)
+//
+// VFS.mu (the mount table) and pageMu (the page cache index) are held
+// only across map manipulation, never across a module crossing; mount.mu
+// is the only lock held while crossing into a filesystem module. A
+// thread holding one mount.mu acquires another mount's lock exclusively
+// via TryLock (cross-mount eviction), which keeps the order acyclic.
 type VFS struct {
 	K *kernel.Kernel
 	// Block is the block layer pc_writeback persists pages to; nil for
@@ -121,16 +156,22 @@ type VFS struct {
 	dentLay *layout.Struct
 	fopsLay *layout.Struct
 
+	// mu guards the filesystem registry and the mount table.
+	mu          sync.RWMutex
 	filesystems map[uint64]*fstype
 	mounts      map[mem.Addr]*mount
 
-	// dentries is the dentry cache: one dnode per cached dentry, with
-	// children keyed by path component (the M-way-trie shape).
-	dentries map[mem.Addr]*dnode
-
+	// pageMu guards the page-cache index: pages, dirty, dirtyTick, the
+	// LRU list, and the budget. Page *contents* are copied under the
+	// owning mount's lock.
+	pageMu sync.Mutex
 	// pages is the page cache: (inode, page index) -> page base address.
 	pages map[pageKey]mem.Addr
 	dirty map[pageKey]bool
+	// dirtyTick records the flusher tick at which a page was last
+	// dirtied; the background flusher only writes back pages that have
+	// aged at least one full tick.
+	dirtyTick map[pageKey]uint64
 
 	// lru orders the cached pages least- to most-recently used; lruPos
 	// indexes the list elements by page key. pageBudget caps the cache
@@ -140,9 +181,12 @@ type VFS struct {
 	lruPos     map[pageKey]*list.Element
 	pageBudget int
 
-	nextIno uint64
-	nameBuf mem.Addr // kernel scratch buffer for passing names to modules
-	dirBuf  mem.Addr // kernel scratch buffer readdir hands to modules
+	// Writeback flusher state (see flusher.go).
+	flushTick     atomic.Uint64
+	flushInterval atomic.Int64 // nanoseconds; 0 = flusher parked
+	flushKick     chan struct{}
+
+	nextIno atomic.Uint64
 
 	Stats Stats
 }
@@ -157,12 +201,12 @@ func Init(k *kernel.Kernel, bl *blockdev.Layer) *VFS {
 		Block:       bl,
 		filesystems: make(map[uint64]*fstype),
 		mounts:      make(map[mem.Addr]*mount),
-		dentries:    make(map[mem.Addr]*dnode),
 		pages:       make(map[pageKey]mem.Addr),
 		dirty:       make(map[pageKey]bool),
+		dirtyTick:   make(map[pageKey]uint64),
 		lru:         list.New(),
 		lruPos:      make(map[pageKey]*list.Element),
-		nextIno:     1,
+		flushKick:   make(chan struct{}, 1),
 	}
 	sys := k.Sys
 
@@ -200,9 +244,6 @@ func Init(k *kernel.Kernel, bl *blockdev.Layer) *VFS {
 		layout.F("ioctl", 8),
 	)
 
-	v.nameBuf = sys.Statics.Alloc(NameMax+1, 8)
-	v.dirBuf = sys.Statics.Alloc(NameMax+1, 8)
-
 	// page_caps: the single WRITE capability that makes up a page-cache
 	// page (pages are raw PageSize buffers, no header struct).
 	sys.RegisterIterator("page_caps", func(t *core.Thread, args []int64, emit func(caps.Cap) error) error {
@@ -225,6 +266,9 @@ func Init(k *kernel.Kernel, bl *blockdev.Layer) *VFS {
 
 	v.registerFPtrTypes()
 	v.registerExports()
+	// The kernel spawns the writeback flusher at boot, like kflushd. It
+	// parks until EnableWriteback gives it an interval.
+	k.SpawnDaemon("kflushd", v.flusherLoop)
 	return v
 }
 
@@ -298,6 +342,8 @@ func (v *VFS) registerExports() {
 		[]core.Param{core.P("fsid", "u64"), core.P("ops", "struct fs_operations *")},
 		"pre(check(write, ops))",
 		func(t *core.Thread, args []uint64) uint64 {
+			v.mu.Lock()
+			defer v.mu.Unlock()
 			if _, dup := v.filesystems[args[0]]; dup {
 				return kernel.Err(kernel.EBUSY)
 			}
@@ -320,9 +366,8 @@ func (v *VFS) registerExports() {
 			}
 			must(sys.AS.Zero(ino, v.inoLay.Size))
 			must(sys.AS.WriteU64(v.InodeField(ino, "sb"), args[0]))
-			must(sys.AS.WriteU64(v.InodeField(ino, "ino"), v.nextIno))
+			must(sys.AS.WriteU64(v.InodeField(ino, "ino"), v.nextIno.Add(1)))
 			must(sys.AS.WriteU64(v.InodeField(ino, "nlink"), 1))
-			v.nextIno++
 			return uint64(ino)
 		})
 
@@ -390,16 +435,55 @@ func (v *VFS) OpsSlot(ops mem.Addr, f string) mem.Addr { return ops + mem.Addr(v
 
 // --- mount lifecycle ---
 
+// mountOf returns the mount for sb, or nil. It takes only VFS.mu, so it
+// is safe to call while holding a mount lock (cross-mount eviction).
+func (v *VFS) mountOf(sb mem.Addr) *mount {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.mounts[sb]
+}
+
+// mountList snapshots the mount table. Callers lock individual mounts
+// afterwards, never while VFS.mu is held.
+func (v *VFS) mountList() []*mount {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make([]*mount, 0, len(v.mounts))
+	for _, mnt := range v.mounts {
+		out = append(out, mnt)
+	}
+	return out
+}
+
+// lockMount resolves sb and returns its mount with mu held. The caller
+// must unlock it. A mount that disappeared (or died) while we waited
+// for the lock produces an error instead of an operation on freed
+// superblock memory.
+func (v *VFS) lockMount(sb mem.Addr) (*mount, error) {
+	mnt := v.mountOf(sb)
+	if mnt == nil {
+		return nil, fmt.Errorf("vfs: not a mounted superblock: %#x", uint64(sb))
+	}
+	mnt.mu.Lock()
+	if mnt.dead {
+		mnt.mu.Unlock()
+		return nil, fmt.Errorf("vfs: superblock %#x was unmounted", uint64(sb))
+	}
+	return mnt, nil
+}
+
 // Mount instantiates a registered filesystem on a device: it allocates
 // the superblock, runs the module's mount callback as the new mount's
 // instance principal, and roots the dentry cache at the inode the module
 // returns.
 func (v *VFS) Mount(t *core.Thread, fsid, dev uint64) (mem.Addr, error) {
+	v.mu.RLock()
 	ft, ok := v.filesystems[fsid]
+	v.mu.RUnlock()
 	if !ok {
 		return 0, fmt.Errorf("vfs: unknown filesystem %d", fsid)
 	}
-	if ft.module != nil && ft.module.Dead {
+	if ft.module != nil && ft.module.Dead() {
 		return 0, core.ErrModuleDead
 	}
 	sys := v.K.Sys
@@ -428,7 +512,15 @@ func (v *VFS) Mount(t *core.Thread, fsid, dev uint64) (mem.Addr, error) {
 	if ret == 0 {
 		return fail(fmt.Errorf("vfs: mount of filesystem %d failed", fsid))
 	}
-	root, err := v.newDentry(0, "/", mem.Addr(ret))
+	// The mount object exists before it is published in the mount table,
+	// so the root dentry can go straight into its private cache.
+	mnt := &mount{
+		fs: ft, sb: sb, dev: dev,
+		dentries: make(map[mem.Addr]*dnode),
+		nameBuf:  sys.Statics.Alloc(NameMax+1, 8),
+		dirBuf:   sys.Statics.Alloc(NameMax+1, 8),
+	}
+	root, err := v.newDentry(mnt, 0, "/", mem.Addr(ret))
 	if err != nil {
 		// The module's mount already succeeded: give it kill_sb so its
 		// private allocations and root inode are released before the
@@ -436,6 +528,7 @@ func (v *VFS) Mount(t *core.Thread, fsid, dev uint64) (mem.Addr, error) {
 		_, _ = t.IndirectCall(v.OpsSlot(ft.ops, "kill_sb"), FsKillSB, uint64(sb))
 		return fail(err)
 	}
+	mnt.root = root
 	must(sys.AS.WriteU64(v.SBField(sb, "root"), uint64(root)))
 	// The mount's instance principal is granted REF on its backing
 	// device: the proof pc_writeback and dm_write_sectors demand before
@@ -444,8 +537,10 @@ func (v *VFS) Mount(t *core.Thread, fsid, dev uint64) (mem.Addr, error) {
 	if ft.module != nil {
 		sys.Caps.Grant(ft.module.Set.Instance(sb), caps.RefCap(blockdev.DevRef, mem.Addr(dev)))
 	}
-	v.mounts[sb] = &mount{fs: ft, sb: sb, dev: dev, root: root}
-	v.Stats.Mounts++
+	v.mu.Lock()
+	v.mounts[sb] = mnt
+	v.mu.Unlock()
+	v.Stats.Mounts.Add(1)
 	return sb, nil
 }
 
@@ -453,44 +548,51 @@ func (v *VFS) Mount(t *core.Thread, fsid, dev uint64) (mem.Addr, error) {
 // and page of the mount and discards the mount's instance principal so a
 // recycled superblock address cannot inherit stale privileges.
 func (v *VFS) Unmount(t *core.Thread, sb mem.Addr) error {
-	mnt, ok := v.mounts[sb]
-	if !ok {
-		return fmt.Errorf("vfs: not a mounted superblock: %#x", uint64(sb))
+	mnt, err := v.lockMount(sb)
+	if err != nil {
+		return err
 	}
+	defer mnt.mu.Unlock()
 	if _, err := t.IndirectCall(v.OpsSlot(mnt.fs.ops, "kill_sb"), FsKillSB, uint64(sb)); err != nil {
 		return err
 	}
+	mnt.dead = true
+	v.mu.Lock()
+	delete(v.mounts, sb)
+	v.mu.Unlock()
 	sys := v.K.Sys
 	// Reclaim whatever the module did not release itself. Inodes it
 	// already iput are gone from the slab; the double free is ignored.
-	v.forEachDentry(mnt.root, func(d mem.Addr, n *dnode) {
+	for d, n := range mnt.dentries {
 		if n.inode != 0 {
 			v.dropPagesOf(n.inode)
 			_ = sys.Slab.Free(n.inode)
 		}
 		_ = sys.Slab.Free(d)
-		delete(v.dentries, d)
-	})
+	}
+	mnt.dentries = make(map[mem.Addr]*dnode)
 	if mnt.fs.module != nil {
 		mnt.fs.module.Set.DropInstance(sb)
 	}
 	_ = sys.Slab.Free(sb)
-	delete(v.mounts, sb)
 	return nil
 }
 
 // Ioctl dispatches a filesystem-specific control operation through the
 // module-writable ioctl slot.
 func (v *VFS) Ioctl(t *core.Thread, sb mem.Addr, cmd, arg uint64) (uint64, error) {
-	mnt, ok := v.mounts[sb]
-	if !ok {
-		return 0, fmt.Errorf("vfs: not a mounted superblock: %#x", uint64(sb))
+	mnt, err := v.lockMount(sb)
+	if err != nil {
+		return 0, err
 	}
+	defer mnt.mu.Unlock()
 	return t.IndirectCall(v.OpsSlot(mnt.fs.ops, "ioctl"), FsIoctl, uint64(sb), cmd, arg)
 }
 
 // Filesystems returns the ids of all registered filesystems.
 func (v *VFS) Filesystems() []uint64 {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
 	out := make([]uint64, 0, len(v.filesystems))
 	for id := range v.filesystems {
 		out = append(out, id)

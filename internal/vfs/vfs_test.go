@@ -117,7 +117,7 @@ func TestMinixPersistsToDisk(t *testing.T) {
 		t.Fatal("payload not written to the backing disk")
 	}
 	// Evict the cache; the next read must refill from disk via readpage.
-	fills := r.v.Stats.PageFills
+	fills := r.v.Stats.PageFills.Load()
 	if n := r.v.DropCaches(sb); n == 0 {
 		t.Fatal("DropCaches evicted nothing")
 	}
@@ -128,7 +128,7 @@ func TestMinixPersistsToDisk(t *testing.T) {
 	if !bytes.Equal(got, payload) {
 		t.Fatal("data did not survive cache eviction")
 	}
-	if r.v.Stats.PageFills == fills {
+	if r.v.Stats.PageFills.Load() == fills {
 		t.Fatal("cold read did not cross into the module")
 	}
 	r.noViolations(t)
@@ -238,7 +238,7 @@ func TestUnmountReclaims(t *testing.T) {
 	if n := r.v.DcacheLen(); n != 0 {
 		t.Fatalf("dentries leaked across unmount: %d", n)
 	}
-	if fs.M.Dead {
+	if fs.M.Dead() {
 		t.Fatal("module died during a clean unmount")
 	}
 	// The filesystem can be mounted again.
@@ -355,8 +355,8 @@ func TestRenameAcrossDirectories(t *testing.T) {
 	if err := r.v.Rename(r.th, sb, "/moved", sb, "/moved/inside"); err == nil {
 		t.Fatal("rename into own subtree succeeded")
 	}
-	if r.v.Stats.Renames != 2 {
-		t.Fatalf("Renames = %d, want 2", r.v.Stats.Renames)
+	if r.v.Stats.Renames.Load() != 2 {
+		t.Fatalf("Renames = %d, want 2", r.v.Stats.Renames.Load())
 	}
 	r.noViolations(t)
 }
@@ -382,7 +382,7 @@ func TestRenameOverExistingTarget(t *testing.T) {
 	if _, err := r.v.Write(r.th, sb, "/loser", 0, []byte("doomed bytes")); err != nil {
 		t.Fatal(err)
 	}
-	unlinks := r.v.Stats.Unlinks
+	unlinks := r.v.Stats.Unlinks.Load()
 	if err := r.v.Rename(r.th, sb, "/winner", sb, "/loser"); err != nil {
 		t.Fatal(err)
 	}
@@ -393,8 +393,8 @@ func TestRenameOverExistingTarget(t *testing.T) {
 	if _, err := r.v.Lookup(r.th, sb, "/winner"); err == nil {
 		t.Fatal("source still resolves after rename-over")
 	}
-	if r.v.Stats.Unlinks != unlinks+1 {
-		t.Fatalf("replaced target not unlinked: %d -> %d", unlinks, r.v.Stats.Unlinks)
+	if r.v.Stats.Unlinks.Load() != unlinks+1 {
+		t.Fatalf("replaced target not unlinked: %d -> %d", unlinks, r.v.Stats.Unlinks.Load())
 	}
 	// Kind mismatch: a file cannot replace a directory.
 	if _, err := r.v.Mkdir(r.th, sb, "/dir"); err != nil {
@@ -433,7 +433,7 @@ func TestRenameCrossMountRejected(t *testing.T) {
 	// contract violation: nothing recorded, nobody killed, and both
 	// namespaces are unchanged.
 	r.noViolations(t)
-	if fs.M.Dead {
+	if fs.M.Dead() {
 		t.Fatal("module killed by a rejected rename")
 	}
 	if _, err := r.v.Lookup(r.th, sbA, "/f"); err != nil {
@@ -486,20 +486,20 @@ func TestLRUBudgetEviction(t *testing.T) {
 	if n := r.v.PageCount(); n > 2 {
 		t.Fatalf("cache at %d pages, budget 2", n)
 	}
-	fills := r.v.Stats.PageFills
+	fills := r.v.Stats.PageFills.Load()
 	if _, err := r.v.Read(r.th, sb, "/f0", 0, 8); err != nil {
 		t.Fatal(err)
 	}
-	if r.v.Stats.PageFills != fills {
+	if r.v.Stats.PageFills.Load() != fills {
 		t.Fatal("recently-touched f0 was evicted instead of LRU f1")
 	}
 	if _, err := r.v.Read(r.th, sb, "/f1", 0, 8); err != nil {
 		t.Fatal(err)
 	}
-	if r.v.Stats.PageFills == fills {
+	if r.v.Stats.PageFills.Load() == fills {
 		t.Fatal("LRU victim f1 was still cached")
 	}
-	if r.v.Stats.Evictions == 0 {
+	if r.v.Stats.Evictions.Load() == 0 {
 		t.Fatal("no evictions counted")
 	}
 	r.noViolations(t)
@@ -529,7 +529,7 @@ func TestDirtyEvictionForcesWriteback(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if r.v.Stats.EvictWrites == 0 {
+	if r.v.Stats.EvictWrites.Load() == 0 {
 		t.Fatal("no eviction-forced writebacks")
 	}
 	if n := r.v.PageCount(); n > 2 {
@@ -629,7 +629,7 @@ func TestMemOnlyExceedsBudgetRatherThanEvict(t *testing.T) {
 	if n := r.v.PageCount(); n != 3 {
 		t.Fatalf("tmpfs pages = %d, want all 3 retained", n)
 	}
-	if r.v.Stats.Evictions != 0 {
+	if r.v.Stats.Evictions.Load() != 0 {
 		t.Fatal("memory-only pages were evicted")
 	}
 	for i := 0; i < 3; i++ {
@@ -772,7 +772,7 @@ func TestCrossDeviceWriteRejected(t *testing.T) {
 	if !bytes.Equal(r.bl.DiskBytes(2), before) {
 		t.Fatal("disk 2 was modified by mount A's poke")
 	}
-	if !fs.M.Dead {
+	if !fs.M.Dead() {
 		t.Fatal("violating module was not killed")
 	}
 }
@@ -1067,7 +1067,7 @@ func TestPokeConfinedToOwnPrincipal(t *testing.T) {
 	if err != nil || !bytes.Equal(got, secret) {
 		t.Fatalf("victim data corrupted: %q, %v", got, err)
 	}
-	if !fs.M.Dead {
+	if !fs.M.Dead() {
 		t.Fatal("violating module was not killed")
 	}
 }

@@ -15,7 +15,11 @@
 // 64-byte segments of the page.
 package wst
 
-import "lxfi/internal/mem"
+import (
+	"sync"
+
+	"lxfi/internal/mem"
+)
 
 // SegmentSize is the granularity of writer-set emptiness tracking.
 const SegmentSize = 64
@@ -25,6 +29,7 @@ const segsPerPage = mem.PageSize / SegmentSize // 64 — fits one uint64 bitmap
 // Tracker records, per 64-byte segment, whether the writer set is
 // non-empty.
 type Tracker struct {
+	mu    sync.Mutex
 	pages map[mem.Addr]uint64 // page base -> segment bitmap
 
 	marks  uint64 // MarkRange calls
@@ -47,6 +52,8 @@ func (t *Tracker) MarkRange(addr mem.Addr, size uint64) {
 	if size == 0 {
 		return
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.marks++
 	first := addr / SegmentSize
 	last := (addr + mem.Addr(size) - 1) / SegmentSize
@@ -65,6 +72,8 @@ func (t *Tracker) ClearRange(addr mem.Addr, size uint64) {
 	if size == 0 {
 		return
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	end := addr + mem.Addr(size)
 	// Only fully-covered segments may be cleared.
 	first := (addr + SegmentSize - 1) / SegmentSize
@@ -86,6 +95,12 @@ func (t *Tracker) ClearRange(addr mem.Addr, size uint64) {
 // Empty reports whether the writer set for the segment containing addr
 // is empty. This is the constant-time fast-path test.
 func (t *Tracker) Empty(addr mem.Addr) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.emptyLocked(addr)
+}
+
+func (t *Tracker) emptyLocked(addr mem.Addr) bool {
 	t.probes++
 	page, bit := segBit(addr)
 	m, ok := t.pages[page]
@@ -102,10 +117,12 @@ func (t *Tracker) EmptyRange(addr mem.Addr, size uint64) bool {
 	if size == 0 {
 		return true
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	first := addr / SegmentSize
 	last := (addr + mem.Addr(size) - 1) / SegmentSize
 	for s := first; s <= last; s++ {
-		if !t.Empty(s * SegmentSize) {
+		if !t.emptyLocked(s * SegmentSize) {
 			return false
 		}
 	}
@@ -114,11 +131,15 @@ func (t *Tracker) EmptyRange(addr mem.Addr, size uint64) bool {
 
 // Stats returns (marks, probes, fast-path hits).
 func (t *Tracker) Stats() (marks, probes, hits uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	return t.marks, t.probes, t.hits
 }
 
 // Reset clears all tracking state and counters.
 func (t *Tracker) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.pages = make(map[mem.Addr]uint64)
 	t.marks, t.probes, t.hits = 0, 0, 0
 }

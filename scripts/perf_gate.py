@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Perf gate for the fsperf CI artifact.
+
+Compares the previous run's BENCH_fsperf.json against the fresh one and
+fails (exit 1) when any phase regressed by more than THRESHOLD percent
+ns/op, under either build (stock or lxfi). Phases present in only one
+report are listed but never fail the gate, so adding or removing a
+phase does not wedge CI.
+
+Usage: perf_gate.py PREV.json CURRENT.json
+"""
+
+import json
+import sys
+
+THRESHOLD = 30.0  # percent
+
+
+def rows(doc):
+    out = {}
+    for res in doc.get("results", []):
+        for row in res.get("rows", []):
+            out[(res["fs"], row["op"], "stock")] = row["stock_ns"]
+            out[(res["fs"], row["op"], "lxfi")] = row["lxfi_ns"]
+    conc = doc.get("concurrency")
+    if conc:
+        out[("concurrency", "multi-mount", "stock")] = conc["stock_ns"]
+        out[("concurrency", "multi-mount", "lxfi")] = conc["lxfi_ns"]
+    return out
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    with open(sys.argv[1]) as f:
+        prev = rows(json.load(f))
+    with open(sys.argv[2]) as f:
+        cur = rows(json.load(f))
+
+    failures = []
+    for key in sorted(cur):
+        now = cur[key]
+        was = prev.get(key)
+        if was is None:
+            print("%-12s %-16s %-6s %41s" % (key[0], key[1], key[2], "(new phase)"))
+            continue
+        if was <= 0 or now <= 0:
+            continue
+        delta = 100.0 * (now - was) / was
+        flag = "  <-- REGRESSION" if delta > THRESHOLD else ""
+        print("%-12s %-16s %-6s %10.0f -> %10.0f ns/op (%+6.1f%%)%s"
+              % (key[0], key[1], key[2], was, now, delta, flag))
+        if delta > THRESHOLD:
+            failures.append(key)
+    for key in sorted(set(prev) - set(cur)):
+        print("%-12s %-16s %-6s %41s" % (key[0], key[1], key[2], "(phase removed)"))
+
+    if failures:
+        print("\nperf gate: %d phase(s) regressed more than %.0f%%"
+              % (len(failures), THRESHOLD), file=sys.stderr)
+        sys.exit(1)
+    print("\nperf gate: OK")
+
+
+if __name__ == "__main__":
+    main()
