@@ -1,6 +1,11 @@
 // Command lxfi-microbench regenerates Figure 11: the SFI
 // microbenchmarks (hotlist, lld, MD5) run as isolated modules, with
 // measured slowdowns and statically-computed code-size deltas.
+//
+// With -crossings it instead runs the capability-crossing engine
+// benchmark (cold/cached/contended checks and the revoke storm); with
+// -json the crossing report is emitted in the BENCH_crossings.json
+// shape CI archives and perf-gates.
 package main
 
 import (
@@ -13,7 +18,34 @@ import (
 
 func main() {
 	iters := flag.Int("iters", 5000, "operations per benchmark")
+	crossings := flag.Bool("crossings", false, "run the crossing-engine phases instead of Figure 11")
+	asJSON := flag.Bool("json", false, "emit the machine-readable crossing report (requires -crossings)")
 	flag.Parse()
+
+	if *crossings {
+		rows, err := microbench.MeasureCrossings(*iters)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "crossing benchmark failed:", err)
+			os.Exit(1)
+		}
+		if *asJSON {
+			out, err := microbench.CrossingsJSON(rows, *iters)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "encoding report:", err)
+				os.Exit(1)
+			}
+			fmt.Println(string(out))
+			return
+		}
+		fmt.Println("Crossing engine — capability checks, stock vs LXFI")
+		fmt.Println()
+		fmt.Print(microbench.FormatCrossings(rows))
+		return
+	}
+	if *asJSON {
+		fmt.Fprintln(os.Stderr, "-json requires -crossings")
+		os.Exit(2)
+	}
 
 	rs, err := microbench.RunAll(*iters)
 	if err != nil {

@@ -1,6 +1,10 @@
 // Command lxfi-netperf regenerates Figure 12 (netperf throughput and
 // CPU utilization over the isolated e1000 driver) and, with -guards,
 // Figure 13 (the per-packet guard cost breakdown for UDP STREAM TX).
+//
+// With -json it emits BENCH_netperf.json: the measured per-packet path
+// costs plus the concurrent socket-pair phase (one worker thread per
+// econet socket pair), for the CI perf gate.
 package main
 
 import (
@@ -14,6 +18,8 @@ import (
 func main() {
 	packets := flag.Int("packets", 2000, "packets per measurement")
 	guards := flag.Bool("guards", false, "also print the Figure 13 guard breakdown")
+	asJSON := flag.Bool("json", false, "emit BENCH_netperf.json (path costs + concurrent socket phase)")
+	pairs := flag.Int("pairs", 4, "socket pairs (worker threads) in the concurrent phase")
 	flag.Parse()
 
 	costs, err := netperf.MeasureCosts(*packets)
@@ -21,9 +27,30 @@ func main() {
 		fmt.Fprintln(os.Stderr, "measurement failed:", err)
 		os.Exit(1)
 	}
+	if *asJSON {
+		conc, err := netperf.MeasureConcurrentSockets(*pairs, *packets)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "concurrent measurement failed:", err)
+			os.Exit(1)
+		}
+		out, err := netperf.JSON(costs, conc, *packets)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "encoding report:", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(out))
+		return
+	}
 	fmt.Println("Figure 12 — netperf with stock and LXFI-enabled e1000 driver")
 	fmt.Println()
 	fmt.Print(netperf.Format(netperf.BuildTable(costs)))
+	conc, err := netperf.MeasureConcurrentSockets(*pairs, *packets)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "concurrent measurement failed:", err)
+		os.Exit(1)
+	}
+	fmt.Println()
+	fmt.Print(netperf.FormatConcurrent(conc))
 
 	if *guards {
 		rows, err := netperf.GuardBreakdown(*packets)

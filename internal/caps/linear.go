@@ -56,8 +56,10 @@ func (l *LinearWriteSet) RevokeOverlap(addr mem.Addr, size uint64) bool {
 // Len returns the number of live entries.
 func (l *LinearWriteSet) Len() int { return len(l.entries) }
 
-// BucketWriteSet wraps a lone principal's bucketed WRITE table with the
-// same interface, for side-by-side benchmarking.
+// BucketWriteSet wraps a lone principal's WRITE table — now the sorted
+// interval index of interval.go, reached through the same bucket-hashed
+// sharding the live system uses — with the same interface, for
+// side-by-side benchmarking against the linear baseline.
 type BucketWriteSet struct {
 	p *Principal
 }

@@ -47,22 +47,27 @@ func (s *System) sizeofType(typ string) (uint64, bool) {
 	return s.Layouts.Sizeof(typ)
 }
 
-// resolveCaps materializes the capability list of one action.
-func (t *Thread) resolveCaps(cl *annot.CapList, env *argEnv) ([]caps.Cap, error) {
+// resolveCaps materializes the capability list of one action, appending
+// into out (a recycled per-thread scratch slice — crossings must not
+// allocate).
+func (t *Thread) resolveCaps(cl *annot.CapList, env *argEnv, out []caps.Cap) ([]caps.Cap, error) {
 	if cl.IsIterator() {
 		iter, ok := t.Sys.iterator(cl.Iter)
 		if !ok {
-			return nil, fmt.Errorf("core: unknown capability iterator %q", cl.Iter)
+			return out, fmt.Errorf("core: unknown capability iterator %q", cl.Iter)
 		}
-		iargs := make([]int64, len(cl.IterArgs))
-		for i, e := range cl.IterArgs {
+		var iargsArr [4]int64
+		iargs := iargsArr[:0]
+		if len(cl.IterArgs) > len(iargsArr) {
+			iargs = make([]int64, 0, len(cl.IterArgs))
+		}
+		for _, e := range cl.IterArgs {
 			v, err := e.Eval(env)
 			if err != nil {
-				return nil, err
+				return out, err
 			}
-			iargs[i] = v
+			iargs = append(iargs, v)
 		}
-		var out []caps.Cap
 		err := iter(t, iargs, func(c caps.Cap) error {
 			out = append(out, c)
 			return nil
@@ -72,14 +77,14 @@ func (t *Thread) resolveCaps(cl *annot.CapList, env *argEnv) ([]caps.Cap, error)
 
 	ptr, err := cl.Ptr.Eval(env)
 	if err != nil {
-		return nil, err
+		return out, err
 	}
 	addr := mem.Addr(uint64(ptr))
 	switch cl.Kind {
 	case annot.CapCall:
-		return []caps.Cap{caps.CallCap(addr)}, nil
+		return append(out, caps.CallCap(addr)), nil
 	case annot.CapRef:
-		return []caps.Cap{caps.RefCap(cl.RefType, addr)}, nil
+		return append(out, caps.RefCap(cl.RefType, addr)), nil
 	case annot.CapWrite:
 		var size uint64
 		if cl.Size != nil {
@@ -104,12 +109,12 @@ func (t *Thread) resolveCaps(cl *annot.CapList, env *argEnv) ([]caps.Cap, error)
 				}
 			}
 			if !ok {
-				return nil, fmt.Errorf("core: cannot resolve sizeof for %q", cl.Ptr)
+				return out, fmt.Errorf("core: cannot resolve sizeof for %q", cl.Ptr)
 			}
 		}
-		return []caps.Cap{caps.WriteCap(addr, size)}, nil
+		return append(out, caps.WriteCap(addr, size)), nil
 	}
-	return nil, fmt.Errorf("core: bad caplist")
+	return out, fmt.Errorf("core: bad caplist")
 }
 
 // grant gives c to principal p, updating writer sets when a WRITE
@@ -129,33 +134,36 @@ func (t *Thread) grant(p *caps.Principal, c caps.Cap) {
 // made against from (the side that must already hold the capability per
 // Fig. 3); copies and transfers then move capabilities from from to to.
 // blame identifies the untrusted side to kill on a contract violation.
-func (t *Thread) runActions(what string, actions []*annot.Action, env *argEnv,
+// The phase/fnName pair ("pre"/"post" plus the function) is joined only
+// on the cold violation path, so the hot crossing builds no strings.
+func (t *Thread) runActions(phase, fnName string, actions []*annot.Action, env *argEnv,
 	from, to *caps.Principal, blame *Module) error {
 	for _, a := range actions {
-		if err := t.runAction(what, a, env, from, to, blame); err != nil {
+		if err := t.runAction(phase, fnName, a, env, from, to, blame); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func (t *Thread) runAction(what string, a *annot.Action, env *argEnv,
+func (t *Thread) runAction(phase, fnName string, a *annot.Action, env *argEnv,
 	from, to *caps.Principal, blame *Module) error {
 	if a.Op == annot.If {
 		v, err := a.Cond.Eval(env)
 		if err != nil {
 			return t.violationAt(blame, from, "annotation", 0,
-				fmt.Sprintf("%s: bad condition %q: %v", what, a.Cond, err))
+				fmt.Sprintf("%s %s: bad condition %q: %v", phase, fnName, a.Cond, err))
 		}
 		if v == 0 {
 			return nil
 		}
-		return t.runAction(what, a.Then, env, from, to, blame)
+		return t.runAction(phase, fnName, a.Then, env, from, to, blame)
 	}
 
-	capsList, err := t.resolveCaps(a.Caps, env)
+	capsList, err := t.resolveCaps(a.Caps, env, t.getCapBuf())
+	defer t.putCapBuf(capsList)
 	if err != nil {
-		return t.violationAt(blame, from, "annotation", 0, fmt.Sprintf("%s: %v", what, err))
+		return t.violationAt(blame, from, "annotation", 0, fmt.Sprintf("%s %s: %v", phase, fnName, err))
 	}
 	mon := &t.Sys.Mon.Stats
 	for _, c := range capsList {
@@ -172,10 +180,9 @@ func (t *Thread) runAction(what string, a *annot.Action, env *argEnv,
 		// The other three operators first verify ownership on the from side
 		// ("Both copy and transfer ensure that the capability is owned in
 		// the first place before granting it", §3.3).
-		mon.CapChecks.Add(1)
-		if !t.Sys.Caps.Check(from, c) {
+		if !t.checkCap(from, c) {
 			return t.violationAt(blame, from, "annotation", c.Addr,
-				fmt.Sprintf("%s: %s action: %s does not own %s", what, a.Op, from, c))
+				fmt.Sprintf("%s %s: %s action: %s does not own %s", phase, fnName, a.Op, from, c))
 		}
 		switch a.Op {
 		case annot.Check:

@@ -40,15 +40,15 @@ func (t *Thread) callKernelDecl(fn *FuncDecl, args []uint64) (uint64, error) {
 		}
 		// The module may only call functions it holds CALL capabilities
 		// for (granted for its imports at load time).
-		t.Sys.Mon.Stats.CapChecks.Add(1)
-		if !t.Sys.Caps.Check(t.cur, caps.CallCap(fn.Addr)) {
+		if !t.checkCap(t.cur, caps.CallCap(fn.Addr)) {
 			return 0, t.violation("call", fn.Addr,
 				fmt.Sprintf("no CALL capability for %s", fn.Name))
 		}
-		env = &argEnv{sys: t.Sys, params: fn.Params, args: args}
+		env = t.getEnv(fn.Params, args)
+		defer t.putEnv(env)
 		// pre: ownership checked on the caller (module); grants flow
 		// caller -> callee (kernel).
-		if err := t.runActions("pre "+fn.Name, fn.Annot.Pre, env, callerPrin, t.Sys.Caps.Trusted, callerMod); err != nil {
+		if err := t.runActions("pre", fn.Name, fn.Annot.Pre, env, callerPrin, t.Sys.Caps.Trusted, callerMod); err != nil {
 			return 0, err
 		}
 	}
@@ -68,7 +68,7 @@ func (t *Thread) callKernelDecl(fn *FuncDecl, args []uint64) (uint64, error) {
 		env.ret, env.hasRet = ret, true
 		// post: ownership checked on the callee (kernel, trivially true);
 		// grants flow callee -> caller.
-		if err := t.runActions("post "+fn.Name, fn.Annot.Post, env, t.Sys.Caps.Trusted, callerPrin, callerMod); err != nil {
+		if err := t.runActions("post", fn.Name, fn.Annot.Post, env, t.Sys.Caps.Trusted, callerPrin, callerMod); err != nil {
 			return ret, err
 		}
 	}
@@ -104,7 +104,8 @@ func (t *Thread) callModuleDeclParams(m *Module, fn *FuncDecl, params []Param, a
 	var callee *caps.Principal
 	if enforcing {
 		t.Sys.Mon.Stats.FuncEntries.Add(1)
-		env = &argEnv{sys: t.Sys, params: params, args: args}
+		env = t.getEnv(params, args)
+		defer t.putEnv(env)
 		var err error
 		// The wrapper "sets the appropriate principal" (§4.2) from the
 		// principal(...) annotation before running the module function.
@@ -115,7 +116,7 @@ func (t *Thread) callModuleDeclParams(m *Module, fn *FuncDecl, params []Param, a
 		t.Sys.Mon.Stats.PrincipalSwitches.Add(1)
 		// pre: ownership checked on the caller; grants flow caller ->
 		// callee principal.
-		if err := t.runActions("pre "+fn.Name, fn.Annot.Pre, env, callerPrin, callee, t.curMod); err != nil {
+		if err := t.runActions("pre", fn.Name, fn.Annot.Pre, env, callerPrin, callee, t.curMod); err != nil {
 			return 0, err
 		}
 	}
@@ -135,7 +136,7 @@ func (t *Thread) callModuleDeclParams(m *Module, fn *FuncDecl, params []Param, a
 		env.ret, env.hasRet = ret, true
 		// post: ownership checked on the callee (module); grants flow
 		// callee -> caller.
-		if err := t.runActions("post "+fn.Name, fn.Annot.Post, env, callee, callerPrin, m); err != nil {
+		if err := t.runActions("post", fn.Name, fn.Annot.Post, env, callee, callerPrin, m); err != nil {
 			return ret, err
 		}
 	}
@@ -195,8 +196,7 @@ func (t *Thread) checkIndCallSlow(slot, target mem.Addr, ft *FPtrType) error {
 				fmt.Sprintf("module-writable slot %#x points to non-function address %#x",
 					uint64(slot), uint64(target)))
 		}
-		t.Sys.Mon.Stats.CapChecks.Add(1)
-		if !t.Sys.Caps.Check(w, caps.CallCap(target)) {
+		if !t.checkCap(w, caps.CallCap(target)) {
 			return t.violationAt(blame, w, "indcall", target,
 				fmt.Sprintf("writer %s lacks CALL capability for target %s of slot %#x",
 					w, fn, uint64(slot)))
@@ -267,8 +267,7 @@ func (t *Thread) CallAddr(target mem.Addr, typeName string, args ...uint64) (uin
 	fn, known := t.Sys.FuncByAddr(target)
 
 	if t.cur != nil && t.Sys.Mon.Enforcing() {
-		t.Sys.Mon.Stats.CapChecks.Add(1)
-		if !t.Sys.Caps.Check(t.cur, caps.CallCap(target)) {
+		if !t.checkCap(t.cur, caps.CallCap(target)) {
 			return 0, t.violation("call", target,
 				fmt.Sprintf("module indirect call: no CALL capability for %#x", uint64(target)))
 		}

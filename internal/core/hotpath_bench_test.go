@@ -1,0 +1,132 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"lxfi/internal/caps"
+	"lxfi/internal/mem"
+)
+
+// Benchmarks for the capability-check hot path: the sharded table
+// lookup, the per-thread epoch-validated cache in front of it, and the
+// full mediated crossing. CI's bench-smoke step runs these, and the
+// crossing phases of internal/microbench report the same paths into
+// BENCH_crossings.json.
+
+func newProbeSys(tb testing.TB) (*System, *caps.Principal, mem.Addr) {
+	s := NewSystem()
+	s.Mon.SetMode(Enforce)
+	ms := s.Caps.LoadModule("probe")
+	p := ms.Instance(0x1000)
+	addr := mem.Addr(0xffff880000010000)
+	s.Caps.Grant(p, caps.WriteCap(addr, 4096))
+	return s, p, addr
+}
+
+// BenchmarkCheckTables hits the sharded interval index directly (no
+// thread cache): one shard read lock + O(log n) probe.
+func BenchmarkCheckTables(b *testing.B) {
+	s, p, addr := newProbeSys(b)
+	c := caps.WriteCap(addr+64, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !s.Caps.Check(p, c) {
+			b.Fatal("check failed")
+		}
+	}
+}
+
+// BenchmarkCheckCached repeats one check through a thread's cache: an
+// epoch load and a direct-mapped compare, no locks, no allocation.
+func BenchmarkCheckCached(b *testing.B) {
+	s, p, addr := newProbeSys(b)
+	th := s.NewThread("bench")
+	c := caps.WriteCap(addr+64, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !th.CheckCached(p, c) {
+			b.Fatal("check failed")
+		}
+	}
+}
+
+// BenchmarkCheckContended8 drives table checks from 8 goroutines, each
+// in its own 4 KiB bucket so the probes land on distinct shards — the
+// shard-scaling story (the old global RWMutex bounced one lock word
+// across every core).
+func BenchmarkCheckContended8(b *testing.B) {
+	s, p, addr := newProbeSys(b)
+	for w := 0; w < 8; w++ {
+		s.Caps.Grant(p, caps.WriteCap(addr+mem.Addr(w*2*mem.PageSize), 4096))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	workers := 8
+	per := b.N/workers + 1
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := caps.WriteCap(addr+mem.Addr(w*2*mem.PageSize), 8)
+			for i := 0; i < per; i++ {
+				if !s.Caps.Check(p, c) {
+					panic("check failed")
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// BenchmarkCrossingStore is one full mediated crossing: wrapper entry,
+// guarded store (cache hit), wrapper exit.
+func BenchmarkCrossingStore(b *testing.B) {
+	s := NewSystem()
+	s.Mon.SetMode(Enforce)
+	s.RegisterKernelFunc("bench_kmalloc",
+		[]Param{P("size", "size_t")},
+		"post(if (return != 0) transfer(bench_alloc_caps(return)))",
+		func(t *Thread, args []uint64) uint64 {
+			a, err := t.Sys.Slab.Alloc(args[0])
+			if err != nil {
+				return 0
+			}
+			return uint64(a)
+		})
+	s.RegisterIterator("bench_alloc_caps", func(t *Thread, args []int64, emit func(caps.Cap) error) error {
+		return emit(caps.WriteCap(mem.Addr(uint64(args[0])), 64))
+	})
+	th := s.NewThread("bench")
+	var buf uint64
+	m, err := s.LoadModule(ModuleSpec{
+		Name: "bench", Imports: []string{"bench_kmalloc"}, DataSize: 4096,
+		Funcs: []FuncSpec{
+			{Name: "setup", Impl: func(t *Thread, a []uint64) uint64 {
+				v, _ := t.CallKernel("bench_kmalloc", 64)
+				buf = v
+				return 0
+			}},
+			{Name: "op", Impl: func(t *Thread, a []uint64) uint64 {
+				_ = t.WriteU64(mem.Addr(buf), a[0])
+				return 0
+			}},
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := th.CallModule(m, "setup"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := th.CallModule(m, "op", uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -62,6 +62,7 @@ type Stats struct {
 	CapGrants         atomic.Uint64
 	CapRevokes        atomic.Uint64
 	CapChecks         atomic.Uint64
+	CapCacheHits      atomic.Uint64 // checks answered by a thread's epoch-valid cache
 }
 
 // Snapshot is a point-in-time copy of Stats.
@@ -76,6 +77,7 @@ type Snapshot struct {
 	CapGrants         uint64
 	CapRevokes        uint64
 	CapChecks         uint64
+	CapCacheHits      uint64
 }
 
 // Snapshot returns a copy of all counters.
@@ -91,6 +93,7 @@ func (s *Stats) Snapshot() Snapshot {
 		CapGrants:         s.CapGrants.Load(),
 		CapRevokes:        s.CapRevokes.Load(),
 		CapChecks:         s.CapChecks.Load(),
+		CapCacheHits:      s.CapCacheHits.Load(),
 	}
 }
 
@@ -107,6 +110,7 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 		CapGrants:         s.CapGrants - o.CapGrants,
 		CapRevokes:        s.CapRevokes - o.CapRevokes,
 		CapChecks:         s.CapChecks - o.CapChecks,
+		CapCacheHits:      s.CapCacheHits - o.CapCacheHits,
 	}
 }
 

@@ -453,5 +453,5 @@ func (s *System) killModule(m *Module, v *Violation) {
 // NewThread creates an execution context (one simulated kernel thread
 // with its own shadow stack).
 func (s *System) NewThread(name string) *Thread {
-	return &Thread{Sys: s, Name: name}
+	return &Thread{Sys: s, Name: name, mon: s.Mon, csys: s.Caps}
 }

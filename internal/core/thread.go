@@ -24,6 +24,13 @@ type Thread struct {
 	Sys  *System
 	Name string
 
+	// mon and csys are hot-path shortcuts to Sys.Mon and Sys.Caps (set
+	// by System.NewThread): the per-check guards would otherwise pay two
+	// dependent pointer loads before reaching the mode word or the
+	// capability epoch.
+	mon  *Monitor
+	csys *caps.System
+
 	// cur is the currently executing principal; nil means the core
 	// kernel (fully trusted).
 	cur    *caps.Principal
@@ -39,6 +46,25 @@ type Thread struct {
 	// Task is the address of the current task_struct; maintained by the
 	// kernel package.
 	Task mem.Addr
+
+	// ccache is the per-thread capability check cache (checkcache.go):
+	// direct-mapped verdicts validated against the global capability
+	// epoch. Like the shadow stack it is per-CPU context — unsynchronized
+	// and confined to the thread's goroutine.
+	ccache [checkCacheSize]checkCacheEntry
+
+	// envFree and capFree recycle crossing scratch (argEnv objects and
+	// annotation capability slices) so mediated calls do not allocate.
+	envFree []*argEnv
+	capFree [][]caps.Cap
+
+	// pendChecks/pendMisses/pendMemWrites tally guard executions
+	// locally; they are folded into Monitor.Stats at wrapper exits and
+	// every statsFlushBatch checks (a cached hit must not pay a shared
+	// atomic). Cache hits are checks minus misses.
+	pendChecks    uint64
+	pendMisses    uint64
+	pendMemWrites uint64
 }
 
 type frame struct {
@@ -88,12 +114,22 @@ func moduleName(m *Module) string {
 // checkWrite is the guard the rewriter inserts before every module
 // memory write (§4.2 "Memory writes").
 func (t *Thread) checkWrite(addr mem.Addr, size uint64) error {
-	if t.cur == nil || !t.Sys.Mon.Enforcing() {
+	if t.cur == nil || !t.mon.Enforcing() {
 		return nil
 	}
-	t.Sys.Mon.Stats.MemWriteChecks.Add(1)
-	t.Sys.Mon.Stats.CapChecks.Add(1)
-	if t.Sys.Caps.Check(t.cur, caps.WriteCap(addr, size)) {
+	t.pendMemWrites++
+	// The cache probe is embedded (not behind checkCap) so the guard's
+	// hot path is one inlined compare chain; a cached deny re-runs the
+	// authoritative check on the cold violation route below. t.cur is
+	// known non-nil and a plain size has no kind-tag bits, the two
+	// preconditions cacheProbe documents.
+	if size>>sizeKindShift == 0 {
+		if v, hit := t.cacheProbe(t.cur, addr, size, t.csys.Epoch()); hit && v {
+			t.pendChecks++
+			return nil
+		}
+	}
+	if t.checkCapSlow(t.cur, caps.WriteCap(addr, size)) {
 		return nil
 	}
 	return t.violation("memwrite", addr,
@@ -169,11 +205,16 @@ func (t *Thread) ReadBytes(addr mem.Addr, size uint64) ([]byte, error) {
 // LxfiCheck is lxfi_check from Fig. 4: an explicit check a module
 // developer inserts before a privileged operation (Guideline 6).
 func (t *Thread) LxfiCheck(c caps.Cap) error {
-	if t.cur == nil || !t.Sys.Mon.Enforcing() {
+	if t.cur == nil || !t.mon.Enforcing() {
 		return nil
 	}
-	t.Sys.Mon.Stats.CapChecks.Add(1)
-	if t.Sys.Caps.Check(t.cur, c) {
+	if c.Size>>sizeKindShift == 0 {
+		if v, hit := t.cacheProbe(t.cur, c.Addr, packSizeKind(c), t.csys.Epoch()); hit && v {
+			t.pendChecks++
+			return nil
+		}
+	}
+	if t.checkCapSlow(t.cur, c) {
 		return nil
 	}
 	return t.violation("check", c.Addr, "lxfi_check failed for "+c.String())
@@ -272,8 +313,12 @@ func (t *Thread) pushFrame(fn *FuncDecl) uint64 {
 }
 
 // popFrame validates the return token (return-address CFI, §5 "Shadow
-// stack") and restores the saved principal.
+// stack") and restores the saved principal. Wrapper exit is also where
+// the thread's local check tallies reach the shared stats.
 func (t *Thread) popFrame(tok uint64) error {
+	if t.pendChecks != 0 || t.pendMemWrites != 0 {
+		t.flushCheckStats()
+	}
 	if len(t.shadow) == 0 {
 		return t.violation("cfi", 0, "shadow stack underflow")
 	}

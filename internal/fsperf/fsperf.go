@@ -122,10 +122,13 @@ var Ops = []string{"create", "write+sync", "read cold", "read warm", "stat",
 	"readdir", "rename", "cache pressure", "remount", "unlink"}
 
 // Costs holds measured per-operation CPU costs (ns/op) for one
-// filesystem under both builds.
+// filesystem under both builds, plus the mount's writeback counters
+// (pages flushed through writepage, dirty victims the LRU policy had to
+// write back in the foreground) observed over the run.
 type Costs struct {
 	Kind Kind
 	Op   map[string]map[core.Mode]float64
+	WB   map[core.Mode]vfs.WritebackStats
 }
 
 // timed runs body over n items and returns ns per item.
@@ -172,6 +175,15 @@ func measureMode(kind Kind, mode core.Mode, files int, fileSize uint64, c *Costs
 		payload[i] = byte(i)
 	}
 	path := func(i int) string { return fmt.Sprintf("/f%05d", i) }
+	// Writeback counters live on the mount, so the remount phase resets
+	// them; accumulate across every mount generation.
+	var wbAcc vfs.WritebackStats
+	accWB := func() {
+		if st, ok := v.WritebackStats(sb); ok {
+			wbAcc.PagesFlushed += st.PagesFlushed
+			wbAcc.ForcedForeground += st.ForcedForeground
+		}
+	}
 	set := func(op string, ns float64) {
 		if c.Op[op] == nil {
 			c.Op[op] = make(map[core.Mode]float64)
@@ -341,6 +353,7 @@ func measureMode(kind Kind, mode core.Mode, files int, fileSize uint64, c *Costs
 			if err := v.Sync(th, sb); err != nil {
 				return err
 			}
+			accWB()
 			if err := v.Unmount(th, sb); err != nil {
 				return err
 			}
@@ -377,13 +390,23 @@ func measureMode(kind Kind, mode core.Mode, files int, fileSize uint64, c *Costs
 		return err
 	}
 	set("unlink", ns)
+
+	// Per-mount writeback stats over the whole run: Sync and the cache
+	// pressure phase drove pages through writepage; forced-foreground
+	// counts are the dirty victims eviction could not leave to a flusher.
+	accWB()
+	c.WB[mode] = wbAcc
 	return nil
 }
 
 // MeasureCosts measures all operations for one filesystem on fresh rigs
 // under both builds.
 func MeasureCosts(kind Kind, files int, fileSize uint64) (*Costs, error) {
-	c := &Costs{Kind: kind, Op: make(map[string]map[core.Mode]float64)}
+	c := &Costs{
+		Kind: kind,
+		Op:   make(map[string]map[core.Mode]float64),
+		WB:   make(map[core.Mode]vfs.WritebackStats),
+	}
 	for _, mode := range []core.Mode{core.Off, core.Enforce} {
 		if err := measureMode(kind, mode, files, fileSize, c); err != nil {
 			return nil, err
@@ -571,8 +594,9 @@ func MeasureConcurrency(files int, fileSize uint64) (*ConcurrencyCosts, error) {
 			}
 			// Background writeback runs during the phase: aged dirty
 			// pages leave through the flusher thread while the workers
-			// hammer their mounts.
-			rig.v.EnableWriteback(time.Millisecond)
+			// hammer their mounts, speeding up whenever more than a
+			// quarter of the cache is dirty.
+			rig.v.EnableWriteback(time.Millisecond, 0.25)
 			span, overlapped, err := rig.runWorkers(files, payload)
 			rig.k.Shutdown()
 			if err != nil {
@@ -601,9 +625,20 @@ type jsonRow struct {
 	OverheadPct float64 `json:"overhead_pct"`
 }
 
+type jsonWBSide struct {
+	PagesFlushed           uint64 `json:"pages_flushed"`
+	ForcedForegroundWrites uint64 `json:"forced_foreground_writes"`
+}
+
+type jsonWB struct {
+	Stock jsonWBSide `json:"stock"`
+	Lxfi  jsonWBSide `json:"lxfi"`
+}
+
 type jsonFS struct {
-	FS   string    `json:"fs"`
-	Rows []jsonRow `json:"rows"`
+	FS        string    `json:"fs"`
+	Rows      []jsonRow `json:"rows"`
+	Writeback *jsonWB   `json:"writeback,omitempty"`
 }
 
 type jsonConc struct {
@@ -632,6 +667,18 @@ func JSON(cs []*Costs, conc *ConcurrencyCosts, files int, fileSize uint64) ([]by
 		f := jsonFS{FS: string(c.Kind), Rows: []jsonRow{}}
 		for _, r := range BuildTable(c) {
 			f.Rows = append(f.Rows, jsonRow{Op: r.Op, StockNs: r.StockNs, LxfiNs: r.LxfiNs, OverheadPct: r.Overhead})
+		}
+		if len(c.WB) > 0 {
+			f.Writeback = &jsonWB{
+				Stock: jsonWBSide{
+					PagesFlushed:           c.WB[core.Off].PagesFlushed,
+					ForcedForegroundWrites: c.WB[core.Off].ForcedForeground,
+				},
+				Lxfi: jsonWBSide{
+					PagesFlushed:           c.WB[core.Enforce].PagesFlushed,
+					ForcedForegroundWrites: c.WB[core.Enforce].ForcedForeground,
+				},
+			}
 		}
 		doc.Results = append(doc.Results, f)
 	}

@@ -1,0 +1,291 @@
+// Crossing microbenchmark: the capability-check engine measured on its
+// own, the way Figure 11 measures whole workloads. Four phases cover
+// the hot path's regimes:
+//
+//   - "check cold": every probe misses the per-thread cache (the
+//     addresses cycle through a working set far larger than the cache),
+//     so each check pays the sharded interval-index lookup.
+//   - "check cached": one address probed repeatedly — the per-thread
+//     epoch-validated cache answers without locks or allocation. The
+//     allocs column is the acceptance gate: 0 allocs/op.
+//   - "check contended": one worker thread per shard-spread region,
+//     all hammering table checks simultaneously. Under the old global
+//     RWMutex this serialized on one lock word; sharded tables keep
+//     the workers on distinct locks.
+//   - "revoke storm": grant → check(allow) → revoke → check(deny)
+//     cycles. Measures the epoch-bump invalidation cost and asserts the
+//     security property the cache must never break: a revoked WRITE is
+//     never served from a stale cache entry.
+//
+// Each phase runs under both builds (stock and enforced), mirroring the
+// Figure 11 rows, and the report lands in BENCH_crossings.json for the
+// CI perf gate.
+package microbench
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"lxfi/internal/caps"
+	"lxfi/internal/core"
+	"lxfi/internal/mem"
+)
+
+// CrossingRow is one phase of the crossing benchmark.
+type CrossingRow struct {
+	Op          string  `json:"op"`
+	StockNs     float64 `json:"stock_ns"`
+	LxfiNs      float64 `json:"lxfi_ns"`
+	OverheadPct float64 `json:"overhead_pct"`
+	AllocsPerOp float64 `json:"allocs_per_op"` // enforced build
+	Workers     int     `json:"workers"`
+}
+
+// CrossingReport is the BENCH_crossings.json document. The results
+// shape matches the fsperf report so the generic perf gate reads both.
+type CrossingReport struct {
+	Bench   string `json:"bench"`
+	Iters   int    `json:"iters"`
+	Shards  int    `json:"shards"`
+	Threads int    `json:"gomaxprocs"`
+	Results []struct {
+		FS   string        `json:"fs"`
+		Rows []CrossingRow `json:"rows"`
+	} `json:"results"`
+}
+
+// crossRig is one booted check-engine bench: a module whose functions
+// run tight check loops in module context, so the measured guard is the
+// real LxfiCheck path (cache probe inlined into the guard).
+type crossRig struct {
+	sys *core.System
+	th  *core.Thread
+	m   *core.Module
+	p   *caps.Principal
+
+	base mem.Addr
+}
+
+// coldSet is the cold phase's working set: 4096 distinct 8-byte probes
+// share the 64 cache slots, so a slot is always overwritten long before
+// its address comes around again.
+const coldSet = 4096
+
+// contendedWorkers is the worker count of the contended phase.
+const contendedWorkers = 8
+
+func newCrossRig(mode core.Mode) (*crossRig, error) {
+	sys := core.NewSystem()
+	sys.Mon.SetMode(mode)
+	r := &crossRig{sys: sys, th: sys.NewThread("crossings")}
+	m, err := sys.LoadModule(core.ModuleSpec{
+		Name:     "xbench",
+		DataSize: 4096,
+		Funcs: []core.FuncSpec{
+			// checks: n repeated probes of one (addr, 8) WRITE — the
+			// cached regime.
+			{Name: "checks", Params: []core.Param{core.P("n", "u64"), core.P("addr", "u64")},
+				Impl: func(t *core.Thread, a []uint64) uint64 {
+					c := caps.WriteCap(mem.Addr(a[1]), 8)
+					for i := uint64(0); i < a[0]; i++ {
+						if t.LxfiCheck(c) != nil {
+							return 1
+						}
+					}
+					return 0
+				}},
+			// checkscold: n probes cycling through the cold working set.
+			{Name: "checkscold", Params: []core.Param{core.P("n", "u64"), core.P("base", "u64")},
+				Impl: func(t *core.Thread, a []uint64) uint64 {
+					base := mem.Addr(a[1])
+					for i := uint64(0); i < a[0]; i++ {
+						c := caps.WriteCap(base+mem.Addr((i%coldSet)*8), 8)
+						if t.LxfiCheck(c) != nil {
+							return 1
+						}
+					}
+					return 0
+				}},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.m, r.p = m, m.Set.Shared()
+	// One 32 KiB region for the cold set, plus one page per contended
+	// worker two pages apart so the workers' probes land on distinct
+	// 4 KiB buckets (and therefore distinct shards when the host has
+	// them).
+	r.base = mem.Addr(0xffff8800_0100_0000)
+	sys.Caps.Grant(r.p, caps.WriteCap(r.base, coldSet*8))
+	for w := 0; w < contendedWorkers; w++ {
+		sys.Caps.Grant(r.p, caps.WriteCap(r.workerAddr(w), mem.PageSize))
+	}
+	return r, nil
+}
+
+func (r *crossRig) workerAddr(w int) mem.Addr {
+	return r.base + mem.Addr(1<<20) + mem.Addr(w)*2*mem.PageSize
+}
+
+// timeChecks runs one module check loop and returns (ns/op, allocs/op).
+func (r *crossRig) timeChecks(fn string, n int, addr mem.Addr) (float64, float64, error) {
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	ret, err := r.th.CallModule(r.m, fn, uint64(n), uint64(addr))
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	if err != nil || ret != 0 {
+		return 0, 0, fmt.Errorf("microbench: %s loop failed: ret=%d err=%v", fn, ret, err)
+	}
+	nsOp := float64(elapsed.Nanoseconds()) / float64(n)
+	allocsOp := float64(ms1.Mallocs-ms0.Mallocs) / float64(n)
+	return nsOp, allocsOp, nil
+}
+
+// timeContended runs the check loop on contendedWorkers spawned kernel
+// threads at shard-spread addresses and returns aggregate ns/op.
+func (r *crossRig) timeContended(perWorker int) (float64, error) {
+	start := make(chan struct{})
+	errs := make([]error, contendedWorkers)
+	handles := make([]*core.ThreadHandle, contendedWorkers)
+	for w := 0; w < contendedWorkers; w++ {
+		w := w
+		handles[w] = r.sys.Spawn(fmt.Sprintf("xbench-w%d", w), func(t *core.Thread) {
+			<-start
+			ret, err := t.CallModule(r.m, "checks", uint64(perWorker), uint64(r.workerAddr(w)))
+			if err != nil || ret != 0 {
+				errs[w] = fmt.Errorf("worker %d: ret=%d err=%v", w, ret, err)
+			}
+		})
+	}
+	begin := time.Now()
+	close(start)
+	for _, h := range handles {
+		h.Join()
+	}
+	span := time.Since(begin)
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	return float64(span.Nanoseconds()) / float64(perWorker*contendedWorkers), nil
+}
+
+// timeRevokeStorm interleaves grant/check/revoke/check cycles through a
+// thread's cached check path, asserting that a revoked capability is
+// never served from the cache. Returns ns per grant+revoke cycle.
+func (r *crossRig) timeRevokeStorm(n int) (float64, error) {
+	p := r.p
+	th := r.th
+	addr := r.base + mem.Addr(2<<20)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		c := caps.WriteCap(addr+mem.Addr(i%16)*256, 64)
+		r.sys.Caps.Grant(p, c)
+		if !th.CheckCached(p, c) {
+			return 0, fmt.Errorf("microbench: granted cap not visible at iter %d", i)
+		}
+		r.sys.Caps.RevokeAll(c)
+		if th.CheckCached(p, c) {
+			return 0, fmt.Errorf("microbench: SECURITY: revoked cap served (stale cache?) at iter %d", i)
+		}
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(n), nil
+}
+
+// MeasureCrossings runs all four phases under both builds.
+func MeasureCrossings(iters int) ([]CrossingRow, error) {
+	if iters < coldSet {
+		iters = coldSet
+	}
+	rows := []CrossingRow{
+		{Op: "check cold", Workers: 1},
+		{Op: "check cached", Workers: 1},
+		{Op: "check contended", Workers: contendedWorkers},
+		{Op: "revoke storm", Workers: 1},
+	}
+	for _, mode := range []core.Mode{core.Off, core.Enforce} {
+		r, err := newCrossRig(mode)
+		if err != nil {
+			return nil, err
+		}
+		set := func(i int, ns, allocs float64) {
+			if mode == core.Off {
+				rows[i].StockNs = ns
+			} else {
+				rows[i].LxfiNs = ns
+				rows[i].AllocsPerOp = allocs
+			}
+		}
+		// Warmup, then best-of-rounds like the other benches.
+		if _, _, err := r.timeChecks("checks", iters/10+1, r.workerAddr(0)); err != nil {
+			return nil, err
+		}
+		const rounds = 3
+		type phase struct {
+			idx int
+			run func() (float64, float64, error)
+		}
+		phases := []phase{
+			{0, func() (float64, float64, error) { return r.timeChecks("checkscold", iters, r.base) }},
+			{1, func() (float64, float64, error) { return r.timeChecks("checks", iters, r.workerAddr(0)) }},
+			{2, func() (float64, float64, error) {
+				ns, err := r.timeContended(iters / contendedWorkers)
+				return ns, 0, err
+			}},
+			{3, func() (float64, float64, error) { ns, err := r.timeRevokeStorm(iters / 4); return ns, 0, err }},
+		}
+		for _, ph := range phases {
+			best, bestAllocs := 0.0, 0.0
+			for round := 0; round < rounds; round++ {
+				ns, allocs, err := ph.run()
+				if err != nil {
+					return nil, err
+				}
+				if best == 0 || ns < best {
+					best, bestAllocs = ns, allocs
+				}
+			}
+			set(ph.idx, best, bestAllocs)
+		}
+	}
+	for i := range rows {
+		if rows[i].StockNs > 0 {
+			rows[i].OverheadPct = 100 * (rows[i].LxfiNs - rows[i].StockNs) / rows[i].StockNs
+		}
+	}
+	return rows, nil
+}
+
+// CrossingsJSON serializes the report for the CI artifact.
+func CrossingsJSON(rows []CrossingRow, iters int) ([]byte, error) {
+	doc := CrossingReport{
+		Bench:   "crossings",
+		Iters:   iters,
+		Shards:  caps.NewSystem().ShardCount(),
+		Threads: runtime.GOMAXPROCS(0),
+	}
+	doc.Results = append(doc.Results, struct {
+		FS   string        `json:"fs"`
+		Rows []CrossingRow `json:"rows"`
+	}{FS: "crossings", Rows: rows})
+	return json.MarshalIndent(doc, "", "  ")
+}
+
+// FormatCrossings renders the crossing table.
+func FormatCrossings(rows []CrossingRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %12s %12s %10s %12s %8s\n",
+		"phase", "stock ns/op", "lxfi ns/op", "overhead", "allocs/op", "workers")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-16s %12.1f %12.1f %9.0f%% %12.4f %8d\n",
+			r.Op, r.StockNs, r.LxfiNs, r.OverheadPct, r.AllocsPerOp, r.Workers)
+	}
+	return b.String()
+}

@@ -1,0 +1,70 @@
+package microbench
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestMeasureCrossings runs the phases at a small iteration count and
+// checks the report invariants CI relies on: all four phases present,
+// positive timings, and the cached-hit phase allocation-free.
+func TestMeasureCrossings(t *testing.T) {
+	rows, err := MeasureCrossings(coldSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		"check cold": false, "check cached": false,
+		"check contended": false, "revoke storm": false,
+	}
+	for _, r := range rows {
+		if _, ok := want[r.Op]; !ok {
+			t.Fatalf("unexpected phase %q", r.Op)
+		}
+		want[r.Op] = true
+		if r.StockNs <= 0 || r.LxfiNs <= 0 {
+			t.Fatalf("phase %q has non-positive timing: %+v", r.Op, r)
+		}
+	}
+	for op, seen := range want {
+		if !seen {
+			t.Fatalf("phase %q missing", op)
+		}
+	}
+	for _, r := range rows {
+		if r.Op == "check cached" && r.AllocsPerOp >= 0.01 {
+			t.Fatalf("cached check allocates: %f allocs/op", r.AllocsPerOp)
+		}
+	}
+}
+
+func TestCrossingsJSONShape(t *testing.T) {
+	rows, err := MeasureCrossings(coldSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := CrossingsJSON(rows, coldSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Bench   string `json:"bench"`
+		Shards  int    `json:"shards"`
+		Results []struct {
+			FS   string `json:"fs"`
+			Rows []struct {
+				Op     string  `json:"op"`
+				LxfiNs float64 `json:"lxfi_ns"`
+			} `json:"rows"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Bench != "crossings" || doc.Shards < 1 {
+		t.Fatalf("bad header: %+v", doc)
+	}
+	if len(doc.Results) != 1 || doc.Results[0].FS != "crossings" || len(doc.Results[0].Rows) != 4 {
+		t.Fatalf("bad results shape: %+v", doc.Results)
+	}
+}

@@ -36,6 +36,15 @@ const CmdPoke = 0x7001
 // PokeValue is the marker the poke writes.
 const PokeValue = 0x4141414141414141
 
+// CmdReplay is the second compromise vector: re-issue the module's most
+// recent readpage store (the exact same address and size). During the
+// readpage crossing that store was legitimate — the kernel had
+// transferred WRITE on the page — and it warmed the executing thread's
+// check cache with an allow verdict. Replaying it after the crossing
+// returned (and the transfer-back revoked the capability) is the
+// cached-then-revoked attack the capability epoch exists to stop.
+const CmdReplay = 0x7002
+
 // Layout names.
 const (
 	Dirent = "struct tmpfs_dirent"
@@ -50,6 +59,11 @@ type FS struct {
 
 	deLay   *layout.Struct
 	privLay *layout.Struct
+
+	// lastPage remembers the most recent readpage target for CmdReplay
+	// (module-local Go state, the analogue of a stashed pointer in the
+	// module's data section).
+	lastPage mem.Addr
 }
 
 // Load loads the module and runs its init function, which installs the
@@ -334,6 +348,7 @@ func (fs *FS) unlink(t *core.Thread, args []uint64) uint64 {
 // readpage fills page-cache holes with zeroes: tmpfs has no backing
 // store, so any page not already cached is sparse.
 func (fs *FS) readpage(t *core.Thread, args []uint64) uint64 {
+	fs.lastPage = mem.Addr(args[3])
 	if err := t.Zero(mem.Addr(args[3]), mem.PageSize); err != nil {
 		return kernel.Err(kernel.EFAULT)
 	}
@@ -349,6 +364,18 @@ func (fs *FS) ioctl(t *core.Thread, args []uint64) uint64 {
 	cmd, arg := args[1], args[2]
 	if cmd == CmdPoke {
 		if err := t.WriteU64(mem.Addr(arg), PokeValue); err != nil {
+			return kernel.Err(kernel.EFAULT)
+		}
+		return 0
+	}
+	if cmd == CmdReplay {
+		// Re-issue the exact store readpage made while it legitimately
+		// owned the page: same principal, same address, same size — the
+		// verdict for it is sitting in the thread's check cache.
+		if fs.lastPage == 0 {
+			return kernel.Err(kernel.EINVAL)
+		}
+		if err := t.Zero(fs.lastPage, mem.PageSize); err != nil {
 			return kernel.Err(kernel.EFAULT)
 		}
 		return 0

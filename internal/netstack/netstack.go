@@ -12,6 +12,7 @@ package netstack
 
 import (
 	"fmt"
+	"sync"
 
 	"lxfi/internal/caps"
 	"lxfi/internal/core"
@@ -51,6 +52,24 @@ const (
 const NetdevTxBusy = 0x10
 
 // Stack is the simulated network stack.
+//
+// Concurrency: worker threads drive different sockets simultaneously,
+// so the stack's shared state is locked the way the VFS mounts are:
+//
+//   - regMu (RWMutex) guards the registries (families, devices,
+//     napiPoll) — written at module init, read per operation;
+//   - qmu guards the qdisc queues, the netif_rx backlog, and the
+//     RxDelivered counter — short critical sections, never held across
+//     a module crossing;
+//   - each socket created by Socket gets a per-instance operation lock
+//     (sockMu/sockLocks): Sendmsg/Recvmsg/Bind/Ioctl/Release serialize
+//     per socket, including the crossing into the module, so a
+//     module's per-socket state sees one operation at a time while
+//     different sockets run genuinely in parallel.
+//
+// Lock order: a socket's op lock → (regMu | qmu) → caps/core/mem
+// internals. regMu and qmu are leaves with respect to each other
+// (never nested).
 type Stack struct {
 	K *kernel.Kernel
 
@@ -61,14 +80,20 @@ type Stack struct {
 	pops  *layout.Struct
 	qdisc *layout.Struct
 
+	regMu    sync.RWMutex
 	families map[uint64]*family
 	devices  []mem.Addr
 	napiPoll map[mem.Addr]mem.Addr // dev -> kernel slot holding poll fn ptr
-	queues   map[mem.Addr][]uint64 // qdisc -> queued skb addrs
 
-	backlog []mem.Addr // skbs handed to the kernel by netif_rx
+	qmu     sync.Mutex
+	queues  map[mem.Addr][]uint64 // qdisc -> queued skb addrs
+	backlog []mem.Addr            // skbs handed to the kernel by netif_rx
+
+	sockMu    sync.Mutex
+	sockLocks map[mem.Addr]*sync.Mutex // socket -> per-instance op lock
 
 	// RxDelivered counts packets that reached the kernel via netif_rx.
+	// Guarded by qmu; read directly only from quiescent test contexts.
 	RxDelivered uint64
 }
 
@@ -81,10 +106,11 @@ type family struct {
 // types, and exports.
 func Init(k *kernel.Kernel) *Stack {
 	s := &Stack{
-		K:        k,
-		families: make(map[uint64]*family),
-		napiPoll: make(map[mem.Addr]mem.Addr),
-		queues:   make(map[mem.Addr][]uint64),
+		K:         k,
+		families:  make(map[uint64]*family),
+		napiPoll:  make(map[mem.Addr]mem.Addr),
+		queues:    make(map[mem.Addr][]uint64),
+		sockLocks: make(map[mem.Addr]*sync.Mutex),
 	}
 	sys := k.Sys
 
@@ -225,7 +251,9 @@ func (s *Stack) registerExports() {
 			if err := sys.AS.WriteU64(dev+mem.Addr(s.ndev.Off("qdisc")), uint64(q)); err != nil {
 				return kernel.Err(kernel.EFAULT)
 			}
+			s.regMu.Lock()
 			s.devices = append(s.devices, dev)
+			s.regMu.Unlock()
 			return 0
 		})
 
@@ -258,8 +286,10 @@ func (s *Stack) registerExports() {
 		[]core.Param{core.P("skb", "struct sk_buff *")},
 		"pre(transfer(skb_caps(skb)))",
 		func(t *core.Thread, args []uint64) uint64 {
+			s.qmu.Lock()
 			s.backlog = append(s.backlog, mem.Addr(args[0]))
 			s.RxDelivered++
+			s.qmu.Unlock()
 			return 0
 		})
 
@@ -275,7 +305,9 @@ func (s *Stack) registerExports() {
 			if err := sys.AS.WriteU64(slot, poll); err != nil {
 				return kernel.Err(kernel.EFAULT)
 			}
+			s.regMu.Lock()
 			s.napiPoll[dev] = slot
+			s.regMu.Unlock()
 			return 0
 		})
 
@@ -290,7 +322,9 @@ func (s *Stack) registerExports() {
 			if err := sys.AS.WriteU64(slot, args[1]); err != nil {
 				return kernel.Err(kernel.EFAULT)
 			}
+			s.regMu.Lock()
 			s.families[args[0]] = &family{module: m, createSlot: slot}
+			s.regMu.Unlock()
 			return 0
 		})
 }
@@ -368,13 +402,17 @@ func (s *Stack) newPfifo() mem.Addr {
 		enq = sys.RegisterKernelFunc("pfifo_enqueue",
 			[]core.Param{core.P("qdisc", "struct Qdisc *"), core.P("skb", "struct sk_buff *")}, "",
 			func(t *core.Thread, args []uint64) uint64 {
+				s.qmu.Lock()
 				s.queues[mem.Addr(args[0])] = append(s.queues[mem.Addr(args[0])], args[1])
+				s.qmu.Unlock()
 				return 0
 			})
 		deq = sys.RegisterKernelFunc("pfifo_dequeue",
 			[]core.Param{core.P("qdisc", "struct Qdisc *")}, "",
 			func(t *core.Thread, args []uint64) uint64 {
 				q := mem.Addr(args[0])
+				s.qmu.Lock()
+				defer s.qmu.Unlock()
 				lst := s.queues[q]
 				if len(lst) == 0 {
 					return 0
@@ -419,7 +457,9 @@ func (s *Stack) XmitSkb(t *core.Thread, dev, skb mem.Addr) (uint64, error) {
 // Poll invokes the device's registered NAPI poll callback with a budget,
 // as the kernel's softirq loop does (Fig. 1 line 28).
 func (s *Stack) Poll(t *core.Thread, dev mem.Addr, budget uint64) (uint64, error) {
+	s.regMu.RLock()
 	slot, ok := s.napiPoll[dev]
+	s.regMu.RUnlock()
 	if !ok {
 		return 0, fmt.Errorf("netstack: no NAPI context for device %#x", uint64(dev))
 	}
@@ -429,6 +469,8 @@ func (s *Stack) Poll(t *core.Thread, dev mem.Addr, budget uint64) (uint64, error
 // PopRx removes and returns the oldest packet delivered via netif_rx
 // (0 if none) — the protocol-layer consumption point.
 func (s *Stack) PopRx() mem.Addr {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
 	if len(s.backlog) == 0 {
 		return 0
 	}
@@ -438,7 +480,11 @@ func (s *Stack) PopRx() mem.Addr {
 }
 
 // BacklogLen returns the number of undelivered rx packets.
-func (s *Stack) BacklogLen() int { return len(s.backlog) }
+func (s *Stack) BacklogLen() int {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	return len(s.backlog)
+}
 
 // --- socket syscalls ---
 
@@ -447,9 +493,13 @@ func (s *Stack) SockSize() uint64 { return s.sock.Size }
 
 // Socket implements socket(2): allocates the socket object and calls the
 // family's create function (which the module registered) through a
-// checked indirect call.
+// checked indirect call. The new socket is registered with its own
+// per-instance operation lock, the netstack analogue of a VFS mount
+// lock.
 func (s *Stack) Socket(t *core.Thread, familyID uint64) (mem.Addr, error) {
+	s.regMu.RLock()
 	fam, ok := s.families[familyID]
+	s.regMu.RUnlock()
 	if !ok {
 		return 0, fmt.Errorf("netstack: unknown protocol family %d", familyID)
 	}
@@ -468,7 +518,25 @@ func (s *Stack) Socket(t *core.Thread, familyID uint64) (mem.Addr, error) {
 		_ = s.K.Sys.Slab.Free(sock)
 		return 0, fmt.Errorf("netstack: create failed: errno %d", -int64(ret))
 	}
+	s.sockMu.Lock()
+	s.sockLocks[sock] = &sync.Mutex{}
+	s.sockMu.Unlock()
 	return sock, nil
+}
+
+// lockSock takes a socket's per-instance operation lock and returns the
+// unlock. Sockets that predate Socket() (or were already released) get
+// a nil lock and run unserialized, preserving the old single-thread
+// behavior for hand-built test sockets.
+func (s *Stack) lockSock(sock mem.Addr) func() {
+	s.sockMu.Lock()
+	mu := s.sockLocks[sock]
+	s.sockMu.Unlock()
+	if mu == nil {
+		return func() {}
+	}
+	mu.Lock()
+	return mu.Unlock
 }
 
 // sockOpSlot loads sock->ops and returns the address of the named slot.
@@ -482,6 +550,7 @@ func (s *Stack) sockOpSlot(sock mem.Addr, op string) (mem.Addr, error) {
 
 // Sendmsg implements sendmsg(2) for a module socket.
 func (s *Stack) Sendmsg(t *core.Thread, sock, buf mem.Addr, n, flags uint64) (uint64, error) {
+	defer s.lockSock(sock)()
 	slot, err := s.sockOpSlot(sock, "sendmsg")
 	if err != nil {
 		return 0, err
@@ -491,6 +560,7 @@ func (s *Stack) Sendmsg(t *core.Thread, sock, buf mem.Addr, n, flags uint64) (ui
 
 // Recvmsg implements recvmsg(2).
 func (s *Stack) Recvmsg(t *core.Thread, sock, buf mem.Addr, n, flags uint64) (uint64, error) {
+	defer s.lockSock(sock)()
 	slot, err := s.sockOpSlot(sock, "recvmsg")
 	if err != nil {
 		return 0, err
@@ -500,6 +570,7 @@ func (s *Stack) Recvmsg(t *core.Thread, sock, buf mem.Addr, n, flags uint64) (ui
 
 // Bind implements bind(2).
 func (s *Stack) Bind(t *core.Thread, sock, addr mem.Addr, n uint64) (uint64, error) {
+	defer s.lockSock(sock)()
 	slot, err := s.sockOpSlot(sock, "bind")
 	if err != nil {
 		return 0, err
@@ -510,6 +581,7 @@ func (s *Stack) Bind(t *core.Thread, sock, addr mem.Addr, n uint64) (uint64, err
 // Ioctl implements ioctl(2) on a socket — the kernel path both the RDS
 // and Econet exploits redirect.
 func (s *Stack) Ioctl(t *core.Thread, sock mem.Addr, cmd, arg uint64) (uint64, error) {
+	defer s.lockSock(sock)()
 	slot, err := s.sockOpSlot(sock, "ioctl")
 	if err != nil {
 		return 0, err
@@ -521,25 +593,38 @@ func (s *Stack) Ioctl(t *core.Thread, sock mem.Addr, cmd, arg uint64) (uint64, e
 // runs, the socket's instance principal is discarded along with the
 // socket object, so a recycled address cannot inherit stale privileges.
 func (s *Stack) Release(t *core.Thread, sock mem.Addr) (uint64, error) {
+	unlock := s.lockSock(sock)
 	slot, err := s.sockOpSlot(sock, "release")
 	if err != nil {
+		unlock()
 		return 0, err
 	}
 	ret, err := t.IndirectCall(slot, OpsRelease, uint64(sock))
 	if err != nil {
+		unlock()
 		return ret, err
 	}
+	s.regMu.RLock()
 	for _, fam := range s.families {
 		if fam.module != nil {
 			fam.module.Set.DropInstance(sock)
 		}
 	}
+	s.regMu.RUnlock()
 	_ = s.K.Sys.Slab.Free(sock)
+	unlock()
+	s.sockMu.Lock()
+	delete(s.sockLocks, sock)
+	s.sockMu.Unlock()
 	return ret, nil
 }
 
 // Devices returns all registered net devices.
-func (s *Stack) Devices() []mem.Addr { return s.devices }
+func (s *Stack) Devices() []mem.Addr {
+	s.regMu.RLock()
+	defer s.regMu.RUnlock()
+	return append([]mem.Addr(nil), s.devices...)
+}
 
 func must(err error) {
 	if err != nil {

@@ -92,7 +92,7 @@ func (v *VFS) childOf(t *core.Thread, mnt *mount, cur *dnode, comp string) (*dno
 		return nil, err
 	}
 	ret, err := t.IndirectCall(v.OpsSlot(mnt.fs.ops, "lookup"), FsLookup,
-		uint64(mnt.sb), uint64(cur.inode), uint64(mnt.nameBuf), uint64(len(comp)))
+		mnt.args(uint64(mnt.sb), uint64(cur.inode), uint64(mnt.nameBuf), uint64(len(comp)))...)
 	if err != nil {
 		return nil, err
 	}
@@ -192,7 +192,7 @@ func (v *VFS) create(t *core.Thread, sb mem.Addr, path string, mode uint64) (mem
 		return 0, err
 	}
 	ret, err := t.IndirectCall(v.OpsSlot(mnt.fs.ops, "create"), FsCreate,
-		uint64(sb), uint64(dir.inode), uint64(mnt.nameBuf), uint64(len(name)), mode)
+		mnt.args(uint64(sb), uint64(dir.inode), uint64(mnt.nameBuf), uint64(len(name)), mode)...)
 	if err != nil {
 		return 0, err
 	}
@@ -239,7 +239,7 @@ func (v *VFS) Unlink(t *core.Thread, sb mem.Addr, path string) error {
 	}
 	parent := mnt.dentries[n.parent]
 	ret, err := t.IndirectCall(v.OpsSlot(mnt.fs.ops, "unlink"), FsUnlink,
-		uint64(sb), uint64(parent.inode), uint64(n.inode))
+		mnt.args(uint64(sb), uint64(parent.inode), uint64(n.inode))...)
 	if err != nil {
 		return err
 	}
@@ -269,7 +269,7 @@ const MaxDirEntries = 1 << 20
 // recovered directory's children exist only in the module's table.
 func (v *VFS) dirEmpty(t *core.Thread, mnt *mount, dir mem.Addr) (bool, error) {
 	ret, err := t.IndirectCall(v.OpsSlot(mnt.fs.ops, "readdir"), FsReaddir,
-		uint64(mnt.sb), uint64(dir), 0, uint64(mnt.dirBuf))
+		mnt.args(uint64(mnt.sb), uint64(dir), 0, uint64(mnt.dirBuf))...)
 	if err != nil {
 		v.K.Sys.Caps.RevokeAll(caps.WriteCap(mnt.dirBuf, NameMax+1))
 		return false, err
@@ -302,7 +302,7 @@ func (v *VFS) Readdir(t *core.Thread, sb mem.Addr, path string) ([]DirEntry, err
 			return nil, fmt.Errorf("vfs: readdir %s: module never ended the listing (errno %d)", path, kernel.EIO)
 		}
 		ret, err := t.IndirectCall(v.OpsSlot(mnt.fs.ops, "readdir"), FsReaddir,
-			uint64(sb), uint64(n.inode), pos, uint64(mnt.dirBuf))
+			mnt.args(uint64(sb), uint64(n.inode), pos, uint64(mnt.dirBuf))...)
 		if err != nil {
 			// Mirror the readpage failure path: an aborted crossing must
 			// not leave the module holding WRITE on the kernel's buffer.
@@ -423,8 +423,8 @@ func (v *VFS) Rename(t *core.Thread, srcSB mem.Addr, srcPath string, dstSB mem.A
 	// unlink-by-inode afterwards is unambiguous even while both entries
 	// momentarily carry the same name.
 	ret, err := t.IndirectCall(v.OpsSlot(mnt.fs.ops, "rename"), FsRename,
-		uint64(sb), uint64(oldDir.inode), uint64(n.inode), uint64(dstDir.inode),
-		uint64(mnt.nameBuf), uint64(len(newName)))
+		mnt.args(uint64(sb), uint64(oldDir.inode), uint64(n.inode), uint64(dstDir.inode),
+			uint64(mnt.nameBuf), uint64(len(newName)))...)
 	if err != nil {
 		return err
 	}
@@ -434,7 +434,7 @@ func (v *VFS) Rename(t *core.Thread, srcSB mem.Addr, srcPath string, dstSB mem.A
 	var replaceErr error
 	if tgt != nil {
 		ret, err := t.IndirectCall(v.OpsSlot(mnt.fs.ops, "unlink"), FsUnlink,
-			uint64(sb), uint64(dstDir.inode), uint64(tgt.inode))
+			mnt.args(uint64(sb), uint64(dstDir.inode), uint64(tgt.inode))...)
 		switch {
 		case err != nil:
 			replaceErr = err

@@ -152,6 +152,7 @@ func (v *VFS) evictPage(t *core.Thread, holder *mount, key pageKey) bool {
 			return false // stays dirty; Sync (or a later pass) retries
 		}
 		v.Stats.EvictWrites.Add(1)
+		mnt.wbForced.Add(1)
 	}
 	v.pageMu.Lock()
 	defer v.pageMu.Unlock()
@@ -170,13 +171,14 @@ func (v *VFS) evictPage(t *core.Thread, holder *mount, key pageKey) bool {
 func (v *VFS) writeBackPage(t *core.Thread, mnt *mount, key pageKey, pg mem.Addr) (bool, error) {
 	v.Stats.PageWrites.Add(1)
 	ret, err := t.IndirectCall(v.OpsSlot(mnt.fs.ops, "writepage"), FsWritePage,
-		uint64(mnt.sb), uint64(key.ino), key.idx, uint64(pg))
+		mnt.args(uint64(mnt.sb), uint64(key.ino), key.idx, uint64(pg))...)
 	if err == nil && ret != 0 {
 		err = fmt.Errorf("vfs: writepage(%#x, %d): errno %d", uint64(key.ino), key.idx, -int64(ret))
 	}
 	if err != nil {
 		return false, err
 	}
+	mnt.wbFlushed.Add(1)
 	v.pageMu.Lock()
 	if cur, ok := v.pages[key]; ok && cur == pg {
 		delete(v.dirty, key)
@@ -207,7 +209,7 @@ func (v *VFS) getPage(t *core.Thread, mnt *mount, ino mem.Addr, idx uint64) (mem
 	}
 	v.Stats.PageFills.Add(1)
 	ret, err := t.IndirectCall(v.OpsSlot(mnt.fs.ops, "readpage"), FsReadPage,
-		uint64(mnt.sb), uint64(ino), idx, uint64(pg))
+		mnt.args(uint64(mnt.sb), uint64(ino), idx, uint64(pg))...)
 	if err != nil || ret != 0 {
 		// The revoke post-action (or the aborted call) already stripped
 		// the module's WRITE; make sure no grant survives an interrupted
@@ -465,4 +467,23 @@ func (v *VFS) DirtyCount() int {
 	v.pageMu.Lock()
 	defer v.pageMu.Unlock()
 	return len(v.dirty)
+}
+
+// WritebackStats is one mount's writeback activity.
+type WritebackStats struct {
+	PagesFlushed     uint64 // successful writepage crossings for this mount
+	ForcedForeground uint64 // dirty victims the LRU policy had to write back itself
+}
+
+// WritebackStats returns the writeback counters of a mounted
+// superblock.
+func (v *VFS) WritebackStats(sb mem.Addr) (WritebackStats, bool) {
+	mnt := v.mountOf(sb)
+	if mnt == nil {
+		return WritebackStats{}, false
+	}
+	return WritebackStats{
+		PagesFlushed:     mnt.wbFlushed.Load(),
+		ForcedForeground: mnt.wbForced.Load(),
+	}, true
 }

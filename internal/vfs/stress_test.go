@@ -42,7 +42,7 @@ func TestVFSParallelStressTwoMounts(t *testing.T) {
 
 			r.v.SetPageBudget(8)
 			defer r.v.SetPageBudget(0)
-			r.v.EnableWriteback(200 * time.Microsecond)
+			r.v.EnableWriteback(200*time.Microsecond, 0.25)
 			defer r.v.DisableWriteback()
 
 			const (
@@ -200,7 +200,7 @@ func TestFlusherDaemonRunsOnTimer(t *testing.T) {
 	if _, err := r.v.Write(r.th, sb, "/aged", 0, []byte("patience")); err != nil {
 		t.Fatal(err)
 	}
-	r.v.EnableWriteback(time.Millisecond)
+	r.v.EnableWriteback(time.Millisecond, 0)
 	defer r.v.DisableWriteback()
 	deadline := time.Now().Add(5 * time.Second)
 	for r.v.DirtyCount() != 0 {

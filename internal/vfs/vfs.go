@@ -132,6 +132,24 @@ type mount struct {
 	// clobber each other's component.
 	nameBuf mem.Addr
 	dirBuf  mem.Addr
+
+	// argBuf is the mount's crossing-argument scratch: call sites build
+	// their IndirectCall argument slice in place (argBuf[:0]) instead of
+	// allocating one per crossing. Guarded by mu like every other
+	// crossing on the mount.
+	argBuf [8]uint64
+
+	// Writeback stats (atomic: the flusher thread and foreground
+	// eviction both write them).
+	wbFlushed atomic.Uint64 // pages successfully written back
+	wbForced  atomic.Uint64 // dirty victims forced through writepage by eviction
+}
+
+// args builds the mount's crossing-argument slice in the per-mount
+// scratch. Caller holds mnt.mu (or exclusively owns the mount), the
+// same condition that protects every other crossing buffer.
+func (mnt *mount) args(vals ...uint64) []uint64 {
+	return append(mnt.argBuf[:0], vals...)
 }
 
 // VFS is the simulated virtual filesystem layer.
@@ -183,7 +201,9 @@ type VFS struct {
 
 	// Writeback flusher state (see flusher.go).
 	flushTick     atomic.Uint64
-	flushInterval atomic.Int64 // nanoseconds; 0 = flusher parked
+	flushInterval atomic.Int64  // base interval, nanoseconds; 0 = flusher parked
+	flushCur      atomic.Int64  // current (pressure-adapted) interval
+	flushRatio    atomic.Uint64 // dirty-ratio threshold as math.Float64bits
 	flushKick     chan struct{}
 
 	nextIno atomic.Uint64
@@ -553,7 +573,7 @@ func (v *VFS) Unmount(t *core.Thread, sb mem.Addr) error {
 		return err
 	}
 	defer mnt.mu.Unlock()
-	if _, err := t.IndirectCall(v.OpsSlot(mnt.fs.ops, "kill_sb"), FsKillSB, uint64(sb)); err != nil {
+	if _, err := t.IndirectCall(v.OpsSlot(mnt.fs.ops, "kill_sb"), FsKillSB, mnt.args(uint64(sb))...); err != nil {
 		return err
 	}
 	mnt.dead = true
@@ -586,7 +606,7 @@ func (v *VFS) Ioctl(t *core.Thread, sb mem.Addr, cmd, arg uint64) (uint64, error
 		return 0, err
 	}
 	defer mnt.mu.Unlock()
-	return t.IndirectCall(v.OpsSlot(mnt.fs.ops, "ioctl"), FsIoctl, uint64(sb), cmd, arg)
+	return t.IndirectCall(v.OpsSlot(mnt.fs.ops, "ioctl"), FsIoctl, mnt.args(uint64(sb), cmd, arg)...)
 }
 
 // Filesystems returns the ids of all registered filesystems.

@@ -1,65 +1,140 @@
 #!/usr/bin/env python3
-"""Perf gate for the fsperf CI artifact.
+"""Generic perf gate for the BENCH_*.json CI artifacts.
 
-Compares the previous run's BENCH_fsperf.json against the fresh one and
+Walks every benchmark report (fsperf, crossings, netperf, and whatever
+lands next), collects all numeric leaves whose key ends in `_ns`, and
+compares the previous run's values against the fresh ones. The gate
 fails (exit 1) when any phase regressed by more than THRESHOLD percent
-ns/op, under either build (stock or lxfi). Phases present in only one
-report are listed but never fail the gate, so adding or removing a
-phase does not wedge CI.
+ns/op. Phases or files present in only one run are listed but never
+fail the gate, so adding or removing a benchmark does not wedge CI; a
+completely missing baseline (first run, expired retention) skips the
+gate for that file.
 
-Usage: perf_gate.py PREV.json CURRENT.json
+Usage:
+    perf_gate.py PREV.json CURRENT.json       # one report
+    perf_gate.py PREV_DIR  CURRENT_DIR        # every BENCH_*.json in CURRENT_DIR
+    perf_gate.py --summary PREV CUR           # benchstat-style delta table
+                                              # over every numeric field,
+                                              # informational only (exit 0)
 """
 
+import glob
 import json
+import os
 import sys
 
 THRESHOLD = 30.0  # percent
 
+# Keys that label an element of a JSON array of objects, in preference
+# order, so paths read "tmpfs/create/stock_ns" instead of
+# "results/0/rows/3/stock_ns".
+LABEL_KEYS = ("op", "fs", "phase", "test", "name")
 
-def rows(doc):
+
+def leaves(node, path=""):
+    """Yield (path, key, value) for every numeric leaf in the report."""
+    if isinstance(node, dict):
+        for key, val in node.items():
+            if isinstance(val, (dict, list)):
+                yield from leaves(val, f"{path}/{key}" if path else key)
+            elif isinstance(val, (int, float)) and not isinstance(val, bool):
+                yield (path, key, float(val))
+    elif isinstance(node, list):
+        for i, val in enumerate(node):
+            label = str(i)
+            if isinstance(val, dict):
+                for lk in LABEL_KEYS:
+                    if isinstance(val.get(lk), str):
+                        label = val[lk]
+                        break
+            yield from leaves(val, f"{path}/{label}" if path else label)
+
+
+def collect(doc, ns_only):
     out = {}
-    for res in doc.get("results", []):
-        for row in res.get("rows", []):
-            out[(res["fs"], row["op"], "stock")] = row["stock_ns"]
-            out[(res["fs"], row["op"], "lxfi")] = row["lxfi_ns"]
-    conc = doc.get("concurrency")
-    if conc:
-        out[("concurrency", "multi-mount", "stock")] = conc["stock_ns"]
-        out[("concurrency", "multi-mount", "lxfi")] = conc["lxfi_ns"]
+    bench = doc.get("bench", "?")
+    for path, key, val in leaves(doc):
+        if ns_only and not key.endswith("_ns"):
+            continue
+        # Container keys like "results"/"rows" carry no information once
+        # elements are labeled; drop them from the display path.
+        parts = [p for p in path.split("/") if p not in ("results", "rows")]
+        out[(bench, "/".join(parts), key)] = val
     return out
 
 
-def main():
-    if len(sys.argv) != 3:
-        sys.exit(__doc__)
-    with open(sys.argv[1]) as f:
-        prev = rows(json.load(f))
-    with open(sys.argv[2]) as f:
-        cur = rows(json.load(f))
+def load(path, ns_only):
+    with open(path) as f:
+        return collect(json.load(f), ns_only)
 
+
+def pair_files(prev, cur):
+    """Yield (name, prev_path_or_None, cur_path) report pairs."""
+    if os.path.isdir(cur):
+        for cpath in sorted(glob.glob(os.path.join(cur, "BENCH_*.json"))):
+            name = os.path.basename(cpath)
+            ppath = os.path.join(prev, name)
+            yield name, (ppath if os.path.isfile(ppath) else None), cpath
+    else:
+        yield os.path.basename(cur), (prev if os.path.isfile(prev) else None), cur
+
+
+def compare(prev_vals, cur_vals, gate):
     failures = []
-    for key in sorted(cur):
-        now = cur[key]
-        was = prev.get(key)
+    for key in sorted(cur_vals):
+        bench, path, field = key
+        now = cur_vals[key]
+        was = prev_vals.get(key)
+        tag = "%-10s %-40s %-14s" % (bench, path, field)
         if was is None:
-            print("%-12s %-16s %-6s %41s" % (key[0], key[1], key[2], "(new phase)"))
+            print("%s %38s" % (tag, "(new phase)"))
             continue
         if was <= 0 or now <= 0:
             continue
         delta = 100.0 * (now - was) / was
-        flag = "  <-- REGRESSION" if delta > THRESHOLD else ""
-        print("%-12s %-16s %-6s %10.0f -> %10.0f ns/op (%+6.1f%%)%s"
-              % (key[0], key[1], key[2], was, now, delta, flag))
-        if delta > THRESHOLD:
+        flag = "  <-- REGRESSION" if gate and delta > THRESHOLD else ""
+        print("%s %12.1f -> %12.1f (%+6.1f%%)%s" % (tag, was, now, delta, flag))
+        if gate and delta > THRESHOLD:
             failures.append(key)
-    for key in sorted(set(prev) - set(cur)):
-        print("%-12s %-16s %-6s %41s" % (key[0], key[1], key[2], "(phase removed)"))
+    for key in sorted(set(prev_vals) - set(cur_vals)):
+        print("%-10s %-40s %-14s %38s" % (key[0], key[1], key[2], "(phase removed)"))
+    return failures
 
+
+def main():
+    args = sys.argv[1:]
+    summary = "--summary" in args
+    args = [a for a in args if a != "--summary"]
+    if len(args) != 2:
+        sys.exit(__doc__)
+    prev, cur = args
+
+    failures = []
+    saw_any = False
+    for name, ppath, cpath in pair_files(prev, cur):
+        print(f"== {name} ==")
+        cur_vals = load(cpath, ns_only=not summary)
+        if ppath is None:
+            print("   (no previous report; gate skipped for this file)")
+            for key in sorted(cur_vals):
+                print("%-10s %-40s %-14s %12.1f" % (key[0], key[1], key[2], cur_vals[key]))
+            print()
+            continue
+        saw_any = True
+        failures += compare(load(ppath, ns_only=not summary), cur_vals, gate=not summary)
+        print()
+
+    if summary:
+        print("delta summary: informational only")
+        return
     if failures:
-        print("\nperf gate: %d phase(s) regressed more than %.0f%%"
+        print("perf gate: %d phase(s) regressed more than %.0f%%"
               % (len(failures), THRESHOLD), file=sys.stderr)
         sys.exit(1)
-    print("\nperf gate: OK")
+    if saw_any:
+        print("perf gate: OK")
+    else:
+        print("perf gate: no baselines available; skipped")
 
 
 if __name__ == "__main__":
