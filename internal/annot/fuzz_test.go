@@ -1,0 +1,49 @@
+package annot
+
+import "testing"
+
+// FuzzExprProgram drives the parse → compile → execute pipeline with
+// arbitrary annotation source and asserts the compiled program agrees
+// with the tree interpreter on every expression in the parsed set:
+// same value, same error-ness, same error text, and no panics from
+// either side. CI runs a short -fuzz smoke on top of the checked-in
+// corpus below.
+func FuzzExprProgram(f *testing.F) {
+	for _, src := range progCorpus {
+		f.Add(src, int64(0), true, uint8(19))
+		f.Add(src, int64(-1), false, uint8(2))
+	}
+	f.Add("principal(a * b - -c) pre(if (a <= b != c) transfer(skb_caps(a & b | ~c)))", int64(16), true, uint8(19))
+	f.Add("pre(check(write, 0x7fffffffffffffff + 1, a - 0x8000000000000000))", int64(2), true, uint8(1))
+	f.Fuzz(func(t *testing.T, src string, ret int64, hasRet bool, nargs uint8) {
+		set, err := Parse(src)
+		if err != nil {
+			return
+		}
+		env := defaultProgEnv()
+		env.ret, env.hasRet = ret, hasRet
+		if n := int(nargs) % (len(env.args) + 1); n < len(env.args) {
+			env.args = env.args[:n]
+		}
+		for _, e := range exprsOf(set) {
+			prog, cerr := Compile(e, ParamsEnv(env.params))
+			if cerr != nil {
+				t.Fatalf("parser-produced expression %s failed to compile: %v", e, cerr)
+			}
+			tv, terr := e.Eval(env)
+			pv, perr := prog.Eval(env)
+			if (terr == nil) != (perr == nil) {
+				t.Fatalf("%s: tree err=%v, program err=%v", e, terr, perr)
+			}
+			if terr != nil {
+				if terr.Error() != perr.Error() {
+					t.Fatalf("%s: error text diverged: %q vs %q", e, terr, perr)
+				}
+				continue
+			}
+			if tv != pv {
+				t.Fatalf("%s: tree=%d program=%d", e, tv, pv)
+			}
+		}
+	})
+}

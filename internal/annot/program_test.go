@@ -1,0 +1,228 @@
+package annot
+
+import (
+	"testing"
+)
+
+// progTestEnv mirrors the core runtime's argEnv semantics for both
+// evaluators: positional args for the compiled program, by-name args
+// for the tree, "return" gated on hasRet, constants shared.
+type progTestEnv struct {
+	params []string
+	args   []int64
+	ret    int64
+	hasRet bool
+	consts map[string]int64
+}
+
+func (e *progTestEnv) Arg(name string) (int64, bool) {
+	if name == "return" {
+		if !e.hasRet {
+			return 0, false
+		}
+		return e.ret, true
+	}
+	for i, p := range e.params {
+		if p == name && i < len(e.args) {
+			return e.args[i], true
+		}
+	}
+	return 0, false
+}
+
+func (e *progTestEnv) Const(name string) (int64, bool) {
+	v, ok := e.consts[name]
+	return v, ok
+}
+
+func (e *progTestEnv) ProgArg(i int) (int64, bool) {
+	if i < len(e.args) {
+		return e.args[i], true
+	}
+	return 0, false
+}
+
+func (e *progTestEnv) ProgRet() (int64, bool) {
+	if !e.hasRet {
+		return 0, false
+	}
+	return e.ret, true
+}
+
+// exprsOf collects every expression in a parsed annotation set.
+func exprsOf(set *Set) []*Expr {
+	var out []*Expr
+	if set.Principal.Kind == PrincipalExpr {
+		out = append(out, set.Principal.Expr)
+	}
+	var walk func(a *Action)
+	walk = func(a *Action) {
+		if a == nil {
+			return
+		}
+		if a.Op == If {
+			out = append(out, a.Cond)
+			walk(a.Then)
+			return
+		}
+		c := a.Caps
+		if c.IsIterator() {
+			out = append(out, c.IterArgs...)
+			return
+		}
+		out = append(out, c.Ptr)
+		if c.Size != nil {
+			out = append(out, c.Size)
+		}
+	}
+	for _, a := range set.Pre {
+		walk(a)
+	}
+	for _, a := range set.Post {
+		walk(a)
+	}
+	return out
+}
+
+func defaultProgEnv() *progTestEnv {
+	return &progTestEnv{
+		params: []string{"a", "b", "c", "n", "addr", "buf", "p", "page", "sb", "skb", "dev", "inode", "olddir", "newdir", "cmd", "arg", "ops", "len", "flags"},
+		args:   []int64{3, -7, 0, 8, 0x1000, 0x2000, 0x3000, 0x4000, 0x5000, 0x6000, 2, 0x7000, 0x8000, 0x9000, 5, 64, 0xa000, 100, 1},
+		ret:    0,
+		hasRet: true,
+		consts: map[string]int64{"NETDEV_TX_BUSY": 16, "EINVAL": -22, "SECTOR_SIZE": 512},
+	}
+}
+
+// compareExpr runs one expression through both evaluators and fails on
+// any divergence in value, error-ness, or error text.
+func compareExpr(t *testing.T, e *Expr, env *progTestEnv) {
+	t.Helper()
+	prog, cerr := Compile(e, ParamsEnv(env.params))
+	if cerr != nil {
+		t.Fatalf("compile failed for parser-produced expression %s: %v", e, cerr)
+	}
+	tv, terr := e.Eval(env)
+	pv, perr := prog.Eval(env)
+	if (terr == nil) != (perr == nil) {
+		t.Fatalf("%s: tree err=%v, program err=%v", e, terr, perr)
+	}
+	if terr != nil {
+		if terr.Error() != perr.Error() {
+			t.Fatalf("%s: error text diverged: tree %q vs program %q", e, terr, perr)
+		}
+		return
+	}
+	if tv != pv {
+		t.Fatalf("%s: tree=%d program=%d", e, tv, pv)
+	}
+}
+
+var progCorpus = []string{
+	"principal(sb) pre(copy(write, sb))",
+	"principal(sb) pre(transfer(name_caps(buf))) post(transfer(name_caps(buf)))",
+	"principal(sb) post(if (return == 0) check(write, olddir)) post(if (return == 0) check(write, newdir))",
+	"principal(sb) pre(transfer(page_caps(page))) post(if (return != 0) revoke(page_caps(page)))",
+	"principal(sb) pre(transfer(ref(struct page), page)) post(transfer(ref(struct page), page))",
+	"pre(check(write, ops))",
+	"post(if (return != 0) transfer(alloc_caps(return)))",
+	"pre(check(ref(struct page), page)) pre(check(ref(block device), dev))",
+	"principal(dev) pre(transfer(skb_caps(skb))) post(if (return == NETDEV_TX_BUSY) transfer(skb_caps(skb)))",
+	"pre(copy(write, addr, n * 8)) post(if (return < 0 || n == 0) revoke(write, addr, n * 8))",
+	"pre(check(write, buf, len + 1))",
+	"pre(if (flags & 2) check(write, buf, 0x40))",
+	"pre(if (!c && (a >= 3 || b != -7)) copy(call, addr))",
+	"principal(~a | b) pre(check(write, a - b, -n))",
+	"pre(check(write, missing_ident, 8))",
+	"post(if (return) copy(write, UNKNOWN_CONST, 8))",
+}
+
+func TestProgramMatchesTreeOnCorpus(t *testing.T) {
+	for _, src := range progCorpus {
+		set, err := Parse(src)
+		if err != nil {
+			t.Fatalf("corpus entry %q failed to parse: %v", src, err)
+		}
+		for _, env := range []*progTestEnv{defaultProgEnv(), func() *progTestEnv {
+			e := defaultProgEnv()
+			e.hasRet = false
+			e.args = e.args[:3] // starve most params to exercise fallbacks
+			return e
+		}()} {
+			for _, e := range exprsOf(set) {
+				compareExpr(t, e, env)
+			}
+		}
+	}
+}
+
+func TestProgramShortCircuit(t *testing.T) {
+	// The right operand of a settled logical must not be evaluated:
+	// "missing" is unbound, so any evaluation of it errors.
+	env := defaultProgEnv()
+	for _, tc := range []struct {
+		src  string
+		want int64
+	}{
+		{"pre(if (c && missing) check(write, a, 8))", 0}, // c == 0 → short-circuit
+		{"pre(if (a || missing) check(write, a, 8))", 1}, // a != 0 → short-circuit
+		{"pre(if (a && n) check(write, a, 8))", 1},       // both sides run
+		{"pre(if (c || 0) check(write, a, 8))", 0},       // both sides run
+		{"pre(if (a && -b > c + 2) check(write, a, 8))", 1},
+	} {
+		set, err := Parse(tc.src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", tc.src, err)
+		}
+		cond := set.Pre[0].Cond
+		prog, err := Compile(cond, ParamsEnv(env.params))
+		if err != nil {
+			t.Fatalf("compile %q: %v", tc.src, err)
+		}
+		got, err := prog.Eval(env)
+		if err != nil {
+			t.Fatalf("eval %q: %v", tc.src, err)
+		}
+		if got != tc.want {
+			t.Fatalf("%q: got %d, want %d", tc.src, got, tc.want)
+		}
+		compareExpr(t, cond, env)
+	}
+}
+
+func TestProgramErrors(t *testing.T) {
+	env := defaultProgEnv()
+	if _, err := Compile(nil, ParamsEnv(env.params)); err == nil {
+		t.Fatal("compiling a nil expression must fail")
+	}
+	if _, err := Compile(&Expr{}, ParamsEnv(env.params)); err == nil {
+		t.Fatal("compiling an empty expression must fail")
+	}
+	empty := &ExprProg{}
+	if _, err := empty.Eval(env); err == nil {
+		t.Fatal("evaluating the zero program must fail")
+	}
+	if !empty.IsZero() {
+		t.Fatal("zero program must report IsZero")
+	}
+}
+
+func TestProgramDeepExpression(t *testing.T) {
+	// Build an expression deeper than the inline eval stack; Eval must
+	// fall back to a heap stack and still agree with the tree.
+	src := "pre(check(write, a + (a + (a + (a + (a + (a + (a + (a + (a + (a + (a + (a + (a + (a + (a + (a + (a + (a + 1))))))))))))))))), 8))"
+	set, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	e := set.Pre[0].Caps.Ptr
+	prog, err := Compile(e, ParamsEnv([]string{"a"}))
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if prog.Depth <= evalStackSize {
+		t.Fatalf("test expression not deep enough: depth %d", prog.Depth)
+	}
+	env := &progTestEnv{params: []string{"a"}, args: []int64{2}}
+	compareExpr(t, e, env)
+}

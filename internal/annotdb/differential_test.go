@@ -1,0 +1,246 @@
+package annotdb
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"lxfi/internal/blockdev"
+	"lxfi/internal/caps"
+	"lxfi/internal/core"
+	"lxfi/internal/kernel"
+	"lxfi/internal/modules/minixsim"
+	"lxfi/internal/modules/tmpfssim"
+	"lxfi/internal/vfs"
+)
+
+// lcg is a tiny deterministic generator for synthetic crossing
+// arguments: the differential must be reproducible run to run.
+type lcg uint64
+
+func (r *lcg) next() uint64 {
+	*r = *r*6364136223846793005 + 1442695040888963407
+	return uint64(*r)
+}
+
+// synthArgs builds argument vectors that exercise the interesting
+// regimes of annotation expressions: zeros (null pointers, failed
+// returns), small integers (sizes, flags), heap-looking addresses
+// (capability pointers), and mixes of all three.
+func synthArgs(r *lcg, n int) [][]uint64 {
+	if n == 0 {
+		n = 1 // exercise the no-args/unbound-identifier paths too
+	}
+	heap := func() uint64 { return 0xffff_8800_0000_0000 | (r.next() & 0x00ff_ffff_f000) }
+	out := [][]uint64{make([]uint64, n)} // all zero
+	small := make([]uint64, n)
+	for i := range small {
+		small[i] = r.next() % 64
+	}
+	addrs := make([]uint64, n)
+	for i := range addrs {
+		addrs[i] = heap()
+	}
+	mixed := make([]uint64, n)
+	for i := range mixed {
+		switch r.next() % 3 {
+		case 0:
+			mixed[i] = 0
+		case 1:
+			mixed[i] = r.next() % 4096
+		default:
+			mixed[i] = heap()
+		}
+	}
+	return append(out, small, addrs, mixed)
+}
+
+// rets are the synthetic return values for post phases: success, two
+// errno shapes, and arbitrary values (NETDEV_TX_BUSY among them).
+var rets = []uint64{0, ^uint64(0), ^uint64(21), 16, 1, 4096}
+
+func diffTraces(t *testing.T, what, phase string, tree, compiled []core.ActionTrace) {
+	t.Helper()
+	if len(tree) != len(compiled) {
+		t.Fatalf("%s %s: trace lengths diverge: tree %v vs compiled %v", what, phase, tree, compiled)
+	}
+	for i := range tree {
+		if tree[i] != compiled[i] {
+			t.Fatalf("%s %s: trace %d diverges:\n  tree:     %+v\n  compiled: %+v",
+				what, phase, i, tree[i], compiled[i])
+		}
+	}
+}
+
+// TestCompiledProgramsMatchTreeInterpreter is the crossing
+// differential: for every annotated kernel export and every registered
+// function-pointer type in a fully-booted system (all ten Fig. 9
+// modules), the bind-time compiled action program and the original
+// expression-tree interpreter must produce identical grants, revokes,
+// checks, and violations on a set of synthetic crossings — and
+// identical principal-expression values.
+func TestCompiledProgramsMatchTreeInterpreter(t *testing.T) {
+	sys, err := BootAll(core.Enforce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mods := sys.Modules()
+	froms := []*principalCase{{name: "trusted", p: nil}}
+	for _, name := range []string{"econet", "rds", "e1000"} {
+		if m, ok := mods[name]; ok {
+			froms = append(froms, &principalCase{name: name + "[shared]", p: m.Set.Shared()})
+		}
+	}
+	runDifferential(t, sys, froms)
+}
+
+// TestCompiledProgramsMatchTreeInterpreterVFS extends the differential
+// to the VFS surface, whose annotations lean on capability iterators
+// (name_caps, page_caps, alloc_caps) and per-superblock principals.
+func TestCompiledProgramsMatchTreeInterpreterVFS(t *testing.T) {
+	k := kernel.New()
+	k.Sys.Mon.SetMode(core.Enforce)
+	bl := blockdev.Init(k)
+	bl.AddDisk(1, 1024)
+	v := vfs.Init(k, bl)
+	th := k.Sys.NewThread("boot")
+	tfs, err := tmpfssim.Load(th, k, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mfs, err := minixsim.Load(th, k, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	froms := []*principalCase{
+		{name: "trusted", p: nil},
+		{name: "tmpfssim[shared]", p: tfs.M.Set.Shared()},
+		{name: "minixsim[shared]", p: mfs.M.Set.Shared()},
+	}
+	runDifferential(t, k.Sys, froms)
+}
+
+func runDifferential(t *testing.T, sys *core.System, froms []*principalCase) {
+	t.Helper()
+	th := sys.NewThread("diff")
+	r := lcg(0x1ee7)
+	covered, progMissing := 0, 0
+	// Iterate in sorted order: the lcg stream is shared, so map-order
+	// iteration would hand each export different synthetic args every
+	// run and break the reproducibility the seed promises.
+	kfuncs := sys.KernelFuncs()
+	var knames []string
+	for name := range kfuncs {
+		knames = append(knames, name)
+	}
+	sort.Strings(knames)
+	for _, name := range knames {
+		fn := kfuncs[name]
+		if fn.Annot == nil || fn.Annot.Empty() {
+			continue
+		}
+		covered++
+		for _, args := range synthArgs(&r, len(fn.Params)) {
+			for _, fc := range froms {
+				for _, phase := range []string{"pre", "post"} {
+					for _, ret := range rets {
+						tree, compiled, hasProg := fn.TraceCrossing(th, phase, args, ret, fc.p)
+						if !hasProg {
+							progMissing++
+							continue
+						}
+						diffTraces(t, fmt.Sprintf("kernel %s (from %s, args %x, ret %d)", name, fc.name, args, ret),
+							phase, tree, compiled)
+					}
+				}
+			}
+		}
+	}
+	ftypes := sys.FPtrTypes()
+	var fnames []string
+	for name := range ftypes {
+		fnames = append(fnames, name)
+	}
+	sort.Strings(fnames)
+	for _, name := range fnames {
+		ft := ftypes[name]
+		covered++
+		for _, args := range synthArgs(&r, len(ft.Params)) {
+			for _, fc := range froms {
+				for _, phase := range []string{"pre", "post"} {
+					for _, ret := range rets {
+						tree, compiled, hasProg := ft.TraceCrossing(th, phase, args, ret, fc.p)
+						if !hasProg {
+							progMissing++
+							continue
+						}
+						diffTraces(t, fmt.Sprintf("fptr %s (from %s, args %x, ret %d)", name, fc.name, args, ret),
+							phase, tree, compiled)
+					}
+				}
+				kind, tv, pv, terr, perr, hasProg := ft.TracePrincipalValue(th, args)
+				if !hasProg {
+					continue
+				}
+				_ = kind
+				if (terr == nil) != (perr == nil) || (terr == nil && tv != pv) {
+					t.Fatalf("fptr %s principal diverges on args %x: tree (%d,%v) vs compiled (%d,%v)",
+						name, args, tv, terr, pv, perr)
+				}
+			}
+		}
+	}
+	if covered < 15 {
+		t.Fatalf("differential covered only %d annotated exports — boot surface shrank?", covered)
+	}
+	if progMissing > 0 {
+		t.Fatalf("%d annotated declarations have no compiled program (tree fallback in production)", progMissing)
+	}
+}
+
+type principalCase struct {
+	name string
+	p    *caps.Principal
+}
+
+// TestGrantingActionsMatchOnLiveState runs the differential again after
+// seeding the module with real capabilities, so copy/transfer ownership
+// checks exercise the "owned" branch too (an all-deny state would let a
+// broken ownership check hide behind matching violations).
+func TestGrantingActionsMatchOnLiveState(t *testing.T) {
+	sys, err := BootAll(core.Enforce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := sys.NewThread("diff2")
+	m, ok := sys.Modules()["econet"]
+	if !ok {
+		t.Fatal("econet missing from booted system")
+	}
+	shared := m.Set.Shared()
+
+	// kfree's pre(transfer(alloc_caps(ptr))) over a really-allocated,
+	// really-owned object: both executors must agree on the transfer.
+	obj, err := sys.Slab.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Caps.Grant(shared, caps.WriteCap(obj, 64))
+	kfree, _ := sys.FuncByName("kfree")
+	tree, compiled, hasProg := kfree.TraceCrossing(th, "pre", []uint64{uint64(obj)}, 0, shared)
+	if !hasProg {
+		t.Fatal("kfree has no compiled program")
+	}
+	diffTraces(t, "kernel kfree (owned)", "pre", tree, compiled)
+	if len(tree) == 0 || tree[0].Op != "transfer" {
+		t.Fatalf("expected an owned transfer trace, got %v", tree)
+	}
+
+	// copy_from_user's pre(check(write, to, n)) with an owned window.
+	cfu, _ := sys.FuncByName("copy_from_user")
+	tree, compiled, _ = cfu.TraceCrossing(th, "pre", []uint64{uint64(obj), 0x1000, 64}, 0, shared)
+	diffTraces(t, "kernel copy_from_user (owned)", "pre", tree, compiled)
+	if len(tree) == 0 || tree[0].Op != "check" {
+		t.Fatalf("expected an owned check trace, got %v", tree)
+	}
+}

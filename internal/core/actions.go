@@ -19,6 +19,23 @@ type argEnv struct {
 	hasRet bool
 }
 
+// ProgArg implements annot.RunEnv: compiled programs reference
+// arguments positionally, with no name scan on the hot path.
+func (e *argEnv) ProgArg(i int) (int64, bool) {
+	if i < len(e.args) {
+		return int64(e.args[i]), true
+	}
+	return 0, false
+}
+
+// ProgRet implements annot.RunEnv.
+func (e *argEnv) ProgRet() (int64, bool) {
+	if !e.hasRet {
+		return 0, false
+	}
+	return int64(e.ret), true
+}
+
 // Arg implements annot.Env.
 func (e *argEnv) Arg(name string) (int64, bool) {
 	if name == "return" {
@@ -200,6 +217,169 @@ func (t *Thread) runAction(phase, fnName string, a *annot.Action, env *argEnv,
 	return nil
 }
 
+// --- compiled action programs (the hot crossing path) ---
+
+// runProgram executes one compiled pre or post action program. It is
+// the program-mode twin of runActions: same ownership rules, same
+// grant/revoke flow, same violation text — but conditions, pointers,
+// and sizes run as opcode programs, iterators and REF cache tags are
+// pre-resolved, and the inline caplist forms never touch a scratch
+// slice. The differential tests in internal/annotdb hold the two
+// executors equal over every annotated export in the system.
+func (t *Thread) runProgram(phase, fnName string, steps []actionStep, env *argEnv,
+	from, to *caps.Principal, blame *Module) error {
+steps:
+	for i := range steps {
+		st := &steps[i]
+		for j := range st.conds {
+			v, err := st.conds[j].prog.Eval(env)
+			if err != nil {
+				return t.violationAt(blame, from, "annotation", 0,
+					fmt.Sprintf("%s %s: bad condition %q: %v", phase, fnName, st.conds[j].src, err))
+			}
+			if v == 0 {
+				continue steps
+			}
+		}
+		if st.isIterator() {
+			buf, err := t.resolveIterCaps(st, env, t.getCapBuf())
+			if err != nil {
+				t.putCapBuf(buf)
+				return t.violationAt(blame, from, "annotation", 0,
+					fmt.Sprintf("%s %s: %v", phase, fnName, err))
+			}
+			for _, c := range buf {
+				if err := t.applyCapOp(phase, fnName, st.op, c, 0, from, to, blame); err != nil {
+					t.putCapBuf(buf)
+					return err
+				}
+			}
+			t.putCapBuf(buf)
+			continue
+		}
+		c, err := t.resolveStepCap(st, env)
+		if err != nil {
+			return t.violationAt(blame, from, "annotation", 0,
+				fmt.Sprintf("%s %s: %v", phase, fnName, err))
+		}
+		if err := t.applyCapOp(phase, fnName, st.op, c, st.refTag, from, to, blame); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyCapOp applies one action operator to one resolved capability —
+// the shared tail of both caplist forms. refTag, when nonzero, is the
+// step's pre-interned REF cache tag; it routes the ownership check
+// through the per-thread cache (REF verdicts are only cacheable with
+// an exact interned identity, see refTypeTag).
+func (t *Thread) applyCapOp(phase, fnName string, op annot.Op, c caps.Cap, refTag uint64,
+	from, to *caps.Principal, blame *Module) error {
+	mon := &t.Sys.Mon.Stats
+	mon.AnnotationActions.Add(1)
+	if op == annot.Revoke {
+		mon.CapRevokes.Add(1)
+		t.Sys.Caps.RevokeAll(c)
+		return nil
+	}
+	var owned bool
+	if c.Kind == caps.Ref && refTag != 0 {
+		owned = t.checkCapTag(from, c, refTag)
+	} else {
+		owned = t.checkCap(from, c)
+	}
+	if !owned {
+		return t.violationAt(blame, from, "annotation", c.Addr,
+			fmt.Sprintf("%s %s: %s action: %s does not own %s", phase, fnName, op, from, c))
+	}
+	switch op {
+	case annot.Check:
+		// ownership verified above
+	case annot.Copy:
+		t.grant(to, c)
+	case annot.Transfer:
+		mon.CapRevokes.Add(1)
+		t.Sys.Caps.RevokeAll(c)
+		t.grant(to, c)
+	}
+	return nil
+}
+
+// resolveStepCap materializes the capability of an inline-form step.
+func (t *Thread) resolveStepCap(st *actionStep, env *argEnv) (caps.Cap, error) {
+	ptr, err := st.ptr.Eval(env)
+	if err != nil {
+		return caps.Cap{}, err
+	}
+	addr := mem.Addr(uint64(ptr))
+	switch st.kind {
+	case annot.CapCall:
+		return caps.CallCap(addr), nil
+	case annot.CapRef:
+		return caps.RefCap(st.refType, addr), nil
+	case annot.CapWrite:
+		var size uint64
+		switch {
+		case st.hasSize:
+			v, err := st.size.Eval(env)
+			if err != nil {
+				return caps.Cap{}, err
+			}
+			if v < 0 {
+				v = 0
+			}
+			size = uint64(v)
+		case st.sizeofVal != 0:
+			size = st.sizeofVal
+		case st.sizeofType != "":
+			v, ok := t.Sys.sizeofType(st.sizeofType)
+			if !ok {
+				return caps.Cap{}, fmt.Errorf("core: cannot resolve sizeof for %q", st.src.Ptr)
+			}
+			size = v
+		default:
+			return caps.Cap{}, fmt.Errorf("core: cannot resolve sizeof for %q", st.src.Ptr)
+		}
+		return caps.WriteCap(addr, size), nil
+	}
+	return caps.Cap{}, fmt.Errorf("core: bad caplist")
+}
+
+// resolveIterCaps runs an iterator-form step, appending the emitted
+// capabilities to out. The emit closure is the thread's pre-bound
+// t.emit (no per-crossing closure allocation); the buffer swap is
+// stack-disciplined so a re-entrant iterator cannot clobber an outer
+// resolution.
+func (t *Thread) resolveIterCaps(st *actionStep, env *argEnv, out []caps.Cap) ([]caps.Cap, error) {
+	iter := st.iter
+	if iter == nil {
+		var ok bool
+		iter, ok = t.Sys.iterator(st.iterName)
+		if !ok {
+			return out, fmt.Errorf("core: unknown capability iterator %q", st.iterName)
+		}
+	}
+	var iargsArr [4]int64
+	iargs := iargsArr[:0]
+	if len(st.iterArgs) > len(iargsArr) {
+		iargs = make([]int64, 0, len(st.iterArgs))
+	}
+	for i := range st.iterArgs {
+		v, err := st.iterArgs[i].Eval(env)
+		if err != nil {
+			return out, err
+		}
+		iargs = append(iargs, v)
+	}
+	saved := t.iterBuf
+	t.iterBuf = out
+	err := iter(t, iargs, t.emit)
+	out = t.iterBuf
+	t.iterBuf = saved
+	return out, err
+}
+
 // violationAt records a violation attributed to a specific module and
 // principal (used when the violating side is not the thread's current
 // principal, e.g. a caller failing a pre-action ownership check).
@@ -232,6 +412,24 @@ func (t *Thread) resolvePrincipal(m *Module, set *annot.Set, env *argEnv) (*caps
 		v, err := set.Principal.Expr.Eval(env)
 		if err != nil {
 			return nil, fmt.Errorf("core: principal expression %q: %v", set.Principal.Expr, err)
+		}
+		return m.Set.Instance(mem.Addr(uint64(v))), nil
+	}
+	return nil, fmt.Errorf("core: bad principal annotation")
+}
+
+// resolvePrincipalProg is resolvePrincipal over a compiled annotation
+// program (the principal expression runs as opcodes).
+func (t *Thread) resolvePrincipalProg(m *Module, prog *annotProg, env *argEnv) (*caps.Principal, error) {
+	switch prog.prinKind {
+	case annot.PrincipalGlobal:
+		return m.Set.Global(), nil
+	case annot.PrincipalShared, annot.PrincipalDefault:
+		return m.Set.Shared(), nil
+	case annot.PrincipalExpr:
+		v, err := prog.prinProg.Eval(env)
+		if err != nil {
+			return nil, fmt.Errorf("core: principal expression %q: %v", prog.prinSrc, err)
 		}
 		return m.Set.Instance(mem.Addr(uint64(v))), nil
 	}

@@ -16,9 +16,16 @@ import (
 // In kernel context (t.cur == nil) the call is direct: "Since LXFI
 // assumes that the core kernel is fully trusted, it can omit most checks
 // for performance" (§4).
+// Hot callers should bind a Gate at load time instead (gate.go); the
+// string-keyed path remains for cold callers, tests, and exploit
+// payloads.
 func (t *Thread) CallKernel(name string, args ...uint64) (uint64, error) {
 	fn, ok := t.Sys.FuncByName(name)
 	if !ok || !fn.IsKernel() {
+		// A failed resolution is part of the violation picture (a module
+		// probing for symbols it was not linked against), so it lands in
+		// the monitor's stats even though no capability check ran.
+		t.Sys.Mon.Stats.FailedResolutions.Add(1)
 		return 0, fmt.Errorf("core: no such kernel function %q", name)
 	}
 	return t.callKernelDecl(fn, args)
@@ -48,7 +55,7 @@ func (t *Thread) callKernelDecl(fn *FuncDecl, args []uint64) (uint64, error) {
 		defer t.putEnv(env)
 		// pre: ownership checked on the caller (module); grants flow
 		// caller -> callee (kernel).
-		if err := t.runActions("pre", fn.Name, fn.Annot.Pre, env, callerPrin, t.Sys.Caps.Trusted, callerMod); err != nil {
+		if err := t.runPre(fn, true, env, callerPrin, t.Sys.Caps.Trusted, callerMod); err != nil {
 			return 0, err
 		}
 	}
@@ -68,11 +75,29 @@ func (t *Thread) callKernelDecl(fn *FuncDecl, args []uint64) (uint64, error) {
 		env.ret, env.hasRet = ret, true
 		// post: ownership checked on the callee (kernel, trivially true);
 		// grants flow callee -> caller.
-		if err := t.runActions("post", fn.Name, fn.Annot.Post, env, t.Sys.Caps.Trusted, callerPrin, callerMod); err != nil {
+		if err := t.runPost(fn, true, env, t.Sys.Caps.Trusted, callerPrin, callerMod); err != nil {
 			return ret, err
 		}
 	}
 	return ret, nil
+}
+
+// runPre and runPost execute one side of a crossing's contract. The
+// compiled action program runs when the declaration has one and the
+// caller did not substitute a foreign parameter list (useProg); the
+// tree interpreter remains the fallback for that cold case.
+func (t *Thread) runPre(fn *FuncDecl, useProg bool, env *argEnv, from, to *caps.Principal, blame *Module) error {
+	if useProg && fn.prog != nil {
+		return t.runProgram("pre", fn.Name, fn.prog.pre, env, from, to, blame)
+	}
+	return t.runActions("pre", fn.Name, fn.Annot.Pre, env, from, to, blame)
+}
+
+func (t *Thread) runPost(fn *FuncDecl, useProg bool, env *argEnv, from, to *caps.Principal, blame *Module) error {
+	if useProg && fn.prog != nil {
+		return t.runProgram("post", fn.Name, fn.prog.post, env, from, to, blame)
+	}
+	return t.runActions("post", fn.Name, fn.Annot.Post, env, from, to, blame)
 }
 
 // CallModule invokes a module function by name from the current context
@@ -81,24 +106,28 @@ func (t *Thread) callKernelDecl(fn *FuncDecl, args []uint64) (uint64, error) {
 func (t *Thread) CallModule(m *Module, fname string, args ...uint64) (uint64, error) {
 	fn, ok := m.Funcs[fname]
 	if !ok {
+		t.Sys.Mon.Stats.FailedResolutions.Add(1)
 		return 0, fmt.Errorf("core: module %s has no function %q", m.Name, fname)
 	}
 	return t.callModuleDecl(m, fn, args)
 }
 
 func (t *Thread) callModuleDecl(m *Module, fn *FuncDecl, args []uint64) (uint64, error) {
-	return t.callModuleDeclParams(m, fn, fn.Params, args)
+	return t.callModuleDeclParams(m, fn, fn.Params, false, args)
 }
 
 // callModuleDeclParams is callModuleDecl with the effective parameter
 // list supplied by the caller (an indirect call substitutes the slot
-// type's parameters when the function declaration carries none).
-func (t *Thread) callModuleDeclParams(m *Module, fn *FuncDecl, params []Param, args []uint64) (uint64, error) {
+// type's parameters when the function declaration carries none;
+// substituted=true then forces the tree interpreter, whose by-name
+// argument binding is what the substitution relies on).
+func (t *Thread) callModuleDeclParams(m *Module, fn *FuncDecl, params []Param, substituted bool, args []uint64) (uint64, error) {
 	if m.Dead() {
 		return 0, fmt.Errorf("%w (%s)", ErrModuleDead, m.Name)
 	}
 	enforcing := t.Sys.Mon.Enforcing()
 	callerPrin := t.cur
+	useProg := !substituted
 
 	var env *argEnv
 	var callee *caps.Principal
@@ -109,14 +138,18 @@ func (t *Thread) callModuleDeclParams(m *Module, fn *FuncDecl, params []Param, a
 		var err error
 		// The wrapper "sets the appropriate principal" (§4.2) from the
 		// principal(...) annotation before running the module function.
-		callee, err = t.resolvePrincipal(m, fn.Annot, env)
+		if useProg && fn.prog != nil {
+			callee, err = t.resolvePrincipalProg(m, fn.prog, env)
+		} else {
+			callee, err = t.resolvePrincipal(m, fn.Annot, env)
+		}
 		if err != nil {
 			return 0, t.violationAt(m, m.Set.Shared(), "annotation", fn.Addr, err.Error())
 		}
 		t.Sys.Mon.Stats.PrincipalSwitches.Add(1)
 		// pre: ownership checked on the caller; grants flow caller ->
 		// callee principal.
-		if err := t.runActions("pre", fn.Name, fn.Annot.Pre, env, callerPrin, callee, t.curMod); err != nil {
+		if err := t.runPre(fn, useProg, env, callerPrin, callee, t.curMod); err != nil {
 			return 0, err
 		}
 	}
@@ -136,7 +169,7 @@ func (t *Thread) callModuleDeclParams(m *Module, fn *FuncDecl, params []Param, a
 		env.ret, env.hasRet = ret, true
 		// post: ownership checked on the callee (module); grants flow
 		// callee -> caller.
-		if err := t.runActions("post", fn.Name, fn.Annot.Post, env, callee, callerPrin, m); err != nil {
+		if err := t.runPost(fn, useProg, env, callee, callerPrin, m); err != nil {
 			return ret, err
 		}
 	}
@@ -149,11 +182,19 @@ func (t *Thread) callModuleDeclParams(m *Module, fn *FuncDecl, params []Param, a
 // rewriter has replaced `(*slot)(args...)` with a checked call that
 // passes the *address of the original function pointer* (Fig. 5), so the
 // runtime can consult the writer set for that slot.
+// Hot kernel-side callers should bind an IndGate at init instead
+// (gate.go); this path repeats the type lookup per call.
 func (t *Thread) IndirectCall(slot mem.Addr, typeName string, args ...uint64) (uint64, error) {
 	ft, ok := t.Sys.FPtrType(typeName)
 	if !ok {
 		panic("core: indirect call through unregistered fptr type " + typeName)
 	}
+	return t.indirectCallFT(slot, ft, args)
+}
+
+// indirectCallFT is IndirectCall past type resolution — the body every
+// bound IndGate jumps straight into.
+func (t *Thread) indirectCallFT(slot mem.Addr, ft *FPtrType, args []uint64) (uint64, error) {
 	target, err := t.Sys.AS.ReadU64(slot)
 	if err != nil {
 		return 0, fmt.Errorf("core: indirect call: cannot load pointer at %#x: %v", uint64(slot), err)
@@ -249,9 +290,9 @@ func (t *Thread) dispatch(target mem.Addr, ft *FPtrType, args []uint64) (uint64,
 		// substitution is made per call rather than written back into it.
 		params := fn.Params
 		if len(params) == 0 {
-			params = ft.Params
+			return t.callModuleDeclParams(m, fn, ft.Params, true, args)
 		}
-		return t.callModuleDeclParams(m, fn, params, args)
+		return t.callModuleDeclParams(m, fn, params, false, args)
 	}
 }
 
@@ -264,6 +305,12 @@ func (t *Thread) CallAddr(target mem.Addr, typeName string, args ...uint64) (uin
 	if !ok {
 		panic("core: indirect call through unregistered fptr type " + typeName)
 	}
+	return t.callAddrFT(target, ft, args)
+}
+
+// callAddrFT is CallAddr past type resolution (the IndGate CallAddr
+// entry points land here).
+func (t *Thread) callAddrFT(target mem.Addr, ft *FPtrType, args []uint64) (uint64, error) {
 	fn, known := t.Sys.FuncByAddr(target)
 
 	if t.cur != nil && t.Sys.Mon.Enforcing() {

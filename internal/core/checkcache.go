@@ -31,9 +31,12 @@ const checkCacheSize = 64
 // checkCacheEntry is one 32-byte direct-mapped slot. The capability's
 // kind is packed into the size's top byte and the verdict into the
 // epoch's low bit, so a hit loads and compares exactly four words.
-// Only WRITE and CALL verdicts are cached: REF capabilities carry a
-// type string that would double the entry, and REF checks are off the
-// per-write/per-call hot path anyway.
+// WRITE and CALL verdicts pack (size | kind) into sizeKind; REF
+// verdicts pack an interned type ID instead of carrying the type
+// string (checkCapTag), so all three kinds fit the same entry. The
+// generic checkCap path still treats REF as uncacheable — only the
+// compiled action programs, which pre-intern their tags at bind time,
+// store and probe REF entries.
 type checkCacheEntry struct {
 	prin         *caps.Principal
 	addr         mem.Addr
@@ -120,10 +123,39 @@ func (t *Thread) cacheProbe(p *caps.Principal, addr mem.Addr, sizeKind, ep uint6
 	return false, false
 }
 
+// checkCapTag is checkCap with a caller-supplied packed cache tag; the
+// compiled action programs use it to cache REF verdicts, whose tag
+// (an interned type ID | Ref kind bits, see System.refTypeTag) cannot
+// be derived from the Cap alone. Tag uniqueness is the caller's
+// contract: equal tags must imply equal (kind, type, size) identity,
+// which interning guarantees. Epoch validation is unchanged, so a
+// revoked REF is never served stale.
+func (t *Thread) checkCapTag(p *caps.Principal, c caps.Cap, tag uint64) bool {
+	if p != nil {
+		if v, hit := t.cacheProbe(p, c.Addr, tag, t.csys.Epoch()); hit {
+			t.pendChecks++
+			return v
+		}
+	}
+	return t.checkCapMiss(p, c, tag, true)
+}
+
 // checkCapSlow handles kernel/trusted principals, cache misses, and the
-// batched stats flush. Cache hits are derived at flush time as checks
-// minus misses, so the hit path pays a single thread-local increment.
+// batched stats flush.
 func (t *Thread) checkCapSlow(p *caps.Principal, c caps.Cap) bool {
+	if cacheable(c) {
+		return t.checkCapMiss(p, c, packSizeKind(c), true)
+	}
+	return t.checkCapMiss(p, c, 0, false)
+}
+
+// checkCapMiss is the shared miss path behind checkCapSlow and
+// checkCapTag: batched stats, the trusted short-circuit, the
+// authoritative table check, and (when store is set) the cache fill
+// under the caller's packed tag. Cache hits are derived at flush time
+// as checks minus misses, so the hit paths pay a single thread-local
+// increment.
+func (t *Thread) checkCapMiss(p *caps.Principal, c caps.Cap, tag uint64, store bool) bool {
 	t.pendChecks++
 	t.pendMisses++
 	if t.pendChecks >= statsFlushBatch {
@@ -138,10 +170,10 @@ func (t *Thread) checkCapSlow(p *caps.Principal, c caps.Cap) bool {
 	// trusting a verdict of unknown vintage.
 	ep := t.csys.Epoch()
 	v := t.csys.Check(p, c)
-	if cacheable(c) {
+	if store {
 		e := &t.ccache[cacheSlot(uint64(c.Addr))]
 		e.prin, e.addr = p, c.Addr
-		e.sizeKind = packSizeKind(c)
+		e.sizeKind = tag
 		ev := ep << 1
 		if v {
 			ev |= 1

@@ -48,6 +48,12 @@ type FuncDecl struct {
 	Annot *annot.Set
 	Impl  Impl
 	Addr  mem.Addr
+
+	// prog is the bind-time compiled form of Annot (program.go): the
+	// action program the crossing paths execute instead of
+	// re-interpreting the annotation trees per call. nil when Annot is
+	// nil or could not be lowered (the tree interpreter then runs).
+	prog *annotProg
 }
 
 // IsKernel reports whether the function belongs to the core kernel.
@@ -75,6 +81,16 @@ type FPtrType struct {
 	Name   string
 	Params []Param
 	Annot  *annot.Set
+
+	// prog is the compiled action program of Annot. Production
+	// crossings run the *target function's* program; a dispatch that
+	// substitutes this type's parameter list into a declaration
+	// without one deliberately falls back to the tree interpreter
+	// (the by-name binding is what the substitution relies on, and
+	// hash equality between fn and slot annotations is not enforced
+	// on the writer-free path). The differential tracers (diff.go)
+	// execute prog to hold it equal to the tree.
+	prog *annotProg
 }
 
 // FuncSpec describes one module function for loading.
@@ -119,6 +135,11 @@ type Module struct {
 	// they instantiate (annotation propagation source), for annotation
 	// accounting (Fig. 9).
 	FuncTypes map[string]string
+
+	// gates are the module's bound crossings, one per import, resolved
+	// by the loader (§4.2 "Module initialization"). Immutable after
+	// load; Gate hands them out.
+	gates map[string]*Gate
 
 	// Data andROData are the module's section base addresses.
 	Data   mem.Addr

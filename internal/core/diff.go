@@ -1,0 +1,206 @@
+// Differential tracing of the two annotation executors.
+//
+// The crossing pipeline has two ways to run an annotation contract:
+// the expression-tree interpreter (actions.go, the original executor
+// and the fallback for parameter-substituted indirect calls) and the
+// bind-time compiled action programs (program.go, the hot path). The
+// tracers here dry-run both on the same synthetic crossing — resolving
+// conditions, capabilities, and ownership exactly as the real
+// executors do, but recording grants/revokes/violations instead of
+// applying them — so a test can assert the executors agree for every
+// annotated export in a booted system (internal/annotdb runs that
+// differential over the full Fig. 9 module set).
+package core
+
+import (
+	"fmt"
+
+	"lxfi/internal/annot"
+	"lxfi/internal/caps"
+)
+
+// ActionTrace is one recorded annotation effect: Op is the action
+// operator ("check", "copy", "transfer", "revoke") for applied
+// actions, or "violation" with Err carrying the violation detail the
+// real executor would have raised.
+type ActionTrace struct {
+	Op  string
+	Cap string
+	Err string
+}
+
+// TraceCrossing dry-runs one phase ("pre" or "post") of f's annotation
+// contract for a synthetic crossing, under both executors. from is the
+// principal whose ownership the phase checks. hasProg reports whether
+// a compiled program exists (it always should for registered
+// declarations; false means the tree fallback is in production use).
+func (f *FuncDecl) TraceCrossing(t *Thread, phase string, args []uint64, ret uint64, from *caps.Principal) (tree, compiled []ActionTrace, hasProg bool) {
+	return t.traceBoth(f.Name, f.Params, f.Annot, f.prog, phase, args, ret, from)
+}
+
+// TraceCrossing is the FPtrType analogue of FuncDecl.TraceCrossing.
+func (ft *FPtrType) TraceCrossing(t *Thread, phase string, args []uint64, ret uint64, from *caps.Principal) (tree, compiled []ActionTrace, hasProg bool) {
+	return t.traceBoth(ft.Name, ft.Params, ft.Annot, ft.prog, phase, args, ret, from)
+}
+
+// TracePrincipalValue evaluates f's principal annotation under both
+// executors without materializing an instance principal. kind is the
+// annotation's principal kind; for PrincipalExpr the values and error
+// texts are the comparison surface.
+func (f *FuncDecl) TracePrincipalValue(t *Thread, args []uint64) (kind annot.PrincipalKind, treeVal, progVal int64, treeErr, progErr error, hasProg bool) {
+	return t.tracePrincipal(f.Params, f.Annot, f.prog, args)
+}
+
+// TracePrincipalValue is the FPtrType analogue.
+func (ft *FPtrType) TracePrincipalValue(t *Thread, args []uint64) (kind annot.PrincipalKind, treeVal, progVal int64, treeErr, progErr error, hasProg bool) {
+	return t.tracePrincipal(ft.Params, ft.Annot, ft.prog, args)
+}
+
+func (t *Thread) tracePrincipal(params []Param, set *annot.Set, prog *annotProg, args []uint64) (kind annot.PrincipalKind, treeVal, progVal int64, treeErr, progErr error, hasProg bool) {
+	if set == nil {
+		return annot.PrincipalDefault, 0, 0, nil, nil, prog != nil
+	}
+	kind = set.Principal.Kind
+	if kind != annot.PrincipalExpr {
+		return kind, 0, 0, nil, nil, prog != nil
+	}
+	env := t.getEnv(params, args)
+	defer t.putEnv(env)
+	treeVal, treeErr = set.Principal.Expr.Eval(env)
+	if prog != nil {
+		progVal, progErr = prog.prinProg.Eval(env)
+		hasProg = true
+	}
+	return kind, treeVal, progVal, treeErr, progErr, hasProg
+}
+
+func (t *Thread) traceBoth(name string, params []Param, set *annot.Set, prog *annotProg, phase string, args []uint64, ret uint64, from *caps.Principal) (tree, compiled []ActionTrace, hasProg bool) {
+	env := t.getEnv(params, args)
+	defer t.putEnv(env)
+	if phase == "post" {
+		env.ret, env.hasRet = ret, true
+	}
+	var actions []*annot.Action
+	if set != nil {
+		actions = set.Pre
+		if phase == "post" {
+			actions = set.Post
+		}
+	}
+	tree = t.traceTreeActions(phase, name, actions, env, from)
+	if prog != nil {
+		steps := prog.pre
+		if phase == "post" {
+			steps = prog.post
+		}
+		compiled = t.traceProgActions(phase, name, steps, env, from)
+		hasProg = true
+	}
+	return tree, compiled, hasProg
+}
+
+// traceTreeActions mirrors runActions/runAction with recording
+// effects. The violation formats are kept textually identical to the
+// production executor so traces compare exactly.
+func (t *Thread) traceTreeActions(phase, fnName string, actions []*annot.Action, env *argEnv, from *caps.Principal) []ActionTrace {
+	var out []ActionTrace
+	for _, a := range actions {
+		var stop bool
+		out, stop = t.traceTreeAction(phase, fnName, a, env, from, out)
+		if stop {
+			return out
+		}
+	}
+	return out
+}
+
+func (t *Thread) traceTreeAction(phase, fnName string, a *annot.Action, env *argEnv, from *caps.Principal, out []ActionTrace) ([]ActionTrace, bool) {
+	if a.Op == annot.If {
+		v, err := a.Cond.Eval(env)
+		if err != nil {
+			return append(out, ActionTrace{Op: "violation",
+				Err: fmt.Sprintf("%s %s: bad condition %q: %v", phase, fnName, a.Cond, err)}), true
+		}
+		if v == 0 {
+			return out, false
+		}
+		return t.traceTreeAction(phase, fnName, a.Then, env, from, out)
+	}
+	capsList, err := t.resolveCaps(a.Caps, env, t.getCapBuf())
+	defer t.putCapBuf(capsList)
+	if err != nil {
+		return append(out, ActionTrace{Op: "violation",
+			Err: fmt.Sprintf("%s %s: %v", phase, fnName, err)}), true
+	}
+	for _, c := range capsList {
+		var stop bool
+		out, stop = t.traceCapOp(phase, fnName, a.Op, c, from, out)
+		if stop {
+			return out, true
+		}
+	}
+	return out, false
+}
+
+func (t *Thread) traceProgActions(phase, fnName string, steps []actionStep, env *argEnv, from *caps.Principal) []ActionTrace {
+	var out []ActionTrace
+steps:
+	for i := range steps {
+		st := &steps[i]
+		for j := range st.conds {
+			v, err := st.conds[j].prog.Eval(env)
+			if err != nil {
+				return append(out, ActionTrace{Op: "violation",
+					Err: fmt.Sprintf("%s %s: bad condition %q: %v", phase, fnName, st.conds[j].src, err)})
+			}
+			if v == 0 {
+				continue steps
+			}
+		}
+		if st.isIterator() {
+			buf, err := t.resolveIterCaps(st, env, t.getCapBuf())
+			if err != nil {
+				t.putCapBuf(buf)
+				return append(out, ActionTrace{Op: "violation",
+					Err: fmt.Sprintf("%s %s: %v", phase, fnName, err)})
+			}
+			for _, c := range buf {
+				var stop bool
+				out, stop = t.traceCapOp(phase, fnName, st.op, c, from, out)
+				if stop {
+					t.putCapBuf(buf)
+					return out
+				}
+			}
+			t.putCapBuf(buf)
+			continue
+		}
+		c, err := t.resolveStepCap(st, env)
+		if err != nil {
+			return append(out, ActionTrace{Op: "violation",
+				Err: fmt.Sprintf("%s %s: %v", phase, fnName, err)})
+		}
+		var stop bool
+		out, stop = t.traceCapOp(phase, fnName, st.op, c, from, out)
+		if stop {
+			return out
+		}
+	}
+	return out
+}
+
+// traceCapOp records the effect of one operator on one capability.
+// Ownership consults the authoritative tables directly (no per-thread
+// cache) so both executors read the same verdict; nothing is granted
+// or revoked.
+func (t *Thread) traceCapOp(phase, fnName string, op annot.Op, c caps.Cap, from *caps.Principal, out []ActionTrace) ([]ActionTrace, bool) {
+	if op == annot.Revoke {
+		return append(out, ActionTrace{Op: "revoke", Cap: c.String()}), false
+	}
+	owned := from == nil || from.IsTrusted() || t.Sys.Caps.Check(from, c)
+	if !owned {
+		return append(out, ActionTrace{Op: "violation", Cap: c.String(),
+			Err: fmt.Sprintf("%s %s: %s action: %s does not own %s", phase, fnName, op, from, c)}), true
+	}
+	return append(out, ActionTrace{Op: op.String(), Cap: c.String()}), false
+}

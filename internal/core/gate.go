@@ -1,0 +1,214 @@
+// Call gates: bind-time resolved crossing entry points.
+//
+// LXFI resolves a module's imports when the module is loaded and
+// routes every crossing through a wrapper compiled for that function
+// (§4.2). The simulation's analogue is the Gate: the loader resolves
+// each import into a *Gate holding the pre-resolved declaration (whose
+// annotation program was compiled at registration), and module code
+// calls through the gate with fixed-arity entry points. A gate call
+// therefore performs no name lookup, no registry lock, and no argument
+// slice allocation — the arguments ride the thread's crossing stack.
+//
+// Gates do not weaken isolation: the CALL capability check, the
+// annotation programs, and the shadow stack still run on every
+// mediated crossing exactly as they do for the string-keyed paths
+// (CallKernel / IndirectCall), which remain for cold callers, tests,
+// and exploit payloads. A gate only removes the per-call resolution
+// cost the paper moves to bind time.
+package core
+
+import (
+	"fmt"
+
+	"lxfi/internal/mem"
+)
+
+// Gate is one bound module→kernel crossing: a pre-resolved kernel
+// export. Obtained from Module.Gate at load time.
+type Gate struct {
+	fn *FuncDecl
+}
+
+// Gate returns the bound gate for one of the module's imports. Gates
+// exist exactly for the loader-granted import list; asking for
+// anything else is a module programming error and panics loudly at
+// bind time (the same stage the real loader would fail relocation).
+func (m *Module) Gate(name string) *Gate {
+	g, ok := m.gates[name]
+	if !ok {
+		panic(fmt.Sprintf("core: module %s has no bound gate for %q (not in its import list)", m.Name, name))
+	}
+	return g
+}
+
+// Func returns the gate's resolved declaration.
+func (g *Gate) Func() *FuncDecl { return g.fn }
+
+// pushArgs* copy fixed arguments onto the thread's crossing stack and
+// return the frame base. Frames nest with crossings; popArgs truncates
+// back. The backing array is retained across calls, so steady-state
+// crossings push without allocating.
+
+func (t *Thread) popArgs(base int) { t.argStack = t.argStack[:base] }
+
+// Call0 through Call6 are the fixed-arity crossing entry points.
+
+// Call0 invokes the gate with no arguments.
+func (g *Gate) Call0(t *Thread) (uint64, error) {
+	base := len(t.argStack)
+	ret, err := t.callKernelDecl(g.fn, t.argStack[base:])
+	t.popArgs(base)
+	return ret, err
+}
+
+// Call1 invokes the gate with one argument.
+func (g *Gate) Call1(t *Thread, a0 uint64) (uint64, error) {
+	base := len(t.argStack)
+	t.argStack = append(t.argStack, a0)
+	ret, err := t.callKernelDecl(g.fn, t.argStack[base:])
+	t.popArgs(base)
+	return ret, err
+}
+
+// Call2 invokes the gate with two arguments.
+func (g *Gate) Call2(t *Thread, a0, a1 uint64) (uint64, error) {
+	base := len(t.argStack)
+	t.argStack = append(t.argStack, a0, a1)
+	ret, err := t.callKernelDecl(g.fn, t.argStack[base:])
+	t.popArgs(base)
+	return ret, err
+}
+
+// Call3 invokes the gate with three arguments.
+func (g *Gate) Call3(t *Thread, a0, a1, a2 uint64) (uint64, error) {
+	base := len(t.argStack)
+	t.argStack = append(t.argStack, a0, a1, a2)
+	ret, err := t.callKernelDecl(g.fn, t.argStack[base:])
+	t.popArgs(base)
+	return ret, err
+}
+
+// Call4 invokes the gate with four arguments.
+func (g *Gate) Call4(t *Thread, a0, a1, a2, a3 uint64) (uint64, error) {
+	base := len(t.argStack)
+	t.argStack = append(t.argStack, a0, a1, a2, a3)
+	ret, err := t.callKernelDecl(g.fn, t.argStack[base:])
+	t.popArgs(base)
+	return ret, err
+}
+
+// Call5 invokes the gate with five arguments.
+func (g *Gate) Call5(t *Thread, a0, a1, a2, a3, a4 uint64) (uint64, error) {
+	base := len(t.argStack)
+	t.argStack = append(t.argStack, a0, a1, a2, a3, a4)
+	ret, err := t.callKernelDecl(g.fn, t.argStack[base:])
+	t.popArgs(base)
+	return ret, err
+}
+
+// Call6 invokes the gate with six arguments.
+func (g *Gate) Call6(t *Thread, a0, a1, a2, a3, a4, a5 uint64) (uint64, error) {
+	base := len(t.argStack)
+	t.argStack = append(t.argStack, a0, a1, a2, a3, a4, a5)
+	ret, err := t.callKernelDecl(g.fn, t.argStack[base:])
+	t.popArgs(base)
+	return ret, err
+}
+
+// CallArgs invokes the gate with a caller-owned argument slice (for
+// arities beyond Call6 or callers with their own scratch).
+func (g *Gate) CallArgs(t *Thread, args []uint64) (uint64, error) {
+	return t.callKernelDecl(g.fn, args)
+}
+
+// IndGate is a bound indirect-call interface: a pre-resolved
+// function-pointer type. Kernel substrates bind one per interface slot
+// at init (System.BindIndirect) so the per-crossing path never repeats
+// the string-keyed type lookup.
+type IndGate struct {
+	ft *FPtrType
+}
+
+// BindIndirect resolves a registered function-pointer type into an
+// indirect-call gate. It panics on an unknown type, exactly as the
+// per-call IndirectCall path does — binding just moves the failure to
+// init time.
+func (s *System) BindIndirect(typeName string) *IndGate {
+	ft, ok := s.FPtrType(typeName)
+	if !ok {
+		panic("core: indirect call through unregistered fptr type " + typeName)
+	}
+	return &IndGate{ft: ft}
+}
+
+// Type returns the gate's resolved function-pointer type.
+func (g *IndGate) Type() *FPtrType { return g.ft }
+
+// CallArgs performs the kernel-side checked indirect call through the
+// pointer stored at slot (the lxfi_check_indcall path of §4.1) with a
+// caller-owned argument slice.
+func (g *IndGate) CallArgs(t *Thread, slot mem.Addr, args []uint64) (uint64, error) {
+	return t.indirectCallFT(slot, g.ft, args)
+}
+
+// Call1 is the one-argument kernel-side checked indirect call.
+func (g *IndGate) Call1(t *Thread, slot mem.Addr, a0 uint64) (uint64, error) {
+	base := len(t.argStack)
+	t.argStack = append(t.argStack, a0)
+	ret, err := t.indirectCallFT(slot, g.ft, t.argStack[base:])
+	t.popArgs(base)
+	return ret, err
+}
+
+// Call2 is the two-argument kernel-side checked indirect call.
+func (g *IndGate) Call2(t *Thread, slot mem.Addr, a0, a1 uint64) (uint64, error) {
+	base := len(t.argStack)
+	t.argStack = append(t.argStack, a0, a1)
+	ret, err := t.indirectCallFT(slot, g.ft, t.argStack[base:])
+	t.popArgs(base)
+	return ret, err
+}
+
+// Call3 is the three-argument kernel-side checked indirect call.
+func (g *IndGate) Call3(t *Thread, slot mem.Addr, a0, a1, a2 uint64) (uint64, error) {
+	base := len(t.argStack)
+	t.argStack = append(t.argStack, a0, a1, a2)
+	ret, err := t.indirectCallFT(slot, g.ft, t.argStack[base:])
+	t.popArgs(base)
+	return ret, err
+}
+
+// Call4 is the four-argument kernel-side checked indirect call.
+func (g *IndGate) Call4(t *Thread, slot mem.Addr, a0, a1, a2, a3 uint64) (uint64, error) {
+	base := len(t.argStack)
+	t.argStack = append(t.argStack, a0, a1, a2, a3)
+	ret, err := t.indirectCallFT(slot, g.ft, t.argStack[base:])
+	t.popArgs(base)
+	return ret, err
+}
+
+// CallAddrArgs is the module-side indirect call through the gate's
+// interface type: module code invoking a function pointer value it
+// holds (e.g. a kernel-provided callback), with the CALL capability
+// and annotation-hash checks of Thread.CallAddr.
+func (g *IndGate) CallAddrArgs(t *Thread, target mem.Addr, args []uint64) (uint64, error) {
+	return t.callAddrFT(target, g.ft, args)
+}
+
+// CallAddr1 is the one-argument module-side indirect call.
+func (g *IndGate) CallAddr1(t *Thread, target mem.Addr, a0 uint64) (uint64, error) {
+	base := len(t.argStack)
+	t.argStack = append(t.argStack, a0)
+	ret, err := t.callAddrFT(target, g.ft, t.argStack[base:])
+	t.popArgs(base)
+	return ret, err
+}
+
+// CallAddr2 is the two-argument module-side indirect call.
+func (g *IndGate) CallAddr2(t *Thread, target mem.Addr, a0, a1 uint64) (uint64, error) {
+	base := len(t.argStack)
+	t.argStack = append(t.argStack, a0, a1)
+	ret, err := t.callAddrFT(target, g.ft, t.argStack[base:])
+	t.popArgs(base)
+	return ret, err
+}

@@ -130,3 +130,70 @@ func BenchmarkCrossingStore(b *testing.B) {
 		}
 	}
 }
+
+// benchGateSys boots the module→kernel crossing rig shared by the gate
+// and named-call benchmarks: one annotated export, one module whose
+// "loop" function performs n crossings through either entry point.
+func benchGateSys(b *testing.B) (*Thread, *Module) {
+	b.Helper()
+	s := NewSystem()
+	s.Mon.SetMode(Enforce)
+	s.RegisterKernelFunc("bench_sink",
+		[]Param{P("p", "void *"), P("n", "u64")},
+		"pre(check(write, p, 8)) post(if (return == 0) check(write, p, 8))",
+		func(t *Thread, args []uint64) uint64 { return 0 })
+	var gSink *Gate
+	m, err := s.LoadModule(ModuleSpec{
+		Name: "gbench", Imports: []string{"bench_sink"}, DataSize: 4096,
+		Funcs: []FuncSpec{
+			{Name: "gateloop", Params: []Param{P("n", "u64"), P("p", "u64")},
+				Impl: func(t *Thread, a []uint64) uint64 {
+					for i := uint64(0); i < a[0]; i++ {
+						if ret, err := gSink.Call2(t, a[1], 8); err != nil || ret != 0 {
+							return 1
+						}
+					}
+					return 0
+				}},
+			{Name: "namedloop", Params: []Param{P("n", "u64"), P("p", "u64")},
+				Impl: func(t *Thread, a []uint64) uint64 {
+					for i := uint64(0); i < a[0]; i++ {
+						if ret, err := t.CallKernel("bench_sink", a[1], 8); err != nil || ret != 0 {
+							return 1
+						}
+					}
+					return 0
+				}},
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gSink = m.Gate("bench_sink")
+	return s.NewThread("bench"), m
+}
+
+// BenchmarkGateCrossing is the bound-gate module→kernel crossing: no
+// symbol lookup, no argument-slice allocation, compiled pre/post
+// action programs.
+func BenchmarkGateCrossing(b *testing.B) {
+	th, m := benchGateSys(b)
+	args := []uint64{uint64(b.N), uint64(m.Data)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if ret, err := th.CallModule(m, "gateloop", args...); err != nil || ret != 0 {
+		b.Fatalf("gateloop failed: ret=%d err=%v", ret, err)
+	}
+}
+
+// BenchmarkNamedCrossing is the same crossing through the string-keyed
+// CallKernel path, for comparison against BenchmarkGateCrossing.
+func BenchmarkNamedCrossing(b *testing.B) {
+	th, m := benchGateSys(b)
+	args := []uint64{uint64(b.N), uint64(m.Data)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if ret, err := th.CallModule(m, "namedloop", args...); err != nil || ret != 0 {
+		b.Fatalf("namedloop failed: ret=%d err=%v", ret, err)
+	}
+}

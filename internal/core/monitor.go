@@ -63,6 +63,7 @@ type Stats struct {
 	CapRevokes        atomic.Uint64
 	CapChecks         atomic.Uint64
 	CapCacheHits      atomic.Uint64 // checks answered by a thread's epoch-valid cache
+	FailedResolutions atomic.Uint64 // CallKernel/CallModule lookups of unknown names
 }
 
 // Snapshot is a point-in-time copy of Stats.
@@ -78,6 +79,7 @@ type Snapshot struct {
 	CapRevokes        uint64
 	CapChecks         uint64
 	CapCacheHits      uint64
+	FailedResolutions uint64
 }
 
 // Snapshot returns a copy of all counters.
@@ -94,6 +96,7 @@ func (s *Stats) Snapshot() Snapshot {
 		CapRevokes:        s.CapRevokes.Load(),
 		CapChecks:         s.CapChecks.Load(),
 		CapCacheHits:      s.CapCacheHits.Load(),
+		FailedResolutions: s.FailedResolutions.Load(),
 	}
 }
 
@@ -111,6 +114,7 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 		CapRevokes:        s.CapRevokes - o.CapRevokes,
 		CapChecks:         s.CapChecks - o.CapChecks,
 		CapCacheHits:      s.CapCacheHits - o.CapCacheHits,
+		FailedResolutions: s.FailedResolutions - o.FailedResolutions,
 	}
 }
 

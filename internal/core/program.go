@@ -1,0 +1,221 @@
+// Bind-time compilation of annotation sets into action programs.
+//
+// The paper's loader compiles annotations into checking wrappers once,
+// at module load (§4.2); calls then run the compiled checks. This file
+// is that compile step for the simulation: when a function or
+// function-pointer type is registered, its annot.Set is lowered into an
+// annotProg — a flat slice of fixed-size actionSteps whose expressions
+// are opcode programs (annot.ExprProg) with parameter names resolved to
+// argument indices, whose iterators and REF cache tags are
+// pre-resolved, and whose if-chains are flattened into per-step
+// condition lists. The crossing paths in calls.go execute programs;
+// the expression-tree interpreter in actions.go remains as the
+// fallback for the one cold case a program cannot cover (an indirect
+// call substituting the slot type's parameter list into a function
+// declared without one) and as the oracle for the differential tests.
+package core
+
+import (
+	"lxfi/internal/annot"
+	"lxfi/internal/caps"
+)
+
+// compiledCond is one flattened if-condition. src is kept only for the
+// cold violation path's error message.
+type compiledCond struct {
+	prog annot.ExprProg
+	src  *annot.Expr
+}
+
+// actionStep is one compiled action: the opcode-program form of
+// annot.Action with every bind-time-resolvable reference resolved.
+type actionStep struct {
+	op annot.Op // Copy, Transfer, Check, or Revoke (If is flattened into conds)
+
+	// conds must all evaluate nonzero for the step to run (a flattened
+	// `if (a) if (b) action` chain, evaluated in order with the tree
+	// interpreter's short-circuit semantics).
+	conds []compiledCond
+
+	// src is the source caplist, used only in cold-path error text.
+	src *annot.CapList
+
+	// Inline caplist form:
+	kind    annot.CapKind
+	refType string
+	refTag  uint64 // packed check-cache tag for REF verdicts (0 = uncacheable)
+	ptr     annot.ExprProg
+	size    annot.ExprProg
+	hasSize bool
+	// sizeof(*ptr) resolution when the size expression is omitted:
+	// sizeofVal is the layout size resolved at compile time; when 0,
+	// sizeofType (the named parameter's declared C type) is resolved
+	// against the layout registry at run time, matching the tree
+	// interpreter for layouts defined after registration.
+	sizeofType string
+	sizeofVal  uint64
+
+	// Iterator form (iterName != "" selects it): iter is the function
+	// resolved at compile time, nil when the iterator was registered
+	// later (run time then resolves by name, as the tree does).
+	iterName string
+	iter     IterFunc
+	iterArgs []annot.ExprProg
+}
+
+// isIterator reports whether the step is an iterator-func caplist.
+func (st *actionStep) isIterator() bool { return st.iterName != "" }
+
+// annotProg is the compiled form of one annot.Set for a specific
+// parameter list.
+type annotProg struct {
+	pre, post []actionStep
+	prinKind  annot.PrincipalKind
+	prinProg  annot.ExprProg
+	prinSrc   *annot.Expr
+}
+
+// paramsCompileEnv resolves parameter names to argument indices.
+type paramsCompileEnv []Param
+
+// ParamIndex implements annot.CompileEnv.
+func (p paramsCompileEnv) ParamIndex(name string) (int, bool) {
+	for i, prm := range p {
+		if prm.Name == name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// compileAnnot lowers set into an action program against params. A nil
+// or uncompilable set yields nil, which the call paths read as "use
+// the tree interpreter" — so a malformed set degrades to the old
+// behavior instead of changing it.
+func (s *System) compileAnnot(params []Param, set *annot.Set) *annotProg {
+	if set == nil {
+		return nil
+	}
+	cenv := paramsCompileEnv(params)
+	prog := &annotProg{prinKind: set.Principal.Kind}
+	if set.Principal.Kind == annot.PrincipalExpr {
+		p, err := annot.Compile(set.Principal.Expr, cenv)
+		if err != nil {
+			return nil
+		}
+		prog.prinProg, prog.prinSrc = p, set.Principal.Expr
+	}
+	var err error
+	if prog.pre, err = s.compileActions(set.Pre, cenv, params); err != nil {
+		return nil
+	}
+	if prog.post, err = s.compileActions(set.Post, cenv, params); err != nil {
+		return nil
+	}
+	return prog
+}
+
+func (s *System) compileActions(actions []*annot.Action, cenv annot.CompileEnv, params []Param) ([]actionStep, error) {
+	if len(actions) == 0 {
+		return nil, nil
+	}
+	steps := make([]actionStep, 0, len(actions))
+	for _, a := range actions {
+		st, err := s.compileStep(a, cenv, params)
+		if err != nil {
+			return nil, err
+		}
+		steps = append(steps, st)
+	}
+	return steps, nil
+}
+
+func (s *System) compileStep(a *annot.Action, cenv annot.CompileEnv, params []Param) (actionStep, error) {
+	var st actionStep
+	for a != nil && a.Op == annot.If {
+		prog, err := annot.Compile(a.Cond, cenv)
+		if err != nil {
+			return st, err
+		}
+		st.conds = append(st.conds, compiledCond{prog: prog, src: a.Cond})
+		a = a.Then
+	}
+	if a == nil || a.Caps == nil {
+		return st, errBadAction
+	}
+	st.op = a.Op
+	cl := a.Caps
+	st.src = cl
+	if cl.IsIterator() {
+		st.iterName = cl.Iter
+		st.iter, _ = s.iterator(cl.Iter)
+		st.iterArgs = make([]annot.ExprProg, 0, len(cl.IterArgs))
+		for _, e := range cl.IterArgs {
+			p, err := annot.Compile(e, cenv)
+			if err != nil {
+				return st, err
+			}
+			st.iterArgs = append(st.iterArgs, p)
+		}
+		return st, nil
+	}
+	st.kind = cl.Kind
+	ptr, err := annot.Compile(cl.Ptr, cenv)
+	if err != nil {
+		return st, err
+	}
+	st.ptr = ptr
+	switch cl.Kind {
+	case annot.CapRef:
+		st.refType = cl.RefType
+		st.refTag = s.refTypeTag(cl.RefType)
+	case annot.CapWrite:
+		if cl.Size != nil {
+			sz, err := annot.Compile(cl.Size, cenv)
+			if err != nil {
+				return st, err
+			}
+			st.size, st.hasSize = sz, true
+		} else if cl.Ptr.Ident != "" {
+			for _, p := range params {
+				if p.Name == cl.Ptr.Ident {
+					st.sizeofType = p.Type
+					break
+				}
+			}
+			if st.sizeofType != "" {
+				if v, ok := s.sizeofType(st.sizeofType); ok {
+					st.sizeofVal = v
+				}
+			}
+		}
+	}
+	return st, nil
+}
+
+// errBadAction marks an action shape the compiler cannot lower; the
+// set falls back to tree interpretation.
+var errBadAction = &badActionError{}
+
+type badActionError struct{}
+
+func (*badActionError) Error() string { return "core: uncompilable annotation action" }
+
+// refTypeTag interns a REF type name and returns its packed check-cache
+// tag: a process-unique nonzero ID below the kind shift, or'd with the
+// Ref kind bits. Tag equality therefore implies RefType string
+// equality, which is what makes cached REF verdicts sound. Bind-time
+// only; the hot path carries the tag in its actionStep.
+func (s *System) refTypeTag(typ string) uint64 {
+	s.refMu.Lock()
+	defer s.refMu.Unlock()
+	if s.refIDs == nil {
+		s.refIDs = make(map[string]uint64)
+	}
+	id, ok := s.refIDs[typ]
+	if !ok {
+		id = uint64(len(s.refIDs)) + 1
+		s.refIDs[typ] = id
+	}
+	return id | uint64(caps.Ref)<<sizeKindShift
+}

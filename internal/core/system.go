@@ -52,6 +52,11 @@ type System struct {
 	moduleArea *mem.Bump
 	userText   *mem.Bump
 
+	// refMu/refIDs intern REF type names into the nonzero IDs that the
+	// compiled action programs pack into check-cache tags (program.go).
+	refMu  sync.Mutex
+	refIDs map[string]uint64
+
 	nextToken atomic.Uint64 // shadow-stack return tokens
 }
 
@@ -103,6 +108,7 @@ func (s *System) RegisterKernelFunc(name string, params []Param, annotSrc string
 	}
 	s.validateAnnot(name, params, set)
 	f := &FuncDecl{Name: name, Params: params, Annot: set, Impl: impl}
+	f.prog = s.compileAnnot(params, set)
 	s.registerFunc(f, s.kernelText)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -162,6 +168,7 @@ func (s *System) RegisterFPtrType(name string, params []Param, annotSrc string) 
 	}
 	s.validateAnnot(name, params, set)
 	ft := &FPtrType{Name: name, Params: params, Annot: set}
+	ft.prog = s.compileAnnot(params, set)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, dup := s.fptrTypes[name]; dup {
@@ -375,6 +382,10 @@ func (s *System) LoadModule(spec ModuleSpec) (*Module, error) {
 			}
 		}
 		f := &FuncDecl{Name: fs.Name, Module: spec.Name, Params: fs.Params, Annot: set, Impl: fs.Impl}
+		// Bind-time compilation (§4.2): the annotation set is lowered
+		// into its action program once, here, instead of being
+		// re-interpreted on every crossing into the module.
+		f.prog = s.compileAnnot(fs.Params, set)
 		s.registerFunc(f, s.moduleArea)
 		m.Funcs[fs.Name] = f
 		if fs.Type != "" {
@@ -402,6 +413,11 @@ func (s *System) LoadModule(spec ModuleSpec) (*Module, error) {
 	// ... and CALL capabilities to all imported kernel routines. (In the
 	// paper these name the functions' wrappers; here wrapping is implicit
 	// in call mediation, so the capability names the function address.)
+	// Each import is also resolved into a bound Gate — the module's
+	// pre-linked crossing into that export — so module code never
+	// repeats the symbol lookup per call (§4.2: resolution happens at
+	// module initialization, not on the call path).
+	m.gates = make(map[string]*Gate, len(spec.Imports))
 	for _, imp := range spec.Imports {
 		f, ok := s.FuncByName(imp)
 		if !ok || !f.IsKernel() {
@@ -409,6 +425,7 @@ func (s *System) LoadModule(spec ModuleSpec) (*Module, error) {
 			return nil, fmt.Errorf("core: module %s imports unknown kernel symbol %q", spec.Name, imp)
 		}
 		s.Caps.Grant(shared, caps.CallCap(f.Addr))
+		m.gates[imp] = &Gate{fn: f}
 	}
 	// A module may call its own functions and store pointers to them in
 	// kernel-visible slots (control flow integrity permits a module to
@@ -453,5 +470,10 @@ func (s *System) killModule(m *Module, v *Violation) {
 // NewThread creates an execution context (one simulated kernel thread
 // with its own shadow stack).
 func (s *System) NewThread(name string) *Thread {
-	return &Thread{Sys: s, Name: name, mon: s.Mon, csys: s.Caps}
+	t := &Thread{Sys: s, Name: name, mon: s.Mon, csys: s.Caps}
+	t.emit = func(c caps.Cap) error {
+		t.iterBuf = append(t.iterBuf, c)
+		return nil
+	}
+	return t
 }

@@ -58,6 +58,20 @@ type Thread struct {
 	envFree []*argEnv
 	capFree [][]caps.Cap
 
+	// argStack is the thread's crossing-argument stack: the Gate fast
+	// calls (gate.go) push their fixed arguments here and pass a slice
+	// of it down the wrapper path, so module-side crossings build no
+	// argument slice. Frames nest with crossings; each call truncates
+	// back to its base on return.
+	argStack []uint64
+
+	// iterBuf and emit serve capability-iterator resolution: emit is a
+	// single closure bound at thread creation that appends to iterBuf,
+	// so iterator-form actions do not allocate a closure per crossing
+	// (resolveIterCaps swaps iterBuf stack-style around each run).
+	iterBuf []caps.Cap
+	emit    func(caps.Cap) error
+
 	// pendChecks/pendMisses/pendMemWrites tally guard executions
 	// locally; they are folded into Monitor.Stats at wrapper exits and
 	// every statsFlushBatch checks (a cached hit must not pay a shared

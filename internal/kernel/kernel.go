@@ -62,6 +62,11 @@ type Kernel struct {
 	// ports is the simulated I/O port space (see ioport.go).
 	ports map[uint64]uint8
 
+	// Bound indirect-call gates (shm ctl, timer callbacks), resolved
+	// by ShmInit/TimerInit.
+	gShmCtl  *core.IndGate
+	gTimerFn *core.IndGate
+
 	// timer state (see timer.go).
 	timerOn     bool
 	timers      []timer
@@ -527,6 +532,7 @@ func (k *Kernel) ShmInit() {
 	k.Sys.RegisterFPtrType(ShmOpsSlot,
 		[]core.Param{core.P("shm", "struct shmid_kernel *"), core.P("cmd", "int")},
 		"")
+	k.gShmCtl = k.Sys.BindIndirect(ShmOpsSlot)
 	k.Sys.RegisterKernelFunc("shm_default_ctl",
 		[]core.Param{core.P("shm", "struct shmid_kernel *"), core.P("cmd", "int")},
 		"",
@@ -559,7 +565,7 @@ func (k *Kernel) ShmCtl(t *core.Thread, shm mem.Addr, cmd uint64) (uint64, error
 	if err != nil {
 		return 0, err
 	}
-	return t.IndirectCall(mem.Addr(table), ShmOpsSlot, uint64(shm), cmd)
+	return k.gShmCtl.Call2(t, mem.Addr(table), uint64(shm), cmd)
 }
 
 func must(err error) {

@@ -36,6 +36,7 @@ func (k *Kernel) TimerInit() {
 
 	sys.RegisterFPtrType(TimerFnType,
 		[]core.Param{core.P("arg", "u64")}, "")
+	k.gTimerFn = sys.BindIndirect(TimerFnType)
 
 	// mod_timer(expires, fn, arg): (re)arm a timer. The module must be
 	// able to call fn itself.
@@ -96,7 +97,7 @@ func (k *Kernel) AdvanceTime(t *core.Thread, now uint64) (fired int) {
 		// call (the value was validated when armed; the dispatch still
 		// verifies the target exists and runs it under its module's
 		// principal via the wrapper).
-		if _, err := t.CallAddr(tm.fn, TimerFnType, tm.arg); err != nil {
+		if _, err := k.gTimerFn.CallAddr1(t, tm.fn, tm.arg); err != nil {
 			k.Printk("timer %d: dispatch failed: %v", tm.id, err)
 			continue
 		}

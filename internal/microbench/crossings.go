@@ -16,6 +16,16 @@
 //     cycles. Measures the epoch-bump invalidation cost and asserts the
 //     security property the cache must never break: a revoked WRITE is
 //     never served from a stale cache entry.
+//   - "crossing gate": a full module→kernel crossing (wrapper entry,
+//     compiled pre/post action programs, shadow stack) through a Gate
+//     bound at load time. The acceptance gate: 0 allocs/op.
+//   - "crossing named": the same crossing through the string-keyed
+//     CallKernel path — the bind-time-resolution delta made visible.
+//
+// The contended row also reports scaling_ratio: its aggregate ns/op
+// across the 8 workers divided by the single-thread cached ns/op, so
+// shard scaling is pinned as a ratio instead of an absolute number
+// that shifts with the runner's core count.
 //
 // Each phase runs under both builds (stock and enforced), mirroring the
 // Figure 11 rows, and the report lands in BENCH_crossings.json for the
@@ -42,6 +52,11 @@ type CrossingRow struct {
 	OverheadPct float64 `json:"overhead_pct"`
 	AllocsPerOp float64 `json:"allocs_per_op"` // enforced build
 	Workers     int     `json:"workers"`
+	// ScalingRatio is set on the contended phase only: aggregate
+	// contended ns/op divided by single-thread cached ns/op, per build.
+	// ~1.0 means the shards scale; the old global lock sat well above.
+	ScalingRatio      float64 `json:"scaling_ratio,omitempty"`
+	StockScalingRatio float64 `json:"stock_scaling_ratio,omitempty"`
 }
 
 // CrossingReport is the BENCH_crossings.json document. The results
@@ -69,6 +84,9 @@ type crossRig struct {
 	base mem.Addr
 }
 
+// sinkArgBytes is the window the crossing phases' kernel sink checks.
+const sinkArgBytes = 8
+
 // coldSet is the cold phase's working set: 4096 distinct 8-byte probes
 // share the 64 cache slots, so a slot is always overwritten long before
 // its address comes around again.
@@ -81,8 +99,18 @@ func newCrossRig(mode core.Mode) (*crossRig, error) {
 	sys := core.NewSystem()
 	sys.Mon.SetMode(mode)
 	r := &crossRig{sys: sys, th: sys.NewThread("crossings")}
+	// xbench_sink is the crossing phases' annotated kernel export: the
+	// wrapper runs one compiled pre and one compiled post action per
+	// call, the shape of a typical checked export (spin_lock,
+	// copy_from_user) without side effects that would grow state.
+	sys.RegisterKernelFunc("xbench_sink",
+		[]core.Param{core.P("p", "void *"), core.P("n", "u64")},
+		"pre(check(write, p, 8)) post(if (return == 0) check(write, p, 8))",
+		func(t *core.Thread, a []uint64) uint64 { return 0 })
+	var gSink *core.Gate // bound after load
 	m, err := sys.LoadModule(core.ModuleSpec{
 		Name:     "xbench",
+		Imports:  []string{"xbench_sink"},
 		DataSize: 4096,
 		Funcs: []core.FuncSpec{
 			// checks: n repeated probes of one (addr, 8) WRITE — the
@@ -92,6 +120,28 @@ func newCrossRig(mode core.Mode) (*crossRig, error) {
 					c := caps.WriteCap(mem.Addr(a[1]), 8)
 					for i := uint64(0); i < a[0]; i++ {
 						if t.LxfiCheck(c) != nil {
+							return 1
+						}
+					}
+					return 0
+				}},
+			// crossgate: n full crossings into xbench_sink through the
+			// bound gate (lookup-free, allocation-free).
+			{Name: "crossgate", Params: []core.Param{core.P("n", "u64"), core.P("addr", "u64")},
+				Impl: func(t *core.Thread, a []uint64) uint64 {
+					for i := uint64(0); i < a[0]; i++ {
+						if ret, err := gSink.Call2(t, a[1], sinkArgBytes); err != nil || ret != 0 {
+							return 1
+						}
+					}
+					return 0
+				}},
+			// crossnamed: the same crossings through the string-keyed
+			// CallKernel path (per-call symbol lookup + variadic args).
+			{Name: "crossnamed", Params: []core.Param{core.P("n", "u64"), core.P("addr", "u64")},
+				Impl: func(t *core.Thread, a []uint64) uint64 {
+					for i := uint64(0); i < a[0]; i++ {
+						if ret, err := t.CallKernel("xbench_sink", a[1], sinkArgBytes); err != nil || ret != 0 {
 							return 1
 						}
 					}
@@ -114,6 +164,7 @@ func newCrossRig(mode core.Mode) (*crossRig, error) {
 	if err != nil {
 		return nil, err
 	}
+	gSink = m.Gate("xbench_sink")
 	r.m, r.p = m, m.Set.Shared()
 	// One 32 KiB region for the cold set, plus one page per contended
 	// worker two pages apart so the workers' probes land on distinct
@@ -209,6 +260,8 @@ func MeasureCrossings(iters int) ([]CrossingRow, error) {
 		{Op: "check cached", Workers: 1},
 		{Op: "check contended", Workers: contendedWorkers},
 		{Op: "revoke storm", Workers: 1},
+		{Op: "crossing gate", Workers: 1},
+		{Op: "crossing named", Workers: 1},
 	}
 	for _, mode := range []core.Mode{core.Off, core.Enforce} {
 		r, err := newCrossRig(mode)
@@ -240,6 +293,8 @@ func MeasureCrossings(iters int) ([]CrossingRow, error) {
 				return ns, 0, err
 			}},
 			{3, func() (float64, float64, error) { ns, err := r.timeRevokeStorm(iters / 4); return ns, 0, err }},
+			{4, func() (float64, float64, error) { return r.timeChecks("crossgate", iters, r.workerAddr(0)) }},
+			{5, func() (float64, float64, error) { return r.timeChecks("crossnamed", iters, r.workerAddr(0)) }},
 		}
 		for _, ph := range phases {
 			best, bestAllocs := 0.0, 0.0
@@ -259,6 +314,15 @@ func MeasureCrossings(iters int) ([]CrossingRow, error) {
 		if rows[i].StockNs > 0 {
 			rows[i].OverheadPct = 100 * (rows[i].LxfiNs - rows[i].StockNs) / rows[i].StockNs
 		}
+	}
+	// The contended phase as a scaling ratio against the single-thread
+	// cached phase (ROADMAP PR-4 follow-up): stable across runners with
+	// different absolute speeds.
+	if rows[1].LxfiNs > 0 {
+		rows[2].ScalingRatio = rows[2].LxfiNs / rows[1].LxfiNs
+	}
+	if rows[1].StockNs > 0 {
+		rows[2].StockScalingRatio = rows[2].StockNs / rows[1].StockNs
 	}
 	return rows, nil
 }
@@ -281,11 +345,15 @@ func CrossingsJSON(rows []CrossingRow, iters int) ([]byte, error) {
 // FormatCrossings renders the crossing table.
 func FormatCrossings(rows []CrossingRow) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-16s %12s %12s %10s %12s %8s\n",
-		"phase", "stock ns/op", "lxfi ns/op", "overhead", "allocs/op", "workers")
+	fmt.Fprintf(&b, "%-16s %12s %12s %10s %12s %8s %9s\n",
+		"phase", "stock ns/op", "lxfi ns/op", "overhead", "allocs/op", "workers", "x cached")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-16s %12.1f %12.1f %9.0f%% %12.4f %8d\n",
-			r.Op, r.StockNs, r.LxfiNs, r.OverheadPct, r.AllocsPerOp, r.Workers)
+		ratio := ""
+		if r.ScalingRatio > 0 {
+			ratio = fmt.Sprintf("%9.2f", r.ScalingRatio)
+		}
+		fmt.Fprintf(&b, "%-16s %12.1f %12.1f %9.0f%% %12.4f %8d %s\n",
+			r.Op, r.StockNs, r.LxfiNs, r.OverheadPct, r.AllocsPerOp, r.Workers, ratio)
 	}
 	return b.String()
 }

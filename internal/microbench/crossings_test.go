@@ -6,8 +6,9 @@ import (
 )
 
 // TestMeasureCrossings runs the phases at a small iteration count and
-// checks the report invariants CI relies on: all four phases present,
-// positive timings, and the cached-hit phase allocation-free.
+// checks the report invariants CI relies on: all six phases present,
+// positive timings, the cached-hit and gate-crossing phases
+// allocation-free, and the contended phase carrying its scaling ratio.
 func TestMeasureCrossings(t *testing.T) {
 	rows, err := MeasureCrossings(coldSet)
 	if err != nil {
@@ -16,6 +17,7 @@ func TestMeasureCrossings(t *testing.T) {
 	want := map[string]bool{
 		"check cold": false, "check cached": false,
 		"check contended": false, "revoke storm": false,
+		"crossing gate": false, "crossing named": false,
 	}
 	for _, r := range rows {
 		if _, ok := want[r.Op]; !ok {
@@ -32,8 +34,14 @@ func TestMeasureCrossings(t *testing.T) {
 		}
 	}
 	for _, r := range rows {
-		if r.Op == "check cached" && r.AllocsPerOp >= 0.01 {
-			t.Fatalf("cached check allocates: %f allocs/op", r.AllocsPerOp)
+		if (r.Op == "check cached" || r.Op == "crossing gate") && r.AllocsPerOp >= 0.01 {
+			t.Fatalf("%s allocates: %f allocs/op", r.Op, r.AllocsPerOp)
+		}
+		if r.Op == "check contended" && r.ScalingRatio <= 0 {
+			t.Fatalf("contended phase missing scaling ratio: %+v", r)
+		}
+		if r.Op != "check contended" && r.ScalingRatio != 0 {
+			t.Fatalf("scaling ratio leaked onto phase %q: %+v", r.Op, r)
 		}
 	}
 }
@@ -64,7 +72,7 @@ func TestCrossingsJSONShape(t *testing.T) {
 	if doc.Bench != "crossings" || doc.Shards < 1 {
 		t.Fatalf("bad header: %+v", doc)
 	}
-	if len(doc.Results) != 1 || doc.Results[0].FS != "crossings" || len(doc.Results[0].Rows) != 4 {
+	if len(doc.Results) != 1 || doc.Results[0].FS != "crossings" || len(doc.Results[0].Rows) != 6 {
 		t.Fatalf("bad results shape: %+v", doc.Results)
 	}
 }

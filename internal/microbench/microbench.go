@@ -46,6 +46,7 @@ func NewHotlist(mode core.Mode) (*Workload, error) {
 	th := k.Sys.NewThread("hotlist")
 
 	var head uint64
+	var gKmalloc *core.Gate // bound after load
 	m, err := k.Sys.LoadModule(core.ModuleSpec{
 		Name:     "hotlist",
 		Imports:  []string{"kmalloc"},
@@ -57,7 +58,7 @@ func NewHotlist(mode core.Mode) (*Workload, error) {
 					// Nodes are {key u64, next u64}, kmalloc'd.
 					var prev uint64
 					for i := uint64(0); i < args[0]; i++ {
-						node, err := t.CallKernel("kmalloc", 16)
+						node, err := gKmalloc.Call1(t, 16)
 						if err != nil || node == 0 {
 							return 1
 						}
@@ -93,6 +94,7 @@ func NewHotlist(mode core.Mode) (*Workload, error) {
 	if err != nil {
 		return nil, err
 	}
+	gKmalloc = m.Gate("kmalloc")
 	if ret, err := th.CallModule(m, "build", hotlistNodes); err != nil || ret != 0 {
 		return nil, fmt.Errorf("microbench: hotlist build failed: %v", err)
 	}
@@ -119,6 +121,7 @@ func NewLld(mode core.Mode) (*Workload, error) {
 	th := k.Sys.NewThread("lld")
 
 	var disk, meta, lock uint64
+	var gKmalloc, gSpinLockInit, gSpinLock, gSpinUnlock *core.Gate // bound after load
 	m, err := k.Sys.LoadModule(core.ModuleSpec{
 		Name:     "lld",
 		Imports:  []string{"kmalloc", "spin_lock", "spin_unlock", "spin_lock_init"},
@@ -128,19 +131,19 @@ func NewLld(mode core.Mode) (*Workload, error) {
 				Name: "attach",
 				Impl: func(t *core.Thread, args []uint64) uint64 {
 					var err1 error
-					disk, err1 = t.CallKernel("kmalloc", 8*lldBlockSize)
+					disk, err1 = gKmalloc.Call1(t, 8*lldBlockSize)
 					if err1 != nil || disk == 0 {
 						return 1
 					}
-					meta, err1 = t.CallKernel("kmalloc", 256)
+					meta, err1 = gKmalloc.Call1(t, 256)
 					if err1 != nil || meta == 0 {
 						return 1
 					}
-					lock, err1 = t.CallKernel("kmalloc", 8)
+					lock, err1 = gKmalloc.Call1(t, 8)
 					if err1 != nil || lock == 0 {
 						return 1
 					}
-					if _, err := t.CallKernel("spin_lock_init", lock); err != nil {
+					if _, err := gSpinLockInit.Call1(t, lock); err != nil {
 						return 1
 					}
 					return 0
@@ -149,7 +152,7 @@ func NewLld(mode core.Mode) (*Workload, error) {
 			{
 				Name: "request", Params: []core.Param{core.P("block", "u64"), core.P("val", "u64")},
 				Impl: func(t *core.Thread, args []uint64) uint64 {
-					if _, err := t.CallKernel("spin_lock", lock); err != nil {
+					if _, err := gSpinLock.Call1(t, lock); err != nil {
 						return 1
 					}
 					base := mem.Addr(disk) + mem.Addr((args[0]%8)*lldBlockSize)
@@ -165,7 +168,7 @@ func NewLld(mode core.Mode) (*Workload, error) {
 					if err := t.WriteU64(mem.Addr(meta)+8, args[1]); err != nil {
 						return 1
 					}
-					if _, err := t.CallKernel("spin_unlock", lock); err != nil {
+					if _, err := gSpinUnlock.Call1(t, lock); err != nil {
 						return 1
 					}
 					return 0
@@ -176,6 +179,10 @@ func NewLld(mode core.Mode) (*Workload, error) {
 	if err != nil {
 		return nil, err
 	}
+	gKmalloc = m.Gate("kmalloc")
+	gSpinLockInit = m.Gate("spin_lock_init")
+	gSpinLock = m.Gate("spin_lock")
+	gSpinUnlock = m.Gate("spin_unlock")
 	if ret, err := th.CallModule(m, "attach"); err != nil || ret != 0 {
 		return nil, fmt.Errorf("microbench: lld attach failed: %v", err)
 	}
@@ -211,6 +218,7 @@ func NewMD5(mode core.Mode) (*Workload, error) {
 	}
 
 	var out uint64
+	var gKmalloc *core.Gate // bound after load
 	m, err := k.Sys.LoadModule(core.ModuleSpec{
 		Name:     "md5",
 		Imports:  []string{"kmalloc"},
@@ -220,7 +228,7 @@ func NewMD5(mode core.Mode) (*Workload, error) {
 				Name: "setup",
 				Impl: func(t *core.Thread, args []uint64) uint64 {
 					var err1 error
-					out, err1 = t.CallKernel("kmalloc", 16)
+					out, err1 = gKmalloc.Call1(t, 16)
 					if err1 != nil || out == 0 {
 						return 1
 					}
@@ -249,6 +257,7 @@ func NewMD5(mode core.Mode) (*Workload, error) {
 	if err != nil {
 		return nil, err
 	}
+	gKmalloc = m.Gate("kmalloc")
 	if ret, err := th.CallModule(m, "setup"); err != nil || ret != 0 {
 		return nil, fmt.Errorf("microbench: md5 setup failed: %v", err)
 	}

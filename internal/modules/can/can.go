@@ -23,9 +23,16 @@ const CanSock = "struct can_sock"
 
 // Proto is the loaded can module.
 type Proto struct {
-	M  *core.Module
-	K  *kernel.Kernel
-	St *netstack.Stack
+	M *core.Module
+
+	// Bound kernel-call gates, resolved once at load (bind-time
+	// resolution: crossings perform no symbol lookup).
+	gSockRegister *core.Gate
+	gKmalloc      *core.Gate
+	gKfree        *core.Gate
+	gCopyToUser   *core.Gate
+	K             *kernel.Kernel
+	St            *netstack.Stack
 
 	sockLay *layout.Struct
 	// rxq holds loopback frames per socket.
@@ -60,6 +67,10 @@ func Load(t *core.Thread, k *kernel.Kernel, st *netstack.Stack) (*Proto, error) 
 		return nil, err
 	}
 	p.M = m
+	p.gSockRegister = m.Gate("sock_register")
+	p.gKmalloc = m.Gate("kmalloc")
+	p.gKfree = m.Gate("kfree")
+	p.gCopyToUser = m.Gate("copy_to_user")
 	if ret, err := t.CallModule(m, "init"); err != nil || ret != 0 {
 		return nil, &initError{err}
 	}
@@ -80,7 +91,7 @@ func (p *Proto) init(t *core.Thread, args []uint64) uint64 {
 			return 1
 		}
 	}
-	if ret, err := t.CallKernel("sock_register", Family, uint64(mod.Funcs["create"].Addr)); err != nil || kernel.IsErr(ret) {
+	if ret, err := p.gSockRegister.Call2(t, Family, uint64(mod.Funcs["create"].Addr)); err != nil || kernel.IsErr(ret) {
 		return 2
 	}
 	return 0
@@ -92,7 +103,7 @@ func (p *Proto) skField(sk mem.Addr, f string) mem.Addr {
 
 func (p *Proto) create(t *core.Thread, args []uint64) uint64 {
 	sock := mem.Addr(args[0])
-	sk, err := t.CallKernel("kmalloc", p.sockLay.Size)
+	sk, err := p.gKmalloc.Call1(t, p.sockLay.Size)
 	if err != nil || sk == 0 {
 		return kernel.Err(kernel.ENOMEM)
 	}
@@ -149,15 +160,15 @@ func (p *Proto) recvmsg(t *core.Thread, args []uint64) uint64 {
 	// Unlike rds, can uses the checked uaccess path: copy_to_user
 	// performs access_ok itself, so a kernel-space destination EFAULTs
 	// even on a stock kernel (no CVE here).
-	staging, err := t.CallKernel("kmalloc", n)
+	staging, err := p.gKmalloc.Call1(t, n)
 	if err != nil || staging == 0 {
 		return kernel.Err(kernel.ENOMEM)
 	}
 	if err := t.Write(mem.Addr(staging), frame[:n]); err != nil {
 		return kernel.Err(kernel.EFAULT)
 	}
-	ret, cerr := t.CallKernel("copy_to_user", uint64(buf), staging, n)
-	if _, ferr := t.CallKernel("kfree", staging); ferr != nil {
+	ret, cerr := p.gCopyToUser.Call3(t, uint64(buf), staging, n)
+	if _, ferr := p.gKfree.Call1(t, staging); ferr != nil {
 		return kernel.Err(kernel.EFAULT)
 	}
 	if cerr != nil || kernel.IsErr(ret) {
@@ -171,7 +182,7 @@ func (p *Proto) release(t *core.Thread, args []uint64) uint64 {
 	delete(p.rxq, sock)
 	sk, _ := t.ReadU64(p.St.SockField(sock, "sk"))
 	if sk != 0 {
-		if _, err := t.CallKernel("kfree", sk); err != nil {
+		if _, err := p.gKfree.Call1(t, sk); err != nil {
 			return kernel.Err(kernel.EFAULT)
 		}
 	}

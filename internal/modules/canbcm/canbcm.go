@@ -42,9 +42,15 @@ const msgHeadSize = 32
 
 // Proto is the loaded can-bcm module.
 type Proto struct {
-	M  *core.Module
-	K  *kernel.Kernel
-	St *netstack.Stack
+	M *core.Module
+
+	// Bound kernel-call gates, resolved once at load (bind-time
+	// resolution: crossings perform no symbol lookup).
+	gSockRegister *core.Gate
+	gKmalloc      *core.Gate
+	gKfree        *core.Gate
+	K             *kernel.Kernel
+	St            *netstack.Stack
 
 	sockLay *layout.Struct
 }
@@ -77,6 +83,9 @@ func Load(t *core.Thread, k *kernel.Kernel, st *netstack.Stack) (*Proto, error) 
 		return nil, err
 	}
 	p.M = m
+	p.gSockRegister = m.Gate("sock_register")
+	p.gKmalloc = m.Gate("kmalloc")
+	p.gKfree = m.Gate("kfree")
 	if ret, err := t.CallModule(m, "init"); err != nil || ret != 0 {
 		return nil, &initError{err}
 	}
@@ -98,7 +107,7 @@ func (p *Proto) init(t *core.Thread, args []uint64) uint64 {
 			return 1
 		}
 	}
-	if ret, err := t.CallKernel("sock_register", Family, uint64(mod.Funcs["create"].Addr)); err != nil || kernel.IsErr(ret) {
+	if ret, err := p.gSockRegister.Call2(t, Family, uint64(mod.Funcs["create"].Addr)); err != nil || kernel.IsErr(ret) {
 		return 2
 	}
 	return 0
@@ -110,7 +119,7 @@ func (p *Proto) skField(sk mem.Addr, f string) mem.Addr {
 
 func (p *Proto) create(t *core.Thread, args []uint64) uint64 {
 	sock := mem.Addr(args[0])
-	sk, err := t.CallKernel("kmalloc", p.sockLay.Size)
+	sk, err := p.gKmalloc.Call1(t, p.sockLay.Size)
 	if err != nil || sk == 0 {
 		return kernel.Err(kernel.ENOMEM)
 	}
@@ -158,7 +167,7 @@ func (p *Proto) rxSetup(t *core.Thread, sk mem.Addr, nframes uint64) uint64 {
 	if allocSize == 0 {
 		return kernel.Err(kernel.EINVAL)
 	}
-	frames, err := t.CallKernel("kmalloc", allocSize)
+	frames, err := p.gKmalloc.Call1(t, allocSize)
 	if err != nil || frames == 0 {
 		return kernel.Err(kernel.ENOMEM)
 	}
@@ -203,11 +212,11 @@ func (p *Proto) release(t *core.Thread, args []uint64) uint64 {
 	if sk != 0 {
 		frames, _ := t.ReadU64(p.skField(mem.Addr(sk), "frames"))
 		if frames != 0 {
-			if _, err := t.CallKernel("kfree", frames); err != nil {
+			if _, err := p.gKfree.Call1(t, frames); err != nil {
 				return kernel.Err(kernel.EFAULT)
 			}
 		}
-		if _, err := t.CallKernel("kfree", sk); err != nil {
+		if _, err := p.gKfree.Call1(t, sk); err != nil {
 			return kernel.Err(kernel.EFAULT)
 		}
 	}

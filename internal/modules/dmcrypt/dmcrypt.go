@@ -21,7 +21,15 @@ import (
 // Target is the loaded dm-crypt module.
 type Target struct {
 	M *core.Module
-	L *blockdev.Layer
+
+	// Bound kernel-call gates, resolved once at load (bind-time
+	// resolution: crossings perform no symbol lookup).
+	gKmalloc       *core.Gate
+	gKfree         *core.Gate
+	gSubmitBio     *core.Gate
+	gBioEndio      *core.Gate
+	gDmReadSectors *core.Gate
+	L              *blockdev.Layer
 }
 
 // Load loads the module.
@@ -45,6 +53,11 @@ func Load(t *core.Thread, k *kernel.Kernel, l *blockdev.Layer) (*Target, error) 
 		return nil, err
 	}
 	tg.M = m
+	tg.gKmalloc = m.Gate("kmalloc")
+	tg.gKfree = m.Gate("kfree")
+	tg.gSubmitBio = m.Gate("submit_bio")
+	tg.gBioEndio = m.Gate("bio_endio")
+	tg.gDmReadSectors = m.Gate("dm_read_sectors")
 	if ret, err := t.CallModule(m, "init"); err != nil || ret != 0 {
 		return nil, &initError{err}
 	}
@@ -74,7 +87,7 @@ func (tg *Target) init(t *core.Thread, args []uint64) uint64 {
 // cannot read^Wwrite it.
 func (tg *Target) ctr(t *core.Thread, args []uint64) uint64 {
 	ti, key := mem.Addr(args[0]), args[1]
-	keyBuf, err := t.CallKernel("kmalloc", 8)
+	keyBuf, err := tg.gKmalloc.Call1(t, 8)
 	if err != nil || keyBuf == 0 {
 		return kernel.Err(kernel.ENOMEM)
 	}
@@ -91,7 +104,7 @@ func (tg *Target) dtr(t *core.Thread, args []uint64) uint64 {
 	ti := mem.Addr(args[0])
 	keyBuf, _ := t.ReadU64(tg.L.TargetField(ti, "private"))
 	if keyBuf != 0 {
-		if _, err := t.CallKernel("kfree", keyBuf); err != nil {
+		if _, err := tg.gKfree.Call1(t, keyBuf); err != nil {
 			return kernel.Err(kernel.EFAULT)
 		}
 	}
@@ -125,7 +138,7 @@ func (tg *Target) mapBio(t *core.Thread, args []uint64) uint64 {
 		if ret := tg.xorPayload(t, mem.Addr(data), n, key); ret != 0 {
 			return ret
 		}
-		if ret, err := t.CallKernel("submit_bio", uint64(bio)); err != nil || kernel.IsErr(ret) {
+		if ret, err := tg.gSubmitBio.Call1(t, uint64(bio)); err != nil || kernel.IsErr(ret) {
 			return kernel.Err(kernel.EFAULT)
 		}
 		return blockdev.MapSubmitted
@@ -133,13 +146,13 @@ func (tg *Target) mapBio(t *core.Thread, args []uint64) uint64 {
 
 	// Read: fetch ciphertext into the payload we own, decrypt in place,
 	// complete.
-	if ret, err := t.CallKernel("dm_read_sectors", dev, sector+begin, data, n); err != nil || kernel.IsErr(ret) {
+	if ret, err := tg.gDmReadSectors.Call4(t, dev, sector+begin, data, n); err != nil || kernel.IsErr(ret) {
 		return kernel.Err(kernel.EFAULT)
 	}
 	if ret := tg.xorPayload(t, mem.Addr(data), n, key); ret != 0 {
 		return ret
 	}
-	if ret, err := t.CallKernel("bio_endio", uint64(bio)); err != nil || kernel.IsErr(ret) {
+	if ret, err := tg.gBioEndio.Call1(t, uint64(bio)); err != nil || kernel.IsErr(ret) {
 		return kernel.Err(kernel.EFAULT)
 	}
 	return blockdev.MapSubmitted

@@ -21,7 +21,12 @@ const tableSize = (1 + 2*MaxExceptions) * 8
 // Target is the loaded dm-snapshot module.
 type Target struct {
 	M *core.Module
-	L *blockdev.Layer
+
+	// Bound kernel-call gates, resolved once at load (bind-time
+	// resolution: crossings perform no symbol lookup).
+	gKmalloc *core.Gate
+	gKfree   *core.Gate
+	L        *blockdev.Layer
 
 	// SnapBase is the first sector of the snapshot area on the backing
 	// device.
@@ -47,6 +52,8 @@ func Load(t *core.Thread, k *kernel.Kernel, l *blockdev.Layer, snapBase uint64) 
 		return nil, err
 	}
 	tg.M = m
+	tg.gKmalloc = m.Gate("kmalloc")
+	tg.gKfree = m.Gate("kfree")
 	if ret, err := t.CallModule(m, "init"); err != nil || ret != 0 {
 		return nil, &initError{err}
 	}
@@ -73,7 +80,7 @@ func (tg *Target) init(t *core.Thread, args []uint64) uint64 {
 
 func (tg *Target) ctr(t *core.Thread, args []uint64) uint64 {
 	ti := mem.Addr(args[0])
-	table, err := t.CallKernel("kmalloc", tableSize)
+	table, err := tg.gKmalloc.Call1(t, tableSize)
 	if err != nil || table == 0 {
 		return kernel.Err(kernel.ENOMEM)
 	}
@@ -87,7 +94,7 @@ func (tg *Target) dtr(t *core.Thread, args []uint64) uint64 {
 	ti := mem.Addr(args[0])
 	table, _ := t.ReadU64(tg.L.TargetField(ti, "private"))
 	if table != 0 {
-		if _, err := t.CallKernel("kfree", table); err != nil {
+		if _, err := tg.gKfree.Call1(t, table); err != nil {
 			return kernel.Err(kernel.EFAULT)
 		}
 	}

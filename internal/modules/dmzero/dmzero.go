@@ -15,7 +15,11 @@ import (
 // Target is the loaded dm-zero module.
 type Target struct {
 	M *core.Module
-	L *blockdev.Layer
+
+	// Bound kernel-call gates, resolved once at load (bind-time
+	// resolution: crossings perform no symbol lookup).
+	gBioEndio *core.Gate
+	L         *blockdev.Layer
 }
 
 // Load loads the module; its target-type ops table lives at the start of
@@ -37,6 +41,7 @@ func Load(t *core.Thread, k *kernel.Kernel, l *blockdev.Layer) (*Target, error) 
 		return nil, err
 	}
 	tg.M = m
+	tg.gBioEndio = m.Gate("bio_endio")
 	if ret, err := t.CallModule(m, "init"); err != nil || ret != 0 {
 		return nil, &initError{err}
 	}
@@ -77,7 +82,7 @@ func (tg *Target) mapBio(t *core.Thread, args []uint64) uint64 {
 			return kernel.Err(kernel.EFAULT)
 		}
 	}
-	if ret, err := t.CallKernel("bio_endio", uint64(bio)); err != nil || kernel.IsErr(ret) {
+	if ret, err := tg.gBioEndio.Call1(t, uint64(bio)); err != nil || kernel.IsErr(ret) {
 		return kernel.Err(kernel.EFAULT)
 	}
 	return blockdev.MapSubmitted

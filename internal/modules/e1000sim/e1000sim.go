@@ -56,10 +56,22 @@ func (n *Nic) RxPending() int { return len(n.rxq) }
 
 // Driver is a loaded e1000sim module instance.
 type Driver struct {
-	M     *core.Module
-	Bus   *pci.Bus
-	Stack *netstack.Stack
-	K     *kernel.Kernel
+	M *core.Module
+
+	// Bound kernel-call gates, resolved once at load (bind-time
+	// resolution: crossings perform no symbol lookup).
+	gAllocEtherdev   *core.Gate
+	gAllocSkb        *core.Gate
+	gKfreeSkb        *core.Gate
+	gKmalloc         *core.Gate
+	gNetifNapiAdd    *core.Gate
+	gNetifRx         *core.Gate
+	gPciEnableDevice *core.Gate
+	gRegisterNetdev  *core.Gate
+	gRequestIrq      *core.Gate
+	Bus              *pci.Bus
+	Stack            *netstack.Stack
+	K                *kernel.Kernel
 
 	Nic *Nic
 
@@ -105,6 +117,15 @@ func Load(t *core.Thread, k *kernel.Kernel, bus *pci.Bus, stack *netstack.Stack)
 		return nil, err
 	}
 	d.M = m
+	d.gAllocEtherdev = m.Gate("alloc_etherdev")
+	d.gAllocSkb = m.Gate("alloc_skb")
+	d.gKfreeSkb = m.Gate("kfree_skb")
+	d.gKmalloc = m.Gate("kmalloc")
+	d.gNetifNapiAdd = m.Gate("netif_napi_add")
+	d.gNetifRx = m.Gate("netif_rx")
+	d.gPciEnableDevice = m.Gate("pci_enable_device")
+	d.gRegisterNetdev = m.Gate("register_netdev")
+	d.gRequestIrq = m.Gate("request_irq")
 	if err := bus.RegisterDriver(t, m, "probe", VendorIntel, Dev82540EM); err != nil {
 		return nil, err
 	}
@@ -121,7 +142,7 @@ func Load(t *core.Thread, k *kernel.Kernel, bus *pci.Bus, stack *netstack.Stack)
 func (d *Driver) probe(t *core.Thread, args []uint64) uint64 {
 	pcidev := mem.Addr(args[0])
 
-	ndev, err := t.CallKernel("alloc_etherdev")
+	ndev, err := d.gAllocEtherdev.Call0(t)
 	if err != nil || ndev == 0 {
 		return kernel.Err(kernel.ENOMEM)
 	}
@@ -135,7 +156,7 @@ func (d *Driver) probe(t *core.Thread, args []uint64) uint64 {
 		return kernel.Err(kernel.EINVAL)
 	}
 
-	if ret, err := t.CallKernel("pci_enable_device", uint64(pcidev)); err != nil || kernel.IsErr(ret) {
+	if ret, err := d.gPciEnableDevice.Call1(t, uint64(pcidev)); err != nil || kernel.IsErr(ret) {
 		return kernel.Err(kernel.EPERM)
 	}
 
@@ -158,20 +179,20 @@ func (d *Driver) probe(t *core.Thread, args []uint64) uint64 {
 	}
 
 	// TX descriptor ring (device-owned memory, Guideline 2).
-	ring, err := t.CallKernel("kmalloc", TxRingEntries*descSize)
+	ring, err := d.gKmalloc.Call1(t, TxRingEntries*descSize)
 	if err != nil || ring == 0 {
 		return kernel.Err(kernel.ENOMEM)
 	}
 	d.ring = mem.Addr(ring)
 
-	if ret, err := t.CallKernel("register_netdev", ndev); err != nil || kernel.IsErr(ret) {
+	if ret, err := d.gRegisterNetdev.Call1(t, ndev); err != nil || kernel.IsErr(ret) {
 		return kernel.Err(kernel.EINVAL)
 	}
 	// Fig. 1 line 37: netif_napi_add(ndev, napi, my_poll_cb).
-	if ret, err := t.CallKernel("netif_napi_add", ndev, uint64(mod.Funcs["poll"].Addr)); err != nil || kernel.IsErr(ret) {
+	if ret, err := d.gNetifNapiAdd.Call2(t, ndev, uint64(mod.Funcs["poll"].Addr)); err != nil || kernel.IsErr(ret) {
 		return kernel.Err(kernel.EINVAL)
 	}
-	if ret, err := t.CallKernel("request_irq", uint64(pcidev), uint64(mod.Funcs["irq"].Addr)); err != nil || kernel.IsErr(ret) {
+	if ret, err := d.gRequestIrq.Call2(t, uint64(pcidev), uint64(mod.Funcs["irq"].Addr)); err != nil || kernel.IsErr(ret) {
 		return kernel.Err(kernel.EINVAL)
 	}
 
@@ -212,7 +233,7 @@ func (d *Driver) xmit(t *core.Thread, args []uint64) uint64 {
 		d.Nic.OnTx(frame)
 	}
 
-	if _, err := t.CallKernel("kfree_skb", uint64(skb)); err != nil {
+	if _, err := d.gKfreeSkb.Call1(t, uint64(skb)); err != nil {
 		return ^uint64(0)
 	}
 	return 0
@@ -228,7 +249,7 @@ func (d *Driver) poll(t *core.Thread, args []uint64) uint64 {
 		frame := d.Nic.rxq[0]
 		d.Nic.rxq = d.Nic.rxq[1:]
 
-		skb, err := t.CallKernel("alloc_skb", uint64(len(frame)))
+		skb, err := d.gAllocSkb.Call1(t, uint64(len(frame)))
 		if err != nil || skb == 0 {
 			return done
 		}
@@ -242,7 +263,7 @@ func (d *Driver) poll(t *core.Thread, args []uint64) uint64 {
 		if err := t.WriteU64(st.SkbField(mem.Addr(skb), "dev"), uint64(d.Dev)); err != nil {
 			return done
 		}
-		if ret, err := t.CallKernel("netif_rx", skb); err != nil || kernel.IsErr(ret) {
+		if ret, err := d.gNetifRx.Call1(t, skb); err != nil || kernel.IsErr(ret) {
 			return done
 		}
 		done++

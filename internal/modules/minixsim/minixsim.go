@@ -98,8 +98,19 @@ const (
 // FS is the loaded minixsim module.
 type FS struct {
 	M *core.Module
-	K *kernel.Kernel
-	V *vfs.VFS
+
+	// Bound kernel-call gates, resolved once at load (bind-time
+	// resolution: crossings perform no symbol lookup).
+	gRegisterFilesystem *core.Gate
+	gIget               *core.Gate
+	gIput               *core.Gate
+	gKmalloc            *core.Gate
+	gKfree              *core.Gate
+	gDmReadSectors      *core.Gate
+	gDmWriteSectors     *core.Gate
+	gPcWriteback        *core.Gate
+	K                   *kernel.Kernel
+	V                   *vfs.VFS
 
 	deLay   *layout.Struct
 	privLay *layout.Struct
@@ -150,6 +161,14 @@ func Load(t *core.Thread, k *kernel.Kernel, v *vfs.VFS) (*FS, error) {
 		return nil, err
 	}
 	fs.M = m
+	fs.gRegisterFilesystem = m.Gate("register_filesystem")
+	fs.gIget = m.Gate("iget")
+	fs.gIput = m.Gate("iput")
+	fs.gKmalloc = m.Gate("kmalloc")
+	fs.gKfree = m.Gate("kfree")
+	fs.gDmReadSectors = m.Gate("dm_read_sectors")
+	fs.gDmWriteSectors = m.Gate("dm_write_sectors")
+	fs.gPcWriteback = m.Gate("pc_writeback")
 	if ret, err := t.CallModule(m, "init"); err != nil || ret != 0 {
 		return nil, &initError{err}
 	}
@@ -178,7 +197,7 @@ func (fs *FS) init(t *core.Thread, args []uint64) uint64 {
 			return 1
 		}
 	}
-	if ret, err := t.CallKernel("register_filesystem", FsID, uint64(fs.Ops())); err != nil || kernel.IsErr(ret) {
+	if ret, err := fs.gRegisterFilesystem.Call2(t, FsID, uint64(fs.Ops())); err != nil || kernel.IsErr(ret) {
 		return 2
 	}
 	return 0
@@ -226,7 +245,7 @@ func (fs *FS) setUsedBit(t *core.Thread, sb, priv mem.Addr, slot, used uint64) b
 		return false
 	}
 	dev, _ := t.ReadU64(fs.V.SBField(sb, "dev"))
-	ret, err := t.CallKernel("dm_write_sectors", dev, BitmapStart, buf, blockdev.SectorSize)
+	ret, err := fs.gDmWriteSectors.Call4(t, dev, BitmapStart, buf, blockdev.SectorSize)
 	return err == nil && !kernel.IsErr(ret)
 }
 
@@ -261,7 +280,7 @@ func (fs *FS) writeRec(t *core.Thread, sb, priv mem.Addr, slot, used, parent, mo
 		return false
 	}
 	dev, _ := t.ReadU64(fs.V.SBField(sb, "dev"))
-	ret, err := t.CallKernel("dm_write_sectors", dev, DirTabStart+slot, uint64(rb), RecSize)
+	ret, err := fs.gDmWriteSectors.Call4(t, dev, DirTabStart+slot, uint64(rb), RecSize)
 	if err != nil || kernel.IsErr(ret) {
 		return false
 	}
@@ -275,7 +294,7 @@ func (fs *FS) writeRec(t *core.Thread, sb, priv mem.Addr, slot, used, parent, mo
 // recsize caches the size stored in the slot's on-disk record, so
 // writepage only rewrites the record when the size actually changed.
 func (fs *FS) addDirent(t *core.Thread, priv mem.Addr, dir, ino uint64, name []byte, recsize uint64) uint64 {
-	de, err := t.CallKernel("kmalloc", fs.deLay.Size)
+	de, err := fs.gKmalloc.Call1(t, fs.deLay.Size)
 	if err != nil || de == 0 {
 		return 0
 	}
@@ -286,7 +305,7 @@ func (fs *FS) addDirent(t *core.Thread, priv mem.Addr, dir, ino uint64, name []b
 		t.WriteU64(fs.deField(mem.Addr(de), "recsize"), recsize) != nil ||
 		t.Write(fs.deField(mem.Addr(de), "name"), append(append([]byte{}, name...), 0)) != nil ||
 		t.WriteU64(fs.pvField(priv, "head"), de) != nil {
-		_, _ = t.CallKernel("kfree", de)
+		_, _ = fs.gKfree.Call1(t, de)
 		return 0
 	}
 	return de
@@ -294,34 +313,34 @@ func (fs *FS) addDirent(t *core.Thread, priv mem.Addr, dir, ino uint64, name []b
 
 func (fs *FS) mount(t *core.Thread, args []uint64) uint64 {
 	sb := mem.Addr(args[0])
-	priv, err := t.CallKernel("kmalloc", fs.privLay.Size)
+	priv, err := fs.gKmalloc.Call1(t, fs.privLay.Size)
 	if err != nil || priv == 0 {
 		return 0
 	}
-	stack, err := t.CallKernel("kmalloc", 8*MaxSlots)
+	stack, err := fs.gKmalloc.Call1(t, 8*MaxSlots)
 	if err != nil || stack == 0 {
-		_, _ = t.CallKernel("kfree", priv)
+		_, _ = fs.gKfree.Call1(t, priv)
 		return 0
 	}
-	recbuf, err := t.CallKernel("kmalloc", RecSize)
+	recbuf, err := fs.gKmalloc.Call1(t, RecSize)
 	if err != nil || recbuf == 0 {
-		_, _ = t.CallKernel("kfree", stack)
-		_, _ = t.CallKernel("kfree", priv)
+		_, _ = fs.gKfree.Call1(t, stack)
+		_, _ = fs.gKfree.Call1(t, priv)
 		return 0
 	}
-	bmbuf, err := t.CallKernel("kmalloc", blockdev.SectorSize)
+	bmbuf, err := fs.gKmalloc.Call1(t, blockdev.SectorSize)
 	if err != nil || bmbuf == 0 {
-		_, _ = t.CallKernel("kfree", recbuf)
-		_, _ = t.CallKernel("kfree", stack)
-		_, _ = t.CallKernel("kfree", priv)
+		_, _ = fs.gKfree.Call1(t, recbuf)
+		_, _ = fs.gKfree.Call1(t, stack)
+		_, _ = fs.gKfree.Call1(t, priv)
 		return 0
 	}
-	root, err := t.CallKernel("iget", uint64(sb))
+	root, err := fs.gIget.Call1(t, uint64(sb))
 	if err != nil || root == 0 {
-		_, _ = t.CallKernel("kfree", bmbuf)
-		_, _ = t.CallKernel("kfree", recbuf)
-		_, _ = t.CallKernel("kfree", stack)
-		_, _ = t.CallKernel("kfree", priv)
+		_, _ = fs.gKfree.Call1(t, bmbuf)
+		_, _ = fs.gKfree.Call1(t, recbuf)
+		_, _ = fs.gKfree.Call1(t, stack)
+		_, _ = fs.gKfree.Call1(t, priv)
 		return 0
 	}
 	if t.WriteU64(fs.V.InodeField(mem.Addr(root), "mode"), vfs.ModeDir) != nil ||
@@ -339,19 +358,19 @@ func (fs *FS) mount(t *core.Thread, args []uint64) uint64 {
 		// writes up front instead of caching pages that can never be
 		// persisted.
 		t.WriteU64(fs.V.SBField(sb, "maxbytes"), MaxFilePages*mem.PageSize) != nil {
-		_, _ = t.CallKernel("iput", root)
-		_, _ = t.CallKernel("kfree", bmbuf)
-		_, _ = t.CallKernel("kfree", recbuf)
-		_, _ = t.CallKernel("kfree", stack)
-		_, _ = t.CallKernel("kfree", priv)
+		_, _ = fs.gIput.Call1(t, root)
+		_, _ = fs.gKfree.Call1(t, bmbuf)
+		_, _ = fs.gKfree.Call1(t, recbuf)
+		_, _ = fs.gKfree.Call1(t, stack)
+		_, _ = fs.gKfree.Call1(t, priv)
 		return 0
 	}
 	if !fs.recoverNamespace(t, sb, mem.Addr(priv)) {
-		_, _ = t.CallKernel("iput", root)
-		_, _ = t.CallKernel("kfree", bmbuf)
-		_, _ = t.CallKernel("kfree", recbuf)
-		_, _ = t.CallKernel("kfree", stack)
-		_, _ = t.CallKernel("kfree", priv)
+		_, _ = fs.gIput.Call1(t, root)
+		_, _ = fs.gKfree.Call1(t, bmbuf)
+		_, _ = fs.gKfree.Call1(t, recbuf)
+		_, _ = fs.gKfree.Call1(t, stack)
+		_, _ = fs.gKfree.Call1(t, priv)
 		return 0
 	}
 	return root
@@ -373,7 +392,7 @@ func (fs *FS) recoverNamespace(t *core.Thread, sb, priv mem.Addr) bool {
 	bmbuf, _ := t.ReadU64(fs.pvField(priv, "bmbuf"))
 	root, _ := t.ReadU64(fs.pvField(priv, "root"))
 
-	if ret, err := t.CallKernel("dm_read_sectors", dev, BitmapStart, bmbuf, blockdev.SectorSize); err != nil || kernel.IsErr(ret) {
+	if ret, err := fs.gDmReadSectors.Call4(t, dev, BitmapStart, bmbuf, blockdev.SectorSize); err != nil || kernel.IsErr(ret) {
 		return false
 	}
 	bitmap, err := t.ReadBytes(mem.Addr(bmbuf), MaxSlots/8)
@@ -391,7 +410,7 @@ func (fs *FS) recoverNamespace(t *core.Thread, sb, priv mem.Addr) bool {
 		if bitmap[slot/8]&(1<<(slot%8)) == 0 {
 			continue
 		}
-		ret, err := t.CallKernel("dm_read_sectors", dev, DirTabStart+slot, buf, RecSize)
+		ret, err := fs.gDmReadSectors.Call4(t, dev, DirTabStart+slot, buf, RecSize)
 		if err != nil || kernel.IsErr(ret) {
 			return false
 		}
@@ -475,13 +494,13 @@ func (fs *FS) recoverNamespace(t *core.Thread, sb, priv mem.Addr) bool {
 		cur, _ := t.ReadU64(fs.pvField(priv, "head"))
 		for cur != 0 {
 			next, _ := t.ReadU64(fs.deField(mem.Addr(cur), "next"))
-			_, _ = t.CallKernel("kfree", cur)
+			_, _ = fs.gKfree.Call1(t, cur)
 			cur = next
 		}
 		_ = t.WriteU64(fs.pvField(priv, "head"), 0)
 		for _, r := range recs {
 			if r.ino != 0 {
-				_, _ = t.CallKernel("iput", r.ino)
+				_, _ = fs.gIput.Call1(t, r.ino)
 			}
 		}
 		return false
@@ -493,7 +512,7 @@ func (fs *FS) recoverNamespace(t *core.Thread, sb, priv mem.Addr) bool {
 		if !reachable[slot] {
 			continue
 		}
-		ino, err := t.CallKernel("iget", uint64(sb))
+		ino, err := fs.gIget.Call1(t, uint64(sb))
 		if err != nil || ino == 0 {
 			return bail()
 		}
@@ -551,19 +570,19 @@ func (fs *FS) killSB(t *core.Thread, args []uint64) uint64 {
 	for cur != 0 {
 		next, _ := t.ReadU64(fs.deField(mem.Addr(cur), "next"))
 		ino, _ := t.ReadU64(fs.deField(mem.Addr(cur), "inode"))
-		_, _ = t.CallKernel("iput", ino)
-		_, _ = t.CallKernel("kfree", cur)
+		_, _ = fs.gIput.Call1(t, ino)
+		_, _ = fs.gKfree.Call1(t, cur)
 		cur = next
 	}
 	root, _ := t.ReadU64(fs.pvField(priv, "root"))
 	stack, _ := t.ReadU64(fs.pvField(priv, "freestack"))
 	recbuf, _ := t.ReadU64(fs.pvField(priv, "recbuf"))
 	bmbuf, _ := t.ReadU64(fs.pvField(priv, "bmbuf"))
-	_, _ = t.CallKernel("iput", root)
-	_, _ = t.CallKernel("kfree", stack)
-	_, _ = t.CallKernel("kfree", recbuf)
-	_, _ = t.CallKernel("kfree", bmbuf)
-	_, _ = t.CallKernel("kfree", uint64(priv))
+	_, _ = fs.gIput.Call1(t, root)
+	_, _ = fs.gKfree.Call1(t, stack)
+	_, _ = fs.gKfree.Call1(t, recbuf)
+	_, _ = fs.gKfree.Call1(t, bmbuf)
+	_, _ = fs.gKfree.Call1(t, uint64(priv))
 	return 0
 }
 
@@ -612,7 +631,7 @@ func (fs *FS) createFn(t *core.Thread, args []uint64) uint64 {
 	if slot >= MaxSlots {
 		return 0 // out of extent slots: ENOSPC
 	}
-	ino, err := t.CallKernel("iget", uint64(sb))
+	ino, err := fs.gIget.Call1(t, uint64(sb))
 	if err != nil || ino == 0 {
 		fs.freeSlot(t, priv, slot)
 		return 0
@@ -627,7 +646,7 @@ func (fs *FS) createFn(t *core.Thread, args []uint64) uint64 {
 		t.WriteU64(fs.V.InodeField(mem.Addr(ino), "nlink"), nlink) != nil ||
 		t.WriteU64(fs.V.InodeField(mem.Addr(ino), "private"), slot) != nil {
 		fs.freeSlot(t, priv, slot)
-		_, _ = t.CallKernel("iput", ino)
+		_, _ = fs.gIput.Call1(t, ino)
 		return 0
 	}
 	// Persist the record before linking the entry: a crash between the
@@ -635,13 +654,13 @@ func (fs *FS) createFn(t *core.Thread, args []uint64) uint64 {
 	// silently vanishes.
 	if !fs.writeRec(t, sb, priv, slot, 1, fs.parentSlot(t, priv, dir), mode, 0, nameBytes) {
 		fs.freeSlot(t, priv, slot)
-		_, _ = t.CallKernel("iput", ino)
+		_, _ = fs.gIput.Call1(t, ino)
 		return 0
 	}
 	if fs.addDirent(t, priv, dir, ino, nameBytes, 0) == 0 {
 		_ = fs.writeRec(t, sb, priv, slot, 0, 0, 0, 0, nil)
 		fs.freeSlot(t, priv, slot)
-		_, _ = t.CallKernel("iput", ino)
+		_, _ = fs.gIput.Call1(t, ino)
 		return 0
 	}
 	return ino
@@ -769,10 +788,10 @@ func (fs *FS) unlink(t *core.Thread, args []uint64) uint64 {
 	}
 	// Reclaim the extent slot before the inode goes away.
 	fs.freeSlot(t, priv, slot)
-	if _, err := t.CallKernel("kfree", uint64(de)); err != nil {
+	if _, err := fs.gKfree.Call1(t, uint64(de)); err != nil {
 		return kernel.Err(kernel.EFAULT)
 	}
-	if _, err := t.CallKernel("iput", inode); err != nil {
+	if _, err := fs.gIput.Call1(t, inode); err != nil {
 		return kernel.Err(kernel.EFAULT)
 	}
 	return 0
@@ -804,7 +823,7 @@ func (fs *FS) readpage(t *core.Thread, args []uint64) uint64 {
 		return 0
 	}
 	dev, _ := t.ReadU64(fs.V.SBField(sb, "dev"))
-	ret, err := t.CallKernel("dm_read_sectors", dev, fs.extent(t, ino, idx), page, mem.PageSize)
+	ret, err := fs.gDmReadSectors.Call4(t, dev, fs.extent(t, ino, idx), page, mem.PageSize)
 	if err != nil || kernel.IsErr(ret) {
 		return kernel.Err(kernel.EIO)
 	}
@@ -835,7 +854,7 @@ func (fs *FS) writepage(t *core.Thread, args []uint64) uint64 {
 		}
 	}
 	dev, _ := t.ReadU64(fs.V.SBField(sb, "dev"))
-	ret, err := t.CallKernel("pc_writeback", dev, fs.extent(t, ino, idx), page)
+	ret, err := fs.gPcWriteback.Call3(t, dev, fs.extent(t, ino, idx), page)
 	if err != nil || kernel.IsErr(ret) {
 		return kernel.Err(kernel.EIO)
 	}
@@ -882,7 +901,7 @@ func (fs *FS) ioctl(t *core.Thread, args []uint64) uint64 {
 		if err := t.WriteU64(mem.Addr(buf), TamperValue); err != nil {
 			return kernel.Err(kernel.EFAULT)
 		}
-		ret, err := t.CallKernel("dm_write_sectors", arg, 0, buf, RecSize)
+		ret, err := fs.gDmWriteSectors.Call4(t, arg, 0, buf, RecSize)
 		if err != nil || kernel.IsErr(ret) {
 			return kernel.Err(kernel.EIO)
 		}

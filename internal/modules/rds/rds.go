@@ -38,9 +38,16 @@ type Config struct {
 
 // Proto is the loaded rds module.
 type Proto struct {
-	M  *core.Module
-	K  *kernel.Kernel
-	St *netstack.Stack
+	M *core.Module
+
+	// Bound kernel-call gates, resolved once at load (bind-time
+	// resolution: crossings perform no symbol lookup).
+	gSockRegister *core.Gate
+	gKmalloc      *core.Gate
+	gKfree        *core.Gate
+	gCopyToUser   *core.Gate
+	K             *kernel.Kernel
+	St            *netstack.Stack
 
 	cfg     Config
 	sockLay *layout.Struct
@@ -81,6 +88,10 @@ func Load(t *core.Thread, k *kernel.Kernel, st *netstack.Stack, cfg Config) (*Pr
 		return nil, err
 	}
 	p.M = m
+	p.gSockRegister = m.Gate("sock_register")
+	p.gKmalloc = m.Gate("kmalloc")
+	p.gKfree = m.Gate("kfree")
+	p.gCopyToUser = m.Gate("__copy_to_user")
 
 	// The module loader materializes the ops table from the object file:
 	// for the .rodata configuration the module itself could never write
@@ -125,7 +136,7 @@ func (p *Proto) IoctlSlot() mem.Addr { return p.St.ProtoOpsSlot(p.OpsTable(), "i
 
 func (p *Proto) init(t *core.Thread, args []uint64) uint64 {
 	mod := t.CurrentModule()
-	if ret, err := t.CallKernel("sock_register", Family, uint64(mod.Funcs["create"].Addr)); err != nil || kernel.IsErr(ret) {
+	if ret, err := p.gSockRegister.Call2(t, Family, uint64(mod.Funcs["create"].Addr)); err != nil || kernel.IsErr(ret) {
 		return 1
 	}
 	return 0
@@ -137,7 +148,7 @@ func (p *Proto) skField(sk mem.Addr, f string) mem.Addr {
 
 func (p *Proto) create(t *core.Thread, args []uint64) uint64 {
 	sock := mem.Addr(args[0])
-	sk, err := t.CallKernel("kmalloc", p.sockLay.Size)
+	sk, err := p.gKmalloc.Call1(t, p.sockLay.Size)
 	if err != nil || sk == 0 {
 		return kernel.Err(kernel.ENOMEM)
 	}
@@ -195,7 +206,7 @@ func (p *Proto) recvmsg(t *core.Thread, args []uint64) uint64 {
 	}
 	// Stage the message in module-owned memory, then copy it out with
 	// the no-access_ok uaccess variant.
-	staging, err := t.CallKernel("kmalloc", n)
+	staging, err := p.gKmalloc.Call1(t, n)
 	if err != nil || staging == 0 {
 		return kernel.Err(kernel.ENOMEM)
 	}
@@ -205,8 +216,8 @@ func (p *Proto) recvmsg(t *core.Thread, args []uint64) uint64 {
 	// MISSING: if !access_ok(buf, n) { return -EFAULT } (CVE-2010-3904):
 	// __copy_to_user performs no check of its own, so a kernel-space buf
 	// goes straight through on a stock kernel.
-	ret, cerr := t.CallKernel("__copy_to_user", uint64(buf), staging, n)
-	if _, ferr := t.CallKernel("kfree", staging); ferr != nil {
+	ret, cerr := p.gCopyToUser.Call3(t, uint64(buf), staging, n)
+	if _, ferr := p.gKfree.Call1(t, staging); ferr != nil {
 		return kernel.Err(kernel.EFAULT)
 	}
 	if cerr != nil || kernel.IsErr(ret) {
@@ -224,7 +235,7 @@ func (p *Proto) release(t *core.Thread, args []uint64) uint64 {
 	sk, _ := t.ReadU64(p.St.SockField(sock, "sk"))
 	delete(p.pending, sock)
 	if sk != 0 {
-		if _, err := t.CallKernel("kfree", sk); err != nil {
+		if _, err := p.gKfree.Call1(t, sk); err != nil {
 			return kernel.Err(kernel.EFAULT)
 		}
 	}

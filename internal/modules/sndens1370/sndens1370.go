@@ -33,7 +33,12 @@ const DefaultRate = 44100
 // Driver is the loaded module.
 type Driver struct {
 	M *core.Module
-	S *sound.Sound
+
+	// Bound kernel-call gates, resolved once at load (bind-time
+	// resolution: crossings perform no symbol lookup).
+	gKmalloc *core.Gate
+	gKfree   *core.Gate
+	S        *sound.Sound
 
 	// regs maps a card to its register block (module bookkeeping, as a
 	// real driver would keep in its chip struct).
@@ -62,6 +67,8 @@ func Load(t *core.Thread, k *kernel.Kernel, s *sound.Sound) (*Driver, error) {
 		return nil, err
 	}
 	d.M = m
+	d.gKmalloc = m.Gate("kmalloc")
+	d.gKfree = m.Gate("kfree")
 	if ret, err := t.CallModule(m, "init"); err != nil || ret != 0 {
 		return nil, &initError{err}
 	}
@@ -92,11 +99,11 @@ func (d *Driver) init(t *core.Thread, args []uint64) uint64 {
 // the fixed DAC1 rate.
 func (d *Driver) open(t *core.Thread, args []uint64) uint64 {
 	card := mem.Addr(args[0])
-	buf, err := t.CallKernel("kmalloc", BufferSize)
+	buf, err := d.gKmalloc.Call1(t, BufferSize)
 	if err != nil || buf == 0 {
 		return kernel.Err(kernel.ENOMEM)
 	}
-	regs, err := t.CallKernel("kmalloc", regSize)
+	regs, err := d.gKmalloc.Call1(t, regSize)
 	if err != nil || regs == 0 {
 		return kernel.Err(kernel.ENOMEM)
 	}
@@ -117,13 +124,13 @@ func (d *Driver) close(t *core.Thread, args []uint64) uint64 {
 	card := mem.Addr(args[0])
 	buf, _ := t.ReadU64(d.S.CardField(card, "buf"))
 	if buf != 0 {
-		if _, err := t.CallKernel("kfree", buf); err != nil {
+		if _, err := d.gKfree.Call1(t, buf); err != nil {
 			return kernel.Err(kernel.EFAULT)
 		}
 	}
 	if regs, ok := d.regs[card]; ok {
 		delete(d.regs, card)
-		if _, err := t.CallKernel("kfree", uint64(regs)); err != nil {
+		if _, err := d.gKfree.Call1(t, uint64(regs)); err != nil {
 			return kernel.Err(kernel.EFAULT)
 		}
 	}

@@ -16,7 +16,12 @@ const BufferSize = 2048
 // Driver is the loaded module.
 type Driver struct {
 	M *core.Module
-	S *sound.Sound
+
+	// Bound kernel-call gates, resolved once at load (bind-time
+	// resolution: crossings perform no symbol lookup).
+	gKmalloc *core.Gate
+	gKfree   *core.Gate
+	S        *sound.Sound
 
 	// Played counts samples the "hardware" consumed.
 	Played uint64
@@ -41,6 +46,8 @@ func Load(t *core.Thread, k *kernel.Kernel, s *sound.Sound) (*Driver, error) {
 		return nil, err
 	}
 	d.M = m
+	d.gKmalloc = m.Gate("kmalloc")
+	d.gKfree = m.Gate("kfree")
 	if ret, err := t.CallModule(m, "init"); err != nil || ret != 0 {
 		return nil, &initError{err}
 	}
@@ -69,7 +76,7 @@ func (d *Driver) init(t *core.Thread, args []uint64) uint64 {
 
 func (d *Driver) open(t *core.Thread, args []uint64) uint64 {
 	card := mem.Addr(args[0])
-	buf, err := t.CallKernel("kmalloc", BufferSize)
+	buf, err := d.gKmalloc.Call1(t, BufferSize)
 	if err != nil || buf == 0 {
 		return kernel.Err(kernel.ENOMEM)
 	}
@@ -86,7 +93,7 @@ func (d *Driver) close(t *core.Thread, args []uint64) uint64 {
 	card := mem.Addr(args[0])
 	buf, _ := t.ReadU64(d.S.CardField(card, "buf"))
 	if buf != 0 {
-		if _, err := t.CallKernel("kfree", buf); err != nil {
+		if _, err := d.gKfree.Call1(t, buf); err != nil {
 			return kernel.Err(kernel.EFAULT)
 		}
 	}

@@ -54,8 +54,16 @@ const (
 // FS is the loaded tmpfssim module.
 type FS struct {
 	M *core.Module
-	K *kernel.Kernel
-	V *vfs.VFS
+
+	// Bound kernel-call gates, resolved once at load (bind-time
+	// resolution: crossings perform no symbol lookup).
+	gRegisterFilesystem *core.Gate
+	gIget               *core.Gate
+	gIput               *core.Gate
+	gKmalloc            *core.Gate
+	gKfree              *core.Gate
+	K                   *kernel.Kernel
+	V                   *vfs.VFS
 
 	deLay   *layout.Struct
 	privLay *layout.Struct
@@ -103,6 +111,11 @@ func Load(t *core.Thread, k *kernel.Kernel, v *vfs.VFS) (*FS, error) {
 		return nil, err
 	}
 	fs.M = m
+	fs.gRegisterFilesystem = m.Gate("register_filesystem")
+	fs.gIget = m.Gate("iget")
+	fs.gIput = m.Gate("iput")
+	fs.gKmalloc = m.Gate("kmalloc")
+	fs.gKfree = m.Gate("kfree")
 	if ret, err := t.CallModule(m, "init"); err != nil || ret != 0 {
 		return nil, &initError{err}
 	}
@@ -131,7 +144,7 @@ func (fs *FS) init(t *core.Thread, args []uint64) uint64 {
 			return 1
 		}
 	}
-	if ret, err := t.CallKernel("register_filesystem", FsID, uint64(fs.Ops())); err != nil || kernel.IsErr(ret) {
+	if ret, err := fs.gRegisterFilesystem.Call2(t, FsID, uint64(fs.Ops())); err != nil || kernel.IsErr(ret) {
 		return 2
 	}
 	return 0
@@ -146,13 +159,13 @@ func (fs *FS) priv(t *core.Thread, sb mem.Addr) mem.Addr {
 
 func (fs *FS) mount(t *core.Thread, args []uint64) uint64 {
 	sb := mem.Addr(args[0])
-	priv, err := t.CallKernel("kmalloc", fs.privLay.Size)
+	priv, err := fs.gKmalloc.Call1(t, fs.privLay.Size)
 	if err != nil || priv == 0 {
 		return 0
 	}
-	root, err := t.CallKernel("iget", uint64(sb))
+	root, err := fs.gIget.Call1(t, uint64(sb))
 	if err != nil || root == 0 {
-		_, _ = t.CallKernel("kfree", priv)
+		_, _ = fs.gKfree.Call1(t, priv)
 		return 0
 	}
 	if t.WriteU64(fs.V.InodeField(mem.Addr(root), "mode"), vfs.ModeDir) != nil ||
@@ -163,8 +176,8 @@ func (fs *FS) mount(t *core.Thread, args []uint64) uint64 {
 		// Page cache is the only copy of tmpfs data: tell the VFS never
 		// to evict this mount.
 		t.WriteU64(fs.V.SBField(sb, "flags"), vfs.SBMemOnly) != nil {
-		_, _ = t.CallKernel("iput", root)
-		_, _ = t.CallKernel("kfree", priv)
+		_, _ = fs.gIput.Call1(t, root)
+		_, _ = fs.gKfree.Call1(t, priv)
 		return 0
 	}
 	return root
@@ -180,13 +193,13 @@ func (fs *FS) killSB(t *core.Thread, args []uint64) uint64 {
 	for cur != 0 {
 		next, _ := t.ReadU64(fs.deField(mem.Addr(cur), "next"))
 		ino, _ := t.ReadU64(fs.deField(mem.Addr(cur), "inode"))
-		_, _ = t.CallKernel("iput", ino)
-		_, _ = t.CallKernel("kfree", cur)
+		_, _ = fs.gIput.Call1(t, ino)
+		_, _ = fs.gKfree.Call1(t, cur)
 		cur = next
 	}
 	root, _ := t.ReadU64(fs.pvField(priv, "root"))
-	_, _ = t.CallKernel("iput", root)
-	_, _ = t.CallKernel("kfree", uint64(priv))
+	_, _ = fs.gIput.Call1(t, root)
+	_, _ = fs.gKfree.Call1(t, uint64(priv))
 	return 0
 }
 
@@ -198,7 +211,7 @@ func (fs *FS) createFn(t *core.Thread, args []uint64) uint64 {
 	if nlen > vfs.NameMax {
 		return 0
 	}
-	ino, err := t.CallKernel("iget", uint64(sb))
+	ino, err := fs.gIget.Call1(t, uint64(sb))
 	if err != nil || ino == 0 {
 		return 0
 	}
@@ -208,12 +221,12 @@ func (fs *FS) createFn(t *core.Thread, args []uint64) uint64 {
 	}
 	if t.WriteU64(fs.V.InodeField(mem.Addr(ino), "mode"), mode) != nil ||
 		t.WriteU64(fs.V.InodeField(mem.Addr(ino), "nlink"), nlink) != nil {
-		_, _ = t.CallKernel("iput", ino)
+		_, _ = fs.gIput.Call1(t, ino)
 		return 0
 	}
-	de, err := t.CallKernel("kmalloc", fs.deLay.Size)
+	de, err := fs.gKmalloc.Call1(t, fs.deLay.Size)
 	if err != nil || de == 0 {
-		_, _ = t.CallKernel("iput", ino)
+		_, _ = fs.gIput.Call1(t, ino)
 		return 0
 	}
 	priv := fs.priv(t, sb)
@@ -225,8 +238,8 @@ func (fs *FS) createFn(t *core.Thread, args []uint64) uint64 {
 		t.WriteU64(fs.deField(mem.Addr(de), "inode"), ino) != nil ||
 		t.Write(fs.deField(mem.Addr(de), "name"), append(nameBytes, 0)) != nil ||
 		t.WriteU64(fs.pvField(priv, "head"), de) != nil {
-		_, _ = t.CallKernel("kfree", de)
-		_, _ = t.CallKernel("iput", ino)
+		_, _ = fs.gKfree.Call1(t, de)
+		_, _ = fs.gIput.Call1(t, ino)
 		return 0
 	}
 	return ino
@@ -336,10 +349,10 @@ func (fs *FS) unlink(t *core.Thread, args []uint64) uint64 {
 	} else if err := t.WriteU64(fs.deField(prev, "next"), next); err != nil {
 		return kernel.Err(kernel.EFAULT)
 	}
-	if _, err := t.CallKernel("kfree", uint64(de)); err != nil {
+	if _, err := fs.gKfree.Call1(t, uint64(de)); err != nil {
 		return kernel.Err(kernel.EFAULT)
 	}
-	if _, err := t.CallKernel("iput", inode); err != nil {
+	if _, err := fs.gIput.Call1(t, inode); err != nil {
 		return kernel.Err(kernel.EFAULT)
 	}
 	return 0

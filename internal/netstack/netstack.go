@@ -92,6 +92,22 @@ type Stack struct {
 	sockMu    sync.Mutex
 	sockLocks map[mem.Addr]*sync.Mutex // socket -> per-instance op lock
 
+	// Bound indirect-call gates for the stack's interface slots,
+	// resolved once at Init (bind-time resolution; the per-packet and
+	// per-syscall paths never repeat the type lookup).
+	gQdiscEnq  *core.IndGate
+	gQdiscDeq  *core.IndGate
+	gStartXmit *core.IndGate
+	gNapiPoll  *core.IndGate
+	gCreate    *core.IndGate
+	gSendmsg   *core.IndGate
+	gRecvmsg   *core.IndGate
+	gBind      *core.IndGate
+	gIoctl     *core.IndGate
+	gRelease   *core.IndGate
+	// gStartXmitStrict is bound by StrictInit (strict.go).
+	gStartXmitStrict *core.IndGate
+
 	// RxDelivered counts packets that reached the kernel via netif_rx.
 	// Guarded by qmu; read directly only from quiescent test contexts.
 	RxDelivered uint64
@@ -213,6 +229,18 @@ func (s *Stack) registerFPtrTypes() {
 	sys.RegisterFPtrType(OpsIoctl,
 		[]core.Param{core.P("sock", "struct socket *"), core.P("cmd", "int"), core.P("arg", "u64")},
 		"principal(sock)")
+
+	// Bind the crossing gates for the interface slots just registered.
+	s.gQdiscEnq = sys.BindIndirect(QdiscEnq)
+	s.gQdiscDeq = sys.BindIndirect(QdiscDeq)
+	s.gStartXmit = sys.BindIndirect(NdoStartXmit)
+	s.gNapiPoll = sys.BindIndirect(NapiPollType)
+	s.gCreate = sys.BindIndirect(FamilyCreate)
+	s.gSendmsg = sys.BindIndirect(OpsSendmsg)
+	s.gRecvmsg = sys.BindIndirect(OpsRecvmsg)
+	s.gBind = sys.BindIndirect(OpsBind)
+	s.gIoctl = sys.BindIndirect(OpsIoctl)
+	s.gRelease = sys.BindIndirect(OpsRelease)
 }
 
 func (s *Stack) registerExports() {
@@ -439,10 +467,10 @@ func (s *Stack) XmitSkb(t *core.Thread, dev, skb mem.Addr) (uint64, error) {
 		return 0, fmt.Errorf("netstack: device %#x has no qdisc", uint64(dev))
 	}
 	qd := mem.Addr(q)
-	if _, err := t.IndirectCall(qd+mem.Addr(s.qdisc.Off("enqueue")), QdiscEnq, uint64(qd), uint64(skb)); err != nil {
+	if _, err := s.gQdiscEnq.Call2(t, qd+mem.Addr(s.qdisc.Off("enqueue")), uint64(qd), uint64(skb)); err != nil {
 		return 0, err
 	}
-	out, err := t.IndirectCall(qd+mem.Addr(s.qdisc.Off("dequeue")), QdiscDeq, uint64(qd))
+	out, err := s.gQdiscDeq.Call1(t, qd+mem.Addr(s.qdisc.Off("dequeue")), uint64(qd))
 	if err != nil || out == 0 {
 		return 0, err
 	}
@@ -451,7 +479,7 @@ func (s *Stack) XmitSkb(t *core.Thread, dev, skb mem.Addr) (uint64, error) {
 		return 0, fmt.Errorf("netstack: device %#x has no ops", uint64(dev))
 	}
 	slot := mem.Addr(ops) + mem.Addr(s.nops.Off("ndo_start_xmit"))
-	return t.IndirectCall(slot, NdoStartXmit, out, uint64(dev))
+	return s.gStartXmit.Call2(t, slot, out, uint64(dev))
 }
 
 // Poll invokes the device's registered NAPI poll callback with a budget,
@@ -463,7 +491,7 @@ func (s *Stack) Poll(t *core.Thread, dev mem.Addr, budget uint64) (uint64, error
 	if !ok {
 		return 0, fmt.Errorf("netstack: no NAPI context for device %#x", uint64(dev))
 	}
-	return t.IndirectCall(slot, NapiPollType, uint64(dev), budget)
+	return s.gNapiPoll.Call2(t, slot, uint64(dev), budget)
 }
 
 // PopRx removes and returns the oldest packet delivered via netif_rx
@@ -510,7 +538,7 @@ func (s *Stack) Socket(t *core.Thread, familyID uint64) (mem.Addr, error) {
 	if err != nil {
 		return 0, err
 	}
-	ret, err := t.IndirectCall(fam.createSlot, FamilyCreate, uint64(sock))
+	ret, err := s.gCreate.Call1(t, fam.createSlot, uint64(sock))
 	if err != nil {
 		return 0, err
 	}
@@ -555,7 +583,7 @@ func (s *Stack) Sendmsg(t *core.Thread, sock, buf mem.Addr, n, flags uint64) (ui
 	if err != nil {
 		return 0, err
 	}
-	return t.IndirectCall(slot, OpsSendmsg, uint64(sock), uint64(buf), n, flags)
+	return s.gSendmsg.Call4(t, slot, uint64(sock), uint64(buf), n, flags)
 }
 
 // Recvmsg implements recvmsg(2).
@@ -565,7 +593,7 @@ func (s *Stack) Recvmsg(t *core.Thread, sock, buf mem.Addr, n, flags uint64) (ui
 	if err != nil {
 		return 0, err
 	}
-	return t.IndirectCall(slot, OpsRecvmsg, uint64(sock), uint64(buf), n, flags)
+	return s.gRecvmsg.Call4(t, slot, uint64(sock), uint64(buf), n, flags)
 }
 
 // Bind implements bind(2).
@@ -575,7 +603,7 @@ func (s *Stack) Bind(t *core.Thread, sock, addr mem.Addr, n uint64) (uint64, err
 	if err != nil {
 		return 0, err
 	}
-	return t.IndirectCall(slot, OpsBind, uint64(sock), uint64(addr), n)
+	return s.gBind.Call3(t, slot, uint64(sock), uint64(addr), n)
 }
 
 // Ioctl implements ioctl(2) on a socket — the kernel path both the RDS
@@ -586,7 +614,7 @@ func (s *Stack) Ioctl(t *core.Thread, sock mem.Addr, cmd, arg uint64) (uint64, e
 	if err != nil {
 		return 0, err
 	}
-	return t.IndirectCall(slot, OpsIoctl, uint64(sock), cmd, arg)
+	return s.gIoctl.Call3(t, slot, uint64(sock), cmd, arg)
 }
 
 // Release implements close(2). After the module's release callback
@@ -599,7 +627,7 @@ func (s *Stack) Release(t *core.Thread, sock mem.Addr) (uint64, error) {
 		unlock()
 		return 0, err
 	}
-	ret, err := t.IndirectCall(slot, OpsRelease, uint64(sock))
+	ret, err := s.gRelease.Call1(t, slot, uint64(sock))
 	if err != nil {
 		unlock()
 		return ret, err

@@ -36,6 +36,7 @@ const NdoStartXmitStrict = "net_device_ops.ndo_start_xmit_strict"
 func (s *Stack) StrictInit() {
 	sys := s.K.Sys
 	if _, ok := sys.FPtrType(NdoStartXmitStrict); ok {
+		s.gStartXmitStrict = sys.BindIndirect(NdoStartXmitStrict)
 		return
 	}
 
@@ -60,6 +61,7 @@ func (s *Stack) StrictInit() {
 		[]core.Param{core.P("skb", "struct sk_buff *"), core.P("dev", "struct net_device *")},
 		"principal(dev) pre(transfer(skb_strict_caps(skb))) "+
 			"post(if (return == NETDEV_TX_BUSY) transfer(skb_strict_caps(skb)))")
+	s.gStartXmitStrict = sys.BindIndirect(NdoStartXmitStrict)
 
 	// kfree_skb_strict: the free path matching the strict capability
 	// split — ownership is proven with REF(sk_buff fields) + payload
@@ -95,16 +97,19 @@ var StrictImports = []string{"skb_set_len", "skb_set_dev", "skb_set_protocol", "
 // XmitSkbStrict is dev_queue_xmit for a device whose driver implements
 // the strict interface.
 func (s *Stack) XmitSkbStrict(t *core.Thread, dev, skb mem.Addr) (uint64, error) {
+	if s.gStartXmitStrict == nil {
+		panic("netstack: XmitSkbStrict before StrictInit (strict interface not registered)")
+	}
 	sys := s.K.Sys
 	q, err := sys.AS.ReadU64(dev + mem.Addr(s.ndev.Off("qdisc")))
 	if err != nil || q == 0 {
 		return 0, errNoQdisc(dev)
 	}
 	qd := mem.Addr(q)
-	if _, err := t.IndirectCall(qd+mem.Addr(s.qdisc.Off("enqueue")), QdiscEnq, uint64(qd), uint64(skb)); err != nil {
+	if _, err := s.gQdiscEnq.Call2(t, qd+mem.Addr(s.qdisc.Off("enqueue")), uint64(qd), uint64(skb)); err != nil {
 		return 0, err
 	}
-	out, err := t.IndirectCall(qd+mem.Addr(s.qdisc.Off("dequeue")), QdiscDeq, uint64(qd))
+	out, err := s.gQdiscDeq.Call1(t, qd+mem.Addr(s.qdisc.Off("dequeue")), uint64(qd))
 	if err != nil || out == 0 {
 		return 0, err
 	}
@@ -113,7 +118,7 @@ func (s *Stack) XmitSkbStrict(t *core.Thread, dev, skb mem.Addr) (uint64, error)
 		return 0, errNoQdisc(dev)
 	}
 	slot := mem.Addr(ops) + mem.Addr(s.nops.Off("ndo_start_xmit"))
-	return t.IndirectCall(slot, NdoStartXmitStrict, out, uint64(dev))
+	return s.gStartXmitStrict.Call2(t, slot, out, uint64(dev))
 }
 
 type errNoQdisc mem.Addr

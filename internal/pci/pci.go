@@ -28,6 +28,9 @@ type Bus struct {
 	devs    []*Device
 	drivers []*driver
 	lay     *layout.Struct
+
+	// gIrq is the bound irq_handler dispatch gate.
+	gIrq *core.IndGate
 }
 
 // Device is one simulated PCI device.
@@ -106,6 +109,7 @@ func Init(k *kernel.Kernel) *Bus {
 	sys.RegisterFPtrType("irq_handler",
 		[]core.Param{core.P("pcidev", "struct pci_dev *")},
 		"principal(pcidev)")
+	b.gIrq = sys.BindIndirect("irq_handler")
 	sys.RegisterKernelFunc("request_irq",
 		[]core.Param{core.P("pcidev", "struct pci_dev *"), core.P("handler", "irq_handler_t")},
 		"pre(check(ref(struct pci_dev), pcidev)) pre(check(call, handler))",
@@ -116,7 +120,7 @@ func Init(k *kernel.Kernel) *Bus {
 			}
 			handler := mem.Addr(args[1])
 			dev.irqFn = func(th *core.Thread) {
-				_, _ = th.CallAddr(handler, "irq_handler", uint64(dev.Addr))
+				_, _ = b.gIrq.CallAddr1(th, handler, uint64(dev.Addr))
 			}
 			return 0
 		})

@@ -35,6 +35,12 @@ type Sound struct {
 	K    *kernel.Kernel
 	card *layout.Struct
 	pcm  *layout.Struct
+
+	// Bound indirect-call gates for the snd_pcm_ops slots.
+	gOpen    *core.IndGate
+	gClose   *core.IndGate
+	gTrigger *core.IndGate
+	gPointer *core.IndGate
 }
 
 // Init builds the sound core.
@@ -67,6 +73,10 @@ func Init(k *kernel.Kernel) *Sound {
 	sys.RegisterFPtrType(PcmPointer,
 		[]core.Param{core.P("card", "struct snd_card *")},
 		"principal(card)")
+	s.gOpen = sys.BindIndirect(PcmOpen)
+	s.gClose = sys.BindIndirect(PcmClose)
+	s.gTrigger = sys.BindIndirect(PcmTrigger)
+	s.gPointer = sys.BindIndirect(PcmPointer)
 	return s
 }
 
@@ -90,7 +100,7 @@ func (s *Sound) NewCard(t *core.Thread, ops mem.Addr) (mem.Addr, error) {
 	if err := s.K.Sys.AS.WriteU64(s.CardField(card, "ops"), uint64(ops)); err != nil {
 		return 0, err
 	}
-	ret, err := t.IndirectCall(s.OpsSlot(ops, "open"), PcmOpen, uint64(card))
+	ret, err := s.gOpen.Call1(t, s.OpsSlot(ops, "open"), uint64(card))
 	if err != nil {
 		return 0, err
 	}
@@ -114,7 +124,7 @@ func (s *Sound) Playback(t *core.Thread, card mem.Addr, samples []byte) error {
 		return err
 	}
 	ops, _ := as.ReadU64(s.CardField(card, "ops"))
-	ret, err := t.IndirectCall(s.OpsSlot(mem.Addr(ops), "trigger"), PcmTrigger, uint64(card), TriggerStart)
+	ret, err := s.gTrigger.Call2(t, s.OpsSlot(mem.Addr(ops), "trigger"), uint64(card), TriggerStart)
 	if err != nil {
 		return err
 	}
@@ -127,13 +137,13 @@ func (s *Sound) Playback(t *core.Thread, card mem.Addr, samples []byte) error {
 // Pointer asks the driver for the current hardware position.
 func (s *Sound) Pointer(t *core.Thread, card mem.Addr) (uint64, error) {
 	ops, _ := s.K.Sys.AS.ReadU64(s.CardField(card, "ops"))
-	return t.IndirectCall(s.OpsSlot(mem.Addr(ops), "pointer"), PcmPointer, uint64(card))
+	return s.gPointer.Call1(t, s.OpsSlot(mem.Addr(ops), "pointer"), uint64(card))
 }
 
 // Close runs the driver's close callback and frees the card.
 func (s *Sound) Close(t *core.Thread, card mem.Addr) error {
 	ops, _ := s.K.Sys.AS.ReadU64(s.CardField(card, "ops"))
-	if _, err := t.IndirectCall(s.OpsSlot(mem.Addr(ops), "close"), PcmClose, uint64(card)); err != nil {
+	if _, err := s.gClose.Call1(t, s.OpsSlot(mem.Addr(ops), "close"), uint64(card)); err != nil {
 		return err
 	}
 	return s.K.Sys.Slab.Free(card)

@@ -91,8 +91,8 @@ func (v *VFS) childOf(t *core.Thread, mnt *mount, cur *dnode, comp string) (*dno
 	if err := v.pushName(mnt, comp); err != nil {
 		return nil, err
 	}
-	ret, err := t.IndirectCall(v.OpsSlot(mnt.fs.ops, "lookup"), FsLookup,
-		mnt.args(uint64(mnt.sb), uint64(cur.inode), uint64(mnt.nameBuf), uint64(len(comp)))...)
+	ret, err := v.gLookup.CallArgs(t, v.OpsSlot(mnt.fs.ops, "lookup"),
+		mnt.args(uint64(mnt.sb), uint64(cur.inode), uint64(mnt.nameBuf), uint64(len(comp))))
 	if err != nil {
 		return nil, err
 	}
@@ -191,8 +191,8 @@ func (v *VFS) create(t *core.Thread, sb mem.Addr, path string, mode uint64) (mem
 	if err := v.pushName(mnt, name); err != nil {
 		return 0, err
 	}
-	ret, err := t.IndirectCall(v.OpsSlot(mnt.fs.ops, "create"), FsCreate,
-		mnt.args(uint64(sb), uint64(dir.inode), uint64(mnt.nameBuf), uint64(len(name)), mode)...)
+	ret, err := v.gCreate.CallArgs(t, v.OpsSlot(mnt.fs.ops, "create"),
+		mnt.args(uint64(sb), uint64(dir.inode), uint64(mnt.nameBuf), uint64(len(name)), mode))
 	if err != nil {
 		return 0, err
 	}
@@ -238,8 +238,8 @@ func (v *VFS) Unlink(t *core.Thread, sb mem.Addr, path string) error {
 		return fmt.Errorf("vfs: %s: directory not empty", n.name)
 	}
 	parent := mnt.dentries[n.parent]
-	ret, err := t.IndirectCall(v.OpsSlot(mnt.fs.ops, "unlink"), FsUnlink,
-		mnt.args(uint64(sb), uint64(parent.inode), uint64(n.inode))...)
+	ret, err := v.gUnlink.CallArgs(t, v.OpsSlot(mnt.fs.ops, "unlink"),
+		mnt.args(uint64(sb), uint64(parent.inode), uint64(n.inode)))
 	if err != nil {
 		return err
 	}
@@ -268,8 +268,8 @@ const MaxDirEntries = 1 << 20
 // holds entries that were already looked up, and after a remount a
 // recovered directory's children exist only in the module's table.
 func (v *VFS) dirEmpty(t *core.Thread, mnt *mount, dir mem.Addr) (bool, error) {
-	ret, err := t.IndirectCall(v.OpsSlot(mnt.fs.ops, "readdir"), FsReaddir,
-		mnt.args(uint64(mnt.sb), uint64(dir), 0, uint64(mnt.dirBuf))...)
+	ret, err := v.gReaddir.CallArgs(t, v.OpsSlot(mnt.fs.ops, "readdir"),
+		mnt.args(uint64(mnt.sb), uint64(dir), 0, uint64(mnt.dirBuf)))
 	if err != nil {
 		v.K.Sys.Caps.RevokeAll(caps.WriteCap(mnt.dirBuf, NameMax+1))
 		return false, err
@@ -301,8 +301,8 @@ func (v *VFS) Readdir(t *core.Thread, sb mem.Addr, path string) ([]DirEntry, err
 		if pos >= MaxDirEntries {
 			return nil, fmt.Errorf("vfs: readdir %s: module never ended the listing (errno %d)", path, kernel.EIO)
 		}
-		ret, err := t.IndirectCall(v.OpsSlot(mnt.fs.ops, "readdir"), FsReaddir,
-			mnt.args(uint64(sb), uint64(n.inode), pos, uint64(mnt.dirBuf))...)
+		ret, err := v.gReaddir.CallArgs(t, v.OpsSlot(mnt.fs.ops, "readdir"),
+			mnt.args(uint64(sb), uint64(n.inode), pos, uint64(mnt.dirBuf)))
 		if err != nil {
 			// Mirror the readpage failure path: an aborted crossing must
 			// not leave the module holding WRITE on the kernel's buffer.
@@ -422,9 +422,9 @@ func (v *VFS) Rename(t *core.Thread, srcSB mem.Addr, srcPath string, dstSB mem.A
 	// have destroyed the destination (the rename(2) contract). The
 	// unlink-by-inode afterwards is unambiguous even while both entries
 	// momentarily carry the same name.
-	ret, err := t.IndirectCall(v.OpsSlot(mnt.fs.ops, "rename"), FsRename,
+	ret, err := v.gRename.CallArgs(t, v.OpsSlot(mnt.fs.ops, "rename"),
 		mnt.args(uint64(sb), uint64(oldDir.inode), uint64(n.inode), uint64(dstDir.inode),
-			uint64(mnt.nameBuf), uint64(len(newName)))...)
+			uint64(mnt.nameBuf), uint64(len(newName))))
 	if err != nil {
 		return err
 	}
@@ -433,8 +433,8 @@ func (v *VFS) Rename(t *core.Thread, srcSB mem.Addr, srcPath string, dstSB mem.A
 	}
 	var replaceErr error
 	if tgt != nil {
-		ret, err := t.IndirectCall(v.OpsSlot(mnt.fs.ops, "unlink"), FsUnlink,
-			mnt.args(uint64(sb), uint64(dstDir.inode), uint64(tgt.inode))...)
+		ret, err := v.gUnlink.CallArgs(t, v.OpsSlot(mnt.fs.ops, "unlink"),
+			mnt.args(uint64(sb), uint64(dstDir.inode), uint64(tgt.inode)))
 		switch {
 		case err != nil:
 			replaceErr = err

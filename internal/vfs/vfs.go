@@ -199,6 +199,21 @@ type VFS struct {
 	lruPos     map[pageKey]*list.Element
 	pageBudget int
 
+	// Bound indirect-call gates, one per fs_operations slot: resolved
+	// once at Init so the per-crossing path never repeats the
+	// string-keyed function-pointer-type lookup (the §4.2 bind-time
+	// move applied to the kernel side).
+	gMount     *core.IndGate
+	gKillSB    *core.IndGate
+	gCreate    *core.IndGate
+	gLookup    *core.IndGate
+	gUnlink    *core.IndGate
+	gReaddir   *core.IndGate
+	gRename    *core.IndGate
+	gReadPage  *core.IndGate
+	gWritePage *core.IndGate
+	gIoctl     *core.IndGate
+
 	// Writeback flusher state (see flusher.go).
 	flushTick     atomic.Uint64
 	flushInterval atomic.Int64  // base interval, nanoseconds; 0 = flusher parked
@@ -349,6 +364,18 @@ func (v *VFS) registerFPtrTypes() {
 	sys.RegisterFPtrType(FsIoctl,
 		[]core.Param{sbP, core.P("cmd", "int"), core.P("arg", "u64")},
 		"principal(sb)")
+
+	// Bind the crossing gates for every interface slot just registered.
+	v.gMount = sys.BindIndirect(FsMount)
+	v.gKillSB = sys.BindIndirect(FsKillSB)
+	v.gCreate = sys.BindIndirect(FsCreate)
+	v.gLookup = sys.BindIndirect(FsLookup)
+	v.gUnlink = sys.BindIndirect(FsUnlink)
+	v.gReaddir = sys.BindIndirect(FsReaddir)
+	v.gRename = sys.BindIndirect(FsRename)
+	v.gReadPage = sys.BindIndirect(FsReadPage)
+	v.gWritePage = sys.BindIndirect(FsWritePage)
+	v.gIoctl = sys.BindIndirect(FsIoctl)
 }
 
 func (v *VFS) registerExports() {
@@ -525,7 +552,7 @@ func (v *VFS) Mount(t *core.Thread, fsid, dev uint64) (mem.Addr, error) {
 		_ = sys.Slab.Free(sb)
 		return 0, err
 	}
-	ret, err := t.IndirectCall(v.OpsSlot(ft.ops, "mount"), FsMount, uint64(sb))
+	ret, err := v.gMount.Call1(t, v.OpsSlot(ft.ops, "mount"), uint64(sb))
 	if err != nil {
 		return fail(err)
 	}
@@ -545,7 +572,7 @@ func (v *VFS) Mount(t *core.Thread, fsid, dev uint64) (mem.Addr, error) {
 		// The module's mount already succeeded: give it kill_sb so its
 		// private allocations and root inode are released before the
 		// principal goes away.
-		_, _ = t.IndirectCall(v.OpsSlot(ft.ops, "kill_sb"), FsKillSB, uint64(sb))
+		_, _ = v.gKillSB.Call1(t, v.OpsSlot(ft.ops, "kill_sb"), uint64(sb))
 		return fail(err)
 	}
 	mnt.root = root
@@ -573,7 +600,7 @@ func (v *VFS) Unmount(t *core.Thread, sb mem.Addr) error {
 		return err
 	}
 	defer mnt.mu.Unlock()
-	if _, err := t.IndirectCall(v.OpsSlot(mnt.fs.ops, "kill_sb"), FsKillSB, mnt.args(uint64(sb))...); err != nil {
+	if _, err := v.gKillSB.CallArgs(t, v.OpsSlot(mnt.fs.ops, "kill_sb"), mnt.args(uint64(sb))); err != nil {
 		return err
 	}
 	mnt.dead = true
@@ -606,7 +633,7 @@ func (v *VFS) Ioctl(t *core.Thread, sb mem.Addr, cmd, arg uint64) (uint64, error
 		return 0, err
 	}
 	defer mnt.mu.Unlock()
-	return t.IndirectCall(v.OpsSlot(mnt.fs.ops, "ioctl"), FsIoctl, mnt.args(uint64(sb), cmd, arg)...)
+	return v.gIoctl.CallArgs(t, v.OpsSlot(mnt.fs.ops, "ioctl"), mnt.args(uint64(sb), cmd, arg))
 }
 
 // Filesystems returns the ids of all registered filesystems.

@@ -57,6 +57,11 @@ type (
 	Mode = core.Mode
 	// Violation describes a failed LXFI check.
 	Violation = core.Violation
+	// Gate is a bound module→kernel crossing (resolved at load time;
+	// fixed-arity, allocation-free fast calls).
+	Gate = core.Gate
+	// IndGate is a bound indirect-call interface for kernel substrates.
+	IndGate = core.IndGate
 	// Cap is a WRITE/REF/CALL capability.
 	Cap = caps.Cap
 	// Addr is a simulated virtual address.

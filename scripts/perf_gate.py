@@ -2,13 +2,16 @@
 """Generic perf gate for the BENCH_*.json CI artifacts.
 
 Walks every benchmark report (fsperf, crossings, netperf, and whatever
-lands next), collects all numeric leaves whose key ends in `_ns`, and
-compares the previous run's values against the fresh ones. The gate
-fails (exit 1) when any phase regressed by more than THRESHOLD percent
-ns/op. Phases or files present in only one run are listed but never
-fail the gate, so adding or removing a benchmark does not wedge CI; a
-completely missing baseline (first run, expired retention) skips the
-gate for that file.
+lands next), collects all numeric leaves whose key ends in `_ns` plus
+every `allocs_per_op` leaf, and compares the previous run's values
+against the fresh ones. The gate fails (exit 1) when any phase
+regressed by more than THRESHOLD percent ns/op, or when allocations
+regressed: a phase that was allocation-free (0 allocs/op) must stay at
+0 — any increase fails — and a phase that allocated may grow at most
+THRESHOLD percent. Phases or files present in only one run are listed
+but never fail the gate, so adding or removing a benchmark does not
+wedge CI; a completely missing baseline (first run, expired retention)
+skips the gate for that file.
 
 Usage:
     perf_gate.py PREV.json CURRENT.json       # one report
@@ -24,6 +27,10 @@ import os
 import sys
 
 THRESHOLD = 30.0  # percent
+# A phase whose baseline is allocation-free must stay below this many
+# allocs/op (MemStats sampling noise allowance, well under one real
+# allocation per op).
+ALLOC_ZERO_EPS = 0.01
 
 # Keys that label an element of a JSON array of objects, in preference
 # order, so paths read "tmpfs/create/stock_ns" instead of
@@ -54,7 +61,7 @@ def collect(doc, ns_only):
     out = {}
     bench = doc.get("bench", "?")
     for path, key, val in leaves(doc):
-        if ns_only and not key.endswith("_ns"):
+        if ns_only and not (key.endswith("_ns") or key == "allocs_per_op"):
             continue
         # Container keys like "results"/"rows" carry no information once
         # elements are labeled; drop them from the display path.
@@ -79,6 +86,15 @@ def pair_files(prev, cur):
         yield os.path.basename(cur), (prev if os.path.isfile(prev) else None), cur
 
 
+def alloc_regressed(was, now):
+    """The allocation-free guarantee is absolute: a phase whose baseline
+    was 0 allocs/op fails on any measurable increase; a phase that
+    already allocated may grow by at most THRESHOLD percent."""
+    if was <= ALLOC_ZERO_EPS:
+        return now > ALLOC_ZERO_EPS
+    return 100.0 * (now - was) / was > THRESHOLD
+
+
 def compare(prev_vals, cur_vals, gate):
     failures = []
     for key in sorted(cur_vals):
@@ -88,6 +104,13 @@ def compare(prev_vals, cur_vals, gate):
         tag = "%-10s %-40s %-14s" % (bench, path, field)
         if was is None:
             print("%s %38s" % (tag, "(new phase)"))
+            continue
+        if field == "allocs_per_op":
+            regressed = gate and alloc_regressed(was, now)
+            flag = "  <-- ALLOC REGRESSION" if regressed else ""
+            print("%s %12.4f -> %12.4f%s" % (tag, was, now, flag))
+            if regressed:
+                failures.append(key)
             continue
         if was <= 0 or now <= 0:
             continue
@@ -128,8 +151,9 @@ def main():
         print("delta summary: informational only")
         return
     if failures:
-        print("perf gate: %d phase(s) regressed more than %.0f%%"
-              % (len(failures), THRESHOLD), file=sys.stderr)
+        print("perf gate: %d phase(s) regressed (>%.0f%% ns/op, or allocations "
+              "above an allocation-free baseline)" % (len(failures), THRESHOLD),
+              file=sys.stderr)
         sys.exit(1)
     if saw_any:
         print("perf gate: OK")
