@@ -5,6 +5,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +19,7 @@ func main() {
 	files := flag.Int("files", 64, "files per measurement")
 	size := flag.Uint64("size", fsperf.DefaultFileSize, "file size in bytes")
 	asJSON := flag.Bool("json", false, "emit a machine-readable JSON report (the CI bench artifact)")
+	metrics := flag.Bool("metrics", false, "print each enforced rig's monitor metrics to stderr")
 	flag.Parse()
 	if *files < 1 {
 		fmt.Fprintln(os.Stderr, "-files must be at least 1")
@@ -43,6 +45,13 @@ func main() {
 		if !*asJSON {
 			fmt.Print(fsperf.Format(costs))
 			fmt.Println()
+		}
+		// Metrics go to stderr only: the stdout JSON is the archived
+		// BENCH artifact and must keep its perf-gated shape.
+		if *metrics && costs.Metrics != nil {
+			if out, err := json.MarshalIndent(costs.Metrics, "", "  "); err == nil {
+				fmt.Fprintf(os.Stderr, "# %s enforced metrics\n%s\n", kind, out)
+			}
 		}
 	}
 	conc, err := fsperf.MeasureConcurrency(*files, *size)

@@ -9,24 +9,45 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
+	"lxfi/internal/core"
 	"lxfi/internal/microbench"
 )
+
+// printMetrics writes the monitor-metrics snapshot to stderr — never
+// stdout, so it cannot end up inside an archived BENCH report.
+func printMetrics(m *core.MetricsSnapshot) {
+	out, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "encoding metrics:", err)
+		return
+	}
+	fmt.Fprintln(os.Stderr, string(out))
+}
 
 func main() {
 	iters := flag.Int("iters", 5000, "operations per benchmark")
 	crossings := flag.Bool("crossings", false, "run the crossing-engine phases instead of Figure 11")
 	asJSON := flag.Bool("json", false, "emit the machine-readable crossing report (requires -crossings)")
+	metrics := flag.Bool("metrics", false, "print the enforced run's monitor metrics to stderr (requires -crossings)")
 	flag.Parse()
 
+	if *metrics && !*crossings {
+		fmt.Fprintln(os.Stderr, "-metrics requires -crossings")
+		os.Exit(2)
+	}
 	if *crossings {
-		rows, err := microbench.MeasureCrossings(*iters)
+		rows, snap, err := microbench.MeasureCrossingsWithMetrics(*iters)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "crossing benchmark failed:", err)
 			os.Exit(1)
+		}
+		if *metrics && snap != nil {
+			printMetrics(snap)
 		}
 		if *asJSON {
 			out, err := microbench.CrossingsJSON(rows, *iters)

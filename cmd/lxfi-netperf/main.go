@@ -8,6 +8,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,12 +21,20 @@ func main() {
 	guards := flag.Bool("guards", false, "also print the Figure 13 guard breakdown")
 	asJSON := flag.Bool("json", false, "emit BENCH_netperf.json (path costs + concurrent socket phase)")
 	pairs := flag.Int("pairs", 4, "socket pairs (worker threads) in the concurrent phase")
+	metrics := flag.Bool("metrics", false, "print the enforced rig's monitor metrics to stderr")
 	flag.Parse()
 
 	costs, err := netperf.MeasureCosts(*packets)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "measurement failed:", err)
 		os.Exit(1)
+	}
+	// Metrics go to stderr only: the stdout JSON is the archived BENCH
+	// artifact and must keep its perf-gated shape.
+	if *metrics && costs.Metrics != nil {
+		if out, err := json.MarshalIndent(costs.Metrics, "", "  "); err == nil {
+			fmt.Fprintln(os.Stderr, string(out))
+		}
 	}
 	if *asJSON {
 		conc, err := netperf.MeasureConcurrentSockets(*pairs, *packets)

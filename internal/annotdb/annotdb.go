@@ -72,6 +72,17 @@ type Table struct {
 // BootAll boots one system with every substrate initialized and all ten
 // modules loaded; it returns the system for inspection.
 func BootAll(mode core.Mode) (*core.System, error) {
+	k, _, err := BootAllKernel(mode)
+	if err != nil {
+		return nil, err
+	}
+	return k.Sys, nil
+}
+
+// BootAllKernel is BootAll for callers that need the kernel and block
+// layer too (the coredump tool mounts a filesystem on the booted
+// system to exercise the page cache).
+func BootAllKernel(mode core.Mode) (*kernel.Kernel, *blockdev.Layer, error) {
 	k := kernel.New()
 	k.Sys.Mon.SetMode(mode)
 	k.ShmInit()
@@ -84,36 +95,36 @@ func BootAll(mode core.Mode) (*core.System, error) {
 	th := k.Sys.NewThread("boot")
 
 	if _, err := e1000sim.Load(th, k, bus, st); err != nil {
-		return nil, fmt.Errorf("e1000: %w", err)
+		return nil, nil, fmt.Errorf("e1000: %w", err)
 	}
 	if _, err := sndintel8x0.Load(th, k, snd); err != nil {
-		return nil, fmt.Errorf("snd-intel8x0: %w", err)
+		return nil, nil, fmt.Errorf("snd-intel8x0: %w", err)
 	}
 	if _, err := sndens1370.Load(th, k, snd); err != nil {
-		return nil, fmt.Errorf("snd-ens1370: %w", err)
+		return nil, nil, fmt.Errorf("snd-ens1370: %w", err)
 	}
 	if _, err := rds.Load(th, k, st, rds.Config{}); err != nil {
-		return nil, fmt.Errorf("rds: %w", err)
+		return nil, nil, fmt.Errorf("rds: %w", err)
 	}
 	if _, err := can.Load(th, k, st); err != nil {
-		return nil, fmt.Errorf("can: %w", err)
+		return nil, nil, fmt.Errorf("can: %w", err)
 	}
 	if _, err := canbcm.Load(th, k, st); err != nil {
-		return nil, fmt.Errorf("can-bcm: %w", err)
+		return nil, nil, fmt.Errorf("can-bcm: %w", err)
 	}
 	if _, err := econet.Load(th, k, st); err != nil {
-		return nil, fmt.Errorf("econet: %w", err)
+		return nil, nil, fmt.Errorf("econet: %w", err)
 	}
 	if _, err := dmcrypt.Load(th, k, bl); err != nil {
-		return nil, fmt.Errorf("dm-crypt: %w", err)
+		return nil, nil, fmt.Errorf("dm-crypt: %w", err)
 	}
 	if _, err := dmzero.Load(th, k, bl); err != nil {
-		return nil, fmt.Errorf("dm-zero: %w", err)
+		return nil, nil, fmt.Errorf("dm-zero: %w", err)
 	}
 	if _, err := dmsnapshot.Load(th, k, bl, 512); err != nil {
-		return nil, fmt.Errorf("dm-snapshot: %w", err)
+		return nil, nil, fmt.Errorf("dm-snapshot: %w", err)
 	}
-	return k.Sys, nil
+	return k, bl, nil
 }
 
 // Build computes the Fig. 9 table from a booted system.

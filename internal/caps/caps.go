@@ -414,6 +414,40 @@ func (p *Principal) RefCaps() []Cap {
 	return out
 }
 
+// ShardWrites is one shard's raw WRITE-capability index as coredump
+// snapshots see it: the sorted entries plus the prefix-maximum column,
+// exposed so an offline validator can re-check the index invariants
+// (sortedness, maxEnd[i] = max of entry ends up to i) without access to
+// the live structure.
+type ShardWrites struct {
+	Writes []Cap
+	MaxEnd []mem.Addr
+}
+
+// DumpShardWrites copies out every shard's WRITE index verbatim, in
+// shard order. A capability whose range spans several buckets is
+// inserted into every shard it touches, so the same entry may appear in
+// more than one shard — consumers diffing totals must dedupe.
+func (p *Principal) DumpShardWrites() []ShardWrites {
+	defer p.lockTables()()
+	out := make([]ShardWrites, len(p.shards))
+	for i := range p.shards {
+		is := &p.shards[i].writes
+		if len(is.ents) == 0 {
+			continue
+		}
+		sw := ShardWrites{
+			Writes: make([]Cap, len(is.ents)),
+			MaxEnd: append([]mem.Addr(nil), is.maxEnd...),
+		}
+		for j, e := range is.ents {
+			sw.Writes[j] = WriteCap(e.addr, e.size)
+		}
+		out[i] = sw
+	}
+	return out
+}
+
 // ModuleSet holds all principals belonging to one loaded module.
 type ModuleSet struct {
 	Module string

@@ -391,9 +391,13 @@ func (t *Thread) violationAt(m *Module, p *caps.Principal, op string, addr mem.A
 		Addr:      addr,
 		Detail:    detail,
 	}
+	t.traceViolation(v, p)
 	err := t.Sys.Mon.record(v)
 	if t.Sys.Mon.KillOnViolation && m != nil {
 		t.Sys.killModule(m, v)
+	}
+	if h := t.Sys.Mon.OnViolationThread; h != nil {
+		h(v, t)
 	}
 	return err
 }

@@ -5,6 +5,7 @@ import (
 
 	"lxfi/internal/caps"
 	"lxfi/internal/mem"
+	"lxfi/internal/trace"
 )
 
 // CallKernel invokes a core-kernel export on behalf of the current
@@ -36,6 +37,14 @@ func (t *Thread) callKernelDecl(fn *FuncDecl, args []uint64) (uint64, error) {
 	callerMod := t.curMod
 	callerPrin := t.cur
 	var env *argEnv
+
+	// Only mediated crossings are flight-recorded: kernel-context calls
+	// are direct jumps with nothing to observe.
+	traced := mediated && t.rec != nil
+	var tc traceCtx
+	if traced {
+		tc = t.traceBegin()
+	}
 
 	if mediated {
 		t.Sys.Mon.Stats.FuncEntries.Add(1)
@@ -78,6 +87,9 @@ func (t *Thread) callKernelDecl(fn *FuncDecl, args []uint64) (uint64, error) {
 		if err := t.runPost(fn, true, env, t.Sys.Caps.Trusted, callerPrin, callerMod); err != nil {
 			return ret, err
 		}
+	}
+	if traced {
+		t.traceEnd(trace.KindKernelCall, fn.Name, callerMod, callerPrin, fn.Addr, tc)
 	}
 	return ret, nil
 }
@@ -129,6 +141,12 @@ func (t *Thread) callModuleDeclParams(m *Module, fn *FuncDecl, params []Param, s
 	callerPrin := t.cur
 	useProg := !substituted
 
+	traced := enforcing && t.rec != nil
+	var tc traceCtx
+	if traced {
+		tc = t.traceBegin()
+	}
+
 	var env *argEnv
 	var callee *caps.Principal
 	if enforcing {
@@ -172,6 +190,9 @@ func (t *Thread) callModuleDeclParams(m *Module, fn *FuncDecl, params []Param, s
 		if err := t.runPost(fn, useProg, env, callee, callerPrin, m); err != nil {
 			return ret, err
 		}
+	}
+	if traced {
+		t.traceEnd(trace.KindModuleCall, fn.Name, m, callee, fn.Addr, tc)
 	}
 	return ret, nil
 }

@@ -84,6 +84,8 @@ func (t *Thread) flushCheckStats() {
 		if hits := t.pendChecks - t.pendMisses; hits != 0 {
 			t.Sys.Mon.Stats.CapCacheHits.Add(hits)
 		}
+		t.lifeChecks += t.pendChecks
+		t.lifeMisses += t.pendMisses
 		t.pendChecks, t.pendMisses = 0, 0
 	}
 	if t.pendMemWrites != 0 {

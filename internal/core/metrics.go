@@ -1,0 +1,95 @@
+package core
+
+import (
+	"encoding/json"
+
+	"lxfi/internal/trace"
+)
+
+// MetricsSnapshot is the monitor's exportable metrics registry: the
+// guard counters of Figure 13, the capability-system shape, the
+// violation tallies, and the sampled crossing-latency histogram. It is
+// what the -metrics flags of the perf tools print and what forensic
+// dumps embed.
+type MetricsSnapshot struct {
+	Mode     string `json:"mode"`
+	CapEpoch uint64 `json:"capability_epoch"`
+	Shards   int    `json:"shards"`
+
+	AnnotationActions uint64 `json:"annotation_actions"`
+	FuncEntries       uint64 `json:"func_entries"`
+	FuncExits         uint64 `json:"func_exits"`
+	MemWriteChecks    uint64 `json:"mem_write_checks"`
+	IndCallAll        uint64 `json:"ind_call_all"`
+	IndCallSlow       uint64 `json:"ind_call_slow"`
+	PrincipalSwitches uint64 `json:"principal_switches"`
+	CapGrants         uint64 `json:"cap_grants"`
+	CapRevokes        uint64 `json:"cap_revokes"`
+	CapChecks         uint64 `json:"cap_checks"`
+	CapCacheHits      uint64 `json:"cap_cache_hits"`
+	FailedResolutions uint64 `json:"failed_resolutions"`
+
+	// CacheHitRatio is CapCacheHits/CapChecks (0 with no checks).
+	CacheHitRatio float64 `json:"cache_hit_ratio"`
+
+	Violations         int               `json:"violations"`
+	ViolationsByModule map[string]uint64 `json:"violations_by_module,omitempty"`
+
+	// WST fast-path effectiveness (marks, probes, empty-set hits).
+	WSTMarks  uint64 `json:"wst_marks"`
+	WSTProbes uint64 `json:"wst_probes"`
+	WSTHits   uint64 `json:"wst_hits"`
+
+	// Latency buckets hold the sampled crossing-latency histogram;
+	// LatencySamples is its total observation count.
+	LatencySamples uint64         `json:"latency_samples"`
+	Latency        []trace.Bucket `json:"latency,omitempty"`
+}
+
+// Metrics captures the registry. Counters folded thread-locally
+// (check/miss tallies) reach the shared atomics at wrapper exits, so a
+// snapshot taken between crossings is exact; one taken mid-crossing can
+// lag by at most one thread's pending batch.
+func (s *System) Metrics() MetricsSnapshot {
+	st := s.Mon.Stats.Snapshot()
+	marks, probes, hits := s.WST.Stats()
+	m := MetricsSnapshot{
+		Mode:     s.Mon.Mode().String(),
+		CapEpoch: s.Caps.Epoch(),
+		Shards:   s.Caps.ShardCount(),
+
+		AnnotationActions: st.AnnotationActions,
+		FuncEntries:       st.FuncEntries,
+		FuncExits:         st.FuncExits,
+		MemWriteChecks:    st.MemWriteChecks,
+		IndCallAll:        st.IndCallAll,
+		IndCallSlow:       st.IndCallSlow,
+		PrincipalSwitches: st.PrincipalSwitches,
+		CapGrants:         st.CapGrants,
+		CapRevokes:        st.CapRevokes,
+		CapChecks:         st.CapChecks,
+		CapCacheHits:      st.CapCacheHits,
+		FailedResolutions: st.FailedResolutions,
+
+		Violations: len(s.Mon.Violations()),
+
+		WSTMarks:  marks,
+		WSTProbes: probes,
+		WSTHits:   hits,
+
+		LatencySamples: s.Mon.Metrics.Latency.Count(),
+		Latency:        s.Mon.Metrics.Latency.Snapshot(),
+	}
+	if st.CapChecks != 0 {
+		m.CacheHitRatio = float64(st.CapCacheHits) / float64(st.CapChecks)
+	}
+	if vc := s.Mon.Metrics.ViolationCounts(); len(vc) != 0 {
+		m.ViolationsByModule = vc
+	}
+	return m
+}
+
+// MetricsJSON renders the registry as indented JSON.
+func (s *System) MetricsJSON() ([]byte, error) {
+	return json.MarshalIndent(s.Metrics(), "", "  ")
+}

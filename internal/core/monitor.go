@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"lxfi/internal/mem"
+	"lxfi/internal/trace"
 )
 
 // Mode selects whether LXFI enforcement is active.
@@ -126,6 +127,10 @@ type Monitor struct {
 	mode  atomic.Uint32
 	Stats Stats
 
+	// Metrics is the flight-recorder half of the registry: the sampled
+	// crossing-latency histogram and per-module violation counters.
+	Metrics *trace.Metrics
+
 	vmu        sync.Mutex
 	violations []*Violation
 
@@ -138,6 +143,13 @@ type Monitor struct {
 	// OnViolation, if set, is called for every violation (e.g. to log).
 	OnViolation func(*Violation)
 
+	// OnViolationThread, if set, is called for every violation on the
+	// violating thread's own goroutine, after the module has been killed.
+	// Because it runs on the thread itself, the hook may safely read the
+	// thread's unsynchronized per-CPU state (shadow stack, trace ring) —
+	// which is what the coredump wiring uses to capture forensic dumps.
+	OnViolationThread func(*Violation, *Thread)
+
 	// DisableWriterSetOpt turns off the writer-set fast path of §4.1 so
 	// every kernel indirect call takes the full capability check. It
 	// exists for the ablation benchmarks: correctness is unchanged, only
@@ -147,7 +159,7 @@ type Monitor struct {
 
 // NewMonitor returns a monitor in Off mode.
 func NewMonitor() *Monitor {
-	return &Monitor{KillOnViolation: true}
+	return &Monitor{KillOnViolation: true, Metrics: trace.NewMetrics()}
 }
 
 // Mode returns the current enforcement mode.
@@ -183,7 +195,29 @@ func (m *Monitor) ResetViolations() {
 	m.violations = nil
 }
 
+// ResetStats zeroes the guard counters and the metrics registry
+// (ResetViolations leaves both intact). Callers must quiesce concurrent
+// guard execution first: the counters are reset one atomic at a time,
+// so a racing guard could split its increments across the reset.
+// Scenario harnesses use it between runs to scope deltas to one run.
+func (m *Monitor) ResetStats() {
+	m.Stats.AnnotationActions.Store(0)
+	m.Stats.FuncEntries.Store(0)
+	m.Stats.FuncExits.Store(0)
+	m.Stats.MemWriteChecks.Store(0)
+	m.Stats.IndCallAll.Store(0)
+	m.Stats.IndCallSlow.Store(0)
+	m.Stats.PrincipalSwitches.Store(0)
+	m.Stats.CapGrants.Store(0)
+	m.Stats.CapRevokes.Store(0)
+	m.Stats.CapChecks.Store(0)
+	m.Stats.CapCacheHits.Store(0)
+	m.Stats.FailedResolutions.Store(0)
+	m.Metrics.Reset()
+}
+
 func (m *Monitor) record(v *Violation) error {
+	m.Metrics.Violation(v.Module)
 	m.vmu.Lock()
 	m.violations = append(m.violations, v)
 	m.vmu.Unlock()

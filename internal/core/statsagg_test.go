@@ -1,0 +1,142 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"lxfi/internal/caps"
+	"lxfi/internal/core"
+	"lxfi/internal/mem"
+)
+
+// TestConcurrentStatsAggregation: the metrics registry under concurrent
+// guards. Every deterministic counter (wrapper entries/exits, principal
+// switches, grants, revokes, annotation actions, checks, write guards)
+// increments a fixed number of times per crossing, so N threads running
+// an identical workload must land on exactly N times the single-thread
+// delta — no lost updates from the batched thread-local tallies, no
+// double counts from the flush-at-exit path. Cache hits are the one
+// nondeterministic counter (revokes bump the epoch and wipe other
+// threads' caches at arbitrary points), so they are only bounded.
+func TestConcurrentStatsAggregation(t *testing.T) {
+	f := newFixture(t, core.Enforce)
+	sys := f.sys
+
+	const (
+		threads = 8
+		rounds  = 100
+	)
+
+	work := func(th *core.Thread, args []uint64) uint64 {
+		for i := uint64(0); i < args[0]; i++ {
+			p, err := th.CallKernel("kmalloc", 64)
+			if err != nil || p == 0 {
+				return 1
+			}
+			if err := th.WriteU64(mem.Addr(p), i); err != nil {
+				return 2
+			}
+			if err := th.LxfiCheck(caps.WriteCap(mem.Addr(p), 8)); err != nil {
+				return 3
+			}
+			if _, err := th.CallKernel("kfree", p); err != nil {
+				return 4
+			}
+		}
+		return 0
+	}
+	m, err := sys.LoadModule(core.ModuleSpec{
+		Name:     "statmod",
+		Imports:  []string{"kmalloc", "kfree"},
+		DataSize: 4096,
+		Funcs: []core.FuncSpec{
+			{Name: "work", Params: []core.Param{core.P("rounds", "u64")}, Impl: work},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Calibrate: one thread's exact counter delta for the workload. The
+	// thread-local check tallies flush at wrapper exit, so the snapshot
+	// taken after CallModule returns is exact.
+	before := sys.Mon.Stats.Snapshot()
+	calTh := sys.NewThread("calibrate")
+	if ret, err := calTh.CallModule(m, "work", rounds); err != nil || ret != 0 {
+		t.Fatalf("calibration run: ret=%d err=%v", ret, err)
+	}
+	unit := sys.Mon.Stats.Snapshot().Sub(before)
+	for name, v := range map[string]uint64{
+		"FuncEntries":       unit.FuncEntries,
+		"FuncExits":         unit.FuncExits,
+		"PrincipalSwitches": unit.PrincipalSwitches,
+		"CapGrants":         unit.CapGrants,
+		"CapRevokes":        unit.CapRevokes,
+		"AnnotationActions": unit.AnnotationActions,
+		"CapChecks":         unit.CapChecks,
+		"MemWriteChecks":    unit.MemWriteChecks,
+	} {
+		if v == 0 {
+			t.Fatalf("calibration delta for %s is zero; workload does not exercise it", name)
+		}
+	}
+
+	// ResetStats must zero the counters without touching the violation
+	// log (forensics relies on the two being independently scoped).
+	sys.Mon.ResetStats()
+	if z := sys.Mon.Stats.Snapshot(); z != (core.Snapshot{}) {
+		t.Fatalf("ResetStats left residue: %+v", z)
+	}
+
+	rets := make([]uint64, threads)
+	errs := make([]error, threads)
+	var handles []*core.ThreadHandle
+	for i := 0; i < threads; i++ {
+		i := i
+		handles = append(handles, sys.Spawn(fmt.Sprintf("stat%d", i), func(th *core.Thread) {
+			rets[i], errs[i] = th.CallModule(m, "work", rounds)
+		}))
+	}
+	for _, h := range handles {
+		h.Join()
+	}
+	for i := 0; i < threads; i++ {
+		if errs[i] != nil || rets[i] != 0 {
+			t.Fatalf("thread %d: ret=%d err=%v", i, rets[i], errs[i])
+		}
+	}
+
+	got := sys.Mon.Stats.Snapshot()
+	checkEq := func(name string, got, unit uint64) {
+		t.Helper()
+		if want := unit * threads; got != want {
+			t.Errorf("%s = %d under concurrency, want %d (%d threads x %d)",
+				name, got, want, threads, unit)
+		}
+	}
+	checkEq("FuncEntries", got.FuncEntries, unit.FuncEntries)
+	checkEq("FuncExits", got.FuncExits, unit.FuncExits)
+	checkEq("PrincipalSwitches", got.PrincipalSwitches, unit.PrincipalSwitches)
+	checkEq("CapGrants", got.CapGrants, unit.CapGrants)
+	checkEq("CapRevokes", got.CapRevokes, unit.CapRevokes)
+	checkEq("AnnotationActions", got.AnnotationActions, unit.AnnotationActions)
+	checkEq("CapChecks", got.CapChecks, unit.CapChecks)
+	checkEq("MemWriteChecks", got.MemWriteChecks, unit.MemWriteChecks)
+
+	// Cache hits depend on interleaving (every kfree revoke bumps the
+	// epoch, wiping the other threads' caches mid-run) but can never
+	// exceed the checks that produced them.
+	if got.CapCacheHits > got.CapChecks {
+		t.Errorf("CapCacheHits %d > CapChecks %d", got.CapCacheHits, got.CapChecks)
+	}
+	if v := sys.Mon.Violations(); len(v) != 0 {
+		t.Fatalf("unexpected violations: %v", v)
+	}
+
+	// The exported registry must agree with the raw counters it wraps.
+	ms := sys.Metrics()
+	if ms.CapChecks != got.CapChecks || ms.FuncEntries != got.FuncEntries ||
+		ms.CapGrants != got.CapGrants || ms.Violations != 0 {
+		t.Errorf("Metrics() disagrees with Stats: %+v vs %+v", ms, got)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"lxfi/internal/caps"
 	"lxfi/internal/layout"
 	"lxfi/internal/mem"
+	"lxfi/internal/trace"
 	"lxfi/internal/wst"
 )
 
@@ -58,6 +59,10 @@ type System struct {
 	refIDs map[string]uint64
 
 	nextToken atomic.Uint64 // shadow-stack return tokens
+
+	// tracing makes NewThread attach a flight-recorder ring to every
+	// thread created after EnableTracing (trace.go).
+	tracing atomic.Bool
 }
 
 // NewSystem boots an empty simulated machine with LXFI off.
@@ -471,6 +476,9 @@ func (s *System) killModule(m *Module, v *Violation) {
 // with its own shadow stack).
 func (s *System) NewThread(name string) *Thread {
 	t := &Thread{Sys: s, Name: name, mon: s.Mon, csys: s.Caps}
+	if s.tracing.Load() {
+		t.rec = trace.NewRing(trace.DefaultEvents, trace.DefaultSampleEvery)
+	}
 	t.emit = func(c caps.Cap) error {
 		t.iterBuf = append(t.iterBuf, c)
 		return nil

@@ -6,6 +6,7 @@ import (
 
 	"lxfi/internal/caps"
 	"lxfi/internal/mem"
+	"lxfi/internal/trace"
 )
 
 // Thread is one simulated kernel thread. It carries the LXFI per-thread
@@ -79,6 +80,17 @@ type Thread struct {
 	pendChecks    uint64
 	pendMisses    uint64
 	pendMemWrites uint64
+
+	// lifeChecks/lifeMisses are the thread's monotonic lifetime check
+	// tallies (pend counters roll into them at each flush); the flight
+	// recorder diffs them across a crossing to stamp the event's
+	// check/miss counts. Per-thread, unsynchronized.
+	lifeChecks uint64
+	lifeMisses uint64
+
+	// rec is the thread's flight-recorder ring (trace.go); nil when
+	// tracing is off, which keeps the crossing cost at one nil check.
+	rec *trace.Ring
 }
 
 type frame struct {
@@ -101,6 +113,33 @@ func (t *Thread) InKernel() bool { return t.cur == nil }
 // ShadowDepth returns the current shadow-stack depth.
 func (t *Thread) ShadowDepth() int { return len(t.shadow) }
 
+// ShadowFrame is the introspectable form of one shadow-stack frame,
+// used by coredump snapshots.
+type ShadowFrame struct {
+	Func      string // function entered ("" for interrupt frames)
+	SavedPrin string // principal saved at entry
+	SavedMod  string // module saved at entry ("kernel" when none)
+	RetToken  uint64
+}
+
+// ShadowFrames copies out the shadow stack, outermost frame first.
+// Owner-only, like every other read of per-thread state.
+func (t *Thread) ShadowFrames() []ShadowFrame {
+	out := make([]ShadowFrame, len(t.shadow))
+	for i, f := range t.shadow {
+		sf := ShadowFrame{
+			SavedPrin: f.savedCur.String(),
+			SavedMod:  moduleName(f.savedMod),
+			RetToken:  f.retToken,
+		}
+		if f.fn != nil {
+			sf.Func = f.fn.Name
+		}
+		out[i] = sf
+	}
+	return out
+}
+
 func (t *Thread) violation(op string, addr mem.Addr, detail string) error {
 	v := &Violation{
 		Module:    moduleName(t.curMod),
@@ -109,9 +148,13 @@ func (t *Thread) violation(op string, addr mem.Addr, detail string) error {
 		Addr:      addr,
 		Detail:    detail,
 	}
+	t.traceViolation(v, t.cur)
 	err := t.Sys.Mon.record(v)
 	if t.Sys.Mon.KillOnViolation && t.curMod != nil {
 		t.Sys.killModule(t.curMod, v)
+	}
+	if h := t.Sys.Mon.OnViolationThread; h != nil {
+		h(v, t)
 	}
 	return err
 }

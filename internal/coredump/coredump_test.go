@@ -1,0 +1,410 @@
+package coredump_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"lxfi/internal/annotdb"
+	"lxfi/internal/core"
+	"lxfi/internal/coredump"
+	"lxfi/internal/modules/tmpfssim"
+	"lxfi/internal/vfs"
+)
+
+// rig is the acceptance setup: the fully-booted Fig. 9 system with a
+// filesystem mounted on top, tracing on, and a scratch module that
+// churns the allocator so the work thread has crossings, capability
+// traffic, and (while holding an allocation) a live WRITE capability.
+type rig struct {
+	sys *core.System
+	v   *vfs.VFS
+	th  *core.Thread
+	mod *core.Module
+}
+
+func bootFig9(t *testing.T) *rig {
+	t.Helper()
+	k, bl, err := annotdb.BootAllKernel(core.Enforce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(k.Shutdown)
+	v := vfs.Init(k, bl)
+	k.Sys.EnableTracing()
+	th := k.Sys.NewThread("work")
+	if th.TraceRing() == nil {
+		t.Fatal("thread created after EnableTracing has no trace ring")
+	}
+	if _, err := tmpfssim.Load(th, k, v); err != nil {
+		t.Fatal(err)
+	}
+	sb, err := v.Mount(th, tmpfssim.FsID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dirty the page cache.
+	if _, err := v.Create(th, sb, "/core"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Write(th, sb, "/core", 0, bytes.Repeat([]byte{0xcd}, 256)); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := k.Sys.LoadModule(core.ModuleSpec{
+		Name:     "scratch",
+		Imports:  []string{"kmalloc", "kfree"},
+		DataSize: 4096,
+		Funcs: []core.FuncSpec{
+			{
+				Name: "churn", Params: []core.Param{core.P("n", "int")},
+				Impl: func(th *core.Thread, args []uint64) uint64 {
+					for i := uint64(0); i < args[0]; i++ {
+						p, err := th.CallKernel("kmalloc", 64)
+						if err != nil || p == 0 {
+							return 1
+						}
+						if _, err := th.CallKernel("kfree", p); err != nil {
+							return 1
+						}
+					}
+					return 0
+				},
+			},
+			{
+				Name: "hold", Params: []core.Param{core.P("size", "size_t")},
+				Impl: func(th *core.Thread, args []uint64) uint64 {
+					p, err := th.CallKernel("kmalloc", args[0])
+					if err != nil {
+						return 0
+					}
+					return p
+				},
+			},
+			{
+				Name: "drop", Params: []core.Param{core.P("ptr", "void *")},
+				Impl: func(th *core.Thread, args []uint64) uint64 {
+					if _, err := th.CallKernel("kfree", args[0]); err != nil {
+						return 1
+					}
+					return 0
+				},
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret, err := th.CallModule(m, "churn", 32); err != nil || ret != 0 {
+		t.Fatalf("churn: ret=%d err=%v", ret, err)
+	}
+	return &rig{sys: k.Sys, v: v, th: th, mod: m}
+}
+
+func (r *rig) snapshot(t *testing.T, reason string) *coredump.Dump {
+	t.Helper()
+	return coredump.Snapshot(r.sys, coredump.Options{
+		Reason:  reason,
+		Threads: []*core.Thread{r.th},
+		VFS:     r.v,
+	})
+}
+
+func mustValidate(t *testing.T, d *coredump.Dump) {
+	t.Helper()
+	if issues := coredump.Validate(d); len(issues) != 0 {
+		t.Fatalf("validator found issues:\n%s", coredump.FormatIssues(issues))
+	}
+}
+
+func TestDumpRoundTripAndValidate(t *testing.T) {
+	r := bootFig9(t)
+
+	// Take the dump mid-workload: from inside a module crossing, so the
+	// shadow stack is live in the thread section.
+	var d *coredump.Dump
+	probe, err := r.sys.LoadModule(core.ModuleSpec{
+		Name:     "probe",
+		DataSize: 4096,
+		Funcs: []core.FuncSpec{
+			{
+				Name: "snap", Params: nil,
+				Impl: func(th *core.Thread, args []uint64) uint64 {
+					d = r.snapshot(t, "mid-workload")
+					return 0
+				},
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.th.CallModule(probe, "snap"); err != nil {
+		t.Fatal(err)
+	}
+	if d == nil {
+		t.Fatal("snapshot never ran")
+	}
+
+	// The dump must carry every Fig. 9 module plus the two test ones.
+	names := map[string]bool{}
+	for _, m := range d.Modules {
+		names[m.Name] = true
+	}
+	for _, want := range []string{
+		"e1000", "snd-intel8x0", "snd-ens1370", "rds", "can", "can-bcm",
+		"econet", "dm-crypt", "dm-zero", "dm-snapshot",
+		"tmpfssim", "scratch", "probe",
+	} {
+		if !names[want] {
+			t.Fatalf("module %q missing from dump (have %v)", want, names)
+		}
+	}
+	if d.Mode != "lxfi" || d.Shards < 1 {
+		t.Fatalf("bad header: mode=%q shards=%d", d.Mode, d.Shards)
+	}
+	if d.PageCache == nil || len(d.PageCache.Pages) == 0 {
+		t.Fatal("page-cache section empty after writing a file")
+	}
+	if len(d.Threads) != 1 {
+		t.Fatalf("want 1 thread, got %d", len(d.Threads))
+	}
+	th := d.Threads[0]
+	if th.ShadowDepth == 0 || len(th.Shadow) == 0 {
+		t.Fatal("mid-crossing dump has an empty shadow stack")
+	}
+	if len(th.Events) == 0 {
+		t.Fatal("traced thread dumped no flight-recorder events")
+	}
+	sawKernelCall := false
+	for _, e := range th.Events {
+		if e.Kind == "kernel_call" && (e.Name == "kmalloc" || e.Name == "kfree") {
+			sawKernelCall = true
+		}
+	}
+	if !sawKernelCall {
+		t.Fatal("no kmalloc/kfree crossings in the trace tail")
+	}
+	if d.Metrics.CapChecks == 0 || d.Metrics.FuncEntries == 0 {
+		t.Fatalf("metrics section empty: %+v", d.Metrics)
+	}
+
+	mustValidate(t, d)
+
+	enc, err := d.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := coredump.Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustValidate(t, back)
+	enc2, err := back.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, enc2) {
+		t.Fatal("encode/decode/encode round trip is not byte-stable")
+	}
+}
+
+func TestDecodeRejectsFutureVersion(t *testing.T) {
+	if _, err := coredump.Decode([]byte(`{"version": 99, "mode": "lxfi"}`)); err == nil {
+		t.Fatal("decoded a dump from the future")
+	}
+}
+
+// reload deep-copies a dump through its own encoding so corruption in
+// one subtest cannot leak into another.
+func reload(t *testing.T, d *coredump.Dump) *coredump.Dump {
+	t.Helper()
+	enc, err := d.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := coredump.Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return back
+}
+
+// TestValidatorNamesCorruptedSection corrupts one value per dump
+// section and checks the validator names exactly the broken invariant.
+func TestValidatorNamesCorruptedSection(t *testing.T) {
+	r := bootFig9(t)
+	// Hold an allocation so scratch owns a WRITE capability (giving the
+	// interval-index layer something to chew on).
+	p, err := r.th.CallModule(r.mod, "hold", 64)
+	if err != nil || p == 0 {
+		t.Fatalf("hold: p=%#x err=%v", p, err)
+	}
+	good := r.snapshot(t, "baseline")
+	mustValidate(t, good)
+
+	// Locate a principal with at least one populated shard.
+	findShard := func(d *coredump.Dump) *coredump.ShardDump {
+		for mi := range d.Modules {
+			for pi := range d.Modules[mi].Principals {
+				if ws := d.Modules[mi].Principals[pi].WriteShards; len(ws) > 0 {
+					return &ws[0]
+				}
+			}
+		}
+		return nil
+	}
+	if findShard(good) == nil {
+		t.Fatal("no populated write shard anywhere in the dump")
+	}
+
+	cases := []struct {
+		name      string
+		corrupt   func(d *coredump.Dump)
+		layer     string
+		invariant string
+	}{
+		{
+			name:    "header/shard geometry",
+			corrupt: func(d *coredump.Dump) { d.Shards = 3 },
+			layer:   "structure", invariant: "shard-geometry",
+		},
+		{
+			name: "capability table/prefix max",
+			corrupt: func(d *coredump.Dump) {
+				s := findShard(d)
+				s.MaxEnd[len(s.MaxEnd)-1] += 8
+			},
+			layer: "interval-index", invariant: "prefix-max",
+		},
+		{
+			name: "capability table/sort order",
+			corrupt: func(d *coredump.Dump) {
+				// Prepend an entry that starts after its successor.
+				s := findShard(d)
+				w0 := s.Writes[0]
+				s.Writes = append([]coredump.CapRange{{Addr: w0.Addr + 8, Size: w0.Size}}, s.Writes...)
+				s.MaxEnd = append([]uint64{w0.Addr + 8 + w0.Size}, s.MaxEnd...)
+			},
+			layer: "interval-index", invariant: "sortedness",
+		},
+		{
+			name: "trace ring/event epoch",
+			corrupt: func(d *coredump.Dump) {
+				d.Threads[0].Events[0].Epoch = d.Metrics.CapEpoch + 1
+			},
+			layer: "epoch", invariant: "event-bound",
+		},
+		{
+			name: "trace ring/event seq",
+			corrupt: func(d *coredump.Dump) {
+				ev := d.Threads[0].Events
+				ev[len(ev)-1].Seq = ev[0].Seq
+			},
+			layer: "epoch", invariant: "event-seq",
+		},
+		{
+			name: "principal directory/orphan owner",
+			corrupt: func(d *coredump.Dump) {
+				for mi := range d.Modules {
+					if d.Modules[mi].Name == "scratch" {
+						d.Modules[mi].Principals[0].Name = "ghost[shared]"
+					}
+				}
+			},
+			layer: "ownership", invariant: "dead-principal",
+		},
+		{
+			name: "page cache/dirty count",
+			corrupt: func(d *coredump.Dump) {
+				d.PageCache.Pages[0].Dirty = !d.PageCache.Pages[0].Dirty
+			},
+			layer: "ownership", invariant: "dirty-count",
+		},
+		{
+			name: "thread/shadow depth",
+			corrupt: func(d *coredump.Dump) {
+				d.Threads[0].ShadowDepth++
+			},
+			layer: "threads", invariant: "shadow-depth",
+		},
+		{
+			name: "thread/check coverage",
+			corrupt: func(d *coredump.Dump) {
+				e := &d.Threads[0].Events[0]
+				e.Misses = e.Checks + 1
+			},
+			layer: "threads", invariant: "check-coverage",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := reload(t, good)
+			tc.corrupt(d)
+			issues := coredump.Validate(d)
+			if len(issues) == 0 {
+				t.Fatalf("validator accepted the corrupted dump")
+			}
+			for _, i := range issues {
+				if i.Layer == tc.layer && i.Invariant == tc.invariant {
+					return
+				}
+			}
+			t.Fatalf("want [%s] %s, got:\n%s",
+				tc.layer, tc.invariant, coredump.FormatIssues(issues))
+		})
+	}
+}
+
+func TestDifferReportsExactCapabilityDelta(t *testing.T) {
+	r := bootFig9(t)
+	before := r.snapshot(t, "before")
+
+	p, err := r.th.CallModule(r.mod, "hold", 64)
+	if err != nil || p == 0 {
+		t.Fatalf("hold: p=%#x err=%v", p, err)
+	}
+	after := r.snapshot(t, "after")
+
+	diff := coredump.Compare(before, after)
+	dl, ok := diff.DeltaFor("scratch[shared]")
+	if !ok {
+		t.Fatalf("no delta for scratch:\n%s", diff.Format())
+	}
+	want := coredump.CapRange{Addr: p, Size: 64}
+	if len(dl.GainedWrites) != 1 || dl.GainedWrites[0] != want {
+		t.Fatalf("gained = %+v, want exactly [%+v]", dl.GainedWrites, want)
+	}
+	if len(dl.LostWrites) != 0 {
+		t.Fatalf("unexpected losses: %+v", dl.LostWrites)
+	}
+	if !strings.Contains(diff.Format(), "+ WRITE") {
+		t.Fatalf("formatted diff misses the grant:\n%s", diff.Format())
+	}
+
+	// Dropping the allocation revokes exactly that range again.
+	if ret, err := r.th.CallModule(r.mod, "drop", p); err != nil || ret != 0 {
+		t.Fatalf("drop: ret=%d err=%v", ret, err)
+	}
+	final := r.snapshot(t, "final")
+	diff2 := coredump.Compare(after, final)
+	dl2, ok := diff2.DeltaFor("scratch[shared]")
+	if !ok {
+		t.Fatalf("no delta for scratch after drop:\n%s", diff2.Format())
+	}
+	if len(dl2.LostWrites) != 1 || dl2.LostWrites[0] != want {
+		t.Fatalf("lost = %+v, want exactly [%+v]", dl2.LostWrites, want)
+	}
+	if len(dl2.GainedWrites) != 0 {
+		t.Fatalf("unexpected gains: %+v", dl2.GainedWrites)
+	}
+	if diff2.EpochDelta == 0 {
+		t.Fatal("revocation did not advance the capability epoch")
+	}
+
+	// Identical snapshots diff empty.
+	again := r.snapshot(t, "again")
+	if d3 := coredump.Compare(final, again); !d3.Empty() {
+		t.Fatalf("no-op diff is not empty:\n%s", d3.Format())
+	}
+}

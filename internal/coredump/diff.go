@@ -1,0 +1,253 @@
+package coredump
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// The differ answers the forensic question two dumps pose: between the
+// pre-state and the post-state, exactly which capabilities did each
+// principal gain or lose? Exploit scenarios dump before arming and at
+// the first violation; the delta is the attacker's accumulated
+// authority, stated as concrete WRITE ranges, CALL targets, and REFs.
+
+// Delta is one principal's capability change between two dumps.
+type Delta struct {
+	Principal string `json:"principal"`
+
+	GainedWrites []CapRange `json:"gained_writes,omitempty"`
+	LostWrites   []CapRange `json:"lost_writes,omitempty"`
+	GainedCalls  []uint64   `json:"gained_calls,omitempty"`
+	LostCalls    []uint64   `json:"lost_calls,omitempty"`
+	GainedRefs   []RefDump  `json:"gained_refs,omitempty"`
+	LostRefs     []RefDump  `json:"lost_refs,omitempty"`
+}
+
+func (d Delta) empty() bool {
+	return len(d.GainedWrites) == 0 && len(d.LostWrites) == 0 &&
+		len(d.GainedCalls) == 0 && len(d.LostCalls) == 0 &&
+		len(d.GainedRefs) == 0 && len(d.LostRefs) == 0
+}
+
+// Diff is the full comparison of two dumps (a = before, b = after).
+type Diff struct {
+	ModulesAdded   []string `json:"modules_added,omitempty"`
+	ModulesRemoved []string `json:"modules_removed,omitempty"`
+	ModulesKilled  []string `json:"modules_killed,omitempty"`
+
+	PrincipalsAdded   []string `json:"principals_added,omitempty"`
+	PrincipalsRemoved []string `json:"principals_removed,omitempty"`
+
+	Deltas []Delta `json:"deltas,omitempty"`
+
+	EpochDelta     uint64 `json:"epoch_delta"`
+	ViolationDelta int    `json:"violation_delta"`
+}
+
+// Empty reports whether the two dumps agree on every compared axis.
+func (d *Diff) Empty() bool {
+	return len(d.ModulesAdded) == 0 && len(d.ModulesRemoved) == 0 &&
+		len(d.ModulesKilled) == 0 && len(d.PrincipalsAdded) == 0 &&
+		len(d.PrincipalsRemoved) == 0 && len(d.Deltas) == 0
+}
+
+// DeltaFor returns the delta for a principal's rendered name, if any.
+func (d *Diff) DeltaFor(principal string) (Delta, bool) {
+	for _, dl := range d.Deltas {
+		if dl.Principal == principal {
+			return dl, true
+		}
+	}
+	return Delta{}, false
+}
+
+// prinCaps is one principal's deduplicated capability sets. A WRITE
+// range spanning several buckets is inserted into every shard it
+// touches, so the shard tables are folded through a set first.
+type prinCaps struct {
+	writes map[CapRange]bool
+	calls  map[uint64]bool
+	refs   map[RefDump]bool
+}
+
+func collectCaps(d *Dump) map[string]prinCaps {
+	out := map[string]prinCaps{}
+	for _, m := range d.Modules {
+		for _, p := range m.Principals {
+			pc := prinCaps{
+				writes: map[CapRange]bool{},
+				calls:  map[uint64]bool{},
+				refs:   map[RefDump]bool{},
+			}
+			for _, s := range p.WriteShards {
+				for _, w := range s.Writes {
+					pc.writes[w] = true
+				}
+			}
+			for _, c := range p.Calls {
+				pc.calls[c] = true
+			}
+			for _, r := range p.Refs {
+				pc.refs[r] = true
+			}
+			out[p.Name] = pc
+		}
+	}
+	return out
+}
+
+// Compare diffs two dumps, a taken before b.
+func Compare(a, b *Dump) *Diff {
+	diff := &Diff{
+		EpochDelta:     b.Epoch - a.Epoch,
+		ViolationDelta: len(b.Violations) - len(a.Violations),
+	}
+
+	amods := map[string]ModuleDump{}
+	for _, m := range a.Modules {
+		amods[m.Name] = m
+	}
+	bmods := map[string]ModuleDump{}
+	for _, m := range b.Modules {
+		bmods[m.Name] = m
+		am, had := amods[m.Name]
+		switch {
+		case !had:
+			diff.ModulesAdded = append(diff.ModulesAdded, m.Name)
+		case m.Dead && !am.Dead:
+			diff.ModulesKilled = append(diff.ModulesKilled, m.Name)
+		}
+	}
+	for _, m := range a.Modules {
+		if _, still := bmods[m.Name]; !still {
+			diff.ModulesRemoved = append(diff.ModulesRemoved, m.Name)
+		}
+	}
+
+	acaps := collectCaps(a)
+	bcaps := collectCaps(b)
+	var names []string
+	for name := range bcaps {
+		if _, had := acaps[name]; !had {
+			diff.PrincipalsAdded = append(diff.PrincipalsAdded, name)
+		}
+		names = append(names, name)
+	}
+	for name := range acaps {
+		if _, still := bcaps[name]; !still {
+			diff.PrincipalsRemoved = append(diff.PrincipalsRemoved, name)
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	sort.Strings(diff.ModulesAdded)
+	sort.Strings(diff.ModulesRemoved)
+	sort.Strings(diff.ModulesKilled)
+	sort.Strings(diff.PrincipalsAdded)
+	sort.Strings(diff.PrincipalsRemoved)
+
+	for _, name := range names {
+		before, after := acaps[name], bcaps[name]
+		dl := Delta{Principal: name}
+		for w := range after.writes {
+			if !before.writes[w] {
+				dl.GainedWrites = append(dl.GainedWrites, w)
+			}
+		}
+		for w := range before.writes {
+			if !after.writes[w] {
+				dl.LostWrites = append(dl.LostWrites, w)
+			}
+		}
+		for c := range after.calls {
+			if !before.calls[c] {
+				dl.GainedCalls = append(dl.GainedCalls, c)
+			}
+		}
+		for c := range before.calls {
+			if !after.calls[c] {
+				dl.LostCalls = append(dl.LostCalls, c)
+			}
+		}
+		for r := range after.refs {
+			if !before.refs[r] {
+				dl.GainedRefs = append(dl.GainedRefs, r)
+			}
+		}
+		for r := range before.refs {
+			if !after.refs[r] {
+				dl.LostRefs = append(dl.LostRefs, r)
+			}
+		}
+		if dl.empty() {
+			continue
+		}
+		sortRanges(dl.GainedWrites)
+		sortRanges(dl.LostWrites)
+		sortU64(dl.GainedCalls)
+		sortU64(dl.LostCalls)
+		sortRefs(dl.GainedRefs)
+		sortRefs(dl.LostRefs)
+		diff.Deltas = append(diff.Deltas, dl)
+	}
+	return diff
+}
+
+func sortRanges(rs []CapRange) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Addr != rs[j].Addr {
+			return rs[i].Addr < rs[j].Addr
+		}
+		return rs[i].Size < rs[j].Size
+	})
+}
+
+func sortU64(xs []uint64) { sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] }) }
+
+func sortRefs(rs []RefDump) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Addr != rs[j].Addr {
+			return rs[i].Addr < rs[j].Addr
+		}
+		return rs[i].Type < rs[j].Type
+	})
+}
+
+// Format renders the diff for humans.
+func (d *Diff) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "epoch +%d, violations %+d\n", d.EpochDelta, d.ViolationDelta)
+	line := func(label string, xs []string) {
+		if len(xs) > 0 {
+			fmt.Fprintf(&b, "%s: %s\n", label, strings.Join(xs, ", "))
+		}
+	}
+	line("modules added", d.ModulesAdded)
+	line("modules removed", d.ModulesRemoved)
+	line("modules killed", d.ModulesKilled)
+	line("principals added", d.PrincipalsAdded)
+	line("principals removed", d.PrincipalsRemoved)
+	for _, dl := range d.Deltas {
+		fmt.Fprintf(&b, "%s:\n", dl.Principal)
+		for _, w := range dl.GainedWrites {
+			fmt.Fprintf(&b, "  + WRITE [%#x,%#x) (%d bytes)\n", w.Addr, rangeEnd(w), w.Size)
+		}
+		for _, w := range dl.LostWrites {
+			fmt.Fprintf(&b, "  - WRITE [%#x,%#x) (%d bytes)\n", w.Addr, rangeEnd(w), w.Size)
+		}
+		for _, c := range dl.GainedCalls {
+			fmt.Fprintf(&b, "  + CALL %#x\n", c)
+		}
+		for _, c := range dl.LostCalls {
+			fmt.Fprintf(&b, "  - CALL %#x\n", c)
+		}
+		for _, r := range dl.GainedRefs {
+			fmt.Fprintf(&b, "  + REF(%s, %#x)\n", r.Type, r.Addr)
+		}
+		for _, r := range dl.LostRefs {
+			fmt.Fprintf(&b, "  - REF(%s, %#x)\n", r.Type, r.Addr)
+		}
+	}
+	return b.String()
+}

@@ -129,6 +129,10 @@ type Costs struct {
 	Kind Kind
 	Op   map[string]map[core.Mode]float64
 	WB   map[core.Mode]vfs.WritebackStats
+	// Metrics is the enforced rig's monitor-metrics snapshot, taken
+	// after the measurement (guard counters, violation map, latency
+	// histogram). Diagnostic output only — never part of BENCH reports.
+	Metrics *core.MetricsSnapshot
 }
 
 // timed runs body over n items and returns ns per item.
@@ -396,6 +400,10 @@ func measureMode(kind Kind, mode core.Mode, files int, fileSize uint64, c *Costs
 	// counts are the dirty victims eviction could not leave to a flusher.
 	accWB()
 	c.WB[mode] = wbAcc
+	if mode == core.Enforce {
+		m := rig.K.Sys.Metrics()
+		c.Metrics = &m
+	}
 	return nil
 }
 

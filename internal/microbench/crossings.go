@@ -57,6 +57,10 @@ type CrossingRow struct {
 	// ~1.0 means the shards scale; the old global lock sat well above.
 	ScalingRatio      float64 `json:"scaling_ratio,omitempty"`
 	StockScalingRatio float64 `json:"stock_scaling_ratio,omitempty"`
+	// TraceOverheadPct is set on the traced phase only: its enforced
+	// ns/op against the untraced "crossing gate" row, i.e. the flight
+	// recorder's cost. The perf gate holds it under 10%.
+	TraceOverheadPct float64 `json:"trace_overhead_pct,omitempty"`
 }
 
 // CrossingReport is the BENCH_crossings.json document. The results
@@ -78,6 +82,7 @@ type CrossingReport struct {
 type crossRig struct {
 	sys *core.System
 	th  *core.Thread
+	tht *core.Thread // flight-recorder ring attached ("crossing traced")
 	m   *core.Module
 	p   *caps.Principal
 
@@ -99,6 +104,8 @@ func newCrossRig(mode core.Mode) (*crossRig, error) {
 	sys := core.NewSystem()
 	sys.Mon.SetMode(mode)
 	r := &crossRig{sys: sys, th: sys.NewThread("crossings")}
+	r.tht = sys.NewThread("crossings-traced")
+	r.tht.EnableTrace()
 	// xbench_sink is the crossing phases' annotated kernel export: the
 	// wrapper runs one compiled pre and one compiled post action per
 	// call, the shape of a typical checked export (spin_lock,
@@ -184,10 +191,16 @@ func (r *crossRig) workerAddr(w int) mem.Addr {
 
 // timeChecks runs one module check loop and returns (ns/op, allocs/op).
 func (r *crossRig) timeChecks(fn string, n int, addr mem.Addr) (float64, float64, error) {
+	return r.timeChecksOn(r.th, fn, n, addr)
+}
+
+// timeChecksOn is timeChecks on a caller-chosen thread (the traced
+// phase runs the same loop on the ring-equipped thread).
+func (r *crossRig) timeChecksOn(th *core.Thread, fn string, n int, addr mem.Addr) (float64, float64, error) {
 	var ms0, ms1 runtime.MemStats
 	runtime.ReadMemStats(&ms0)
 	start := time.Now()
-	ret, err := r.th.CallModule(r.m, fn, uint64(n), uint64(addr))
+	ret, err := th.CallModule(r.m, fn, uint64(n), uint64(addr))
 	elapsed := time.Since(start)
 	runtime.ReadMemStats(&ms1)
 	if err != nil || ret != 0 {
@@ -250,8 +263,16 @@ func (r *crossRig) timeRevokeStorm(n int) (float64, error) {
 	return float64(time.Since(start).Nanoseconds()) / float64(n), nil
 }
 
-// MeasureCrossings runs all four phases under both builds.
+// MeasureCrossings runs all phases under both builds.
 func MeasureCrossings(iters int) ([]CrossingRow, error) {
+	rows, _, err := MeasureCrossingsWithMetrics(iters)
+	return rows, err
+}
+
+// MeasureCrossingsWithMetrics is MeasureCrossings plus a snapshot of
+// the enforced rig's metrics registry after the run (the -metrics flag
+// of cmd/lxfi-microbench).
+func MeasureCrossingsWithMetrics(iters int) ([]CrossingRow, *core.MetricsSnapshot, error) {
 	if iters < coldSet {
 		iters = coldSet
 	}
@@ -262,11 +283,13 @@ func MeasureCrossings(iters int) ([]CrossingRow, error) {
 		{Op: "revoke storm", Workers: 1},
 		{Op: "crossing gate", Workers: 1},
 		{Op: "crossing named", Workers: 1},
+		{Op: "crossing traced", Workers: 1},
 	}
+	var metrics *core.MetricsSnapshot
 	for _, mode := range []core.Mode{core.Off, core.Enforce} {
 		r, err := newCrossRig(mode)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		set := func(i int, ns, allocs float64) {
 			if mode == core.Off {
@@ -276,9 +299,13 @@ func MeasureCrossings(iters int) ([]CrossingRow, error) {
 				rows[i].AllocsPerOp = allocs
 			}
 		}
-		// Warmup, then best-of-rounds like the other benches.
+		// Warmup, then best-of-rounds like the other benches. The traced
+		// thread warms up too so its ring and caches are hot.
 		if _, _, err := r.timeChecks("checks", iters/10+1, r.workerAddr(0)); err != nil {
-			return nil, err
+			return nil, nil, err
+		}
+		if _, _, err := r.timeChecksOn(r.tht, "crossgate", iters/10+1, r.workerAddr(0)); err != nil {
+			return nil, nil, err
 		}
 		const rounds = 3
 		type phase struct {
@@ -301,13 +328,42 @@ func MeasureCrossings(iters int) ([]CrossingRow, error) {
 			for round := 0; round < rounds; round++ {
 				ns, allocs, err := ph.run()
 				if err != nil {
-					return nil, err
+					return nil, nil, err
 				}
 				if best == 0 || ns < best {
 					best, bestAllocs = ns, allocs
 				}
 			}
 			set(ph.idx, best, bestAllocs)
+		}
+		// The traced phase is measured in untraced/traced pairs run
+		// back to back, so clock-frequency drift between rounds hits
+		// both sides alike; the recorder's cost is the ratio of the two
+		// bests, not the gap between measurements taken minutes apart.
+		bestPlain, bestTraced, bestAllocs := 0.0, 0.0, 0.0
+		for round := 0; round < rounds; round++ {
+			plain, _, err := r.timeChecks("crossgate", iters, r.workerAddr(0))
+			if err != nil {
+				return nil, nil, err
+			}
+			ns, allocs, err := r.timeChecksOn(r.tht, "crossgate", iters, r.workerAddr(0))
+			if err != nil {
+				return nil, nil, err
+			}
+			if bestPlain == 0 || plain < bestPlain {
+				bestPlain = plain
+			}
+			if bestTraced == 0 || ns < bestTraced {
+				bestTraced, bestAllocs = ns, allocs
+			}
+		}
+		set(6, bestTraced, bestAllocs)
+		if mode == core.Enforce {
+			if bestPlain > 0 {
+				rows[6].TraceOverheadPct = 100 * (bestTraced - bestPlain) / bestPlain
+			}
+			m := r.sys.Metrics()
+			metrics = &m
 		}
 	}
 	for i := range rows {
@@ -324,7 +380,7 @@ func MeasureCrossings(iters int) ([]CrossingRow, error) {
 	if rows[1].StockNs > 0 {
 		rows[2].StockScalingRatio = rows[2].StockNs / rows[1].StockNs
 	}
-	return rows, nil
+	return rows, metrics, nil
 }
 
 // CrossingsJSON serializes the report for the CI artifact.

@@ -6,11 +6,11 @@ import (
 )
 
 // TestMeasureCrossings runs the phases at a small iteration count and
-// checks the report invariants CI relies on: all six phases present,
-// positive timings, the cached-hit and gate-crossing phases
+// checks the report invariants CI relies on: all seven phases present,
+// positive timings, the cached-hit, gate-crossing, and traced phases
 // allocation-free, and the contended phase carrying its scaling ratio.
 func TestMeasureCrossings(t *testing.T) {
-	rows, err := MeasureCrossings(coldSet)
+	rows, metrics, err := MeasureCrossingsWithMetrics(coldSet)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -18,6 +18,7 @@ func TestMeasureCrossings(t *testing.T) {
 		"check cold": false, "check cached": false,
 		"check contended": false, "revoke storm": false,
 		"crossing gate": false, "crossing named": false,
+		"crossing traced": false,
 	}
 	for _, r := range rows {
 		if _, ok := want[r.Op]; !ok {
@@ -34,7 +35,7 @@ func TestMeasureCrossings(t *testing.T) {
 		}
 	}
 	for _, r := range rows {
-		if (r.Op == "check cached" || r.Op == "crossing gate") && r.AllocsPerOp >= 0.01 {
+		if (r.Op == "check cached" || r.Op == "crossing gate" || r.Op == "crossing traced") && r.AllocsPerOp >= 0.01 {
 			t.Fatalf("%s allocates: %f allocs/op", r.Op, r.AllocsPerOp)
 		}
 		if r.Op == "check contended" && r.ScalingRatio <= 0 {
@@ -43,6 +44,23 @@ func TestMeasureCrossings(t *testing.T) {
 		if r.Op != "check contended" && r.ScalingRatio != 0 {
 			t.Fatalf("scaling ratio leaked onto phase %q: %+v", r.Op, r)
 		}
+		if r.Op != "crossing traced" && r.TraceOverheadPct != 0 {
+			t.Fatalf("trace overhead leaked onto phase %q: %+v", r.Op, r)
+		}
+	}
+	// The traced run's sampled latencies must have reached the shared
+	// histogram, and the enforced crossings the shared counters.
+	if metrics == nil {
+		t.Fatal("no metrics snapshot from enforced run")
+	}
+	if metrics.Mode != "lxfi" {
+		t.Fatalf("metrics mode = %q, want lxfi", metrics.Mode)
+	}
+	if metrics.LatencySamples == 0 {
+		t.Fatal("traced crossings produced no latency samples")
+	}
+	if metrics.FuncEntries == 0 || metrics.CapChecks == 0 {
+		t.Fatalf("guard counters empty: %+v", metrics)
 	}
 }
 
@@ -72,7 +90,7 @@ func TestCrossingsJSONShape(t *testing.T) {
 	if doc.Bench != "crossings" || doc.Shards < 1 {
 		t.Fatalf("bad header: %+v", doc)
 	}
-	if len(doc.Results) != 1 || doc.Results[0].FS != "crossings" || len(doc.Results[0].Rows) != 6 {
+	if len(doc.Results) != 1 || doc.Results[0].FS != "crossings" || len(doc.Results[0].Rows) != 7 {
 		t.Fatalf("bad results shape: %+v", doc.Results)
 	}
 }

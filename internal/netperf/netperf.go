@@ -169,6 +169,10 @@ func (r *Rig) MeasureRxCost(frameSize, packets int) (float64, error) {
 // Costs holds measured per-packet CPU costs for both builds.
 type Costs struct {
 	TxTCP, TxUDP, RxTCP, RxUDP map[core.Mode]float64
+	// Metrics is the enforced rig's monitor-metrics snapshot, taken
+	// after the measurement. Diagnostic output only — never part of
+	// BENCH reports.
+	Metrics *core.MetricsSnapshot
 }
 
 // MeasureCosts measures all path costs on fresh rigs.
@@ -195,6 +199,10 @@ func MeasureCosts(packets int) (*Costs, error) {
 		}
 		if c.RxUDP[mode], err = rig.MeasureRxCost(UDPPayload, packets); err != nil {
 			return nil, err
+		}
+		if mode == core.Enforce {
+			m := rig.K.Sys.Metrics()
+			c.Metrics = &m
 		}
 	}
 	return c, nil

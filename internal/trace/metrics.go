@@ -1,0 +1,148 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// histBuckets covers latencies from 1ns to ~9.2s in powers of two.
+const histBuckets = 34
+
+// Hist is a log2-bucketed latency histogram. Buckets are atomic so
+// sampled observations from many threads fold in without a lock; the
+// histogram is a leaf in the lock order (it takes nothing and is taken
+// under nothing).
+type Hist struct {
+	count   atomic.Uint64
+	buckets [histBuckets]atomic.Uint64
+}
+
+// Observe folds one latency (nanoseconds) into the histogram.
+// Negative values (unsampled sentinels) are ignored.
+func (h *Hist) Observe(ns int64) {
+	if ns < 0 {
+		return
+	}
+	b := 0
+	for v := uint64(ns); v > 0 && b < histBuckets-1; v >>= 1 {
+		b++
+	}
+	h.buckets[b].Add(1)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Hist) Count() uint64 { return h.count.Load() }
+
+// Bucket is one non-empty histogram bucket: Count observations with
+// latency <= LeNs (and above the previous bucket's bound).
+type Bucket struct {
+	LeNs  uint64 `json:"le_ns"`
+	Count uint64 `json:"count"`
+}
+
+// Snapshot returns the non-empty buckets in ascending bound order.
+func (h *Hist) Snapshot() []Bucket {
+	var out []Bucket
+	for i := 0; i < histBuckets; i++ {
+		if c := h.buckets[i].Load(); c != 0 {
+			bound := uint64(1) << uint(i)
+			if i == 0 {
+				bound = 0
+			}
+			out = append(out, Bucket{LeNs: bound, Count: c})
+		}
+	}
+	return out
+}
+
+// Quantile returns an upper bound on the q-quantile (0 < q <= 1)
+// latency, or 0 with no observations.
+func (h *Hist) Quantile(q float64) uint64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	want := uint64(q * float64(total))
+	if want == 0 {
+		want = 1
+	}
+	var seen uint64
+	for i := 0; i < histBuckets; i++ {
+		seen += h.buckets[i].Load()
+		if seen >= want {
+			if i == 0 {
+				return 0
+			}
+			return uint64(1) << uint(i)
+		}
+	}
+	return uint64(1) << uint(histBuckets-1)
+}
+
+// reset zeroes the histogram. Callers must guarantee no concurrent
+// Observe (the monitor's ResetStats contract).
+func (h *Hist) reset() {
+	h.count.Store(0)
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+}
+
+// Metrics is the monitor-level registry piece the flight recorder owns:
+// the crossing-latency histogram fed by sampled ring events and the
+// per-module violation counters. The violation map's mutex is a leaf
+// lock touched only on the (cold) violation path and in snapshots.
+type Metrics struct {
+	// Latency holds sampled crossing latencies.
+	Latency Hist
+
+	mu         sync.Mutex
+	violations map[string]uint64
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{violations: make(map[string]uint64)}
+}
+
+// Violation counts one violation against module.
+func (m *Metrics) Violation(module string) {
+	m.mu.Lock()
+	m.violations[module]++
+	m.mu.Unlock()
+}
+
+// ViolationCounts returns a copy of the per-module violation counters.
+func (m *Metrics) ViolationCounts() map[string]uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]uint64, len(m.violations))
+	for k, v := range m.violations {
+		out[k] = v
+	}
+	return out
+}
+
+// ViolationModules returns the modules with recorded violations,
+// sorted.
+func (m *Metrics) ViolationModules() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.violations))
+	for k := range m.violations {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Reset clears the histogram and the violation counters. Callers must
+// quiesce concurrent observers first (same contract as ResetStats).
+func (m *Metrics) Reset() {
+	m.Latency.reset()
+	m.mu.Lock()
+	m.violations = make(map[string]uint64)
+	m.mu.Unlock()
+}

@@ -1,0 +1,148 @@
+package trace
+
+import "testing"
+
+func TestRingRoundsToPowerOfTwo(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, 2}, {2, 2}, {3, 4}, {100, 128}, {256, 256},
+	} {
+		if got := NewRing(tc.in, 0).Cap(); got != tc.want {
+			t.Errorf("NewRing(%d).Cap() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestRingWrapKeepsNewestEvents(t *testing.T) {
+	r := NewRing(8, 0)
+	for i := 0; i < 20; i++ {
+		r.Record(Event{Addr: uint64(i)})
+	}
+	if r.Seq() != 20 {
+		t.Fatalf("Seq = %d, want 20", r.Seq())
+	}
+	if r.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", r.Len())
+	}
+	tail := r.Tail()
+	if len(tail) != 8 {
+		t.Fatalf("Tail len = %d, want 8", len(tail))
+	}
+	for i, e := range tail {
+		want := uint64(12 + i) // events 12..19 survive, oldest first
+		if e.Addr != want || e.Seq != want {
+			t.Errorf("tail[%d] = (addr %d, seq %d), want %d", i, e.Addr, e.Seq, want)
+		}
+	}
+}
+
+func TestRingPartialTail(t *testing.T) {
+	r := NewRing(8, 0)
+	r.Record(Event{Addr: 7})
+	r.Record(Event{Addr: 9})
+	tail := r.Tail()
+	if len(tail) != 2 || tail[0].Addr != 7 || tail[1].Addr != 9 {
+		t.Fatalf("Tail = %+v, want addrs [7 9]", tail)
+	}
+}
+
+func TestRingNextMatchesRecord(t *testing.T) {
+	r := NewRing(4, 0)
+	e := r.Next()
+	e.Addr = 42
+	if r.Seq() != 1 {
+		t.Fatalf("Seq after Next = %d, want 1", r.Seq())
+	}
+	tail := r.Tail()
+	if len(tail) != 1 || tail[0].Addr != 42 || tail[0].Seq != 0 {
+		t.Fatalf("Tail = %+v, want one event addr 42 seq 0", tail)
+	}
+	// Next must hand out a zeroed slot even after a wrap.
+	for i := 0; i < 4; i++ {
+		r.Record(Event{Detail: "stale"})
+	}
+	if e := r.Next(); e.Detail != "" {
+		t.Fatalf("Next returned dirty slot: %+v", e)
+	}
+}
+
+func TestRingSampling(t *testing.T) {
+	r := NewRing(16, 4)
+	var sampled int
+	for i := 0; i < 32; i++ {
+		if r.Sampled() {
+			sampled++
+		}
+		r.Record(Event{})
+	}
+	if sampled != 8 {
+		t.Fatalf("sampled %d of 32 with period 4, want 8", sampled)
+	}
+	// sampleEvery <= 0 disables sampling.
+	off := NewRing(16, 0)
+	for i := 0; i < 32; i++ {
+		if off.Sampled() {
+			t.Fatal("disabled ring reported a sampled slot")
+		}
+		off.Record(Event{})
+	}
+	if off.SampleEvery() != 0 {
+		t.Fatalf("SampleEvery = %d, want 0", off.SampleEvery())
+	}
+}
+
+func TestHistBucketsAndQuantile(t *testing.T) {
+	var h Hist
+	h.Observe(-5) // ignored
+	h.Observe(0)
+	h.Observe(1)
+	h.Observe(100)  // -> bucket le 128
+	h.Observe(1000) // -> bucket le 1024
+	if h.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", h.Count())
+	}
+	snap := h.Snapshot()
+	if len(snap) == 0 {
+		t.Fatal("empty snapshot")
+	}
+	var total uint64
+	prev := int64(-1)
+	for _, b := range snap {
+		if int64(b.LeNs) <= prev {
+			t.Fatalf("buckets not ascending: %+v", snap)
+		}
+		prev = int64(b.LeNs)
+		total += b.Count
+	}
+	if total != 4 {
+		t.Fatalf("bucket counts sum to %d, want 4", total)
+	}
+	if q := h.Quantile(1.0); q < 1000 {
+		t.Fatalf("p100 = %d, want >= 1000", q)
+	}
+	if q := h.Quantile(0.25); q > 1 {
+		t.Fatalf("p25 = %d, want <= 1", q)
+	}
+	if (&Hist{}).Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile should be 0")
+	}
+}
+
+func TestMetricsViolationsAndReset(t *testing.T) {
+	m := NewMetrics()
+	m.Violation("rds")
+	m.Violation("rds")
+	m.Violation("econet")
+	vc := m.ViolationCounts()
+	if vc["rds"] != 2 || vc["econet"] != 1 {
+		t.Fatalf("ViolationCounts = %v", vc)
+	}
+	mods := m.ViolationModules()
+	if len(mods) != 2 || mods[0] != "econet" || mods[1] != "rds" {
+		t.Fatalf("ViolationModules = %v", mods)
+	}
+	m.Latency.Observe(50)
+	m.Reset()
+	if len(m.ViolationCounts()) != 0 || m.Latency.Count() != 0 {
+		t.Fatal("Reset left state behind")
+	}
+}

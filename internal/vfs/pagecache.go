@@ -455,6 +455,34 @@ func (v *VFS) PageAddr(ino mem.Addr, idx uint64) (mem.Addr, bool) {
 	return pg, ok
 }
 
+// CachedPage is one page-cache entry as coredump snapshots see it.
+type CachedPage struct {
+	Ino   mem.Addr
+	Idx   uint64
+	Page  mem.Addr
+	Dirty bool
+}
+
+// DumpPages copies out the page cache (sorted by inode then index) and
+// the dirty count. It takes only pageMu — a leaf below every mount lock
+// — so it is safe even from a violation hook that fires mid-crossing.
+func (v *VFS) DumpPages() ([]CachedPage, int) {
+	v.pageMu.Lock()
+	out := make([]CachedPage, 0, len(v.pages))
+	for key, pg := range v.pages {
+		out = append(out, CachedPage{Ino: key.ino, Idx: key.idx, Page: pg, Dirty: v.dirty[key]})
+	}
+	dirty := len(v.dirty)
+	v.pageMu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Ino != out[j].Ino {
+			return out[i].Ino < out[j].Ino
+		}
+		return out[i].Idx < out[j].Idx
+	})
+	return out, dirty
+}
+
 // PageCount returns the number of cached pages.
 func (v *VFS) PageCount() int {
 	v.pageMu.Lock()

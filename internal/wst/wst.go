@@ -129,6 +129,18 @@ func (t *Tracker) EmptyRange(addr mem.Addr, size uint64) bool {
 	return true
 }
 
+// Pages returns a copy of the page-base → segment-bitmap map, for
+// coredump snapshots.
+func (t *Tracker) Pages() map[mem.Addr]uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[mem.Addr]uint64, len(t.pages))
+	for k, v := range t.pages {
+		out[k] = v
+	}
+	return out
+}
+
 // Stats returns (marks, probes, fast-path hits).
 func (t *Tracker) Stats() (marks, probes, hits uint64) {
 	t.mu.Lock()

@@ -11,7 +11,12 @@ regressed: a phase that was allocation-free (0 allocs/op) must stay at
 THRESHOLD percent. Phases or files present in only one run are listed
 but never fail the gate, so adding or removing a benchmark does not
 wedge CI; a completely missing baseline (first run, expired retention)
-skips the gate for that file.
+skips the relative gate for that file.
+
+`trace_overhead_pct` leaves (the flight recorder's cost over the
+untraced enforced crossing) are gated absolutely instead: the current
+value must stay under TRACE_THRESHOLD percent, baseline or not, so the
+very first traced run is already held to the budget.
 
 Usage:
     perf_gate.py PREV.json CURRENT.json       # one report
@@ -27,6 +32,7 @@ import os
 import sys
 
 THRESHOLD = 30.0  # percent
+TRACE_THRESHOLD = 10.0  # absolute ceiling for trace_overhead_pct leaves
 # A phase whose baseline is allocation-free must stay below this many
 # allocs/op (MemStats sampling noise allowance, well under one real
 # allocation per op).
@@ -61,7 +67,8 @@ def collect(doc, ns_only):
     out = {}
     bench = doc.get("bench", "?")
     for path, key, val in leaves(doc):
-        if ns_only and not (key.endswith("_ns") or key == "allocs_per_op"):
+        if ns_only and not (key.endswith("_ns") or key == "allocs_per_op"
+                            or key == "trace_overhead_pct"):
             continue
         # Container keys like "results"/"rows" carry no information once
         # elements are labeled; drop them from the display path.
@@ -95,6 +102,22 @@ def alloc_regressed(was, now):
     return 100.0 * (now - was) / was > THRESHOLD
 
 
+def trace_failures(cur_vals, gate):
+    """Absolute gate on trace_overhead_pct: no baseline required."""
+    failures = []
+    for key in sorted(cur_vals):
+        bench, path, field = key
+        if field != "trace_overhead_pct":
+            continue
+        now = cur_vals[key]
+        over = gate and now > TRACE_THRESHOLD
+        flag = "  <-- TRACE OVERHEAD OVER %.0f%% BUDGET" % TRACE_THRESHOLD if over else ""
+        print("%-10s %-40s %-14s %12.2f%%%s" % (bench, path, field, now, flag))
+        if over:
+            failures.append(key)
+    return failures
+
+
 def compare(prev_vals, cur_vals, gate):
     failures = []
     for key in sorted(cur_vals):
@@ -102,6 +125,8 @@ def compare(prev_vals, cur_vals, gate):
         now = cur_vals[key]
         was = prev_vals.get(key)
         tag = "%-10s %-40s %-14s" % (bench, path, field)
+        if field == "trace_overhead_pct":
+            continue  # gated absolutely by trace_failures, not by delta
         if was is None:
             print("%s %38s" % (tag, "(new phase)"))
             continue
@@ -138,27 +163,32 @@ def main():
         print(f"== {name} ==")
         cur_vals = load(cpath, ns_only=not summary)
         if ppath is None:
-            print("   (no previous report; gate skipped for this file)")
+            print("   (no previous report; delta gate skipped for this file)")
             for key in sorted(cur_vals):
+                if key[2] == "trace_overhead_pct":
+                    continue  # printed (and gated) by trace_failures below
                 print("%-10s %-40s %-14s %12.1f" % (key[0], key[1], key[2], cur_vals[key]))
+            failures += trace_failures(cur_vals, gate=not summary)
             print()
             continue
         saw_any = True
         failures += compare(load(ppath, ns_only=not summary), cur_vals, gate=not summary)
+        failures += trace_failures(cur_vals, gate=not summary)
         print()
 
     if summary:
         print("delta summary: informational only")
         return
     if failures:
-        print("perf gate: %d phase(s) regressed (>%.0f%% ns/op, or allocations "
-              "above an allocation-free baseline)" % (len(failures), THRESHOLD),
+        print("perf gate: %d phase(s) regressed (>%.0f%% ns/op, allocations "
+              "above an allocation-free baseline, or trace overhead past "
+              "%.0f%%)" % (len(failures), THRESHOLD, TRACE_THRESHOLD),
               file=sys.stderr)
         sys.exit(1)
     if saw_any:
         print("perf gate: OK")
     else:
-        print("perf gate: no baselines available; skipped")
+        print("perf gate: no baselines available; absolute gates only")
 
 
 if __name__ == "__main__":
