@@ -20,7 +20,6 @@ import (
 	"lxfi/internal/core"
 	"lxfi/internal/coredump"
 	"lxfi/internal/modules/tmpfssim"
-	"lxfi/internal/vfs"
 )
 
 func main() {
@@ -62,17 +61,19 @@ func main() {
 // still held — so the dump carries live WRITE capabilities, dirty
 // pages, and a populated flight-recorder tail.
 func runBoot(out string) error {
-	k, bl, err := annotdb.BootAllKernel(core.Enforce)
+	ld, err := annotdb.BootAllLoader(core.Enforce)
 	if err != nil {
 		return err
 	}
+	k := ld.BC.K
 	defer k.Shutdown()
-	v := vfs.Init(k, bl)
 	k.Sys.EnableTracing()
 	th := k.Sys.NewThread("work")
-	if _, err := tmpfssim.Load(th, k, v); err != nil {
+	// The loader brings up the VFS substrate on demand for tmpfssim.
+	if _, err := ld.Load(th, "tmpfssim"); err != nil {
 		return err
 	}
+	v := ld.BC.FS
 	sb, err := v.Mount(th, tmpfssim.FsID, 0)
 	if err != nil {
 		return err

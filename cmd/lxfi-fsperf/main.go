@@ -1,15 +1,15 @@
 // Command lxfi-fsperf measures filesystem overhead under LXFI: the
 // create/write/read/stat/unlink mix over the isolated tmpfssim and
 // minixsim modules, stock vs enforced — the filesystem counterpart of
-// lxfi-netperf's Figure 12.
+// lxfi-netperf's Figure 12 — plus the multi-mount concurrency phase and
+// the hot-reload-under-live-traffic phase.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
-	"os"
 
+	"lxfi/internal/benchio"
 	"lxfi/internal/fsperf"
 	"lxfi/internal/mem"
 	"lxfi/internal/modules/minixsim"
@@ -18,56 +18,55 @@ import (
 func main() {
 	files := flag.Int("files", 64, "files per measurement")
 	size := flag.Uint64("size", fsperf.DefaultFileSize, "file size in bytes")
-	asJSON := flag.Bool("json", false, "emit a machine-readable JSON report (the CI bench artifact)")
-	metrics := flag.Bool("metrics", false, "print each enforced rig's monitor metrics to stderr")
+	bf := benchio.Bind(
+		"emit a machine-readable JSON report (the CI bench artifact)",
+		"print each enforced rig's monitor metrics to stderr")
 	flag.Parse()
 	if *files < 1 {
-		fmt.Fprintln(os.Stderr, "-files must be at least 1")
-		os.Exit(2)
+		benchio.FailUsage("-files must be at least 1")
 	}
 	if max := uint64(minixsim.MaxFilePages * mem.PageSize); *size < 1 || *size > max {
-		fmt.Fprintf(os.Stderr, "-size must be between 1 and %d (the minixsim per-file extent cap)\n", max)
-		os.Exit(2)
+		benchio.FailUsage(fmt.Sprintf(
+			"-size must be between 1 and %d (the minixsim per-file extent cap)", max))
 	}
 
 	var all []*fsperf.Costs
-	if !*asJSON {
-		fmt.Println("fsperf — filesystem workloads with stock and LXFI-enabled modules")
-		fmt.Printf("(%d files, %d bytes each; ns/op, best of several rounds)\n\n", *files, *size)
+	var rls []*fsperf.ReloadCosts
+	if !bf.JSON {
+		fmt.Fprintln(benchio.Stdout, "fsperf — filesystem workloads with stock and LXFI-enabled modules")
+		fmt.Fprintf(benchio.Stdout, "(%d files, %d bytes each; ns/op, best of several rounds)\n\n", *files, *size)
 	}
 	for _, kind := range []fsperf.Kind{fsperf.Tmpfs, fsperf.Minix} {
 		costs, err := fsperf.MeasureCosts(kind, *files, *size)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s measurement failed: %v\n", kind, err)
-			os.Exit(1)
+			benchio.Fail(fmt.Sprintf("%s measurement failed", kind), err)
 		}
 		all = append(all, costs)
-		if !*asJSON {
-			fmt.Print(fsperf.Format(costs))
-			fmt.Println()
+		rl, err := fsperf.MeasureReload(kind, *size)
+		if err != nil {
+			benchio.Fail(fmt.Sprintf("%s reload phase failed", kind), err)
 		}
-		// Metrics go to stderr only: the stdout JSON is the archived
-		// BENCH artifact and must keep its perf-gated shape.
-		if *metrics && costs.Metrics != nil {
-			if out, err := json.MarshalIndent(costs.Metrics, "", "  "); err == nil {
-				fmt.Fprintf(os.Stderr, "# %s enforced metrics\n%s\n", kind, out)
-			}
+		rls = append(rls, rl)
+		if !bf.JSON {
+			fmt.Fprint(benchio.Stdout, fsperf.Format(costs))
+			fmt.Fprint(benchio.Stdout, fsperf.FormatReload(rl))
+			fmt.Fprintln(benchio.Stdout)
+		}
+		if bf.Metrics {
+			benchio.EmitMetrics(fmt.Sprintf("%s enforced metrics", kind), costs.Metrics)
 		}
 	}
 	conc, err := fsperf.MeasureConcurrency(*files, *size)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "concurrency measurement failed: %v\n", err)
-		os.Exit(1)
+		benchio.Fail("concurrency measurement failed", err)
 	}
-	if !*asJSON {
-		fmt.Print(fsperf.FormatConcurrency(conc))
+	if !bf.JSON {
+		fmt.Fprint(benchio.Stdout, fsperf.FormatConcurrency(conc))
+		return
 	}
-	if *asJSON {
-		out, err := fsperf.JSON(all, conc, *files, *size)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "encoding report: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Println(string(out))
+	out, err := fsperf.JSON(all, conc, rls, *files, *size)
+	if err != nil {
+		benchio.Fail("encoding report", err)
 	}
+	benchio.EmitReport(out)
 }

@@ -3,77 +3,60 @@
 // measured slowdowns and statically-computed code-size deltas.
 //
 // With -crossings it instead runs the capability-crossing engine
-// benchmark (cold/cached/contended checks and the revoke storm); with
-// -json the crossing report is emitted in the BENCH_crossings.json
-// shape CI archives and perf-gates.
+// benchmark (cold/cached/contended checks, the revoke storm, and the
+// hot-reload crossing latency); with -json the crossing report is
+// emitted in the BENCH_crossings.json shape CI archives and perf-gates.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
-	"os"
 
-	"lxfi/internal/core"
+	"lxfi/internal/benchio"
 	"lxfi/internal/microbench"
 )
-
-// printMetrics writes the monitor-metrics snapshot to stderr — never
-// stdout, so it cannot end up inside an archived BENCH report.
-func printMetrics(m *core.MetricsSnapshot) {
-	out, err := json.MarshalIndent(m, "", "  ")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "encoding metrics:", err)
-		return
-	}
-	fmt.Fprintln(os.Stderr, string(out))
-}
 
 func main() {
 	iters := flag.Int("iters", 5000, "operations per benchmark")
 	crossings := flag.Bool("crossings", false, "run the crossing-engine phases instead of Figure 11")
-	asJSON := flag.Bool("json", false, "emit the machine-readable crossing report (requires -crossings)")
-	metrics := flag.Bool("metrics", false, "print the enforced run's monitor metrics to stderr (requires -crossings)")
+	bf := benchio.Bind(
+		"emit the machine-readable crossing report (requires -crossings)",
+		"print the enforced run's monitor metrics to stderr (requires -crossings)")
 	flag.Parse()
 
-	if *metrics && !*crossings {
-		fmt.Fprintln(os.Stderr, "-metrics requires -crossings")
-		os.Exit(2)
+	if bf.Metrics && !*crossings {
+		benchio.FailUsage("-metrics requires -crossings")
 	}
 	if *crossings {
 		rows, snap, err := microbench.MeasureCrossingsWithMetrics(*iters)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "crossing benchmark failed:", err)
-			os.Exit(1)
+			benchio.Fail("crossing benchmark failed", err)
 		}
-		if *metrics && snap != nil {
-			printMetrics(snap)
+		if bf.Metrics {
+			benchio.EmitMetrics("crossings enforced metrics", snap)
 		}
-		if *asJSON {
+		if bf.JSON {
 			out, err := microbench.CrossingsJSON(rows, *iters)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "encoding report:", err)
-				os.Exit(1)
+				benchio.Fail("encoding report", err)
 			}
-			fmt.Println(string(out))
+			benchio.EmitReport(out)
 			return
 		}
-		fmt.Println("Crossing engine — capability checks, stock vs LXFI")
-		fmt.Println()
-		fmt.Print(microbench.FormatCrossings(rows))
+		fmt.Fprintln(benchio.Stdout, "Crossing engine — capability checks, stock vs LXFI")
+		fmt.Fprintln(benchio.Stdout)
+		fmt.Fprint(benchio.Stdout, microbench.FormatCrossings(rows))
 		return
 	}
-	if *asJSON {
-		fmt.Fprintln(os.Stderr, "-json requires -crossings")
-		os.Exit(2)
+	if bf.JSON {
+		benchio.FailUsage("-json requires -crossings")
 	}
 
 	rs, err := microbench.RunAll(*iters)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "microbench failed:", err)
-		os.Exit(1)
+		benchio.Fail("microbench failed", err)
 	}
-	fmt.Println("Figure 11 — SFI microbenchmarks under LXFI")
-	fmt.Println()
-	fmt.Print(microbench.Format(rs))
+	fmt.Fprintln(benchio.Stdout, "Figure 11 — SFI microbenchmarks under LXFI")
+	fmt.Fprintln(benchio.Stdout)
+	fmt.Fprint(benchio.Stdout, microbench.Format(rs))
 }

@@ -4,72 +4,65 @@
 //
 // With -json it emits BENCH_netperf.json: the measured per-packet path
 // costs plus the concurrent socket-pair phase (one worker thread per
-// econet socket pair), for the CI perf gate.
+// econet socket pair) and the hot-reload-under-TX-traffic phase, for
+// the CI perf gate.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
-	"os"
 
+	"lxfi/internal/benchio"
 	"lxfi/internal/netperf"
 )
 
 func main() {
 	packets := flag.Int("packets", 2000, "packets per measurement")
 	guards := flag.Bool("guards", false, "also print the Figure 13 guard breakdown")
-	asJSON := flag.Bool("json", false, "emit BENCH_netperf.json (path costs + concurrent socket phase)")
 	pairs := flag.Int("pairs", 4, "socket pairs (worker threads) in the concurrent phase")
-	metrics := flag.Bool("metrics", false, "print the enforced rig's monitor metrics to stderr")
+	bf := benchio.Bind(
+		"emit BENCH_netperf.json (path costs + concurrent socket phase + reload phase)",
+		"print the enforced rig's monitor metrics to stderr")
 	flag.Parse()
 
 	costs, err := netperf.MeasureCosts(*packets)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "measurement failed:", err)
-		os.Exit(1)
+		benchio.Fail("measurement failed", err)
 	}
-	// Metrics go to stderr only: the stdout JSON is the archived BENCH
-	// artifact and must keep its perf-gated shape.
-	if *metrics && costs.Metrics != nil {
-		if out, err := json.MarshalIndent(costs.Metrics, "", "  "); err == nil {
-			fmt.Fprintln(os.Stderr, string(out))
-		}
+	if bf.Metrics {
+		benchio.EmitMetrics("netperf enforced metrics", costs.Metrics)
 	}
-	if *asJSON {
-		conc, err := netperf.MeasureConcurrentSockets(*pairs, *packets)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "concurrent measurement failed:", err)
-			os.Exit(1)
-		}
-		out, err := netperf.JSON(costs, conc, *packets)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "encoding report:", err)
-			os.Exit(1)
-		}
-		fmt.Println(string(out))
-		return
-	}
-	fmt.Println("Figure 12 — netperf with stock and LXFI-enabled e1000 driver")
-	fmt.Println()
-	fmt.Print(netperf.Format(netperf.BuildTable(costs)))
 	conc, err := netperf.MeasureConcurrentSockets(*pairs, *packets)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "concurrent measurement failed:", err)
-		os.Exit(1)
+		benchio.Fail("concurrent measurement failed", err)
 	}
-	fmt.Println()
-	fmt.Print(netperf.FormatConcurrent(conc))
+	rl, err := netperf.MeasureReload()
+	if err != nil {
+		benchio.Fail("reload phase failed", err)
+	}
+	if bf.JSON {
+		out, err := netperf.JSON(costs, conc, rl, *packets)
+		if err != nil {
+			benchio.Fail("encoding report", err)
+		}
+		benchio.EmitReport(out)
+		return
+	}
+	fmt.Fprintln(benchio.Stdout, "Figure 12 — netperf with stock and LXFI-enabled e1000 driver")
+	fmt.Fprintln(benchio.Stdout)
+	fmt.Fprint(benchio.Stdout, netperf.Format(netperf.BuildTable(costs)))
+	fmt.Fprintln(benchio.Stdout)
+	fmt.Fprint(benchio.Stdout, netperf.FormatConcurrent(conc))
+	fmt.Fprint(benchio.Stdout, netperf.FormatReload(rl))
 
 	if *guards {
 		rows, err := netperf.GuardBreakdown(*packets)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "guard breakdown failed:", err)
-			os.Exit(1)
+			benchio.Fail("guard breakdown failed", err)
 		}
-		fmt.Println()
-		fmt.Println("Figure 13 — guards per packet, UDP STREAM TX")
-		fmt.Println()
-		fmt.Print(netperf.FormatGuards(rows))
+		fmt.Fprintln(benchio.Stdout)
+		fmt.Fprintln(benchio.Stdout, "Figure 13 — guards per packet, UDP STREAM TX")
+		fmt.Fprintln(benchio.Stdout)
+		fmt.Fprint(benchio.Stdout, netperf.FormatGuards(rows))
 	}
 }

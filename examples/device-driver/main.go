@@ -1,7 +1,8 @@
 // Device-driver: run the isolated e1000 network driver end to end —
 // PCI probe (with principal aliasing), transmit through the qdisc and
 // the checked ndo_start_xmit indirect call, and NAPI receive — then
-// print the per-packet guard profile LXFI executed.
+// print the per-packet guard profile LXFI executed, hot-reload the
+// driver, and keep transmitting through the pre-reload device handle.
 //
 // Run with: go run ./examples/device-driver
 package main
@@ -21,10 +22,12 @@ func main() {
 	k, th := machine.Kernel, machine.Thread
 
 	machine.Bus.AddDevice(e1000sim.VendorIntel, e1000sim.Dev82540EM)
-	drv, err := e1000sim.Load(th, k, machine.Bus, machine.Net)
+	ld := machine.Loader()
+	inst, err := ld.Load(th, "e1000")
 	if err != nil {
 		panic(err)
 	}
+	drv := inst.(*e1000sim.Driver)
 	fmt.Printf("e1000 probed: pci_dev=%#x net_device=%#x (aliased principals)\n",
 		uint64(drv.PciDev), uint64(drv.Dev))
 
@@ -67,5 +70,32 @@ func main() {
 		fmt.Println("unexpected violation:", v)
 	} else {
 		fmt.Println("\nno violations — the driver stayed within its contract")
+	}
+
+	// Hot reload: quiesce the driver's gates, snapshot and migrate its
+	// capabilities into a freshly probed generation, then transmit
+	// through the *old* net_device handle — the kernel's stale
+	// function-pointer slots redirect into the successor.
+	stats, err := ld.Reload(th, "e1000")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nhot reload: %d caps migrated, quiesce %dus, total %dus\n",
+		stats.Migrated, stats.QuiesceNs/1000, stats.TotalNs/1000)
+	fresh, _ := ld.Instance("e1000")
+	drv2 := fresh.(*e1000sim.Driver)
+	for i := 0; i < 10; i++ {
+		skb, err := machine.Net.AllocSkb(64)
+		if err != nil {
+			panic(err)
+		}
+		if _, err := machine.Net.XmitSkb(th, drv.Dev, skb); err != nil {
+			panic(err)
+		}
+	}
+	fmt.Printf("post-reload: %d frames through the pre-reload handle landed on the successor\n",
+		drv2.Nic.TxFrames)
+	if v := k.Sys.Mon.LastViolation(); v != nil {
+		fmt.Println("unexpected violation:", v)
 	}
 }

@@ -35,7 +35,7 @@ func run(mode lxfi.Mode) {
 	}
 	k, th, v := machine.Kernel, machine.Thread, machine.FS
 
-	if _, err := tmpfssim.Load(th, k, v); err != nil {
+	if _, err := machine.Loader().Load(th, "tmpfssim"); err != nil {
 		panic(err)
 	}
 	sbA, err := v.Mount(th, tmpfssim.FsID, 0)

@@ -21,10 +21,13 @@ func main() {
 	}
 	k, th := machine.Kernel, machine.Thread
 
-	proto, err := econet.Load(th, k, machine.Net)
+	// Importing the econet package registered its descriptor; the
+	// loader resolves the netstack dependency and boots it by name.
+	inst, err := machine.Loader().Load(th, "econet")
 	if err != nil {
 		panic(err)
 	}
+	proto := inst.(*econet.Proto)
 
 	// Two users, two sockets — two principals.
 	alice, _ := machine.Net.Socket(th, econet.Family)

@@ -31,25 +31,31 @@ func TestWholeSystemFaultContainment(t *testing.T) {
 	task := k.CreateTask("attacker", 1000)
 	k.SetCurrent(th, task)
 
-	// Load four modules onto the same kernel.
+	// Load four modules onto the same kernel through the descriptor
+	// registry.
+	ld := machine.Loader()
 	machine.Bus.AddDevice(e1000sim.VendorIntel, e1000sim.Dev82540EM)
-	drv, err := e1000sim.Load(th, k, machine.Bus, machine.Net)
+	drvInst, err := ld.Load(th, "e1000")
 	if err != nil {
 		t.Fatal(err)
 	}
-	eco, err := econet.Load(th, k, machine.Net)
+	drv := drvInst.(*e1000sim.Driver)
+	ecoInst, err := ld.Load(th, "econet")
 	if err != nil {
 		t.Fatal(err)
 	}
-	rdsProto, err := rds.Load(th, k, machine.Net, rds.Config{WritableOps: true})
+	eco := ecoInst.(*econet.Proto)
+	rdsInst, err := ld.LoadWith(th, "rds", rds.Config{WritableOps: true})
 	if err != nil {
 		t.Fatal(err)
 	}
+	rdsProto := rdsInst.(*rds.Proto)
 	machine.Block.AddDisk(1, 1024)
-	crypt, err := dmcrypt.Load(th, k, machine.Block)
+	cryptInst, err := ld.Load(th, "dm-crypt")
 	if err != nil {
 		t.Fatal(err)
 	}
+	crypt := cryptInst.(*dmcrypt.Target)
 	ti, err := machine.Block.CreateTarget(th, crypt.Ops(), 0xFEED, 0, 256, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -172,14 +178,17 @@ func TestCrossSubsystemPrincipalIsolation(t *testing.T) {
 	}
 	k, th := machine.Kernel, machine.Thread
 
-	eco, err := econet.Load(th, k, machine.Net)
+	ld := machine.Loader()
+	ecoInst, err := ld.Load(th, "econet")
 	if err != nil {
 		t.Fatal(err)
 	}
-	tmpfs, err := tmpfssim.Load(th, k, machine.FS)
+	eco := ecoInst.(*econet.Proto)
+	tmpfsInst, err := ld.Load(th, "tmpfssim")
 	if err != nil {
 		t.Fatal(err)
 	}
+	tmpfs := tmpfsInst.(*tmpfssim.FS)
 	sb, err := machine.FS.Mount(th, tmpfssim.FsID, 0)
 	if err != nil {
 		t.Fatal(err)

@@ -14,16 +14,9 @@ import (
 	"lxfi/internal/blockdev"
 	"lxfi/internal/core"
 	"lxfi/internal/kernel"
-	"lxfi/internal/modules/can"
-	"lxfi/internal/modules/canbcm"
-	"lxfi/internal/modules/dmcrypt"
-	"lxfi/internal/modules/dmsnapshot"
-	"lxfi/internal/modules/dmzero"
+	"lxfi/internal/modules"
+	_ "lxfi/internal/modules/all"
 	"lxfi/internal/modules/e1000sim"
-	"lxfi/internal/modules/econet"
-	"lxfi/internal/modules/rds"
-	"lxfi/internal/modules/sndens1370"
-	"lxfi/internal/modules/sndintel8x0"
 	"lxfi/internal/netstack"
 	"lxfi/internal/pci"
 	"lxfi/internal/sound"
@@ -72,59 +65,48 @@ type Table struct {
 // BootAll boots one system with every substrate initialized and all ten
 // modules loaded; it returns the system for inspection.
 func BootAll(mode core.Mode) (*core.System, error) {
-	k, _, err := BootAllKernel(mode)
+	l, err := BootAllLoader(mode)
 	if err != nil {
 		return nil, err
 	}
-	return k.Sys, nil
+	return l.BC.K.Sys, nil
 }
 
 // BootAllKernel is BootAll for callers that need the kernel and block
 // layer too (the coredump tool mounts a filesystem on the booted
 // system to exercise the page cache).
 func BootAllKernel(mode core.Mode) (*kernel.Kernel, *blockdev.Layer, error) {
+	l, err := BootAllLoader(mode)
+	if err != nil {
+		return nil, nil, err
+	}
+	return l.BC.K, l.BC.Block, nil
+}
+
+// BootAllLoader boots the ten-module system through the descriptor
+// registry and returns the loader, for callers that go on to unload or
+// hot-reload modules.
+func BootAllLoader(mode core.Mode) (*modules.Loader, error) {
 	k := kernel.New()
 	k.Sys.Mon.SetMode(mode)
 	k.ShmInit()
-	bus := pci.Init(k)
-	st := netstack.Init(k)
-	bl := blockdev.Init(k)
-	bl.AddDisk(1, 1024)
-	snd := sound.Init(k)
-	bus.AddDevice(e1000sim.VendorIntel, e1000sim.Dev82540EM)
+	bc := &modules.BootContext{
+		K:     k,
+		Bus:   pci.Init(k),
+		Net:   netstack.Init(k),
+		Block: blockdev.Init(k),
+		Snd:   sound.Init(k),
+	}
+	bc.Block.AddDisk(1, 1024)
+	bc.Bus.AddDevice(e1000sim.VendorIntel, e1000sim.Dev82540EM)
 	th := k.Sys.NewThread("boot")
-
-	if _, err := e1000sim.Load(th, k, bus, st); err != nil {
-		return nil, nil, fmt.Errorf("e1000: %w", err)
+	l := modules.NewLoaderWith(bc)
+	for _, name := range moduleOrder {
+		if _, err := l.Load(th, name); err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
 	}
-	if _, err := sndintel8x0.Load(th, k, snd); err != nil {
-		return nil, nil, fmt.Errorf("snd-intel8x0: %w", err)
-	}
-	if _, err := sndens1370.Load(th, k, snd); err != nil {
-		return nil, nil, fmt.Errorf("snd-ens1370: %w", err)
-	}
-	if _, err := rds.Load(th, k, st, rds.Config{}); err != nil {
-		return nil, nil, fmt.Errorf("rds: %w", err)
-	}
-	if _, err := can.Load(th, k, st); err != nil {
-		return nil, nil, fmt.Errorf("can: %w", err)
-	}
-	if _, err := canbcm.Load(th, k, st); err != nil {
-		return nil, nil, fmt.Errorf("can-bcm: %w", err)
-	}
-	if _, err := econet.Load(th, k, st); err != nil {
-		return nil, nil, fmt.Errorf("econet: %w", err)
-	}
-	if _, err := dmcrypt.Load(th, k, bl); err != nil {
-		return nil, nil, fmt.Errorf("dm-crypt: %w", err)
-	}
-	if _, err := dmzero.Load(th, k, bl); err != nil {
-		return nil, nil, fmt.Errorf("dm-zero: %w", err)
-	}
-	if _, err := dmsnapshot.Load(th, k, bl, 512); err != nil {
-		return nil, nil, fmt.Errorf("dm-snapshot: %w", err)
-	}
-	return k, bl, nil
+	return l, nil
 }
 
 // Build computes the Fig. 9 table from a booted system.

@@ -1,0 +1,76 @@
+package benchio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func swap(t *testing.T) (*bytes.Buffer, *bytes.Buffer) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	oldOut, oldErr := Stdout, Stderr
+	Stdout, Stderr = &out, &errw
+	t.Cleanup(func() { Stdout, Stderr = oldOut, oldErr })
+	return &out, &errw
+}
+
+func TestEmitReportWritesOnlyStdout(t *testing.T) {
+	out, errw := swap(t)
+	EmitReport([]byte(`{"bench":"x"}`))
+	if got := out.String(); got != "{\"bench\":\"x\"}\n" {
+		t.Fatalf("stdout = %q", got)
+	}
+	if errw.Len() != 0 {
+		t.Fatalf("report leaked to stderr: %q", errw.String())
+	}
+}
+
+// The stderr-only metrics contract: a metrics dump must never reach
+// stdout, where it would corrupt an archived BENCH artifact.
+func TestEmitMetricsWritesOnlyStderr(t *testing.T) {
+	out, errw := swap(t)
+	EmitMetrics("fsperf enforced metrics", map[string]int{"guards": 3})
+	if out.Len() != 0 {
+		t.Fatalf("metrics leaked to stdout: %q", out.String())
+	}
+	got := errw.String()
+	if !strings.HasPrefix(got, "# fsperf enforced metrics\n") {
+		t.Fatalf("missing label comment: %q", got)
+	}
+	if !strings.Contains(got, `"guards": 3`) {
+		t.Fatalf("missing payload: %q", got)
+	}
+}
+
+func TestEmitMetricsIgnoresNil(t *testing.T) {
+	out, errw := swap(t)
+	EmitMetrics("x", nil)
+	var typed *struct{ N int }
+	EmitMetrics("y", typed)
+	if out.Len() != 0 || errw.Len() != 0 {
+		t.Fatal("nil snapshot produced output")
+	}
+}
+
+func TestFailPathsUseStderrAndExitCodes(t *testing.T) {
+	_, errw := swap(t)
+	var code int
+	oldExit := exit
+	exit = func(c int) { code = c }
+	defer func() { exit = oldExit }()
+
+	Fail("measurement failed", errString("boom"))
+	if code != 1 || !strings.Contains(errw.String(), "measurement failed: boom") {
+		t.Fatalf("code=%d stderr=%q", code, errw.String())
+	}
+	errw.Reset()
+	FailUsage("-json requires -crossings")
+	if code != 2 || !strings.Contains(errw.String(), "-json requires -crossings") {
+		t.Fatalf("code=%d stderr=%q", code, errw.String())
+	}
+}
+
+type errString string
+
+func (e errString) Error() string { return string(e) }

@@ -1,0 +1,131 @@
+package caps
+
+import "lxfi/internal/mem"
+
+// Capability snapshot and migration, the caps half of hot module
+// reload (internal/core/reload.go has the runtime half).
+//
+// A reload replaces a module generation, and with it the module's
+// principal set: the old set's shared principal held WRITE/CALL
+// capabilities naming the old generation's sections and code, which
+// must die with it, but the *instance* principals — one per socket,
+// mount, device the module was serving — name kernel objects that
+// outlive the swap. Snapshot captures those instances while the module
+// is quiesced; MigrateSnapshot re-creates them in the successor's set,
+// re-granting each capability the caller's filter keeps (typically
+// everything except references into the retired generation's sections
+// and text). Principals the fresh generation already created (a
+// re-probed device, say) are merged with the migrated state via the
+// alias directory rather than duplicated.
+
+// InstanceSnapshot is one instance principal's capability state at
+// snapshot time.
+type InstanceSnapshot struct {
+	Name    mem.Addr   // canonical principal name
+	Aliases []mem.Addr // every name resolving to the principal, including Name
+	Writes  []Cap
+	Refs    []Cap
+	Calls   []mem.Addr
+}
+
+// ModuleSnapshot is the per-instance capability state of one module,
+// captured before a reload retires it.
+type ModuleSnapshot struct {
+	Module    string
+	Instances []InstanceSnapshot
+}
+
+// Snapshot captures every instance principal of the set: names,
+// aliases, and directly-held capabilities. The caller is expected to
+// have quiesced the module (no crossings executing), but the walk is
+// still lock-correct against unrelated capability traffic: the
+// directory is read under ms.mu, the tables under the shard locks.
+func (ms *ModuleSet) Snapshot() *ModuleSnapshot {
+	ms.mu.RLock()
+	prins := make([]*Principal, 0, len(ms.instances))
+	aliases := make(map[*Principal][]mem.Addr, len(ms.instances))
+	for _, p := range ms.instances {
+		prins = append(prins, p)
+	}
+	for name, p := range ms.aliases {
+		aliases[p] = append(aliases[p], name)
+	}
+	ms.mu.RUnlock()
+
+	snap := &ModuleSnapshot{Module: ms.Module}
+	for _, p := range prins {
+		inst := InstanceSnapshot{
+			Name:    p.Name,
+			Aliases: aliases[p],
+			Writes:  p.WriteRegions(),
+			Refs:    p.RefCaps(),
+			Calls:   p.CallTargets(),
+		}
+		sortAddrs(inst.Aliases)
+		snap.Instances = append(snap.Instances, inst)
+	}
+	sortInstances(snap.Instances)
+	return snap
+}
+
+func sortAddrs(a []mem.Addr) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+func sortInstances(in []InstanceSnapshot) {
+	for i := 1; i < len(in); i++ {
+		for j := i; j > 0 && in[j].Name < in[j-1].Name; j-- {
+			in[j], in[j-1] = in[j-1], in[j]
+		}
+	}
+}
+
+// CapFilter decides whether one snapshotted capability migrates to the
+// successor. Returning false revokes it cleanly: the capability simply
+// is not re-granted in the new set.
+type CapFilter func(c Cap) bool
+
+// MigrateSnapshot re-creates snap's instance principals inside the
+// successor set ns and grants every capability keep admits. Instances
+// are resolved through ns's alias directory, so a principal the fresh
+// generation already created under one of the old names (a re-probed
+// device) absorbs the migrated capabilities instead of splitting the
+// object between two principals; alias names already bound to a
+// different principal are skipped rather than fought over. Returns the
+// number of capabilities migrated and dropped. Every Grant bumps the
+// capability epoch, so stale caches cannot serve pre-migration state.
+func (s *System) MigrateSnapshot(ns *ModuleSet, snap *ModuleSnapshot, keep CapFilter) (migrated, dropped int) {
+	for _, inst := range snap.Instances {
+		p := ns.Instance(inst.Name)
+		for _, a := range inst.Aliases {
+			if a == inst.Name {
+				continue
+			}
+			// A conflict means the fresh generation bound this name to
+			// another object; its binding wins.
+			_ = ns.Alias(inst.Name, a)
+		}
+		grant := func(c Cap) {
+			if keep == nil || keep(c) {
+				s.Grant(p, c)
+				migrated++
+			} else {
+				dropped++
+			}
+		}
+		for _, c := range inst.Writes {
+			grant(c)
+		}
+		for _, c := range inst.Refs {
+			grant(c)
+		}
+		for _, a := range inst.Calls {
+			grant(CallCap(a))
+		}
+	}
+	return migrated, dropped
+}

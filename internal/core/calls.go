@@ -134,6 +134,16 @@ func (t *Thread) callModuleDecl(m *Module, fn *FuncDecl, args []uint64) (uint64,
 // substituted=true then forces the tree interpreter, whose by-name
 // argument binding is what the substitution relies on).
 func (t *Thread) callModuleDeclParams(m *Module, fn *FuncDecl, params []Param, substituted bool, args []uint64) (uint64, error) {
+	// Entry protocol (reload.go): register the crossing in the module's
+	// active counter, park if a reload is quiescing the module, and
+	// re-bind to the successor generation if it has been retired.
+	var err error
+	m, fn, params, substituted, err = t.enterModule(m, fn, params, substituted)
+	if err != nil {
+		return 0, err
+	}
+	entered := m
+	defer entered.active.Add(-1)
 	if m.Dead() {
 		return 0, fmt.Errorf("%w (%s)", ErrModuleDead, m.Name)
 	}
@@ -284,6 +294,14 @@ func (t *Thread) dispatch(target mem.Addr, ft *FPtrType, args []uint64) (uint64,
 		// RegisterUserFuncAt).
 		return 0, fmt.Errorf("core: kernel oops: indirect call to invalid address %#x", uint64(target))
 	}
+	return t.dispatchFn(fn, nil, ft, args)
+}
+
+// dispatchFn is dispatch past target resolution. m, when non-nil, is a
+// pre-resolved module for fn (the IndGate slot cache supplies it); the
+// entry protocol revalidates it, so a generation staled by a reload is
+// still redirected correctly.
+func (t *Thread) dispatchFn(fn *FuncDecl, m *Module, ft *FPtrType, args []uint64) (uint64, error) {
 	switch {
 	case fn.IsUser():
 		// The kernel jumping to user-mapped code: the exploit payload runs
@@ -301,9 +319,20 @@ func (t *Thread) dispatch(target mem.Addr, ft *FPtrType, args []uint64) (uint64,
 	case fn.IsKernel():
 		return t.callKernelDecl(fn, args)
 	default:
-		m, ok := t.Sys.Module(fn.Module)
-		if !ok {
-			return 0, fmt.Errorf("core: function %s belongs to unloaded module", fn)
+		if m == nil {
+			var ok bool
+			m, ok = t.Sys.Module(fn.Module)
+			if !ok {
+				// Mid-reload window: the old generation is retired and the
+				// fresh one not yet published. The owning module object is
+				// still reachable from the declaration; the entry protocol
+				// parks the crossing there until the reload resolves, so
+				// no in-flight crossing is dropped.
+				if fn.owner == nil {
+					return 0, fmt.Errorf("core: function %s belongs to unloaded module", fn)
+				}
+				m = fn.owner
+			}
 		}
 		// Apply the *slot type's* parameter names if the function carries
 		// none (annotation propagation already guaranteed hash equality).
@@ -315,6 +344,59 @@ func (t *Thread) dispatch(target mem.Addr, ft *FPtrType, args []uint64) (uint64,
 		}
 		return t.callModuleDeclParams(m, fn, params, false, args)
 	}
+}
+
+// indirectCallGate is the bound IndGate entry: indirectCallFT plus the
+// per-gate (slot → target) cache. A hit must match the slot, the
+// loaded target value, the enforcement mode, and the capability epoch;
+// any capability mutation (grant, revoke, module load/unload/retire,
+// instance drop) bumps the epoch and invalidates every entry, exactly
+// like the per-thread check caches. A valid hit skips the writer-set
+// probe, the grantee sweep, and the System.mu function lookups — the
+// last registry read lock on the kernel-side indirect hot path.
+func (t *Thread) indirectCallGate(g *IndGate, slot mem.Addr, args []uint64) (uint64, error) {
+	target, err := t.Sys.AS.ReadU64(slot)
+	if err != nil {
+		return 0, fmt.Errorf("core: indirect call: cannot load pointer at %#x: %v", uint64(slot), err)
+	}
+	taddr := mem.Addr(target)
+	enforcing := t.mon.Enforcing()
+
+	idx := (uint64(slot) >> 3) & (indCacheSlots - 1)
+	// The epoch is read before the checks run: a mutation racing the
+	// fill leaves the stored entry already stale.
+	epoch := t.csys.Epoch()
+	if e := g.cache[idx].Load(); e != nil && e.slot == slot && e.target == target &&
+		e.enforcing == enforcing && e.epoch == epoch {
+		if enforcing {
+			t.Sys.Mon.Stats.IndCallAll.Add(1)
+			t.Sys.Mon.Stats.IndCacheHits.Add(1)
+		}
+		return t.dispatchFn(e.fn, e.m, g.ft, args)
+	}
+
+	if enforcing {
+		t.Sys.Mon.Stats.IndCallAll.Add(1)
+		if t.Sys.Mon.DisableWriterSetOpt || !t.Sys.WST.Empty(slot) {
+			t.Sys.Mon.Stats.IndCallSlow.Add(1)
+			if err := t.checkIndCallSlow(slot, taddr, g.ft); err != nil {
+				return 0, err
+			}
+		}
+	}
+
+	fn, ok := t.Sys.FuncByAddr(taddr)
+	if !ok {
+		return 0, fmt.Errorf("core: kernel oops: indirect call to invalid address %#x", uint64(target))
+	}
+	e := &indCacheEnt{slot: slot, target: target, epoch: epoch, enforcing: enforcing, fn: fn}
+	if !fn.IsKernel() && !fn.IsUser() {
+		if m, ok := t.Sys.Module(fn.Module); ok {
+			e.m = m
+		}
+	}
+	g.cache[idx].Store(e)
+	return t.dispatchFn(fn, e.m, g.ft, args)
 }
 
 // CallAddr is the module-side indirect call: module code invoking a
@@ -352,6 +434,11 @@ func (t *Thread) callAddrFT(target mem.Addr, ft *FPtrType, args []uint64) (uint6
 	}
 	if m, ok := t.Sys.Module(fn.Module); ok {
 		return t.callModuleDecl(m, fn, args)
+	}
+	if fn.owner != nil {
+		// Mid-reload window: park at the old generation's gate (the
+		// entry protocol redirects once the successor is published).
+		return t.callModuleDecl(fn.owner, fn, args)
 	}
 	return 0, fmt.Errorf("core: cannot dispatch %s", fn)
 }

@@ -54,6 +54,14 @@ type FuncDecl struct {
 	// re-interpreting the annotation trees per call. nil when Annot is
 	// nil or could not be lowered (the tree interpreter then runs).
 	prog *annotProg
+
+	// owner is the Module instance the declaration was registered for
+	// (nil for kernel and user functions). The crossing entry protocol
+	// compares it against the module resolved by name: a mismatch means
+	// the declaration belongs to a retired generation and the call is
+	// re-bound to the successor's declaration of the same name
+	// (reload.go).
+	owner *Module
 }
 
 // IsKernel reports whether the function belongs to the core kernel.
@@ -156,10 +164,48 @@ type Module struct {
 	dead       atomic.Bool
 	killMu     sync.Mutex
 	killReason *Violation
+
+	// Lifecycle state for hot reload (reload.go): lcState moves
+	// live → quiescing → retired; active counts crossings currently
+	// executing inside the module (entered, not yet returned);
+	// successor is the replacement generation once retired; lcWake is
+	// closed and replaced on every lifecycle transition so crossings
+	// parked at the gate re-check the state.
+	lcState   atomic.Int32
+	active    atomic.Int64
+	successor atomic.Pointer[Module]
+	lcWake    atomic.Pointer[chan struct{}]
 }
 
 // Dead reports whether the module has been killed after a violation.
 func (m *Module) Dead() bool { return m.dead.Load() }
+
+// Retired reports whether the module has been replaced by a reload.
+// A retired module's gates are permanently stale: crossings through
+// them are redirected to the successor (by-name dispatch) or refused
+// (direct Gate use under enforcement).
+func (m *Module) Retired() bool { return m.lcState.Load() == lcRetired }
+
+// Quiescing reports whether a reload is draining the module.
+func (m *Module) Quiescing() bool { return m.lcState.Load() == lcQuiescing }
+
+// Successor returns the module generation that replaced this one after
+// a reload, or nil.
+func (m *Module) Successor() *Module { return m.successor.Load() }
+
+// ActiveCrossings returns the number of crossings currently executing
+// inside the module (diagnostics; the quiesce loop polls it).
+func (m *Module) ActiveCrossings() int64 { return m.active.Load() }
+
+// lcTransition publishes a lifecycle state and wakes every crossing
+// parked on the previous wake channel so it re-checks the state.
+func (m *Module) lcTransition(state int32) {
+	fresh := make(chan struct{})
+	m.lcState.Store(state)
+	if old := m.lcWake.Swap(&fresh); old != nil {
+		close(*old)
+	}
+}
 
 // KillReason returns the violation that killed the module, or nil.
 func (m *Module) KillReason() *Violation {

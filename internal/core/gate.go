@@ -19,14 +19,38 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"lxfi/internal/mem"
 )
 
 // Gate is one bound module→kernel crossing: a pre-resolved kernel
-// export. Obtained from Module.Gate at load time.
+// export. Obtained from Module.Gate at load time. owner is the module
+// generation the gate was bound for: once that generation is retired
+// by a reload, calling through the gate is a violation under
+// enforcement (a stale gate is a dangling pointer into the old
+// generation's import table).
 type Gate struct {
-	fn *FuncDecl
+	fn    *FuncDecl
+	owner *Module
+}
+
+// guard refuses crossings through a gate whose owning module
+// generation has been retired by a reload. During the quiesce drain
+// (owner still quiescing) the gate keeps working — in-flight crossings
+// must be able to finish. On a stock kernel the stale gate silently
+// keeps working, which is exactly the use-after-reload window the
+// StaleGateUseAfterReload exploit drives through.
+func (g *Gate) guard(t *Thread) error {
+	if g.owner == nil || g.owner.lcState.Load() != lcRetired {
+		return nil
+	}
+	if !t.mon.Enforcing() {
+		return nil
+	}
+	return t.violationAt(g.owner, g.owner.Set.Shared(), "stalegate", g.fn.Addr,
+		fmt.Sprintf("crossing through stale gate %s of reloaded module %s",
+			g.fn.Name, g.owner.Name))
 }
 
 // Gate returns the bound gate for one of the module's imports. Gates
@@ -55,6 +79,9 @@ func (t *Thread) popArgs(base int) { t.argStack = t.argStack[:base] }
 
 // Call0 invokes the gate with no arguments.
 func (g *Gate) Call0(t *Thread) (uint64, error) {
+	if err := g.guard(t); err != nil {
+		return 0, err
+	}
 	base := len(t.argStack)
 	ret, err := t.callKernelDecl(g.fn, t.argStack[base:])
 	t.popArgs(base)
@@ -63,6 +90,9 @@ func (g *Gate) Call0(t *Thread) (uint64, error) {
 
 // Call1 invokes the gate with one argument.
 func (g *Gate) Call1(t *Thread, a0 uint64) (uint64, error) {
+	if err := g.guard(t); err != nil {
+		return 0, err
+	}
 	base := len(t.argStack)
 	t.argStack = append(t.argStack, a0)
 	ret, err := t.callKernelDecl(g.fn, t.argStack[base:])
@@ -72,6 +102,9 @@ func (g *Gate) Call1(t *Thread, a0 uint64) (uint64, error) {
 
 // Call2 invokes the gate with two arguments.
 func (g *Gate) Call2(t *Thread, a0, a1 uint64) (uint64, error) {
+	if err := g.guard(t); err != nil {
+		return 0, err
+	}
 	base := len(t.argStack)
 	t.argStack = append(t.argStack, a0, a1)
 	ret, err := t.callKernelDecl(g.fn, t.argStack[base:])
@@ -81,6 +114,9 @@ func (g *Gate) Call2(t *Thread, a0, a1 uint64) (uint64, error) {
 
 // Call3 invokes the gate with three arguments.
 func (g *Gate) Call3(t *Thread, a0, a1, a2 uint64) (uint64, error) {
+	if err := g.guard(t); err != nil {
+		return 0, err
+	}
 	base := len(t.argStack)
 	t.argStack = append(t.argStack, a0, a1, a2)
 	ret, err := t.callKernelDecl(g.fn, t.argStack[base:])
@@ -90,6 +126,9 @@ func (g *Gate) Call3(t *Thread, a0, a1, a2 uint64) (uint64, error) {
 
 // Call4 invokes the gate with four arguments.
 func (g *Gate) Call4(t *Thread, a0, a1, a2, a3 uint64) (uint64, error) {
+	if err := g.guard(t); err != nil {
+		return 0, err
+	}
 	base := len(t.argStack)
 	t.argStack = append(t.argStack, a0, a1, a2, a3)
 	ret, err := t.callKernelDecl(g.fn, t.argStack[base:])
@@ -99,6 +138,9 @@ func (g *Gate) Call4(t *Thread, a0, a1, a2, a3 uint64) (uint64, error) {
 
 // Call5 invokes the gate with five arguments.
 func (g *Gate) Call5(t *Thread, a0, a1, a2, a3, a4 uint64) (uint64, error) {
+	if err := g.guard(t); err != nil {
+		return 0, err
+	}
 	base := len(t.argStack)
 	t.argStack = append(t.argStack, a0, a1, a2, a3, a4)
 	ret, err := t.callKernelDecl(g.fn, t.argStack[base:])
@@ -108,6 +150,9 @@ func (g *Gate) Call5(t *Thread, a0, a1, a2, a3, a4 uint64) (uint64, error) {
 
 // Call6 invokes the gate with six arguments.
 func (g *Gate) Call6(t *Thread, a0, a1, a2, a3, a4, a5 uint64) (uint64, error) {
+	if err := g.guard(t); err != nil {
+		return 0, err
+	}
 	base := len(t.argStack)
 	t.argStack = append(t.argStack, a0, a1, a2, a3, a4, a5)
 	ret, err := t.callKernelDecl(g.fn, t.argStack[base:])
@@ -118,6 +163,9 @@ func (g *Gate) Call6(t *Thread, a0, a1, a2, a3, a4, a5 uint64) (uint64, error) {
 // CallArgs invokes the gate with a caller-owned argument slice (for
 // arities beyond Call6 or callers with their own scratch).
 func (g *Gate) CallArgs(t *Thread, args []uint64) (uint64, error) {
+	if err := g.guard(t); err != nil {
+		return 0, err
+	}
 	return t.callKernelDecl(g.fn, args)
 }
 
@@ -125,8 +173,33 @@ func (g *Gate) CallArgs(t *Thread, args []uint64) (uint64, error) {
 // function-pointer type. Kernel substrates bind one per interface slot
 // at init (System.BindIndirect) so the per-crossing path never repeats
 // the string-keyed type lookup.
+//
+// Each gate also carries a small direct-mapped (slot → target) cache
+// validated against the capability epoch and the enforcement mode
+// (calls.go, indirectCallGate): once a slot's full writer-set check
+// has passed, repeat crossings through the same unchanged slot skip
+// the writer-set probe, the grantee sweep, and the System.mu registry
+// lookups. Entries are immutable and swapped atomically, so gates are
+// safe to share between threads.
 type IndGate struct {
-	ft *FPtrType
+	ft    *FPtrType
+	cache [indCacheSlots]atomic.Pointer[indCacheEnt]
+}
+
+// indCacheSlots is the per-gate cache size; slots of one interface
+// hash by address, so a gate serving a handful of live objects keeps
+// them all resident.
+const indCacheSlots = 8
+
+// indCacheEnt is one validated (slot → resolved target) binding. All
+// fields are written before the entry is published and never mutated.
+type indCacheEnt struct {
+	slot      mem.Addr
+	target    uint64
+	epoch     uint64
+	enforcing bool
+	fn        *FuncDecl
+	m         *Module // pre-resolved module for module targets (may be nil)
 }
 
 // BindIndirect resolves a registered function-pointer type into an
@@ -148,14 +221,14 @@ func (g *IndGate) Type() *FPtrType { return g.ft }
 // pointer stored at slot (the lxfi_check_indcall path of §4.1) with a
 // caller-owned argument slice.
 func (g *IndGate) CallArgs(t *Thread, slot mem.Addr, args []uint64) (uint64, error) {
-	return t.indirectCallFT(slot, g.ft, args)
+	return t.indirectCallGate(g, slot, args)
 }
 
 // Call1 is the one-argument kernel-side checked indirect call.
 func (g *IndGate) Call1(t *Thread, slot mem.Addr, a0 uint64) (uint64, error) {
 	base := len(t.argStack)
 	t.argStack = append(t.argStack, a0)
-	ret, err := t.indirectCallFT(slot, g.ft, t.argStack[base:])
+	ret, err := t.indirectCallGate(g, slot, t.argStack[base:])
 	t.popArgs(base)
 	return ret, err
 }
@@ -164,7 +237,7 @@ func (g *IndGate) Call1(t *Thread, slot mem.Addr, a0 uint64) (uint64, error) {
 func (g *IndGate) Call2(t *Thread, slot mem.Addr, a0, a1 uint64) (uint64, error) {
 	base := len(t.argStack)
 	t.argStack = append(t.argStack, a0, a1)
-	ret, err := t.indirectCallFT(slot, g.ft, t.argStack[base:])
+	ret, err := t.indirectCallGate(g, slot, t.argStack[base:])
 	t.popArgs(base)
 	return ret, err
 }
@@ -173,7 +246,7 @@ func (g *IndGate) Call2(t *Thread, slot mem.Addr, a0, a1 uint64) (uint64, error)
 func (g *IndGate) Call3(t *Thread, slot mem.Addr, a0, a1, a2 uint64) (uint64, error) {
 	base := len(t.argStack)
 	t.argStack = append(t.argStack, a0, a1, a2)
-	ret, err := t.indirectCallFT(slot, g.ft, t.argStack[base:])
+	ret, err := t.indirectCallGate(g, slot, t.argStack[base:])
 	t.popArgs(base)
 	return ret, err
 }
@@ -182,7 +255,7 @@ func (g *IndGate) Call3(t *Thread, slot mem.Addr, a0, a1, a2 uint64) (uint64, er
 func (g *IndGate) Call4(t *Thread, slot mem.Addr, a0, a1, a2, a3 uint64) (uint64, error) {
 	base := len(t.argStack)
 	t.argStack = append(t.argStack, a0, a1, a2, a3)
-	ret, err := t.indirectCallFT(slot, g.ft, t.argStack[base:])
+	ret, err := t.indirectCallGate(g, slot, t.argStack[base:])
 	t.popArgs(base)
 	return ret, err
 }

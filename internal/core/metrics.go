@@ -22,6 +22,7 @@ type MetricsSnapshot struct {
 	MemWriteChecks    uint64 `json:"mem_write_checks"`
 	IndCallAll        uint64 `json:"ind_call_all"`
 	IndCallSlow       uint64 `json:"ind_call_slow"`
+	IndCacheHits      uint64 `json:"ind_cache_hits"`
 	PrincipalSwitches uint64 `json:"principal_switches"`
 	CapGrants         uint64 `json:"cap_grants"`
 	CapRevokes        uint64 `json:"cap_revokes"`
@@ -64,6 +65,7 @@ func (s *System) Metrics() MetricsSnapshot {
 		MemWriteChecks:    st.MemWriteChecks,
 		IndCallAll:        st.IndCallAll,
 		IndCallSlow:       st.IndCallSlow,
+		IndCacheHits:      st.IndCacheHits,
 		PrincipalSwitches: st.PrincipalSwitches,
 		CapGrants:         st.CapGrants,
 		CapRevokes:        st.CapRevokes,

@@ -59,6 +59,7 @@ type Stats struct {
 	MemWriteChecks    atomic.Uint64 // guards before module memory writes
 	IndCallAll        atomic.Uint64 // kernel indirect-call guards executed
 	IndCallSlow       atomic.Uint64 // ... that took the slow (non-empty writer set) path
+	IndCacheHits      atomic.Uint64 // ... answered by a bound IndGate's epoch-valid slot cache
 	PrincipalSwitches atomic.Uint64
 	CapGrants         atomic.Uint64
 	CapRevokes        atomic.Uint64
@@ -75,6 +76,7 @@ type Snapshot struct {
 	MemWriteChecks    uint64
 	IndCallAll        uint64
 	IndCallSlow       uint64
+	IndCacheHits      uint64
 	PrincipalSwitches uint64
 	CapGrants         uint64
 	CapRevokes        uint64
@@ -92,6 +94,7 @@ func (s *Stats) Snapshot() Snapshot {
 		MemWriteChecks:    s.MemWriteChecks.Load(),
 		IndCallAll:        s.IndCallAll.Load(),
 		IndCallSlow:       s.IndCallSlow.Load(),
+		IndCacheHits:      s.IndCacheHits.Load(),
 		PrincipalSwitches: s.PrincipalSwitches.Load(),
 		CapGrants:         s.CapGrants.Load(),
 		CapRevokes:        s.CapRevokes.Load(),
@@ -110,6 +113,7 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 		MemWriteChecks:    s.MemWriteChecks - o.MemWriteChecks,
 		IndCallAll:        s.IndCallAll - o.IndCallAll,
 		IndCallSlow:       s.IndCallSlow - o.IndCallSlow,
+		IndCacheHits:      s.IndCacheHits - o.IndCacheHits,
 		PrincipalSwitches: s.PrincipalSwitches - o.PrincipalSwitches,
 		CapGrants:         s.CapGrants - o.CapGrants,
 		CapRevokes:        s.CapRevokes - o.CapRevokes,
@@ -207,6 +211,7 @@ func (m *Monitor) ResetStats() {
 	m.Stats.MemWriteChecks.Store(0)
 	m.Stats.IndCallAll.Store(0)
 	m.Stats.IndCallSlow.Store(0)
+	m.Stats.IndCacheHits.Store(0)
 	m.Stats.PrincipalSwitches.Store(0)
 	m.Stats.CapGrants.Store(0)
 	m.Stats.CapRevokes.Store(0)

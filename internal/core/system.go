@@ -347,6 +347,8 @@ func (s *System) LoadModule(spec ModuleSpec) (*Module, error) {
 		DataSize:   spec.DataSize,
 		RODataSize: spec.RODataSize,
 	}
+	wake := make(chan struct{})
+	m.lcWake.Store(&wake)
 
 	// Register module functions, propagating annotations from fptr types
 	// (§4.2): a function assigned to an annotated function-pointer member
@@ -386,7 +388,7 @@ func (s *System) LoadModule(spec ModuleSpec) (*Module, error) {
 				return nil, fmt.Errorf("core: module %s: %s: %v", spec.Name, fs.Name, err)
 			}
 		}
-		f := &FuncDecl{Name: fs.Name, Module: spec.Name, Params: fs.Params, Annot: set, Impl: fs.Impl}
+		f := &FuncDecl{Name: fs.Name, Module: spec.Name, Params: fs.Params, Annot: set, Impl: fs.Impl, owner: m}
 		// Bind-time compilation (§4.2): the annotation set is lowered
 		// into its action program once, here, instead of being
 		// re-interpreted on every crossing into the module.
@@ -430,7 +432,7 @@ func (s *System) LoadModule(spec ModuleSpec) (*Module, error) {
 			return nil, fmt.Errorf("core: module %s imports unknown kernel symbol %q", spec.Name, imp)
 		}
 		s.Caps.Grant(shared, caps.CallCap(f.Addr))
-		m.gates[imp] = &Gate{fn: f}
+		m.gates[imp] = &Gate{fn: f, owner: m}
 	}
 	// A module may call its own functions and store pointers to them in
 	// kernel-visible slots (control flow integrity permits a module to

@@ -15,12 +15,15 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lxfi/internal/blockdev"
 	"lxfi/internal/core"
 	"lxfi/internal/kernel"
 	"lxfi/internal/mem"
+	"lxfi/internal/modules"
+	_ "lxfi/internal/modules/all"
 	"lxfi/internal/modules/minixsim"
 	"lxfi/internal/modules/tmpfssim"
 	"lxfi/internal/vfs"
@@ -41,14 +44,16 @@ const DefaultFileSize = 2 * mem.PageSize
 
 // Rig is a bootable filesystem test bench.
 type Rig struct {
-	K    *kernel.Kernel
-	B    *blockdev.Layer
-	V    *vfs.VFS
-	Th   *core.Thread
-	SB   mem.Addr
-	Kind Kind
-	FsID uint64 // registered filesystem id (for remounting)
-	Dev  uint64 // backing device id
+	K      *kernel.Kernel
+	B      *blockdev.Layer
+	V      *vfs.VFS
+	Ld     *modules.Loader
+	Th     *core.Thread
+	SB     mem.Addr
+	Kind   Kind
+	Module string // loaded module name (for reloads)
+	FsID   uint64 // registered filesystem id (for remounting)
+	Dev    uint64 // backing device id
 }
 
 // Close shuts the rig's kernel down (stopping the background writeback
@@ -56,32 +61,30 @@ type Rig struct {
 func (r *Rig) Close() { r.K.Shutdown() }
 
 // NewRig boots a kernel + blockdev + vfs with the chosen filesystem
-// module loaded and mounted under the given mode.
+// module loaded (through the descriptor registry) and mounted under the
+// given mode.
 func NewRig(mode core.Mode, kind Kind) (*Rig, error) {
 	k := kernel.New()
 	k.Sys.Mon.SetMode(mode)
 	bl := blockdev.Init(k)
 	v := vfs.Init(k, bl)
 	th := k.Sys.NewThread("fsperf")
-	r := &Rig{K: k, B: bl, V: v, Th: th, Kind: kind}
-	var err error
+	ld := modules.NewLoaderWith(&modules.BootContext{K: k, Block: bl, FS: v})
+	r := &Rig{K: k, B: bl, V: v, Ld: ld, Th: th, Kind: kind}
 	switch kind {
 	case Tmpfs:
-		if _, err = tmpfssim.Load(th, k, v); err != nil {
-			return nil, err
-		}
-		r.FsID, r.Dev = tmpfssim.FsID, 0
-		r.SB, err = v.Mount(th, r.FsID, r.Dev)
+		r.Module, r.FsID, r.Dev = "tmpfssim", tmpfssim.FsID, 0
 	case Minix:
 		bl.AddDisk(1, minixsim.DiskSectors)
-		if _, err = minixsim.Load(th, k, v); err != nil {
-			return nil, err
-		}
-		r.FsID, r.Dev = minixsim.FsID, 1
-		r.SB, err = v.Mount(th, r.FsID, r.Dev)
+		r.Module, r.FsID, r.Dev = "minixsim", minixsim.FsID, 1
 	default:
 		return nil, fmt.Errorf("fsperf: unknown filesystem kind %q", kind)
 	}
+	if _, err := ld.Load(th, r.Module); err != nil {
+		return nil, err
+	}
+	var err error
+	r.SB, err = v.Mount(th, r.FsID, r.Dev)
 	if err != nil {
 		return nil, err
 	}
@@ -489,10 +492,11 @@ func newConcurrentRig(mode core.Mode) (*concurrentRig, error) {
 	bl.AddDisk(1, minixsim.DiskSectors)
 	v := vfs.Init(k, bl)
 	th := k.Sys.NewThread("boot")
-	if _, err := tmpfssim.Load(th, k, v); err != nil {
+	ld := modules.NewLoaderWith(&modules.BootContext{K: k, Block: bl, FS: v})
+	if _, err := ld.Load(th, "tmpfssim"); err != nil {
 		return nil, err
 	}
-	if _, err := minixsim.Load(th, k, v); err != nil {
+	if _, err := ld.Load(th, "minixsim"); err != nil {
 		return nil, err
 	}
 	r := &concurrentRig{k: k, v: v}
@@ -625,6 +629,142 @@ func MeasureConcurrency(files int, fileSize uint64) (*ConcurrencyCosts, error) {
 	return out, nil
 }
 
+// --- hot-reload-under-traffic phase ---
+
+// ReloadCosts holds the hot-reload phase for one filesystem: the module
+// is hot-reloaded several times while a worker thread runs live
+// create/write/sync/read/stat/unlink cycles against a standing mount.
+// The reload must be invisible to the worker — new crossings park during
+// the quiesce, in-flight ones drain, and the instance capabilities for
+// the mount migrate to the fresh generation — so the phase asserts zero
+// violations and zero worker errors, and reports how long the service
+// interruption (quiesce + swap + migrate) lasted.
+type ReloadCosts struct {
+	FS      string
+	Reloads int                   // reloads performed per mode
+	Cycles  map[core.Mode]int     // worker op-cycles completed during the phase
+	Quiesce map[core.Mode]float64 // mean ns waiting for in-flight crossings
+	Total   map[core.Mode]float64 // mean ns for the whole reload
+	// Migrated is the per-instance capability count replayed into the
+	// fresh generation on the last enforced reload (stock runs migrate
+	// nothing: no capabilities are tracked with enforcement off).
+	Migrated int
+}
+
+// reloadRounds is how many back-to-back reloads each mode performs.
+const reloadRounds = 4
+
+// measureReloadMode runs the phase on a fresh rig for one mode.
+func measureReloadMode(kind Kind, mode core.Mode, fileSize uint64, out *ReloadCosts) error {
+	rig, err := NewRig(mode, kind)
+	if err != nil {
+		return err
+	}
+	defer rig.Close()
+	payload := make([]byte, fileSize)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+
+	stop := make(chan struct{})
+	var cycles atomic.Int64
+	var workerErr error
+	h := rig.K.Sys.Spawn("fsperf-reload-w", func(t *core.Thread) {
+		for n := 0; ; n++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			path := fmt.Sprintf("/rel%07d", n)
+			if _, err := rig.V.Create(t, rig.SB, path); err != nil {
+				workerErr = fmt.Errorf("create %s: %w", path, err)
+				return
+			}
+			if _, err := rig.V.Write(t, rig.SB, path, 0, payload); err != nil {
+				workerErr = fmt.Errorf("write %s: %w", path, err)
+				return
+			}
+			if err := rig.V.Sync(t, rig.SB); err != nil {
+				workerErr = fmt.Errorf("sync: %w", err)
+				return
+			}
+			if _, err := rig.V.Read(t, rig.SB, path, 0, uint64(len(payload))); err != nil {
+				workerErr = fmt.Errorf("read %s: %w", path, err)
+				return
+			}
+			if err := rig.V.Unlink(t, rig.SB, path); err != nil {
+				workerErr = fmt.Errorf("unlink %s: %w", path, err)
+				return
+			}
+			cycles.Add(1)
+		}
+	})
+
+	// Let the worker prove it is live before the first swap, so every
+	// reload happens under genuine traffic.
+	for cycles.Load() == 0 && workerErr == nil {
+		time.Sleep(100 * time.Microsecond)
+	}
+
+	var quiesce, total float64
+	for i := 0; i < reloadRounds; i++ {
+		st, err := rig.Ld.Reload(rig.Th, rig.Module)
+		if err != nil {
+			close(stop)
+			h.Join()
+			return fmt.Errorf("fsperf: reload %d (%s): %w", i, mode, err)
+		}
+		quiesce += float64(st.QuiesceNs)
+		total += float64(st.TotalNs)
+		if mode == core.Enforce {
+			out.Migrated = st.Migrated
+		}
+	}
+	close(stop)
+	h.Join()
+	if workerErr != nil {
+		return fmt.Errorf("fsperf: reload phase (%s) worker: %w", mode, workerErr)
+	}
+	if n := len(rig.K.Sys.Mon.Violations()); n != 0 {
+		return fmt.Errorf("fsperf: reload phase (%s): %d violations: %v",
+			mode, n, rig.K.Sys.Mon.LastViolation())
+	}
+	out.Cycles[mode] = int(cycles.Load())
+	out.Quiesce[mode] = quiesce / reloadRounds
+	out.Total[mode] = total / reloadRounds
+	return nil
+}
+
+// MeasureReload measures the hot-reload-under-live-traffic phase for one
+// filesystem under both builds.
+func MeasureReload(kind Kind, fileSize uint64) (*ReloadCosts, error) {
+	out := &ReloadCosts{
+		FS:      string(kind),
+		Reloads: reloadRounds,
+		Cycles:  make(map[core.Mode]int),
+		Quiesce: make(map[core.Mode]float64),
+		Total:   make(map[core.Mode]float64),
+	}
+	for _, mode := range []core.Mode{core.Off, core.Enforce} {
+		if err := measureReloadMode(kind, mode, fileSize, out); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// FormatReload renders the hot-reload phase line for one filesystem.
+func FormatReload(r *ReloadCosts) string {
+	stock, lxfi := r.Total[core.Off], r.Total[core.Enforce]
+	overhead := 0.0
+	if stock > 0 {
+		overhead = 100 * (lxfi - stock) / stock
+	}
+	return fmt.Sprintf("%-14s %14.0f %14.0f %9.0f%%  (%d reloads under traffic, %d caps migrated)\n",
+		"hot reload", stock, lxfi, overhead, r.Reloads, r.Migrated)
+}
+
 // jsonRow mirrors Row with stable snake_case keys for the CI artifact.
 type jsonRow struct {
 	Op          string  `json:"op"`
@@ -644,9 +784,25 @@ type jsonWB struct {
 }
 
 type jsonFS struct {
-	FS        string    `json:"fs"`
-	Rows      []jsonRow `json:"rows"`
-	Writeback *jsonWB   `json:"writeback,omitempty"`
+	FS        string      `json:"fs"`
+	Rows      []jsonRow   `json:"rows"`
+	Writeback *jsonWB     `json:"writeback,omitempty"`
+	Reload    *jsonReload `json:"reload,omitempty"`
+}
+
+// jsonReload reports the hot-reload-under-traffic phase: mean service
+// interruption per reload (quiesce wait and full quiesce+swap+migrate
+// span) under both builds, with the live-traffic proof (worker op-cycles
+// completed while the reloads ran) and the migrated-capability count.
+type jsonReload struct {
+	Reloads        int     `json:"reloads"`
+	StockQuiesceNs float64 `json:"stock_quiesce_ns"`
+	LxfiQuiesceNs  float64 `json:"lxfi_quiesce_ns"`
+	StockTotalNs   float64 `json:"stock_total_ns"`
+	LxfiTotalNs    float64 `json:"lxfi_total_ns"`
+	StockCycles    int     `json:"stock_worker_cycles"`
+	LxfiCycles     int     `json:"lxfi_worker_cycles"`
+	MigratedCaps   int     `json:"migrated_caps"`
 }
 
 type jsonConc struct {
@@ -668,11 +824,25 @@ type jsonDoc struct {
 // JSON serializes measured costs as the machine-readable report CI
 // archives as BENCH_fsperf.json, so the perf trajectory of every op is
 // tracked run over run. conc may be nil when the concurrency phase was
-// not measured.
-func JSON(cs []*Costs, conc *ConcurrencyCosts, files int, fileSize uint64) ([]byte, error) {
+// not measured; rls entries are matched to results by filesystem name.
+func JSON(cs []*Costs, conc *ConcurrencyCosts, rls []*ReloadCosts, files int, fileSize uint64) ([]byte, error) {
 	doc := jsonDoc{Bench: "fsperf", Files: files, FileSize: fileSize}
 	for _, c := range cs {
 		f := jsonFS{FS: string(c.Kind), Rows: []jsonRow{}}
+		for _, rl := range rls {
+			if rl != nil && rl.FS == string(c.Kind) {
+				f.Reload = &jsonReload{
+					Reloads:        rl.Reloads,
+					StockQuiesceNs: rl.Quiesce[core.Off],
+					LxfiQuiesceNs:  rl.Quiesce[core.Enforce],
+					StockTotalNs:   rl.Total[core.Off],
+					LxfiTotalNs:    rl.Total[core.Enforce],
+					StockCycles:    rl.Cycles[core.Off],
+					LxfiCycles:     rl.Cycles[core.Enforce],
+					MigratedCaps:   rl.Migrated,
+				}
+			}
+		}
 		for _, r := range BuildTable(c) {
 			f.Rows = append(f.Rows, jsonRow{Op: r.Op, StockNs: r.StockNs, LxfiNs: r.LxfiNs, OverheadPct: r.Overhead})
 		}

@@ -91,7 +91,11 @@ func TestJSONReportShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := fsperf.JSON(all, conc, 4, mem.PageSize)
+	rl, err := fsperf.MeasureReload(fsperf.Tmpfs, mem.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := fsperf.JSON(all, conc, []*fsperf.ReloadCosts{rl}, 4, mem.PageSize)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,6 +109,12 @@ func TestJSONReportShape(t *testing.T) {
 				StockNs float64 `json:"stock_ns"`
 				LxfiNs  float64 `json:"lxfi_ns"`
 			} `json:"rows"`
+			Reload *struct {
+				Reloads      int     `json:"reloads"`
+				LxfiTotalNs  float64 `json:"lxfi_total_ns"`
+				LxfiCycles   int     `json:"lxfi_worker_cycles"`
+				MigratedCaps int     `json:"migrated_caps"`
+			} `json:"reload"`
 		} `json:"results"`
 		Concurrency *struct {
 			Workers int      `json:"workers"`
@@ -128,6 +138,28 @@ func TestJSONReportShape(t *testing.T) {
 				t.Fatalf("%s/%s has a zero cost", res.FS, row.Op)
 			}
 		}
+	}
+	var sawReload bool
+	for _, res := range doc.Results {
+		if res.FS != "tmpfs" {
+			continue
+		}
+		if res.Reload == nil {
+			t.Fatal("tmpfs result is missing the hot-reload phase")
+		}
+		sawReload = true
+		if res.Reload.Reloads < 1 || res.Reload.LxfiTotalNs <= 0 {
+			t.Fatalf("bad reload phase: %+v", *res.Reload)
+		}
+		if res.Reload.LxfiCycles < 1 {
+			t.Fatal("reload phase ran without live worker traffic")
+		}
+		if res.Reload.MigratedCaps < 1 {
+			t.Fatal("enforced reload migrated no capabilities")
+		}
+	}
+	if !sawReload {
+		t.Fatal("no tmpfs result in the artifact")
 	}
 	if doc.Concurrency == nil {
 		t.Fatal("artifact is missing the multi-mount concurrency phase")

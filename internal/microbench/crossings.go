@@ -21,6 +21,9 @@
 //     bound at load time. The acceptance gate: 0 allocs/op.
 //   - "crossing named": the same crossing through the string-keyed
 //     CallKernel path — the bind-time-resolution delta made visible.
+//   - "reload": a full hot reload of a registry module (quiesce,
+//     capability snapshot, swap, migration, gate re-bind) with a live
+//     instance but no traffic in flight — the service-interruption floor.
 //
 // The contended row also reports scaling_ratio: its aggregate ns/op
 // across the 8 workers divided by the single-thread cached ns/op, so
@@ -41,7 +44,12 @@ import (
 
 	"lxfi/internal/caps"
 	"lxfi/internal/core"
+	"lxfi/internal/kernel"
 	"lxfi/internal/mem"
+	"lxfi/internal/modules"
+	_ "lxfi/internal/modules/all"
+	"lxfi/internal/modules/econet"
+	"lxfi/internal/netstack"
 )
 
 // CrossingRow is one phase of the crossing benchmark.
@@ -263,6 +271,40 @@ func (r *crossRig) timeRevokeStorm(n int) (float64, error) {
 	return float64(time.Since(start).Nanoseconds()) / float64(n), nil
 }
 
+// reloadsPerRound is how many back-to-back hot reloads the "reload"
+// phase times per round.
+const reloadsPerRound = 8
+
+// timeReload measures the full hot-reload latency of a registry module
+// (econet on a minimal netstack kernel, with one live socket instance so
+// the snapshot and capability migration have real work): quiesce,
+// snapshot, swap, migrate, gate re-bind. No traffic is in flight — this
+// is the latency floor the fsperf/netperf reload-under-traffic phases
+// build on.
+func timeReload(mode core.Mode) (float64, error) {
+	k := kernel.New()
+	k.Sys.Mon.SetMode(mode)
+	st := netstack.Init(k)
+	th := k.Sys.NewThread("reload-bench")
+	ld := modules.NewLoaderWith(&modules.BootContext{K: k, Net: st})
+	if _, err := ld.Load(th, "econet"); err != nil {
+		return 0, err
+	}
+	if _, err := st.Socket(th, econet.Family); err != nil {
+		return 0, err
+	}
+	if _, err := ld.Reload(th, "econet"); err != nil { // warmup
+		return 0, err
+	}
+	start := time.Now()
+	for i := 0; i < reloadsPerRound; i++ {
+		if _, err := ld.Reload(th, "econet"); err != nil {
+			return 0, err
+		}
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(reloadsPerRound), nil
+}
+
 // MeasureCrossings runs all phases under both builds.
 func MeasureCrossings(iters int) ([]CrossingRow, error) {
 	rows, _, err := MeasureCrossingsWithMetrics(iters)
@@ -284,6 +326,7 @@ func MeasureCrossingsWithMetrics(iters int) ([]CrossingRow, *core.MetricsSnapsho
 		{Op: "crossing gate", Workers: 1},
 		{Op: "crossing named", Workers: 1},
 		{Op: "crossing traced", Workers: 1},
+		{Op: "reload", Workers: 1},
 	}
 	var metrics *core.MetricsSnapshot
 	for _, mode := range []core.Mode{core.Off, core.Enforce} {
@@ -322,6 +365,7 @@ func MeasureCrossingsWithMetrics(iters int) ([]CrossingRow, *core.MetricsSnapsho
 			{3, func() (float64, float64, error) { ns, err := r.timeRevokeStorm(iters / 4); return ns, 0, err }},
 			{4, func() (float64, float64, error) { return r.timeChecks("crossgate", iters, r.workerAddr(0)) }},
 			{5, func() (float64, float64, error) { return r.timeChecks("crossnamed", iters, r.workerAddr(0)) }},
+			{7, func() (float64, float64, error) { ns, err := timeReload(mode); return ns, 0, err }},
 		}
 		for _, ph := range phases {
 			best, bestAllocs := 0.0, 0.0

@@ -6,7 +6,7 @@ import (
 )
 
 // TestMeasureCrossings runs the phases at a small iteration count and
-// checks the report invariants CI relies on: all seven phases present,
+// checks the report invariants CI relies on: all eight phases present,
 // positive timings, the cached-hit, gate-crossing, and traced phases
 // allocation-free, and the contended phase carrying its scaling ratio.
 func TestMeasureCrossings(t *testing.T) {
@@ -18,7 +18,7 @@ func TestMeasureCrossings(t *testing.T) {
 		"check cold": false, "check cached": false,
 		"check contended": false, "revoke storm": false,
 		"crossing gate": false, "crossing named": false,
-		"crossing traced": false,
+		"crossing traced": false, "reload": false,
 	}
 	for _, r := range rows {
 		if _, ok := want[r.Op]; !ok {
@@ -90,7 +90,7 @@ func TestCrossingsJSONShape(t *testing.T) {
 	if doc.Bench != "crossings" || doc.Shards < 1 {
 		t.Fatalf("bad header: %+v", doc)
 	}
-	if len(doc.Results) != 1 || doc.Results[0].FS != "crossings" || len(doc.Results[0].Rows) != 7 {
+	if len(doc.Results) != 1 || doc.Results[0].FS != "crossings" || len(doc.Results[0].Rows) != 8 {
 		t.Fatalf("bad results shape: %+v", doc.Results)
 	}
 }

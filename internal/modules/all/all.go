@@ -1,0 +1,20 @@
+// Package all registers every module descriptor. Blank-import it to
+// make the full module catalogue loadable by name:
+//
+//	import _ "lxfi/internal/modules/all"
+package all
+
+import (
+	_ "lxfi/internal/modules/can"
+	_ "lxfi/internal/modules/canbcm"
+	_ "lxfi/internal/modules/dmcrypt"
+	_ "lxfi/internal/modules/dmsnapshot"
+	_ "lxfi/internal/modules/dmzero"
+	_ "lxfi/internal/modules/e1000sim"
+	_ "lxfi/internal/modules/econet"
+	_ "lxfi/internal/modules/minixsim"
+	_ "lxfi/internal/modules/rds"
+	_ "lxfi/internal/modules/sndens1370"
+	_ "lxfi/internal/modules/sndintel8x0"
+	_ "lxfi/internal/modules/tmpfssim"
+)

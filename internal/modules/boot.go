@@ -1,0 +1,69 @@
+package modules
+
+import (
+	"fmt"
+
+	"lxfi/internal/blockdev"
+	"lxfi/internal/kernel"
+	"lxfi/internal/netstack"
+	"lxfi/internal/pci"
+	"lxfi/internal/sound"
+	"lxfi/internal/vfs"
+)
+
+// Substrate names for Descriptor.Requires.
+const (
+	SubPCI   = "pci"
+	SubNet   = "net"
+	SubBlock = "block"
+	SubSound = "sound"
+	SubVFS   = "vfs"
+)
+
+// BootContext owns the kernel substrates module descriptors resolve
+// their dependencies from. A substrate field left nil is initialised on
+// demand the first time a module requires it; rigs that need to shape a
+// substrate before any module loads (plug PCI devices, attach disks)
+// initialise the field themselves and the loader reuses it.
+type BootContext struct {
+	K     *kernel.Kernel
+	Bus   *pci.Bus
+	Net   *netstack.Stack
+	Block *blockdev.Layer
+	Snd   *sound.Sound
+	FS    *vfs.VFS
+}
+
+// ensure initialises the named substrate if it is not up yet. The VFS
+// is always built on a block layer (writeback needs one), so SubVFS
+// implies SubBlock.
+func (bc *BootContext) ensure(req string) error {
+	switch req {
+	case SubPCI:
+		if bc.Bus == nil {
+			bc.Bus = pci.Init(bc.K)
+		}
+	case SubNet:
+		if bc.Net == nil {
+			bc.Net = netstack.Init(bc.K)
+		}
+	case SubBlock:
+		if bc.Block == nil {
+			bc.Block = blockdev.Init(bc.K)
+		}
+	case SubSound:
+		if bc.Snd == nil {
+			bc.Snd = sound.Init(bc.K)
+		}
+	case SubVFS:
+		if bc.FS == nil {
+			if bc.Block == nil {
+				bc.Block = blockdev.Init(bc.K)
+			}
+			bc.FS = vfs.Init(bc.K, bc.Block)
+		}
+	default:
+		return fmt.Errorf("modules: unknown substrate %q", req)
+	}
+	return nil
+}

@@ -1,0 +1,19 @@
+package can
+
+import (
+	"lxfi/internal/core"
+	"lxfi/internal/modules"
+)
+
+// Module returns the loaded core module, satisfying modules.Instance.
+func (p *Proto) Module() *core.Module { return p.M }
+
+func init() {
+	modules.Register(modules.Descriptor{
+		Name:     "can",
+		Requires: []string{modules.SubNet},
+		Load: func(t *core.Thread, bc *modules.BootContext, opt any) (modules.Instance, error) {
+			return Load(t, bc.K, bc.Net)
+		},
+	})
+}

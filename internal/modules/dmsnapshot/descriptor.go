@@ -1,0 +1,28 @@
+package dmsnapshot
+
+import (
+	"lxfi/internal/core"
+	"lxfi/internal/modules"
+)
+
+// DefaultSnapBase is the copy-on-write store base sector the registry
+// descriptor uses when loaded without options.
+const DefaultSnapBase = 512
+
+// Module returns the loaded core module, satisfying modules.Instance.
+func (tg *Target) Module() *core.Module { return tg.M }
+
+func init() {
+	modules.Register(modules.Descriptor{
+		Name:     "dm-snapshot",
+		Requires: []string{modules.SubBlock},
+		// opt: uint64 snapshot store base sector.
+		Load: func(t *core.Thread, bc *modules.BootContext, opt any) (modules.Instance, error) {
+			base := uint64(DefaultSnapBase)
+			if v, ok := opt.(uint64); ok {
+				base = v
+			}
+			return Load(t, bc.K, bc.Block, base)
+		},
+	})
+}

@@ -1,0 +1,19 @@
+package dmzero
+
+import (
+	"lxfi/internal/core"
+	"lxfi/internal/modules"
+)
+
+// Module returns the loaded core module, satisfying modules.Instance.
+func (tg *Target) Module() *core.Module { return tg.M }
+
+func init() {
+	modules.Register(modules.Descriptor{
+		Name:     "dm-zero",
+		Requires: []string{modules.SubBlock},
+		Load: func(t *core.Thread, bc *modules.BootContext, opt any) (modules.Instance, error) {
+			return Load(t, bc.K, bc.Block)
+		},
+	})
+}

@@ -1,0 +1,25 @@
+package e1000sim
+
+import (
+	"lxfi/internal/core"
+	"lxfi/internal/modules"
+)
+
+// Module returns the loaded core module, satisfying modules.Instance.
+func (d *Driver) Module() *core.Module { return d.M }
+
+func init() {
+	modules.Register(modules.Descriptor{
+		Name:     "e1000",
+		Requires: []string{modules.SubPCI, modules.SubNet},
+		Load: func(t *core.Thread, bc *modules.BootContext, opt any) (modules.Instance, error) {
+			return Load(t, bc.K, bc.Bus, bc.Net)
+		},
+		// Unbinding frees the devices for the successor generation's
+		// probe (RegisterDriver only probes unbound devices).
+		Unload: func(t *core.Thread, bc *modules.BootContext, inst modules.Instance) error {
+			bc.Bus.Unbind("e1000")
+			return nil
+		},
+	})
+}

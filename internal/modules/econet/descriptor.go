@@ -1,0 +1,19 @@
+package econet
+
+import (
+	"lxfi/internal/core"
+	"lxfi/internal/modules"
+)
+
+// Module returns the loaded core module, satisfying modules.Instance.
+func (p *Proto) Module() *core.Module { return p.M }
+
+func init() {
+	modules.Register(modules.Descriptor{
+		Name:     "econet",
+		Requires: []string{modules.SubNet},
+		Load: func(t *core.Thread, bc *modules.BootContext, opt any) (modules.Instance, error) {
+			return Load(t, bc.K, bc.Net)
+		},
+	})
+}

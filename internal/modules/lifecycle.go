@@ -1,0 +1,99 @@
+// Package modules is the uniform module lifecycle API: a descriptor
+// registry replacing the per-package Load signatures, a boot context
+// that owns the kernel substrates modules bind to, and a loader that
+// can load, unload, and hot-reload any registered module by name.
+//
+// Each module package (the subdirectories of this one) registers a
+// Descriptor from its init function, naming the substrates it requires;
+// the loader resolves those from the BootContext — initialising them on
+// demand — and invokes the descriptor's Load. Importing
+// lxfi/internal/modules/all pulls in every descriptor.
+package modules
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"lxfi/internal/core"
+)
+
+// Instance is a loaded module instance. Every module package's load
+// result (its *Proto, *Driver, *FS, *Target) implements it; callers
+// that need the package-specific surface type-assert the Instance they
+// got back from the loader.
+type Instance interface {
+	Module() *core.Module
+}
+
+// Descriptor describes one loadable module: its registry name (which
+// is also its core.Module name), the substrates it requires, and its
+// lifecycle hooks.
+type Descriptor struct {
+	// Name is the module name, e.g. "e1000" or "dm-crypt".
+	Name string
+
+	// Requires lists the substrates the module binds to, by boot-context
+	// name (SubPCI, SubNet, ...). The loader initialises them on demand
+	// before calling Load.
+	Requires []string
+
+	// Load boots one generation of the module against the substrates in
+	// bc. opt carries module-specific options (nil selects defaults).
+	Load func(t *core.Thread, bc *BootContext, opt any) (Instance, error)
+
+	// Unload, if set, unhooks the instance from its substrates (e.g.
+	// unregistering filesystem types, unbinding PCI devices) so the name
+	// can be re-registered by a fresh generation. It runs before the
+	// module is retired on both Unload and Reload.
+	Unload func(t *core.Thread, bc *BootContext, inst Instance) error
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = make(map[string]*Descriptor)
+)
+
+// Register adds a descriptor to the registry. Module packages call it
+// from init; registering a duplicate name panics at program start.
+func Register(d Descriptor) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if d.Name == "" || d.Load == nil {
+		panic("modules: descriptor needs a name and a Load hook")
+	}
+	if _, dup := registry[d.Name]; dup {
+		panic("modules: duplicate descriptor " + d.Name)
+	}
+	registry[d.Name] = &d
+}
+
+// Lookup returns the registered descriptor for name.
+func Lookup(name string) (*Descriptor, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	d, ok := registry[name]
+	return d, ok
+}
+
+// Names returns every registered module name, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// mustLookup is Lookup for loader paths that already validated the
+// name.
+func mustLookup(name string) (*Descriptor, error) {
+	d, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("modules: no descriptor registered for %q (missing import of lxfi/internal/modules/all?)", name)
+	}
+	return d, nil
+}

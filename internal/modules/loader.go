@@ -1,0 +1,262 @@
+package modules
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"lxfi/internal/caps"
+	"lxfi/internal/core"
+	"lxfi/internal/kernel"
+	"lxfi/internal/mem"
+)
+
+// Loader loads, unloads, and hot-reloads registered modules against
+// one boot context. It is safe for concurrent use; reloads of distinct
+// modules serialise on the loader lock (the quiesce machinery below it
+// is per-module, but substrate re-binding is not).
+type Loader struct {
+	BC *BootContext
+
+	// QuiesceTimeout bounds how long Reload waits for in-flight
+	// crossings to drain before aborting the reload.
+	QuiesceTimeout time.Duration
+
+	mu     sync.Mutex
+	loaded map[string]*loadedModule
+}
+
+type loadedModule struct {
+	desc *Descriptor
+	inst Instance
+	opt  any
+}
+
+// DefaultQuiesceTimeout is the drain bound a fresh Loader starts with:
+// generous against scheduler noise, small against a hung crossing.
+const DefaultQuiesceTimeout = 5 * time.Second
+
+// NewLoader builds a loader with an empty boot context over k;
+// substrates come up on demand as modules require them.
+func NewLoader(k *kernel.Kernel) *Loader {
+	return NewLoaderWith(&BootContext{K: k})
+}
+
+// NewLoaderWith builds a loader over a caller-shaped boot context
+// (pre-plugged PCI devices, attached disks, ...).
+func NewLoaderWith(bc *BootContext) *Loader {
+	return &Loader{
+		BC:             bc,
+		QuiesceTimeout: DefaultQuiesceTimeout,
+		loaded:         make(map[string]*loadedModule),
+	}
+}
+
+// Load boots the named module with default options.
+func (l *Loader) Load(t *core.Thread, name string) (Instance, error) {
+	return l.LoadWith(t, name, nil)
+}
+
+// LoadWith boots the named module, passing opt to its descriptor (nil
+// selects the module's defaults).
+func (l *Loader) LoadWith(t *core.Thread, name string, opt any) (Instance, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, dup := l.loaded[name]; dup {
+		return nil, fmt.Errorf("modules: %s is already loaded", name)
+	}
+	d, err := mustLookup(name)
+	if err != nil {
+		return nil, err
+	}
+	inst, err := l.load(t, d, opt)
+	if err != nil {
+		return nil, err
+	}
+	l.loaded[name] = &loadedModule{desc: d, inst: inst, opt: opt}
+	return inst, nil
+}
+
+// load resolves the descriptor's substrates and boots one generation.
+func (l *Loader) load(t *core.Thread, d *Descriptor, opt any) (Instance, error) {
+	for _, req := range d.Requires {
+		if err := l.BC.ensure(req); err != nil {
+			return nil, err
+		}
+	}
+	return d.Load(t, l.BC, opt)
+}
+
+// Instance returns the loaded instance for name, if any.
+func (l *Loader) Instance(name string) (Instance, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	lm, ok := l.loaded[name]
+	if !ok {
+		return nil, false
+	}
+	return lm.inst, true
+}
+
+// Module returns the live core.Module for a loaded name.
+func (l *Loader) Module(name string) (*core.Module, bool) {
+	inst, ok := l.Instance(name)
+	if !ok {
+		return nil, false
+	}
+	return inst.Module(), true
+}
+
+// Loaded returns the names of currently loaded modules.
+func (l *Loader) Loaded() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]string, 0, len(l.loaded))
+	for n := range l.loaded {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Unload unhooks the named module from its substrates and unloads it
+// from the system, revoking its capabilities.
+func (l *Loader) Unload(t *core.Thread, name string) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	lm, ok := l.loaded[name]
+	if !ok {
+		return fmt.Errorf("modules: %s is not loaded", name)
+	}
+	if lm.desc.Unload != nil {
+		if err := lm.desc.Unload(t, l.BC, lm.inst); err != nil {
+			return err
+		}
+	}
+	l.BC.K.Sys.UnloadModule(lm.inst.Module().Name)
+	delete(l.loaded, name)
+	return nil
+}
+
+// ReloadStats reports what one hot reload did and what it cost.
+type ReloadStats struct {
+	Module    string `json:"module"`
+	QuiesceNs int64  `json:"quiesce_ns"` // drain: new crossings parked, in-flight finished
+	SwapNs    int64  `json:"swap_ns"`    // unhook, retire, fresh generation load
+	MigrateNs int64  `json:"migrate_ns"` // capability snapshot replay into the successor
+	TotalNs   int64  `json:"total_ns"`
+	Instances int    `json:"instances"` // instance principals snapshotted
+	Migrated  int    `json:"migrated"`  // capabilities re-granted in the successor
+	Dropped   int    `json:"dropped"`   // capabilities cleanly revoked by the section filter
+}
+
+// Reload hot-swaps the named module for a freshly loaded generation:
+//
+//  1. Quiesce: new crossings park at the module's gates; in-flight
+//     crossings drain (core.System.BeginReload).
+//  2. Snapshot the instance principals' capabilities, run the
+//     descriptor's Unload hook, and retire the old generation — its
+//     name is freed and its capabilities revoked with an epoch bump,
+//     but stale function-pointer slots still resolve.
+//  3. Boot the fresh generation through the descriptor (same options),
+//     migrate the snapshot into it — dropping capabilities that named
+//     the old generation's sections or code — and publish it as the
+//     successor. Parked crossings wake and re-bind; in-flight holders
+//     of old gates or capabilities get violations under enforcement.
+//
+// If the fresh generation fails to load after the old one was retired,
+// the module is dead (parked crossings fail with ErrModuleDead) and the
+// name is removed from the loader; an Unload-hook failure aborts the
+// reload with the old generation intact.
+func (l *Loader) Reload(t *core.Thread, name string) (*ReloadStats, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	lm, ok := l.loaded[name]
+	if !ok {
+		return nil, fmt.Errorf("modules: %s is not loaded", name)
+	}
+	sys := l.BC.K.Sys
+	oldM := lm.inst.Module()
+
+	start := time.Now()
+	if err := sys.BeginReload(oldM, l.QuiesceTimeout); err != nil {
+		return nil, err
+	}
+	quiesced := time.Now()
+
+	snap := oldM.Set.Snapshot()
+	if lm.desc.Unload != nil {
+		if err := lm.desc.Unload(t, l.BC, lm.inst); err != nil {
+			sys.AbortReload(oldM)
+			return nil, fmt.Errorf("modules: %s unload hook: %w", name, err)
+		}
+	}
+	sys.RetireModule(oldM)
+
+	inst, err := l.load(t, lm.desc, lm.opt)
+	if err != nil {
+		sys.FailReload(oldM)
+		delete(l.loaded, name)
+		return nil, fmt.Errorf("modules: reload of %s failed, module is dead: %w", name, err)
+	}
+	swapped := time.Now()
+
+	newM := inst.Module()
+	migrated, dropped := sys.Caps.MigrateSnapshot(newM.Set, snap, sectionFilter(oldM))
+	sys.CompleteReload(oldM, newM)
+	lm.inst = inst
+	end := time.Now()
+
+	return &ReloadStats{
+		Module:    name,
+		QuiesceNs: quiesced.Sub(start).Nanoseconds(),
+		SwapNs:    swapped.Sub(quiesced).Nanoseconds(),
+		MigrateNs: end.Sub(swapped).Nanoseconds(),
+		TotalNs:   end.Sub(start).Nanoseconds(),
+		Instances: len(snap.Instances),
+		Migrated:  migrated,
+		Dropped:   dropped,
+	}, nil
+}
+
+// sectionFilter builds the migration filter for a retiring generation:
+// WRITE capabilities into its data sections, REF capabilities naming
+// objects inside them, and CALL capabilities targeting its functions
+// die with it — the successor has its own sections and exports.
+// Everything else (kernel-heap WRITEs, device REFs, kernel-export
+// CALLs) migrates.
+func sectionFilter(old *core.Module) caps.CapFilter {
+	type region struct {
+		base mem.Addr
+		size uint64
+	}
+	var regs []region
+	if old.DataSize > 0 {
+		regs = append(regs, region{old.Data, old.DataSize})
+	}
+	if old.RODataSize > 0 {
+		regs = append(regs, region{old.ROData, old.RODataSize})
+	}
+	code := make(map[mem.Addr]bool, len(old.Funcs))
+	for _, fn := range old.Funcs {
+		code[fn.Addr] = true
+	}
+	return func(c caps.Cap) bool {
+		switch c.Kind {
+		case caps.Call:
+			return !code[c.Addr]
+		case caps.Write:
+			for _, r := range regs {
+				if c.Addr < r.base+mem.Addr(r.size) && r.base < c.Addr+mem.Addr(c.Size) {
+					return false
+				}
+			}
+		case caps.Ref:
+			for _, r := range regs {
+				if c.Addr >= r.base && c.Addr < r.base+mem.Addr(r.size) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+}

@@ -1,0 +1,25 @@
+package minixsim
+
+import (
+	"lxfi/internal/core"
+	"lxfi/internal/modules"
+)
+
+// Module returns the loaded core module, satisfying modules.Instance.
+func (f *FS) Module() *core.Module { return f.M }
+
+func init() {
+	modules.Register(modules.Descriptor{
+		Name:     "minixsim",
+		Requires: []string{modules.SubVFS},
+		Load: func(t *core.Thread, bc *modules.BootContext, opt any) (modules.Instance, error) {
+			return Load(t, bc.K, bc.FS)
+		},
+		// Unregistering frees the fsid so the successor generation's
+		// register_filesystem does not hit the duplicate EBUSY check.
+		Unload: func(t *core.Thread, bc *modules.BootContext, inst modules.Instance) error {
+			bc.FS.Unregister("minixsim")
+			return nil
+		},
+	})
+}

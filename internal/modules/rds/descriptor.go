@@ -1,0 +1,21 @@
+package rds
+
+import (
+	"lxfi/internal/core"
+	"lxfi/internal/modules"
+)
+
+// Module returns the loaded core module, satisfying modules.Instance.
+func (p *Proto) Module() *core.Module { return p.M }
+
+func init() {
+	modules.Register(modules.Descriptor{
+		Name:     "rds",
+		Requires: []string{modules.SubNet},
+		// opt: rds.Config (nil selects the read-only ops table default).
+		Load: func(t *core.Thread, bc *modules.BootContext, opt any) (modules.Instance, error) {
+			cfg, _ := opt.(Config)
+			return Load(t, bc.K, bc.Net, cfg)
+		},
+	})
+}

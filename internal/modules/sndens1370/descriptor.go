@@ -1,0 +1,19 @@
+package sndens1370
+
+import (
+	"lxfi/internal/core"
+	"lxfi/internal/modules"
+)
+
+// Module returns the loaded core module, satisfying modules.Instance.
+func (d *Driver) Module() *core.Module { return d.M }
+
+func init() {
+	modules.Register(modules.Descriptor{
+		Name:     "snd-ens1370",
+		Requires: []string{modules.SubSound},
+		Load: func(t *core.Thread, bc *modules.BootContext, opt any) (modules.Instance, error) {
+			return Load(t, bc.K, bc.Snd)
+		},
+	})
+}

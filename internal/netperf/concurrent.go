@@ -17,6 +17,7 @@ import (
 	"lxfi/internal/core"
 	"lxfi/internal/kernel"
 	"lxfi/internal/mem"
+	"lxfi/internal/modules"
 	"lxfi/internal/modules/econet"
 	"lxfi/internal/netstack"
 )
@@ -34,6 +35,7 @@ type ConcurrentCosts struct {
 type concRig struct {
 	k     *kernel.Kernel
 	st    *netstack.Stack
+	ld    *modules.Loader
 	pairs [][2]mem.Addr
 	bufs  []mem.Addr
 }
@@ -43,10 +45,11 @@ func newConcRig(mode core.Mode, pairs int) (*concRig, error) {
 	k.Sys.Mon.SetMode(mode)
 	st := netstack.Init(k)
 	th := k.Sys.NewThread("boot")
-	if _, err := econet.Load(th, k, st); err != nil {
+	ld := modules.NewLoaderWith(&modules.BootContext{K: k, Net: st})
+	if _, err := ld.Load(th, "econet"); err != nil {
 		return nil, err
 	}
-	r := &concRig{k: k, st: st}
+	r := &concRig{k: k, st: st, ld: ld}
 	for i := 0; i < pairs; i++ {
 		a, err := st.Socket(th, econet.Family)
 		if err != nil {
@@ -168,6 +171,22 @@ type jsonNetConc struct {
 	OverheadPct float64 `json:"overhead_pct"`
 }
 
+// jsonNetReload reports the hot-reload-under-traffic phase: mean service
+// interruption per reload under both builds, the live-traffic proof
+// (packets the TX workers pushed while the reloads ran), and the
+// migrated-capability count.
+type jsonNetReload struct {
+	Reloads        int     `json:"reloads"`
+	Workers        int     `json:"workers"`
+	StockQuiesceNs float64 `json:"stock_quiesce_ns"`
+	LxfiQuiesceNs  float64 `json:"lxfi_quiesce_ns"`
+	StockTotalNs   float64 `json:"stock_total_ns"`
+	LxfiTotalNs    float64 `json:"lxfi_total_ns"`
+	StockPackets   int     `json:"stock_packets"`
+	LxfiPackets    int     `json:"lxfi_packets"`
+	MigratedCaps   int     `json:"migrated_caps"`
+}
+
 type jsonNetDoc struct {
 	Bench   string `json:"bench"`
 	Packets int    `json:"packets"`
@@ -175,14 +194,15 @@ type jsonNetDoc struct {
 		FS   string       `json:"fs"`
 		Rows []jsonNetRow `json:"rows"`
 	} `json:"results"`
-	Concurrency *jsonNetConc `json:"concurrency,omitempty"`
+	Concurrency *jsonNetConc   `json:"concurrency,omitempty"`
+	Reload      *jsonNetReload `json:"reload,omitempty"`
 }
 
 // JSON serializes the per-packet path costs plus the concurrent
-// socket-pair phase as the machine-readable report CI archives as
-// BENCH_netperf.json. The results shape matches fsperf's so the
-// generic perf gate reads every BENCH_*.json the same way.
-func JSON(c *Costs, conc *ConcurrentCosts, packets int) ([]byte, error) {
+// socket-pair and hot-reload phases as the machine-readable report CI
+// archives as BENCH_netperf.json. The results shape matches fsperf's so
+// the generic perf gate reads every BENCH_*.json the same way.
+func JSON(c *Costs, conc *ConcurrentCosts, rl *ReloadCosts, packets int) ([]byte, error) {
 	doc := jsonNetDoc{Bench: "netperf", Packets: packets}
 	rows := []jsonNetRow{}
 	add := func(op string, m map[core.Mode]float64) {
@@ -210,6 +230,19 @@ func JSON(c *Costs, conc *ConcurrentCosts, packets int) ([]byte, error) {
 			jc.OverheadPct = 100 * (jc.LxfiNs - jc.StockNs) / jc.StockNs
 		}
 		doc.Concurrency = jc
+	}
+	if rl != nil {
+		doc.Reload = &jsonNetReload{
+			Reloads:        rl.Reloads,
+			Workers:        rl.Workers,
+			StockQuiesceNs: rl.Quiesce[core.Off],
+			LxfiQuiesceNs:  rl.Quiesce[core.Enforce],
+			StockTotalNs:   rl.Total[core.Off],
+			LxfiTotalNs:    rl.Total[core.Enforce],
+			StockPackets:   rl.Packets[core.Off],
+			LxfiPackets:    rl.Packets[core.Enforce],
+			MigratedCaps:   rl.Migrated,
+		}
 	}
 	return json.MarshalIndent(doc, "", "  ")
 }

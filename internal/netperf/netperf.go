@@ -24,6 +24,8 @@ import (
 	"lxfi/internal/core"
 	"lxfi/internal/kernel"
 	"lxfi/internal/mem"
+	"lxfi/internal/modules"
+	_ "lxfi/internal/modules/all"
 	"lxfi/internal/modules/e1000sim"
 	"lxfi/internal/netstack"
 	"lxfi/internal/pci"
@@ -52,11 +54,13 @@ const (
 type Rig struct {
 	K     *kernel.Kernel
 	Stack *netstack.Stack
+	Ld    *modules.Loader
 	Th    *core.Thread
 	Drv   *e1000sim.Driver
 }
 
-// NewRig boots a kernel + netstack + e1000sim under the given mode.
+// NewRig boots a kernel + netstack + e1000sim (through the descriptor
+// registry) under the given mode.
 func NewRig(mode core.Mode) (*Rig, error) {
 	k := kernel.New()
 	k.Sys.Mon.SetMode(mode)
@@ -64,15 +68,20 @@ func NewRig(mode core.Mode) (*Rig, error) {
 	st := netstack.Init(k)
 	bus.AddDevice(e1000sim.VendorIntel, e1000sim.Dev82540EM)
 	th := k.Sys.NewThread("netperf")
-	drv, err := e1000sim.Load(th, k, bus, st)
+	ld := modules.NewLoaderWith(&modules.BootContext{K: k, Bus: bus, Net: st})
+	inst, err := ld.Load(th, "e1000")
 	if err != nil {
 		return nil, err
 	}
-	return &Rig{K: k, Stack: st, Th: th, Drv: drv}, nil
+	return &Rig{K: k, Stack: st, Ld: ld, Th: th, Drv: inst.(*e1000sim.Driver)}, nil
 }
 
 // TxPacket pushes one payload-sized packet down the full transmit path.
-func (r *Rig) TxPacket(payload uint64) error {
+func (r *Rig) TxPacket(payload uint64) error { return r.TxPacketOn(r.Th, payload) }
+
+// TxPacketOn is TxPacket on an explicit thread, for worker threads that
+// drive the transmit path concurrently with the rig's main thread.
+func (r *Rig) TxPacketOn(t *core.Thread, payload uint64) error {
 	skb, err := r.Stack.AllocSkb(payload)
 	if err != nil {
 		return err
@@ -80,7 +89,7 @@ func (r *Rig) TxPacket(payload uint64) error {
 	if err := r.K.Sys.AS.WriteU64(r.Stack.SkbField(skb, "len"), payload); err != nil {
 		return err
 	}
-	ret, err := r.Stack.XmitSkb(r.Th, r.Drv.Dev, skb)
+	ret, err := r.Stack.XmitSkb(t, r.Drv.Dev, skb)
 	if err != nil {
 		return err
 	}

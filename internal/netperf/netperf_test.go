@@ -177,6 +177,34 @@ func TestGuardCostsNonNegative(t *testing.T) {
 // socket's instance principal stays confined to its own state even with
 // the crossing engine hammered from many threads. (Runs under -race in
 // CI's concurrency battery.)
+// TestReloadUnderConcurrentTraffic: hot-reload the e1000 driver while
+// TX worker threads hammer the pre-reload net_device. Every reload must
+// complete (no quiesce deadlock), the workers must see no errors — new
+// crossings park and drain rather than drop — and the monitor must
+// record zero violations, because the device's instance capabilities
+// migrate to the fresh generation before parked crossings resume. (Runs
+// under -race in CI's concurrency battery.)
+func TestReloadUnderConcurrentTraffic(t *testing.T) {
+	rl, err := netperf.MeasureReload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rl.Reloads < 1 || rl.Workers < 2 {
+		t.Fatalf("phase shape: %+v", rl)
+	}
+	for _, mode := range []core.Mode{core.Off, core.Enforce} {
+		if rl.Packets[mode] < 1 {
+			t.Fatalf("[%v] reloads ran without live TX traffic", mode)
+		}
+		if rl.Total[mode] <= 0 {
+			t.Fatalf("[%v] non-positive reload latency", mode)
+		}
+	}
+	if rl.Migrated < 1 {
+		t.Fatal("enforced reload migrated no instance capabilities")
+	}
+}
+
 func TestConcurrentSocketPairs(t *testing.T) {
 	c, err := netperf.MeasureConcurrentSockets(4, 50)
 	if err != nil {

@@ -345,7 +345,9 @@ func (s *Stack) registerExports() {
 		[]core.Param{core.P("fam", "int"), core.P("create", "create_fn_t")},
 		"pre(check(call, create))",
 		func(t *core.Thread, args []uint64) uint64 {
-			m := t.CurrentModule()
+			// CallerModule, not CurrentModule: this body runs trusted,
+			// so the registering module is on the shadow stack.
+			m := t.CallerModule()
 			slot := sys.Statics.Alloc(8, 8)
 			if err := sys.AS.WriteU64(slot, args[1]); err != nil {
 				return kernel.Err(kernel.EFAULT)

@@ -170,6 +170,28 @@ func (b *Bus) RegisterDriver(t *core.Thread, m *core.Module, probeFn string, ven
 	return nil
 }
 
+// Unbind detaches the named module from the bus: devices it bound
+// become probe-able again and its driver registrations are dropped, so
+// a reloaded generation re-probes the hardware through RegisterDriver
+// exactly as a fresh load would.
+func (b *Bus) Unbind(moduleName string) {
+	for _, d := range b.devs {
+		if d.Module == moduleName {
+			d.bound = false
+			d.Module = ""
+			d.irqFn = nil
+			d.irqName = ""
+		}
+	}
+	keep := b.drivers[:0]
+	for _, dr := range b.drivers {
+		if dr.module.Name != moduleName {
+			keep = append(keep, dr)
+		}
+	}
+	b.drivers = keep
+}
+
 // Enabled reports whether the device has been enabled.
 func (b *Bus) Enabled(d *Device) bool {
 	v, _ := b.K.Sys.AS.ReadU64(d.Addr + mem.Addr(b.lay.Off("enabled")))

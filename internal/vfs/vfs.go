@@ -307,6 +307,22 @@ func Init(k *kernel.Kernel, bl *blockdev.Layer) *VFS {
 	return v
 }
 
+// Unregister removes every filesystem type the named module
+// registered, so a reloaded generation can call register_filesystem
+// again without tripping the duplicate-fsid EBUSY check. Mounted
+// superblocks are untouched: their ops slots keep resolving through
+// the retired generation's registrations, and the reload machinery
+// redirects those crossings to the successor.
+func (v *VFS) Unregister(moduleName string) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for fsid, ft := range v.filesystems {
+		if ft.module != nil && ft.module.Name == moduleName {
+			delete(v.filesystems, fsid)
+		}
+	}
+}
+
 func (v *VFS) registerFPtrTypes() {
 	sys := v.K.Sys
 	sbP := core.P("sb", "struct super_block *")

@@ -13,7 +13,9 @@
 //	                    sound, and the virtual filesystem layer with its
 //	                    dentry and page caches)
 //	internal/modules  — the ten isolated modules of the paper's Fig. 9,
-//	                    plus the tmpfssim/minixsim filesystem modules
+//	                    plus the tmpfssim/minixsim filesystem modules,
+//	                    and the descriptor registry + loader that boots,
+//	                    unloads, and hot-reloads them by name
 //	internal/exploits — the CVE exploits of Fig. 8 and the page-cache
 //	                    scribble scenario
 //
@@ -21,7 +23,12 @@
 //
 //	machine, err := lxfi.Boot(lxfi.Enforce)
 //	...
-//	mod, err := machine.Kernel.Sys.LoadModule(lxfi.ModuleSpec{...})
+//	ld := machine.Loader()
+//	inst, err := ld.Load(machine.Thread, "econet")
+//
+// (importing a module package — or lxfi/internal/modules/all for the
+// whole Fig. 9 set — registers its descriptor; bespoke one-off modules
+// still go through machine.Kernel.Sys.LoadModule with a ModuleSpec).
 package lxfi
 
 import (
@@ -30,6 +37,7 @@ import (
 	"lxfi/internal/core"
 	"lxfi/internal/kernel"
 	"lxfi/internal/mem"
+	"lxfi/internal/modules"
 	"lxfi/internal/netstack"
 	"lxfi/internal/pci"
 	"lxfi/internal/sound"
@@ -68,6 +76,12 @@ type (
 	Addr = mem.Addr
 	// Kernel is the simulated core kernel.
 	Kernel = kernel.Kernel
+	// Loader loads, unloads, and hot-reloads registered modules by name.
+	Loader = modules.Loader
+	// ModuleDescriptor registers a loadable module with the loader.
+	ModuleDescriptor = modules.Descriptor
+	// ReloadStats reports what one hot reload did and what it cost.
+	ReloadStats = modules.ReloadStats
 )
 
 // Enforcement modes.
@@ -118,6 +132,21 @@ func Boot(mode Mode) (*Machine, error) {
 	m.FS = vfs.Init(k, m.Block)
 	m.Thread = k.Sys.NewThread("main")
 	return m, nil
+}
+
+// Loader returns a module loader over the machine's substrates:
+// modules whose packages are linked in (each registers a descriptor in
+// init) load by name, with dependency resolution, clean unload, and
+// hot reload with capability migration.
+func (m *Machine) Loader() *Loader {
+	return modules.NewLoaderWith(&modules.BootContext{
+		K:     m.Kernel,
+		Bus:   m.Bus,
+		Net:   m.Net,
+		Block: m.Block,
+		Snd:   m.Sound,
+		FS:    m.FS,
+	})
 }
 
 // NewKernel boots just the core kernel (no subsystem substrates) for

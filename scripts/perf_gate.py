@@ -18,6 +18,12 @@ untraced enforced crossing) are gated absolutely instead: the current
 value must stay under TRACE_THRESHOLD percent, baseline or not, so the
 very first traced run is already held to the budget.
 
+Hot-reload latency is gated absolutely the same way: every ns leaf of a
+`reload` phase (the crossings "reload" row, the fsperf per-filesystem
+and netperf top-level reload objects' `*_total_ns`) must stay under
+RELOAD_MAX_NS — a module swap that stalls crossings for longer than
+that ceiling fails even on a first run with no baseline.
+
 Usage:
     perf_gate.py PREV.json CURRENT.json       # one report
     perf_gate.py PREV_DIR  CURRENT_DIR        # every BENCH_*.json in CURRENT_DIR
@@ -33,6 +39,7 @@ import sys
 
 THRESHOLD = 30.0  # percent
 TRACE_THRESHOLD = 10.0  # absolute ceiling for trace_overhead_pct leaves
+RELOAD_MAX_NS = 5e7  # absolute ceiling (50 ms) for reload-phase latency
 # A phase whose baseline is allocation-free must stay below this many
 # allocs/op (MemStats sampling noise allowance, well under one real
 # allocation per op).
@@ -118,6 +125,26 @@ def trace_failures(cur_vals, gate):
     return failures
 
 
+def reload_failures(cur_vals, gate):
+    """Absolute gate on hot-reload latency: no baseline required. Every
+    ns leaf of a reload phase must stay under RELOAD_MAX_NS."""
+    failures = []
+    for key in sorted(cur_vals):
+        bench, path, field = key
+        if path.split("/")[-1] != "reload":
+            continue
+        if not (field.endswith("_total_ns") or field in ("stock_ns", "lxfi_ns")):
+            continue
+        now = cur_vals[key]
+        over = gate and now > RELOAD_MAX_NS
+        flag = ("  <-- RELOAD LATENCY OVER %.0f ms CEILING" % (RELOAD_MAX_NS / 1e6)
+                if over else "")
+        print("%-10s %-40s %-14s %12.1f%s" % (bench, path, field, now, flag))
+        if over:
+            failures.append(key)
+    return failures
+
+
 def compare(prev_vals, cur_vals, gate):
     failures = []
     for key in sorted(cur_vals):
@@ -169,11 +196,13 @@ def main():
                     continue  # printed (and gated) by trace_failures below
                 print("%-10s %-40s %-14s %12.1f" % (key[0], key[1], key[2], cur_vals[key]))
             failures += trace_failures(cur_vals, gate=not summary)
+            failures += reload_failures(cur_vals, gate=not summary)
             print()
             continue
         saw_any = True
         failures += compare(load(ppath, ns_only=not summary), cur_vals, gate=not summary)
         failures += trace_failures(cur_vals, gate=not summary)
+        failures += reload_failures(cur_vals, gate=not summary)
         print()
 
     if summary:
@@ -181,8 +210,9 @@ def main():
         return
     if failures:
         print("perf gate: %d phase(s) regressed (>%.0f%% ns/op, allocations "
-              "above an allocation-free baseline, or trace overhead past "
-              "%.0f%%)" % (len(failures), THRESHOLD, TRACE_THRESHOLD),
+              "above an allocation-free baseline, trace overhead past "
+              "%.0f%%, or reload latency past %.0f ms)"
+              % (len(failures), THRESHOLD, TRACE_THRESHOLD, RELOAD_MAX_NS / 1e6),
               file=sys.stderr)
         sys.exit(1)
     if saw_any:
