@@ -56,15 +56,20 @@ func main() {
 			benchio.EmitMetrics(fmt.Sprintf("%s enforced metrics", kind), costs.Metrics)
 		}
 	}
+	jrn, err := fsperf.MeasureJournal(*files)
+	if err != nil {
+		benchio.Fail("journal phase failed", err)
+	}
 	conc, err := fsperf.MeasureConcurrency(*files, *size)
 	if err != nil {
 		benchio.Fail("concurrency measurement failed", err)
 	}
 	if !bf.JSON {
+		fmt.Fprint(benchio.Stdout, fsperf.FormatJournal(jrn))
 		fmt.Fprint(benchio.Stdout, fsperf.FormatConcurrency(conc))
 		return
 	}
-	out, err := fsperf.JSON(all, conc, rls, *files, *size)
+	out, err := fsperf.JSON(all, conc, rls, []*fsperf.JournalCosts{jrn}, *files, *size)
 	if err != nil {
 		benchio.Fail("encoding report", err)
 	}

@@ -1,0 +1,76 @@
+package annot
+
+import "testing"
+
+// foldEnv is a CompileEnv that also exposes a bind-time constant
+// table, the shape core hands the compiler once its table freezes.
+type foldEnv struct {
+	ParamsEnv
+	consts map[string]int64
+}
+
+func (e foldEnv) ConstValue(name string) (int64, bool) {
+	v, ok := e.consts[name]
+	return v, ok
+}
+
+// condExpr parses src as an if-condition and returns its expression
+// tree (the package exports no bare-expression parser).
+func condExpr(t *testing.T, src string) *Expr {
+	t.Helper()
+	set, err := Parse("pre(if (" + src + ") check(write, n, 8))")
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return set.Pre[0].Cond
+}
+
+// TestCompileFoldsFrozenConsts pins the bind-time constant fold: an
+// identifier resolved through ConstEnv compiles to a literal, so the
+// program evaluates without any runtime constant lookup — while names
+// the table does not know at compile time keep the opConst fallback.
+func TestCompileFoldsFrozenConsts(t *testing.T) {
+	e := condExpr(t, "n + KNOWN * 2")
+	env := foldEnv{ParamsEnv: ParamsEnv{"n"}, consts: map[string]int64{"KNOWN": 7}}
+	prog, err := Compile(e, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range prog.Ops {
+		if op.Code == opConst {
+			t.Fatalf("KNOWN was not folded: %+v", prog.Ops)
+		}
+	}
+	// The run env's constant table is empty: only the folded literal can
+	// supply KNOWN's value.
+	run := &progTestEnv{params: []string{"n"}, args: []int64{1}}
+	got, err := prog.Eval(run)
+	if err != nil || got != 15 {
+		t.Fatalf("folded eval = %d, %v; want 15", got, err)
+	}
+
+	// A name missing from the bind-time table stays runtime-resolved.
+	e2 := condExpr(t, "LATE + 1")
+	prog2, err := Compile(e2, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prog2.Eval(run); err == nil {
+		t.Fatal("unbound LATE did not error at runtime")
+	}
+	run.consts = map[string]int64{"LATE": 41}
+	if got, err := prog2.Eval(run); err != nil || got != 42 {
+		t.Fatalf("late-bound eval = %d, %v; want 42", got, err)
+	}
+
+	// The parameter namespace shadows the constant table, same as the
+	// tree interpreter's resolution order.
+	e3 := condExpr(t, "n")
+	prog3, err := Compile(e3, foldEnv{ParamsEnv: ParamsEnv{"n"}, consts: map[string]int64{"n": 99}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := prog3.Eval(run); err != nil || got != 1 {
+		t.Fatalf("param-shadowed eval = %d, %v; want arg value 1", got, err)
+	}
+}

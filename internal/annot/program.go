@@ -15,11 +15,13 @@ import "fmt"
 // Semantics are bit-identical to Expr.Eval: signed 64-bit arithmetic,
 // short-circuit && and || (compiled to conditional jumps), and the
 // same identifier resolution order (argument, then registered
-// constant) with the same error text on unbound names. Constants stay
-// runtime-resolved because System.RegisterConst may rebind a name
-// after a program is compiled; everything else resolves at compile
-// time. The fuzz target FuzzExprProgram and the crossing differential
-// test hold the two evaluators equal.
+// constant) with the same error text on unbound names. Constants fold
+// to literal pushes when the compile environment exposes a bind-time
+// table (ConstEnv) — core does so once its table freezes at the first
+// module load — and stay runtime-resolved (opConst) otherwise, or when
+// the name is not bound yet at compile time. The fuzz target
+// FuzzExprProgram and the crossing differential test hold the two
+// evaluators equal.
 
 // Expression opcodes. The machine is a pure stack machine: value ops
 // push one result, binary ops pop two and push one, jump ops implement
@@ -76,6 +78,15 @@ func (p *ExprProg) IsZero() bool { return len(p.Ops) == 0 }
 // same fallback order Expr.Eval uses.
 type CompileEnv interface {
 	ParamIndex(name string) (int, bool)
+}
+
+// ConstEnv is an optional extension of CompileEnv: a bind-time
+// constant table. Identifiers that resolve here (after the parameter
+// check) compile to literal pushes instead of runtime opConst lookups.
+// Only sound when the caller guarantees the table can no longer rebind
+// a resolved name to a different value.
+type ConstEnv interface {
+	ConstValue(name string) (int64, bool)
 }
 
 // ParamsEnv is a CompileEnv over an ordered parameter-name list.
@@ -155,6 +166,12 @@ func (c *compiler) compile(e *Expr, env CompileEnv) error {
 		if idx, ok := env.ParamIndex(e.Ident); ok {
 			c.emit(ExprOp{Code: opArg, A: int32(idx), K: int64(c.name(e.Ident))}, 1)
 			return nil
+		}
+		if ce, ok := env.(ConstEnv); ok {
+			if v, ok := ce.ConstValue(e.Ident); ok {
+				c.emit(ExprOp{Code: opLit, K: v}, 1)
+				return nil
+			}
 		}
 		c.emit(ExprOp{Code: opConst, A: c.name(e.Ident)}, 1)
 		return nil

@@ -11,6 +11,7 @@
 package blockdev
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -64,6 +65,29 @@ const (
 	MapRemapped = 1
 )
 
+// Write-path errors, distinguished so callers can map them onto the
+// right errno (missing disk vs. bad range vs. an injected power cut).
+var (
+	ErrNoDisk   = errors.New("blockdev: no such disk")
+	ErrBounds   = errors.New("blockdev: write outside the disk")
+	ErrPowerCut = errors.New("blockdev: simulated power cut")
+)
+
+// SectorWrite is one logged disk mutation: the sector a write landed on
+// and the bytes it stored. The crash-recovery tests replay prefixes of
+// this log to reconstruct the disk at every possible cut point.
+type SectorWrite struct {
+	Sector uint64
+	Data   []byte
+}
+
+// capture is the per-device write recorder: the disk image when
+// StartCapture ran plus every write since, in order.
+type capture struct {
+	initial []byte
+	log     []SectorWrite
+}
+
 // Layer is the simulated block layer.
 //
 // mu guards the disk and target directories (attach/detach vs. I/O
@@ -82,6 +106,12 @@ type Layer struct {
 	disks map[uint64][]byte
 	// targets tracks live dm targets: target struct -> its type ops.
 	targets map[mem.Addr]mem.Addr
+	// captures holds the active write recorders, keyed by device.
+	captures map[uint64]*capture
+	// failAfter maps a device to its remaining write budget: once it
+	// hits zero every further write fails with ErrPowerCut, freezing
+	// the disk image at the cut point.
+	failAfter map[uint64]*int64
 
 	// completed counts bio_endio calls.
 	completed atomic.Uint64
@@ -95,9 +125,11 @@ type Layer struct {
 // Init builds the block layer.
 func Init(k *kernel.Kernel) *Layer {
 	l := &Layer{
-		K:       k,
-		disks:   make(map[uint64][]byte),
-		targets: make(map[mem.Addr]mem.Addr),
+		K:         k,
+		disks:     make(map[uint64][]byte),
+		targets:   make(map[mem.Addr]mem.Addr),
+		captures:  make(map[uint64]*capture),
+		failAfter: make(map[uint64]*int64),
 	}
 	sys := k.Sys
 
@@ -250,7 +282,9 @@ func (l *Layer) registerExports() {
 			if err != nil {
 				return kernel.Err(kernel.EFAULT)
 			}
-			copy(disk[off:], buf)
+			if err := l.WriteSectors(args[0], args[1], buf); err != nil {
+				return kernel.Err(kernel.EIO)
+			}
 			return 0
 		})
 
@@ -337,6 +371,103 @@ func (l *Layer) RemoveDisk(dev uint64) {
 	delete(l.disks, dev)
 }
 
+// Disks returns the ids of all attached disks.
+func (l *Layer) Disks() []uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]uint64, 0, len(l.disks))
+	for dev := range l.disks {
+		out = append(out, dev)
+	}
+	return out
+}
+
+// WriteSectors is the single mutation path for disk contents: every
+// sector write — dm_write_sectors, pc_writeback, submitted write bios —
+// lands here, so the capture log sees the true write order and an armed
+// power cut stops all of them at once. data may be any length; it is
+// stored starting at the sector's byte offset.
+func (l *Layer) WriteSectors(dev, sector uint64, data []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	disk, ok := l.disks[dev]
+	if !ok {
+		return ErrNoDisk
+	}
+	off := sector * SectorSize
+	if sector > uint64(len(disk))/SectorSize || off+uint64(len(data)) > uint64(len(disk)) {
+		return ErrBounds
+	}
+	if remaining := l.failAfter[dev]; remaining != nil {
+		if *remaining <= 0 {
+			return ErrPowerCut
+		}
+		*remaining--
+	}
+	copy(disk[off:], data)
+	if c := l.captures[dev]; c != nil {
+		c.log = append(c.log, SectorWrite{Sector: sector, Data: append([]byte{}, data...)})
+	}
+	return nil
+}
+
+// StartCapture snapshots the disk and begins logging every write to it.
+// The crash-recovery tests run one workload op under capture, then
+// rebuild the disk at every write boundary with ReplayPrefix.
+func (l *Layer) StartCapture(dev uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if disk, ok := l.disks[dev]; ok {
+		l.captures[dev] = &capture{initial: append([]byte{}, disk...)}
+	}
+}
+
+// StopCapture ends a capture, returning the initial disk image and the
+// ordered write log since StartCapture. Returns nils when no capture
+// was active.
+func (l *Layer) StopCapture(dev uint64) (initial []byte, log []SectorWrite) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	c := l.captures[dev]
+	delete(l.captures, dev)
+	if c == nil {
+		return nil, nil
+	}
+	return c.initial, c.log
+}
+
+// ReplayPrefix builds the disk image that results from applying the
+// first n logged writes to the captured initial image — the disk a
+// power cut between write n and write n+1 would have left behind.
+func ReplayPrefix(initial []byte, log []SectorWrite, n int) []byte {
+	disk := append([]byte{}, initial...)
+	if n > len(log) {
+		n = len(log)
+	}
+	for _, w := range log[:n] {
+		copy(disk[w.Sector*SectorSize:], w.Data)
+	}
+	return disk
+}
+
+// FailAfter arms a power cut on dev: the next n WriteSectors calls
+// succeed, every later one fails with ErrPowerCut and leaves the disk
+// untouched — the image freezes exactly at the cut point, which the
+// coredump forensics test then extracts and remounts.
+func (l *Layer) FailAfter(dev uint64, n int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	budget := n
+	l.failAfter[dev] = &budget
+}
+
+// ClearFail disarms a FailAfter power cut.
+func (l *Layer) ClearFail(dev uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	delete(l.failAfter, dev)
+}
+
 // Completed returns the number of completed bios.
 func (l *Layer) Completed() uint64 { return l.completed.Load() }
 
@@ -367,8 +498,7 @@ func (l *Layer) doIO(bio mem.Addr) error {
 		if err := as.Read(mem.Addr(data), buf); err != nil {
 			return err
 		}
-		copy(disk[off:], buf)
-		return nil
+		return l.WriteSectors(dev, sector, buf)
 	}
 	copy(buf, disk[off:off+n])
 	return as.Write(mem.Addr(data), buf)

@@ -75,17 +75,34 @@ type annotProg struct {
 	prinSrc   *annot.Expr
 }
 
-// paramsCompileEnv resolves parameter names to argument indices.
-type paramsCompileEnv []Param
+// bindEnv is the compile environment for bind-time lowering:
+// parameter names resolve to argument indices, and registered
+// constants fold to literals once the constant table has frozen at
+// the first module load.
+type bindEnv struct {
+	params []Param
+	sys    *System
+}
 
 // ParamIndex implements annot.CompileEnv.
-func (p paramsCompileEnv) ParamIndex(name string) (int, bool) {
-	for i, prm := range p {
+func (e bindEnv) ParamIndex(name string) (int, bool) {
+	for i, prm := range e.params {
 		if prm.Name == name {
 			return i, true
 		}
 	}
 	return 0, false
+}
+
+// ConstValue implements annot.ConstEnv. It resolves nothing before the
+// freeze: a pre-freeze RegisterConst may still rebind the name, so
+// programs compiled that early (kernel exports registered at boot)
+// keep runtime constant resolution.
+func (e bindEnv) ConstValue(name string) (int64, bool) {
+	if !e.sys.constsFrozen.Load() {
+		return 0, false
+	}
+	return e.sys.Const(name)
 }
 
 // compileAnnot lowers set into an action program against params. A nil
@@ -96,7 +113,7 @@ func (s *System) compileAnnot(params []Param, set *annot.Set) *annotProg {
 	if set == nil {
 		return nil
 	}
-	cenv := paramsCompileEnv(params)
+	cenv := bindEnv{params: params, sys: s}
 	prog := &annotProg{prinKind: set.Principal.Kind}
 	if set.Principal.Kind == annot.PrincipalExpr {
 		p, err := annot.Compile(set.Principal.Expr, cenv)

@@ -60,6 +60,13 @@ type System struct {
 
 	nextToken atomic.Uint64 // shadow-stack return tokens
 
+	// constsFrozen flips at the first LoadModule and never clears: from
+	// then on the constant table is append-only (RegisterConst panics on
+	// a rebind to a different value), which is what lets the bind-time
+	// compiler fold constants into action programs as literals
+	// (program.go) instead of re-resolving them on every crossing.
+	constsFrozen atomic.Bool
+
 	// tracing makes NewThread attach a flight-recorder ring to every
 	// thread created after EnableTracing (trace.go).
 	tracing atomic.Bool
@@ -195,10 +202,22 @@ func (s *System) RegisterIterator(name string, fn IterFunc) {
 }
 
 // RegisterConst makes a symbolic constant (e.g. NETDEV_TX_BUSY)
-// available to annotation expressions.
+// available to annotation expressions. Before the first module load the
+// table is fully mutable; after it freezes (LoadModule), rebinding a
+// name to a different value panics — compiled action programs may have
+// folded the old value into their opcode streams, so a silent rebind
+// would split the two evaluators. Registering new names, or re-stating
+// an existing binding, stays legal at any time.
 func (s *System) RegisterConst(name string, v int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.constsFrozen.Load() {
+		if old, ok := s.consts[name]; ok && old != v {
+			panic(fmt.Sprintf(
+				"core: constant %s rebound from %d to %d after the table froze at first module load",
+				name, old, v))
+		}
+	}
 	s.consts[name] = v
 }
 
@@ -322,6 +341,10 @@ func (s *System) Modules() map[string]*Module {
 // capability for the writable sections, all to the module's shared
 // principal.
 func (s *System) LoadModule(spec ModuleSpec) (*Module, error) {
+	// The first module load freezes the constant table (RegisterConst):
+	// the programs compiled below fold constants as literals, which is
+	// sound only if no later registration can rebind them.
+	s.constsFrozen.Store(true)
 	// Reserve the name atomically: two concurrent loads of one name must
 	// not both pass the duplicate check and then fight over the registry
 	// slot. The nil placeholder is invisible to lookups (Module treats it

@@ -22,17 +22,21 @@
 package coredump
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"sort"
 
+	"lxfi/internal/blockdev"
 	"lxfi/internal/core"
 	"lxfi/internal/vfs"
 )
 
 // FormatVersion is the dump format version; Decode rejects dumps from
-// a newer format than it understands.
-const FormatVersion = 1
+// a newer format than it understands. Version 2 added the sparse disk
+// section (Disks), making a dump taken at a violation sufficient to
+// remount and inspect the filesystem state the crash left behind.
+const FormatVersion = 2
 
 // CapRange is one WRITE capability region.
 type CapRange struct {
@@ -135,6 +139,33 @@ type ThreadDump struct {
 	Events      []EventDump `json:"events,omitempty"`
 }
 
+// DiskExtent is one run of consecutive sectors with non-zero content;
+// JSON renders Data as base64.
+type DiskExtent struct {
+	Sector uint64 `json:"sector"`
+	Data   []byte `json:"data"`
+}
+
+// DiskDump is one simulated disk, stored sparsely: all-zero sectors
+// (the vast majority of a mostly-empty image) are elided and implied
+// by Sectors.
+type DiskDump struct {
+	Dev     uint64       `json:"dev"`
+	Sectors uint64       `json:"sectors"`
+	Extents []DiskExtent `json:"extents,omitempty"`
+}
+
+// Bytes reconstructs the full disk image from the sparse extents — the
+// forensic path hands this to a fresh system's blockdev to remount the
+// dumped filesystem.
+func (dd *DiskDump) Bytes() []byte {
+	img := make([]byte, dd.Sectors*blockdev.SectorSize)
+	for _, e := range dd.Extents {
+		copy(img[e.Sector*blockdev.SectorSize:], e.Data)
+	}
+	return img
+}
+
 // ViolationDump is one violation-log entry.
 type ViolationDump struct {
 	Module    string `json:"module"`
@@ -157,6 +188,7 @@ type Dump struct {
 	Modules    []ModuleDump    `json:"modules"`
 	WriterSet  []WSTPage       `json:"writer_set,omitempty"`
 	PageCache  *PageCacheDump  `json:"page_cache,omitempty"`
+	Disks      []DiskDump      `json:"disks,omitempty"`
 	Threads    []ThreadDump    `json:"threads,omitempty"`
 	Violations []ViolationDump `json:"violations,omitempty"`
 
@@ -173,6 +205,10 @@ type Options struct {
 	Threads []*core.Thread
 	// VFS adds the page-cache section when non-nil.
 	VFS *vfs.VFS
+	// Block adds the sparse disk section when non-nil: the raw content
+	// of every attached disk, all-zero sectors elided. With it a dump
+	// taken mid-crash carries enough to remount the filesystem offline.
+	Block *blockdev.Layer
 }
 
 // Snapshot captures the system. Sections are read one at a time under
@@ -212,6 +248,14 @@ func Snapshot(sys *core.System, opts Options) *Dump {
 			})
 		}
 		d.PageCache = pc
+	}
+
+	if opts.Block != nil {
+		devs := opts.Block.Disks()
+		sort.Slice(devs, func(i, j int) bool { return devs[i] < devs[j] })
+		for _, dev := range devs {
+			d.Disks = append(d.Disks, dumpDisk(dev, opts.Block.DiskBytes(dev)))
+		}
 	}
 
 	for _, t := range opts.Threads {
@@ -265,6 +309,32 @@ func dumpModule(m *core.Module) ModuleDump {
 		md.Principals = append(md.Principals, pd)
 	}
 	return md
+}
+
+// dumpDisk coalesces a disk image into runs of non-zero sectors.
+func dumpDisk(dev uint64, disk []byte) DiskDump {
+	dd := DiskDump{Dev: dev, Sectors: uint64(len(disk)) / blockdev.SectorSize}
+	zero := make([]byte, blockdev.SectorSize)
+	var run []byte
+	var runStart uint64
+	for s := uint64(0); s < dd.Sectors; s++ {
+		sec := disk[s*blockdev.SectorSize : (s+1)*blockdev.SectorSize]
+		if bytes.Equal(sec, zero) {
+			if run != nil {
+				dd.Extents = append(dd.Extents, DiskExtent{Sector: runStart, Data: run})
+				run = nil
+			}
+			continue
+		}
+		if run == nil {
+			runStart = s
+		}
+		run = append(run, sec...)
+	}
+	if run != nil {
+		dd.Extents = append(dd.Extents, DiskExtent{Sector: runStart, Data: run})
+	}
+	return dd
 }
 
 func dumpThread(t *core.Thread) ThreadDump {

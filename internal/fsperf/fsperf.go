@@ -765,6 +765,131 @@ func FormatReload(r *ReloadCosts) string {
 		"hot reload", stock, lxfi, overhead, r.Reloads, r.Migrated)
 }
 
+// --- journal phase ---
+
+// JournalCosts holds the journal phase on the block-backed filesystem:
+// the per-op cost of the journaled multi-record metadata ops — rename
+// and RENAME_EXCHANGE, each a write-ahead transaction (intent records,
+// one commit sector, applies, checkpoint) — under both builds, plus
+// the sector writes one journaled rename performs, i.e. the write
+// amplification the crash-consistency guarantee costs.
+type JournalCosts struct {
+	FS          string
+	RenameNs    map[core.Mode]float64
+	ExchangeNs  map[core.Mode]float64
+	WritesPerOp float64 // sector writes per journaled rename (build-independent)
+}
+
+// measureJournalMode runs the journal phase for one mode on a fresh rig.
+func measureJournalMode(mode core.Mode, files int, out *JournalCosts) error {
+	rig, err := NewRig(mode, Minix)
+	if err != nil {
+		return err
+	}
+	defer rig.Close()
+	v, th, sb := rig.V, rig.Th, rig.SB
+	path := func(i int) string { return fmt.Sprintf("/j%05d", i) }
+	alt := func(i int) string { return fmt.Sprintf("/ja%05d", i) }
+	partner := func(i int) string { return fmt.Sprintf("/jx%05d", i) }
+	for i := 0; i < files; i++ {
+		if _, err := v.Create(th, sb, path(i)); err != nil {
+			return err
+		}
+		if _, err := v.Create(th, sb, partner(i)); err != nil {
+			return err
+		}
+	}
+	if err := v.Sync(th, sb); err != nil {
+		return err
+	}
+
+	// Journaled rename: timed moves to fresh names, untimed moves back.
+	renameBack := func() error {
+		for i := 0; i < files; i++ {
+			if _, err := v.Lookup(th, sb, alt(i)); err == nil {
+				if err := v.Rename(th, sb, alt(i), sb, path(i)); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	ns, err := best(measureRounds, files, renameBack, func(i int) error {
+		return v.Rename(th, sb, path(i), sb, alt(i))
+	})
+	if err != nil {
+		return err
+	}
+	if err := renameBack(); err != nil {
+		return err
+	}
+	out.RenameNs[mode] = ns
+
+	// RENAME_EXCHANGE: a two-record transaction; the swap is its own
+	// inverse, so no per-round restore is needed.
+	ns, err = best(measureRounds, files, nil, func(i int) error {
+		return v.RenameFlags(th, sb, path(i), sb, partner(i), vfs.RenameExchange)
+	})
+	if err != nil {
+		return err
+	}
+	out.ExchangeNs[mode] = ns
+
+	// Write amplification, counted outside the timed loops so untimed
+	// restores do not pollute it. One measurement suffices: the journal
+	// protocol writes the same sectors under either build.
+	if mode == core.Off {
+		probes := files
+		if probes > 8 {
+			probes = 8
+		}
+		_, w0 := rig.B.SectorIO()
+		for i := 0; i < probes; i++ {
+			if err := v.Rename(th, sb, path(i), sb, alt(i)); err != nil {
+				return err
+			}
+			if err := v.Rename(th, sb, alt(i), sb, path(i)); err != nil {
+				return err
+			}
+		}
+		_, w1 := rig.B.SectorIO()
+		out.WritesPerOp = float64(w1-w0) / float64(2*probes)
+	}
+
+	if n := len(rig.K.Sys.Mon.Violations()); n != 0 {
+		return fmt.Errorf("fsperf: journal phase (%s): %d violations: %v",
+			mode, n, rig.K.Sys.Mon.LastViolation())
+	}
+	return nil
+}
+
+// MeasureJournal measures the journaled-metadata phase (block-backed
+// filesystem only) under both builds.
+func MeasureJournal(files int) (*JournalCosts, error) {
+	out := &JournalCosts{
+		FS:         string(Minix),
+		RenameNs:   make(map[core.Mode]float64),
+		ExchangeNs: make(map[core.Mode]float64),
+	}
+	for _, mode := range []core.Mode{core.Off, core.Enforce} {
+		if err := measureJournalMode(mode, files, out); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// FormatJournal renders the journal phase line.
+func FormatJournal(j *JournalCosts) string {
+	stock, lxfi := j.RenameNs[core.Off], j.RenameNs[core.Enforce]
+	overhead := 0.0
+	if stock > 0 {
+		overhead = 100 * (lxfi - stock) / stock
+	}
+	return fmt.Sprintf("%-14s %14.0f %14.0f %9.0f%%  (%.1f sector writes/op)\n",
+		"journal rename", stock, lxfi, overhead, j.WritesPerOp)
+}
+
 // jsonRow mirrors Row with stable snake_case keys for the CI artifact.
 type jsonRow struct {
 	Op          string  `json:"op"`
@@ -784,10 +909,24 @@ type jsonWB struct {
 }
 
 type jsonFS struct {
-	FS        string      `json:"fs"`
-	Rows      []jsonRow   `json:"rows"`
-	Writeback *jsonWB     `json:"writeback,omitempty"`
-	Reload    *jsonReload `json:"reload,omitempty"`
+	FS        string       `json:"fs"`
+	Rows      []jsonRow    `json:"rows"`
+	Writeback *jsonWB      `json:"writeback,omitempty"`
+	Reload    *jsonReload  `json:"reload,omitempty"`
+	Journal   *jsonJournal `json:"journal,omitempty"`
+}
+
+// jsonJournal reports the journaled-metadata phase: write-ahead rename
+// and exchange costs under both builds and the sector writes one
+// journaled rename performs. perf_gate.py gates the rename overhead and
+// the write amplification.
+type jsonJournal struct {
+	StockRenameNs   float64 `json:"stock_rename_ns"`
+	LxfiRenameNs    float64 `json:"lxfi_rename_ns"`
+	StockExchangeNs float64 `json:"stock_exchange_ns"`
+	LxfiExchangeNs  float64 `json:"lxfi_exchange_ns"`
+	OverheadPct     float64 `json:"overhead_pct"`
+	WritesPerOp     float64 `json:"writes_per_op"`
 }
 
 // jsonReload reports the hot-reload-under-traffic phase: mean service
@@ -824,11 +963,27 @@ type jsonDoc struct {
 // JSON serializes measured costs as the machine-readable report CI
 // archives as BENCH_fsperf.json, so the perf trajectory of every op is
 // tracked run over run. conc may be nil when the concurrency phase was
-// not measured; rls entries are matched to results by filesystem name.
-func JSON(cs []*Costs, conc *ConcurrencyCosts, rls []*ReloadCosts, files int, fileSize uint64) ([]byte, error) {
+// not measured; rls and jrns entries are matched to results by
+// filesystem name.
+func JSON(cs []*Costs, conc *ConcurrencyCosts, rls []*ReloadCosts, jrns []*JournalCosts, files int, fileSize uint64) ([]byte, error) {
 	doc := jsonDoc{Bench: "fsperf", Files: files, FileSize: fileSize}
 	for _, c := range cs {
 		f := jsonFS{FS: string(c.Kind), Rows: []jsonRow{}}
+		for _, j := range jrns {
+			if j != nil && j.FS == string(c.Kind) {
+				jj := &jsonJournal{
+					StockRenameNs:   j.RenameNs[core.Off],
+					LxfiRenameNs:    j.RenameNs[core.Enforce],
+					StockExchangeNs: j.ExchangeNs[core.Off],
+					LxfiExchangeNs:  j.ExchangeNs[core.Enforce],
+					WritesPerOp:     j.WritesPerOp,
+				}
+				if jj.StockRenameNs > 0 {
+					jj.OverheadPct = 100 * (jj.LxfiRenameNs - jj.StockRenameNs) / jj.StockRenameNs
+				}
+				f.Journal = jj
+			}
+		}
 		for _, rl := range rls {
 			if rl != nil && rl.FS == string(c.Kind) {
 				f.Reload = &jsonReload{

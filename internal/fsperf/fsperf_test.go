@@ -95,7 +95,11 @@ func TestJSONReportShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := fsperf.JSON(all, conc, []*fsperf.ReloadCosts{rl}, 4, mem.PageSize)
+	jrn, err := fsperf.MeasureJournal(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := fsperf.JSON(all, conc, []*fsperf.ReloadCosts{rl}, []*fsperf.JournalCosts{jrn}, 4, mem.PageSize)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,6 +119,12 @@ func TestJSONReportShape(t *testing.T) {
 				LxfiCycles   int     `json:"lxfi_worker_cycles"`
 				MigratedCaps int     `json:"migrated_caps"`
 			} `json:"reload"`
+			Journal *struct {
+				StockRenameNs  float64 `json:"stock_rename_ns"`
+				LxfiRenameNs   float64 `json:"lxfi_rename_ns"`
+				LxfiExchangeNs float64 `json:"lxfi_exchange_ns"`
+				WritesPerOp    float64 `json:"writes_per_op"`
+			} `json:"journal"`
 		} `json:"results"`
 		Concurrency *struct {
 			Workers int      `json:"workers"`
@@ -160,6 +170,28 @@ func TestJSONReportShape(t *testing.T) {
 	}
 	if !sawReload {
 		t.Fatal("no tmpfs result in the artifact")
+	}
+	var sawJournal bool
+	for _, res := range doc.Results {
+		if res.FS != "minix" {
+			continue
+		}
+		if res.Journal == nil {
+			t.Fatal("minix result is missing the journal phase")
+		}
+		sawJournal = true
+		j := res.Journal
+		if j.StockRenameNs <= 0 || j.LxfiRenameNs <= 0 || j.LxfiExchangeNs <= 0 {
+			t.Fatalf("journal phase has a zero cost: %+v", *j)
+		}
+		// A journaled rename is intent + commit + apply (+ checkpoint):
+		// more than one sector write, but bounded.
+		if j.WritesPerOp < 2 || j.WritesPerOp > 16 {
+			t.Fatalf("journal writes/op = %.1f, outside the sane [2,16] band", j.WritesPerOp)
+		}
+	}
+	if !sawJournal {
+		t.Fatal("no minix result in the artifact")
 	}
 	if doc.Concurrency == nil {
 		t.Fatal("artifact is missing the multi-mount concurrency phase")

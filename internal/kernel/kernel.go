@@ -33,6 +33,7 @@ const (
 	EINVAL  = 22
 	EFBIG   = 27
 	ENOSPC  = 28
+	ENOSYS  = 38
 )
 
 // Err encodes -errno as a uint64 return value.
@@ -155,6 +156,7 @@ func New() *Kernel {
 	sys.RegisterConst("EINVAL", EINVAL)
 	sys.RegisterConst("EFBIG", EFBIG)
 	sys.RegisterConst("ENOSPC", ENOSPC)
+	sys.RegisterConst("ENOSYS", ENOSYS)
 
 	k.registerExports()
 	return k

@@ -164,9 +164,13 @@ type ReloadStats struct {
 //     of old gates or capabilities get violations under enforcement.
 //
 // If the fresh generation fails to load after the old one was retired,
-// the module is dead (parked crossings fail with ErrModuleDead) and the
-// name is removed from the loader; an Unload-hook failure aborts the
-// reload with the old generation intact.
+// the loader rolls back: it boots another generation from the same
+// descriptor (the retired code), migrates the capability snapshot into
+// it, and publishes it — parked crossings resume against the rollback
+// generation instead of failing with ErrModuleDead. Only when the
+// rollback load fails too is the module dead and its name removed from
+// the loader. An Unload-hook failure aborts the reload with the old
+// generation intact.
 func (l *Loader) Reload(t *core.Thread, name string) (*ReloadStats, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -194,9 +198,21 @@ func (l *Loader) Reload(t *core.Thread, name string) (*ReloadStats, error) {
 
 	inst, err := l.load(t, lm.desc, lm.opt)
 	if err != nil {
-		sys.FailReload(oldM)
-		delete(l.loaded, name)
-		return nil, fmt.Errorf("modules: reload of %s failed, module is dead: %w", name, err)
+		// Roll back: the old generation is already retired, but its
+		// descriptor can still boot — load it again and migrate the
+		// snapshot into the rollback generation so parked crossings
+		// resume instead of dying with ErrModuleDead.
+		rbInst, rbErr := l.load(t, lm.desc, lm.opt)
+		if rbErr != nil {
+			sys.FailReload(oldM)
+			delete(l.loaded, name)
+			return nil, fmt.Errorf("modules: reload of %s failed (%v); rollback failed too, module is dead: %w", name, err, rbErr)
+		}
+		rbM := rbInst.Module()
+		sys.Caps.MigrateSnapshot(rbM.Set, snap, sectionFilter(oldM))
+		sys.CompleteReload(oldM, rbM)
+		lm.inst = rbInst
+		return nil, fmt.Errorf("modules: reload of %s failed, rolled back to a fresh generation of the previous code: %w", name, err)
 	}
 	swapped := time.Now()
 

@@ -24,7 +24,6 @@ package minixsim
 
 import (
 	"bytes"
-	"fmt"
 
 	"lxfi/internal/blockdev"
 	"lxfi/internal/core"
@@ -70,8 +69,17 @@ const (
 	// bytes), well inside one sector.
 	BitmapStart   = DirTabStart + DirTabSectors
 	BitmapSectors = 1
+	// JournalStart is the write-ahead journal region: one commit sector
+	// followed by JournalSlots intent sectors. Multi-record metadata
+	// operations write their intent records here first, commit with the
+	// single commit-sector write, then apply to the directory table —
+	// mount replays committed-but-unapplied transactions and discards
+	// torn ones.
+	JournalStart   = BitmapStart + BitmapSectors
+	JournalSlots   = 16
+	JournalSectors = 1 + JournalSlots
 	// DiskSectors is the disk size a mount expects.
-	DiskSectors = DataSectors + DirTabSectors + BitmapSectors
+	DiskSectors = DataSectors + DirTabSectors + BitmapSectors + JournalSectors
 	// RecSize is the size of one directory-table record (one sector, so
 	// a record is always sector-addressable).
 	RecSize = blockdev.SectorSize
@@ -80,14 +88,59 @@ const (
 	RootSlot = MaxSlots
 )
 
-// Directory-table record field offsets.
+// Directory-table record field offsets. A record is one directory
+// entry; its target is the extent slot holding the file's data. Plain
+// files and directories target their own slot; a hardlink's record
+// targets the shared extent, so the link count of an extent is simply
+// the number of live records targeting it.
 const (
 	recUsed   = 0  // u64: 1 = live
-	recParent = 8  // u64: parent's extent slot, RootSlot for the root
+	recParent = 8  // u64: parent directory's extent slot, RootSlot for the root
 	recMode   = 16 // u64: vfs.ModeFile / vfs.ModeDir
 	recSize   = 24 // u64: logical file size in bytes
-	recName   = 32 // NUL-terminated, at most vfs.NameMax bytes + NUL
+	recTarget = 32 // u64: extent slot the entry's data lives in
+	recName   = 40 // NUL-terminated, at most vfs.NameMax bytes + NUL
 )
+
+// Journal sector layouts. An intent sector is a self-describing record
+// image: everything needed to rewrite one directory-table record plus
+// its transaction id, sequence number, and checksum. The commit sector
+// names the transaction and its record count; writing it is the commit
+// point, zeroing it is the checkpoint. Both carry an FNV-1a checksum so
+// replay can tell a torn or stale sector from a committed one.
+const (
+	jMagic  = 0  // u64: jIntentMagic
+	jTxid   = 8  // u64: transaction id
+	jSeq    = 16 // u64: record index within the transaction
+	jSlot   = 24 // u64: directory-table slot the image rewrites
+	jUsed   = 32 // u64: record image: live flag
+	jParent = 40 // u64: record image: parent extent slot
+	jMode   = 48 // u64: record image: mode
+	jSize   = 56 // u64: record image: size
+	jTarget = 64 // u64: record image: target extent slot
+	jName   = 72 // record image: name, NameMax bytes + NUL (56 bytes)
+	jSum    = 128
+
+	cMagic = 0  // u64: jCommitMagic
+	cTxid  = 8  // u64: transaction id the intents carry
+	cCount = 16 // u64: number of intent sectors in the transaction
+	cSum   = 24
+)
+
+const (
+	jIntentMagic uint64 = 0x4c58464a_544e544e // "LXFJ" + "TNTN"
+	jCommitMagic uint64 = 0x4c58464a_434d4954 // "LXFJ" + "CMIT"
+)
+
+// fnv1a is the checksum both journal sector kinds carry.
+func fnv1a(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
 
 // Layout names.
 const (
@@ -124,6 +177,7 @@ func Load(t *core.Thread, k *kernel.Kernel, v *vfs.VFS) (*FS, error) {
 		layout.F("next", 8),
 		layout.F("dir", 8),
 		layout.F("inode", 8),
+		layout.F("slot", 8),    // directory-table slot backing this entry
 		layout.F("recsize", 8), // size last persisted to the on-disk record
 		layout.F("name", vfs.NameMax+1),
 	)
@@ -135,6 +189,8 @@ func Load(t *core.Thread, k *kernel.Kernel, v *vfs.VFS) (*FS, error) {
 		layout.F("freecount", 8),
 		layout.F("recbuf", 8), // module-owned directory-record buffer
 		layout.F("bmbuf", 8),  // module-owned used-slot bitmap buffer
+		layout.F("jbuf", 8),   // module-owned journal-sector buffer
+		layout.F("txid", 8),   // last journal transaction id handed out
 		layout.F("tamper", 8), // nonzero once CmdTamper armed the compromise
 	)
 
@@ -151,6 +207,8 @@ func Load(t *core.Thread, k *kernel.Kernel, v *vfs.VFS) (*FS, error) {
 			{Name: "unlink", Type: vfs.FsUnlink, Impl: fs.unlink},
 			{Name: "readdir", Type: vfs.FsReaddir, Impl: fs.readdir},
 			{Name: "rename", Type: vfs.FsRename, Impl: fs.rename},
+			{Name: "exchange", Type: vfs.FsExchange, Impl: fs.exchange},
+			{Name: "link", Type: vfs.FsLink, Impl: fs.link},
 			{Name: "readpage", Type: vfs.FsReadPage, Impl: fs.readpage},
 			{Name: "writepage", Type: vfs.FsWritePage, Impl: fs.writepage},
 			{Name: "ioctl", Type: vfs.FsIoctl, Impl: fs.ioctl},
@@ -192,7 +250,7 @@ func (fs *FS) Ops() mem.Addr { return fs.M.Data }
 
 func (fs *FS) init(t *core.Thread, args []uint64) uint64 {
 	mod := t.CurrentModule()
-	for _, slot := range []string{"mount", "kill_sb", "create", "lookup", "unlink", "readdir", "rename", "readpage", "writepage", "ioctl"} {
+	for _, slot := range []string{"mount", "kill_sb", "create", "lookup", "unlink", "readdir", "rename", "exchange", "link", "readpage", "writepage", "ioctl"} {
 		if err := t.WriteU64(fs.V.OpsSlot(fs.Ops(), slot), uint64(mod.Funcs[slot].Addr)); err != nil {
 			return 1
 		}
@@ -249,51 +307,166 @@ func (fs *FS) setUsedBit(t *core.Thread, sb, priv mem.Addr, slot, used uint64) b
 	return err == nil && !kernel.IsErr(ret)
 }
 
-// writeRec persists one directory-table record from the mount's own
-// record buffer through dm_write_sectors (which checks the module owns
-// the buffer it is persisting), keeping the used-slot bitmap in sync.
-// Ordering makes the record the commit point: a live bit is set before
-// its record is written (a crash in between leaves a bit whose dead
-// record mount-time recovery skips and frees), and cleared only after
-// the record is killed.
-func (fs *FS) writeRec(t *core.Thread, sb, priv mem.Addr, slot, used, parent, mode, size uint64, name []byte) bool {
+// jrec is one directory-table record image: the unit a journal intent
+// describes and applyRec persists.
+type jrec struct {
+	slot, used, parent, mode, size, target uint64
+	name                                   []byte
+}
+
+func putU64(b []byte, off int, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[off+i] = byte(v >> (8 * i))
+	}
+}
+
+func getU64(b []byte, off int) uint64 {
+	v := uint64(0)
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[off+i]) << (8 * i)
+	}
+	return v
+}
+
+// encodeIntent builds one intent sector: the record image plus txid,
+// sequence number, and checksum.
+func encodeIntent(txid, seq uint64, r jrec) []byte {
+	img := make([]byte, blockdev.SectorSize)
+	putU64(img, jMagic, jIntentMagic)
+	putU64(img, jTxid, txid)
+	putU64(img, jSeq, seq)
+	putU64(img, jSlot, r.slot)
+	putU64(img, jUsed, r.used)
+	putU64(img, jParent, r.parent)
+	putU64(img, jMode, r.mode)
+	putU64(img, jSize, r.size)
+	putU64(img, jTarget, r.target)
+	copy(img[jName:], r.name)
+	putU64(img, jSum, fnv1a(img[:jSum]))
+	return img
+}
+
+// encodeCommit builds the commit sector for a txid/count pair.
+func encodeCommit(txid, count uint64) []byte {
+	img := make([]byte, blockdev.SectorSize)
+	putU64(img, cMagic, jCommitMagic)
+	putU64(img, cTxid, txid)
+	putU64(img, cCount, count)
+	putU64(img, cSum, fnv1a(img[:cSum]))
+	return img
+}
+
+// decodeIntent validates an intent sector against the committed txid
+// and sequence; ok is false for torn, stale, or corrupt sectors.
+func decodeIntent(img []byte, txid, seq uint64) (r jrec, ok bool) {
+	if getU64(img, jMagic) != jIntentMagic ||
+		getU64(img, jTxid) != txid ||
+		getU64(img, jSeq) != seq ||
+		getU64(img, jSum) != fnv1a(img[:jSum]) {
+		return jrec{}, false
+	}
+	name := img[jName : jName+vfs.NameMax+1]
+	if i := bytes.IndexByte(name, 0); i >= 0 {
+		name = name[:i]
+	}
+	return jrec{
+		slot:   getU64(img, jSlot),
+		used:   getU64(img, jUsed),
+		parent: getU64(img, jParent),
+		mode:   getU64(img, jMode),
+		size:   getU64(img, jSize),
+		target: getU64(img, jTarget),
+		name:   append([]byte{}, name...),
+	}, true
+}
+
+// jwriteSector persists one journal sector from the mount's own journal
+// buffer through dm_write_sectors (which checks the module owns the
+// buffer it is persisting).
+func (fs *FS) jwriteSector(t *core.Thread, sb, priv mem.Addr, sector uint64, img []byte) bool {
+	buf, _ := t.ReadU64(fs.pvField(priv, "jbuf"))
+	if t.Write(mem.Addr(buf), img) != nil {
+		return false
+	}
+	dev, _ := t.ReadU64(fs.V.SBField(sb, "dev"))
+	ret, err := fs.gDmWriteSectors.Call4(t, dev, sector, buf, blockdev.SectorSize)
+	return err == nil && !kernel.IsErr(ret)
+}
+
+// applyRec persists one directory-table record image from the mount's
+// own record buffer, keeping the used-slot bitmap in sync: a live bit
+// is set before its record is written and cleared only after the record
+// is killed, so a torn apply leaves at worst a set bit over a dead
+// record — which replay rewrites, since the commit sector is still
+// standing. applyRec is idempotent: images are absolute, so replaying
+// an already-applied record rewrites the same bytes.
+func (fs *FS) applyRec(t *core.Thread, sb, priv mem.Addr, r jrec) bool {
+	if len(r.name) > vfs.NameMax {
+		return false
+	}
 	buf, _ := t.ReadU64(fs.pvField(priv, "recbuf"))
 	rb := mem.Addr(buf)
 	rec := make([]byte, RecSize)
-	putU64 := func(off int, v uint64) {
-		for i := 0; i < 8; i++ {
-			rec[off+i] = byte(v >> (8 * i))
-		}
-	}
-	putU64(recUsed, used)
-	putU64(recParent, parent)
-	putU64(recMode, mode)
-	putU64(recSize, size)
-	if len(name) > vfs.NameMax {
-		return false
-	}
-	copy(rec[recName:], name)
-	if used != 0 && !fs.setUsedBit(t, sb, priv, slot, 1) {
+	putU64(rec, recUsed, r.used)
+	putU64(rec, recParent, r.parent)
+	putU64(rec, recMode, r.mode)
+	putU64(rec, recSize, r.size)
+	putU64(rec, recTarget, r.target)
+	copy(rec[recName:], r.name)
+	if r.used != 0 && !fs.setUsedBit(t, sb, priv, r.slot, 1) {
 		return false
 	}
 	if t.Write(rb, rec) != nil {
 		return false
 	}
 	dev, _ := t.ReadU64(fs.V.SBField(sb, "dev"))
-	ret, err := fs.gDmWriteSectors.Call4(t, dev, DirTabStart+slot, uint64(rb), RecSize)
+	ret, err := fs.gDmWriteSectors.Call4(t, dev, DirTabStart+r.slot, uint64(rb), RecSize)
 	if err != nil || kernel.IsErr(ret) {
 		return false
 	}
-	if used == 0 && !fs.setUsedBit(t, sb, priv, slot, 0) {
+	if r.used == 0 && !fs.setUsedBit(t, sb, priv, r.slot, 0) {
 		return false
 	}
 	return true
 }
 
+// commitTxn runs one journaled transaction: write every record image as
+// an intent sector, commit with the single commit-sector write, apply
+// the images to the directory table, then checkpoint by zeroing the
+// commit sector. A crash before the commit write loses the whole
+// transaction (the directory table is untouched); a crash after it is
+// replayed to completion by the next mount. Either way no observer ever
+// sees half the records of a multi-record operation.
+func (fs *FS) commitTxn(t *core.Thread, sb, priv mem.Addr, recs []jrec) bool {
+	if len(recs) == 0 || len(recs) > JournalSlots {
+		return false
+	}
+	txid, _ := t.ReadU64(fs.pvField(priv, "txid"))
+	txid++
+	if t.WriteU64(fs.pvField(priv, "txid"), txid) != nil {
+		return false
+	}
+	for i, r := range recs {
+		if !fs.jwriteSector(t, sb, priv, JournalStart+1+uint64(i), encodeIntent(txid, uint64(i), r)) {
+			return false
+		}
+	}
+	if !fs.jwriteSector(t, sb, priv, JournalStart, encodeCommit(txid, uint64(len(recs)))) {
+		return false
+	}
+	for _, r := range recs {
+		if !fs.applyRec(t, sb, priv, r) {
+			return false
+		}
+	}
+	return fs.jwriteSector(t, sb, priv, JournalStart, make([]byte, blockdev.SectorSize))
+}
+
 // addDirent links one in-memory directory entry; returns 0 on failure.
-// recsize caches the size stored in the slot's on-disk record, so
-// writepage only rewrites the record when the size actually changed.
-func (fs *FS) addDirent(t *core.Thread, priv mem.Addr, dir, ino uint64, name []byte, recsize uint64) uint64 {
+// slot is the directory-table slot backing the entry; recsize caches
+// the size stored in the slot's on-disk record, so writepage only
+// rewrites the record when the size actually changed.
+func (fs *FS) addDirent(t *core.Thread, priv mem.Addr, dir, ino uint64, name []byte, recsize, slot uint64) uint64 {
 	de, err := fs.gKmalloc.Call1(t, fs.deLay.Size)
 	if err != nil || de == 0 {
 		return 0
@@ -302,6 +475,7 @@ func (fs *FS) addDirent(t *core.Thread, priv mem.Addr, dir, ino uint64, name []b
 	if t.WriteU64(fs.deField(mem.Addr(de), "next"), head) != nil ||
 		t.WriteU64(fs.deField(mem.Addr(de), "dir"), dir) != nil ||
 		t.WriteU64(fs.deField(mem.Addr(de), "inode"), ino) != nil ||
+		t.WriteU64(fs.deField(mem.Addr(de), "slot"), slot) != nil ||
 		t.WriteU64(fs.deField(mem.Addr(de), "recsize"), recsize) != nil ||
 		t.Write(fs.deField(mem.Addr(de), "name"), append(append([]byte{}, name...), 0)) != nil ||
 		t.WriteU64(fs.pvField(priv, "head"), de) != nil {
@@ -335,8 +509,17 @@ func (fs *FS) mount(t *core.Thread, args []uint64) uint64 {
 		_, _ = fs.gKfree.Call1(t, priv)
 		return 0
 	}
+	jbuf, err := fs.gKmalloc.Call1(t, blockdev.SectorSize)
+	if err != nil || jbuf == 0 {
+		_, _ = fs.gKfree.Call1(t, bmbuf)
+		_, _ = fs.gKfree.Call1(t, recbuf)
+		_, _ = fs.gKfree.Call1(t, stack)
+		_, _ = fs.gKfree.Call1(t, priv)
+		return 0
+	}
 	root, err := fs.gIget.Call1(t, uint64(sb))
 	if err != nil || root == 0 {
+		_, _ = fs.gKfree.Call1(t, jbuf)
 		_, _ = fs.gKfree.Call1(t, bmbuf)
 		_, _ = fs.gKfree.Call1(t, recbuf)
 		_, _ = fs.gKfree.Call1(t, stack)
@@ -352,6 +535,8 @@ func (fs *FS) mount(t *core.Thread, args []uint64) uint64 {
 		t.WriteU64(fs.pvField(mem.Addr(priv), "freecount"), 0) != nil ||
 		t.WriteU64(fs.pvField(mem.Addr(priv), "recbuf"), recbuf) != nil ||
 		t.WriteU64(fs.pvField(mem.Addr(priv), "bmbuf"), bmbuf) != nil ||
+		t.WriteU64(fs.pvField(mem.Addr(priv), "jbuf"), jbuf) != nil ||
+		t.WriteU64(fs.pvField(mem.Addr(priv), "txid"), 0) != nil ||
 		t.WriteU64(fs.pvField(mem.Addr(priv), "tamper"), 0) != nil ||
 		t.WriteU64(fs.V.SBField(sb, "private"), priv) != nil ||
 		// Declare the per-file capacity so the VFS rejects oversized
@@ -359,6 +544,7 @@ func (fs *FS) mount(t *core.Thread, args []uint64) uint64 {
 		// persisted.
 		t.WriteU64(fs.V.SBField(sb, "maxbytes"), MaxFilePages*mem.PageSize) != nil {
 		_, _ = fs.gIput.Call1(t, root)
+		_, _ = fs.gKfree.Call1(t, jbuf)
 		_, _ = fs.gKfree.Call1(t, bmbuf)
 		_, _ = fs.gKfree.Call1(t, recbuf)
 		_, _ = fs.gKfree.Call1(t, stack)
@@ -367,6 +553,7 @@ func (fs *FS) mount(t *core.Thread, args []uint64) uint64 {
 	}
 	if !fs.recoverNamespace(t, sb, mem.Addr(priv)) {
 		_, _ = fs.gIput.Call1(t, root)
+		_, _ = fs.gKfree.Call1(t, jbuf)
 		_, _ = fs.gKfree.Call1(t, bmbuf)
 		_, _ = fs.gKfree.Call1(t, recbuf)
 		_, _ = fs.gKfree.Call1(t, stack)
@@ -376,23 +563,101 @@ func (fs *FS) mount(t *core.Thread, args []uint64) uint64 {
 	return root
 }
 
+// replayJournal finishes or discards whatever transaction the previous
+// mount left in the journal. A valid commit sector means every intent
+// of the transaction reached the disk before the crash (the commit
+// write comes last), so the intents are re-applied — applyRec images
+// are absolute and idempotent — and the commit sector is zeroed. An
+// invalid or torn commit sector means the transaction never committed:
+// it is discarded, and the directory table is left exactly as the
+// pre-crash namespace had it. A journal-clean (all-zero commit sector)
+// disk takes no writes at all. Requires the bitmap to already be loaded
+// into bmbuf: applyRec keeps the used-slot bitmap in sync through it.
+func (fs *FS) replayJournal(t *core.Thread, sb, priv mem.Addr) bool {
+	dev, _ := t.ReadU64(fs.V.SBField(sb, "dev"))
+	jbuf, _ := t.ReadU64(fs.pvField(priv, "jbuf"))
+	if ret, err := fs.gDmReadSectors.Call4(t, dev, JournalStart, jbuf, blockdev.SectorSize); err != nil || kernel.IsErr(ret) {
+		return false
+	}
+	commit, err := t.ReadBytes(mem.Addr(jbuf), blockdev.SectorSize)
+	if err != nil {
+		return false
+	}
+	allZero := true
+	for _, b := range commit {
+		if b != 0 {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
+		return true
+	}
+	txid := getU64(commit, cTxid)
+	count := getU64(commit, cCount)
+	valid := getU64(commit, cMagic) == jCommitMagic &&
+		getU64(commit, cSum) == fnv1a(commit[:cSum]) &&
+		count >= 1 && count <= JournalSlots
+	if valid {
+		recs := make([]jrec, 0, count)
+		for i := uint64(0); i < count; i++ {
+			if ret, err := fs.gDmReadSectors.Call4(t, dev, JournalStart+1+i, jbuf, blockdev.SectorSize); err != nil || kernel.IsErr(ret) {
+				return false
+			}
+			img, err := t.ReadBytes(mem.Addr(jbuf), blockdev.SectorSize)
+			if err != nil {
+				return false
+			}
+			r, ok := decodeIntent(img, txid, i)
+			if !ok || r.slot >= MaxSlots {
+				// A committed transaction with a bad intent is corruption,
+				// not a torn write; discard rather than half-apply.
+				valid = false
+				break
+			}
+			recs = append(recs, r)
+		}
+		if valid {
+			for _, r := range recs {
+				if !fs.applyRec(t, sb, priv, r) {
+					return false
+				}
+			}
+			if t.WriteU64(fs.pvField(priv, "txid"), txid) != nil {
+				return false
+			}
+		}
+	}
+	// Checkpoint (or discard the torn/corrupt transaction): zero the
+	// commit sector so the journal is clean for the next mount.
+	return fs.jwriteSector(t, sb, priv, JournalStart, make([]byte, blockdev.SectorSize))
+}
+
 // recoverNamespace rebuilds the directory tree from the on-disk
-// directory table: one inode per live record, then one in-memory dirent
-// per record once every parent inode exists. The free-slot bookkeeping
-// is reconstructed from the used bits, so slot allocation continues
-// where the previous mount stopped.
+// directory table: first journal replay settles any in-flight
+// transaction, then one inode per extent in use (records are grouped by
+// target, so hardlinked entries share an inode and nlink counts the
+// group), then one in-memory dirent per record once every parent inode
+// exists. The free-slot bookkeeping is reconstructed from the used
+// bits, so slot allocation continues where the previous mount stopped.
 //
 // Only slots the used-slot bitmap marks live are read — recovery costs
 // O(live records), not O(MaxSlots). A set bit whose record is dead (the
-// crash window between bitmap and record writes) is skipped and the
-// slot freed; the record write remains the commit point.
+// crash window between bitmap and record writes inside an apply, always
+// under a still-standing commit sector that replay has just finished)
+// is skipped and the slot freed.
 func (fs *FS) recoverNamespace(t *core.Thread, sb, priv mem.Addr) bool {
 	dev, _ := t.ReadU64(fs.V.SBField(sb, "dev"))
 	buf, _ := t.ReadU64(fs.pvField(priv, "recbuf"))
 	bmbuf, _ := t.ReadU64(fs.pvField(priv, "bmbuf"))
 	root, _ := t.ReadU64(fs.pvField(priv, "root"))
 
+	// The bitmap must be resident before replay: applyRec maintains the
+	// used-slot bits through the in-memory copy.
 	if ret, err := fs.gDmReadSectors.Call4(t, dev, BitmapStart, bmbuf, blockdev.SectorSize); err != nil || kernel.IsErr(ret) {
+		return false
+	}
+	if !fs.replayJournal(t, sb, priv) {
 		return false
 	}
 	bitmap, err := t.ReadBytes(mem.Addr(bmbuf), MaxSlots/8)
@@ -401,9 +666,8 @@ func (fs *FS) recoverNamespace(t *core.Thread, sb, priv mem.Addr) bool {
 	}
 
 	type rec struct {
-		parent, mode, size uint64
-		name               []byte
-		ino                uint64
+		parent, mode, size, target uint64
+		name                       []byte
 	}
 	recs := make(map[uint64]*rec)
 	for slot := uint64(0); slot < MaxSlots; slot++ {
@@ -418,57 +682,35 @@ func (fs *FS) recoverNamespace(t *core.Thread, sb, priv mem.Addr) bool {
 		if err != nil {
 			return false
 		}
-		getU64 := func(off int) uint64 {
-			v := uint64(0)
-			for i := 0; i < 8; i++ {
-				v |= uint64(raw[off+i]) << (8 * i)
-			}
-			return v
-		}
-		if getU64(recUsed) != 1 {
-			// Crash window: bit set, record never committed. The slot is
-			// free (it is below nextslot only if some reachable record
-			// sits above it, in which case the post-recovery free pass
-			// reclaims it).
+		if getU64(raw, recUsed) != 1 {
+			// Stale bit over a dead record (torn apply the replay above
+			// has already settled): skip, the slot is reclaimed by the
+			// post-recovery free pass.
 			continue
 		}
 		name := raw[recName : recName+vfs.NameMax+1]
 		if i := bytes.IndexByte(name, 0); i >= 0 {
 			name = name[:i]
 		}
-		recs[slot] = &rec{parent: getU64(recParent), mode: getU64(recMode), size: getU64(recSize),
+		target := getU64(raw, recTarget)
+		if target >= MaxSlots {
+			continue
+		}
+		recs[slot] = &rec{parent: getU64(raw, recParent), mode: getU64(raw, recMode),
+			size: getU64(raw, recSize), target: target,
 			name: append([]byte{}, name...)}
-	}
-
-	// Deduplicate (parent, name) collisions — a crash between a rename's
-	// record write and the replaced target's record kill can leave two
-	// live records under one name. The lowest slot wins; the loser is
-	// treated like an orphan (dropped, slot reusable, record overwritten
-	// on reuse).
-	byName := make(map[string]uint64)
-	for slot := uint64(0); slot < MaxSlots; slot++ {
-		r, ok := recs[slot]
-		if !ok {
-			continue
-		}
-		key := fmt.Sprintf("%d/%s", r.parent, r.name)
-		if _, dup := byName[key]; dup {
-			delete(recs, slot)
-			continue
-		}
-		byName[key] = slot
 	}
 
 	// Reachability from the root, BFS over parent links: a record whose
 	// parent chain is broken (parent record gone or not a directory) or
-	// cyclic — possible on a crashed or corrupted table — is an orphan.
-	// Orphans are dropped entirely: no inode, no dirent, and their slots
-	// become reusable, so the dead records are overwritten on reuse
-	// rather than resurrected as ghosts on every future mount. (Their
-	// bitmap bits stay set until reuse — mount cannot write the disk,
-	// dm_write_sectors demands the device REF the VFS only grants once
-	// the mount callback has returned — so a dropped record costs one
-	// extra sector read per mount until its slot is recycled.)
+	// cyclic — possible on a corrupted table — is an orphan. Orphans are
+	// dropped entirely: no inode, no dirent, and their slots become
+	// reusable, so the dead records are overwritten on reuse rather than
+	// resurrected as ghosts on every future mount. (Their bitmap bits
+	// stay set until reuse — clearing them would cost a clean mount its
+	// read-only path — so a dropped record costs one extra sector read
+	// per mount until its slot is recycled.) Parent links name the
+	// parent directory's extent slot, i.e. its record's target.
 	children := make(map[uint64][]uint64)
 	for slot, r := range recs {
 		children[r.parent] = append(children[r.parent], slot)
@@ -483,13 +725,23 @@ func (fs *FS) recoverNamespace(t *core.Thread, sb, priv mem.Addr) bool {
 		}
 		reachable[slot] = true
 		if recs[slot].mode == vfs.ModeDir {
-			queue = append(queue, children[slot]...)
+			queue = append(queue, children[recs[slot].target]...)
 		}
 	}
 
+	// Group reachable records by target extent: hardlinked entries are
+	// several records over one extent and must share one inode.
+	groups := make(map[uint64][]uint64)
+	for slot := range recs {
+		if reachable[slot] {
+			groups[recs[slot].target] = append(groups[recs[slot].target], slot)
+		}
+	}
+	inoByTarget := make(map[uint64]uint64)
+
 	// bail releases everything a partial recovery allocated: the dirent
 	// list is unlinked and freed, every inode created so far is iput.
-	// mount's own error branch then frees priv/stack/recbuf/root.
+	// mount's own error branch then frees priv/stack/buffers/root.
 	bail := func() bool {
 		cur, _ := t.ReadU64(fs.pvField(priv, "head"))
 		for cur != 0 {
@@ -498,37 +750,47 @@ func (fs *FS) recoverNamespace(t *core.Thread, sb, priv mem.Addr) bool {
 			cur = next
 		}
 		_ = t.WriteU64(fs.pvField(priv, "head"), 0)
-		for _, r := range recs {
-			if r.ino != 0 {
-				_, _ = fs.gIput.Call1(t, r.ino)
-			}
+		for _, ino := range inoByTarget {
+			_, _ = fs.gIput.Call1(t, ino)
 		}
 		return false
 	}
 
-	// Pass 1: an inode per reachable record.
+	// Pass 1: an inode per extent in use. nlink counts the records of
+	// the group; the size is the freshest any record saw (writepage
+	// folds size into the entry it finds first, so records of a group
+	// can lag — the max is the one that was persisted last).
 	maxUsed := int64(-1)
-	for slot, r := range recs {
-		if !reachable[slot] {
-			continue
-		}
+	for target, slots := range groups {
 		ino, err := fs.gIget.Call1(t, uint64(sb))
 		if err != nil || ino == 0 {
 			return bail()
 		}
-		r.ino = ino
-		nlink := uint64(1)
-		if r.mode == vfs.ModeDir {
+		inoByTarget[target] = ino
+		mode := recs[slots[0]].mode
+		size := uint64(0)
+		for _, s := range slots {
+			if recs[s].size > size {
+				size = recs[s].size
+			}
+		}
+		nlink := uint64(len(slots))
+		if mode == vfs.ModeDir {
 			nlink = 2
 		}
-		if t.WriteU64(fs.V.InodeField(mem.Addr(ino), "mode"), r.mode) != nil ||
+		if t.WriteU64(fs.V.InodeField(mem.Addr(ino), "mode"), mode) != nil ||
 			t.WriteU64(fs.V.InodeField(mem.Addr(ino), "nlink"), nlink) != nil ||
-			t.WriteU64(fs.V.InodeField(mem.Addr(ino), "size"), r.size) != nil ||
-			t.WriteU64(fs.V.InodeField(mem.Addr(ino), "private"), slot) != nil {
+			t.WriteU64(fs.V.InodeField(mem.Addr(ino), "size"), size) != nil ||
+			t.WriteU64(fs.V.InodeField(mem.Addr(ino), "private"), target) != nil {
 			return bail()
 		}
-		if int64(slot) > maxUsed {
-			maxUsed = int64(slot)
+		if int64(target) > maxUsed {
+			maxUsed = int64(target)
+		}
+		for _, s := range slots {
+			if int64(s) > maxUsed {
+				maxUsed = int64(s)
+			}
 		}
 	}
 
@@ -539,21 +801,28 @@ func (fs *FS) recoverNamespace(t *core.Thread, sb, priv mem.Addr) bool {
 		}
 		parent := root
 		if r.parent != RootSlot {
-			parent = recs[r.parent].ino
+			parent = inoByTarget[r.parent]
 		}
-		if fs.addDirent(t, priv, parent, r.ino, r.name, r.size) == 0 {
+		if fs.addDirent(t, priv, parent, inoByTarget[r.target], r.name, r.size, slot) == 0 {
 			return bail()
 		}
 	}
 
-	// Slot bookkeeping: allocation resumes after the highest reachable
-	// slot; every other slot below it is reusable.
+	// Slot bookkeeping: allocation resumes after the highest slot in use
+	// (record or target); every other slot below it is reusable.
+	inUse := func(slot uint64) bool {
+		if reachable[slot] {
+			return true
+		}
+		_, live := groups[slot]
+		return live
+	}
 	next := uint64(maxUsed + 1)
 	if t.WriteU64(fs.pvField(priv, "nextslot"), next) != nil {
 		return false
 	}
 	for slot := uint64(0); slot < next; slot++ {
-		if !reachable[slot] {
+		if !inUse(slot) {
 			fs.freeSlot(t, priv, slot)
 		}
 	}
@@ -567,10 +836,16 @@ func (fs *FS) killSB(t *core.Thread, args []uint64) uint64 {
 		return 0
 	}
 	cur, _ := t.ReadU64(fs.pvField(priv, "head"))
+	// Hardlinked inodes appear under several entries but must be
+	// released exactly once.
+	seen := make(map[uint64]bool)
 	for cur != 0 {
 		next, _ := t.ReadU64(fs.deField(mem.Addr(cur), "next"))
 		ino, _ := t.ReadU64(fs.deField(mem.Addr(cur), "inode"))
-		_, _ = fs.gIput.Call1(t, ino)
+		if !seen[ino] {
+			seen[ino] = true
+			_, _ = fs.gIput.Call1(t, ino)
+		}
 		_, _ = fs.gKfree.Call1(t, cur)
 		cur = next
 	}
@@ -578,10 +853,12 @@ func (fs *FS) killSB(t *core.Thread, args []uint64) uint64 {
 	stack, _ := t.ReadU64(fs.pvField(priv, "freestack"))
 	recbuf, _ := t.ReadU64(fs.pvField(priv, "recbuf"))
 	bmbuf, _ := t.ReadU64(fs.pvField(priv, "bmbuf"))
+	jbuf, _ := t.ReadU64(fs.pvField(priv, "jbuf"))
 	_, _ = fs.gIput.Call1(t, root)
 	_, _ = fs.gKfree.Call1(t, stack)
 	_, _ = fs.gKfree.Call1(t, recbuf)
 	_, _ = fs.gKfree.Call1(t, bmbuf)
+	_, _ = fs.gKfree.Call1(t, jbuf)
 	_, _ = fs.gKfree.Call1(t, uint64(priv))
 	return 0
 }
@@ -649,16 +926,17 @@ func (fs *FS) createFn(t *core.Thread, args []uint64) uint64 {
 		_, _ = fs.gIput.Call1(t, ino)
 		return 0
 	}
-	// Persist the record before linking the entry: a crash between the
-	// two leaves a record a future mount recovers, never a file that
-	// silently vanishes.
-	if !fs.writeRec(t, sb, priv, slot, 1, fs.parentSlot(t, priv, dir), mode, 0, nameBytes) {
+	// Journal the record before linking the entry: a crash between the
+	// two leaves a committed record a future mount recovers, never a
+	// file that silently vanishes.
+	if !fs.commitTxn(t, sb, priv, []jrec{{slot: slot, used: 1,
+		parent: fs.parentSlot(t, priv, dir), mode: mode, target: slot, name: nameBytes}}) {
 		fs.freeSlot(t, priv, slot)
 		_, _ = fs.gIput.Call1(t, ino)
 		return 0
 	}
-	if fs.addDirent(t, priv, dir, ino, nameBytes, 0) == 0 {
-		_ = fs.writeRec(t, sb, priv, slot, 0, 0, 0, 0, nil)
+	if fs.addDirent(t, priv, dir, ino, nameBytes, 0, slot) == 0 {
+		_ = fs.commitTxn(t, sb, priv, []jrec{{slot: slot, used: 0}})
 		fs.freeSlot(t, priv, slot)
 		_, _ = fs.gIput.Call1(t, ino)
 		return 0
@@ -734,11 +1012,13 @@ func (fs *FS) readdir(t *core.Thread, args []uint64) uint64 {
 	return 0
 }
 
-// rename relinks the entry in memory and rewrites its directory-table
-// record (new parent, new name) — record first, so the disk is never
-// behind the namespace a crash would recover.
+// rename relinks the entry in memory and journals its directory-table
+// record rewrite (new parent, new name). A non-zero victim is the inode
+// the move replaces: its record kill rides in the same transaction, so
+// the disk never holds two live (parent, name) records — the crash
+// window the old rename-then-unlink sequence left open.
 func (fs *FS) rename(t *core.Thread, args []uint64) uint64 {
-	sb, olddir, inode, newdir, name, nlen := mem.Addr(args[0]), args[1], args[2], args[3], mem.Addr(args[4]), args[5]
+	sb, olddir, inode, newdir, name, nlen, victim := mem.Addr(args[0]), args[1], args[2], args[3], mem.Addr(args[4]), args[5], args[6]
 	if nlen > vfs.NameMax {
 		return kernel.Err(kernel.EINVAL)
 	}
@@ -751,15 +1031,160 @@ func (fs *FS) rename(t *core.Thread, args []uint64) uint64 {
 	if err != nil {
 		return kernel.Err(kernel.EFAULT)
 	}
-	slot, _ := t.ReadU64(fs.V.InodeField(mem.Addr(inode), "private"))
+	slot, _ := t.ReadU64(fs.deField(de, "slot"))
+	target, _ := t.ReadU64(fs.V.InodeField(mem.Addr(inode), "private"))
 	mode, _ := t.ReadU64(fs.V.InodeField(mem.Addr(inode), "mode"))
 	size, _ := t.ReadU64(fs.V.InodeField(mem.Addr(inode), "size"))
-	if !fs.writeRec(t, sb, priv, slot, 1, fs.parentSlot(t, priv, newdir), mode, size, nameBytes) {
+	txn := []jrec{{slot: slot, used: 1, parent: fs.parentSlot(t, priv, newdir),
+		mode: mode, size: size, target: target, name: nameBytes}}
+	var vde, vprev mem.Addr
+	if victim != 0 {
+		vde, vprev = fs.findEntry(t, sb, newdir, nil, victim)
+		if vde == 0 {
+			return kernel.Err(kernel.ENOENT)
+		}
+		vslot, _ := t.ReadU64(fs.deField(vde, "slot"))
+		txn = append(txn, jrec{slot: vslot, used: 0})
+	}
+	if !fs.commitTxn(t, sb, priv, txn) {
 		return kernel.Err(kernel.EIO)
 	}
 	if t.WriteU64(fs.deField(de, "dir"), newdir) != nil ||
 		t.WriteU64(fs.deField(de, "recsize"), size) != nil ||
 		t.Write(fs.deField(de, "name"), append(nameBytes, 0)) != nil {
+		return kernel.Err(kernel.EFAULT)
+	}
+	if victim != 0 {
+		return fs.removeLinkMem(t, priv, vde, vprev, victim)
+	}
+	return 0
+}
+
+// exchange atomically swaps two directory entries: each record takes
+// the other's (parent, name), journaled as one transaction so a crash
+// lands on either both swapped or neither.
+func (fs *FS) exchange(t *core.Thread, args []uint64) uint64 {
+	sb, dira, inoa, dirb, inob := mem.Addr(args[0]), args[1], args[2], args[3], args[4]
+	priv := fs.priv(t, sb)
+	dea, _ := fs.findEntry(t, sb, dira, nil, inoa)
+	deb, _ := fs.findEntry(t, sb, dirb, nil, inob)
+	if dea == 0 || deb == 0 {
+		return kernel.Err(kernel.ENOENT)
+	}
+	namea, erra := t.ReadBytes(fs.deField(dea, "name"), vfs.NameMax+1)
+	nameb, errb := t.ReadBytes(fs.deField(deb, "name"), vfs.NameMax+1)
+	if erra != nil || errb != nil {
+		return kernel.Err(kernel.EFAULT)
+	}
+	if i := bytes.IndexByte(namea, 0); i >= 0 {
+		namea = namea[:i]
+	}
+	if i := bytes.IndexByte(nameb, 0); i >= 0 {
+		nameb = nameb[:i]
+	}
+	slota, _ := t.ReadU64(fs.deField(dea, "slot"))
+	slotb, _ := t.ReadU64(fs.deField(deb, "slot"))
+	ta, _ := t.ReadU64(fs.V.InodeField(mem.Addr(inoa), "private"))
+	tb, _ := t.ReadU64(fs.V.InodeField(mem.Addr(inob), "private"))
+	ma, _ := t.ReadU64(fs.V.InodeField(mem.Addr(inoa), "mode"))
+	mb, _ := t.ReadU64(fs.V.InodeField(mem.Addr(inob), "mode"))
+	sza, _ := t.ReadU64(fs.V.InodeField(mem.Addr(inoa), "size"))
+	szb, _ := t.ReadU64(fs.V.InodeField(mem.Addr(inob), "size"))
+	pa := fs.parentSlot(t, priv, dira)
+	pb := fs.parentSlot(t, priv, dirb)
+	txn := []jrec{
+		{slot: slota, used: 1, parent: pb, mode: ma, size: sza, target: ta, name: nameb},
+		{slot: slotb, used: 1, parent: pa, mode: mb, size: szb, target: tb, name: namea},
+	}
+	if !fs.commitTxn(t, sb, priv, txn) {
+		return kernel.Err(kernel.EIO)
+	}
+	if t.WriteU64(fs.deField(dea, "dir"), dirb) != nil ||
+		t.WriteU64(fs.deField(dea, "recsize"), sza) != nil ||
+		t.Write(fs.deField(dea, "name"), append(append([]byte{}, nameb...), 0)) != nil ||
+		t.WriteU64(fs.deField(deb, "dir"), dira) != nil ||
+		t.WriteU64(fs.deField(deb, "recsize"), szb) != nil ||
+		t.Write(fs.deField(deb, "name"), append(append([]byte{}, namea...), 0)) != nil {
+		return kernel.Err(kernel.EFAULT)
+	}
+	return 0
+}
+
+// link adds a second directory entry over an existing inode's extent:
+// a fresh record slot whose target is the shared extent. nlink is the
+// number of live records targeting the extent, so recovery recounts it
+// from the table.
+func (fs *FS) link(t *core.Thread, args []uint64) uint64 {
+	sb, dir, inode, name, nlen := mem.Addr(args[0]), args[1], args[2], mem.Addr(args[3]), args[4]
+	if nlen > vfs.NameMax {
+		return kernel.Err(kernel.EINVAL)
+	}
+	priv := fs.priv(t, sb)
+	slot := fs.allocSlot(t, priv)
+	if slot >= MaxSlots {
+		return kernel.Err(kernel.ENOSPC)
+	}
+	nameBytes, err := t.ReadBytes(name, nlen)
+	if err != nil {
+		fs.freeSlot(t, priv, slot)
+		return kernel.Err(kernel.EFAULT)
+	}
+	target, _ := t.ReadU64(fs.V.InodeField(mem.Addr(inode), "private"))
+	mode, _ := t.ReadU64(fs.V.InodeField(mem.Addr(inode), "mode"))
+	size, _ := t.ReadU64(fs.V.InodeField(mem.Addr(inode), "size"))
+	if !fs.commitTxn(t, sb, priv, []jrec{{slot: slot, used: 1,
+		parent: fs.parentSlot(t, priv, dir), mode: mode, size: size, target: target, name: nameBytes}}) {
+		fs.freeSlot(t, priv, slot)
+		return kernel.Err(kernel.EIO)
+	}
+	if fs.addDirent(t, priv, dir, inode, nameBytes, size, slot) == 0 {
+		_ = fs.commitTxn(t, sb, priv, []jrec{{slot: slot, used: 0}})
+		fs.freeSlot(t, priv, slot)
+		return kernel.Err(kernel.ENOMEM)
+	}
+	nlink, _ := t.ReadU64(fs.V.InodeField(mem.Addr(inode), "nlink"))
+	if t.WriteU64(fs.V.InodeField(mem.Addr(inode), "nlink"), nlink+1) != nil {
+		return kernel.Err(kernel.EFAULT)
+	}
+	return 0
+}
+
+// removeLinkMem tears down the in-memory side of a dead directory
+// entry whose on-disk record kill has already committed: splice the
+// dirent out, reclaim slots, and release the inode when its last link
+// died. The record slot is freed unless it doubles as the extent slot
+// of a still-linked inode; the extent slot is freed only with the last
+// link.
+func (fs *FS) removeLinkMem(t *core.Thread, priv mem.Addr, de, prev mem.Addr, inode uint64) uint64 {
+	slot, _ := t.ReadU64(fs.deField(de, "slot"))
+	target, _ := t.ReadU64(fs.V.InodeField(mem.Addr(inode), "private"))
+	mode, _ := t.ReadU64(fs.V.InodeField(mem.Addr(inode), "mode"))
+	nlink, _ := t.ReadU64(fs.V.InodeField(mem.Addr(inode), "nlink"))
+	next, _ := t.ReadU64(fs.deField(de, "next"))
+	if prev == 0 {
+		if err := t.WriteU64(fs.pvField(priv, "head"), next); err != nil {
+			return kernel.Err(kernel.EFAULT)
+		}
+	} else if err := t.WriteU64(fs.deField(prev, "next"), next); err != nil {
+		return kernel.Err(kernel.EFAULT)
+	}
+	if _, err := fs.gKfree.Call1(t, uint64(de)); err != nil {
+		return kernel.Err(kernel.EFAULT)
+	}
+	if mode != vfs.ModeDir && nlink > 1 {
+		if slot != target {
+			fs.freeSlot(t, priv, slot)
+		}
+		if err := t.WriteU64(fs.V.InodeField(mem.Addr(inode), "nlink"), nlink-1); err != nil {
+			return kernel.Err(kernel.EFAULT)
+		}
+		return 0
+	}
+	fs.freeSlot(t, priv, slot)
+	if target != slot {
+		fs.freeSlot(t, priv, target)
+	}
+	if _, err := fs.gIput.Call1(t, inode); err != nil {
 		return kernel.Err(kernel.EFAULT)
 	}
 	return 0
@@ -772,29 +1197,13 @@ func (fs *FS) unlink(t *core.Thread, args []uint64) uint64 {
 	if de == 0 {
 		return kernel.Err(kernel.ENOENT)
 	}
-	// Kill the record first: better a crash that forgets an unlink was
-	// in flight than one that resurrects a half-removed file.
-	slot, _ := t.ReadU64(fs.V.InodeField(mem.Addr(inode), "private"))
-	if !fs.writeRec(t, sb, priv, slot, 0, 0, 0, 0, nil) {
+	// Journal the record kill first: better a crash that forgets an
+	// unlink was in flight than one that resurrects a half-removed file.
+	slot, _ := t.ReadU64(fs.deField(de, "slot"))
+	if !fs.commitTxn(t, sb, priv, []jrec{{slot: slot, used: 0}}) {
 		return kernel.Err(kernel.EIO)
 	}
-	next, _ := t.ReadU64(fs.deField(de, "next"))
-	if prev == 0 {
-		if err := t.WriteU64(fs.pvField(priv, "head"), next); err != nil {
-			return kernel.Err(kernel.EFAULT)
-		}
-	} else if err := t.WriteU64(fs.deField(prev, "next"), next); err != nil {
-		return kernel.Err(kernel.EFAULT)
-	}
-	// Reclaim the extent slot before the inode goes away.
-	fs.freeSlot(t, priv, slot)
-	if _, err := fs.gKfree.Call1(t, uint64(de)); err != nil {
-		return kernel.Err(kernel.EFAULT)
-	}
-	if _, err := fs.gIput.Call1(t, inode); err != nil {
-		return kernel.Err(kernel.EFAULT)
-	}
-	return 0
+	return fs.removeLinkMem(t, priv, de, prev, inode)
 }
 
 // extent returns the first sector of (inode, page idx).
@@ -858,26 +1267,41 @@ func (fs *FS) writepage(t *core.Thread, args []uint64) uint64 {
 	if err != nil || kernel.IsErr(ret) {
 		return kernel.Err(kernel.EIO)
 	}
-	// Fold the size into the record — but only when it changed since the
-	// last record write (the dirent caches the persisted size), so a
-	// multi-page sync rewrites the record once, not once per page. The
-	// entry gives us parent and name; a missing entry (concurrent
-	// unlink) just skips the update.
-	if de, _ := fs.findEntry(t, sb, 0, nil, uint64(ino)); de != 0 {
-		size, _ := t.ReadU64(fs.V.InodeField(ino, "size"))
-		if cached, _ := t.ReadU64(fs.deField(de, "recsize")); cached != size {
-			dir, _ := t.ReadU64(fs.deField(de, "dir"))
-			name, err := t.ReadBytes(fs.deField(de, "name"), vfs.NameMax+1)
-			if err == nil {
-				if i := bytes.IndexByte(name, 0); i >= 0 {
-					name = name[:i]
-				}
-				slot, _ := t.ReadU64(fs.V.InodeField(ino, "private"))
-				mode, _ := t.ReadU64(fs.V.InodeField(ino, "mode"))
-				if fs.writeRec(t, sb, priv, slot, 1, fs.parentSlot(t, priv, dir), mode, size, name) {
-					_ = t.WriteU64(fs.deField(de, "recsize"), size)
-				}
-			}
+	// Fold the size into every record of the inode's link group — but
+	// only the records whose persisted size lags (the dirent caches it),
+	// so a multi-page sync rewrites each record once, not once per page.
+	// All links must carry the size: any of them can be the survivor of
+	// a later unlink, and recovery takes the freshest size it finds. A
+	// missing entry (concurrent unlink) just skips the update.
+	size, _ := t.ReadU64(fs.V.InodeField(ino, "size"))
+	target, _ := t.ReadU64(fs.V.InodeField(ino, "private"))
+	mode, _ := t.ReadU64(fs.V.InodeField(ino, "mode"))
+	cur, _ := t.ReadU64(fs.pvField(priv, "head"))
+	for cur != 0 {
+		de := mem.Addr(cur)
+		cur, _ = t.ReadU64(fs.deField(de, "next"))
+		if got, _ := t.ReadU64(fs.deField(de, "inode")); got != uint64(ino) {
+			continue
+		}
+		if cached, _ := t.ReadU64(fs.deField(de, "recsize")); cached == size {
+			continue
+		}
+		dir, _ := t.ReadU64(fs.deField(de, "dir"))
+		name, err := t.ReadBytes(fs.deField(de, "name"), vfs.NameMax+1)
+		if err != nil {
+			continue
+		}
+		if i := bytes.IndexByte(name, 0); i >= 0 {
+			name = name[:i]
+		}
+		slot, _ := t.ReadU64(fs.deField(de, "slot"))
+		// A same-slot size refresh is a single-sector overwrite — atomic
+		// at the disk's write granularity, so it skips the journal and
+		// goes straight to the directory table.
+		if fs.applyRec(t, sb, priv, jrec{slot: slot, used: 1,
+			parent: fs.parentSlot(t, priv, dir), mode: mode, size: size,
+			target: target, name: name}) {
+			_ = t.WriteU64(fs.deField(de, "recsize"), size)
 		}
 	}
 	return 0

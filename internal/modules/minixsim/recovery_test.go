@@ -22,15 +22,17 @@ func rawRec(disk []byte, slot uint64) []byte {
 }
 
 // injectRec writes a raw record for slot directly to the disk bytes and
-// sets the slot's used-slot bitmap bit, simulating a crashed or
-// corrupted table the next mount has to recover from.
+// sets the slot's used-slot bitmap bit, simulating a corrupted table
+// the next mount has to recover from. The record targets its own slot,
+// like any non-hardlinked entry.
 func injectRec(disk []byte, slot, parent, mode, size uint64, name string) {
 	rec := make([]byte, minixsim.RecSize)
 	binary.LittleEndian.PutUint64(rec[0:], 1) // used
 	binary.LittleEndian.PutUint64(rec[8:], parent)
 	binary.LittleEndian.PutUint64(rec[16:], mode)
 	binary.LittleEndian.PutUint64(rec[24:], size)
-	copy(rec[32:], name)
+	binary.LittleEndian.PutUint64(rec[32:], slot) // target
+	copy(rec[40:], name)
 	copy(rawRec(disk, slot), rec)
 	setBit(disk, slot)
 }
@@ -163,72 +165,6 @@ func TestMountRecoveryIsOLive(t *testing.T) {
 	}
 	if reads > live+8 {
 		t.Fatalf("mount read %d sectors for %d live records; recovery is not O(live)", reads, live)
-	}
-}
-
-// TestRemountDedupesDuplicateRecords: a crash between a rename's record
-// write and the replaced target's record kill leaves two live records
-// with the same (parent, name). Cold-cache recovery must keep exactly
-// one (the lowest slot) and treat the loser as a reusable orphan.
-func TestRemountDedupesDuplicateRecords(t *testing.T) {
-	_, bl, v, th := boot(t, core.Enforce)
-	bl.AddDisk(1, minixsim.DiskSectors)
-	sb, err := v.Mount(th, minixsim.FsID, 1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := v.Create(th, sb, "/victim"); err != nil {
-		t.Fatal(err)
-	}
-	seed := []byte("the canonical copy")
-	if _, err := v.Write(th, sb, "/victim", 0, seed); err != nil {
-		t.Fatal(err)
-	}
-	if err := v.Sync(th, sb); err != nil {
-		t.Fatal(err)
-	}
-	slot := slotOf(t, v, th, sb, "/victim")
-	if err := v.Unmount(th, sb); err != nil {
-		t.Fatal(err)
-	}
-
-	// Inject the duplicate: a second live record, same parent and name,
-	// in a higher never-used slot — exactly what the torn rename leaves.
-	disk := bl.DiskBytes(1)
-	dupSlot := slot + 7
-	copy(rawRec(disk, dupSlot), rawRec(disk, slot))
-	setBit(disk, dupSlot)
-
-	sb, err = v.Mount(th, minixsim.FsID, 1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	names := namesOf(t, v, th, sb, "/")
-	if !names["victim"] || len(names) != 1 {
-		t.Fatalf("recovered root after dup injection = %v, want exactly {victim}", names)
-	}
-	// The lowest slot must have won: the survivor still reads the
-	// canonical data from the original extent.
-	if got := slotOf(t, v, th, sb, "/victim"); got != slot {
-		t.Fatalf("survivor sits in slot %d, want lowest slot %d", got, slot)
-	}
-	data, err := v.Read(th, sb, "/victim", 0, uint64(len(seed)))
-	if err != nil || !bytes.Equal(data, seed) {
-		t.Fatalf("survivor data = %q, %v", data, err)
-	}
-	// The duplicate's slot must be reusable: creating new files until
-	// the allocator hands the slot out again must not resurrect the
-	// ghost or collide.
-	reused := false
-	for i := 0; i < 16 && !reused; i++ {
-		p := fmt.Sprintf("/fill%d", i)
-		if _, err := v.Create(th, sb, p); err != nil {
-			t.Fatal(err)
-		}
-		reused = slotOf(t, v, th, sb, p) == dupSlot
-	}
-	if !reused {
-		t.Fatalf("duplicate slot %d never handed out again", dupSlot)
 	}
 }
 

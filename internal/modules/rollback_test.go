@@ -1,0 +1,154 @@
+package modules_test
+
+// Reload-rollback coverage: when the successor generation's Load hook
+// fails mid-reload (old generation already retired), the loader must
+// boot a rollback generation from the same descriptor and migrate the
+// capability snapshot into it — traffic resumes instead of every parked
+// crossing failing with ErrModuleDead.
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"lxfi/internal/core"
+	"lxfi/internal/modules"
+	"lxfi/internal/modules/econet"
+)
+
+// flakyLoadFails arms the injected failure: the next Load of the
+// "econet-flaky" descriptor errors out, later loads succeed.
+var flakyLoadFails atomic.Bool
+
+// flakyDoubleFail counts down inside the Load hook, failing while
+// positive — arming it with 2 kills both the successor load and the
+// rollback load of one reload.
+var flakyDoubleFail atomic.Int64
+
+var registerFlakyOnce sync.Once
+
+var errInjectedLoad = errors.New("injected load failure")
+
+// registerFlaky wraps the real econet descriptor behind a Load hook
+// that fails on demand — the stand-in for a successor generation whose
+// init path breaks.
+func registerFlaky(t *testing.T) {
+	t.Helper()
+	registerFlakyOnce.Do(func() {
+		base, ok := modules.Lookup("econet")
+		if !ok {
+			panic("econet descriptor not registered")
+		}
+		modules.Register(modules.Descriptor{
+			Name:     "econet-flaky",
+			Requires: base.Requires,
+			Load: func(th *core.Thread, bc *modules.BootContext, opt any) (modules.Instance, error) {
+				if flakyDoubleFail.Load() > 0 {
+					flakyDoubleFail.Add(-1)
+					return nil, errInjectedLoad
+				}
+				if flakyLoadFails.Swap(false) {
+					return nil, errInjectedLoad
+				}
+				return base.Load(th, bc, opt)
+			},
+			Unload: base.Unload,
+		})
+	})
+}
+
+func TestReloadRollbackResumesTraffic(t *testing.T) {
+	registerFlaky(t)
+	ld, th := newLoader(t, core.Enforce)
+	inst, err := ld.Load(th, "econet-flaky")
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := inst.(*econet.Proto)
+	st := ld.BC.Net
+	sock, err := st.Socket(th, econet.Family)
+	if err != nil {
+		t.Fatal(err)
+	}
+	user := ld.BC.K.Sys.User.Alloc(64, 8)
+	if _, err := st.Sendmsg(th, sock, user, 16, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// The successor load fails; the rollback load (second attempt)
+	// succeeds.
+	flakyLoadFails.Store(true)
+	_, err = ld.Reload(th, "econet-flaky")
+	if err == nil {
+		t.Fatal("reload with a failing successor load reported success")
+	}
+	if !errors.Is(err, errInjectedLoad) || !strings.Contains(err.Error(), "rolled back") {
+		t.Fatalf("reload error does not describe the rollback: %v", err)
+	}
+
+	// The module is still loaded, under a fresh generation.
+	fresh, ok := ld.Instance("econet-flaky")
+	if !ok {
+		t.Fatal("rollback left the module unloaded")
+	}
+	if fresh == inst || fresh.(*econet.Proto).M == old.M {
+		t.Fatal("rollback did not publish a fresh generation")
+	}
+
+	// Traffic resumes: the pre-reload socket crosses into the rollback
+	// generation instead of failing with ErrModuleDead, and new sockets
+	// work too.
+	if _, err := st.Sendmsg(th, sock, user, 16, 0); err != nil {
+		t.Fatalf("pre-reload socket after rollback: %v", err)
+	}
+	sock2, err := st.Socket(th, econet.Family)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Sendmsg(th, sock2, user, 16, 0); err != nil {
+		t.Fatalf("fresh socket after rollback: %v", err)
+	}
+	if v := ld.BC.K.Sys.Mon.LastViolation(); v != nil {
+		t.Fatalf("unexpected violation: %v", v)
+	}
+
+	// A later reload with a healthy successor still works.
+	if _, err := ld.Reload(th, "econet-flaky"); err != nil {
+		t.Fatalf("healthy reload after rollback: %v", err)
+	}
+}
+
+// TestReloadRollbackFailureIsDead pins the terminal path: when the
+// rollback load fails too, the module is dead and its name freed.
+func TestReloadRollbackFailureIsDead(t *testing.T) {
+	registerFlaky(t)
+	ld, th := newLoader(t, core.Enforce)
+	if _, err := ld.Load(th, "econet-flaky"); err != nil {
+		t.Fatal(err)
+	}
+	st := ld.BC.Net
+	sock, err := st.Socket(th, econet.Family)
+	if err != nil {
+		t.Fatal(err)
+	}
+	user := ld.BC.K.Sys.User.Alloc(64, 8)
+
+	// Both the successor load and the rollback load fail.
+	flakyDoubleFail.Store(2)
+	if _, err := ld.Reload(th, "econet-flaky"); err == nil ||
+		!strings.Contains(err.Error(), "module is dead") {
+		t.Fatalf("double load failure: err = %v", err)
+	}
+	if _, ok := ld.Instance("econet-flaky"); ok {
+		t.Fatal("dead module still resolvable")
+	}
+	if _, err := st.Sendmsg(th, sock, user, 16, 0); !errors.Is(err, core.ErrModuleDead) {
+		t.Fatalf("crossing into dead module: %v, want ErrModuleDead", err)
+	}
+	// The name is free again.
+	if _, err := ld.Load(th, "econet-flaky"); err != nil {
+		t.Fatalf("load after death: %v", err)
+	}
+}

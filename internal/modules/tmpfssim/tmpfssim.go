@@ -101,6 +101,8 @@ func Load(t *core.Thread, k *kernel.Kernel, v *vfs.VFS) (*FS, error) {
 			{Name: "unlink", Type: vfs.FsUnlink, Impl: fs.unlink},
 			{Name: "readdir", Type: vfs.FsReaddir, Impl: fs.readdir},
 			{Name: "rename", Type: vfs.FsRename, Impl: fs.rename},
+			{Name: "exchange", Type: vfs.FsExchange, Impl: fs.exchange},
+			{Name: "link", Type: vfs.FsLink, Impl: fs.link},
 			{Name: "readpage", Type: vfs.FsReadPage, Impl: fs.readpage},
 			{Name: "writepage", Type: vfs.FsWritePage, Impl: fs.writepage},
 			{Name: "ioctl", Type: vfs.FsIoctl, Impl: fs.ioctl},
@@ -139,7 +141,7 @@ func (fs *FS) Ops() mem.Addr { return fs.M.Data }
 
 func (fs *FS) init(t *core.Thread, args []uint64) uint64 {
 	mod := t.CurrentModule()
-	for _, slot := range []string{"mount", "kill_sb", "create", "lookup", "unlink", "readdir", "rename", "readpage", "writepage", "ioctl"} {
+	for _, slot := range []string{"mount", "kill_sb", "create", "lookup", "unlink", "readdir", "rename", "exchange", "link", "readpage", "writepage", "ioctl"} {
 		if err := t.WriteU64(fs.V.OpsSlot(fs.Ops(), slot), uint64(mod.Funcs[slot].Addr)); err != nil {
 			return 1
 		}
@@ -190,10 +192,16 @@ func (fs *FS) killSB(t *core.Thread, args []uint64) uint64 {
 		return 0
 	}
 	cur, _ := t.ReadU64(fs.pvField(priv, "head"))
+	// Hardlinked inodes appear under several entries but must be
+	// released exactly once.
+	seen := make(map[uint64]bool)
 	for cur != 0 {
 		next, _ := t.ReadU64(fs.deField(mem.Addr(cur), "next"))
 		ino, _ := t.ReadU64(fs.deField(mem.Addr(cur), "inode"))
-		_, _ = fs.gIput.Call1(t, ino)
+		if !seen[ino] {
+			seen[ino] = true
+			_, _ = fs.gIput.Call1(t, ino)
+		}
 		_, _ = fs.gKfree.Call1(t, cur)
 		cur = next
 	}
@@ -315,15 +323,23 @@ func (fs *FS) readdir(t *core.Thread, args []uint64) uint64 {
 }
 
 // rename relinks the directory entry of inode from olddir to newdir
-// under a new name; the entry object itself stays where it is.
+// under a new name; the entry object itself stays where it is. A
+// non-zero victim is the inode the move replaces: its entry is removed
+// in the same crossing, so the kernel never sees a window with two
+// (newdir, name) entries.
 func (fs *FS) rename(t *core.Thread, args []uint64) uint64 {
-	sb, olddir, inode, newdir, name, nlen := mem.Addr(args[0]), args[1], args[2], args[3], mem.Addr(args[4]), args[5]
+	sb, olddir, inode, newdir, name, nlen, victim := mem.Addr(args[0]), args[1], args[2], args[3], mem.Addr(args[4]), args[5], args[6]
 	if nlen > vfs.NameMax {
 		return kernel.Err(kernel.EINVAL)
 	}
 	de, _ := fs.findEntry(t, sb, olddir, nil, inode)
 	if de == 0 {
 		return kernel.Err(kernel.ENOENT)
+	}
+	if victim != 0 {
+		if ret := fs.removeLink(t, sb, newdir, victim); kernel.IsErr(ret) {
+			return ret
+		}
 	}
 	nameBytes, err := t.ReadBytes(name, nlen)
 	if err != nil ||
@@ -334,8 +350,61 @@ func (fs *FS) rename(t *core.Thread, args []uint64) uint64 {
 	return 0
 }
 
-func (fs *FS) unlink(t *core.Thread, args []uint64) uint64 {
-	sb, dir, inode := mem.Addr(args[0]), args[1], args[2]
+// exchange atomically swaps the directory entries of two inodes: each
+// entry takes the other's (dir, name) slot.
+func (fs *FS) exchange(t *core.Thread, args []uint64) uint64 {
+	sb, dira, inoa, dirb, inob := mem.Addr(args[0]), args[1], args[2], args[3], args[4]
+	dea, _ := fs.findEntry(t, sb, dira, nil, inoa)
+	deb, _ := fs.findEntry(t, sb, dirb, nil, inob)
+	if dea == 0 || deb == 0 {
+		return kernel.Err(kernel.ENOENT)
+	}
+	namea, erra := t.ReadBytes(fs.deField(dea, "name"), vfs.NameMax+1)
+	nameb, errb := t.ReadBytes(fs.deField(deb, "name"), vfs.NameMax+1)
+	if erra != nil || errb != nil ||
+		t.WriteU64(fs.deField(dea, "dir"), dirb) != nil ||
+		t.Write(fs.deField(dea, "name"), nameb) != nil ||
+		t.WriteU64(fs.deField(deb, "dir"), dira) != nil ||
+		t.Write(fs.deField(deb, "name"), namea) != nil {
+		return kernel.Err(kernel.EFAULT)
+	}
+	return 0
+}
+
+// link adds a second directory entry for an existing inode and bumps
+// its link count; the entry does not take an extra inode reference, so
+// removeLink only releases the inode when the last link dies.
+func (fs *FS) link(t *core.Thread, args []uint64) uint64 {
+	sb, dir, inode, name, nlen := mem.Addr(args[0]), args[1], args[2], mem.Addr(args[3]), args[4]
+	if nlen > vfs.NameMax {
+		return kernel.Err(kernel.EINVAL)
+	}
+	nameBytes, err := t.ReadBytes(name, nlen)
+	if err != nil {
+		return kernel.Err(kernel.EFAULT)
+	}
+	de, err := fs.gKmalloc.Call1(t, fs.deLay.Size)
+	if err != nil || de == 0 {
+		return kernel.Err(kernel.ENOMEM)
+	}
+	priv := fs.priv(t, sb)
+	head, _ := t.ReadU64(fs.pvField(priv, "head"))
+	nlink, _ := t.ReadU64(fs.V.InodeField(mem.Addr(inode), "nlink"))
+	if t.WriteU64(fs.deField(mem.Addr(de), "next"), head) != nil ||
+		t.WriteU64(fs.deField(mem.Addr(de), "dir"), dir) != nil ||
+		t.WriteU64(fs.deField(mem.Addr(de), "inode"), inode) != nil ||
+		t.Write(fs.deField(mem.Addr(de), "name"), append(nameBytes, 0)) != nil ||
+		t.WriteU64(fs.pvField(priv, "head"), de) != nil ||
+		t.WriteU64(fs.V.InodeField(mem.Addr(inode), "nlink"), nlink+1) != nil {
+		_, _ = fs.gKfree.Call1(t, de)
+		return kernel.Err(kernel.EFAULT)
+	}
+	return 0
+}
+
+// removeLink splices out the (dir, inode) entry and drops one link:
+// the inode itself is released only when its last link disappears.
+func (fs *FS) removeLink(t *core.Thread, sb mem.Addr, dir, inode uint64) uint64 {
 	de, prev := fs.findEntry(t, sb, dir, nil, inode)
 	if de == 0 {
 		return kernel.Err(kernel.ENOENT)
@@ -352,10 +421,23 @@ func (fs *FS) unlink(t *core.Thread, args []uint64) uint64 {
 	if _, err := fs.gKfree.Call1(t, uint64(de)); err != nil {
 		return kernel.Err(kernel.EFAULT)
 	}
+	mode, _ := t.ReadU64(fs.V.InodeField(mem.Addr(inode), "mode"))
+	nlink, _ := t.ReadU64(fs.V.InodeField(mem.Addr(inode), "nlink"))
+	if mode != vfs.ModeDir && nlink > 1 {
+		if err := t.WriteU64(fs.V.InodeField(mem.Addr(inode), "nlink"), nlink-1); err != nil {
+			return kernel.Err(kernel.EFAULT)
+		}
+		return 0
+	}
 	if _, err := fs.gIput.Call1(t, inode); err != nil {
 		return kernel.Err(kernel.EFAULT)
 	}
 	return 0
+}
+
+func (fs *FS) unlink(t *core.Thread, args []uint64) uint64 {
+	sb, dir, inode := mem.Addr(args[0]), args[1], args[2]
+	return fs.removeLink(t, sb, dir, inode)
 }
 
 // readpage fills page-cache holes with zeroes: tmpfs has no backing

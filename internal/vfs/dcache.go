@@ -323,17 +323,36 @@ func (v *VFS) Readdir(t *core.Thread, sb mem.Addr, path string) ([]DirEntry, err
 	}
 }
 
-// Rename moves srcPath on srcSB to dstPath on dstSB. Both paths must be
-// on the same mount (a cross-mount rename is EXDEV, as in Linux — the
-// two superblocks are different principals and an inode cannot change
-// owners by renaming). An existing target of the same kind is replaced,
-// directories only when empty. The module relinks its directory entry;
-// the kernel then moves the dentry-trie subtree, so cached children of a
-// renamed directory stay resolvable under the new path.
+// Rename flags (the renameat2(2) subset the substrate implements).
+const (
+	// RenameNoReplace fails with EEXIST when the destination exists
+	// instead of replacing it.
+	RenameNoReplace = 1 << 0
+	// RenameExchange atomically swaps the two paths; both must exist.
+	RenameExchange = 1 << 1
+)
+
+// Rename moves srcPath on srcSB to dstPath on dstSB; plain rename(2)
+// semantics, i.e. RenameFlags with no flags.
+func (v *VFS) Rename(t *core.Thread, srcSB mem.Addr, srcPath string, dstSB mem.Addr, dstPath string) error {
+	return v.RenameFlags(t, srcSB, srcPath, dstSB, dstPath, 0)
+}
+
+// RenameFlags moves srcPath on srcSB to dstPath on dstSB. Both paths
+// must be on the same mount (a cross-mount rename is EXDEV, as in Linux
+// — the two superblocks are different principals and an inode cannot
+// change owners by renaming). An existing target of the same kind is
+// replaced, directories only when empty; the replaced target's inode is
+// passed into the rename crossing as the victim, so the module commits
+// the relink and the target's removal as one transaction — there is no
+// second unlink crossing, hence no crash window between them. With
+// RenameExchange the two entries swap positions instead; with
+// RenameNoReplace an existing destination is EEXIST.
 //
 // Because cross-mount renames are rejected before any lock is taken,
-// Rename only ever holds one mount lock — no two-mount ordering issue.
-func (v *VFS) Rename(t *core.Thread, srcSB mem.Addr, srcPath string, dstSB mem.Addr, dstPath string) error {
+// RenameFlags only ever holds one mount lock — no two-mount ordering
+// issue.
+func (v *VFS) RenameFlags(t *core.Thread, srcSB mem.Addr, srcPath string, dstSB mem.Addr, dstPath string, flags uint64) error {
 	if v.mountOf(srcSB) == nil {
 		return fmt.Errorf("vfs: not a mounted superblock: %#x", uint64(srcSB))
 	}
@@ -397,9 +416,49 @@ func (v *VFS) Rename(t *core.Thread, srcSB mem.Addr, srcPath string, dstSB mem.A
 	if err != nil {
 		return err
 	}
+	if flags&RenameExchange != 0 {
+		if tgt == nil {
+			return fmt.Errorf("vfs: rename %s <-> %s: errno %d (no target to exchange)", srcPath, dstPath, kernel.ENOENT)
+		}
+		if tgt == n {
+			return nil // exchange with itself
+		}
+		// The symmetric cycle check: the source may not move under the
+		// target's subtree either.
+		for p := oldDir; p != nil; p = mnt.dentries[p.parent] {
+			if p == tgt {
+				return fmt.Errorf("vfs: rename %s <-> %s: errno %d (into own subtree)", srcPath, dstPath, kernel.EINVAL)
+			}
+		}
+		if fp, _ := v.K.Sys.AS.ReadU64(v.OpsSlot(mnt.fs.ops, "exchange")); fp == 0 {
+			return fmt.Errorf("vfs: rename %s <-> %s: errno %d", srcPath, dstPath, kernel.ENOSYS)
+		}
+		ret, err := v.gExchange.CallArgs(t, v.OpsSlot(mnt.fs.ops, "exchange"),
+			mnt.args(uint64(sb), uint64(oldDir.inode), uint64(n.inode),
+				uint64(dstDir.inode), uint64(tgt.inode)))
+		if err != nil {
+			return err
+		}
+		if kernel.IsErr(ret) {
+			return fmt.Errorf("vfs: rename %s <-> %s: errno %d", srcPath, dstPath, -int64(ret))
+		}
+		// Swap the two dnodes: detach both from their parents first so
+		// neither insertion can clobber the other's mapping.
+		oldName := n.name
+		delete(oldDir.child, n.name)
+		delete(dstDir.child, tgt.name)
+		v.relinkDentry(mnt, n, dstDir, newName)
+		v.relinkDentry(mnt, tgt, oldDir, oldName)
+		v.Stats.Renames.Add(1)
+		v.Stats.Exchanges.Add(1)
+		return nil
+	}
 	if tgt != nil {
 		if tgt == n {
 			return nil // rename to itself
+		}
+		if flags&RenameNoReplace != 0 {
+			return fmt.Errorf("vfs: rename %s -> %s: errno %d", srcPath, dstPath, kernel.EEXIST)
 		}
 		if tgt.isDir != n.isDir {
 			errno := kernel.EISDIR
@@ -417,40 +476,100 @@ func (v *VFS) Rename(t *core.Thread, srcSB mem.Addr, srcPath string, dstSB mem.A
 	if err := v.pushName(mnt, newName); err != nil {
 		return err
 	}
-	// The module relinks the source first, the replaced target is
-	// unlinked second: a rename that fails in the module must never
-	// have destroyed the destination (the rename(2) contract). The
-	// unlink-by-inode afterwards is unambiguous even while both entries
-	// momentarily carry the same name.
+	// The replaced target (if any) rides into the crossing as the
+	// victim: the module commits the source's relink and the victim's
+	// removal as one transaction, so a rename that fails in the module
+	// has destroyed nothing (the rename(2) contract) and a crash can
+	// never leave the half-moved state two separate crossings allowed.
+	victim := uint64(0)
+	if tgt != nil {
+		victim = uint64(tgt.inode)
+	}
 	ret, err := v.gRename.CallArgs(t, v.OpsSlot(mnt.fs.ops, "rename"),
 		mnt.args(uint64(sb), uint64(oldDir.inode), uint64(n.inode), uint64(dstDir.inode),
-			uint64(mnt.nameBuf), uint64(len(newName))))
+			uint64(mnt.nameBuf), uint64(len(newName)), victim))
 	if err != nil {
 		return err
 	}
 	if kernel.IsErr(ret) {
 		return fmt.Errorf("vfs: rename %s -> %s: errno %d", srcPath, dstPath, -int64(ret))
 	}
-	var replaceErr error
 	if tgt != nil {
-		ret, err := v.gUnlink.CallArgs(t, v.OpsSlot(mnt.fs.ops, "unlink"),
-			mnt.args(uint64(sb), uint64(dstDir.inode), uint64(tgt.inode)))
-		switch {
-		case err != nil:
-			replaceErr = err
-		case kernel.IsErr(ret):
-			replaceErr = fmt.Errorf("vfs: rename: unlink target %s: errno %d", newName, -int64(ret))
-		default:
-			v.Stats.Unlinks.Add(1)
-		}
-		// Either way the name now belongs to the source; the target's
-		// dentry goes, and a module-side failure is reported after the
-		// kernel view is consistent.
+		// The module removed the victim inside the rename transaction;
+		// only the kernel's view is left to clean up.
 		v.dropDentry(mnt, tgt.dentry)
+		v.Stats.Unlinks.Add(1)
 	}
 	v.moveDentry(mnt, n, dstDir, newName)
 	v.Stats.Renames.Add(1)
-	return replaceErr
+	return nil
+}
+
+// Link creates newPath as an additional name (hardlink) for the inode
+// at oldPath. Directories cannot be hardlinked. The module persists the
+// new entry and bumps nlink; the kernel then adds the dentry.
+func (v *VFS) Link(t *core.Thread, sb mem.Addr, oldPath, newPath string) error {
+	mnt, err := v.lockMount(sb)
+	if err != nil {
+		return err
+	}
+	defer mnt.mu.Unlock()
+	n, err := v.walk(t, mnt, oldPath)
+	if err != nil {
+		return err
+	}
+	if n.isDir {
+		return fmt.Errorf("vfs: link %s: errno %d (directory)", oldPath, kernel.EISDIR)
+	}
+	dirPath, name, ok := splitParent(newPath)
+	if !ok {
+		return fmt.Errorf("vfs: cannot link to %q", newPath)
+	}
+	dir, err := v.walk(t, mnt, dirPath)
+	if err != nil {
+		return err
+	}
+	if !dir.isDir {
+		return fmt.Errorf("vfs: %q: not a directory", dir.name)
+	}
+	if existing, err := v.childOf(t, mnt, dir, name); err != nil {
+		return err
+	} else if existing != nil {
+		return fmt.Errorf("vfs: link %s: errno %d", name, kernel.EEXIST)
+	}
+	// Same per-mount re-check as rename: the mount's principal must own
+	// both the linked inode and the directory gaining the entry.
+	if mnt.fs.module != nil && v.K.Sys.Mon.Enforcing() {
+		prin, ok := mnt.fs.module.Set.Lookup(sb)
+		if !ok {
+			return fmt.Errorf("vfs: no instance principal for mount %#x", uint64(sb))
+		}
+		for _, ino := range []mem.Addr{n.inode, dir.inode} {
+			if !v.K.Sys.Caps.Check(prin, caps.WriteCap(ino, 1)) {
+				return fmt.Errorf("vfs: link %s: mount principal does not own inode %#x", oldPath, uint64(ino))
+			}
+		}
+	}
+	if fp, _ := v.K.Sys.AS.ReadU64(v.OpsSlot(mnt.fs.ops, "link")); fp == 0 {
+		return fmt.Errorf("vfs: link %s: errno %d", newPath, kernel.ENOSYS)
+	}
+	if err := v.pushName(mnt, name); err != nil {
+		return err
+	}
+	ret, err := v.gLink.CallArgs(t, v.OpsSlot(mnt.fs.ops, "link"),
+		mnt.args(uint64(sb), uint64(dir.inode), uint64(n.inode),
+			uint64(mnt.nameBuf), uint64(len(name))))
+	if err != nil {
+		return err
+	}
+	if kernel.IsErr(ret) {
+		return fmt.Errorf("vfs: link %s -> %s: errno %d", oldPath, newPath, -int64(ret))
+	}
+	if _, err := v.newDentry(mnt, dir.dentry, name, n.inode); err != nil {
+		return err
+	}
+	v.Stats.Links.Add(1)
+	return nil
 }
 
 // moveDentry relinks a dnode (and implicitly its whole subtree) under a
@@ -459,6 +578,13 @@ func (v *VFS) moveDentry(mnt *mount, n *dnode, newParent *dnode, newName string)
 	if p, ok := mnt.dentries[n.parent]; ok {
 		delete(p.child, n.name)
 	}
+	v.relinkDentry(mnt, n, newParent, newName)
+}
+
+// relinkDentry attaches an already-detached dnode under a new parent
+// and name (the exchange path detaches both sides first so neither
+// insertion clobbers the other's mapping).
+func (v *VFS) relinkDentry(mnt *mount, n *dnode, newParent *dnode, newName string) {
 	n.parent = newParent.dentry
 	n.name = newName
 	newParent.child[newName] = n.dentry

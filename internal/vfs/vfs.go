@@ -59,6 +59,8 @@ const (
 	FsUnlink    = "fs_operations.unlink"
 	FsReaddir   = "fs_operations.readdir"
 	FsRename    = "fs_operations.rename"
+	FsExchange  = "fs_operations.exchange"
+	FsLink      = "fs_operations.link"
 	FsReadPage  = "fs_operations.readpage"
 	FsWritePage = "fs_operations.writepage"
 	FsIoctl     = "fs_operations.ioctl"
@@ -90,6 +92,8 @@ type Stats struct {
 	Creates     atomic.Uint64
 	Unlinks     atomic.Uint64
 	Renames     atomic.Uint64
+	Links       atomic.Uint64
+	Exchanges   atomic.Uint64
 	Readdirs    atomic.Uint64 // readdir crossings (one per enumerated entry)
 	DcacheHits  atomic.Uint64
 	DcacheMiss  atomic.Uint64
@@ -210,6 +214,8 @@ type VFS struct {
 	gUnlink    *core.IndGate
 	gReaddir   *core.IndGate
 	gRename    *core.IndGate
+	gExchange  *core.IndGate
+	gLink      *core.IndGate
 	gReadPage  *core.IndGate
 	gWritePage *core.IndGate
 	gIoctl     *core.IndGate
@@ -274,6 +280,8 @@ func Init(k *kernel.Kernel, bl *blockdev.Layer) *VFS {
 		layout.F("unlink", 8),
 		layout.F("readdir", 8),
 		layout.F("rename", 8),
+		layout.F("exchange", 8),
+		layout.F("link", 8),
 		layout.F("readpage", 8),
 		layout.F("writepage", 8),
 		layout.F("ioctl", 8),
@@ -357,12 +365,35 @@ func (v *VFS) registerFPtrTypes() {
 	// the moved inode and both directory inodes — the per-mount
 	// capability re-check that makes a cross-mount rename smuggled past
 	// the kernel checks a contract violation, not a silent corruption.
+	// victim is the inode of an existing target the rename replaces (0
+	// when the destination is free): passing it through the same
+	// crossing lets a journaling module commit the relink and the
+	// target's removal as one atomic transaction instead of exposing a
+	// crash window between two crossings.
 	sys.RegisterFPtrType(FsRename,
 		[]core.Param{sbP, core.P("olddir", "struct inode *"),
 			core.P("inode", "struct inode *"), core.P("newdir", "struct inode *"),
-			nameP, lenP},
+			nameP, lenP, core.P("victim", "struct inode *")},
 		"principal(sb) post(if (return == 0) check(write, olddir)) "+
 			"post(if (return == 0) check(write, newdir)) "+
+			"post(if (return == 0) check(write, inode))")
+	// exchange: RENAME_EXCHANGE — two existing entries swap their
+	// (directory, name) positions atomically. Both entries and both
+	// directories must still belong to the mount's principal afterwards.
+	sys.RegisterFPtrType(FsExchange,
+		[]core.Param{sbP, core.P("dira", "struct inode *"),
+			core.P("inoa", "struct inode *"), core.P("dirb", "struct inode *"),
+			core.P("inob", "struct inode *")},
+		"principal(sb) post(if (return == 0) check(write, dira)) "+
+			"post(if (return == 0) check(write, dirb)) "+
+			"post(if (return == 0) check(write, inoa)) "+
+			"post(if (return == 0) check(write, inob))")
+	// link: a new name for an existing inode (hardlink). The module
+	// bumps nlink and persists the new entry; the kernel adds the
+	// dentry afterwards.
+	sys.RegisterFPtrType(FsLink,
+		[]core.Param{sbP, dirP, core.P("inode", "struct inode *"), nameP, lenP},
+		"principal(sb) post(if (return == 0) check(write, dir)) "+
 			"post(if (return == 0) check(write, inode))")
 	// readpage: WRITE ownership of the page travels kernel -> module ->
 	// kernel; a failing module keeps nothing (revoke).
@@ -389,6 +420,8 @@ func (v *VFS) registerFPtrTypes() {
 	v.gUnlink = sys.BindIndirect(FsUnlink)
 	v.gReaddir = sys.BindIndirect(FsReaddir)
 	v.gRename = sys.BindIndirect(FsRename)
+	v.gExchange = sys.BindIndirect(FsExchange)
+	v.gLink = sys.BindIndirect(FsLink)
 	v.gReadPage = sys.BindIndirect(FsReadPage)
 	v.gWritePage = sys.BindIndirect(FsWritePage)
 	v.gIoctl = sys.BindIndirect(FsIoctl)
@@ -480,7 +513,12 @@ func (v *VFS) registerExports() {
 			if err != nil {
 				return kernel.Err(kernel.EFAULT)
 			}
-			copy(disk[off:], buf)
+			// The write goes through the block layer's single logged
+			// mutation path, so writeback shows up in the crash-recovery
+			// write log and obeys an armed power cut like any other write.
+			if err := v.Block.WriteSectors(args[0], args[1], buf); err != nil {
+				return kernel.Err(kernel.EIO)
+			}
 			return 0
 		})
 }
@@ -568,6 +606,15 @@ func (v *VFS) Mount(t *core.Thread, fsid, dev uint64) (mem.Addr, error) {
 		_ = sys.Slab.Free(sb)
 		return 0, err
 	}
+	// The mount's instance principal is granted REF on its backing
+	// device *before* the mount crossing: journal replay happens inside
+	// the module's mount callback and must be able to write the disk
+	// (dm_write_sectors demands the device REF). The capability dies
+	// with the principal — at unmount, or in fail() for a mount that
+	// never completed.
+	if ft.module != nil {
+		sys.Caps.Grant(ft.module.Set.Instance(sb), caps.RefCap(blockdev.DevRef, mem.Addr(dev)))
+	}
 	ret, err := v.gMount.Call1(t, v.OpsSlot(ft.ops, "mount"), uint64(sb))
 	if err != nil {
 		return fail(err)
@@ -593,13 +640,6 @@ func (v *VFS) Mount(t *core.Thread, fsid, dev uint64) (mem.Addr, error) {
 	}
 	mnt.root = root
 	must(sys.AS.WriteU64(v.SBField(sb, "root"), uint64(root)))
-	// The mount's instance principal is granted REF on its backing
-	// device: the proof pc_writeback and dm_write_sectors demand before
-	// persisting anything. The capability dies with the principal at
-	// unmount (DropInstance), so it cannot outlive the mount.
-	if ft.module != nil {
-		sys.Caps.Grant(ft.module.Set.Instance(sb), caps.RefCap(blockdev.DevRef, mem.Addr(dev)))
-	}
 	v.mu.Lock()
 	v.mounts[sb] = mnt
 	v.mu.Unlock()

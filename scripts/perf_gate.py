@@ -24,6 +24,13 @@ and netperf top-level reload objects' `*_total_ns`) must stay under
 RELOAD_MAX_NS — a module swap that stalls crossings for longer than
 that ceiling fails even on a first run with no baseline.
 
+The fsperf `journal` phase is gated twice: its ns leaves ride the
+generic relative gate (a journaled rename more than THRESHOLD percent
+slower than the baseline fails), and its `writes_per_op` leaf — the
+sector writes one write-ahead rename performs — is held absolutely
+under JOURNAL_MAX_WRITES_PER_OP, so the crash-consistency protocol
+cannot silently grow its write amplification.
+
 Usage:
     perf_gate.py PREV.json CURRENT.json       # one report
     perf_gate.py PREV_DIR  CURRENT_DIR        # every BENCH_*.json in CURRENT_DIR
@@ -40,6 +47,9 @@ import sys
 THRESHOLD = 30.0  # percent
 TRACE_THRESHOLD = 10.0  # absolute ceiling for trace_overhead_pct leaves
 RELOAD_MAX_NS = 5e7  # absolute ceiling (50 ms) for reload-phase latency
+# Absolute ceiling on journal write amplification: sector writes per
+# journaled rename (intent + commit + applies + checkpoint).
+JOURNAL_MAX_WRITES_PER_OP = 8.0
 # A phase whose baseline is allocation-free must stay below this many
 # allocs/op (MemStats sampling noise allowance, well under one real
 # allocation per op).
@@ -75,7 +85,8 @@ def collect(doc, ns_only):
     bench = doc.get("bench", "?")
     for path, key, val in leaves(doc):
         if ns_only and not (key.endswith("_ns") or key == "allocs_per_op"
-                            or key == "trace_overhead_pct"):
+                            or key == "trace_overhead_pct"
+                            or key == "writes_per_op"):
             continue
         # Container keys like "results"/"rows" carry no information once
         # elements are labeled; drop them from the display path.
@@ -145,6 +156,25 @@ def reload_failures(cur_vals, gate):
     return failures
 
 
+def journal_failures(cur_vals, gate):
+    """Absolute gate on journal write amplification: no baseline
+    required. A journaled rename may not perform more than
+    JOURNAL_MAX_WRITES_PER_OP sector writes."""
+    failures = []
+    for key in sorted(cur_vals):
+        bench, path, field = key
+        if field != "writes_per_op" or path.split("/")[-1] != "journal":
+            continue
+        now = cur_vals[key]
+        over = gate and now > JOURNAL_MAX_WRITES_PER_OP
+        flag = ("  <-- JOURNAL WRITE AMPLIFICATION OVER %.0f/op CEILING"
+                % JOURNAL_MAX_WRITES_PER_OP if over else "")
+        print("%-10s %-40s %-14s %12.1f%s" % (bench, path, field, now, flag))
+        if over:
+            failures.append(key)
+    return failures
+
+
 def compare(prev_vals, cur_vals, gate):
     failures = []
     for key in sorted(cur_vals):
@@ -154,6 +184,8 @@ def compare(prev_vals, cur_vals, gate):
         tag = "%-10s %-40s %-14s" % (bench, path, field)
         if field == "trace_overhead_pct":
             continue  # gated absolutely by trace_failures, not by delta
+        if field == "writes_per_op":
+            continue  # gated absolutely by journal_failures, not by delta
         if was is None:
             print("%s %38s" % (tag, "(new phase)"))
             continue
@@ -192,17 +224,19 @@ def main():
         if ppath is None:
             print("   (no previous report; delta gate skipped for this file)")
             for key in sorted(cur_vals):
-                if key[2] == "trace_overhead_pct":
-                    continue  # printed (and gated) by trace_failures below
+                if key[2] in ("trace_overhead_pct", "writes_per_op"):
+                    continue  # printed (and gated) by the absolute gates below
                 print("%-10s %-40s %-14s %12.1f" % (key[0], key[1], key[2], cur_vals[key]))
             failures += trace_failures(cur_vals, gate=not summary)
             failures += reload_failures(cur_vals, gate=not summary)
+            failures += journal_failures(cur_vals, gate=not summary)
             print()
             continue
         saw_any = True
         failures += compare(load(ppath, ns_only=not summary), cur_vals, gate=not summary)
         failures += trace_failures(cur_vals, gate=not summary)
         failures += reload_failures(cur_vals, gate=not summary)
+        failures += journal_failures(cur_vals, gate=not summary)
         print()
 
     if summary:
@@ -211,8 +245,10 @@ def main():
     if failures:
         print("perf gate: %d phase(s) regressed (>%.0f%% ns/op, allocations "
               "above an allocation-free baseline, trace overhead past "
-              "%.0f%%, or reload latency past %.0f ms)"
-              % (len(failures), THRESHOLD, TRACE_THRESHOLD, RELOAD_MAX_NS / 1e6),
+              "%.0f%%, reload latency past %.0f ms, or journal write "
+              "amplification past %.0f/op)"
+              % (len(failures), THRESHOLD, TRACE_THRESHOLD, RELOAD_MAX_NS / 1e6,
+                 JOURNAL_MAX_WRITES_PER_OP),
               file=sys.stderr)
         sys.exit(1)
     if saw_any:
