@@ -13,15 +13,22 @@ package blockdev
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
 	"lxfi/internal/caps"
 	"lxfi/internal/core"
+	"lxfi/internal/failpoint"
 	"lxfi/internal/kernel"
 	"lxfi/internal/layout"
 	"lxfi/internal/mem"
 )
+
+func init() {
+	failpoint.Register("blockdev.write_sector")
+	failpoint.Register("blockdev.read_sector")
+}
 
 // SectorSize is the logical sector size.
 const SectorSize = 512
@@ -233,6 +240,13 @@ func (l *Layer) registerExports() {
 		"pre(check(write, buf, n))",
 		func(t *core.Thread, args []uint64) uint64 {
 			l.sectorReads.Add(1)
+			// Fault site: an injected error reads back to the module as
+			// EIO, like an unreadable sector.
+			if failpoint.Armed() {
+				if err := failpoint.InjectArg("blockdev.read_sector", strconv.FormatUint(args[0], 10)); err != nil {
+					return kernel.Err(kernel.EIO)
+				}
+			}
 			disk := l.DiskBytes(args[0])
 			if disk == nil {
 				return kernel.Err(kernel.ENOENT)
@@ -388,6 +402,15 @@ func (l *Layer) Disks() []uint64 {
 // power cut stops all of them at once. data may be any length; it is
 // stored starting at the sector's byte offset.
 func (l *Layer) WriteSectors(dev, sector uint64, data []byte) error {
+	// Fault site: an injected error surfaces to the module as EIO from
+	// dm_write_sectors, like a failing disk. The policy's Arg matches
+	// the device id. (The Armed fast path keeps the device formatting
+	// off the disarmed path.)
+	if failpoint.Armed() {
+		if err := failpoint.InjectArg("blockdev.write_sector", strconv.FormatUint(dev, 10)); err != nil {
+			return err
+		}
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	disk, ok := l.disks[dev]

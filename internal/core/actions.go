@@ -396,9 +396,7 @@ func (t *Thread) violationAt(m *Module, p *caps.Principal, op string, addr mem.A
 	if t.Sys.Mon.KillOnViolation && m != nil {
 		t.Sys.killModule(m, v)
 	}
-	if h := t.Sys.Mon.OnViolationThread; h != nil {
-		h(v, t)
-	}
+	t.Sys.Mon.notifyThread(v, t)
 	return err
 }
 

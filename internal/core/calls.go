@@ -4,9 +4,14 @@ import (
 	"fmt"
 
 	"lxfi/internal/caps"
+	"lxfi/internal/failpoint"
 	"lxfi/internal/mem"
 	"lxfi/internal/trace"
 )
+
+func init() {
+	failpoint.Register("kernel.entry")
+}
 
 // CallKernel invokes a core-kernel export on behalf of the current
 // context. In module context this is the function-wrapper path of §4.2:
@@ -37,6 +42,17 @@ func (t *Thread) callKernelDecl(fn *FuncDecl, args []uint64) (uint64, error) {
 	callerMod := t.curMod
 	callerPrin := t.cur
 	var env *argEnv
+
+	// Fault site at the kernel-export boundary, module callers only —
+	// in both modes, so chaos runs compare stock and enforced behavior.
+	// A panic policy here unwinds into the calling module's crossing
+	// gate, which contains it as a module oops; pure kernel-context
+	// calls never evaluate the site.
+	if callerMod != nil {
+		if err := failpoint.InjectArg("kernel.entry", fn.Name); err != nil {
+			return 0, err
+		}
+	}
 
 	// Only mediated crossings are flight-recorded: kernel-context calls
 	// are direct jumps with nothing to observe.
@@ -69,10 +85,8 @@ func (t *Thread) callKernelDecl(fn *FuncDecl, args []uint64) (uint64, error) {
 		}
 	}
 
-	tok := t.pushFrame(fn)
-	t.cur, t.curMod = nil, nil // kernel code runs trusted
-	ret := fn.Impl(t, args)
-	if err := t.popFrame(tok); err != nil {
+	ret, err := t.runKernelImpl(callerMod, callerPrin, fn, args)
+	if err != nil {
 		return ret, err
 	}
 
@@ -92,6 +106,101 @@ func (t *Thread) callKernelDecl(fn *FuncDecl, args []uint64) (uint64, error) {
 		t.traceEnd(trace.KindKernelCall, fn.Name, callerMod, callerPrin, fn.Addr, tc)
 	}
 	return ret, nil
+}
+
+// runKernelImpl pushes the shadow frame, switches to trusted kernel
+// context, runs the kernel function, and pops the frame. A panic raised
+// in a kernel function called from module context is blamed on the
+// calling module (the kernel was fed bad state through this crossing)
+// and contained as a synthetic violation; in pure kernel context there
+// is nothing to contain it with — it propagates as a genuine kernel
+// panic.
+func (t *Thread) runKernelImpl(callerMod *Module, callerPrin *caps.Principal, fn *FuncDecl, args []uint64) (ret uint64, err error) {
+	depth := len(t.shadow)
+	argBase := len(t.argStack)
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			return
+		}
+		if callerMod == nil {
+			panic(rec)
+		}
+		t.recoverCrossing(depth, argBase)
+		ret, err = 0, t.panicViolation(callerMod, callerPrin, fn, rec)
+	}()
+	tok := t.pushFrame(fn)
+	t.cur, t.curMod = nil, nil // kernel code runs trusted
+	ret = fn.Impl(t, args)
+	err = t.popFrame(tok)
+	return ret, err
+}
+
+// runModuleImpl pushes the shadow frame, switches principal, runs the
+// module function, and pops the frame. A panic raised anywhere inside
+// the crossing — module code, or a nested call that unwound back into
+// it — is recovered here into a synthetic "panic" violation instead of
+// unwinding the host kernel: the module oopsed, the kernel survives.
+func (t *Thread) runModuleImpl(m *Module, callee *caps.Principal, fn *FuncDecl, args []uint64) (ret uint64, err error) {
+	depth := len(t.shadow)
+	argBase := len(t.argStack)
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			return
+		}
+		t.recoverCrossing(depth, argBase)
+		ret, err = 0, t.panicViolation(m, callee, fn, rec)
+	}()
+	tok := t.pushFrame(fn)
+	t.cur, t.curMod = callee, m // callee == nil when enforcement is off
+	ret = fn.Impl(t, args)
+	err = t.popFrame(tok)
+	return ret, err
+}
+
+// recoverCrossing restores the thread's crossing state after a panic
+// unwound past nested pushFrame'd crossings without their popFrame
+// running. Every frame at or above the recovery point is discarded
+// wholesale — per-frame CFI return-token validation is meaningless
+// mid-unwind, and running it would misreport the oops as shadow-stack
+// tampering — and the caller context is restored from the frame this
+// gate pushed. The argument stack is truncated the same way (the gates
+// pop it manually after a normal return).
+func (t *Thread) recoverCrossing(depth, argBase int) {
+	if len(t.shadow) > depth {
+		f := t.shadow[depth]
+		t.cur, t.curMod = f.savedCur, f.savedMod
+		t.shadow = t.shadow[:depth]
+	}
+	t.argStack = t.argStack[:argBase]
+}
+
+// panicViolation routes a panic recovered at a crossing boundary into
+// the violation pipeline. Under enforcement it is a first-class
+// violation — recorded, module killed, forensics hook and supervisor
+// subscribers notified. On the stock kernel there is no monitor doing
+// the attributing: the oops still kills the module and wakes the
+// supervisor's subscribers, but records nothing, mirroring how a stock
+// oops takes the module down with no isolation log.
+func (t *Thread) panicViolation(m *Module, p *caps.Principal, fn *FuncDecl, rec any) error {
+	if p == nil && m.Set != nil {
+		p = m.Set.Shared()
+	}
+	detail := fmt.Sprintf("panic in %s: %v", fn.Name, rec)
+	if t.Sys.Mon.Enforcing() {
+		return t.violationAt(m, p, "panic", fn.Addr, detail)
+	}
+	v := &Violation{
+		Module:    m.Name,
+		Principal: p.String(),
+		Op:        "panic",
+		Addr:      fn.Addr,
+		Detail:    detail,
+	}
+	t.Sys.killModule(m, v)
+	t.Sys.Mon.notifySubscribers(v, t)
+	return fmt.Errorf("%w (%s): %s", ErrModuleDead, m.Name, detail)
 }
 
 // runPre and runPost execute one side of a crossing's contract. The
@@ -182,10 +291,8 @@ func (t *Thread) callModuleDeclParams(m *Module, fn *FuncDecl, params []Param, s
 		}
 	}
 
-	tok := t.pushFrame(fn)
-	t.cur, t.curMod = callee, m // callee == nil when enforcement is off
-	ret := fn.Impl(t, args)
-	if err := t.popFrame(tok); err != nil {
+	ret, err := t.runModuleImpl(m, callee, fn, args)
+	if err != nil {
 		return ret, err
 	}
 

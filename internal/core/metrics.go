@@ -45,6 +45,23 @@ type MetricsSnapshot struct {
 	// LatencySamples is its total observation count.
 	LatencySamples uint64         `json:"latency_samples"`
 	Latency        []trace.Bucket `json:"latency,omitempty"`
+
+	// Supervisor is the module supervisor's recovery activity, present
+	// only while one is running (SetSupervisorMetrics).
+	Supervisor *SupervisorMetrics `json:"supervisor,omitempty"`
+}
+
+// SupervisorMetrics is the module supervisor's slice of the registry:
+// how often violations turned into restarts, what is quarantined or
+// permanently dead right now, and how long recovery took
+// (violation-to-successor-published, as a log2 histogram).
+type SupervisorMetrics struct {
+	RestartsTotal   uint64         `json:"restarts_total"`
+	Quarantined     uint64         `json:"quarantined"`  // currently dead, awaiting (or undergoing) restart
+	BreakerOpen     uint64         `json:"breaker_open"` // permanently dead: breaker tripped or budget exhausted
+	RecoverySamples uint64         `json:"recovery_samples"`
+	RecoveryP99Ns   uint64         `json:"recovery_p99_ns"`
+	RecoveryNs      []trace.Bucket `json:"recovery_ns,omitempty"`
 }
 
 // Metrics captures the registry. Counters folded thread-locally
@@ -87,6 +104,9 @@ func (s *System) Metrics() MetricsSnapshot {
 	}
 	if vc := s.Mon.Metrics.ViolationCounts(); len(vc) != 0 {
 		m.ViolationsByModule = vc
+	}
+	if fp := s.supSource.Load(); fp != nil {
+		m.Supervisor = (*fp)()
 	}
 	return m
 }

@@ -49,6 +49,25 @@ var ErrViolation = errors.New("lxfi violation")
 // ErrModuleDead is returned when calling into a killed module.
 var ErrModuleDead = errors.New("lxfi: module has been killed after a violation")
 
+// DegradedError is the graceful-degradation wrapper substrates return
+// while a module is quarantined: a crossing failed with ErrModuleDead
+// and the substrate mapped it to the errno its syscall surface would
+// produce (EIO for a dead filesystem, ENETDOWN for a dead protocol or
+// driver). It unwraps to the original error, so errors.Is(err,
+// ErrModuleDead) keeps holding — callers that already retry on module
+// death (the writeback flusher parking dirty pages) are unaffected.
+type DegradedError struct {
+	Errno int64  // the errno the syscall layer surfaces (kernel package values)
+	Op    string // the operation that degraded, e.g. "vfs.write"
+	Err   error  // the underlying crossing error (wraps ErrModuleDead)
+}
+
+func (e *DegradedError) Error() string {
+	return fmt.Sprintf("%s: degraded (errno %d): %v", e.Op, e.Errno, e.Err)
+}
+
+func (e *DegradedError) Unwrap() error { return e.Err }
+
 // Stats counts executed guards by type, matching the guard taxonomy of
 // Figure 13. Counters are atomic so benchmark harnesses may sample them
 // concurrently.
@@ -159,6 +178,13 @@ type Monitor struct {
 	// exists for the ablation benchmarks: correctness is unchanged, only
 	// cost.
 	DisableWriterSetOpt bool
+
+	// subs are the multi-listener complement to the single
+	// OnViolationThread slot (which the forensics rigs own); the module
+	// supervisor subscribes here so both can observe the same death.
+	subMu  sync.Mutex
+	subSeq int
+	subs   map[int]func(*Violation, *Thread)
 }
 
 // NewMonitor returns a monitor in Off mode.
@@ -219,6 +245,52 @@ func (m *Monitor) ResetStats() {
 	m.Stats.CapCacheHits.Store(0)
 	m.Stats.FailedResolutions.Store(0)
 	m.Metrics.Reset()
+}
+
+// SubscribeViolationThread registers fn to run on every violation, on
+// the violating thread's goroutine, after OnViolationThread. Unlike
+// that single slot any number of subscribers may coexist. The returned
+// cancel removes the subscription; it is safe to call more than once.
+func (m *Monitor) SubscribeViolationThread(fn func(*Violation, *Thread)) (cancel func()) {
+	m.subMu.Lock()
+	if m.subs == nil {
+		m.subs = make(map[int]func(*Violation, *Thread))
+	}
+	id := m.subSeq
+	m.subSeq++
+	m.subs[id] = fn
+	m.subMu.Unlock()
+	return func() {
+		m.subMu.Lock()
+		delete(m.subs, id)
+		m.subMu.Unlock()
+	}
+}
+
+// notifyThread delivers a violation to the single-slot hook and every
+// subscriber, on the violating goroutine (the cold path — the copy is
+// fine).
+func (m *Monitor) notifyThread(v *Violation, t *Thread) {
+	if h := m.OnViolationThread; h != nil {
+		h(v, t)
+	}
+	m.notifySubscribers(v, t)
+}
+
+// notifySubscribers delivers only to subscribers. The stock-mode oops
+// path uses it directly: a panic in an unenforced module still kills
+// the module (and the supervisor must hear about it), but no violation
+// is recorded — there is no policy engine doing the attributing.
+func (m *Monitor) notifySubscribers(v *Violation, t *Thread) {
+	m.subMu.Lock()
+	fns := make([]func(*Violation, *Thread), 0, len(m.subs))
+	for _, fn := range m.subs {
+		fns = append(fns, fn)
+	}
+	m.subMu.Unlock()
+	for _, fn := range fns {
+		fn(v, t)
+	}
 }
 
 func (m *Monitor) record(v *Violation) error {

@@ -70,6 +70,22 @@ type System struct {
 	// tracing makes NewThread attach a flight-recorder ring to every
 	// thread created after EnableTracing (trace.go).
 	tracing atomic.Bool
+
+	// supSource, when set (SetSupervisorMetrics), contributes the module
+	// supervisor's recovery counters to Metrics(). A pointer-to-func so
+	// the registration itself is atomic against concurrent snapshots.
+	supSource atomic.Pointer[func() *SupervisorMetrics]
+}
+
+// SetSupervisorMetrics registers (or, with nil, removes) the source of
+// the supervisor slice of the metrics registry. internal/modules calls
+// it when a Supervisor starts.
+func (s *System) SetSupervisorMetrics(fn func() *SupervisorMetrics) {
+	if fn == nil {
+		s.supSource.Store(nil)
+		return
+	}
+	s.supSource.Store(&fn)
 }
 
 // NewSystem boots an empty simulated machine with LXFI off.

@@ -153,9 +153,7 @@ func (t *Thread) violation(op string, addr mem.Addr, detail string) error {
 	if t.Sys.Mon.KillOnViolation && t.curMod != nil {
 		t.Sys.killModule(t.curMod, v)
 	}
-	if h := t.Sys.Mon.OnViolationThread; h != nil {
-		h(v, t)
-	}
+	t.Sys.Mon.notifyThread(v, t)
 	return err
 }
 

@@ -1,0 +1,207 @@
+package failpoint
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDisarmedIsNoop(t *testing.T) {
+	defer DisarmAll()
+	Register("t.noop")
+	if err := Inject("t.noop"); err != nil {
+		t.Fatalf("disarmed site returned %v", err)
+	}
+	if Armed() {
+		t.Fatal("nothing armed, Armed() = true")
+	}
+	// An unregistered site is a no-op too (arming may race substrate
+	// init in either order).
+	if err := Inject("t.never-registered"); err != nil {
+		t.Fatalf("unregistered site returned %v", err)
+	}
+}
+
+func TestErrorPolicy(t *testing.T) {
+	defer DisarmAll()
+	Arm("t.err", Policy{Msg: "boom"})
+	err := Inject("t.err")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	custom := errors.New("custom fault")
+	Arm("t.err", Policy{Err: custom})
+	err = Inject("t.err")
+	if !errors.Is(err, ErrInjected) || !errors.Is(err, custom) {
+		t.Fatalf("want both ErrInjected and custom in chain, got %v", err)
+	}
+}
+
+func TestOneShot(t *testing.T) {
+	defer DisarmAll()
+	Arm("t.oneshot", Policy{OneShot: true})
+	if err := Inject("t.oneshot"); err == nil {
+		t.Fatal("first evaluation did not fire")
+	}
+	for i := 0; i < 10; i++ {
+		if err := Inject("t.oneshot"); err != nil {
+			t.Fatalf("one-shot fired twice: %v", err)
+		}
+	}
+	// Re-arming resets the shot.
+	Arm("t.oneshot", Policy{OneShot: true})
+	if err := Inject("t.oneshot"); err == nil {
+		t.Fatal("re-armed one-shot did not fire")
+	}
+}
+
+func TestEveryNth(t *testing.T) {
+	defer DisarmAll()
+	Arm("t.nth", Policy{EveryNth: 3})
+	fired := 0
+	for i := 0; i < 9; i++ {
+		if Inject("t.nth") != nil {
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("every(3) over 9 evaluations fired %d times, want 3", fired)
+	}
+}
+
+func TestArgFilter(t *testing.T) {
+	defer DisarmAll()
+	Arm("t.arg", Policy{Arg: "kmalloc"})
+	if err := InjectArg("t.arg", "kfree"); err != nil {
+		t.Fatalf("non-matching arg fired: %v", err)
+	}
+	if err := InjectArg("t.arg", "kmalloc"); err == nil {
+		t.Fatal("matching arg did not fire")
+	}
+}
+
+func TestPanicPolicy(t *testing.T) {
+	defer DisarmAll()
+	Arm("t.panic", Policy{Panic: true, Msg: "oops"})
+	defer func() {
+		rec := recover()
+		pv, ok := rec.(PanicValue)
+		if !ok || pv.Site != "t.panic" {
+			t.Fatalf("want PanicValue{t.panic}, got %#v", rec)
+		}
+	}()
+	Inject("t.panic")
+	t.Fatal("panic policy did not panic")
+}
+
+func TestDoPolicy(t *testing.T) {
+	defer DisarmAll()
+	var got string
+	Arm("t.do", Policy{Do: func(arg string) error {
+		got = arg
+		return fmt.Errorf("from do")
+	}})
+	if err := InjectArg("t.do", "payload"); err == nil || got != "payload" {
+		t.Fatalf("Do callback: err=%v got=%q", err, got)
+	}
+}
+
+func TestDelayPolicy(t *testing.T) {
+	defer DisarmAll()
+	Arm("t.delay", Policy{Delay: 10 * time.Millisecond})
+	start := time.Now()
+	if err := Inject("t.delay"); err != nil {
+		t.Fatalf("delay policy returned error %v", err)
+	}
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Fatalf("delay policy slept only %v", d)
+	}
+}
+
+func TestArmSpec(t *testing.T) {
+	defer DisarmAll()
+	spec := "t.spec.a=error; t.spec.b=every(2)->error(slow disk) ;t.spec.c[kmalloc]=oneshot->panic(no memory);t.spec.d=delay(1ms)"
+	if err := ArmSpec(spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := Inject("t.spec.a"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("t.spec.a: %v", err)
+	}
+	if err := Inject("t.spec.b"); err != nil {
+		t.Fatalf("t.spec.b fired on first evaluation: %v", err)
+	}
+	if err := Inject("t.spec.b"); err == nil {
+		t.Fatal("t.spec.b did not fire on second evaluation")
+	}
+	if err := InjectArg("t.spec.c", "kfree"); err != nil {
+		t.Fatalf("t.spec.c fired on wrong arg: %v", err)
+	}
+	func() {
+		defer func() {
+			pv, ok := recover().(PanicValue)
+			if !ok || pv.Msg != "no memory" {
+				t.Fatalf("t.spec.c: want panic 'no memory', got %#v", pv)
+			}
+		}()
+		InjectArg("t.spec.c", "kmalloc")
+	}()
+	for _, bad := range []string{
+		"nosign", "=error", "a=warp(3)", "a=every(x)->error", "a=prob(2)->error",
+		"a[unclosed=error", "a=delay(-1s)",
+	} {
+		if err := ArmSpec(bad); err == nil {
+			t.Fatalf("spec %q parsed without error", bad)
+		}
+	}
+}
+
+func TestSitesSorted(t *testing.T) {
+	defer DisarmAll()
+	Register("t.z")
+	Register("t.a")
+	names := Sites()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Sites() not sorted/unique: %v", names)
+		}
+	}
+}
+
+func TestConcurrentArmInject(t *testing.T) {
+	defer DisarmAll()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				Inject("t.race")
+				InjectArg("t.race", "x")
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		Arm("t.race", Policy{EveryNth: 2})
+		Disarm("t.race")
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func BenchmarkInjectDisarmed(b *testing.B) {
+	Register("bench.disarmed")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := Inject("bench.disarmed"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -34,6 +34,10 @@ const (
 	EFBIG   = 27
 	ENOSPC  = 28
 	ENOSYS  = 38
+	// ENETDOWN is what the socket layer surfaces while a protocol or
+	// driver module is quarantined (graceful degradation of crossings
+	// that would otherwise fail with a raw gate error).
+	ENETDOWN = 100
 )
 
 // Err encodes -errno as a uint64 return value.

@@ -5,7 +5,13 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"lxfi/internal/failpoint"
 )
+
+func init() {
+	failpoint.Register("mem.page_alloc")
+}
 
 // Slab is a SLUB-like slab allocator over an AddressSpace.
 //
@@ -82,6 +88,11 @@ func SizeClassFor(size uint64) uint64 {
 func (s *Slab) Alloc(size uint64) (Addr, error) {
 	if size == 0 {
 		return 0, ErrZeroAlloc
+	}
+	// Fault site: an injected error is an allocation failure — kmalloc
+	// returning NULL under memory pressure.
+	if err := failpoint.Inject("mem.page_alloc"); err != nil {
+		return 0, err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()

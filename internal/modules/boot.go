@@ -2,6 +2,7 @@ package modules
 
 import (
 	"fmt"
+	"sync"
 
 	"lxfi/internal/blockdev"
 	"lxfi/internal/kernel"
@@ -32,12 +33,19 @@ type BootContext struct {
 	Block *blockdev.Layer
 	Snd   *sound.Sound
 	FS    *vfs.VFS
+
+	// mu serialises on-demand substrate init: loads of distinct modules
+	// may now run concurrently (per-module lifecycle locks), and two of
+	// them must not both observe a nil substrate and double-init it.
+	mu sync.Mutex
 }
 
 // ensure initialises the named substrate if it is not up yet. The VFS
 // is always built on a block layer (writeback needs one), so SubVFS
 // implies SubBlock.
 func (bc *BootContext) ensure(req string) error {
+	bc.mu.Lock()
+	defer bc.mu.Unlock()
 	switch req {
 	case SubPCI:
 		if bc.Bus == nil {

@@ -7,14 +7,37 @@ import (
 
 	"lxfi/internal/caps"
 	"lxfi/internal/core"
+	"lxfi/internal/failpoint"
 	"lxfi/internal/kernel"
 	"lxfi/internal/mem"
 )
 
+func init() {
+	failpoint.Register("loader.load")
+	failpoint.Register("loader.unload")
+	failpoint.Register("loader.migrate")
+}
+
 // Loader loads, unloads, and hot-reloads registered modules against
-// one boot context. It is safe for concurrent use; reloads of distinct
-// modules serialise on the loader lock (the quiesce machinery below it
-// is per-module, but substrate re-binding is not).
+// one boot context. It is safe for concurrent use, and lifecycle
+// operations on *distinct* modules run concurrently: one module can be
+// mid-quiesce while another swaps generations.
+//
+// Lock order (none of the four Coffman conditions can close into a
+// cycle because no path holds one lock while waiting for another of
+// the same rank):
+//
+//   - Loader.mu guards only the loaded map. It is a leaf taken for
+//     map reads/writes and released before any lifecycle work,
+//     substrate call, or loadedModule.mu acquisition.
+//   - loadedModule.mu is the per-module lifecycle lock; Load, Unload,
+//     and Reload hold it for their full critical section. A path that
+//     ever needs the lifecycle locks of several modules must take them
+//     in ascending module-name order (no current path takes two).
+//   - loadedModule.instMu is a leaf below everything, guarding only
+//     the inst pointer for readers that skip the lifecycle lock.
+//   - BootContext.mu (substrate init) and the core/caps locks nest
+//     strictly below a single lifecycle lock.
 type Loader struct {
 	BC *BootContext
 
@@ -22,14 +45,38 @@ type Loader struct {
 	// crossings to drain before aborting the reload.
 	QuiesceTimeout time.Duration
 
-	mu     sync.Mutex
+	mu     sync.Mutex // leaf: guards the loaded map only
 	loaded map[string]*loadedModule
 }
 
 type loadedModule struct {
+	name string
 	desc *Descriptor
-	inst Instance
 	opt  any
+
+	// mu serialises lifecycle operations (load/unload/reload) on this
+	// module. Holders may call substrates and quiesce crossings; they
+	// must not hold Loader.mu while doing so.
+	mu sync.Mutex
+
+	// instMu guards inst for readers that skip the lifecycle lock
+	// (Instance, the supervisor's owner lookup). Mid-reload they
+	// observe the outgoing generation, whose gates already park and
+	// redirect, so a non-blocking read is always safe.
+	instMu sync.Mutex
+	inst   Instance
+}
+
+func (lm *loadedModule) instance() Instance {
+	lm.instMu.Lock()
+	defer lm.instMu.Unlock()
+	return lm.inst
+}
+
+func (lm *loadedModule) setInstance(inst Instance) {
+	lm.instMu.Lock()
+	lm.inst = inst
+	lm.instMu.Unlock()
 }
 
 // DefaultQuiesceTimeout is the drain bound a fresh Loader starts with:
@@ -52,6 +99,22 @@ func NewLoaderWith(bc *BootContext) *Loader {
 	}
 }
 
+// lookup returns the published entry for name (nil if none).
+func (l *Loader) lookup(name string) *loadedModule {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.loaded[name]
+}
+
+// isCurrent re-checks, after taking a module's lifecycle lock, that the
+// entry is still the published one: the module may have been unloaded
+// (and even re-loaded as a distinct entry) while we waited.
+func (l *Loader) isCurrent(name string, lm *loadedModule) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.loaded[name] == lm
+}
+
 // Load boots the named module with default options.
 func (l *Loader) Load(t *core.Thread, name string) (Instance, error) {
 	return l.LoadWith(t, name, nil)
@@ -60,25 +123,42 @@ func (l *Loader) Load(t *core.Thread, name string) (Instance, error) {
 // LoadWith boots the named module, passing opt to its descriptor (nil
 // selects the module's defaults).
 func (l *Loader) LoadWith(t *core.Thread, name string, opt any) (Instance, error) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if _, dup := l.loaded[name]; dup {
-		return nil, fmt.Errorf("modules: %s is already loaded", name)
-	}
 	d, err := mustLookup(name)
 	if err != nil {
 		return nil, err
 	}
+	lm := &loadedModule{name: name, desc: d, opt: opt}
+	// Publish the entry with its lifecycle lock already held
+	// (uncontended — nobody else can see lm yet), so a concurrent
+	// Unload/Reload of the same name waits for the load to finish
+	// instead of operating on a half-booted module.
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	l.mu.Lock()
+	if _, dup := l.loaded[name]; dup {
+		l.mu.Unlock()
+		return nil, fmt.Errorf("modules: %s is already loaded", name)
+	}
+	l.loaded[name] = lm
+	l.mu.Unlock()
 	inst, err := l.load(t, d, opt)
 	if err != nil {
+		l.mu.Lock()
+		delete(l.loaded, name)
+		l.mu.Unlock()
 		return nil, err
 	}
-	l.loaded[name] = &loadedModule{desc: d, inst: inst, opt: opt}
+	lm.setInstance(inst)
 	return inst, nil
 }
 
 // load resolves the descriptor's substrates and boots one generation.
 func (l *Loader) load(t *core.Thread, d *Descriptor, opt any) (Instance, error) {
+	// Fault site: an injected error is a generation that failed to boot
+	// (Reload's rollback path exercises it).
+	if err := failpoint.InjectArg("loader.load", d.Name); err != nil {
+		return nil, err
+	}
 	for _, req := range d.Requires {
 		if err := l.BC.ensure(req); err != nil {
 			return nil, err
@@ -89,13 +169,15 @@ func (l *Loader) load(t *core.Thread, d *Descriptor, opt any) (Instance, error) 
 
 // Instance returns the loaded instance for name, if any.
 func (l *Loader) Instance(name string) (Instance, bool) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	lm, ok := l.loaded[name]
-	if !ok {
+	lm := l.lookup(name)
+	if lm == nil {
 		return nil, false
 	}
-	return lm.inst, true
+	inst := lm.instance()
+	if inst == nil {
+		return nil, false // still booting
+	}
+	return inst, true
 }
 
 // Module returns the live core.Module for a loaded name.
@@ -118,22 +200,56 @@ func (l *Loader) Loaded() []string {
 	return out
 }
 
+// ownerOf maps a live core.Module name back to the loader entry name
+// owning it (they normally coincide; the lookup tolerates descriptors
+// whose instance module is named differently). The supervisor uses it
+// to decide whether a violation concerns a module it manages.
+func (l *Loader) ownerOf(moduleName string) (string, bool) {
+	l.mu.Lock()
+	entries := make([]*loadedModule, 0, len(l.loaded))
+	for _, lm := range l.loaded {
+		entries = append(entries, lm)
+	}
+	l.mu.Unlock()
+	for _, lm := range entries {
+		if inst := lm.instance(); inst != nil && inst.Module().Name == moduleName {
+			return lm.name, true
+		}
+	}
+	return "", false
+}
+
+// unloadHook runs the descriptor's Unload hook (plus the loader.unload
+// fault site) for inst.
+func (l *Loader) unloadHook(t *core.Thread, lm *loadedModule, inst Instance) error {
+	if err := failpoint.InjectArg("loader.unload", lm.name); err != nil {
+		return err
+	}
+	if lm.desc.Unload == nil {
+		return nil
+	}
+	return lm.desc.Unload(t, l.BC, inst)
+}
+
 // Unload unhooks the named module from its substrates and unloads it
 // from the system, revoking its capabilities.
 func (l *Loader) Unload(t *core.Thread, name string) error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	lm, ok := l.loaded[name]
-	if !ok {
+	lm := l.lookup(name)
+	if lm == nil {
 		return fmt.Errorf("modules: %s is not loaded", name)
 	}
-	if lm.desc.Unload != nil {
-		if err := lm.desc.Unload(t, l.BC, lm.inst); err != nil {
-			return err
-		}
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	if !l.isCurrent(name, lm) {
+		return fmt.Errorf("modules: %s is not loaded", name)
 	}
-	l.BC.K.Sys.UnloadModule(lm.inst.Module().Name)
+	if err := l.unloadHook(t, lm, lm.instance()); err != nil {
+		return err
+	}
+	l.BC.K.Sys.UnloadModule(lm.instance().Module().Name)
+	l.mu.Lock()
 	delete(l.loaded, name)
+	l.mu.Unlock()
 	return nil
 }
 
@@ -171,15 +287,22 @@ type ReloadStats struct {
 // rollback load fails too is the module dead and its name removed from
 // the loader. An Unload-hook failure aborts the reload with the old
 // generation intact.
+//
+// Only the reloading module's own lifecycle lock is held: reloads of
+// distinct modules proceed concurrently (one can sit in quiesce while
+// another swaps).
 func (l *Loader) Reload(t *core.Thread, name string) (*ReloadStats, error) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	lm, ok := l.loaded[name]
-	if !ok {
+	lm := l.lookup(name)
+	if lm == nil {
+		return nil, fmt.Errorf("modules: %s is not loaded", name)
+	}
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	if !l.isCurrent(name, lm) {
 		return nil, fmt.Errorf("modules: %s is not loaded", name)
 	}
 	sys := l.BC.K.Sys
-	oldM := lm.inst.Module()
+	oldM := lm.instance().Module()
 
 	start := time.Now()
 	if err := sys.BeginReload(oldM, l.QuiesceTimeout); err != nil {
@@ -188,15 +311,24 @@ func (l *Loader) Reload(t *core.Thread, name string) (*ReloadStats, error) {
 	quiesced := time.Now()
 
 	snap := oldM.Set.Snapshot()
-	if lm.desc.Unload != nil {
-		if err := lm.desc.Unload(t, l.BC, lm.inst); err != nil {
-			sys.AbortReload(oldM)
-			return nil, fmt.Errorf("modules: %s unload hook: %w", name, err)
-		}
+	if err := l.unloadHook(t, lm, lm.instance()); err != nil {
+		sys.AbortReload(oldM)
+		return nil, fmt.Errorf("modules: %s unload hook: %w", name, err)
 	}
 	sys.RetireModule(oldM)
 
 	inst, err := l.load(t, lm.desc, lm.opt)
+	if err == nil {
+		// Fault site: the fresh generation booted but its capability
+		// migration is made to fail. Unhook and unload the unpublished
+		// successor, then take the rollback path as if the load itself
+		// had failed.
+		if ferr := failpoint.InjectArg("loader.migrate", name); ferr != nil {
+			_ = l.unloadHook(t, lm, inst)
+			sys.UnloadModule(inst.Module().Name)
+			inst, err = nil, ferr
+		}
+	}
 	if err != nil {
 		// Roll back: the old generation is already retired, but its
 		// descriptor can still boot — load it again and migrate the
@@ -205,13 +337,15 @@ func (l *Loader) Reload(t *core.Thread, name string) (*ReloadStats, error) {
 		rbInst, rbErr := l.load(t, lm.desc, lm.opt)
 		if rbErr != nil {
 			sys.FailReload(oldM)
+			l.mu.Lock()
 			delete(l.loaded, name)
+			l.mu.Unlock()
 			return nil, fmt.Errorf("modules: reload of %s failed (%v); rollback failed too, module is dead: %w", name, err, rbErr)
 		}
 		rbM := rbInst.Module()
 		sys.Caps.MigrateSnapshot(rbM.Set, snap, sectionFilter(oldM))
 		sys.CompleteReload(oldM, rbM)
-		lm.inst = rbInst
+		lm.setInstance(rbInst)
 		return nil, fmt.Errorf("modules: reload of %s failed, rolled back to a fresh generation of the previous code: %w", name, err)
 	}
 	swapped := time.Now()
@@ -219,7 +353,7 @@ func (l *Loader) Reload(t *core.Thread, name string) (*ReloadStats, error) {
 	newM := inst.Module()
 	migrated, dropped := sys.Caps.MigrateSnapshot(newM.Set, snap, sectionFilter(oldM))
 	sys.CompleteReload(oldM, newM)
-	lm.inst = inst
+	lm.setInstance(inst)
 	end := time.Now()
 
 	return &ReloadStats{

@@ -1,0 +1,26 @@
+package netstack
+
+import (
+	"errors"
+
+	"lxfi/internal/core"
+	"lxfi/internal/kernel"
+)
+
+// netDegrade is the netstack's graceful-degradation boundary, the
+// analogue of the VFS's degradeFS: while a protocol or driver module is
+// dead (killed after a violation, quarantined by the supervisor),
+// socket syscalls fail with ENETDOWN instead of a raw gate error — and
+// never hang. The crossing error stays wrapped, so errors.Is(err,
+// core.ErrModuleDead) keeps holding; callers use that to retry on the
+// successor generation once the supervisor restarts the module.
+func netDegrade(op string, err error) error {
+	if err == nil || !errors.Is(err, core.ErrModuleDead) {
+		return err
+	}
+	var d *core.DegradedError
+	if errors.As(err, &d) {
+		return err // already mapped by an inner op
+	}
+	return &core.DegradedError{Errno: kernel.ENETDOWN, Op: op, Err: err}
+}

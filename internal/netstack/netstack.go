@@ -16,10 +16,16 @@ import (
 
 	"lxfi/internal/caps"
 	"lxfi/internal/core"
+	"lxfi/internal/failpoint"
 	"lxfi/internal/kernel"
 	"lxfi/internal/layout"
 	"lxfi/internal/mem"
 )
+
+func init() {
+	failpoint.Register("netstack.xmit")
+	failpoint.Register("netstack.poll")
+}
 
 // Layout names.
 const (
@@ -463,6 +469,11 @@ func (s *Stack) newPfifo() mem.Addr {
 // hand the packet to the driver through the module-writable
 // ndo_start_xmit slot.
 func (s *Stack) XmitSkb(t *core.Thread, dev, skb mem.Addr) (uint64, error) {
+	// Fault site: an injected error drops the packet at the TX entry,
+	// like a carrier loss between the protocol and the qdisc.
+	if err := failpoint.Inject("netstack.xmit"); err != nil {
+		return 0, err
+	}
 	sys := s.K.Sys
 	q, err := sys.AS.ReadU64(dev + mem.Addr(s.ndev.Off("qdisc")))
 	if err != nil || q == 0 {
@@ -487,6 +498,11 @@ func (s *Stack) XmitSkb(t *core.Thread, dev, skb mem.Addr) (uint64, error) {
 // Poll invokes the device's registered NAPI poll callback with a budget,
 // as the kernel's softirq loop does (Fig. 1 line 28).
 func (s *Stack) Poll(t *core.Thread, dev mem.Addr, budget uint64) (uint64, error) {
+	// Fault site: an injected error fails the NAPI poll round before the
+	// driver crossing runs.
+	if err := failpoint.Inject("netstack.poll"); err != nil {
+		return 0, err
+	}
 	s.regMu.RLock()
 	slot, ok := s.napiPoll[dev]
 	s.regMu.RUnlock()
@@ -526,7 +542,8 @@ func (s *Stack) SockSize() uint64 { return s.sock.Size }
 // checked indirect call. The new socket is registered with its own
 // per-instance operation lock, the netstack analogue of a VFS mount
 // lock.
-func (s *Stack) Socket(t *core.Thread, familyID uint64) (mem.Addr, error) {
+func (s *Stack) Socket(t *core.Thread, familyID uint64) (_ mem.Addr, rerr error) {
+	defer func() { rerr = netDegrade("netstack.socket", rerr) }()
 	s.regMu.RLock()
 	fam, ok := s.families[familyID]
 	s.regMu.RUnlock()
@@ -579,7 +596,8 @@ func (s *Stack) sockOpSlot(sock mem.Addr, op string) (mem.Addr, error) {
 }
 
 // Sendmsg implements sendmsg(2) for a module socket.
-func (s *Stack) Sendmsg(t *core.Thread, sock, buf mem.Addr, n, flags uint64) (uint64, error) {
+func (s *Stack) Sendmsg(t *core.Thread, sock, buf mem.Addr, n, flags uint64) (_ uint64, rerr error) {
+	defer func() { rerr = netDegrade("netstack.sendmsg", rerr) }()
 	defer s.lockSock(sock)()
 	slot, err := s.sockOpSlot(sock, "sendmsg")
 	if err != nil {
@@ -589,7 +607,8 @@ func (s *Stack) Sendmsg(t *core.Thread, sock, buf mem.Addr, n, flags uint64) (ui
 }
 
 // Recvmsg implements recvmsg(2).
-func (s *Stack) Recvmsg(t *core.Thread, sock, buf mem.Addr, n, flags uint64) (uint64, error) {
+func (s *Stack) Recvmsg(t *core.Thread, sock, buf mem.Addr, n, flags uint64) (_ uint64, rerr error) {
+	defer func() { rerr = netDegrade("netstack.recvmsg", rerr) }()
 	defer s.lockSock(sock)()
 	slot, err := s.sockOpSlot(sock, "recvmsg")
 	if err != nil {
@@ -599,7 +618,8 @@ func (s *Stack) Recvmsg(t *core.Thread, sock, buf mem.Addr, n, flags uint64) (ui
 }
 
 // Bind implements bind(2).
-func (s *Stack) Bind(t *core.Thread, sock, addr mem.Addr, n uint64) (uint64, error) {
+func (s *Stack) Bind(t *core.Thread, sock, addr mem.Addr, n uint64) (_ uint64, rerr error) {
+	defer func() { rerr = netDegrade("netstack.bind", rerr) }()
 	defer s.lockSock(sock)()
 	slot, err := s.sockOpSlot(sock, "bind")
 	if err != nil {
@@ -622,7 +642,8 @@ func (s *Stack) Ioctl(t *core.Thread, sock mem.Addr, cmd, arg uint64) (uint64, e
 // Release implements close(2). After the module's release callback
 // runs, the socket's instance principal is discarded along with the
 // socket object, so a recycled address cannot inherit stale privileges.
-func (s *Stack) Release(t *core.Thread, sock mem.Addr) (uint64, error) {
+func (s *Stack) Release(t *core.Thread, sock mem.Addr) (_ uint64, rerr error) {
+	defer func() { rerr = netDegrade("netstack.release", rerr) }()
 	unlock := s.lockSock(sock)
 	slot, err := s.sockOpSlot(sock, "release")
 	if err != nil {

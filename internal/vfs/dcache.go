@@ -155,7 +155,8 @@ func (v *VFS) dirNotEmpty(t *core.Thread, mnt *mount, n *dnode) (bool, error) {
 }
 
 // Lookup resolves path to its inode address.
-func (v *VFS) Lookup(t *core.Thread, sb mem.Addr, path string) (mem.Addr, error) {
+func (v *VFS) Lookup(t *core.Thread, sb mem.Addr, path string) (_ mem.Addr, rerr error) {
+	defer func() { rerr = degradeFS("vfs.lookup", rerr) }()
 	mnt, err := v.lockMount(sb)
 	if err != nil {
 		return 0, err
@@ -169,7 +170,8 @@ func (v *VFS) Lookup(t *core.Thread, sb mem.Addr, path string) (mem.Addr, error)
 }
 
 // create is the shared implementation of Create and Mkdir.
-func (v *VFS) create(t *core.Thread, sb mem.Addr, path string, mode uint64) (mem.Addr, error) {
+func (v *VFS) create(t *core.Thread, sb mem.Addr, path string, mode uint64) (_ mem.Addr, rerr error) {
+	defer func() { rerr = degradeFS("vfs.create", rerr) }()
 	mnt, err := v.lockMount(sb)
 	if err != nil {
 		return 0, err
@@ -219,7 +221,8 @@ func (v *VFS) Mkdir(t *core.Thread, sb mem.Addr, path string) (mem.Addr, error) 
 // Unlink removes a file: the module's unlink callback releases the inode
 // (via iput, dropping its page-cache pages), then the kernel drops the
 // dentry.
-func (v *VFS) Unlink(t *core.Thread, sb mem.Addr, path string) error {
+func (v *VFS) Unlink(t *core.Thread, sb mem.Addr, path string) (rerr error) {
+	defer func() { rerr = degradeFS("vfs.unlink", rerr) }()
 	mnt, err := v.lockMount(sb)
 	if err != nil {
 		return err
@@ -282,7 +285,8 @@ func (v *VFS) dirEmpty(t *core.Thread, mnt *mount, dir mem.Addr) (bool, error) {
 // name buffer lent to the module (WRITE transfer out and back) for each.
 // The dentry cache cannot answer this — it only holds what was already
 // looked up — so enumeration always reflects the module's own table.
-func (v *VFS) Readdir(t *core.Thread, sb mem.Addr, path string) ([]DirEntry, error) {
+func (v *VFS) Readdir(t *core.Thread, sb mem.Addr, path string) (_ []DirEntry, rerr error) {
+	defer func() { rerr = degradeFS("vfs.readdir", rerr) }()
 	mnt, err := v.lockMount(sb)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,27 @@
+package vfs
+
+import (
+	"errors"
+
+	"lxfi/internal/core"
+	"lxfi/internal/kernel"
+)
+
+// degradeFS is the graceful-degradation boundary of the VFS: while a
+// filesystem module is dead (killed after a violation, or quarantined
+// by the supervisor awaiting restart), operations against its mounts
+// fail with the EIO the syscall layer would surface instead of a raw
+// gate error — and never hang or panic. The original error stays in
+// the chain, so errors.Is(err, core.ErrModuleDead) still holds; the
+// writeback flusher relies on that to park dirty pages and retry them
+// once the supervisor publishes a live successor generation.
+func degradeFS(op string, err error) error {
+	if err == nil || !errors.Is(err, core.ErrModuleDead) {
+		return err
+	}
+	var d *core.DegradedError
+	if errors.As(err, &d) {
+		return err // already mapped by an inner op
+	}
+	return &core.DegradedError{Errno: kernel.EIO, Op: op, Err: err}
+}

@@ -249,7 +249,8 @@ func (v *VFS) allocPage(t *core.Thread, mnt *mount, ino mem.Addr, idx uint64) (m
 // Read copies n bytes starting at off out of the file's page cache,
 // bounded by the inode size. Cold pages are filled by the module;
 // everything else is a trusted kernel-side copy.
-func (v *VFS) Read(t *core.Thread, sb mem.Addr, path string, off, n uint64) ([]byte, error) {
+func (v *VFS) Read(t *core.Thread, sb mem.Addr, path string, off, n uint64) (_ []byte, rerr error) {
+	defer func() { rerr = degradeFS("vfs.read", rerr) }()
 	mnt, err := v.lockMount(sb)
 	if err != nil {
 		return nil, err
@@ -295,7 +296,8 @@ func (v *VFS) Read(t *core.Thread, sb mem.Addr, path string, off, n uint64) ([]b
 // fully covered cold pages skip the readpage round-trip — their old
 // contents are dead on arrival, so reading them back would only leak
 // stale bytes and pay a pointless module crossing.
-func (v *VFS) Write(t *core.Thread, sb mem.Addr, path string, off uint64, data []byte) (uint64, error) {
+func (v *VFS) Write(t *core.Thread, sb mem.Addr, path string, off uint64, data []byte) (_ uint64, rerr error) {
+	defer func() { rerr = degradeFS("vfs.write", rerr) }()
 	mnt, err := v.lockMount(sb)
 	if err != nil {
 		return 0, err
@@ -395,7 +397,8 @@ func (v *VFS) syncLocked(t *core.Thread, mnt *mount, keys []pageKey) error {
 // Sync writes every dirty page of the mount back through the module's
 // writepage callback (REF handoff: the module proves ownership to
 // pc_writeback but cannot modify the clean page).
-func (v *VFS) Sync(t *core.Thread, sb mem.Addr) error {
+func (v *VFS) Sync(t *core.Thread, sb mem.Addr) (rerr error) {
+	defer func() { rerr = degradeFS("vfs.sync", rerr) }()
 	mnt, err := v.lockMount(sb)
 	if err != nil {
 		return err

@@ -577,7 +577,8 @@ func (v *VFS) lockMount(sb mem.Addr) (*mount, error) {
 // the superblock, runs the module's mount callback as the new mount's
 // instance principal, and roots the dentry cache at the inode the module
 // returns.
-func (v *VFS) Mount(t *core.Thread, fsid, dev uint64) (mem.Addr, error) {
+func (v *VFS) Mount(t *core.Thread, fsid, dev uint64) (_ mem.Addr, rerr error) {
+	defer func() { rerr = degradeFS("vfs.mount", rerr) }()
 	v.mu.RLock()
 	ft, ok := v.filesystems[fsid]
 	v.mu.RUnlock()
