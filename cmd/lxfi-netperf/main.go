@@ -19,6 +19,7 @@ import (
 
 func main() {
 	packets := flag.Int("packets", 2000, "packets per measurement")
+	segments := flag.Int("segments", 800, "segments per streaming transfer")
 	guards := flag.Bool("guards", false, "also print the Figure 13 guard breakdown")
 	pairs := flag.Int("pairs", 4, "socket pairs (worker threads) in the concurrent phase")
 	failpoints := flag.String("failpoints", "",
@@ -46,8 +47,12 @@ func main() {
 	if err != nil {
 		benchio.Fail("reload phase failed", err)
 	}
+	stream, err := netperf.MeasureStreaming(*segments)
+	if err != nil {
+		benchio.Fail("streaming phase failed", err)
+	}
 	if bf.JSON {
-		out, err := netperf.JSON(costs, conc, rl, *packets)
+		out, err := netperf.JSON(costs, conc, rl, stream, *packets)
 		if err != nil {
 			benchio.Fail("encoding report", err)
 		}
@@ -60,6 +65,7 @@ func main() {
 	fmt.Fprintln(benchio.Stdout)
 	fmt.Fprint(benchio.Stdout, netperf.FormatConcurrent(conc))
 	fmt.Fprint(benchio.Stdout, netperf.FormatReload(rl))
+	fmt.Fprint(benchio.Stdout, netperf.FormatStreaming(stream))
 
 	if *guards {
 		rows, err := netperf.GuardBreakdown(*packets)

@@ -360,14 +360,19 @@ func (t *Thread) resolveIterCaps(st *actionStep, env *argEnv, out []caps.Cap) ([
 			return out, fmt.Errorf("core: unknown capability iterator %q", st.iterName)
 		}
 	}
-	var iargsArr [4]int64
-	iargs := iargsArr[:0]
-	if len(st.iterArgs) > len(iargsArr) {
+	// A local array would escape through the indirect iter call, so the
+	// argument slice lives on the thread; swap it out around the run so
+	// a re-entrant iterator gets a fresh one instead of clobbering ours.
+	iargs := t.iargBuf
+	t.iargBuf = nil
+	if cap(iargs) < len(st.iterArgs) {
 		iargs = make([]int64, 0, len(st.iterArgs))
 	}
+	iargs = iargs[:0]
 	for i := range st.iterArgs {
 		v, err := st.iterArgs[i].Eval(env)
 		if err != nil {
+			t.iargBuf = iargs
 			return out, err
 		}
 		iargs = append(iargs, v)
@@ -377,6 +382,7 @@ func (t *Thread) resolveIterCaps(st *actionStep, env *argEnv, out []caps.Cap) ([
 	err := iter(t, iargs, t.emit)
 	out = t.iterBuf
 	t.iterBuf = saved
+	t.iargBuf = iargs
 	return out, err
 }
 

@@ -73,6 +73,12 @@ type Thread struct {
 	iterBuf []caps.Cap
 	emit    func(caps.Cap) error
 
+	// iargBuf is the scratch slice for iterator arguments. A local
+	// array would escape through the indirect iterator call, costing
+	// one heap allocation per iterator-form crossing; resolveIterCaps
+	// swaps this buffer stack-style the same way it does iterBuf.
+	iargBuf []int64
+
 	// pendChecks/pendMisses/pendMemWrites tally guard executions
 	// locally; they are folded into Monitor.Stats at wrapper exits and
 	// every statsFlushBatch checks (a cached hit must not pay a shared

@@ -21,6 +21,11 @@
 //     bound at load time. The acceptance gate: 0 allocs/op.
 //   - "crossing named": the same crossing through the string-keyed
 //     CallKernel path — the bind-time-resolution delta made visible.
+//   - "crossing batch": one crossing whose annotation checks an
+//     8-element pointer array through a capability iterator — the
+//     netstack batch-gate shape. Per-element WRITE verdicts ride the
+//     per-thread check cache, so the acceptance gate is the same
+//     0 allocs/op the scalar crossing holds.
 //   - "reload": a full hot reload of a registry module (quiesce,
 //     capability snapshot, swap, migration, gate re-bind) with a live
 //     instance but no traffic in flight — the service-interruption floor.
@@ -108,6 +113,9 @@ const coldSet = 4096
 // contendedWorkers is the worker count of the contended phase.
 const contendedWorkers = 8
 
+// batchElems is the array length of the batched-crossing phase.
+const batchElems = 8
+
 func newCrossRig(mode core.Mode) (*crossRig, error) {
 	sys := core.NewSystem()
 	sys.Mon.SetMode(mode)
@@ -122,10 +130,33 @@ func newCrossRig(mode core.Mode) (*crossRig, error) {
 		[]core.Param{core.P("p", "void *"), core.P("n", "u64")},
 		"pre(check(write, p, 8)) post(if (return == 0) check(write, p, 8))",
 		func(t *core.Thread, a []uint64) uint64 { return 0 })
-	var gSink *core.Gate // bound after load
+	// xbench_batch_caps(arr, n): the WRITE capability of each 8-byte
+	// target named by an n-element pointer array — the skb_array_caps
+	// shape with scalar elements.
+	sys.RegisterIterator("xbench_batch_caps",
+		func(t *core.Thread, args []int64, emit func(caps.Cap) error) error {
+			arr, n := mem.Addr(uint64(args[0])), args[1]
+			for i := int64(0); i < n && i < batchElems; i++ {
+				w, err := sys.AS.ReadU64(arr + mem.Addr(i*8))
+				if err != nil || w == 0 {
+					continue
+				}
+				if err := emit(caps.WriteCap(mem.Addr(w), 8)); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	// xbench_batch_sink is the batched crossing: one wrapper entry whose
+	// pre action walks the array and checks every element.
+	sys.RegisterKernelFunc("xbench_batch_sink",
+		[]core.Param{core.P("arr", "u64 *"), core.P("n", "u64")},
+		"pre(check(xbench_batch_caps(arr, n)))",
+		func(t *core.Thread, a []uint64) uint64 { return 0 })
+	var gSink, gBatchSink *core.Gate // bound after load
 	m, err := sys.LoadModule(core.ModuleSpec{
 		Name:     "xbench",
-		Imports:  []string{"xbench_sink"},
+		Imports:  []string{"xbench_sink", "xbench_batch_sink"},
 		DataSize: 4096,
 		Funcs: []core.FuncSpec{
 			// checks: n repeated probes of one (addr, 8) WRITE — the
@@ -162,6 +193,25 @@ func newCrossRig(mode core.Mode) (*crossRig, error) {
 					}
 					return 0
 				}},
+			// crossbatch: n batched crossings into xbench_batch_sink. The
+			// module fills an array in its own data section with
+			// batchElems granted addresses, then crosses once per
+			// iteration — the annotation checks all 8 elements per call.
+			{Name: "crossbatch", Params: []core.Param{core.P("n", "u64"), core.P("addr", "u64")},
+				Impl: func(t *core.Thread, a []uint64) uint64 {
+					arr := t.CurrentModule().Data + 512
+					for i := uint64(0); i < batchElems; i++ {
+						if t.WriteU64(arr+mem.Addr(i*8), a[1]+i*8) != nil {
+							return 1
+						}
+					}
+					for i := uint64(0); i < a[0]; i++ {
+						if ret, err := gBatchSink.Call2(t, uint64(arr), batchElems); err != nil || ret != 0 {
+							return 1
+						}
+					}
+					return 0
+				}},
 			// checkscold: n probes cycling through the cold working set.
 			{Name: "checkscold", Params: []core.Param{core.P("n", "u64"), core.P("base", "u64")},
 				Impl: func(t *core.Thread, a []uint64) uint64 {
@@ -180,6 +230,7 @@ func newCrossRig(mode core.Mode) (*crossRig, error) {
 		return nil, err
 	}
 	gSink = m.Gate("xbench_sink")
+	gBatchSink = m.Gate("xbench_batch_sink")
 	r.m, r.p = m, m.Set.Shared()
 	// One 32 KiB region for the cold set, plus one page per contended
 	// worker two pages apart so the workers' probes land on distinct
@@ -325,6 +376,7 @@ func MeasureCrossingsWithMetrics(iters int) ([]CrossingRow, *core.MetricsSnapsho
 		{Op: "revoke storm", Workers: 1},
 		{Op: "crossing gate", Workers: 1},
 		{Op: "crossing named", Workers: 1},
+		{Op: "crossing batch", Workers: 1},
 		{Op: "crossing traced", Workers: 1},
 		{Op: "reload", Workers: 1},
 	}
@@ -365,7 +417,8 @@ func MeasureCrossingsWithMetrics(iters int) ([]CrossingRow, *core.MetricsSnapsho
 			{3, func() (float64, float64, error) { ns, err := r.timeRevokeStorm(iters / 4); return ns, 0, err }},
 			{4, func() (float64, float64, error) { return r.timeChecks("crossgate", iters, r.workerAddr(0)) }},
 			{5, func() (float64, float64, error) { return r.timeChecks("crossnamed", iters, r.workerAddr(0)) }},
-			{7, func() (float64, float64, error) { ns, err := timeReload(mode); return ns, 0, err }},
+			{6, func() (float64, float64, error) { return r.timeChecks("crossbatch", iters, r.workerAddr(0)) }},
+			{8, func() (float64, float64, error) { ns, err := timeReload(mode); return ns, 0, err }},
 		}
 		for _, ph := range phases {
 			best, bestAllocs := 0.0, 0.0
@@ -401,10 +454,10 @@ func MeasureCrossingsWithMetrics(iters int) ([]CrossingRow, *core.MetricsSnapsho
 				bestTraced, bestAllocs = ns, allocs
 			}
 		}
-		set(6, bestTraced, bestAllocs)
+		set(7, bestTraced, bestAllocs)
 		if mode == core.Enforce {
 			if bestPlain > 0 {
-				rows[6].TraceOverheadPct = 100 * (bestTraced - bestPlain) / bestPlain
+				rows[7].TraceOverheadPct = 100 * (bestTraced - bestPlain) / bestPlain
 			}
 			m := r.sys.Metrics()
 			metrics = &m

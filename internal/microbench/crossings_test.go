@@ -6,9 +6,10 @@ import (
 )
 
 // TestMeasureCrossings runs the phases at a small iteration count and
-// checks the report invariants CI relies on: all eight phases present,
-// positive timings, the cached-hit, gate-crossing, and traced phases
-// allocation-free, and the contended phase carrying its scaling ratio.
+// checks the report invariants CI relies on: all nine phases present,
+// positive timings, the cached-hit, gate-crossing, batch, and traced
+// phases allocation-free, and the contended phase carrying its scaling
+// ratio.
 func TestMeasureCrossings(t *testing.T) {
 	rows, metrics, err := MeasureCrossingsWithMetrics(coldSet)
 	if err != nil {
@@ -18,7 +19,8 @@ func TestMeasureCrossings(t *testing.T) {
 		"check cold": false, "check cached": false,
 		"check contended": false, "revoke storm": false,
 		"crossing gate": false, "crossing named": false,
-		"crossing traced": false, "reload": false,
+		"crossing batch": false, "crossing traced": false,
+		"reload": false,
 	}
 	for _, r := range rows {
 		if _, ok := want[r.Op]; !ok {
@@ -35,7 +37,7 @@ func TestMeasureCrossings(t *testing.T) {
 		}
 	}
 	for _, r := range rows {
-		if (r.Op == "check cached" || r.Op == "crossing gate" || r.Op == "crossing traced") && r.AllocsPerOp >= 0.01 {
+		if (r.Op == "check cached" || r.Op == "crossing gate" || r.Op == "crossing batch" || r.Op == "crossing traced") && r.AllocsPerOp >= 0.01 {
 			t.Fatalf("%s allocates: %f allocs/op", r.Op, r.AllocsPerOp)
 		}
 		if r.Op == "check contended" && r.ScalingRatio <= 0 {
@@ -90,7 +92,7 @@ func TestCrossingsJSONShape(t *testing.T) {
 	if doc.Bench != "crossings" || doc.Shards < 1 {
 		t.Fatalf("bad header: %+v", doc)
 	}
-	if len(doc.Results) != 1 || doc.Results[0].FS != "crossings" || len(doc.Results[0].Rows) != 8 {
+	if len(doc.Results) != 1 || doc.Results[0].FS != "crossings" || len(doc.Results[0].Rows) != 9 {
 		t.Fatalf("bad results shape: %+v", doc.Results)
 	}
 }

@@ -8,11 +8,16 @@
 //
 // The "hardware" is a Nic object: a TX descriptor ring in module-owned
 // simulated memory that the driver fills with instrumented writes, and
-// Go-side frame queues standing in for the PHY.
+// Go-side frame queues standing in for the PHY. The Nic persists across
+// hot reloads (real hardware does not reset when the driver is swapped),
+// so a streaming peer wired to OnTx keeps receiving frames while the
+// module is reloaded under live traffic.
 package e1000sim
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"lxfi/internal/caps"
 	"lxfi/internal/core"
@@ -34,25 +39,97 @@ const TxRingEntries = 64
 // descSize is one TX descriptor: payload address (8) + length (8).
 const descSize = 16
 
-// Nic is the simulated hardware behind the driver.
+// RxBatchEntries is the capacity of the module-owned RX skb-pointer
+// array the batched poll path hands to alloc_skb_batch.
+const RxBatchEntries = netstack.TxBatchMax
+
+// Nic is the simulated hardware behind the driver. Counters are atomics
+// (TX workers run concurrently); mu guards the RX frame queue. OnTx is
+// invoked outside the lock so a test-harness wire may call InjectRx from
+// inside it.
 type Nic struct {
-	// TxFrames are frames the NIC has put on the wire.
+	// TxFrames/TxBytes count frames the NIC has put on the wire.
+	// Updated atomically; read them after the traffic threads join.
 	TxFrames uint64
 	TxBytes  uint64
 	// OnTx, if set, receives each transmitted frame (the test harness
 	// wire).
 	OnTx func(frame []byte)
-	// rxq holds frames waiting to be delivered by the poll handler.
-	rxq [][]byte
 	// IRQs counts raised interrupts.
 	IRQs uint64
+
+	mu      sync.Mutex
+	rxq     [][]byte
+	batchRx bool
 }
 
 // InjectRx queues a frame for reception.
-func (n *Nic) InjectRx(frame []byte) { n.rxq = append(n.rxq, append([]byte(nil), frame...)) }
+func (n *Nic) InjectRx(frame []byte) {
+	n.mu.Lock()
+	n.rxq = append(n.rxq, append([]byte(nil), frame...))
+	n.mu.Unlock()
+}
 
 // RxPending returns the number of frames waiting.
-func (n *Nic) RxPending() int { return len(n.rxq) }
+func (n *Nic) RxPending() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.rxq)
+}
+
+// SetBatchRx selects the poll delivery path: per-packet
+// alloc_skb/netif_rx (the default) or the batched
+// alloc_skb_batch/netif_rx_batch pair. Lives on the Nic so the setting
+// survives a driver reload.
+func (n *Nic) SetBatchRx(on bool) {
+	n.mu.Lock()
+	n.batchRx = on
+	n.mu.Unlock()
+}
+
+// takeRx pops up to max frames from the RX queue.
+func (n *Nic) takeRx(max int) [][]byte {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if max > len(n.rxq) {
+		max = len(n.rxq)
+	}
+	if max <= 0 {
+		return nil
+	}
+	out := n.rxq[:max:max]
+	n.rxq = append([][]byte(nil), n.rxq[max:]...)
+	return out
+}
+
+// requeueFront puts frames back at the head of the RX queue (partial
+// batch allocation failure).
+func (n *Nic) requeueFront(frames [][]byte) {
+	if len(frames) == 0 {
+		return
+	}
+	n.mu.Lock()
+	n.rxq = append(append([][]byte(nil), frames...), n.rxq...)
+	n.mu.Unlock()
+}
+
+// nics maps a PCI bus to its persistent NIC: reloading the driver swaps
+// the module code, not the hardware. Entries live as long as the bus.
+var (
+	nicMu sync.Mutex
+	nics  = map[*pci.Bus]*Nic{}
+)
+
+func nicFor(bus *pci.Bus) *Nic {
+	nicMu.Lock()
+	defer nicMu.Unlock()
+	if n := nics[bus]; n != nil {
+		return n
+	}
+	n := &Nic{}
+	nics[bus] = n
+	return n
+}
 
 // Driver is a loaded e1000sim module instance.
 type Driver struct {
@@ -62,10 +139,12 @@ type Driver struct {
 	// resolution: crossings perform no symbol lookup).
 	gAllocEtherdev   *core.Gate
 	gAllocSkb        *core.Gate
+	gAllocSkbBatch   *core.Gate
 	gKfreeSkb        *core.Gate
 	gKmalloc         *core.Gate
 	gNetifNapiAdd    *core.Gate
 	gNetifRx         *core.Gate
+	gNetifRxBatch    *core.Gate
 	gPciEnableDevice *core.Gate
 	gRegisterNetdev  *core.Gate
 	gRequestIrq      *core.Gate
@@ -81,6 +160,7 @@ type Driver struct {
 	PciDev mem.Addr
 
 	ring   mem.Addr // TX descriptor ring (kmalloc'd, module-owned)
+	rxArr  mem.Addr // RX batch skb-pointer array (kmalloc'd, module-owned)
 	txHead uint64
 	opened bool
 }
@@ -89,7 +169,8 @@ type Driver struct {
 // CALL capability for exactly these (§4.2 module initialization).
 var Imports = []string{
 	"alloc_etherdev", "free_netdev", "register_netdev",
-	"alloc_skb", "kfree_skb", "netif_rx", "netif_napi_add",
+	"alloc_skb", "alloc_skb_batch", "kfree_skb",
+	"netif_rx", "netif_rx_batch", "netif_napi_add",
 	"pci_enable_device", "pci_disable_device", "request_irq",
 	"kmalloc", "kfree", "printk",
 	"spin_lock_init", "spin_lock", "spin_unlock",
@@ -98,7 +179,7 @@ var Imports = []string{
 // Load loads the e1000sim module and registers its PCI driver; any
 // matching devices on the bus are probed immediately.
 func Load(t *core.Thread, k *kernel.Kernel, bus *pci.Bus, stack *netstack.Stack) (*Driver, error) {
-	d := &Driver{Bus: bus, Stack: stack, K: k, Nic: &Nic{}}
+	d := &Driver{Bus: bus, Stack: stack, K: k, Nic: nicFor(bus)}
 
 	m, err := k.Sys.LoadModule(core.ModuleSpec{
 		Name:     "e1000",
@@ -107,6 +188,7 @@ func Load(t *core.Thread, k *kernel.Kernel, bus *pci.Bus, stack *netstack.Stack)
 		Funcs: []core.FuncSpec{
 			{Name: "probe", Type: pci.ProbeType, Impl: d.probe},
 			{Name: "xmit", Type: netstack.NdoStartXmit, Impl: d.xmit},
+			{Name: "xmit_batch", Type: netstack.NdoStartXmitBatch, Impl: d.xmitBatch},
 			{Name: "open", Type: netstack.NdoOpen, Impl: d.open},
 			{Name: "stop", Type: netstack.NdoStop, Impl: d.stop},
 			{Name: "poll", Type: netstack.NapiPollType, Impl: d.poll},
@@ -119,10 +201,12 @@ func Load(t *core.Thread, k *kernel.Kernel, bus *pci.Bus, stack *netstack.Stack)
 	d.M = m
 	d.gAllocEtherdev = m.Gate("alloc_etherdev")
 	d.gAllocSkb = m.Gate("alloc_skb")
+	d.gAllocSkbBatch = m.Gate("alloc_skb_batch")
 	d.gKfreeSkb = m.Gate("kfree_skb")
 	d.gKmalloc = m.Gate("kmalloc")
 	d.gNetifNapiAdd = m.Gate("netif_napi_add")
 	d.gNetifRx = m.Gate("netif_rx")
+	d.gNetifRxBatch = m.Gate("netif_rx_batch")
 	d.gPciEnableDevice = m.Gate("pci_enable_device")
 	d.gRegisterNetdev = m.Gate("register_netdev")
 	d.gRequestIrq = m.Gate("request_irq")
@@ -168,6 +252,9 @@ func (d *Driver) probe(t *core.Thread, args []uint64) uint64 {
 	if err := t.WriteU64(st.OpsSlot(ops, "ndo_start_xmit"), uint64(mod.Funcs["xmit"].Addr)); err != nil {
 		return kernel.Err(kernel.EFAULT)
 	}
+	if err := t.WriteU64(st.OpsSlot(ops, "ndo_start_xmit_batch"), uint64(mod.Funcs["xmit_batch"].Addr)); err != nil {
+		return kernel.Err(kernel.EFAULT)
+	}
 	if err := t.WriteU64(st.OpsSlot(ops, "ndo_open"), uint64(mod.Funcs["open"].Addr)); err != nil {
 		return kernel.Err(kernel.EFAULT)
 	}
@@ -185,6 +272,15 @@ func (d *Driver) probe(t *core.Thread, args []uint64) uint64 {
 	}
 	d.ring = mem.Addr(ring)
 
+	// RX batch array: the pointer array the kernel fills on
+	// alloc_skb_batch. Module-owned so the crossing's write check pins
+	// API integrity.
+	rxArr, err := d.gKmalloc.Call1(t, RxBatchEntries*8)
+	if err != nil || rxArr == 0 {
+		return kernel.Err(kernel.ENOMEM)
+	}
+	d.rxArr = mem.Addr(rxArr)
+
 	if ret, err := d.gRegisterNetdev.Call1(t, ndev); err != nil || kernel.IsErr(ret) {
 		return kernel.Err(kernel.EINVAL)
 	}
@@ -201,53 +297,94 @@ func (d *Driver) probe(t *core.Thread, args []uint64) uint64 {
 	return 0
 }
 
-// xmit is ndo_start_xmit: by the time it runs, the transfer annotation
-// has moved the skb capabilities to this device's principal. The driver
-// writes a TX descriptor (instrumented stores into its ring), lets the
-// "hardware" DMA the payload onto the wire, and frees the skb.
-func (d *Driver) xmit(t *core.Thread, args []uint64) uint64 {
-	skb := mem.Addr(args[0])
+// txOne writes one TX descriptor for the skb and lets the "hardware"
+// DMA the payload onto the wire. Shared by the per-packet and batched
+// xmit paths.
+func (d *Driver) txOne(t *core.Thread, skb mem.Addr) bool {
 	st := d.Stack
-
 	data, _ := t.ReadU64(st.SkbField(skb, "data"))
 	length, _ := t.ReadU64(st.SkbField(skb, "len"))
 
 	// Write the descriptor through the capability system.
 	slot := d.ring + mem.Addr((d.txHead%TxRingEntries)*descSize)
 	if err := t.WriteU64(slot, data); err != nil {
-		return ^uint64(0)
+		return false
 	}
 	if err := t.WriteU64(slot+8, length); err != nil {
-		return ^uint64(0)
+		return false
 	}
 	d.txHead++
 
 	// "DMA": the NIC reads the payload and puts the frame on the wire.
 	frame, err := t.ReadBytes(mem.Addr(data), length)
 	if err != nil {
-		return ^uint64(0)
+		return false
 	}
-	d.Nic.TxFrames++
-	d.Nic.TxBytes += length
+	atomic.AddUint64(&d.Nic.TxFrames, 1)
+	atomic.AddUint64(&d.Nic.TxBytes, length)
 	if d.Nic.OnTx != nil {
 		d.Nic.OnTx(frame)
 	}
+	return true
+}
 
+// xmit is ndo_start_xmit: by the time it runs, the transfer annotation
+// has moved the skb capabilities to this device's principal. The driver
+// writes a TX descriptor (instrumented stores into its ring), lets the
+// "hardware" DMA the payload onto the wire, and frees the skb.
+func (d *Driver) xmit(t *core.Thread, args []uint64) uint64 {
+	skb := mem.Addr(args[0])
+	if !d.txOne(t, skb) {
+		return ^uint64(0)
+	}
 	if _, err := d.gKfreeSkb.Call1(t, uint64(skb)); err != nil {
 		return ^uint64(0)
 	}
 	return 0
 }
 
+// xmitBatch is ndo_start_xmit_batch: one crossing delivers a whole
+// qdisc drain. The pre-transfer annotation moved every skb's
+// capabilities to this device's principal; the driver walks the
+// kernel-owned pointer array (reads are unmediated) and transmits each
+// element. Consumed skbs are completed kernel-side after the crossing
+// returns — no per-skb kfree_skb crossing — and a partial return hands
+// the tail's capabilities back through the post annotation.
+func (d *Driver) xmitBatch(t *core.Thread, args []uint64) uint64 {
+	arr, n := mem.Addr(args[0]), args[1]
+	var consumed uint64
+	for ; consumed < n; consumed++ {
+		w, err := t.ReadU64(arr + mem.Addr(consumed*8))
+		if err != nil || w == 0 {
+			break
+		}
+		if !d.txOne(t, mem.Addr(w)) {
+			break
+		}
+	}
+	return consumed
+}
+
 // poll is the NAPI poll callback: it delivers up to budget received
-// frames to the kernel via alloc_skb + netif_rx.
+// frames to the kernel — per-packet via alloc_skb + netif_rx, or, when
+// the NIC is in batch mode, through one alloc_skb_batch + netif_rx_batch
+// pair per poll round.
 func (d *Driver) poll(t *core.Thread, args []uint64) uint64 {
 	budget := args[1]
+	d.Nic.mu.Lock()
+	batch := d.Nic.batchRx
+	d.Nic.mu.Unlock()
+	if batch {
+		return d.pollBatch(t, budget)
+	}
 	st := d.Stack
 	var done uint64
-	for done < budget && len(d.Nic.rxq) > 0 {
-		frame := d.Nic.rxq[0]
-		d.Nic.rxq = d.Nic.rxq[1:]
+	for done < budget {
+		frames := d.Nic.takeRx(1)
+		if len(frames) == 0 {
+			break
+		}
+		frame := frames[0]
 
 		skb, err := d.gAllocSkb.Call1(t, uint64(len(frame)))
 		if err != nil || skb == 0 {
@@ -271,6 +408,62 @@ func (d *Driver) poll(t *core.Thread, args []uint64) uint64 {
 	return done
 }
 
+// pollBatch delivers up to budget frames through two crossings total:
+// alloc_skb_batch fills the module's pointer array with fresh skbs
+// (capabilities transferred per-batch by the post annotation), the
+// driver copies payloads in, and netif_rx_batch hands the whole array
+// to the protocol backlog (capabilities transferred back per-batch).
+func (d *Driver) pollBatch(t *core.Thread, budget uint64) uint64 {
+	st := d.Stack
+	if budget > RxBatchEntries {
+		budget = RxBatchEntries
+	}
+	frames := d.Nic.takeRx(int(budget))
+	if len(frames) == 0 {
+		return 0
+	}
+	maxLen := 0
+	for _, f := range frames {
+		if len(f) > maxLen {
+			maxLen = len(f)
+		}
+	}
+
+	got, err := d.gAllocSkbBatch.Call3(t, uint64(d.rxArr), uint64(len(frames)), uint64(maxLen))
+	if err != nil || got == 0 {
+		d.Nic.requeueFront(frames)
+		return 0
+	}
+	if got < uint64(len(frames)) {
+		d.Nic.requeueFront(frames[got:])
+		frames = frames[:got]
+	}
+
+	for i, frame := range frames {
+		w, err := t.ReadU64(d.rxArr + mem.Addr(i*8))
+		if err != nil || w == 0 {
+			return 0
+		}
+		skb := mem.Addr(w)
+		data, _ := t.ReadU64(st.SkbField(skb, "head"))
+		if err := t.Write(mem.Addr(data), frame); err != nil {
+			return 0
+		}
+		if err := t.WriteU64(st.SkbField(skb, "len"), uint64(len(frame))); err != nil {
+			return 0
+		}
+		if err := t.WriteU64(st.SkbField(skb, "dev"), uint64(d.Dev)); err != nil {
+			return 0
+		}
+	}
+
+	accepted, err := d.gNetifRxBatch.Call2(t, uint64(d.rxArr), uint64(len(frames)))
+	if err != nil {
+		return 0
+	}
+	return accepted
+}
+
 func (d *Driver) open(t *core.Thread, args []uint64) uint64 {
 	d.opened = true
 	return 0
@@ -282,7 +475,7 @@ func (d *Driver) stop(t *core.Thread, args []uint64) uint64 {
 }
 
 func (d *Driver) irq(t *core.Thread, args []uint64) uint64 {
-	d.Nic.IRQs++
+	atomic.AddUint64(&d.Nic.IRQs, 1)
 	return 0
 }
 

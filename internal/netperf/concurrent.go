@@ -187,6 +187,26 @@ type jsonNetReload struct {
 	MigratedCaps   int     `json:"migrated_caps"`
 }
 
+// jsonNetStreaming reports the windowed TCP-like transfer phase: goodput
+// per build on the batched path, measured crossings/byte on both data
+// paths under enforcement, and the reload-under-streaming delivery
+// counters (which must stay zero).
+type jsonNetStreaming struct {
+	Segments               int     `json:"segments"`
+	SegmentBytes           int     `json:"segment_bytes"`
+	Window                 int     `json:"window"`
+	BatchBudget            int     `json:"batch_budget"`
+	StockBytesPerSec       float64 `json:"stock_bytes_per_sec"`
+	LxfiBytesPerSec        float64 `json:"lxfi_bytes_per_sec"`
+	CPURatio               float64 `json:"cpu_ratio"`
+	PerPktCrossingsPerByte float64 `json:"perpkt_crossings_per_byte"`
+	BatchCrossingsPerByte  float64 `json:"batch_crossings_per_byte"`
+	CrossingsReduction     float64 `json:"crossings_reduction"`
+	Reloads                int     `json:"reloads"`
+	Dropped                uint64  `json:"dropped"`
+	Reordered              uint64  `json:"reordered"`
+}
+
 type jsonNetDoc struct {
 	Bench   string `json:"bench"`
 	Packets int    `json:"packets"`
@@ -194,15 +214,16 @@ type jsonNetDoc struct {
 		FS   string       `json:"fs"`
 		Rows []jsonNetRow `json:"rows"`
 	} `json:"results"`
-	Concurrency *jsonNetConc   `json:"concurrency,omitempty"`
-	Reload      *jsonNetReload `json:"reload,omitempty"`
+	Concurrency *jsonNetConc      `json:"concurrency,omitempty"`
+	Reload      *jsonNetReload    `json:"reload,omitempty"`
+	Streaming   *jsonNetStreaming `json:"streaming,omitempty"`
 }
 
 // JSON serializes the per-packet path costs plus the concurrent
 // socket-pair and hot-reload phases as the machine-readable report CI
 // archives as BENCH_netperf.json. The results shape matches fsperf's so
 // the generic perf gate reads every BENCH_*.json the same way.
-func JSON(c *Costs, conc *ConcurrentCosts, rl *ReloadCosts, packets int) ([]byte, error) {
+func JSON(c *Costs, conc *ConcurrentCosts, rl *ReloadCosts, stream *StreamingCosts, packets int) ([]byte, error) {
 	doc := jsonNetDoc{Bench: "netperf", Packets: packets}
 	rows := []jsonNetRow{}
 	add := func(op string, m map[core.Mode]float64) {
@@ -243,6 +264,26 @@ func JSON(c *Costs, conc *ConcurrentCosts, rl *ReloadCosts, packets int) ([]byte
 			LxfiPackets:    rl.Packets[core.Enforce],
 			MigratedCaps:   rl.Migrated,
 		}
+	}
+	if stream != nil {
+		js := &jsonNetStreaming{
+			Segments:               stream.Segments,
+			SegmentBytes:           StreamSegBytes,
+			Window:                 stream.Window,
+			BatchBudget:            stream.BatchBudget,
+			StockBytesPerSec:       stream.BytesPerSec[core.Off],
+			LxfiBytesPerSec:        stream.BytesPerSec[core.Enforce],
+			CPURatio:               stream.CPURatio,
+			PerPktCrossingsPerByte: stream.PerPktCrossingsPerByte,
+			BatchCrossingsPerByte:  stream.BatchCrossingsPerByte,
+			Reloads:                stream.Reloads * 2, // per mode
+			Dropped:                stream.Dropped,
+			Reordered:              stream.Reordered,
+		}
+		if js.BatchCrossingsPerByte > 0 {
+			js.CrossingsReduction = js.PerPktCrossingsPerByte / js.BatchCrossingsPerByte
+		}
+		doc.Streaming = js
 	}
 	return json.MarshalIndent(doc, "", "  ")
 }

@@ -25,6 +25,7 @@ import (
 func init() {
 	failpoint.Register("netstack.xmit")
 	failpoint.Register("netstack.poll")
+	failpoint.Register("netstack.xmit_batch")
 }
 
 // Layout names.
@@ -64,18 +65,22 @@ const NetdevTxBusy = 0x10
 //
 //   - regMu (RWMutex) guards the registries (families, devices,
 //     napiPoll) — written at module init, read per operation;
-//   - qmu guards the qdisc queues, the netif_rx backlog, and the
-//     RxDelivered counter — short critical sections, never held across
-//     a module crossing;
+//   - qmu guards the TX side: the qdisc queues, the per-device batch
+//     arrays, and the enqueue-time owner records — short critical
+//     sections, never held across a module crossing;
+//   - backlogMu guards the RX side: the netif_rx backlog and the
+//     RxDelivered counter. It is deliberately a different lock from
+//     qmu so the TX drain loop and the NAPI poll/backlog path never
+//     serialize against each other (they used to share one mutex);
 //   - each socket created by Socket gets a per-instance operation lock
 //     (sockMu/sockLocks): Sendmsg/Recvmsg/Bind/Ioctl/Release serialize
 //     per socket, including the crossing into the module, so a
 //     module's per-socket state sees one operation at a time while
 //     different sockets run genuinely in parallel.
 //
-// Lock order: a socket's op lock → (regMu | qmu) → caps/core/mem
-// internals. regMu and qmu are leaves with respect to each other
-// (never nested).
+// Lock order: a socket's op lock → (regMu | qmu | backlogMu) →
+// caps/core/mem internals. regMu, qmu, and backlogMu are leaves with
+// respect to each other (never nested).
 type Stack struct {
 	K *kernel.Kernel
 
@@ -91,9 +96,14 @@ type Stack struct {
 	devices  []mem.Addr
 	napiPoll map[mem.Addr]mem.Addr // dev -> kernel slot holding poll fn ptr
 
-	qmu     sync.Mutex
-	queues  map[mem.Addr][]uint64 // qdisc -> queued skb addrs
-	backlog []mem.Addr            // skbs handed to the kernel by netif_rx
+	qmu      sync.Mutex
+	queues   map[mem.Addr][]uint64      // qdisc -> queued skb addrs
+	txOwner  map[uint64]*caps.Principal // skb -> principal recorded at EnqueueTx
+	txBatch  map[mem.Addr]mem.Addr      // dev -> kernel-owned batch array
+	txDenied uint64                     // skbs denied at drain by a revoked owner
+
+	backlogMu sync.Mutex
+	backlog   []mem.Addr // skbs handed to the kernel by netif_rx
 
 	sockMu    sync.Mutex
 	sockLocks map[mem.Addr]*sync.Mutex // socket -> per-instance op lock
@@ -101,21 +111,23 @@ type Stack struct {
 	// Bound indirect-call gates for the stack's interface slots,
 	// resolved once at Init (bind-time resolution; the per-packet and
 	// per-syscall paths never repeat the type lookup).
-	gQdiscEnq  *core.IndGate
-	gQdiscDeq  *core.IndGate
-	gStartXmit *core.IndGate
-	gNapiPoll  *core.IndGate
-	gCreate    *core.IndGate
-	gSendmsg   *core.IndGate
-	gRecvmsg   *core.IndGate
-	gBind      *core.IndGate
-	gIoctl     *core.IndGate
-	gRelease   *core.IndGate
+	gQdiscEnq       *core.IndGate
+	gQdiscDeq       *core.IndGate
+	gStartXmit      *core.IndGate
+	gStartXmitBatch *core.IndGate
+	gNapiPoll       *core.IndGate
+	gCreate         *core.IndGate
+	gSendmsg        *core.IndGate
+	gRecvmsg        *core.IndGate
+	gBind           *core.IndGate
+	gIoctl          *core.IndGate
+	gRelease        *core.IndGate
 	// gStartXmitStrict is bound by StrictInit (strict.go).
 	gStartXmitStrict *core.IndGate
 
 	// RxDelivered counts packets that reached the kernel via netif_rx.
-	// Guarded by qmu; read directly only from quiescent test contexts.
+	// Guarded by backlogMu; read directly only from quiescent test
+	// contexts.
 	RxDelivered uint64
 }
 
@@ -132,6 +144,8 @@ func Init(k *kernel.Kernel) *Stack {
 		families:  make(map[uint64]*family),
 		napiPoll:  make(map[mem.Addr]mem.Addr),
 		queues:    make(map[mem.Addr][]uint64),
+		txOwner:   make(map[uint64]*caps.Principal),
+		txBatch:   make(map[mem.Addr]mem.Addr),
 		sockLocks: make(map[mem.Addr]*sync.Mutex),
 	}
 	sys := k.Sys
@@ -154,6 +168,7 @@ func Init(k *kernel.Kernel) *Stack {
 		layout.F("ndo_open", 8),
 		layout.F("ndo_stop", 8),
 		layout.F("ndo_start_xmit", 8),
+		layout.F("ndo_start_xmit_batch", 8),
 	)
 	s.sock = sys.Layouts.Define(Socket,
 		layout.F("ops", 8),
@@ -194,8 +209,10 @@ func Init(k *kernel.Kernel) *Stack {
 		return nil
 	})
 
+	s.registerBatchIterators()
 	s.registerFPtrTypes()
 	s.registerExports()
+	s.registerBatchExports()
 	return s
 }
 
@@ -205,6 +222,22 @@ func (s *Stack) registerFPtrTypes() {
 		[]core.Param{core.P("skb", "struct sk_buff *"), core.P("dev", "struct net_device *")},
 		"principal(dev) pre(transfer(skb_caps(skb))) "+
 			"post(if (return == NETDEV_TX_BUSY) transfer(skb_caps(skb)))")
+	// The batched transmit interface: one crossing hands the driver a
+	// kernel-owned array of n skb pointers. The annotation program
+	// walks the array once per batch, transferring each element's
+	// WRITE capabilities (struct + payload) with per-element verdicts
+	// riding the per-thread check cache; a partial return hands the
+	// unconsumed tail's capabilities back, the batch analogue of
+	// NETDEV_TX_BUSY.
+	// The batched xmit checks the array once per crossing instead of
+	// transferring per-element ownership: the kernel retains the skbs
+	// (the driver only reads them — zero-copy DMA semantics) and
+	// completes consumed elements itself after the crossing returns, so
+	// the batch carries no per-segment grant/revoke churn. Per-element
+	// WRITE verdicts ride the per-thread check cache in DrainTx.
+	sys.RegisterFPtrType(NdoStartXmitBatch,
+		[]core.Param{core.P("skbs", "u64 *"), core.P("n", "u64"), core.P("dev", "struct net_device *")},
+		"principal(dev) pre(check(skb_array_caps(skbs, n)))")
 	sys.RegisterFPtrType(NdoOpen,
 		[]core.Param{core.P("dev", "struct net_device *")}, "principal(dev)")
 	sys.RegisterFPtrType(NdoStop,
@@ -240,6 +273,7 @@ func (s *Stack) registerFPtrTypes() {
 	s.gQdiscEnq = sys.BindIndirect(QdiscEnq)
 	s.gQdiscDeq = sys.BindIndirect(QdiscDeq)
 	s.gStartXmit = sys.BindIndirect(NdoStartXmit)
+	s.gStartXmitBatch = sys.BindIndirect(NdoStartXmitBatch)
 	s.gNapiPoll = sys.BindIndirect(NapiPollType)
 	s.gCreate = sys.BindIndirect(FamilyCreate)
 	s.gSendmsg = sys.BindIndirect(OpsSendmsg)
@@ -320,10 +354,10 @@ func (s *Stack) registerExports() {
 		[]core.Param{core.P("skb", "struct sk_buff *")},
 		"pre(transfer(skb_caps(skb)))",
 		func(t *core.Thread, args []uint64) uint64 {
-			s.qmu.Lock()
+			s.backlogMu.Lock()
 			s.backlog = append(s.backlog, mem.Addr(args[0]))
 			s.RxDelivered++
-			s.qmu.Unlock()
+			s.backlogMu.Unlock()
 			return 0
 		})
 
@@ -515,8 +549,8 @@ func (s *Stack) Poll(t *core.Thread, dev mem.Addr, budget uint64) (uint64, error
 // PopRx removes and returns the oldest packet delivered via netif_rx
 // (0 if none) — the protocol-layer consumption point.
 func (s *Stack) PopRx() mem.Addr {
-	s.qmu.Lock()
-	defer s.qmu.Unlock()
+	s.backlogMu.Lock()
+	defer s.backlogMu.Unlock()
 	if len(s.backlog) == 0 {
 		return 0
 	}
@@ -527,8 +561,8 @@ func (s *Stack) PopRx() mem.Addr {
 
 // BacklogLen returns the number of undelivered rx packets.
 func (s *Stack) BacklogLen() int {
-	s.qmu.Lock()
-	defer s.qmu.Unlock()
+	s.backlogMu.Lock()
+	defer s.backlogMu.Unlock()
 	return len(s.backlog)
 }
 

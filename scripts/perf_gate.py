@@ -24,6 +24,14 @@ and netperf top-level reload objects' `*_total_ns`) must stay under
 RELOAD_MAX_NS — a module swap that stalls crossings for longer than
 that ceiling fails even on a first run with no baseline.
 
+The netperf streaming phase is gated twice: its `*_crossings_per_byte`
+leaves ride the generic relative gate (the batched data path growing
+its boundary-crossing rate per byte by more than THRESHOLD percent
+fails), and its `cpu_ratio` leaf — enforced CPU cost over stock for the
+same windowed transfer — is held absolutely under
+STREAM_MAX_CPU_RATIO, baseline or not, so the very first streaming run
+is already held to the line-rate budget.
+
 The fsperf `journal` phase is gated twice: its ns leaves ride the
 generic relative gate (a journaled rename more than THRESHOLD percent
 slower than the baseline fails), and its `writes_per_op` leaf — the
@@ -50,6 +58,9 @@ RELOAD_MAX_NS = 5e7  # absolute ceiling (50 ms) for reload-phase latency
 # Absolute ceiling on journal write amplification: sector writes per
 # journaled rename (intent + commit + applies + checkpoint).
 JOURNAL_MAX_WRITES_PER_OP = 8.0
+# Absolute ceiling on the streaming workload's enforced/stock CPU
+# ratio: batching must keep isolation within 1.5x of stock.
+STREAM_MAX_CPU_RATIO = 1.5
 # A phase whose baseline is allocation-free must stay below this many
 # allocs/op (MemStats sampling noise allowance, well under one real
 # allocation per op).
@@ -86,7 +97,9 @@ def collect(doc, ns_only):
     for path, key, val in leaves(doc):
         if ns_only and not (key.endswith("_ns") or key == "allocs_per_op"
                             or key == "trace_overhead_pct"
-                            or key == "writes_per_op"):
+                            or key == "writes_per_op"
+                            or key.endswith("_crossings_per_byte")
+                            or key == "cpu_ratio"):
             continue
         # Container keys like "results"/"rows" carry no information once
         # elements are labeled; drop them from the display path.
@@ -175,6 +188,24 @@ def journal_failures(cur_vals, gate):
     return failures
 
 
+def streaming_failures(cur_vals, gate):
+    """Absolute gate on the streaming workload's enforced/stock CPU
+    ratio: no baseline required."""
+    failures = []
+    for key in sorted(cur_vals):
+        bench, path, field = key
+        if field != "cpu_ratio":
+            continue
+        now = cur_vals[key]
+        over = gate and now > STREAM_MAX_CPU_RATIO
+        flag = ("  <-- STREAMING CPU RATIO OVER %.1fx CEILING"
+                % STREAM_MAX_CPU_RATIO if over else "")
+        print("%-10s %-40s %-14s %12.3f%s" % (bench, path, field, now, flag))
+        if over:
+            failures.append(key)
+    return failures
+
+
 def compare(prev_vals, cur_vals, gate):
     failures = []
     for key in sorted(cur_vals):
@@ -186,6 +217,8 @@ def compare(prev_vals, cur_vals, gate):
             continue  # gated absolutely by trace_failures, not by delta
         if field == "writes_per_op":
             continue  # gated absolutely by journal_failures, not by delta
+        if field == "cpu_ratio":
+            continue  # gated absolutely by streaming_failures, not by delta
         if was is None:
             print("%s %38s" % (tag, "(new phase)"))
             continue
@@ -224,12 +257,13 @@ def main():
         if ppath is None:
             print("   (no previous report; delta gate skipped for this file)")
             for key in sorted(cur_vals):
-                if key[2] in ("trace_overhead_pct", "writes_per_op"):
+                if key[2] in ("trace_overhead_pct", "writes_per_op", "cpu_ratio"):
                     continue  # printed (and gated) by the absolute gates below
                 print("%-10s %-40s %-14s %12.1f" % (key[0], key[1], key[2], cur_vals[key]))
             failures += trace_failures(cur_vals, gate=not summary)
             failures += reload_failures(cur_vals, gate=not summary)
             failures += journal_failures(cur_vals, gate=not summary)
+            failures += streaming_failures(cur_vals, gate=not summary)
             print()
             continue
         saw_any = True
@@ -237,6 +271,7 @@ def main():
         failures += trace_failures(cur_vals, gate=not summary)
         failures += reload_failures(cur_vals, gate=not summary)
         failures += journal_failures(cur_vals, gate=not summary)
+        failures += streaming_failures(cur_vals, gate=not summary)
         print()
 
     if summary:
@@ -245,10 +280,11 @@ def main():
     if failures:
         print("perf gate: %d phase(s) regressed (>%.0f%% ns/op, allocations "
               "above an allocation-free baseline, trace overhead past "
-              "%.0f%%, reload latency past %.0f ms, or journal write "
-              "amplification past %.0f/op)"
+              "%.0f%%, reload latency past %.0f ms, journal write "
+              "amplification past %.0f/op, or streaming CPU ratio past "
+              "%.1fx)"
               % (len(failures), THRESHOLD, TRACE_THRESHOLD, RELOAD_MAX_NS / 1e6,
-                 JOURNAL_MAX_WRITES_PER_OP),
+                 JOURNAL_MAX_WRITES_PER_OP, STREAM_MAX_CPU_RATIO),
               file=sys.stderr)
         sys.exit(1)
     if saw_any:
